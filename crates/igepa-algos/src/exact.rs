@@ -1,0 +1,173 @@
+//! Exact IGEPA via the benchmark ILP.
+//!
+//! Restricting the benchmark LP's variables `x_{u,S}` to `{0, 1}` yields an
+//! integer program whose optimum *is* the IGEPA optimum (the observation
+//! behind Lemma 1 of the paper). Solving that ILP with the branch-and-bound
+//! solver gives the exact baseline used by the approximation-ratio study.
+//! The solver is exponential in the worst case, so it is guarded by a
+//! variable-count limit and only meant for small instances.
+
+use crate::runner::ArrangementAlgorithm;
+use igepa_core::{AdmissibleSetIndex, Arrangement, EventId, Instance, UserId};
+use igepa_lp::{BranchBoundSolver, IntegerProgram, LinearProgram};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Exact ILP-based arrangement (small instances only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExactIlp {
+    /// Hard cap on the number of ILP variables (total admissible sets); the
+    /// algorithm panics if the instance exceeds it, as a guard against
+    /// accidentally running the exponential solver on a large workload.
+    pub max_variables: usize,
+    /// Branch-and-bound node limit.
+    pub max_nodes: usize,
+}
+
+impl Default for ExactIlp {
+    fn default() -> Self {
+        ExactIlp {
+            max_variables: 5_000,
+            max_nodes: 200_000,
+        }
+    }
+}
+
+impl ExactIlp {
+    /// Solves the instance exactly and also returns the optimal utility.
+    pub fn solve_with_value(&self, instance: &Instance) -> (Arrangement, f64) {
+        let admissible =
+            AdmissibleSetIndex::build(instance).expect("admissible-set enumeration within limit");
+        let total = admissible.total_sets();
+        assert!(
+            total <= self.max_variables,
+            "exact ILP guard: {total} admissible sets exceed the limit of {}",
+            self.max_variables
+        );
+
+        let mut lp = LinearProgram::new();
+        let mut var_meta: Vec<(UserId, Vec<EventId>)> = Vec::with_capacity(total);
+        let mut event_terms: Vec<Vec<(usize, f64)>> = vec![Vec::new(); instance.num_events()];
+        let mut user_terms: Vec<Vec<(usize, f64)>> = vec![Vec::new(); instance.num_users()];
+        for user_sets in admissible.iter() {
+            for set in &user_sets.sets {
+                let weight = instance.set_weight(user_sets.user, set);
+                let var = lp.add_var(weight, 1.0);
+                var_meta.push((user_sets.user, set.clone()));
+                user_terms[user_sets.user.index()].push((var, 1.0));
+                for &v in set {
+                    event_terms[v.index()].push((var, 1.0));
+                }
+            }
+        }
+        for terms in user_terms.into_iter().filter(|t| !t.is_empty()) {
+            lp.add_le_constraint(terms, 1.0).expect("valid user row");
+        }
+        for (event_index, terms) in event_terms.into_iter().enumerate() {
+            if !terms.is_empty() {
+                let capacity = instance.event(EventId::new(event_index)).capacity as f64;
+                lp.add_le_constraint(terms, capacity).expect("valid event row");
+            }
+        }
+
+        let solver = BranchBoundSolver {
+            max_nodes: self.max_nodes,
+            ..Default::default()
+        };
+        let solution = solver
+            .solve(&IntegerProgram::all_integer(lp))
+            .expect("the benchmark ILP always admits the empty arrangement");
+
+        let mut arrangement = Arrangement::empty_for(instance);
+        for (var, (user, set)) in var_meta.iter().enumerate() {
+            if solution.values[var] > 0.5 {
+                for &v in set {
+                    arrangement.assign(v, *user);
+                }
+            }
+        }
+        let value = arrangement.utility(instance).total;
+        (arrangement, value)
+    }
+}
+
+impl ArrangementAlgorithm for ExactIlp {
+    fn name(&self) -> &'static str {
+        "Exact-ILP"
+    }
+
+    fn run_with_rng(&self, instance: &Instance, _rng: &mut dyn RngCore) -> Arrangement {
+        self.solve_with_value(instance).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedyArrangement;
+    use crate::lp_packing::LpPacking;
+    use igepa_core::{AttributeVector, ConstantInterest, Instance, PairSetConflict, TableInterest};
+    use igepa_datagen::{generate_synthetic, SyntheticConfig};
+
+    #[test]
+    fn exact_beats_or_matches_greedy_on_the_greedy_trap() {
+        // Same trap as in the greedy tests: exact must find utility 1.7.
+        let mut b = Instance::builder();
+        let a = b.add_event(1, AttributeVector::empty());
+        let eb = b.add_event(1, AttributeVector::empty());
+        b.add_user(1, AttributeVector::empty(), vec![a, eb]);
+        b.add_user(1, AttributeVector::empty(), vec![a]);
+        b.interaction_scores(vec![0.0, 0.0]);
+        b.beta(1.0);
+        let mut interest = TableInterest::zeros(2, 2);
+        interest.set(a, UserId::new(0), 1.0);
+        interest.set(a, UserId::new(1), 0.9);
+        interest.set(eb, UserId::new(0), 0.8);
+        let inst = b.build(&igepa_core::NeverConflict, &interest).unwrap();
+
+        let (exact, value) = ExactIlp::default().solve_with_value(&inst);
+        assert!(exact.is_feasible(&inst));
+        assert!((value - 1.7).abs() < 1e-6);
+        let greedy = GreedyArrangement.run_seeded(&inst, 0);
+        assert!(value >= greedy.utility(&inst).total - 1e-9);
+    }
+
+    #[test]
+    fn exact_respects_conflicts_and_capacities() {
+        let mut b = Instance::builder();
+        let v0 = b.add_event(1, AttributeVector::empty());
+        let v1 = b.add_event(1, AttributeVector::empty());
+        let v2 = b.add_event(1, AttributeVector::empty());
+        for _ in 0..3 {
+            b.add_user(2, AttributeVector::empty(), vec![v0, v1, v2]);
+        }
+        b.interaction_scores(vec![0.3, 0.6, 0.9]);
+        let mut sigma = PairSetConflict::new();
+        sigma.add(v0, v1);
+        let inst = b.build(&sigma, &ConstantInterest(0.5)).unwrap();
+        let (m, value) = ExactIlp::default().solve_with_value(&inst);
+        assert!(m.is_feasible(&inst));
+        assert!(value > 0.0);
+    }
+
+    #[test]
+    fn exact_dominates_every_heuristic_on_tiny_synthetic_instances() {
+        let config = SyntheticConfig::tiny();
+        for seed in 0..3 {
+            let inst = generate_synthetic(&config, seed);
+            let (_, opt) = ExactIlp::default().solve_with_value(&inst);
+            let greedy = GreedyArrangement.run_seeded(&inst, seed).utility(&inst).total;
+            let lp = LpPacking::default().run_seeded(&inst, seed).utility(&inst).total;
+            assert!(opt + 1e-6 >= greedy, "seed {seed}: opt {opt} < greedy {greedy}");
+            assert!(opt + 1e-6 >= lp, "seed {seed}: opt {opt} < lp {lp}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exact ILP guard")]
+    fn variable_guard_trips_on_large_instances() {
+        let inst = generate_synthetic(&SyntheticConfig::small(), 1);
+        let guard = ExactIlp { max_variables: 10, ..Default::default() };
+        let _ = guard.solve_with_value(&inst);
+    }
+}

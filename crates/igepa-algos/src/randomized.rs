@@ -1,0 +1,161 @@
+//! Random-U and Random-V — the randomized baselines from the GEACC paper.
+//!
+//! Both baselines build a feasible arrangement by random exploration:
+//!
+//! * **Random-U** iterates over users in random order; each user scans their
+//!   bid list in random order and takes every event that is still feasible
+//!   (event capacity left, user capacity left, no conflict with events the
+//!   user already holds).
+//! * **Random-V** iterates over events in random order; each event scans its
+//!   bidders in random order and admits every user that is still feasible.
+//!
+//! Neither looks at the weights, so they serve as the "how much does
+//! optimisation actually buy" floor in the paper's comparison.
+
+use crate::runner::ArrangementAlgorithm;
+use igepa_core::{Arrangement, EventId, Instance, UserId};
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// The Random-U baseline (user-driven random assignment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomU;
+
+/// The Random-V baseline (event-driven random assignment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomV;
+
+fn can_assign(instance: &Instance, arrangement: &Arrangement, v: EventId, u: UserId) -> bool {
+    if arrangement.load_of(v) >= instance.event(v).capacity {
+        return false;
+    }
+    let current = arrangement.events_of(u);
+    if current.len() >= instance.user(u).capacity {
+        return false;
+    }
+    if current.iter().any(|&w| instance.conflicts().conflicts(w, v)) {
+        return false;
+    }
+    true
+}
+
+impl ArrangementAlgorithm for RandomU {
+    fn name(&self) -> &'static str {
+        "Random-U"
+    }
+
+    fn run_with_rng(&self, instance: &Instance, rng: &mut dyn RngCore) -> Arrangement {
+        let mut arrangement = Arrangement::empty_for(instance);
+        let mut user_order: Vec<usize> = (0..instance.num_users()).collect();
+        user_order.shuffle(rng);
+        for user_index in user_order {
+            let user_id = UserId::new(user_index);
+            let mut bids = instance.user(user_id).bids.clone();
+            bids.shuffle(rng);
+            for v in bids {
+                if can_assign(instance, &arrangement, v, user_id) {
+                    arrangement.assign(v, user_id);
+                }
+            }
+        }
+        arrangement
+    }
+}
+
+impl ArrangementAlgorithm for RandomV {
+    fn name(&self) -> &'static str {
+        "Random-V"
+    }
+
+    fn run_with_rng(&self, instance: &Instance, rng: &mut dyn RngCore) -> Arrangement {
+        let mut arrangement = Arrangement::empty_for(instance);
+        let mut event_order: Vec<usize> = (0..instance.num_events()).collect();
+        event_order.shuffle(rng);
+        for event_index in event_order {
+            let event_id = EventId::new(event_index);
+            let mut bidders = instance.event(event_id).bidders.clone();
+            bidders.shuffle(rng);
+            for u in bidders {
+                if can_assign(instance, &arrangement, event_id, u) {
+                    arrangement.assign(event_id, u);
+                }
+            }
+        }
+        arrangement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igepa_core::{AttributeVector, ConstantInterest, NeverConflict, PairSetConflict};
+    use igepa_datagen::{generate_synthetic, SyntheticConfig};
+
+    fn contention_instance() -> Instance {
+        let mut b = Instance::builder();
+        let v0 = b.add_event(1, AttributeVector::empty());
+        let v1 = b.add_event(1, AttributeVector::empty());
+        for _ in 0..4 {
+            b.add_user(2, AttributeVector::empty(), vec![v0, v1]);
+        }
+        b.interaction_scores(vec![0.1, 0.2, 0.3, 0.4]);
+        let mut sigma = PairSetConflict::new();
+        sigma.add(v0, v1);
+        b.build(&sigma, &ConstantInterest(0.5)).unwrap()
+    }
+
+    #[test]
+    fn random_u_output_is_feasible() {
+        let inst = contention_instance();
+        for seed in 0..10 {
+            let m = RandomU.run_seeded(&inst, seed);
+            assert!(m.is_feasible(&inst));
+            assert!(m.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn random_v_output_is_feasible() {
+        let inst = contention_instance();
+        for seed in 0..10 {
+            let m = RandomV.run_seeded(&inst, seed);
+            assert!(m.is_feasible(&inst));
+            assert!(m.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn both_fill_uncontested_capacity() {
+        let mut b = Instance::builder();
+        let v0 = b.add_event(10, AttributeVector::empty());
+        for _ in 0..5 {
+            b.add_user(1, AttributeVector::empty(), vec![v0]);
+        }
+        b.interaction_scores(vec![0.5; 5]);
+        let inst = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        assert_eq!(RandomU.run_seeded(&inst, 1).len(), 5);
+        assert_eq!(RandomV.run_seeded(&inst, 1).len(), 5);
+    }
+
+    #[test]
+    fn different_seeds_explore_different_assignments() {
+        let inst = contention_instance();
+        let outcomes: std::collections::HashSet<Vec<(igepa_core::EventId, igepa_core::UserId)>> =
+            (0..20)
+                .map(|s| RandomU.run_seeded(&inst, s).pairs().collect::<Vec<_>>())
+                .collect();
+        assert!(outcomes.len() > 1, "Random-U never varied across 20 seeds");
+    }
+
+    #[test]
+    fn feasible_on_synthetic_workloads() {
+        let inst = generate_synthetic(&SyntheticConfig::small(), 3);
+        let mu = RandomU.run_seeded(&inst, 0);
+        let mv = RandomV.run_seeded(&inst, 0);
+        assert!(mu.is_feasible(&inst));
+        assert!(mv.is_feasible(&inst));
+        assert!(mu.len() > 0);
+        assert!(mv.len() > 0);
+    }
+}

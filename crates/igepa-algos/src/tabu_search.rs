@@ -1,0 +1,262 @@
+//! Tabu search over feasible arrangements (extension / ablation).
+//!
+//! A second metaheuristic comparison point. Starting from the GG greedy
+//! arrangement, every iteration applies the best non-tabu move (add, remove
+//! or swap on a single user) even if it worsens the utility, and records the
+//! touched `(event, user)` pairs in a fixed-length tabu list so the search
+//! does not immediately undo itself. An aspiration rule overrides the tabu
+//! status when a move would beat the best utility seen so far.
+
+use crate::greedy::GreedyArrangement;
+use crate::runner::ArrangementAlgorithm;
+use igepa_core::{Arrangement, EventId, Instance, UserId};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Tabu-search configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TabuSearch {
+    /// Number of iterations (moves applied).
+    pub iterations: usize,
+    /// Length of the tabu list, in `(event, user)` pairs.
+    pub tenure: usize,
+}
+
+impl Default for TabuSearch {
+    fn default() -> Self {
+        TabuSearch {
+            iterations: 400,
+            tenure: 25,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Move {
+    Add { v: EventId, u: UserId },
+    Remove { v: EventId, u: UserId },
+    Swap { out: EventId, v: EventId, u: UserId },
+}
+
+impl Move {
+    /// The `(event, user)` pairs this move touches (used for the tabu list).
+    fn touched(&self) -> Vec<(EventId, UserId)> {
+        match *self {
+            Move::Add { v, u } | Move::Remove { v, u } => vec![(v, u)],
+            Move::Swap { out, v, u } => vec![(out, u), (v, u)],
+        }
+    }
+}
+
+impl TabuSearch {
+    /// A cheap configuration for tests.
+    pub fn quick() -> Self {
+        TabuSearch {
+            iterations: 60,
+            tenure: 10,
+        }
+    }
+
+    /// Enumerates every feasible move on the current arrangement together
+    /// with its utility gain.
+    fn candidate_moves(&self, instance: &Instance, arrangement: &Arrangement) -> Vec<(Move, f64)> {
+        let mut moves = Vec::new();
+        for user in instance.users() {
+            let u = user.id;
+            let current = arrangement.events_of(u).to_vec();
+            // Removals.
+            for &v in &current {
+                moves.push((Move::Remove { v, u }, -instance.weight(v, u)));
+            }
+            // Additions.
+            if current.len() < user.capacity {
+                for &v in &user.bids {
+                    if arrangement.contains(v, u)
+                        || arrangement.load_of(v) >= instance.event(v).capacity
+                        || current.iter().any(|&w| instance.conflicts().conflicts(w, v))
+                    {
+                        continue;
+                    }
+                    moves.push((Move::Add { v, u }, instance.weight(v, u)));
+                }
+            }
+            // Swaps.
+            for &out in &current {
+                for &v in &user.bids {
+                    if v == out
+                        || arrangement.contains(v, u)
+                        || arrangement.load_of(v) >= instance.event(v).capacity
+                        || current
+                            .iter()
+                            .filter(|&&w| w != out)
+                            .any(|&w| instance.conflicts().conflicts(w, v))
+                    {
+                        continue;
+                    }
+                    moves.push((
+                        Move::Swap { out, v, u },
+                        instance.weight(v, u) - instance.weight(out, u),
+                    ));
+                }
+            }
+        }
+        moves
+    }
+
+    fn apply(arrangement: &mut Arrangement, mv: &Move) {
+        match *mv {
+            Move::Add { v, u } => {
+                arrangement.assign(v, u);
+            }
+            Move::Remove { v, u } => {
+                arrangement.unassign(v, u);
+            }
+            Move::Swap { out, v, u } => {
+                arrangement.unassign(out, u);
+                arrangement.assign(v, u);
+            }
+        }
+    }
+
+    /// Runs the tabu search from a given start and returns the best
+    /// arrangement encountered.
+    pub fn search(&self, instance: &Instance, start: Arrangement) -> Arrangement {
+        let mut current = start;
+        let mut current_utility = current.utility(instance).total;
+        let mut best = current.clone();
+        let mut best_utility = current_utility;
+        let mut tabu: VecDeque<(EventId, UserId)> = VecDeque::with_capacity(self.tenure + 2);
+
+        for _ in 0..self.iterations {
+            let candidates = self.candidate_moves(instance, &current);
+            // Pick the best move, skipping tabu ones unless they beat the
+            // incumbent (aspiration).
+            let mut chosen: Option<(Move, f64)> = None;
+            for (mv, gain) in candidates {
+                let is_tabu = mv.touched().iter().any(|pair| tabu.contains(pair));
+                let aspires = current_utility + gain > best_utility + 1e-12;
+                if is_tabu && !aspires {
+                    continue;
+                }
+                match &chosen {
+                    Some((_, g)) if *g >= gain => {}
+                    _ => chosen = Some((mv, gain)),
+                }
+            }
+            let Some((mv, gain)) = chosen else {
+                break;
+            };
+            Self::apply(&mut current, &mv);
+            current_utility += gain;
+            for pair in mv.touched() {
+                tabu.push_back(pair);
+            }
+            while tabu.len() > self.tenure {
+                tabu.pop_front();
+            }
+            if current_utility > best_utility {
+                best = current.clone();
+                best_utility = current_utility;
+            }
+        }
+        best
+    }
+}
+
+impl ArrangementAlgorithm for TabuSearch {
+    fn name(&self) -> &'static str {
+        "TabuSearch"
+    }
+
+    fn run_with_rng(&self, instance: &Instance, rng: &mut dyn RngCore) -> Arrangement {
+        let start = GreedyArrangement.run_with_rng(instance, rng);
+        self.search(instance, start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igepa_core::{AttributeVector, ConstantInterest, NeverConflict, TableInterest};
+    use igepa_datagen::{generate_synthetic, SyntheticConfig};
+
+    #[test]
+    fn output_is_always_feasible_and_not_worse_than_greedy() {
+        let config = SyntheticConfig::tiny();
+        for seed in 0..4 {
+            let instance = generate_synthetic(&config, seed);
+            let greedy = GreedyArrangement.run_seeded(&instance, seed);
+            let tabu = TabuSearch::quick().run_seeded(&instance, seed);
+            assert!(tabu.is_feasible(&instance), "seed {seed}");
+            assert!(
+                tabu.utility(&instance).total + 1e-9 >= greedy.utility(&instance).total,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn escapes_the_single_move_trap_that_stops_hill_climbing() {
+        // Hill climbing (LocalSearch) provably cannot improve this instance;
+        // tabu search can, because it applies the best move even when that
+        // move is downhill (kicking user 0 off event a), and the tabu list
+        // prevents the immediate undo.
+        let mut b = igepa_core::Instance::builder();
+        let ea = b.add_event(1, AttributeVector::empty());
+        let eb = b.add_event(1, AttributeVector::empty());
+        b.add_user(1, AttributeVector::empty(), vec![ea, eb]);
+        b.add_user(1, AttributeVector::empty(), vec![ea]);
+        b.interaction_scores(vec![0.0, 0.0]);
+        b.beta(1.0);
+        let mut interest = TableInterest::zeros(2, 2);
+        interest.set(ea, UserId::new(0), 1.0);
+        interest.set(ea, UserId::new(1), 0.9);
+        interest.set(eb, UserId::new(0), 0.8);
+        let instance = b.build(&NeverConflict, &interest).unwrap();
+
+        let tabu = TabuSearch {
+            iterations: 50,
+            tenure: 4,
+        };
+        let m = tabu.run_seeded(&instance, 0);
+        assert!(m.is_feasible(&instance));
+        assert!(
+            (m.utility(&instance).total - 1.7).abs() < 1e-9,
+            "utility {}",
+            m.utility(&instance).total
+        );
+    }
+
+    #[test]
+    fn zero_iterations_returns_the_greedy_start() {
+        let instance = generate_synthetic(&SyntheticConfig::tiny(), 1);
+        let tabu = TabuSearch {
+            iterations: 0,
+            tenure: 5,
+        };
+        let greedy = GreedyArrangement.run_seeded(&instance, 1);
+        let m = tabu.run_seeded(&instance, 1);
+        assert!((m.utility(&instance).total - greedy.utility(&instance).total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_instances_without_any_possible_move() {
+        let mut b = igepa_core::Instance::builder();
+        b.add_event(1, AttributeVector::empty());
+        b.add_user(0, AttributeVector::empty(), vec![EventId::new(0)]);
+        b.interaction_scores(vec![0.2]);
+        let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        let m = TabuSearch::quick().run_seeded(&instance, 0);
+        assert!(m.is_empty());
+        assert!(m.is_feasible(&instance));
+    }
+
+    #[test]
+    fn deterministic_given_the_greedy_start() {
+        let instance = generate_synthetic(&SyntheticConfig::tiny(), 6);
+        let a = TabuSearch::quick().run_seeded(&instance, 9);
+        let b = TabuSearch::quick().run_seeded(&instance, 9);
+        assert_eq!(a, b);
+    }
+}

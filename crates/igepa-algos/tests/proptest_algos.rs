@@ -1,0 +1,98 @@
+//! Property-based tests for the arrangement algorithms: feasibility on
+//! arbitrary workloads, dominance relations that must always hold, and the
+//! Theorem 2 guarantee on instances small enough for the exact solver.
+
+use igepa_algos::{
+    ArrangementAlgorithm, ExactIlp, GreedyArrangement, LocalSearch, LpPacking, OnlineGreedy,
+    RandomU, RandomV,
+};
+use igepa_datagen::{generate_synthetic, SyntheticConfig};
+use proptest::prelude::*;
+
+fn small_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        3usize..10,
+        6usize..30,
+        1usize..5,
+        1usize..4,
+        0.0f64..0.8,
+        0.0f64..0.9,
+        2usize..6,
+    )
+        .prop_map(|(events, users, max_cv, max_cu, pcf, pdeg, bids)| SyntheticConfig {
+            num_events: events,
+            num_users: users,
+            max_event_capacity: max_cv,
+            max_user_capacity: max_cu,
+            p_conflict: pcf,
+            p_friend: pdeg,
+            bids_per_user: bids,
+            conflict_group_width: 3,
+            ..SyntheticConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Feasibility of every algorithm, including the extensions, on random
+    /// workloads (the core qualitative requirement of Definition 4).
+    #[test]
+    fn all_algorithms_feasible(config in small_config_strategy(), seed in 0u64..200) {
+        let instance = generate_synthetic(&config, seed);
+        let algorithms: Vec<Box<dyn ArrangementAlgorithm>> = vec![
+            Box::new(LpPacking::default()),
+            Box::new(LpPacking::theoretical()),
+            Box::new(GreedyArrangement),
+            Box::new(RandomU),
+            Box::new(RandomV),
+            Box::new(LocalSearch::default()),
+            Box::new(OnlineGreedy::default()),
+        ];
+        for algorithm in algorithms {
+            let arrangement = algorithm.run_seeded(&instance, seed);
+            prop_assert!(arrangement.is_feasible(&instance), "{} infeasible", algorithm.name());
+        }
+    }
+
+    /// Local search never does worse than the greedy arrangement it refines.
+    #[test]
+    fn local_search_dominates_greedy(config in small_config_strategy(), seed in 0u64..200) {
+        let instance = generate_synthetic(&config, seed);
+        let greedy = GreedyArrangement.run_seeded(&instance, seed).utility(&instance).total;
+        let refined = LocalSearch::default().run_seeded(&instance, seed).utility(&instance).total;
+        prop_assert!(refined + 1e-9 >= greedy);
+    }
+
+    /// The exact ILP optimum dominates every heuristic, and LP-packing with
+    /// α = ½ stays above the ¼ guarantee of Theorem 2 (averaged over seeds,
+    /// matching the expectation in the theorem statement).
+    #[test]
+    fn exact_dominates_and_theorem_two_holds(config in small_config_strategy(), seed in 0u64..100) {
+        let instance = generate_synthetic(&config, seed);
+        let (_, opt) = ExactIlp::default().solve_with_value(&instance);
+        prop_assume!(opt > 1e-9);
+
+        for algorithm in [
+            &GreedyArrangement as &dyn ArrangementAlgorithm,
+            &RandomU,
+            &RandomV,
+            &OnlineGreedy::default(),
+        ] {
+            let utility = algorithm.run_seeded(&instance, seed).utility(&instance).total;
+            prop_assert!(opt + 1e-6 >= utility, "{} beat the optimum", algorithm.name());
+        }
+
+        let theoretical = LpPacking::theoretical();
+        let repetitions = 8;
+        let mean: f64 = (0..repetitions)
+            .map(|rep| theoretical.run_seeded(&instance, rep).utility(&instance).total)
+            .sum::<f64>()
+            / repetitions as f64;
+        prop_assert!(
+            mean >= 0.25 * opt - 1e-9,
+            "Theorem 2 violated: mean {mean} vs bound {}",
+            0.25 * opt
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! the sampling parameter α, the LP backend, and the extension algorithms
+//! (local search, online greedy) against the paper roster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use igepa_algos::{
+    ArrangementAlgorithm, GreedyArrangement, LocalSearch, LpBackend, LpPacking, OnlineGreedy,
+};
+use igepa_bench::bench_default_config;
+use igepa_datagen::generate_synthetic;
+use std::hint::black_box;
+
+fn alpha_ablation(c: &mut Criterion) {
+    let instance = generate_synthetic(&bench_default_config(), 21);
+    let mut group = c.benchmark_group("lp_packing_alpha");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &alpha in &[0.25f64, 0.5, 0.75, 1.0] {
+        let algorithm = LpPacking { alpha, ..LpPacking::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &instance, |b, instance| {
+            b.iter(|| black_box(algorithm.run_seeded(instance, 3).utility(instance).total))
+        });
+    }
+    group.finish();
+}
+
+fn backend_ablation(c: &mut Criterion) {
+    let instance = generate_synthetic(&bench_default_config(), 22);
+    let mut group = c.benchmark_group("lp_packing_backend");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let backends: Vec<(&str, LpBackend)> = vec![
+        ("simplex", LpBackend::Simplex),
+        ("dual_subgradient_400", LpBackend::DualSubgradient { rounds: 400 }),
+        ("dual_subgradient_1600", LpBackend::DualSubgradient { rounds: 1600 }),
+    ];
+    for (name, backend) in backends {
+        let algorithm = LpPacking::with_backend(backend);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &instance, |b, instance| {
+            b.iter(|| black_box(algorithm.run_seeded(instance, 3).utility(instance).total))
+        });
+    }
+    group.finish();
+}
+
+fn extension_ablation(c: &mut Criterion) {
+    let instance = generate_synthetic(&bench_default_config(), 23);
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let algorithms: Vec<(&str, Box<dyn ArrangementAlgorithm>)> = vec![
+        ("GG", Box::new(GreedyArrangement)),
+        ("GG+LocalSearch", Box::new(LocalSearch::default())),
+        ("Online-Greedy", Box::new(OnlineGreedy::default())),
+        ("LP-packing", Box::new(LpPacking::default())),
+    ];
+    for (name, algorithm) in algorithms {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(algorithm.run_seeded(&instance, 3).utility(&instance).total))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, alpha_ablation, backend_ablation, extension_ablation);
+criterion_main!(ablation);

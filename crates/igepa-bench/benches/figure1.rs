@@ -1,0 +1,63 @@
+//! Figure 1 benchmark groups: one group per subfigure (`fig1a` … `fig1f`),
+//! one benchmark per (algorithm, sweep point) pair.
+//!
+//! Each benchmark measures the wall-clock of running the algorithm on a
+//! scaled-down instance of that sweep point, and Criterion's report doubles
+//! as the per-point timing series. The utility series themselves (the
+//! y-axis of the paper's figure) are produced by
+//! `cargo run --release -p igepa-experiments -- figure1-all`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use igepa_bench::paper_roster;
+use igepa_datagen::generate_synthetic;
+use igepa_experiments::Figure1Factor;
+use std::hint::black_box;
+
+/// Scale factor applied to |V| and |U| of each sweep point.
+const BENCH_SCALE: f64 = 0.1;
+
+fn bench_factor(c: &mut Criterion, factor: Figure1Factor) {
+    let mut group = c.benchmark_group(factor.id());
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let base = igepa_datagen::SyntheticConfig::paper_default();
+    for value in factor.sweep_values() {
+        let mut config = factor.apply(&base, value);
+        config.num_events = ((config.num_events as f64 * BENCH_SCALE).round() as usize).max(4);
+        config.num_users = ((config.num_users as f64 * BENCH_SCALE).round() as usize).max(20);
+        let instance = generate_synthetic(&config, 42);
+        for (name, algorithm) in paper_roster() {
+            group.bench_with_input(
+                BenchmarkId::new(name, value),
+                &instance,
+                |b, instance| {
+                    b.iter(|| black_box(igepa_bench::run_once(algorithm.as_ref(), instance, 7)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig1a(c: &mut Criterion) {
+    bench_factor(c, Figure1Factor::NumEvents);
+}
+fn fig1b(c: &mut Criterion) {
+    bench_factor(c, Figure1Factor::NumUsers);
+}
+fn fig1c(c: &mut Criterion) {
+    bench_factor(c, Figure1Factor::ConflictProbability);
+}
+fn fig1d(c: &mut Criterion) {
+    bench_factor(c, Figure1Factor::FriendProbability);
+}
+fn fig1e(c: &mut Criterion) {
+    bench_factor(c, Figure1Factor::MaxEventCapacity);
+}
+fn fig1f(c: &mut Criterion) {
+    bench_factor(c, Figure1Factor::MaxUserCapacity);
+}
+
+criterion_group!(figure1, fig1a, fig1b, fig1c, fig1d, fig1e, fig1f);
+criterion_main!(figure1);

@@ -1,0 +1,72 @@
+//! Solver micro-benchmarks: the exact simplex vs the approximate packing
+//! solver on benchmark LPs of growing size, and admissible-set enumeration.
+//!
+//! These support the DESIGN.md claim that the dual-subgradient backend is
+//! what makes the paper's larger sweeps (Fig. 1b) tractable without Gurobi.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use igepa_algos::{LpBackend, LpPacking};
+use igepa_core::AdmissibleSetIndex;
+use igepa_datagen::{generate_synthetic, SyntheticConfig};
+use std::hint::black_box;
+
+fn benchmark_lp_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("benchmark_lp_solvers");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &num_users in &[50usize, 150, 300] {
+        let config = SyntheticConfig {
+            num_events: 15,
+            num_users,
+            max_event_capacity: 8,
+            max_user_capacity: 3,
+            bids_per_user: 5,
+            ..SyntheticConfig::default()
+        };
+        let instance = generate_synthetic(&config, 5);
+        let admissible = AdmissibleSetIndex::build(&instance).unwrap();
+
+        let simplex = LpPacking::with_backend(LpBackend::Simplex);
+        group.bench_with_input(
+            BenchmarkId::new("simplex", num_users),
+            &instance,
+            |b, instance| {
+                b.iter(|| black_box(simplex.solve_benchmark_lp(instance, &admissible)))
+            },
+        );
+        let subgradient = LpPacking::with_backend(LpBackend::DualSubgradient { rounds: 800 });
+        group.bench_with_input(
+            BenchmarkId::new("dual_subgradient", num_users),
+            &instance,
+            |b, instance| {
+                b.iter(|| black_box(subgradient.solve_benchmark_lp(instance, &admissible)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn admissible_set_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admissible_set_enumeration");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &bids in &[4usize, 8, 12] {
+        let config = SyntheticConfig {
+            num_events: 40,
+            num_users: 300,
+            max_user_capacity: 4,
+            bids_per_user: bids,
+            ..SyntheticConfig::default()
+        };
+        let instance = generate_synthetic(&config, 9);
+        group.bench_with_input(BenchmarkId::new("bids_per_user", bids), &instance, |b, instance| {
+            b.iter(|| black_box(AdmissibleSetIndex::build(instance).unwrap().total_sets()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(solvers, benchmark_lp_solvers, admissible_set_enumeration);
+criterion_main!(solvers);

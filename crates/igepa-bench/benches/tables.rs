@@ -1,0 +1,45 @@
+//! Table I (default synthetic setting) and Table II (Meetup-SF) benchmark
+//! groups: wall-clock of each algorithm on the corresponding workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igepa_bench::{bench_default_config, paper_roster, run_once};
+use igepa_datagen::{generate_meetup, generate_synthetic, MeetupConfig};
+use std::hint::black_box;
+
+fn table1_default(c: &mut Criterion) {
+    let instance = generate_synthetic(&bench_default_config(), 11);
+    let mut group = c.benchmark_group("table1_default");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for (name, algorithm) in paper_roster() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_once(algorithm.as_ref(), &instance, 3)))
+        });
+    }
+    group.finish();
+}
+
+fn table2_meetup(c: &mut Criterion) {
+    // A quarter-scale Meetup-SF dataset keeps the LP small enough for a
+    // timing benchmark while exercising the same code path as Table II.
+    let config = MeetupConfig {
+        num_events: 48,
+        num_users: 700,
+        ..MeetupConfig::paper_default()
+    };
+    let instance = generate_meetup(&config, 11);
+    let mut group = c.benchmark_group("table2_meetup");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for (name, algorithm) in paper_roster() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_once(algorithm.as_ref(), &instance, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(tables, table1_default, table2_meetup);
+criterion_main!(tables);

@@ -1,0 +1,64 @@
+//! # igepa-bench — shared helpers for the Criterion benchmark harness
+//!
+//! The benches regenerate every table and figure of the paper on scaled-down
+//! workloads (Criterion measures wall-clock; the utility *numbers* for the
+//! full-scale reproduction come from the `igepa-experiments` binary, see
+//! EXPERIMENTS.md). This crate only hosts small helpers shared by the bench
+//! targets so that each bench file stays focused on its paper artefact.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use igepa_algos::{ArrangementAlgorithm, GreedyArrangement, LpPacking, RandomU, RandomV};
+use igepa_core::Instance;
+use igepa_datagen::SyntheticConfig;
+
+/// The four algorithms compared throughout the paper's evaluation.
+pub fn paper_roster() -> Vec<(&'static str, Box<dyn ArrangementAlgorithm>)> {
+    vec![
+        ("LP-packing", Box::new(LpPacking::default()) as Box<dyn ArrangementAlgorithm>),
+        ("GG", Box::new(GreedyArrangement)),
+        ("Random-U", Box::new(RandomU)),
+        ("Random-V", Box::new(RandomV)),
+    ]
+}
+
+/// Scaled-down Table I default used by the benches (10% of paper scale keeps
+/// a full `cargo bench` run in the minutes range).
+pub fn bench_default_config() -> SyntheticConfig {
+    SyntheticConfig {
+        num_events: 20,
+        num_users: 200,
+        max_event_capacity: 10,
+        max_user_capacity: 4,
+        bids_per_user: 6,
+        ..SyntheticConfig::default()
+    }
+}
+
+/// Runs one algorithm on one instance and returns the achieved utility
+/// (used as the benched unit of work).
+pub fn run_once(algorithm: &dyn ArrangementAlgorithm, instance: &Instance, seed: u64) -> f64 {
+    algorithm.run_seeded(instance, seed).utility(instance).total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igepa_datagen::generate_synthetic;
+
+    #[test]
+    fn roster_has_the_four_paper_algorithms() {
+        let names: Vec<&str> = paper_roster().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["LP-packing", "GG", "Random-U", "Random-V"]);
+    }
+
+    #[test]
+    fn run_once_produces_positive_utility_on_the_bench_config() {
+        let instance = generate_synthetic(&bench_default_config(), 1);
+        for (name, algorithm) in paper_roster() {
+            let utility = run_once(algorithm.as_ref(), &instance, 1);
+            assert!(utility > 0.0, "{name} scored zero");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Admissible event sets (Section III of the paper).
+//!
+//! For a user `u`, an *admissible event set* `S ⊆ N_u` is a non-empty set
+//! whose cardinality is at most `c_u` and whose events are pairwise
+//! conflict-free. The benchmark LP of the LP-packing algorithm has one
+//! variable per (user, admissible set) pair, so enumerating these sets —
+//! and keeping their number under control — is a core building block.
+//!
+//! The paper notes that "a user will not bid for too many events, so the
+//! number of admissible event sets will be reasonable"; the enumerator below
+//! still guards against pathological inputs with an explicit per-user limit
+//! and reports [`CoreError::AdmissibleSetExplosion`] when it is exceeded.
+
+use crate::error::CoreError;
+use crate::ids::{EventId, UserId};
+use crate::instance::Instance;
+
+/// Default per-user cap on the number of admissible sets enumerated.
+pub const DEFAULT_SET_LIMIT: usize = 100_000;
+
+/// All admissible event sets of a single user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserAdmissibleSets {
+    /// The user these sets belong to.
+    pub user: UserId,
+    /// Each inner vector is one admissible set, sorted by event id. The
+    /// collection contains every non-empty admissible set (it is closed
+    /// under taking non-empty subsets, as required by the LP formulation).
+    pub sets: Vec<Vec<EventId>>,
+}
+
+impl UserAdmissibleSets {
+    /// Number of admissible sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the user has no admissible set (no bids).
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+/// Admissible event sets for every user of an instance.
+#[derive(Debug, Clone)]
+pub struct AdmissibleSetIndex {
+    per_user: Vec<UserAdmissibleSets>,
+}
+
+impl AdmissibleSetIndex {
+    /// Enumerates the admissible sets of every user with the default limit.
+    pub fn build(instance: &Instance) -> Result<Self, CoreError> {
+        Self::build_with_limit(instance, DEFAULT_SET_LIMIT)
+    }
+
+    /// Enumerates the admissible sets of every user, failing if any single
+    /// user would exceed `limit` sets.
+    pub fn build_with_limit(instance: &Instance, limit: usize) -> Result<Self, CoreError> {
+        let mut per_user = Vec::with_capacity(instance.num_users());
+        for user in instance.users() {
+            let sets = enumerate_for_user(instance, user.id, limit)?;
+            per_user.push(UserAdmissibleSets { user: user.id, sets });
+        }
+        Ok(AdmissibleSetIndex { per_user })
+    }
+
+    /// Admissible sets of the given user.
+    pub fn of(&self, user: UserId) -> &UserAdmissibleSets {
+        &self.per_user[user.index()]
+    }
+
+    /// Iterates over the per-user collections in user-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &UserAdmissibleSets> {
+        self.per_user.iter()
+    }
+
+    /// Total number of (user, admissible set) pairs — the number of LP
+    /// variables the benchmark LP will have.
+    pub fn total_sets(&self) -> usize {
+        self.per_user.iter().map(|s| s.len()).sum()
+    }
+
+    /// The largest number of admissible sets any single user has.
+    pub fn max_sets_per_user(&self) -> usize {
+        self.per_user.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+}
+
+/// Enumerates the admissible event sets of one user.
+///
+/// The enumeration walks the user's bid list in id order and extends partial
+/// sets only with later, non-conflicting events, so every set is produced
+/// exactly once (in lexicographic order of sorted ids).
+pub fn enumerate_for_user(
+    instance: &Instance,
+    user: UserId,
+    limit: usize,
+) -> Result<Vec<Vec<EventId>>, CoreError> {
+    let u = instance.user(user);
+    let bids = &u.bids;
+    let capacity = u.capacity;
+    let conflicts = instance.conflicts();
+    let mut out: Vec<Vec<EventId>> = Vec::new();
+    if capacity == 0 || bids.is_empty() {
+        return Ok(out);
+    }
+
+    // Depth-first enumeration over the sorted bid list.
+    let mut stack: Vec<EventId> = Vec::with_capacity(capacity);
+    fn recurse(
+        bids: &[EventId],
+        start: usize,
+        capacity: usize,
+        conflicts: &crate::conflict::ConflictMatrix,
+        stack: &mut Vec<EventId>,
+        out: &mut Vec<Vec<EventId>>,
+        limit: usize,
+        user: UserId,
+    ) -> Result<(), CoreError> {
+        for i in start..bids.len() {
+            let candidate = bids[i];
+            if stack.iter().any(|&chosen| conflicts.conflicts(chosen, candidate)) {
+                continue;
+            }
+            stack.push(candidate);
+            if out.len() >= limit {
+                return Err(CoreError::AdmissibleSetExplosion { user, limit });
+            }
+            out.push(stack.clone());
+            if stack.len() < capacity {
+                recurse(bids, i + 1, capacity, conflicts, stack, out, limit, user)?;
+            }
+            stack.pop();
+        }
+        Ok(())
+    }
+
+    recurse(bids, 0, capacity, conflicts, &mut stack, &mut out, limit, user)?;
+    Ok(out)
+}
+
+/// Counts the admissible sets of one user without materialising them.
+pub fn count_for_user(instance: &Instance, user: UserId) -> usize {
+    let u = instance.user(user);
+    let bids = &u.bids;
+    let capacity = u.capacity;
+    let conflicts = instance.conflicts();
+    if capacity == 0 || bids.is_empty() {
+        return 0;
+    }
+    fn recurse(
+        bids: &[EventId],
+        start: usize,
+        remaining: usize,
+        chosen: &mut Vec<EventId>,
+        conflicts: &crate::conflict::ConflictMatrix,
+    ) -> usize {
+        let mut count = 0;
+        for i in start..bids.len() {
+            let candidate = bids[i];
+            if chosen.iter().any(|&c| conflicts.conflicts(c, candidate)) {
+                continue;
+            }
+            count += 1;
+            if remaining > 1 {
+                chosen.push(candidate);
+                count += recurse(bids, i + 1, remaining - 1, chosen, conflicts);
+                chosen.pop();
+            }
+        }
+        count
+    }
+    recurse(bids, 0, capacity, &mut Vec::new(), conflicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttributeVector;
+    use crate::conflict::{NeverConflict, PairSetConflict};
+    use crate::interest::ConstantInterest;
+    use crate::Instance;
+
+    /// Builds an instance with one user bidding for `num_events` events,
+    /// user capacity `cap`, and the given conflicting pairs.
+    fn single_user_instance(
+        num_events: usize,
+        cap: usize,
+        conflicting: &[(usize, usize)],
+    ) -> Instance {
+        let mut b = Instance::builder();
+        let events: Vec<EventId> = (0..num_events)
+            .map(|_| b.add_event(10, AttributeVector::empty()))
+            .collect();
+        b.add_user(cap, AttributeVector::empty(), events.clone());
+        let mut sigma = PairSetConflict::new();
+        for &(i, j) in conflicting {
+            sigma.add(EventId::new(i), EventId::new(j));
+        }
+        b.build(&sigma, &ConstantInterest(0.5)).unwrap()
+    }
+
+    #[test]
+    fn no_conflicts_enumerates_all_bounded_subsets() {
+        // 4 events, capacity 2 -> C(4,1) + C(4,2) = 4 + 6 = 10 sets.
+        let inst = single_user_instance(4, 2, &[]);
+        let sets = enumerate_for_user(&inst, UserId::new(0), 1000).unwrap();
+        assert_eq!(sets.len(), 10);
+        assert_eq!(count_for_user(&inst, UserId::new(0)), 10);
+    }
+
+    #[test]
+    fn capacity_one_yields_singletons_only() {
+        let inst = single_user_instance(5, 1, &[]);
+        let sets = enumerate_for_user(&inst, UserId::new(0), 1000).unwrap();
+        assert_eq!(sets.len(), 5);
+        assert!(sets.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn conflicts_prune_sets() {
+        // Events 0-1 conflict and 2-3 conflict; capacity 2.
+        // Singletons: 4. Pairs: all C(4,2)=6 minus {0,1} and {2,3} = 4.
+        let inst = single_user_instance(4, 2, &[(0, 1), (2, 3)]);
+        let sets = enumerate_for_user(&inst, UserId::new(0), 1000).unwrap();
+        assert_eq!(sets.len(), 8);
+        for s in &sets {
+            assert!(inst.conflicts().set_is_conflict_free(s));
+        }
+    }
+
+    #[test]
+    fn all_events_conflict_yields_singletons() {
+        let pairs: Vec<(usize, usize)> = (0..4)
+            .flat_map(|i| ((i + 1)..4).map(move |j| (i, j)))
+            .collect();
+        let inst = single_user_instance(4, 3, &pairs);
+        let sets = enumerate_for_user(&inst, UserId::new(0), 1000).unwrap();
+        assert_eq!(sets.len(), 4);
+        assert!(sets.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn zero_capacity_user_has_no_sets() {
+        let inst = single_user_instance(3, 0, &[]);
+        assert!(enumerate_for_user(&inst, UserId::new(0), 1000).unwrap().is_empty());
+        assert_eq!(count_for_user(&inst, UserId::new(0)), 0);
+    }
+
+    #[test]
+    fn explosion_limit_is_enforced() {
+        let inst = single_user_instance(10, 5, &[]);
+        let err = enumerate_for_user(&inst, UserId::new(0), 7).unwrap_err();
+        assert!(matches!(err, CoreError::AdmissibleSetExplosion { limit: 7, .. }));
+    }
+
+    #[test]
+    fn sets_are_closed_under_nonempty_subsets() {
+        let inst = single_user_instance(5, 3, &[(0, 4), (1, 3)]);
+        let sets = enumerate_for_user(&inst, UserId::new(0), 100_000).unwrap();
+        use std::collections::HashSet;
+        let as_keys: HashSet<Vec<EventId>> = sets.iter().cloned().collect();
+        for s in &sets {
+            if s.len() > 1 {
+                // remove each element in turn; result must also be admissible
+                for skip in 0..s.len() {
+                    let mut sub = s.clone();
+                    sub.remove(skip);
+                    assert!(as_keys.contains(&sub), "subset {sub:?} of {s:?} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_aggregates_all_users() {
+        let mut b = Instance::builder();
+        let v0 = b.add_event(10, AttributeVector::empty());
+        let v1 = b.add_event(10, AttributeVector::empty());
+        b.add_user(2, AttributeVector::empty(), vec![v0, v1]);
+        b.add_user(1, AttributeVector::empty(), vec![v1]);
+        b.add_user(3, AttributeVector::empty(), vec![]);
+        let inst = b.build(&NeverConflict, &ConstantInterest(0.1)).unwrap();
+        let index = AdmissibleSetIndex::build(&inst).unwrap();
+        assert_eq!(index.of(UserId::new(0)).len(), 3); // {v0},{v1},{v0,v1}
+        assert_eq!(index.of(UserId::new(1)).len(), 1);
+        assert!(index.of(UserId::new(2)).is_empty());
+        assert_eq!(index.total_sets(), 4);
+        assert_eq!(index.max_sets_per_user(), 3);
+    }
+
+    #[test]
+    fn enumeration_matches_counting() {
+        let inst = single_user_instance(7, 3, &[(0, 2), (1, 5), (3, 6), (2, 4)]);
+        let sets = enumerate_for_user(&inst, UserId::new(0), 100_000).unwrap();
+        assert_eq!(sets.len(), count_for_user(&inst, UserId::new(0)));
+    }
+}

@@ -1,0 +1,414 @@
+//! Event-participant arrangements, feasibility checking and utility
+//! (Definitions 4 and 7 of the paper).
+
+use crate::ids::{EventId, UserId};
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An event-participant arrangement `M ⊆ V × U`.
+///
+/// Internally the arrangement is stored per user (the set of events assigned
+/// to each user) together with the per-event load, so that both directions of
+/// the capacity constraint can be checked in O(1) per pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrangement {
+    num_events: usize,
+    /// Events assigned to each user, kept sorted.
+    per_user: Vec<Vec<EventId>>,
+    /// Number of users assigned to each event.
+    event_load: Vec<usize>,
+}
+
+impl Arrangement {
+    /// Creates an empty arrangement for an instance with the given sizes.
+    pub fn new(num_events: usize, num_users: usize) -> Self {
+        Arrangement {
+            num_events,
+            per_user: vec![Vec::new(); num_users],
+            event_load: vec![0; num_events],
+        }
+    }
+
+    /// Creates an empty arrangement sized for `instance`.
+    pub fn empty_for(instance: &Instance) -> Self {
+        Self::new(instance.num_events(), instance.num_users())
+    }
+
+    /// Number of events the arrangement was sized for.
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// Number of users the arrangement was sized for.
+    pub fn num_users(&self) -> usize {
+        self.per_user.len()
+    }
+
+    /// Adds the pair `(event, user)` to the arrangement. Returns `true` if
+    /// the pair was newly inserted, `false` if it was already present.
+    ///
+    /// No feasibility checking happens here; use [`Arrangement::violations`]
+    /// or the algorithms' own guards for that.
+    pub fn assign(&mut self, event: EventId, user: UserId) -> bool {
+        let events = &mut self.per_user[user.index()];
+        match events.binary_search(&event) {
+            Ok(_) => false,
+            Err(pos) => {
+                events.insert(pos, event);
+                self.event_load[event.index()] += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes the pair `(event, user)`. Returns `true` if it was present.
+    pub fn unassign(&mut self, event: EventId, user: UserId) -> bool {
+        let events = &mut self.per_user[user.index()];
+        match events.binary_search(&event) {
+            Ok(pos) => {
+                events.remove(pos);
+                self.event_load[event.index()] -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether the pair `(event, user)` is part of the arrangement.
+    pub fn contains(&self, event: EventId, user: UserId) -> bool {
+        self.per_user[user.index()].binary_search(&event).is_ok()
+    }
+
+    /// Number of pairs `|M|`.
+    pub fn len(&self) -> usize {
+        self.per_user.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the arrangement is empty.
+    pub fn is_empty(&self) -> bool {
+        self.per_user.iter().all(Vec::is_empty)
+    }
+
+    /// Events assigned to `user`, sorted by id.
+    pub fn events_of(&self, user: UserId) -> &[EventId] {
+        &self.per_user[user.index()]
+    }
+
+    /// Number of users assigned to `event`.
+    pub fn load_of(&self, event: EventId) -> usize {
+        self.event_load[event.index()]
+    }
+
+    /// Iterates over all `(event, user)` pairs in the arrangement.
+    pub fn pairs(&self) -> impl Iterator<Item = (EventId, UserId)> + '_ {
+        self.per_user.iter().enumerate().flat_map(|(u, events)| {
+            events.iter().map(move |&v| (v, UserId::new(u)))
+        })
+    }
+
+    /// Builds an arrangement from a list of pairs (duplicates are collapsed).
+    pub fn from_pairs(
+        num_events: usize,
+        num_users: usize,
+        pairs: impl IntoIterator<Item = (EventId, UserId)>,
+    ) -> Self {
+        let mut m = Self::new(num_events, num_users);
+        for (v, u) in pairs {
+            m.assign(v, u);
+        }
+        m
+    }
+
+    /// Checks the arrangement against the bid, capacity and conflict
+    /// constraints of Definition 4 and returns every violation found.
+    pub fn violations(&self, instance: &Instance) -> Vec<Violation> {
+        let mut out = Vec::new();
+
+        // Bid constraint and per-user capacity / conflicts.
+        for (u_idx, events) in self.per_user.iter().enumerate() {
+            let user_id = UserId::new(u_idx);
+            let user = instance.user(user_id);
+            for &v in events {
+                if !user.has_bid(v) {
+                    out.push(Violation::Bid { event: v, user: user_id });
+                }
+            }
+            if events.len() > user.capacity {
+                out.push(Violation::UserCapacity {
+                    user: user_id,
+                    assigned: events.len(),
+                    capacity: user.capacity,
+                });
+            }
+            for (i, &a) in events.iter().enumerate() {
+                for &b in &events[i + 1..] {
+                    if instance.conflicts().conflicts(a, b) {
+                        out.push(Violation::Conflict {
+                            user: user_id,
+                            first: a,
+                            second: b,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Per-event capacity.
+        for (v_idx, &load) in self.event_load.iter().enumerate() {
+            let event_id = EventId::new(v_idx);
+            let cap = instance.event(event_id).capacity;
+            if load > cap {
+                out.push(Violation::EventCapacity {
+                    event: event_id,
+                    assigned: load,
+                    capacity: cap,
+                });
+            }
+        }
+
+        out
+    }
+
+    /// Whether the arrangement satisfies all constraints of Definition 4.
+    pub fn is_feasible(&self, instance: &Instance) -> bool {
+        self.violations(instance).is_empty()
+    }
+
+    /// Utility of the arrangement per Definition 7, broken down into the
+    /// interest and interaction components.
+    pub fn utility(&self, instance: &Instance) -> UtilityBreakdown {
+        let beta = instance.beta();
+        let mut interest = 0.0;
+        let mut interaction = 0.0;
+        for (v, u) in self.pairs() {
+            interest += instance.interest(v, u);
+            interaction += instance.interaction(u);
+        }
+        UtilityBreakdown {
+            total: beta * interest + (1.0 - beta) * interaction,
+            interest_sum: interest,
+            interaction_sum: interaction,
+            beta,
+        }
+    }
+
+    /// Shortcut for `self.utility(instance).total`.
+    pub fn utility_value(&self, instance: &Instance) -> f64 {
+        self.utility(instance).total
+    }
+}
+
+/// Utility of an arrangement with its two components (Definition 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityBreakdown {
+    /// `β · Σ SI + (1 − β) · Σ D`.
+    pub total: f64,
+    /// `Σ_{(v,u) ∈ M} SI(l_v, l_u)` (unweighted).
+    pub interest_sum: f64,
+    /// `Σ_{(v,u) ∈ M} D(G, u)` (unweighted).
+    pub interaction_sum: f64,
+    /// The β the total was computed with.
+    pub beta: f64,
+}
+
+/// A violation of one of the feasibility constraints of Definition 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A user is assigned an event they did not bid for.
+    Bid {
+        /// The assigned event.
+        event: EventId,
+        /// The user who never bid for it.
+        user: UserId,
+    },
+    /// An event hosts more users than its capacity.
+    EventCapacity {
+        /// The overloaded event.
+        event: EventId,
+        /// Number of users assigned.
+        assigned: usize,
+        /// The event's capacity `c_v`.
+        capacity: usize,
+    },
+    /// A user attends more events than their capacity.
+    UserCapacity {
+        /// The overloaded user.
+        user: UserId,
+        /// Number of events assigned.
+        assigned: usize,
+        /// The user's capacity `c_u`.
+        capacity: usize,
+    },
+    /// A user is assigned two conflicting events.
+    Conflict {
+        /// The user holding both events.
+        user: UserId,
+        /// First conflicting event.
+        first: EventId,
+        /// Second conflicting event.
+        second: EventId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Bid { event, user } => {
+                write!(f, "{user} is assigned {event} without bidding for it")
+            }
+            Violation::EventCapacity { event, assigned, capacity } => {
+                write!(f, "{event} hosts {assigned} users but has capacity {capacity}")
+            }
+            Violation::UserCapacity { user, assigned, capacity } => {
+                write!(f, "{user} attends {assigned} events but has capacity {capacity}")
+            }
+            Violation::Conflict { user, first, second } => {
+                write!(f, "{user} is assigned conflicting events {first} and {second}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttributeVector;
+    use crate::conflict::PairSetConflict;
+    use crate::instance::Instance;
+    use crate::interest::ConstantInterest;
+
+    /// 3 events (capacities 1, 2, 1; events 0 and 1 conflict), 2 users.
+    fn sample_instance() -> Instance {
+        let mut b = Instance::builder();
+        let v0 = b.add_event(1, AttributeVector::empty());
+        let v1 = b.add_event(2, AttributeVector::empty());
+        let v2 = b.add_event(1, AttributeVector::empty());
+        b.add_user(2, AttributeVector::empty(), vec![v0, v1, v2]);
+        b.add_user(1, AttributeVector::empty(), vec![v0, v1]);
+        b.interaction_scores(vec![0.4, 0.8]);
+        b.beta(0.5);
+        let mut sigma = PairSetConflict::new();
+        sigma.add(v0, v1);
+        b.build(&sigma, &ConstantInterest(0.6)).unwrap()
+    }
+
+    #[test]
+    fn assign_and_unassign_maintain_loads() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        assert!(m.assign(EventId::new(1), UserId::new(0)));
+        assert!(!m.assign(EventId::new(1), UserId::new(0)));
+        assert_eq!(m.load_of(EventId::new(1)), 1);
+        assert_eq!(m.len(), 1);
+        assert!(m.unassign(EventId::new(1), UserId::new(0)));
+        assert!(!m.unassign(EventId::new(1), UserId::new(0)));
+        assert!(m.is_empty());
+        assert_eq!(m.load_of(EventId::new(1)), 0);
+    }
+
+    #[test]
+    fn feasible_arrangement_has_no_violations() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        m.assign(EventId::new(1), UserId::new(0));
+        m.assign(EventId::new(2), UserId::new(0));
+        m.assign(EventId::new(0), UserId::new(1));
+        assert!(m.is_feasible(&inst));
+    }
+
+    #[test]
+    fn bid_violation_detected() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        m.assign(EventId::new(2), UserId::new(1)); // user 1 never bid for v2
+        let v = m.violations(&inst);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::Bid { .. }));
+    }
+
+    #[test]
+    fn event_capacity_violation_detected() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        m.assign(EventId::new(0), UserId::new(0));
+        m.assign(EventId::new(0), UserId::new(1)); // capacity of v0 is 1
+        let v = m.violations(&inst);
+        assert!(v.iter().any(|x| matches!(x, Violation::EventCapacity { event, assigned: 2, capacity: 1 } if *event == EventId::new(0))));
+    }
+
+    #[test]
+    fn user_capacity_violation_detected() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        // user 1 has capacity 1 but gets two events.
+        m.assign(EventId::new(0), UserId::new(1));
+        m.assign(EventId::new(1), UserId::new(1));
+        let v = m.violations(&inst);
+        assert!(v.iter().any(|x| matches!(x, Violation::UserCapacity { user, assigned: 2, capacity: 1 } if *user == UserId::new(1))));
+    }
+
+    #[test]
+    fn conflict_violation_detected() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        m.assign(EventId::new(0), UserId::new(0));
+        m.assign(EventId::new(1), UserId::new(0)); // v0 and v1 conflict
+        let v = m.violations(&inst);
+        assert!(v.iter().any(|x| matches!(x, Violation::Conflict { .. })));
+    }
+
+    #[test]
+    fn utility_matches_definition_seven() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        m.assign(EventId::new(1), UserId::new(0));
+        m.assign(EventId::new(1), UserId::new(1));
+        let u = m.utility(&inst);
+        // interests: 0.6 + 0.6; interactions: 0.4 + 0.8
+        assert!((u.interest_sum - 1.2).abs() < 1e-12);
+        assert!((u.interaction_sum - 1.2).abs() < 1e-12);
+        assert!((u.total - (0.5 * 1.2 + 0.5 * 1.2)).abs() < 1e-12);
+        assert_eq!(u.beta, 0.5);
+    }
+
+    #[test]
+    fn from_pairs_collapses_duplicates() {
+        let inst = sample_instance();
+        let m = Arrangement::from_pairs(
+            inst.num_events(),
+            inst.num_users(),
+            vec![
+                (EventId::new(1), UserId::new(0)),
+                (EventId::new(1), UserId::new(0)),
+                (EventId::new(0), UserId::new(1)),
+            ],
+        );
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.load_of(EventId::new(1)), 1);
+    }
+
+    #[test]
+    fn pairs_roundtrip() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        m.assign(EventId::new(2), UserId::new(0));
+        m.assign(EventId::new(0), UserId::new(1));
+        let pairs: Vec<_> = m.pairs().collect();
+        let rebuilt = Arrangement::from_pairs(inst.num_events(), inst.num_users(), pairs);
+        assert_eq!(m, rebuilt);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation::EventCapacity {
+            event: EventId::new(3),
+            assigned: 5,
+            capacity: 2,
+        };
+        let s = v.to_string();
+        assert!(s.contains("v3"));
+        assert!(s.contains('5'));
+        assert!(s.contains('2'));
+    }
+}

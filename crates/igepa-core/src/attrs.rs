@@ -1,0 +1,207 @@
+//! Attribute vectors attached to events and users.
+//!
+//! Definition 1 and 2 of the paper associate an *attribute vector* `l_v` /
+//! `l_u` with every event and user. The vector serves two purposes:
+//!
+//! * **conflict detection** between events (e.g. timestamp and location — two
+//!   events that overlap in time conflict), handled by
+//!   [`crate::conflict`]; and
+//! * **interest computation** between a user and an event (e.g. category
+//!   weights), handled by [`crate::interest`].
+//!
+//! [`AttributeVector`] therefore bundles an optional [`TimeWindow`], an
+//! optional [`Location`] and a dense vector of category weights. All parts
+//! are optional so that purely synthetic workloads (which use an explicit
+//! conflict matrix and an explicit interest table) can leave them empty.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open time interval `[start, start + duration)` in abstract minutes.
+///
+/// The Meetup dataset used by the paper tags each event with a start time and
+/// a duration; two events conflict iff their windows overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Start time in minutes since an arbitrary epoch.
+    pub start: i64,
+    /// Duration in minutes; must be positive for a meaningful window.
+    pub duration: i64,
+}
+
+impl TimeWindow {
+    /// Creates a new time window.
+    pub fn new(start: i64, duration: i64) -> Self {
+        TimeWindow { start, duration }
+    }
+
+    /// End of the window (exclusive).
+    #[inline]
+    pub fn end(&self) -> i64 {
+        self.start + self.duration
+    }
+
+    /// Whether two windows overlap.
+    ///
+    /// Windows that merely touch (one ends exactly when the other starts) do
+    /// *not* overlap: a user can attend back-to-back events.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeWindow) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// A planar location (e.g. projected longitude/latitude of a venue).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Location {
+    /// X coordinate (abstract units).
+    pub x: f64,
+    /// Y coordinate (abstract units).
+    pub y: f64,
+}
+
+impl Location {
+    /// Creates a new location.
+    pub fn new(x: f64, y: f64) -> Self {
+        Location { x, y }
+    }
+
+    /// Euclidean distance to another location.
+    pub fn distance(&self, other: &Location) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Attribute vector `l_v` / `l_u` of an event or user.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AttributeVector {
+    /// Time window of an event. `None` for users and for events in purely
+    /// synthetic workloads that define conflicts explicitly.
+    pub time: Option<TimeWindow>,
+    /// Venue location of an event or home location of a user.
+    pub location: Option<Location>,
+    /// Dense category-affinity weights. For events these describe the topics
+    /// the event covers; for users, the topics the user cares about. Interest
+    /// functions compare the two vectors.
+    pub categories: Vec<f64>,
+}
+
+impl AttributeVector {
+    /// An empty attribute vector (no time, no location, no categories).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds an attribute vector that only carries category weights.
+    pub fn from_categories(categories: Vec<f64>) -> Self {
+        AttributeVector {
+            time: None,
+            location: None,
+            categories,
+        }
+    }
+
+    /// Builds an attribute vector that only carries a time window.
+    pub fn from_time(start: i64, duration: i64) -> Self {
+        AttributeVector {
+            time: Some(TimeWindow::new(start, duration)),
+            location: None,
+            categories: Vec::new(),
+        }
+    }
+
+    /// Sets the time window, consuming and returning `self` (builder style).
+    pub fn with_time(mut self, start: i64, duration: i64) -> Self {
+        self.time = Some(TimeWindow::new(start, duration));
+        self
+    }
+
+    /// Sets the location, consuming and returning `self` (builder style).
+    pub fn with_location(mut self, x: f64, y: f64) -> Self {
+        self.location = Some(Location::new(x, y));
+        self
+    }
+
+    /// Sets the category weights, consuming and returning `self`.
+    pub fn with_categories(mut self, categories: Vec<f64>) -> Self {
+        self.categories = categories;
+        self
+    }
+
+    /// Number of category dimensions carried by this vector.
+    pub fn num_categories(&self) -> usize {
+        self.categories.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_window_end_is_start_plus_duration() {
+        let w = TimeWindow::new(100, 60);
+        assert_eq!(w.end(), 160);
+    }
+
+    #[test]
+    fn overlapping_windows_detected() {
+        let a = TimeWindow::new(0, 60);
+        let b = TimeWindow::new(30, 60);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_overlap() {
+        let a = TimeWindow::new(0, 60);
+        let b = TimeWindow::new(120, 30);
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+    }
+
+    #[test]
+    fn touching_windows_do_not_overlap() {
+        let a = TimeWindow::new(0, 60);
+        let b = TimeWindow::new(60, 60);
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+    }
+
+    #[test]
+    fn nested_windows_overlap() {
+        let outer = TimeWindow::new(0, 200);
+        let inner = TimeWindow::new(50, 10);
+        assert!(outer.overlaps(&inner));
+        assert!(inner.overlaps(&outer));
+    }
+
+    #[test]
+    fn location_distance_is_euclidean() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_style_attribute_vector() {
+        let v = AttributeVector::empty()
+            .with_time(10, 90)
+            .with_location(1.0, 2.0)
+            .with_categories(vec![0.5, 0.5]);
+        assert_eq!(v.time.unwrap().end(), 100);
+        assert_eq!(v.location.unwrap().x, 1.0);
+        assert_eq!(v.num_categories(), 2);
+    }
+
+    #[test]
+    fn from_constructors() {
+        let c = AttributeVector::from_categories(vec![1.0]);
+        assert!(c.time.is_none());
+        assert_eq!(c.categories, vec![1.0]);
+        let t = AttributeVector::from_time(5, 5);
+        assert!(t.categories.is_empty());
+        assert_eq!(t.time.unwrap().start, 5);
+    }
+}

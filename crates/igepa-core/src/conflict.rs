@@ -1,0 +1,319 @@
+//! Conflict functions between events (Definition 3 of the paper).
+//!
+//! The conflict function `σ(l_v, l_v') ∈ {0, 1}` tells whether two events
+//! conflict — e.g. because they overlap in time — in which case no user may
+//! be assigned to both. This module provides:
+//!
+//! * the [`ConflictFn`] trait, the pluggable σ;
+//! * common implementations: [`TimeOverlapConflict`] (used for the Meetup
+//!   dataset), [`PairSetConflict`] (explicit pairs, used by the synthetic
+//!   generator), [`NeverConflict`] and [`AlwaysConflict`] (degenerate cases
+//!   useful in tests and ablations); and
+//! * [`ConflictMatrix`], a precomputed symmetric boolean matrix over all
+//!   events of an instance, which is what the algorithms actually query.
+
+use crate::event::Event;
+use crate::ids::EventId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The conflict function σ of Definition 3.
+///
+/// Implementations must be symmetric: `conflicts(a, b) == conflicts(b, a)`.
+/// An event never conflicts with itself as far as the model is concerned;
+/// the capacity constraint (`c_u`) already prevents duplicate assignment of
+/// the same event and [`ConflictMatrix`] forces the diagonal to `false`.
+pub trait ConflictFn {
+    /// Returns `true` iff events `a` and `b` conflict (σ = 1).
+    fn conflicts(&self, a: &Event, b: &Event) -> bool;
+}
+
+/// Two events conflict iff both carry a time window and the windows overlap.
+///
+/// This is the σ used for the paper's real Meetup dataset: "if two events
+/// overlap in time, they conflict with each other".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeOverlapConflict;
+
+impl ConflictFn for TimeOverlapConflict {
+    fn conflicts(&self, a: &Event, b: &Event) -> bool {
+        match (&a.attrs.time, &b.attrs.time) {
+            (Some(ta), Some(tb)) => ta.overlaps(tb),
+            _ => false,
+        }
+    }
+}
+
+/// No two events ever conflict. Setting σ ≡ 0 reduces IGEPA to a pure
+/// many-to-many capacitated assignment; useful in tests and ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverConflict;
+
+impl ConflictFn for NeverConflict {
+    fn conflicts(&self, _a: &Event, _b: &Event) -> bool {
+        false
+    }
+}
+
+/// Every pair of distinct events conflicts. With σ ≡ 1 each user can attend
+/// at most one event regardless of `c_u`; useful in tests and ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysConflict;
+
+impl ConflictFn for AlwaysConflict {
+    fn conflicts(&self, a: &Event, b: &Event) -> bool {
+        a.id != b.id
+    }
+}
+
+/// Conflicts given by an explicit set of unordered event pairs.
+///
+/// The synthetic generator of the paper declares "two events conflict with
+/// each other with probability `pcf`"; it materialises the sampled pairs
+/// into this structure.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PairSetConflict {
+    pairs: BTreeSet<(EventId, EventId)>,
+}
+
+impl PairSetConflict {
+    /// Creates an empty conflict set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares that `a` and `b` conflict. Order does not matter and
+    /// self-pairs are ignored.
+    pub fn add(&mut self, a: EventId, b: EventId) {
+        if a == b {
+            return;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.pairs.insert(key);
+    }
+
+    /// Number of conflicting pairs recorded.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pair has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether the unordered pair `{a, b}` is recorded as conflicting.
+    pub fn contains(&self, a: EventId, b: EventId) -> bool {
+        if a == b {
+            return false;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.pairs.contains(&key)
+    }
+
+    /// Iterates over the recorded pairs in canonical `(lo, hi)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+impl ConflictFn for PairSetConflict {
+    fn conflicts(&self, a: &Event, b: &Event) -> bool {
+        self.contains(a.id, b.id)
+    }
+}
+
+/// A precomputed, symmetric conflict matrix over the events of an instance.
+///
+/// Algorithms query conflicts in inner loops (admissible-set enumeration,
+/// greedy feasibility checks), so the matrix stores the answers densely as a
+/// flat bit-per-pair table. The diagonal is always `false`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictMatrix {
+    n: usize,
+    /// Row-major `n × n` boolean table.
+    bits: Vec<bool>,
+}
+
+impl ConflictMatrix {
+    /// Builds the matrix by evaluating `sigma` on every unordered pair of
+    /// the given events.
+    pub fn build(events: &[Event], sigma: &dyn ConflictFn) -> Self {
+        let n = events.len();
+        let mut bits = vec![false; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sigma.conflicts(&events[i], &events[j]) {
+                    bits[i * n + j] = true;
+                    bits[j * n + i] = true;
+                }
+            }
+        }
+        ConflictMatrix { n, bits }
+    }
+
+    /// Builds a matrix with no conflicts over `n` events.
+    pub fn none(n: usize) -> Self {
+        ConflictMatrix {
+            n,
+            bits: vec![false; n * n],
+        }
+    }
+
+    /// Number of events covered by the matrix.
+    pub fn num_events(&self) -> usize {
+        self.n
+    }
+
+    /// Whether events `a` and `b` conflict. The diagonal is always `false`.
+    #[inline]
+    pub fn conflicts(&self, a: EventId, b: EventId) -> bool {
+        debug_assert!(a.index() < self.n && b.index() < self.n);
+        self.bits[a.index() * self.n + b.index()]
+    }
+
+    /// Number of unordered conflicting pairs.
+    pub fn num_conflicting_pairs(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.bits[i * self.n + j] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Conflict density: fraction of unordered pairs that conflict.
+    /// Returns 0 when there are fewer than two events.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let total = self.n * (self.n - 1) / 2;
+        self.num_conflicting_pairs() as f64 / total as f64
+    }
+
+    /// Events conflicting with `event`, in increasing id order.
+    pub fn conflicting_events(&self, event: EventId) -> Vec<EventId> {
+        let i = event.index();
+        (0..self.n)
+            .filter(|&j| self.bits[i * self.n + j])
+            .map(EventId::new)
+            .collect()
+    }
+
+    /// Checks that a set of events is pairwise conflict-free.
+    pub fn set_is_conflict_free(&self, events: &[EventId]) -> bool {
+        for (idx, &a) in events.iter().enumerate() {
+            for &b in &events[idx + 1..] {
+                if self.conflicts(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttributeVector;
+
+    fn timed_event(id: usize, start: i64, duration: i64) -> Event {
+        Event::new(
+            EventId::new(id),
+            10,
+            AttributeVector::from_time(start, duration),
+        )
+    }
+
+    fn plain_event(id: usize) -> Event {
+        Event::new(EventId::new(id), 10, AttributeVector::empty())
+    }
+
+    #[test]
+    fn time_overlap_conflict_matches_window_overlap() {
+        let a = timed_event(0, 0, 60);
+        let b = timed_event(1, 30, 60);
+        let c = timed_event(2, 100, 10);
+        let sigma = TimeOverlapConflict;
+        assert!(sigma.conflicts(&a, &b));
+        assert!(!sigma.conflicts(&a, &c));
+    }
+
+    #[test]
+    fn time_overlap_without_windows_never_conflicts() {
+        let a = plain_event(0);
+        let b = timed_event(1, 0, 60);
+        assert!(!TimeOverlapConflict.conflicts(&a, &b));
+    }
+
+    #[test]
+    fn never_and_always_conflict() {
+        let a = plain_event(0);
+        let b = plain_event(1);
+        assert!(!NeverConflict.conflicts(&a, &b));
+        assert!(AlwaysConflict.conflicts(&a, &b));
+        assert!(!AlwaysConflict.conflicts(&a, &a));
+    }
+
+    #[test]
+    fn pair_set_conflict_is_symmetric_and_ignores_self_pairs() {
+        let mut pairs = PairSetConflict::new();
+        pairs.add(EventId::new(2), EventId::new(0));
+        pairs.add(EventId::new(1), EventId::new(1));
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs.contains(EventId::new(0), EventId::new(2)));
+        assert!(pairs.contains(EventId::new(2), EventId::new(0)));
+        assert!(!pairs.contains(EventId::new(1), EventId::new(1)));
+    }
+
+    #[test]
+    fn matrix_build_is_symmetric_with_false_diagonal() {
+        let events = vec![timed_event(0, 0, 60), timed_event(1, 30, 60), timed_event(2, 200, 60)];
+        let m = ConflictMatrix::build(&events, &TimeOverlapConflict);
+        assert!(m.conflicts(EventId::new(0), EventId::new(1)));
+        assert!(m.conflicts(EventId::new(1), EventId::new(0)));
+        assert!(!m.conflicts(EventId::new(0), EventId::new(0)));
+        assert!(!m.conflicts(EventId::new(0), EventId::new(2)));
+        assert_eq!(m.num_conflicting_pairs(), 1);
+    }
+
+    #[test]
+    fn matrix_density() {
+        let events: Vec<Event> = (0..4).map(plain_event).collect();
+        let m = ConflictMatrix::build(&events, &AlwaysConflict);
+        assert!((m.density() - 1.0).abs() < 1e-12);
+        let m0 = ConflictMatrix::build(&events, &NeverConflict);
+        assert_eq!(m0.density(), 0.0);
+        assert_eq!(ConflictMatrix::none(1).density(), 0.0);
+    }
+
+    #[test]
+    fn conflicting_events_lists_neighbours() {
+        let mut pairs = PairSetConflict::new();
+        pairs.add(EventId::new(0), EventId::new(2));
+        pairs.add(EventId::new(0), EventId::new(3));
+        let events: Vec<Event> = (0..4).map(plain_event).collect();
+        let m = ConflictMatrix::build(&events, &pairs);
+        assert_eq!(
+            m.conflicting_events(EventId::new(0)),
+            vec![EventId::new(2), EventId::new(3)]
+        );
+        assert!(m.conflicting_events(EventId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn set_is_conflict_free_checks_all_pairs() {
+        let mut pairs = PairSetConflict::new();
+        pairs.add(EventId::new(1), EventId::new(2));
+        let events: Vec<Event> = (0..3).map(plain_event).collect();
+        let m = ConflictMatrix::build(&events, &pairs);
+        assert!(m.set_is_conflict_free(&[EventId::new(0), EventId::new(1)]));
+        assert!(!m.set_is_conflict_free(&[EventId::new(0), EventId::new(1), EventId::new(2)]));
+        assert!(m.set_is_conflict_free(&[]));
+    }
+}

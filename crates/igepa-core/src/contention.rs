@@ -1,0 +1,250 @@
+//! Workload contention statistics.
+//!
+//! The shape of the paper's results is driven by *contention*: how many
+//! bidders compete for each seat, and how unevenly the demand is spread
+//! over the events. These statistics characterise a workload before any
+//! algorithm runs — EXPERIMENTS.md reports them alongside each table so the
+//! reader can judge how much room the LP has to arbitrate (Table II's
+//! near-tie between LP-packing and GG, for instance, is explained by its
+//! near-zero contention).
+
+use crate::ids::{EventId, UserId};
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+
+/// Demand/supply statistics of one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionStats {
+    /// Number of events with at least one bidder.
+    pub contested_events: usize,
+    /// Number of events with more bidders than capacity.
+    pub oversubscribed_events: usize,
+    /// Mean of `|N_v| / c_v` over events with positive capacity and at least
+    /// one bidder (1.0 means demand exactly matches supply).
+    pub mean_contention: f64,
+    /// Maximum `|N_v| / c_v` over the same events.
+    pub max_contention: f64,
+    /// Total demand `Σ_u c_u` (an upper bound on the pairs any arrangement
+    /// can contain from the user side).
+    pub total_user_capacity: usize,
+    /// Total supply `Σ_v c_v`.
+    pub total_event_capacity: usize,
+    /// Gini coefficient of the per-event bidder counts (0 = perfectly even
+    /// demand, → 1 = all demand on one event).
+    pub bid_gini: f64,
+    /// Mean fraction of a user's bid set that is pairwise conflict-free,
+    /// i.e. how much of the bid set a user could attend if capacities were
+    /// unlimited. Lower values mean conflicts bind harder.
+    pub mean_compatible_bid_fraction: f64,
+}
+
+impl ContentionStats {
+    /// Computes the contention statistics of an instance.
+    pub fn of(instance: &Instance) -> Self {
+        let mut contested_events = 0usize;
+        let mut oversubscribed_events = 0usize;
+        let mut contention_sum = 0.0;
+        let mut contention_count = 0usize;
+        let mut max_contention: f64 = 0.0;
+        let mut bidder_counts: Vec<f64> = Vec::with_capacity(instance.num_events());
+
+        for event in instance.events() {
+            let bidders = event.num_bidders();
+            bidder_counts.push(bidders as f64);
+            if bidders == 0 {
+                continue;
+            }
+            contested_events += 1;
+            if event.capacity > 0 {
+                let ratio = bidders as f64 / event.capacity as f64;
+                contention_sum += ratio;
+                contention_count += 1;
+                max_contention = max_contention.max(ratio);
+                if bidders > event.capacity {
+                    oversubscribed_events += 1;
+                }
+            } else {
+                oversubscribed_events += 1;
+            }
+        }
+
+        let mut compatible_sum = 0.0;
+        let mut compatible_count = 0usize;
+        for user in instance.users() {
+            if user.bids.is_empty() {
+                continue;
+            }
+            let compatible = largest_compatible_subset(instance, user.id);
+            compatible_sum += compatible as f64 / user.bids.len() as f64;
+            compatible_count += 1;
+        }
+
+        ContentionStats {
+            contested_events,
+            oversubscribed_events,
+            mean_contention: if contention_count > 0 {
+                contention_sum / contention_count as f64
+            } else {
+                0.0
+            },
+            max_contention,
+            total_user_capacity: instance.users().iter().map(|u| u.capacity).sum(),
+            total_event_capacity: instance.events().iter().map(|e| e.capacity).sum(),
+            bid_gini: gini(&bidder_counts),
+            mean_compatible_bid_fraction: if compatible_count > 0 {
+                compatible_sum / compatible_count as f64
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+/// Size of a large conflict-free subset of the user's bids, found greedily
+/// (ordering by how many other bids each event conflicts with, fewest
+/// first). Exact maximum independent set is unnecessary here — the statistic
+/// is descriptive.
+fn largest_compatible_subset(instance: &Instance, user: UserId) -> usize {
+    let bids = &instance.user(user).bids;
+    let conflicts_within = |v: EventId| {
+        bids.iter()
+            .filter(|&&w| w != v && instance.conflicts().conflicts(v, w))
+            .count()
+    };
+    let mut ordered: Vec<EventId> = bids.clone();
+    ordered.sort_by_key(|&v| conflicts_within(v));
+    let mut chosen: Vec<EventId> = Vec::new();
+    for v in ordered {
+        if chosen.iter().all(|&w| !instance.conflicts().conflicts(v, w)) {
+            chosen.push(v);
+        }
+    }
+    chosen.len()
+}
+
+/// Gini coefficient of a non-negative sample (0 for empty or all-zero input).
+fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = values.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // G = (2·Σ i·x_i) / (n·Σ x_i) − (n + 1)/n with 1-based ranks i.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i + 1) as f64 * x)
+        .sum();
+    (2.0 * weighted / (n as f64 * total) - (n as f64 + 1.0) / n as f64).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttributeVector;
+    use crate::conflict::{NeverConflict, PairSetConflict};
+    use crate::interest::ConstantInterest;
+
+    fn build(
+        event_caps: &[usize],
+        user_bids: &[Vec<usize>],
+        conflicts: &[(usize, usize)],
+    ) -> Instance {
+        let mut b = Instance::builder();
+        let events: Vec<EventId> = event_caps
+            .iter()
+            .map(|&c| b.add_event(c, AttributeVector::empty()))
+            .collect();
+        for bids in user_bids {
+            let ids = bids.iter().map(|&i| events[i]).collect();
+            b.add_user(2, AttributeVector::empty(), ids);
+        }
+        b.interaction_scores(vec![0.5; user_bids.len()]);
+        let mut sigma = PairSetConflict::new();
+        for &(x, y) in conflicts {
+            sigma.add(events[x], events[y]);
+        }
+        b.build(&sigma, &ConstantInterest(0.5)).unwrap()
+    }
+
+    #[test]
+    fn uncontested_instance_has_low_contention() {
+        let instance = build(&[10, 10], &[vec![0], vec![1]], &[]);
+        let stats = ContentionStats::of(&instance);
+        assert_eq!(stats.contested_events, 2);
+        assert_eq!(stats.oversubscribed_events, 0);
+        assert!(stats.mean_contention <= 0.1 + 1e-12);
+        assert_eq!(stats.total_event_capacity, 20);
+        assert_eq!(stats.total_user_capacity, 4);
+        assert!((stats.mean_compatible_bid_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversubscription_is_counted() {
+        // One event of capacity 1 with three bidders.
+        let instance = build(&[1], &[vec![0], vec![0], vec![0]], &[]);
+        let stats = ContentionStats::of(&instance);
+        assert_eq!(stats.contested_events, 1);
+        assert_eq!(stats.oversubscribed_events, 1);
+        assert!((stats.mean_contention - 3.0).abs() < 1e-12);
+        assert!((stats.max_contention - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_distinguishes_even_and_skewed_demand() {
+        let even = build(&[5, 5], &[vec![0], vec![1], vec![0], vec![1]], &[]);
+        let skewed = build(&[5, 5], &[vec![0], vec![0], vec![0], vec![0]], &[]);
+        let g_even = ContentionStats::of(&even).bid_gini;
+        let g_skewed = ContentionStats::of(&skewed).bid_gini;
+        assert!(g_even < 1e-9, "even demand should have Gini ≈ 0, got {g_even}");
+        assert!(g_skewed > 0.4, "skewed demand should have high Gini, got {g_skewed}");
+    }
+
+    #[test]
+    fn conflicting_bids_lower_the_compatible_fraction() {
+        // A user bids for three mutually conflicting events: only one is
+        // attendable, so the compatible fraction is 1/3.
+        let instance = build(
+            &[5, 5, 5],
+            &[vec![0, 1, 2]],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
+        let stats = ContentionStats::of(&instance);
+        assert!((stats.mean_compatible_bid_fraction - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_without_bidders_are_excluded_from_contention() {
+        let instance = build(&[3, 3], &[vec![0]], &[]);
+        let stats = ContentionStats::of(&instance);
+        assert_eq!(stats.contested_events, 1);
+        assert!(stats.max_contention < 1.0);
+    }
+
+    #[test]
+    fn empty_instance_yields_neutral_statistics() {
+        let mut b = Instance::builder();
+        b.add_event(2, AttributeVector::empty());
+        b.interaction_scores(vec![]);
+        let instance = b.build(&NeverConflict, &ConstantInterest(0.1)).unwrap();
+        let stats = ContentionStats::of(&instance);
+        assert_eq!(stats.contested_events, 0);
+        assert_eq!(stats.mean_contention, 0.0);
+        assert_eq!(stats.bid_gini, 0.0);
+        assert_eq!(stats.mean_compatible_bid_fraction, 1.0);
+    }
+
+    #[test]
+    fn gini_helper_edge_cases() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        assert!(gini(&[1.0, 1.0, 1.0]) < 1e-12);
+        // One vertex holds everything: Gini → (n−1)/n = 0.75 for n = 4.
+        assert!((gini(&[0.0, 0.0, 0.0, 8.0]) - 0.75).abs() < 1e-9);
+    }
+}

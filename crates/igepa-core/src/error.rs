@@ -1,0 +1,129 @@
+//! Error types for the IGEPA problem model.
+
+use crate::ids::{EventId, UserId};
+use std::fmt;
+
+/// Errors raised while constructing or validating an IGEPA instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A user bids for an event id that does not exist in the instance.
+    UnknownEventInBid {
+        /// The bidding user.
+        user: UserId,
+        /// The unknown event id found in the bid set.
+        event: EventId,
+    },
+    /// The per-user interaction score vector does not have one entry per user.
+    InteractionLengthMismatch {
+        /// Number of users in the instance.
+        users: usize,
+        /// Length of the provided interaction vector.
+        scores: usize,
+    },
+    /// An interaction score falls outside `[0, 1]`.
+    InteractionOutOfRange {
+        /// The offending user.
+        user: UserId,
+        /// The offending value.
+        value: f64,
+    },
+    /// The balance parameter β falls outside `[0, 1]`.
+    InvalidBeta(f64),
+    /// An interest value returned by the interest function falls outside `[0, 1]`.
+    InterestOutOfRange {
+        /// Event side of the pair.
+        event: EventId,
+        /// User side of the pair.
+        user: UserId,
+        /// The offending value.
+        value: f64,
+    },
+    /// Event ids are not densely numbered `0..|V|` in order.
+    NonDenseEventIds {
+        /// Position in the event table.
+        position: usize,
+        /// Id found at that position.
+        found: EventId,
+    },
+    /// User ids are not densely numbered `0..|U|` in order.
+    NonDenseUserIds {
+        /// Position in the user table.
+        position: usize,
+        /// Id found at that position.
+        found: UserId,
+    },
+    /// Admissible-set enumeration would exceed the configured limit.
+    AdmissibleSetExplosion {
+        /// The user whose enumeration overflowed.
+        user: UserId,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownEventInBid { user, event } => {
+                write!(f, "user {user} bids for unknown event {event}")
+            }
+            CoreError::InteractionLengthMismatch { users, scores } => write!(
+                f,
+                "interaction score vector has {scores} entries but the instance has {users} users"
+            ),
+            CoreError::InteractionOutOfRange { user, value } => write!(
+                f,
+                "interaction score {value} of user {user} is outside [0, 1]"
+            ),
+            CoreError::InvalidBeta(beta) => {
+                write!(f, "balance parameter beta = {beta} is outside [0, 1]")
+            }
+            CoreError::InterestOutOfRange { event, user, value } => write!(
+                f,
+                "interest value {value} for pair ({event}, {user}) is outside [0, 1]"
+            ),
+            CoreError::NonDenseEventIds { position, found } => write!(
+                f,
+                "event table position {position} holds id {found}; ids must be dense and ordered"
+            ),
+            CoreError::NonDenseUserIds { position, found } => write!(
+                f,
+                "user table position {position} holds id {found}; ids must be dense and ordered"
+            ),
+            CoreError::AdmissibleSetExplosion { user, limit } => write!(
+                f,
+                "admissible event sets of user {user} exceed the enumeration limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_entities() {
+        let err = CoreError::UnknownEventInBid {
+            user: UserId::new(3),
+            event: EventId::new(9),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("u3"));
+        assert!(msg.contains("v9"));
+    }
+
+    #[test]
+    fn display_for_beta() {
+        let err = CoreError::InvalidBeta(1.5);
+        assert!(err.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let err: Box<dyn std::error::Error> = Box::new(CoreError::InvalidBeta(-0.1));
+        assert!(err.to_string().contains("beta"));
+    }
+}

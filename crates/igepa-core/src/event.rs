@@ -1,0 +1,82 @@
+//! Events (Definition 1 of the paper).
+
+use crate::attrs::AttributeVector;
+use crate::ids::{EventId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// An event `v ∈ V`.
+///
+/// Per Definition 1, an event is associated with a capacity `c_v` (the
+/// maximum number of attendees it can accommodate), an attribute vector
+/// `l_v`, and the set `N_v` of users who bid for it. The bidder set is
+/// derived by [`crate::InstanceBuilder`] from the users' bid sets, so it is
+/// always consistent with `N_u`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Dense identifier of this event.
+    pub id: EventId,
+    /// Capacity `c_v`: maximum number of attendees.
+    pub capacity: usize,
+    /// Attribute vector `l_v` used for conflict detection and interest.
+    pub attrs: AttributeVector,
+    /// `N_v`: users who bid for this event, sorted by id.
+    pub bidders: Vec<UserId>,
+}
+
+impl Event {
+    /// Creates an event with an empty bidder list.
+    ///
+    /// Bidders are filled in by [`crate::InstanceBuilder::build`] from the
+    /// users' bid sets.
+    pub fn new(id: EventId, capacity: usize, attrs: AttributeVector) -> Self {
+        Event {
+            id,
+            capacity,
+            attrs,
+            bidders: Vec::new(),
+        }
+    }
+
+    /// Number of users who bid for this event, `|N_v|`.
+    pub fn num_bidders(&self) -> usize {
+        self.bidders.len()
+    }
+
+    /// Whether the given user bid for this event.
+    pub fn has_bidder(&self, user: UserId) -> bool {
+        self.bidders.binary_search(&user).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event_with_bidders(bidders: &[usize]) -> Event {
+        let mut e = Event::new(EventId::new(0), 10, AttributeVector::empty());
+        e.bidders = bidders.iter().map(|&i| UserId::new(i)).collect();
+        e
+    }
+
+    #[test]
+    fn new_event_has_no_bidders() {
+        let e = Event::new(EventId::new(3), 25, AttributeVector::empty());
+        assert_eq!(e.num_bidders(), 0);
+        assert_eq!(e.capacity, 25);
+        assert_eq!(e.id, EventId::new(3));
+    }
+
+    #[test]
+    fn has_bidder_uses_sorted_lookup() {
+        let e = event_with_bidders(&[1, 3, 5, 8]);
+        assert!(e.has_bidder(UserId::new(3)));
+        assert!(e.has_bidder(UserId::new(8)));
+        assert!(!e.has_bidder(UserId::new(2)));
+    }
+
+    #[test]
+    fn num_bidders_counts_all() {
+        let e = event_with_bidders(&[0, 1, 2, 3, 4]);
+        assert_eq!(e.num_bidders(), 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Strongly-typed identifiers for events and users.
+//!
+//! The IGEPA model indexes events and users densely (`0..|V|` and `0..|U|`),
+//! which lets every algorithm use flat `Vec` storage instead of hash maps.
+//! The newtypes below prevent accidentally mixing the two index spaces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an event `v ∈ V`.
+///
+/// Events are densely numbered from zero within an [`crate::Instance`]; the
+/// wrapped value is the index into the instance's event table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+/// Identifier of a user `u ∈ U`.
+///
+/// Users are densely numbered from zero within an [`crate::Instance`]; the
+/// wrapped value is the index into the instance's user table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+impl EventId {
+    /// Creates an event id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        EventId(index as u32)
+    }
+
+    /// Returns the dense index of this event.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl UserId {
+    /// Creates a user id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        UserId(index as u32)
+    }
+
+    /// Returns the dense index of this user.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<usize> for EventId {
+    fn from(index: usize) -> Self {
+        EventId::new(index)
+    }
+}
+
+impl From<usize> for UserId {
+    fn from(index: usize) -> Self {
+        UserId::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_id_roundtrips_through_index() {
+        let id = EventId::new(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(EventId::from(17usize), id);
+    }
+
+    #[test]
+    fn user_id_roundtrips_through_index() {
+        let id = UserId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(UserId::from(42usize), id);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(EventId::new(1) < EventId::new(2));
+        assert!(UserId::new(3) > UserId::new(2));
+    }
+
+    #[test]
+    fn display_uses_domain_prefixes() {
+        assert_eq!(EventId::new(5).to_string(), "v5");
+        assert_eq!(UserId::new(9).to_string(), "u9");
+    }
+
+    #[test]
+    fn ids_usable_as_map_keys() {
+        use std::collections::HashSet;
+        let set: HashSet<EventId> = [EventId::new(0), EventId::new(1), EventId::new(0)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,434 @@
+//! The IGEPA problem instance and its builder.
+//!
+//! An [`Instance`] bundles everything Definition 8 of the paper feeds into
+//! the problem: the event set `V`, the user set `U`, the conflict function σ
+//! (materialised as a [`ConflictMatrix`]), the interest function `SI`
+//! (materialised as a [`TableInterest`]), the per-user degree of potential
+//! interaction `D(G, u)` (computed from the social network by the
+//! `igepa-graph` crate) and the balance parameter β.
+//!
+//! Instances are immutable once built; [`InstanceBuilder`] performs all
+//! validation so that algorithms can assume a consistent model:
+//!
+//! * event and user ids are dense and ordered;
+//! * every bid references an existing event and the events' bidder lists
+//!   mirror the users' bid sets;
+//! * interest values and interaction scores lie in `[0, 1]`;
+//! * β lies in `[0, 1]`.
+
+use crate::attrs::AttributeVector;
+use crate::conflict::{ConflictFn, ConflictMatrix, NeverConflict};
+use crate::error::CoreError;
+use crate::event::Event;
+use crate::ids::{EventId, UserId};
+use crate::interest::{InterestFn, TableInterest};
+use crate::user::User;
+
+/// A fully validated IGEPA problem instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    events: Vec<Event>,
+    users: Vec<User>,
+    conflicts: ConflictMatrix,
+    interest: TableInterest,
+    interaction: Vec<f64>,
+    beta: f64,
+}
+
+impl Instance {
+    /// Starts building an instance.
+    pub fn builder() -> InstanceBuilder {
+        InstanceBuilder::new()
+    }
+
+    /// The event set `V`.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The user set `U`.
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// `|V|`.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `|U|`.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The event with the given id.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// The user with the given id.
+    pub fn user(&self, id: UserId) -> &User {
+        &self.users[id.index()]
+    }
+
+    /// The balance parameter β between interest and interaction.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The precomputed conflict matrix σ.
+    pub fn conflicts(&self) -> &ConflictMatrix {
+        &self.conflicts
+    }
+
+    /// Interest `SI(l_v, l_u)` of `user` in `event`.
+    pub fn interest(&self, event: EventId, user: UserId) -> f64 {
+        self.interest.get(event, user)
+    }
+
+    /// Degree of potential interaction `D(G, u)` of `user` (Definition 6).
+    pub fn interaction(&self, user: UserId) -> f64 {
+        self.interaction[user.index()]
+    }
+
+    /// Per-pair weight `w(u, v) = β · SI(l_v, l_u) + (1 − β) · D(G, u)`.
+    ///
+    /// This is the contribution of the pair `(v, u)` to the utility of an
+    /// arrangement and is what the LP objective and the greedy baselines
+    /// maximise.
+    pub fn weight(&self, event: EventId, user: UserId) -> f64 {
+        self.beta * self.interest(event, user) + (1.0 - self.beta) * self.interaction(user)
+    }
+
+    /// Total weight of an admissible event set `S` for `user`:
+    /// `w(u, S) = Σ_{v ∈ S} w(u, v)`.
+    pub fn set_weight(&self, user: UserId, events: &[EventId]) -> f64 {
+        events.iter().map(|&v| self.weight(v, user)).sum()
+    }
+
+    /// Iterates over all `(event, user)` pairs allowed by the bid constraint,
+    /// i.e. the candidate pairs any feasible arrangement is drawn from.
+    pub fn bid_pairs(&self) -> impl Iterator<Item = (EventId, UserId)> + '_ {
+        self.users
+            .iter()
+            .flat_map(|u| u.bids.iter().map(move |&v| (v, u.id)))
+    }
+
+    /// Total number of bids across all users.
+    pub fn num_bids(&self) -> usize {
+        self.users.iter().map(|u| u.num_bids()).sum()
+    }
+}
+
+/// Builder for [`Instance`]; see the module documentation for the validation
+/// rules it enforces.
+#[derive(Debug, Default)]
+pub struct InstanceBuilder {
+    events: Vec<Event>,
+    users: Vec<User>,
+    interaction: Option<Vec<f64>>,
+    beta: f64,
+}
+
+impl InstanceBuilder {
+    /// Creates an empty builder with β = 0.5 (the paper's evaluation value).
+    pub fn new() -> Self {
+        InstanceBuilder {
+            events: Vec::new(),
+            users: Vec::new(),
+            interaction: None,
+            beta: 0.5,
+        }
+    }
+
+    /// Adds an event with the given capacity and attributes; returns its id.
+    pub fn add_event(&mut self, capacity: usize, attrs: AttributeVector) -> EventId {
+        let id = EventId::new(self.events.len());
+        self.events.push(Event::new(id, capacity, attrs));
+        id
+    }
+
+    /// Adds a user with the given capacity, attributes and bid set; returns
+    /// its id.
+    pub fn add_user(
+        &mut self,
+        capacity: usize,
+        attrs: AttributeVector,
+        bids: Vec<EventId>,
+    ) -> UserId {
+        let id = UserId::new(self.users.len());
+        self.users.push(User::new(id, capacity, attrs, bids));
+        id
+    }
+
+    /// Sets the balance parameter β.
+    pub fn beta(&mut self, beta: f64) -> &mut Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the per-user degree of potential interaction `D(G, u)`.
+    ///
+    /// The vector must contain one value in `[0, 1]` per user, in user-id
+    /// order. When omitted, all scores default to zero (equivalent to an
+    /// edgeless social network).
+    pub fn interaction_scores(&mut self, scores: Vec<f64>) -> &mut Self {
+        self.interaction = Some(scores);
+        self
+    }
+
+    /// Number of events added so far.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of users added so far.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Finalises the instance using the given conflict and interest functions.
+    pub fn build(
+        self,
+        sigma: &dyn ConflictFn,
+        interest: &dyn InterestFn,
+    ) -> Result<Instance, CoreError> {
+        let InstanceBuilder {
+            mut events,
+            users,
+            interaction,
+            beta,
+        } = self;
+
+        if !(0.0..=1.0).contains(&beta) {
+            return Err(CoreError::InvalidBeta(beta));
+        }
+        // Ids are assigned by the builder, so density only breaks if callers
+        // mutate the tables; validate anyway to protect deserialized inputs.
+        for (pos, e) in events.iter().enumerate() {
+            if e.id.index() != pos {
+                return Err(CoreError::NonDenseEventIds {
+                    position: pos,
+                    found: e.id,
+                });
+            }
+        }
+        for (pos, u) in users.iter().enumerate() {
+            if u.id.index() != pos {
+                return Err(CoreError::NonDenseUserIds {
+                    position: pos,
+                    found: u.id,
+                });
+            }
+        }
+
+        // Validate bids and mirror them into the events' bidder lists.
+        for u in &users {
+            for &v in &u.bids {
+                if v.index() >= events.len() {
+                    return Err(CoreError::UnknownEventInBid { user: u.id, event: v });
+                }
+            }
+        }
+        for e in &mut events {
+            e.bidders.clear();
+        }
+        for u in &users {
+            for &v in &u.bids {
+                events[v.index()].bidders.push(u.id);
+            }
+        }
+        for e in &mut events {
+            e.bidders.sort_unstable();
+        }
+
+        // Interaction scores.
+        let interaction = interaction.unwrap_or_else(|| vec![0.0; users.len()]);
+        if interaction.len() != users.len() {
+            return Err(CoreError::InteractionLengthMismatch {
+                users: users.len(),
+                scores: interaction.len(),
+            });
+        }
+        for (i, &d) in interaction.iter().enumerate() {
+            if !(0.0..=1.0).contains(&d) || d.is_nan() {
+                return Err(CoreError::InteractionOutOfRange {
+                    user: UserId::new(i),
+                    value: d,
+                });
+            }
+        }
+
+        // Materialise the interest table over the bid pairs (non-bid pairs
+        // can never appear in a feasible arrangement; they are stored as the
+        // raw function value anyway so diagnostics can inspect them).
+        let mut table = TableInterest::zeros(events.len(), users.len());
+        for u in &users {
+            for &v in &u.bids {
+                let value = interest.interest(&events[v.index()], u);
+                if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                    return Err(CoreError::InterestOutOfRange {
+                        event: v,
+                        user: u.id,
+                        value,
+                    });
+                }
+                table.set(v, u.id, value);
+            }
+        }
+
+        let conflicts = ConflictMatrix::build(&events, sigma);
+
+        Ok(Instance {
+            events,
+            users,
+            conflicts,
+            interest: table,
+            interaction,
+            beta,
+        })
+    }
+
+    /// Convenience for tests and examples: builds with no conflicts and the
+    /// interest of every bid pair set to zero.
+    pub fn build_trivial(self) -> Result<Instance, CoreError> {
+        struct ZeroInterest;
+        impl InterestFn for ZeroInterest {
+            fn interest(&self, _e: &Event, _u: &User) -> f64 {
+                0.0
+            }
+        }
+        self.build(&NeverConflict, &ZeroInterest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::{AlwaysConflict, PairSetConflict};
+    use crate::interest::ConstantInterest;
+
+    fn two_by_two() -> InstanceBuilder {
+        let mut b = Instance::builder();
+        let v0 = b.add_event(2, AttributeVector::empty());
+        let v1 = b.add_event(1, AttributeVector::empty());
+        b.add_user(1, AttributeVector::empty(), vec![v0, v1]);
+        b.add_user(2, AttributeVector::empty(), vec![v1]);
+        b
+    }
+
+    #[test]
+    fn builder_mirrors_bids_into_bidder_lists() {
+        let inst = two_by_two().build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        assert_eq!(inst.event(EventId::new(0)).bidders, vec![UserId::new(0)]);
+        assert_eq!(
+            inst.event(EventId::new(1)).bidders,
+            vec![UserId::new(0), UserId::new(1)]
+        );
+        assert_eq!(inst.num_bids(), 3);
+    }
+
+    #[test]
+    fn unknown_bid_is_rejected() {
+        let mut b = Instance::builder();
+        b.add_event(1, AttributeVector::empty());
+        b.add_user(1, AttributeVector::empty(), vec![EventId::new(7)]);
+        let err = b.build_trivial().unwrap_err();
+        assert!(matches!(err, CoreError::UnknownEventInBid { .. }));
+    }
+
+    #[test]
+    fn invalid_beta_is_rejected() {
+        let mut b = two_by_two();
+        b.beta(1.5);
+        let err = b.build_trivial().unwrap_err();
+        assert_eq!(err, CoreError::InvalidBeta(1.5));
+    }
+
+    #[test]
+    fn interaction_vector_length_checked() {
+        let mut b = two_by_two();
+        b.interaction_scores(vec![0.5]);
+        let err = b.build_trivial().unwrap_err();
+        assert!(matches!(err, CoreError::InteractionLengthMismatch { users: 2, scores: 1 }));
+    }
+
+    #[test]
+    fn interaction_range_checked() {
+        let mut b = two_by_two();
+        b.interaction_scores(vec![0.5, 1.5]);
+        let err = b.build_trivial().unwrap_err();
+        assert!(matches!(err, CoreError::InteractionOutOfRange { .. }));
+    }
+
+    #[test]
+    fn interest_out_of_range_rejected() {
+        let b = two_by_two();
+        let err = b.build(&NeverConflict, &ConstantInterestRaw(1.7)).unwrap_err();
+        assert!(matches!(err, CoreError::InterestOutOfRange { .. }));
+    }
+
+    /// Interest implementation that does not clamp, for validation tests.
+    struct ConstantInterestRaw(f64);
+    impl InterestFn for ConstantInterestRaw {
+        fn interest(&self, _e: &Event, _u: &User) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn weight_combines_interest_and_interaction() {
+        let mut b = two_by_two();
+        b.beta(0.25);
+        b.interaction_scores(vec![0.8, 0.4]);
+        let inst = b.build(&NeverConflict, &ConstantInterest(0.6)).unwrap();
+        let w = inst.weight(EventId::new(0), UserId::new(0));
+        assert!((w - (0.25 * 0.6 + 0.75 * 0.8)).abs() < 1e-12);
+        let s = inst.set_weight(UserId::new(0), &[EventId::new(0), EventId::new(1)]);
+        assert!((s - 2.0 * w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_extremes_select_single_component() {
+        let mut b = two_by_two();
+        b.beta(1.0);
+        b.interaction_scores(vec![0.8, 0.4]);
+        let inst = b.build(&NeverConflict, &ConstantInterest(0.6)).unwrap();
+        assert!((inst.weight(EventId::new(1), UserId::new(0)) - 0.6).abs() < 1e-12);
+
+        let mut b = two_by_two();
+        b.beta(0.0);
+        b.interaction_scores(vec![0.8, 0.4]);
+        let inst = b.build(&NeverConflict, &ConstantInterest(0.6)).unwrap();
+        assert!((inst.weight(EventId::new(1), UserId::new(1)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflict_matrix_uses_provided_sigma() {
+        let mut pairs = PairSetConflict::new();
+        pairs.add(EventId::new(0), EventId::new(1));
+        let inst = two_by_two().build(&pairs, &ConstantInterest(0.0)).unwrap();
+        assert!(inst.conflicts().conflicts(EventId::new(0), EventId::new(1)));
+
+        let inst_all = two_by_two().build(&AlwaysConflict, &ConstantInterest(0.0)).unwrap();
+        assert_eq!(inst_all.conflicts().num_conflicting_pairs(), 1);
+    }
+
+    #[test]
+    fn bid_pairs_iterates_every_bid_once() {
+        let inst = two_by_two().build_trivial().unwrap();
+        let pairs: Vec<_> = inst.bid_pairs().collect();
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&(EventId::new(0), UserId::new(0))));
+        assert!(pairs.contains(&(EventId::new(1), UserId::new(0))));
+        assert!(pairs.contains(&(EventId::new(1), UserId::new(1))));
+    }
+
+    #[test]
+    fn default_interaction_is_zero() {
+        let inst = two_by_two().build(&NeverConflict, &ConstantInterest(1.0)).unwrap();
+        assert_eq!(inst.interaction(UserId::new(0)), 0.0);
+        // With beta = 0.5 and zero interaction, weight is half the interest.
+        assert!((inst.weight(EventId::new(0), UserId::new(0)) - 0.5).abs() < 1e-12);
+    }
+}

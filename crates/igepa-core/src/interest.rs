@@ -1,0 +1,281 @@
+//! Interest functions (Definition 5 of the paper).
+//!
+//! A user `u`'s interest when assigned to event `v` is `SI(l_v, l_u) ∈ [0, 1]`.
+//! This module defines the [`InterestFn`] trait plus the implementations used
+//! throughout the reproduction:
+//!
+//! * [`TableInterest`] — an explicit `|V| × |U|` table. The synthetic
+//!   workloads sample interest values uniformly at random and store them here.
+//! * [`CosineInterest`] — cosine similarity of the category vectors, the
+//!   attribute-based interest used for the Meetup-style dataset (the paper
+//!   computes interest "based on their attributes as in \[4\]").
+//! * [`JaccardInterest`] — Jaccard similarity of the supported categories,
+//!   an alternative attribute-based measure for ablations.
+//! * [`ConstantInterest`] — a fixed value, handy in unit tests.
+
+use crate::event::Event;
+use crate::ids::{EventId, UserId};
+use crate::user::User;
+use serde::{Deserialize, Serialize};
+
+/// The interest function `SI(l_v, l_u)`.
+///
+/// Implementations must return values in `[0, 1]`; instance construction
+/// validates this when materialising the interest table.
+pub trait InterestFn {
+    /// Interest of `user` in `event`, in `[0, 1]`.
+    fn interest(&self, event: &Event, user: &User) -> f64;
+}
+
+/// Interest values stored in an explicit dense table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableInterest {
+    num_events: usize,
+    num_users: usize,
+    /// Row-major `|V| × |U|` values.
+    values: Vec<f64>,
+}
+
+impl TableInterest {
+    /// Creates a table filled with zeros.
+    pub fn zeros(num_events: usize, num_users: usize) -> Self {
+        TableInterest {
+            num_events,
+            num_users,
+            values: vec![0.0; num_events * num_users],
+        }
+    }
+
+    /// Creates a table from row-major values. Panics if the dimensions do not
+    /// match the number of values.
+    pub fn from_values(num_events: usize, num_users: usize, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            num_events * num_users,
+            "interest table needs |V| * |U| values"
+        );
+        TableInterest {
+            num_events,
+            num_users,
+            values,
+        }
+    }
+
+    /// Sets the interest of `user` in `event`.
+    pub fn set(&mut self, event: EventId, user: UserId, value: f64) {
+        let idx = event.index() * self.num_users + user.index();
+        self.values[idx] = value;
+    }
+
+    /// Reads the interest of `user` in `event`.
+    pub fn get(&self, event: EventId, user: UserId) -> f64 {
+        self.values[event.index() * self.num_users + user.index()]
+    }
+
+    /// Number of events covered by the table.
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// Number of users covered by the table.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+}
+
+impl InterestFn for TableInterest {
+    fn interest(&self, event: &Event, user: &User) -> f64 {
+        self.get(event.id, user.id)
+    }
+}
+
+/// Cosine similarity between the category vectors of the event and the user.
+///
+/// Both vectors are expected to be non-negative, so the cosine lies in
+/// `[0, 1]`. Pairs where either vector is all-zero (or empty) get interest 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CosineInterest;
+
+impl InterestFn for CosineInterest {
+    fn interest(&self, event: &Event, user: &User) -> f64 {
+        cosine(&event.attrs.categories, &user.attrs.categories)
+    }
+}
+
+/// Jaccard similarity of the category *support* (categories with weight above
+/// a threshold) of the event and the user.
+#[derive(Debug, Clone, Copy)]
+pub struct JaccardInterest {
+    /// Weights strictly above this threshold count as "supported".
+    pub threshold: f64,
+}
+
+impl Default for JaccardInterest {
+    fn default() -> Self {
+        JaccardInterest { threshold: 0.0 }
+    }
+}
+
+impl InterestFn for JaccardInterest {
+    fn interest(&self, event: &Event, user: &User) -> f64 {
+        let ev = &event.attrs.categories;
+        let us = &user.attrs.categories;
+        let dims = ev.len().max(us.len());
+        if dims == 0 {
+            return 0.0;
+        }
+        let mut inter = 0usize;
+        let mut union = 0usize;
+        for d in 0..dims {
+            let e = ev.get(d).copied().unwrap_or(0.0) > self.threshold;
+            let u = us.get(d).copied().unwrap_or(0.0) > self.threshold;
+            if e && u {
+                inter += 1;
+            }
+            if e || u {
+                union += 1;
+            }
+        }
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+/// Interest that is the same constant for every pair. Clamped to `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantInterest(pub f64);
+
+impl InterestFn for ConstantInterest {
+    fn interest(&self, _event: &Event, _user: &User) -> f64 {
+        self.0.clamp(0.0, 1.0)
+    }
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dims = a.len().min(b.len());
+    if dims == 0 {
+        return 0.0;
+    }
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for d in 0..dims {
+        dot += a[d] * b[d];
+        na += a[d] * a[d];
+        nb += b[d] * b[d];
+    }
+    // Norms must include the tails so that padding with zeros is equivalent.
+    for &x in &a[dims..] {
+        na += x * x;
+    }
+    for &x in &b[dims..] {
+        nb += x * x;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttributeVector;
+
+    fn event_with_categories(id: usize, cats: Vec<f64>) -> Event {
+        Event::new(
+            EventId::new(id),
+            10,
+            AttributeVector::from_categories(cats),
+        )
+    }
+
+    fn user_with_categories(id: usize, cats: Vec<f64>) -> User {
+        User::new(
+            UserId::new(id),
+            2,
+            AttributeVector::from_categories(cats),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn table_interest_set_get() {
+        let mut t = TableInterest::zeros(2, 3);
+        t.set(EventId::new(1), UserId::new(2), 0.75);
+        assert_eq!(t.get(EventId::new(1), UserId::new(2)), 0.75);
+        assert_eq!(t.get(EventId::new(0), UserId::new(0)), 0.0);
+        assert_eq!(t.num_events(), 2);
+        assert_eq!(t.num_users(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "interest table needs")]
+    fn table_interest_from_values_checks_dimensions() {
+        let _ = TableInterest::from_values(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn cosine_identical_vectors_is_one() {
+        let e = event_with_categories(0, vec![0.2, 0.4, 0.4]);
+        let u = user_with_categories(0, vec![0.2, 0.4, 0.4]);
+        assert!((CosineInterest.interest(&e, &u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_orthogonal_vectors_is_zero() {
+        let e = event_with_categories(0, vec![1.0, 0.0]);
+        let u = user_with_categories(0, vec![0.0, 1.0]);
+        assert_eq!(CosineInterest.interest(&e, &u), 0.0);
+    }
+
+    #[test]
+    fn cosine_handles_empty_and_zero_vectors() {
+        let e = event_with_categories(0, vec![]);
+        let u = user_with_categories(0, vec![1.0]);
+        assert_eq!(CosineInterest.interest(&e, &u), 0.0);
+        let e0 = event_with_categories(0, vec![0.0, 0.0]);
+        assert_eq!(CosineInterest.interest(&e0, &u), 0.0);
+    }
+
+    #[test]
+    fn cosine_with_different_lengths_pads_with_zeros() {
+        let e = event_with_categories(0, vec![1.0]);
+        let long = user_with_categories(0, vec![1.0, 1.0]);
+        let explicit = user_with_categories(1, vec![1.0, 1.0, 0.0]);
+        let a = CosineInterest.interest(&e, &long);
+        let b = CosineInterest.interest(&e, &explicit);
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_counts_shared_support() {
+        let e = event_with_categories(0, vec![1.0, 1.0, 0.0, 0.0]);
+        let u = user_with_categories(0, vec![0.0, 1.0, 1.0, 0.0]);
+        let j = JaccardInterest::default().interest(&e, &u);
+        assert!((j - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_empty_support_is_zero() {
+        let e = event_with_categories(0, vec![0.0, 0.0]);
+        let u = user_with_categories(0, vec![0.0]);
+        assert_eq!(JaccardInterest::default().interest(&e, &u), 0.0);
+        let e2 = event_with_categories(0, vec![]);
+        let u2 = user_with_categories(0, vec![]);
+        assert_eq!(JaccardInterest::default().interest(&e2, &u2), 0.0);
+    }
+
+    #[test]
+    fn constant_interest_is_clamped() {
+        let e = event_with_categories(0, vec![]);
+        let u = user_with_categories(0, vec![]);
+        assert_eq!(ConstantInterest(2.0).interest(&e, &u), 1.0);
+        assert_eq!(ConstantInterest(-1.0).interest(&e, &u), 0.0);
+        assert_eq!(ConstantInterest(0.3).interest(&e, &u), 0.3);
+    }
+}

@@ -1,0 +1,207 @@
+//! Descriptive statistics over instances and arrangements.
+//!
+//! The experiment harness prints these alongside utility numbers so that
+//! reproduced workloads can be compared with the paper's Table I settings
+//! (number of events/users, conflict density, bids per user, capacities).
+
+use crate::arrangement::Arrangement;
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of an [`Instance`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceStats {
+    /// `|V|`.
+    pub num_events: usize,
+    /// `|U|`.
+    pub num_users: usize,
+    /// Total number of bids (Σ |N_u|).
+    pub num_bids: usize,
+    /// Mean bids per user.
+    pub mean_bids_per_user: f64,
+    /// Largest bid set of any user.
+    pub max_bids_per_user: usize,
+    /// Mean event capacity.
+    pub mean_event_capacity: f64,
+    /// Largest event capacity.
+    pub max_event_capacity: usize,
+    /// Mean user capacity.
+    pub mean_user_capacity: f64,
+    /// Largest user capacity.
+    pub max_user_capacity: usize,
+    /// Fraction of unordered event pairs that conflict.
+    pub conflict_density: f64,
+    /// Mean degree of potential interaction across users.
+    pub mean_interaction: f64,
+    /// The balance parameter β.
+    pub beta: f64,
+}
+
+impl InstanceStats {
+    /// Computes statistics for the given instance.
+    pub fn of(instance: &Instance) -> Self {
+        let num_events = instance.num_events();
+        let num_users = instance.num_users();
+        let num_bids = instance.num_bids();
+        let max_bids_per_user = instance.users().iter().map(|u| u.num_bids()).max().unwrap_or(0);
+        let mean_bids_per_user = if num_users == 0 {
+            0.0
+        } else {
+            num_bids as f64 / num_users as f64
+        };
+        let max_event_capacity = instance.events().iter().map(|e| e.capacity).max().unwrap_or(0);
+        let mean_event_capacity = if num_events == 0 {
+            0.0
+        } else {
+            instance.events().iter().map(|e| e.capacity).sum::<usize>() as f64 / num_events as f64
+        };
+        let max_user_capacity = instance.users().iter().map(|u| u.capacity).max().unwrap_or(0);
+        let mean_user_capacity = if num_users == 0 {
+            0.0
+        } else {
+            instance.users().iter().map(|u| u.capacity).sum::<usize>() as f64 / num_users as f64
+        };
+        let mean_interaction = if num_users == 0 {
+            0.0
+        } else {
+            (0..num_users)
+                .map(|i| instance.interaction(crate::UserId::new(i)))
+                .sum::<f64>()
+                / num_users as f64
+        };
+        InstanceStats {
+            num_events,
+            num_users,
+            num_bids,
+            mean_bids_per_user,
+            max_bids_per_user,
+            mean_event_capacity,
+            max_event_capacity,
+            mean_user_capacity,
+            max_user_capacity,
+            conflict_density: instance.conflicts().density(),
+            mean_interaction,
+            beta: instance.beta(),
+        }
+    }
+}
+
+/// Summary statistics of an [`Arrangement`] relative to its instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrangementStats {
+    /// Number of `(event, user)` pairs in the arrangement.
+    pub num_pairs: usize,
+    /// Number of users assigned at least one event.
+    pub users_served: usize,
+    /// Number of events with at least one attendee.
+    pub events_used: usize,
+    /// Mean fraction of event capacity filled, over events with capacity > 0.
+    pub mean_event_fill: f64,
+    /// Utility of the arrangement (Definition 7).
+    pub utility: f64,
+    /// Interest component of the utility (unweighted sum).
+    pub interest_sum: f64,
+    /// Interaction component of the utility (unweighted sum).
+    pub interaction_sum: f64,
+    /// Whether the arrangement is feasible.
+    pub feasible: bool,
+}
+
+impl ArrangementStats {
+    /// Computes statistics for an arrangement over its instance.
+    pub fn of(instance: &Instance, arrangement: &Arrangement) -> Self {
+        let num_pairs = arrangement.len();
+        let users_served = (0..instance.num_users())
+            .filter(|&i| !arrangement.events_of(crate::UserId::new(i)).is_empty())
+            .count();
+        let mut events_used = 0;
+        let mut fill_sum = 0.0;
+        let mut fill_count = 0;
+        for e in instance.events() {
+            let load = arrangement.load_of(e.id);
+            if load > 0 {
+                events_used += 1;
+            }
+            if e.capacity > 0 {
+                fill_sum += load as f64 / e.capacity as f64;
+                fill_count += 1;
+            }
+        }
+        let utility = arrangement.utility(instance);
+        ArrangementStats {
+            num_pairs,
+            users_served,
+            events_used,
+            mean_event_fill: if fill_count == 0 { 0.0 } else { fill_sum / fill_count as f64 },
+            utility: utility.total,
+            interest_sum: utility.interest_sum,
+            interaction_sum: utility.interaction_sum,
+            feasible: arrangement.is_feasible(instance),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttributeVector;
+    use crate::conflict::NeverConflict;
+    use crate::ids::{EventId, UserId};
+    use crate::interest::ConstantInterest;
+
+    fn instance() -> Instance {
+        let mut b = Instance::builder();
+        let v0 = b.add_event(2, AttributeVector::empty());
+        let v1 = b.add_event(4, AttributeVector::empty());
+        b.add_user(1, AttributeVector::empty(), vec![v0]);
+        b.add_user(2, AttributeVector::empty(), vec![v0, v1]);
+        b.interaction_scores(vec![0.2, 0.6]);
+        b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap()
+    }
+
+    #[test]
+    fn instance_stats_basic_counts() {
+        let s = InstanceStats::of(&instance());
+        assert_eq!(s.num_events, 2);
+        assert_eq!(s.num_users, 2);
+        assert_eq!(s.num_bids, 3);
+        assert_eq!(s.max_bids_per_user, 2);
+        assert!((s.mean_bids_per_user - 1.5).abs() < 1e-12);
+        assert_eq!(s.max_event_capacity, 4);
+        assert!((s.mean_event_capacity - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_user_capacity, 2);
+        assert!((s.mean_interaction - 0.4).abs() < 1e-12);
+        assert_eq!(s.conflict_density, 0.0);
+        assert_eq!(s.beta, 0.5);
+    }
+
+    #[test]
+    fn arrangement_stats_counts_and_utility() {
+        let inst = instance();
+        let mut m = Arrangement::empty_for(&inst);
+        m.assign(EventId::new(0), UserId::new(0));
+        m.assign(EventId::new(1), UserId::new(1));
+        let s = ArrangementStats::of(&inst, &m);
+        assert_eq!(s.num_pairs, 2);
+        assert_eq!(s.users_served, 2);
+        assert_eq!(s.events_used, 2);
+        assert!(s.feasible);
+        // fills: 1/2 and 1/4 -> mean 0.375
+        assert!((s.mean_event_fill - 0.375).abs() < 1e-12);
+        assert!((s.interest_sum - 1.0).abs() < 1e-12);
+        assert!((s.interaction_sum - 0.8).abs() < 1e-12);
+        assert!((s.utility - (0.5 * 1.0 + 0.5 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_arrangement_stats() {
+        let inst = instance();
+        let m = Arrangement::empty_for(&inst);
+        let s = ArrangementStats::of(&inst, &m);
+        assert_eq!(s.num_pairs, 0);
+        assert_eq!(s.users_served, 0);
+        assert_eq!(s.events_used, 0);
+        assert_eq!(s.utility, 0.0);
+        assert!(s.feasible);
+    }
+}

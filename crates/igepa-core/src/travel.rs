@@ -1,0 +1,295 @@
+//! Spatial conflict functions (extension of Definition 3).
+//!
+//! The paper's attribute vectors explicitly carry "timestamp and location of
+//! the event" as the attributes a conflict function may consult, but its
+//! Meetup evaluation only uses time overlap. These conflict functions flesh
+//! out the location half of that definition:
+//!
+//! * [`DistanceConflict`] — two events conflict when their venues are closer
+//!   than a threshold (e.g. two simultaneous bookings of the same venue), in
+//!   addition to any time overlap;
+//! * [`TravelTimeConflict`] — two events conflict when a participant moving
+//!   at a fixed speed cannot finish one event and still reach the other
+//!   before it starts (the realistic "back-to-back events across town"
+//!   conflict).
+//!
+//! Both are drop-in `σ` implementations: the rest of the pipeline (conflict
+//! matrix, admissible sets, every algorithm) is oblivious to which σ built
+//! the matrix.
+
+use crate::conflict::ConflictFn;
+use crate::event::Event;
+use serde::{Deserialize, Serialize};
+
+/// Events conflict when they overlap in time *and* their venues are within
+/// `radius` of each other (same venue / same room contention).
+///
+/// Events without a location or without a time window never conflict under
+/// this function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistanceConflict {
+    /// Maximum distance between venues for the pair to be in contention.
+    pub radius: f64,
+}
+
+impl DistanceConflict {
+    /// Creates a distance-based conflict function with the given radius.
+    pub fn new(radius: f64) -> Self {
+        DistanceConflict {
+            radius: radius.max(0.0),
+        }
+    }
+}
+
+impl ConflictFn for DistanceConflict {
+    fn conflicts(&self, a: &Event, b: &Event) -> bool {
+        let close = match (&a.attrs.location, &b.attrs.location) {
+            (Some(la), Some(lb)) => la.distance(lb) <= self.radius,
+            _ => false,
+        };
+        let overlap = match (&a.attrs.time, &b.attrs.time) {
+            (Some(ta), Some(tb)) => ta.overlaps(tb),
+            _ => false,
+        };
+        close && overlap
+    }
+}
+
+/// Events conflict when a single participant cannot feasibly attend both:
+/// either their time windows overlap outright, or the gap between one
+/// event's end and the other's start is too short to cover the distance
+/// between the venues at `speed` (distance units per time unit).
+///
+/// Events without a time window never conflict. Events with time windows
+/// but without locations degrade gracefully to plain time-overlap conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TravelTimeConflict {
+    /// Travel speed in distance units per time unit; must be positive.
+    pub speed: f64,
+}
+
+impl TravelTimeConflict {
+    /// Creates a travel-time conflict function with the given speed.
+    ///
+    /// Non-positive speeds are clamped to a tiny positive value, which makes
+    /// any two located, non-identical venues unreachable back-to-back.
+    pub fn new(speed: f64) -> Self {
+        TravelTimeConflict {
+            speed: if speed > 0.0 { speed } else { f64::MIN_POSITIVE },
+        }
+    }
+
+    /// Whether a participant can attend `first` and then `second`
+    /// back-to-back (in that order).
+    fn reachable_in_order(&self, first: &Event, second: &Event) -> bool {
+        let (Some(tf), Some(ts)) = (&first.attrs.time, &second.attrs.time) else {
+            return true;
+        };
+        let gap = ts.start - tf.end();
+        if gap < 0 {
+            return false;
+        }
+        match (&first.attrs.location, &second.attrs.location) {
+            (Some(lf), Some(ls)) => {
+                let travel = lf.distance(ls) / self.speed;
+                travel <= gap as f64
+            }
+            // No locations: any non-negative gap suffices (plain time overlap).
+            _ => true,
+        }
+    }
+}
+
+impl ConflictFn for TravelTimeConflict {
+    fn conflicts(&self, a: &Event, b: &Event) -> bool {
+        match (&a.attrs.time, &b.attrs.time) {
+            (Some(ta), Some(tb)) => {
+                if ta.overlaps(tb) {
+                    return true;
+                }
+                // Disjoint in time: conflict iff the earlier-to-later hop is
+                // not coverable at the configured speed.
+                if ta.start <= tb.start {
+                    !self.reachable_in_order(a, b)
+                } else {
+                    !self.reachable_in_order(b, a)
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttributeVector;
+    use crate::ids::EventId;
+
+    fn event(id: usize, attrs: AttributeVector) -> Event {
+        Event::new(EventId::new(id), 10, attrs)
+    }
+
+    #[test]
+    fn distance_conflict_requires_both_proximity_and_overlap() {
+        let sigma = DistanceConflict::new(1.0);
+        let here_now = event(
+            0,
+            AttributeVector::empty()
+                .with_time(0, 10)
+                .with_location(0.0, 0.0),
+        );
+        let near_now = event(
+            1,
+            AttributeVector::empty()
+                .with_time(5, 10)
+                .with_location(0.5, 0.0),
+        );
+        let far_now = event(
+            2,
+            AttributeVector::empty()
+                .with_time(5, 10)
+                .with_location(50.0, 0.0),
+        );
+        let near_later = event(
+            3,
+            AttributeVector::empty()
+                .with_time(100, 10)
+                .with_location(0.5, 0.0),
+        );
+        assert!(sigma.conflicts(&here_now, &near_now));
+        assert!(!sigma.conflicts(&here_now, &far_now));
+        assert!(!sigma.conflicts(&here_now, &near_later));
+    }
+
+    #[test]
+    fn distance_conflict_ignores_events_without_location_or_time() {
+        let sigma = DistanceConflict::new(10.0);
+        let located = event(
+            0,
+            AttributeVector::empty()
+                .with_time(0, 10)
+                .with_location(0.0, 0.0),
+        );
+        let no_location = event(1, AttributeVector::empty().with_time(0, 10));
+        let no_time = event(2, AttributeVector::empty().with_location(0.0, 0.0));
+        assert!(!sigma.conflicts(&located, &no_location));
+        assert!(!sigma.conflicts(&located, &no_time));
+    }
+
+    #[test]
+    fn distance_conflict_is_symmetric() {
+        let sigma = DistanceConflict::new(2.0);
+        let a = event(
+            0,
+            AttributeVector::empty()
+                .with_time(0, 10)
+                .with_location(0.0, 0.0),
+        );
+        let b = event(
+            1,
+            AttributeVector::empty()
+                .with_time(3, 4)
+                .with_location(1.0, 1.0),
+        );
+        assert_eq!(sigma.conflicts(&a, &b), sigma.conflicts(&b, &a));
+    }
+
+    #[test]
+    fn negative_radius_is_clamped() {
+        let sigma = DistanceConflict::new(-5.0);
+        assert_eq!(sigma.radius, 0.0);
+    }
+
+    #[test]
+    fn travel_time_conflict_subsumes_time_overlap() {
+        let sigma = TravelTimeConflict::new(1.0);
+        let a = event(0, AttributeVector::empty().with_time(0, 10));
+        let b = event(1, AttributeVector::empty().with_time(5, 10));
+        assert!(sigma.conflicts(&a, &b));
+    }
+
+    #[test]
+    fn travel_time_conflict_triggers_when_the_hop_is_too_long() {
+        // Event a ends at t = 10, event b starts at t = 15 → 5 time units to
+        // travel. Venues are 20 apart; at speed 1 that needs 20 units → conflict.
+        let sigma = TravelTimeConflict::new(1.0);
+        let a = event(
+            0,
+            AttributeVector::empty()
+                .with_time(0, 10)
+                .with_location(0.0, 0.0),
+        );
+        let b = event(
+            1,
+            AttributeVector::empty()
+                .with_time(15, 10)
+                .with_location(20.0, 0.0),
+        );
+        assert!(sigma.conflicts(&a, &b));
+        assert!(sigma.conflicts(&b, &a), "must stay symmetric");
+
+        // A fast enough traveller resolves the conflict.
+        let fast = TravelTimeConflict::new(10.0);
+        assert!(!fast.conflicts(&a, &b));
+        assert!(!fast.conflicts(&b, &a));
+    }
+
+    #[test]
+    fn travel_time_conflict_without_locations_reduces_to_time_overlap() {
+        let sigma = TravelTimeConflict::new(0.5);
+        let a = event(0, AttributeVector::empty().with_time(0, 10));
+        let later = event(1, AttributeVector::empty().with_time(20, 10));
+        let overlapping = event(2, AttributeVector::empty().with_time(5, 10));
+        assert!(!sigma.conflicts(&a, &later));
+        assert!(sigma.conflicts(&a, &overlapping));
+    }
+
+    #[test]
+    fn travel_time_conflict_ignores_untimed_events() {
+        let sigma = TravelTimeConflict::new(1.0);
+        let timed = event(0, AttributeVector::empty().with_time(0, 10));
+        let untimed = event(1, AttributeVector::empty().with_location(3.0, 4.0));
+        assert!(!sigma.conflicts(&timed, &untimed));
+        assert!(!sigma.conflicts(&untimed, &untimed.clone()));
+    }
+
+    #[test]
+    fn zero_speed_is_clamped_to_a_positive_value() {
+        let sigma = TravelTimeConflict::new(0.0);
+        assert!(sigma.speed > 0.0);
+        // With an (effectively) zero speed, distinct venues are unreachable
+        // even with a huge gap.
+        let a = event(
+            0,
+            AttributeVector::empty()
+                .with_time(0, 1)
+                .with_location(0.0, 0.0),
+        );
+        let b = event(
+            1,
+            AttributeVector::empty()
+                .with_time(1_000_000, 1)
+                .with_location(1.0, 0.0),
+        );
+        assert!(sigma.conflicts(&a, &b));
+    }
+
+    #[test]
+    fn same_venue_back_to_back_does_not_conflict() {
+        let sigma = TravelTimeConflict::new(1.0);
+        let a = event(
+            0,
+            AttributeVector::empty()
+                .with_time(0, 10)
+                .with_location(2.0, 2.0),
+        );
+        let b = event(
+            1,
+            AttributeVector::empty()
+                .with_time(10, 10)
+                .with_location(2.0, 2.0),
+        );
+        assert!(!sigma.conflicts(&a, &b));
+    }
+}

@@ -1,0 +1,88 @@
+//! Users (Definition 2 of the paper).
+
+use crate::attrs::AttributeVector;
+use crate::ids::{EventId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A user `u ∈ U`.
+///
+/// Per Definition 2, a user is associated with a capacity `c_u` (the maximum
+/// number of events the user can attend), an attribute vector `l_u`, and the
+/// set `N_u` of events the user bids for. IGEPA operates in the bidding
+/// setting: a user is never assigned an event outside `N_u`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct User {
+    /// Dense identifier of this user.
+    pub id: UserId,
+    /// Capacity `c_u`: maximum number of events the user can attend.
+    pub capacity: usize,
+    /// Attribute vector `l_u` used for interest computation.
+    pub attrs: AttributeVector,
+    /// `N_u`: events this user bids for, sorted by id, deduplicated.
+    pub bids: Vec<EventId>,
+}
+
+impl User {
+    /// Creates a user with the given bid set. Bids are sorted and
+    /// deduplicated so that downstream code can rely on binary search.
+    pub fn new(id: UserId, capacity: usize, attrs: AttributeVector, mut bids: Vec<EventId>) -> Self {
+        bids.sort_unstable();
+        bids.dedup();
+        User {
+            id,
+            capacity,
+            attrs,
+            bids,
+        }
+    }
+
+    /// Number of events this user bid for, `|N_u|`.
+    pub fn num_bids(&self) -> usize {
+        self.bids.len()
+    }
+
+    /// Whether this user bid for the given event.
+    pub fn has_bid(&self, event: EventId) -> bool {
+        self.bids.binary_search(&event).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bids_are_sorted_and_deduplicated() {
+        let u = User::new(
+            UserId::new(0),
+            2,
+            AttributeVector::empty(),
+            vec![EventId::new(5), EventId::new(1), EventId::new(5), EventId::new(3)],
+        );
+        assert_eq!(
+            u.bids,
+            vec![EventId::new(1), EventId::new(3), EventId::new(5)]
+        );
+        assert_eq!(u.num_bids(), 3);
+    }
+
+    #[test]
+    fn has_bid_reflects_membership() {
+        let u = User::new(
+            UserId::new(7),
+            1,
+            AttributeVector::empty(),
+            vec![EventId::new(2), EventId::new(9)],
+        );
+        assert!(u.has_bid(EventId::new(2)));
+        assert!(u.has_bid(EventId::new(9)));
+        assert!(!u.has_bid(EventId::new(3)));
+    }
+
+    #[test]
+    fn empty_bid_set_is_allowed() {
+        let u = User::new(UserId::new(1), 4, AttributeVector::empty(), vec![]);
+        assert_eq!(u.num_bids(), 0);
+        assert!(!u.has_bid(EventId::new(0)));
+    }
+}

@@ -1,0 +1,290 @@
+//! Property-based tests for the core problem model: feasibility checking,
+//! utility accounting, conflict matrices and admissible-set enumeration are
+//! cross-checked against brute-force reference implementations on random
+//! instances.
+
+use igepa_core::{
+    enumerate_for_user, Arrangement, AttributeVector, ConflictMatrix, EventId, Instance,
+    PairSetConflict, TableInterest, UserId, Violation,
+};
+use proptest::prelude::*;
+
+/// A compact random-instance description proptest can shrink.
+#[derive(Debug, Clone)]
+struct RawInstance {
+    event_capacities: Vec<usize>,
+    user_capacities: Vec<usize>,
+    /// bids[u] ⊆ events, encoded as indices
+    bids: Vec<Vec<usize>>,
+    /// unordered conflicting pairs (i, j), i < j
+    conflicts: Vec<(usize, usize)>,
+    interests: Vec<f64>,
+    interactions: Vec<f64>,
+    beta: f64,
+}
+
+fn raw_instance_strategy() -> impl Strategy<Value = RawInstance> {
+    (2usize..6, 2usize..6).prop_flat_map(|(num_events, num_users)| {
+        let caps_e = proptest::collection::vec(1usize..4, num_events);
+        let caps_u = proptest::collection::vec(1usize..4, num_users);
+        let bids = proptest::collection::vec(
+            proptest::collection::btree_set(0..num_events, 1..=num_events.min(4)),
+            num_users,
+        )
+        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect());
+        let conflicts = proptest::collection::btree_set(
+            (0..num_events, 0..num_events).prop_filter_map("ordered pair", |(a, b)| {
+                if a < b {
+                    Some((a, b))
+                } else {
+                    None
+                }
+            }),
+            0..=num_events,
+        )
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+        let interests = proptest::collection::vec(0.0f64..=1.0, num_events * num_users);
+        let interactions = proptest::collection::vec(0.0f64..=1.0, num_users);
+        (
+            caps_e,
+            caps_u,
+            bids,
+            conflicts,
+            interests,
+            interactions,
+            0.0f64..=1.0,
+        )
+            .prop_map(
+                move |(event_capacities, user_capacities, bids, conflicts, interests, interactions, beta)| {
+                    RawInstance {
+                        event_capacities,
+                        user_capacities,
+                        bids,
+                        conflicts,
+                        interests,
+                        interactions,
+                        beta,
+                    }
+                },
+            )
+    })
+}
+
+fn build(raw: &RawInstance) -> Instance {
+    let mut builder = Instance::builder();
+    let events: Vec<EventId> = raw
+        .event_capacities
+        .iter()
+        .map(|&c| builder.add_event(c, AttributeVector::empty()))
+        .collect();
+    for (u, bids) in raw.bids.iter().enumerate() {
+        let bid_ids: Vec<EventId> = bids.iter().map(|&e| events[e]).collect();
+        builder.add_user(raw.user_capacities[u], AttributeVector::empty(), bid_ids);
+    }
+    builder.interaction_scores(raw.interactions.clone());
+    builder.beta(raw.beta);
+    let mut sigma = PairSetConflict::new();
+    for &(a, b) in &raw.conflicts {
+        sigma.add(events[a], events[b]);
+    }
+    let interest = TableInterest::from_values(
+        raw.event_capacities.len(),
+        raw.user_capacities.len(),
+        raw.interests.clone(),
+    );
+    builder.build(&sigma, &interest).expect("valid random instance")
+}
+
+/// Brute-force feasibility check straight from Definition 4.
+fn brute_force_feasible(instance: &Instance, arrangement: &Arrangement) -> bool {
+    // Bid constraint.
+    for (v, u) in arrangement.pairs() {
+        if !instance.user(u).has_bid(v) {
+            return false;
+        }
+    }
+    // Capacity constraints.
+    for event in instance.events() {
+        let load = arrangement
+            .pairs()
+            .filter(|&(v, _)| v == event.id)
+            .count();
+        if load > event.capacity {
+            return false;
+        }
+    }
+    for user in instance.users() {
+        let count = arrangement.pairs().filter(|&(_, u)| u == user.id).count();
+        if count > user.capacity {
+            return false;
+        }
+    }
+    // Conflict constraint.
+    for user in instance.users() {
+        let events: Vec<EventId> = arrangement.events_of(user.id).to_vec();
+        for (i, &a) in events.iter().enumerate() {
+            for &b in &events[i + 1..] {
+                if instance.conflicts().conflicts(a, b) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Random arrangement over the bid pairs (not necessarily feasible).
+fn random_arrangement(instance: &Instance, selector: &[bool]) -> Arrangement {
+    let mut arrangement = Arrangement::empty_for(instance);
+    for (k, (v, u)) in instance.bid_pairs().enumerate() {
+        if *selector.get(k).unwrap_or(&false) {
+            arrangement.assign(v, u);
+        }
+    }
+    arrangement
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental feasibility checker agrees with a brute-force check
+    /// derived directly from Definition 4.
+    #[test]
+    fn feasibility_checker_matches_brute_force(
+        raw in raw_instance_strategy(),
+        selector in proptest::collection::vec(any::<bool>(), 0..32),
+    ) {
+        let instance = build(&raw);
+        let arrangement = random_arrangement(&instance, &selector);
+        let fast = arrangement.is_feasible(&instance);
+        let slow = brute_force_feasible(&instance, &arrangement);
+        prop_assert_eq!(fast, slow);
+        // The violation list is non-empty exactly when infeasible.
+        prop_assert_eq!(arrangement.violations(&instance).is_empty(), fast);
+    }
+
+    /// Utility equals the sum of per-pair weights (Definition 7).
+    #[test]
+    fn utility_matches_weight_sum(
+        raw in raw_instance_strategy(),
+        selector in proptest::collection::vec(any::<bool>(), 0..32),
+    ) {
+        let instance = build(&raw);
+        let arrangement = random_arrangement(&instance, &selector);
+        let expected: f64 = arrangement
+            .pairs()
+            .map(|(v, u)| instance.weight(v, u))
+            .sum();
+        let breakdown = arrangement.utility(&instance);
+        prop_assert!((breakdown.total - expected).abs() < 1e-9);
+        // And the breakdown recombines with beta.
+        let recombined =
+            instance.beta() * breakdown.interest_sum + (1.0 - instance.beta()) * breakdown.interaction_sum;
+        prop_assert!((breakdown.total - recombined).abs() < 1e-9);
+    }
+
+    /// The conflict matrix is symmetric with a false diagonal, and its pair
+    /// count matches the generating conflict set restricted to real events.
+    #[test]
+    fn conflict_matrix_is_symmetric(raw in raw_instance_strategy()) {
+        let instance = build(&raw);
+        let matrix: &ConflictMatrix = instance.conflicts();
+        for i in 0..instance.num_events() {
+            prop_assert!(!matrix.conflicts(EventId::new(i), EventId::new(i)));
+            for j in 0..instance.num_events() {
+                prop_assert_eq!(
+                    matrix.conflicts(EventId::new(i), EventId::new(j)),
+                    matrix.conflicts(EventId::new(j), EventId::new(i))
+                );
+            }
+        }
+        prop_assert_eq!(matrix.num_conflicting_pairs(), raw.conflicts.len());
+    }
+
+    /// Admissible-set enumeration matches a brute-force subset filter.
+    #[test]
+    fn admissible_enumeration_matches_brute_force(raw in raw_instance_strategy()) {
+        let instance = build(&raw);
+        for user in instance.users() {
+            let enumerated = enumerate_for_user(&instance, user.id, 100_000).unwrap();
+            // Brute force: every non-empty subset of the bid list.
+            let bids = &user.bids;
+            let mut expected = 0usize;
+            for mask in 1u32..(1u32 << bids.len()) {
+                let subset: Vec<EventId> = bids
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                if subset.len() <= user.capacity
+                    && instance.conflicts().set_is_conflict_free(&subset)
+                {
+                    expected += 1;
+                }
+            }
+            prop_assert_eq!(enumerated.len(), expected, "user {}", user.id);
+        }
+    }
+
+    /// Assign/unassign round-trips leave the arrangement unchanged and the
+    /// reported violations identify real offenders.
+    #[test]
+    fn assign_unassign_roundtrip(
+        raw in raw_instance_strategy(),
+        selector in proptest::collection::vec(any::<bool>(), 0..32),
+    ) {
+        let instance = build(&raw);
+        let arrangement = random_arrangement(&instance, &selector);
+        let mut copy = arrangement.clone();
+        let pairs: Vec<_> = arrangement.pairs().collect();
+        for &(v, u) in &pairs {
+            prop_assert!(copy.unassign(v, u));
+        }
+        prop_assert!(copy.is_empty());
+        for &(v, u) in &pairs {
+            prop_assert!(copy.assign(v, u));
+        }
+        prop_assert_eq!(copy, arrangement.clone());
+
+        for violation in arrangement.violations(&instance) {
+            match violation {
+                Violation::Bid { event, user } => {
+                    prop_assert!(!instance.user(user).has_bid(event));
+                }
+                Violation::EventCapacity { event, assigned, capacity } => {
+                    prop_assert_eq!(arrangement.load_of(event), assigned);
+                    prop_assert!(assigned > capacity);
+                }
+                Violation::UserCapacity { user, assigned, capacity } => {
+                    prop_assert_eq!(arrangement.events_of(user).len(), assigned);
+                    prop_assert!(assigned > capacity);
+                }
+                Violation::Conflict { user, first, second } => {
+                    prop_assert!(arrangement.contains(first, user));
+                    prop_assert!(arrangement.contains(second, user));
+                    prop_assert!(instance.conflicts().conflicts(first, second));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn user_id_helpers_are_consistent() {
+    // Non-proptest sanity anchor for the strategy above.
+    let raw = RawInstance {
+        event_capacities: vec![1, 2],
+        user_capacities: vec![1, 1],
+        bids: vec![vec![0, 1], vec![1]],
+        conflicts: vec![(0, 1)],
+        interests: vec![0.1, 0.2, 0.3, 0.4],
+        interactions: vec![0.5, 0.6],
+        beta: 0.5,
+    };
+    let instance = build(&raw);
+    assert_eq!(instance.num_events(), 2);
+    assert_eq!(instance.num_users(), 2);
+    assert!(instance.conflicts().conflicts(EventId::new(0), EventId::new(1)));
+    assert_eq!(instance.interaction(UserId::new(1)), 0.6);
+}

@@ -1,0 +1,198 @@
+//! Arrival-sequence generators for online arrangement experiments.
+//!
+//! The online variants of event-participant arrangement (Section V of the
+//! paper cites several) process users one at a time. What order the users
+//! arrive in matters; this module generates the arrival processes used by
+//! the online experiments and the `online_arrivals` example:
+//!
+//! * a uniformly random permutation (the standard random-order model);
+//! * Poisson arrivals with exponential inter-arrival times (timestamps
+//!   matter when events also have deadlines);
+//! * activity-ordered arrivals (socially active users first or last), the
+//!   adversarial-ish orders that stress interaction-aware objectives.
+
+use igepa_core::{Instance, UserId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An arrival sequence over the users of an instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSequence {
+    /// User indices in arrival order.
+    pub order: Vec<usize>,
+    /// Arrival timestamp of each entry of `order` (non-decreasing).
+    pub times: Vec<f64>,
+}
+
+impl ArrivalSequence {
+    /// Number of arrivals in the sequence.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The arrival order as a slice (what the online algorithms consume).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Timestamp of the last arrival (0.0 for empty sequences).
+    pub fn makespan(&self) -> f64 {
+        self.times.last().copied().unwrap_or(0.0)
+    }
+
+    /// Checks the internal invariants: one arrival per user (a permutation)
+    /// and non-decreasing timestamps.
+    pub fn is_valid_for(&self, num_users: usize) -> bool {
+        if self.order.len() != num_users || self.times.len() != num_users {
+            return false;
+        }
+        let mut seen = vec![false; num_users];
+        for &u in &self.order {
+            if u >= num_users || seen[u] {
+                return false;
+            }
+            seen[u] = true;
+        }
+        self.times.windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+/// A uniformly random arrival order with unit-spaced timestamps.
+pub fn random_order<R: Rng + ?Sized>(num_users: usize, rng: &mut R) -> ArrivalSequence {
+    let mut order: Vec<usize> = (0..num_users).collect();
+    // Fisher–Yates shuffle.
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    ArrivalSequence {
+        times: (0..num_users).map(|i| i as f64).collect(),
+        order,
+    }
+}
+
+/// Poisson arrivals: a random order with exponential(rate) inter-arrival
+/// times. `rate` must be positive (it is clamped to a tiny positive value).
+pub fn poisson_arrivals<R: Rng + ?Sized>(
+    num_users: usize,
+    rate: f64,
+    rng: &mut R,
+) -> ArrivalSequence {
+    let rate = if rate > 0.0 { rate } else { f64::MIN_POSITIVE };
+    let mut sequence = random_order(num_users, rng);
+    let mut clock = 0.0;
+    for t in sequence.times.iter_mut() {
+        // Inverse-transform sampling of Exp(rate).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        clock += -u.ln() / rate;
+        *t = clock;
+    }
+    sequence
+}
+
+/// Users ordered by their degree of potential interaction, most active
+/// first (`descending = true`) or least active first. Ties break by id so
+/// the order is deterministic.
+pub fn activity_order(instance: &Instance, descending: bool) -> ArrivalSequence {
+    let mut order: Vec<usize> = (0..instance.num_users()).collect();
+    order.sort_by(|&a, &b| {
+        let da = instance.interaction(UserId::new(a));
+        let db = instance.interaction(UserId::new(b));
+        let primary = if descending {
+            db.partial_cmp(&da)
+        } else {
+            da.partial_cmp(&db)
+        }
+        .unwrap_or(std::cmp::Ordering::Equal);
+        primary.then_with(|| a.cmp(&b))
+    });
+    ArrivalSequence {
+        times: (0..instance.num_users()).map(|i| i as f64).collect(),
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_synthetic, SyntheticConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_order_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sequence = random_order(50, &mut rng);
+        assert!(sequence.is_valid_for(50));
+        assert_eq!(sequence.len(), 50);
+        assert!(!sequence.is_empty());
+    }
+
+    #[test]
+    fn poisson_arrivals_have_increasing_times() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sequence = poisson_arrivals(100, 2.0, &mut rng);
+        assert!(sequence.is_valid_for(100));
+        assert!(sequence.times.windows(2).all(|w| w[0] < w[1]));
+        assert!(sequence.makespan() > 0.0);
+        // Mean inter-arrival ≈ 1/rate = 0.5; makespan ≈ 50 within loose bounds.
+        assert!(sequence.makespan() > 20.0 && sequence.makespan() < 120.0);
+    }
+
+    #[test]
+    fn zero_rate_is_clamped_instead_of_panicking() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sequence = poisson_arrivals(5, 0.0, &mut rng);
+        assert!(sequence.is_valid_for(5));
+    }
+
+    #[test]
+    fn activity_order_sorts_by_interaction_score() {
+        let instance = generate_synthetic(&SyntheticConfig::tiny(), 4);
+        let descending = activity_order(&instance, true);
+        assert!(descending.is_valid_for(instance.num_users()));
+        for w in descending.order.windows(2) {
+            assert!(
+                instance.interaction(UserId::new(w[0]))
+                    >= instance.interaction(UserId::new(w[1]))
+            );
+        }
+        let ascending = activity_order(&instance, false);
+        for w in ascending.order.windows(2) {
+            assert!(
+                instance.interaction(UserId::new(w[0]))
+                    <= instance.interaction(UserId::new(w[1]))
+            );
+        }
+    }
+
+    #[test]
+    fn validity_check_rejects_duplicates_and_bad_times() {
+        let bad = ArrivalSequence {
+            order: vec![0, 0, 1],
+            times: vec![0.0, 1.0, 2.0],
+        };
+        assert!(!bad.is_valid_for(3));
+        let bad_times = ArrivalSequence {
+            order: vec![0, 1, 2],
+            times: vec![0.0, 2.0, 1.0],
+        };
+        assert!(!bad_times.is_valid_for(3));
+        let wrong_len = ArrivalSequence {
+            order: vec![0, 1],
+            times: vec![0.0, 1.0],
+        };
+        assert!(!wrong_len.is_valid_for(3));
+        let empty = ArrivalSequence {
+            order: vec![],
+            times: vec![],
+        };
+        assert!(empty.is_valid_for(0));
+        assert_eq!(empty.makespan(), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # igepa-datagen — workload generators for the IGEPA reproduction
+//!
+//! Two families of workloads drive the paper's evaluation and are rebuilt
+//! here:
+//!
+//! * [`generate_synthetic`] / [`SyntheticConfig`] — the Table I synthetic
+//!   model: uniform capacities and interests, pairwise event conflicts with
+//!   probability `pcf`, an Erdős–Rényi friendship graph with probability
+//!   `pdeg`, and bid sets grown dependently around conflicting events;
+//! * [`generate_meetup`] / [`MeetupConfig`] — a simulator standing in for
+//!   the proprietary Meetup San Francisco crawl behind Table II, following
+//!   every preprocessing rule the paper documents (time-overlap conflicts,
+//!   group-overlap social edges, capacity defaults, attendance-derived user
+//!   capacities and bids, attribute-based interest).
+//!
+//! All generators are deterministic given `(config, seed)`.
+//!
+//! ```
+//! use igepa_datagen::{generate_synthetic, SyntheticConfig};
+//!
+//! let instance = generate_synthetic(&SyntheticConfig::small(), 42);
+//! assert_eq!(instance.num_events(), 20);
+//! assert_eq!(instance.num_users(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrival;
+pub mod clustered;
+pub mod meetup;
+pub mod synthetic;
+
+pub use arrival::{activity_order, poisson_arrivals, random_order, ArrivalSequence};
+pub use clustered::{
+    generate_clustered, generate_clustered_dataset, ClusteredConfig, ClusteredDataset,
+};
+pub use meetup::{generate_meetup, generate_meetup_dataset, MeetupConfig, MeetupDataset};
+pub use synthetic::{
+    generate_synthetic, generate_synthetic_with_rng, SyntheticConfig, DENSE_NETWORK_USER_LIMIT,
+};

@@ -1,0 +1,390 @@
+//! Meetup-SF simulator: a synthetic stand-in for the paper's real dataset.
+//!
+//! The paper's Table II uses a crawl of Meetup events in San Francisco
+//! (190 events, 2811 users) that is not publicly available. This module
+//! reproduces every preprocessing rule the paper documents on top of a
+//! synthetic trace with matching structure, so that the Table II comparison
+//! can be regenerated (algorithm ordering and relative gaps, not the
+//! absolute utility of the proprietary crawl):
+//!
+//! * every event has a start time and a duration; two events conflict iff
+//!   they overlap in time;
+//! * only some events specify a capacity; the rest default to `|U|`;
+//! * users join groups (heavy-tailed sizes); two users are linked in the
+//!   social network iff they share at least one group;
+//! * each user *attended* a handful of events (preferring events matching
+//!   their group's topic); the user capacity is set to twice that number;
+//! * bids are the attended events plus the `c_u / 2` most interesting other
+//!   events;
+//! * interest is computed from the attribute (category) vectors.
+
+use igepa_core::{
+    AttributeVector, CosineInterest, EventId, Instance, InterestFn, TimeOverlapConflict, UserId,
+};
+use igepa_graph::{from_group_memberships, SocialNetwork};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Meetup-SF simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeetupConfig {
+    /// Number of events (the paper's crawl has 190).
+    pub num_events: usize,
+    /// Number of users (the paper's crawl has 2811).
+    pub num_users: usize,
+    /// Number of interest groups users can join.
+    pub num_groups: usize,
+    /// Number of topic categories used for attribute vectors.
+    pub num_categories: usize,
+    /// Length of the simulated calendar, in minutes.
+    pub horizon_minutes: i64,
+    /// Shortest event duration in minutes.
+    pub min_duration: i64,
+    /// Longest event duration in minutes.
+    pub max_duration: i64,
+    /// Fraction of events that publish an explicit capacity; the rest
+    /// default to `|U|` as in the paper.
+    pub capacity_known_fraction: f64,
+    /// Largest published event capacity.
+    pub max_known_capacity: usize,
+    /// Largest number of events a user attended in the trace.
+    pub max_attended: usize,
+    /// Balance parameter β (the paper evaluates β = 0.5).
+    pub beta: f64,
+}
+
+impl Default for MeetupConfig {
+    /// Dimensions matching the paper's San Francisco crawl.
+    fn default() -> Self {
+        MeetupConfig {
+            num_events: 190,
+            num_users: 2811,
+            num_groups: 60,
+            num_categories: 12,
+            horizon_minutes: 60 * 24 * 30, // one month of events
+            min_duration: 60,
+            max_duration: 240,
+            capacity_known_fraction: 0.5,
+            max_known_capacity: 120,
+            max_attended: 5,
+            beta: 0.5,
+        }
+    }
+}
+
+impl MeetupConfig {
+    /// The paper-scale configuration (190 events, 2811 users).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A scaled-down configuration for tests and examples.
+    pub fn small() -> Self {
+        MeetupConfig {
+            num_events: 30,
+            num_users: 200,
+            num_groups: 10,
+            num_categories: 6,
+            max_attended: 3,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything the simulator produces: the IGEPA instance plus the raw trace
+/// pieces useful for reporting (social network and group memberships).
+#[derive(Debug, Clone)]
+pub struct MeetupDataset {
+    /// The IGEPA instance derived from the simulated trace.
+    pub instance: Instance,
+    /// The group-overlap social network.
+    pub network: SocialNetwork,
+    /// `memberships[g]` lists the users in group `g`.
+    pub memberships: Vec<Vec<usize>>,
+    /// `attended[u]` lists the events user `u` attended in the trace.
+    pub attended: Vec<Vec<EventId>>,
+}
+
+/// Generates a Meetup-style dataset (instance only).
+pub fn generate_meetup(config: &MeetupConfig, seed: u64) -> Instance {
+    generate_meetup_dataset(config, seed).instance
+}
+
+/// Generates a Meetup-style dataset including the raw trace pieces.
+pub fn generate_meetup_dataset(config: &MeetupConfig, seed: u64) -> MeetupDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- Events: time window, topic mix, (sometimes) a published capacity.
+    let mut event_attrs: Vec<AttributeVector> = Vec::with_capacity(config.num_events);
+    let mut event_capacity: Vec<usize> = Vec::with_capacity(config.num_events);
+    for _ in 0..config.num_events {
+        let start = rng.gen_range(0..config.horizon_minutes.max(1));
+        let duration = rng.gen_range(config.min_duration..=config.max_duration.max(config.min_duration));
+        let topic = rng.gen_range(0..config.num_categories.max(1));
+        let mut categories = vec![0.0; config.num_categories.max(1)];
+        categories[topic] = 1.0;
+        // A secondary topic with smaller weight makes interests smoother.
+        let secondary = rng.gen_range(0..config.num_categories.max(1));
+        categories[secondary] += 0.4;
+        event_attrs.push(
+            AttributeVector::from_time(start, duration).with_categories(categories),
+        );
+        let capacity = if rng.gen_bool(config.capacity_known_fraction.clamp(0.0, 1.0)) {
+            rng.gen_range(10..=config.max_known_capacity.max(10))
+        } else {
+            // "For those without capacity information, we set it to the total
+            // number of users."
+            config.num_users
+        };
+        event_capacity.push(capacity);
+    }
+
+    // --- Groups: heavy-tailed memberships; each group has a home topic.
+    let mut memberships: Vec<Vec<usize>> = vec![Vec::new(); config.num_groups.max(1)];
+    let group_topic: Vec<usize> = (0..config.num_groups.max(1))
+        .map(|_| rng.gen_range(0..config.num_categories.max(1)))
+        .collect();
+    let mut user_groups: Vec<Vec<usize>> = vec![Vec::new(); config.num_users];
+    for user in 0..config.num_users {
+        // 1-4 groups per user, biased towards low-index (popular) groups via
+        // a squared-uniform draw, yielding heavy-tailed group sizes.
+        let joins = rng.gen_range(1..=4usize);
+        for _ in 0..joins {
+            let r: f64 = rng.gen_range(0.0..1.0);
+            let group = ((r * r) * config.num_groups.max(1) as f64) as usize;
+            let group = group.min(config.num_groups.max(1) - 1);
+            if !user_groups[user].contains(&group) {
+                user_groups[user].push(group);
+                memberships[group].push(user);
+            }
+        }
+    }
+
+    // --- User topic profiles from their groups (plus personal noise).
+    let mut user_attrs: Vec<AttributeVector> = Vec::with_capacity(config.num_users);
+    for groups in &user_groups {
+        let mut categories = vec![0.0; config.num_categories.max(1)];
+        for &g in groups {
+            categories[group_topic[g]] += 1.0;
+        }
+        let personal = rng.gen_range(0..config.num_categories.max(1));
+        categories[personal] += 0.5;
+        user_attrs.push(AttributeVector::from_categories(categories));
+    }
+
+    // --- Attendance: users attend events whose topic matches their profile.
+    let interest_fn = CosineInterest;
+    let mut attended: Vec<Vec<EventId>> = vec![Vec::new(); config.num_users];
+    // Pre-rank events per category for cheap preference sampling.
+    for user in 0..config.num_users {
+        let attends = rng.gen_range(1..=config.max_attended.max(1));
+        let mut candidates: Vec<usize> = (0..config.num_events).collect();
+        candidates.shuffle(&mut rng);
+        // Scan a random order and keep events with a topical match, falling
+        // back to arbitrary events so everyone attends something.
+        let mut chosen = Vec::new();
+        for &e in &candidates {
+            if chosen.len() >= attends {
+                break;
+            }
+            let overlap = event_attrs[e]
+                .categories
+                .iter()
+                .zip(&user_attrs[user].categories)
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
+            if overlap > 0.0 || rng.gen_bool(0.15) {
+                chosen.push(e);
+            }
+        }
+        for &e in candidates.iter().take(attends) {
+            if chosen.len() >= attends {
+                break;
+            }
+            if !chosen.contains(&e) {
+                chosen.push(e);
+            }
+        }
+        attended[user] = chosen.into_iter().map(EventId::new).collect();
+    }
+
+    // --- Assemble the instance.
+    let mut builder = Instance::builder();
+    builder.beta(config.beta);
+    for (attrs, capacity) in event_attrs.iter().zip(&event_capacity) {
+        builder.add_event(*capacity, attrs.clone());
+    }
+
+    // Temporary Event values for scoring "most interesting" extra bids.
+    let scoring_events: Vec<igepa_core::Event> = event_attrs
+        .iter()
+        .enumerate()
+        .map(|(i, attrs)| igepa_core::Event::new(EventId::new(i), event_capacity[i], attrs.clone()))
+        .collect();
+
+    for user in 0..config.num_users {
+        // "We set each user's capacity as twice the number of events he/she
+        // attended."
+        let capacity = 2 * attended[user].len().max(1);
+        // Bids: attended events + the c_u / 2 most interesting other events.
+        let extra = capacity / 2;
+        let scoring_user = igepa_core::User::new(
+            UserId::new(user),
+            capacity,
+            user_attrs[user].clone(),
+            vec![],
+        );
+        let mut others: Vec<(f64, usize)> = (0..config.num_events)
+            .filter(|e| !attended[user].contains(&EventId::new(*e)))
+            .map(|e| (interest_fn.interest(&scoring_events[e], &scoring_user), e))
+            .collect();
+        others.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut bids: Vec<EventId> = attended[user].clone();
+        bids.extend(others.into_iter().take(extra).map(|(_, e)| EventId::new(e)));
+        builder.add_user(capacity, user_attrs[user].clone(), bids);
+    }
+
+    // --- Social network from shared groups.
+    let network = from_group_memberships(config.num_users, &memberships);
+    builder.interaction_scores(network.degrees_of_potential_interaction());
+
+    let instance = builder
+        .build(&TimeOverlapConflict, &CosineInterest)
+        .expect("meetup simulator produces valid instances");
+
+    MeetupDataset {
+        instance,
+        network,
+        memberships,
+        attended,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igepa_core::InstanceStats;
+
+    #[test]
+    fn paper_scale_dimensions() {
+        let c = MeetupConfig::default();
+        assert_eq!(c.num_events, 190);
+        assert_eq!(c.num_users, 2811);
+    }
+
+    #[test]
+    fn small_dataset_structure() {
+        let config = MeetupConfig::small();
+        let ds = generate_meetup_dataset(&config, 1);
+        assert_eq!(ds.instance.num_events(), 30);
+        assert_eq!(ds.instance.num_users(), 200);
+        assert_eq!(ds.network.num_users(), 200);
+        assert_eq!(ds.attended.len(), 200);
+        let stats = InstanceStats::of(&ds.instance);
+        assert!(stats.mean_bids_per_user >= 1.0);
+    }
+
+    #[test]
+    fn user_capacity_is_twice_attendance() {
+        let config = MeetupConfig::small();
+        let ds = generate_meetup_dataset(&config, 5);
+        for (u, attended) in ds.attended.iter().enumerate() {
+            let cap = ds.instance.user(UserId::new(u)).capacity;
+            assert_eq!(cap, 2 * attended.len().max(1));
+        }
+    }
+
+    #[test]
+    fn bids_contain_attended_events() {
+        let config = MeetupConfig::small();
+        let ds = generate_meetup_dataset(&config, 9);
+        for (u, attended) in ds.attended.iter().enumerate() {
+            let user = ds.instance.user(UserId::new(u));
+            for &e in attended {
+                assert!(user.has_bid(e), "user {u} lost attended event {e}");
+            }
+            // Bids = attended + at most c_u / 2 extras.
+            assert!(user.bids.len() <= attended.len() + user.capacity / 2);
+        }
+    }
+
+    #[test]
+    fn conflicts_are_time_overlaps() {
+        let config = MeetupConfig::small();
+        let inst = generate_meetup(&config, 3);
+        let events = inst.events();
+        for i in 0..events.len() {
+            for j in (i + 1)..events.len() {
+                let expected = events[i]
+                    .attrs
+                    .time
+                    .unwrap()
+                    .overlaps(&events[j].attrs.time.unwrap());
+                assert_eq!(
+                    inst.conflicts().conflicts(events[i].id, events[j].id),
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_capacities_default_to_num_users() {
+        let mut config = MeetupConfig::small();
+        config.capacity_known_fraction = 0.0;
+        let inst = generate_meetup(&config, 2);
+        for e in inst.events() {
+            assert_eq!(e.capacity, config.num_users);
+        }
+        config.capacity_known_fraction = 1.0;
+        let inst2 = generate_meetup(&config, 2);
+        for e in inst2.events() {
+            assert!(e.capacity <= config.max_known_capacity);
+        }
+    }
+
+    #[test]
+    fn social_network_mirrors_group_overlap() {
+        let config = MeetupConfig::small();
+        let ds = generate_meetup_dataset(&config, 4);
+        // Two users in the same group must be connected.
+        for members in &ds.memberships {
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    assert!(ds.network.has_edge(a, b));
+                }
+            }
+        }
+        // Interaction scores on the instance come from that network.
+        let d = ds.network.degrees_of_potential_interaction();
+        for u in 0..config.num_users {
+            assert!((ds.instance.interaction(UserId::new(u)) - d[u]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = MeetupConfig::small();
+        let a = generate_meetup(&config, 8);
+        let b = generate_meetup(&config, 8);
+        assert_eq!(a.num_bids(), b.num_bids());
+        assert_eq!(
+            a.conflicts().num_conflicting_pairs(),
+            b.conflicts().num_conflicting_pairs()
+        );
+    }
+
+    #[test]
+    fn interest_values_are_valid() {
+        let config = MeetupConfig::small();
+        let inst = generate_meetup(&config, 6);
+        for user in inst.users() {
+            for &v in &user.bids {
+                let si = inst.interest(v, user.id);
+                assert!((0.0..=1.0).contains(&si), "interest {si}");
+            }
+        }
+    }
+}

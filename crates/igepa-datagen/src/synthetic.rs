@@ -1,0 +1,424 @@
+//! Synthetic workloads following Table I of the paper.
+//!
+//! The paper evaluates on synthetic datasets with six controllable factors
+//! (Table I defaults in parentheses): the number of events `|V|` (200), the
+//! number of users `|U|` (2000), the maximum event capacity `max c_v` (50),
+//! the maximum user capacity `max c_u` (4), the probability `pcf` that two
+//! events conflict (0.3) and the probability `pdeg` that two users are
+//! friends (0.5). Capacities and interest values are drawn uniformly;
+//! "users tend to bid a group of similar and often conflicting events", so
+//! bids are sampled *dependently* from sets of conflicting events.
+//!
+//! [`generate_synthetic`] reproduces that recipe:
+//!
+//! 1. event capacities `~ U{1, max c_v}`, user capacities `~ U{1, max c_u}`;
+//! 2. every unordered event pair conflicts independently with probability
+//!    `pcf`;
+//! 3. the social network is Erdős–Rényi `G(|U|, pdeg)`; for very large user
+//!    counts (where materialising ~`pdeg·|U|²/2` edges would dominate the
+//!    experiment runtime) the per-user degree is sampled from the same
+//!    Binomial(|U|−1, pdeg) marginal instead — the utility only ever
+//!    consumes the normalised degree `D(G, u)`, so the workload statistics
+//!    are unchanged (documented in DESIGN.md);
+//! 4. each user's bid set is grown by repeatedly picking a random seed event
+//!    and pulling in events that conflict with it, yielding the
+//!    "similar and often conflicting" bid groups the paper describes;
+//! 5. interest values for bid pairs are uniform in `[0, 1]`.
+
+use igepa_core::{AttributeVector, EventId, Instance, PairSetConflict, TableInterest};
+use igepa_graph::{erdos_renyi, SocialNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Above this user count the Erdős–Rényi network is not materialised and the
+/// interaction degrees are sampled from their Binomial marginal instead.
+pub const DENSE_NETWORK_USER_LIMIT: usize = 4000;
+
+/// Configuration of the synthetic generator (the six factors of Table I plus
+/// the bid-shape knobs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of events `|V|`.
+    pub num_events: usize,
+    /// Number of users `|U|`.
+    pub num_users: usize,
+    /// Maximum event capacity `max c_v`; capacities are uniform in `1..=max`.
+    pub max_event_capacity: usize,
+    /// Maximum user capacity `max c_u`; capacities are uniform in `1..=max`.
+    pub max_user_capacity: usize,
+    /// Probability `pcf` that two events conflict.
+    pub p_conflict: f64,
+    /// Probability `pdeg` that two users are friends.
+    pub p_friend: f64,
+    /// Balance parameter β of the utility (the paper evaluates β = 0.5).
+    pub beta: f64,
+    /// Target number of bids per user.
+    pub bids_per_user: usize,
+    /// How many events are pulled in around each conflicting "seed" event
+    /// when growing a bid set.
+    pub conflict_group_width: usize,
+}
+
+impl Default for SyntheticConfig {
+    /// The Table I default setting.
+    fn default() -> Self {
+        SyntheticConfig {
+            num_events: 200,
+            num_users: 2000,
+            max_event_capacity: 50,
+            max_user_capacity: 4,
+            p_conflict: 0.3,
+            p_friend: 0.5,
+            beta: 0.5,
+            bids_per_user: 8,
+            conflict_group_width: 4,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// The paper's Table I default setting.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A scaled-down setting for examples, unit tests and doc tests
+    /// (20 events, 100 users).
+    pub fn small() -> Self {
+        SyntheticConfig {
+            num_events: 20,
+            num_users: 100,
+            max_event_capacity: 10,
+            max_user_capacity: 3,
+            bids_per_user: 5,
+            ..Self::default()
+        }
+    }
+
+    /// A tiny setting whose exact optimum can still be computed by the
+    /// branch-and-bound baseline (used by the approximation-ratio study).
+    pub fn tiny() -> Self {
+        SyntheticConfig {
+            num_events: 8,
+            num_users: 20,
+            max_event_capacity: 4,
+            max_user_capacity: 2,
+            bids_per_user: 4,
+            conflict_group_width: 3,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a synthetic IGEPA instance. The same `(config, seed)` pair
+/// always produces the same instance.
+pub fn generate_synthetic(config: &SyntheticConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_synthetic_with_rng(config, &mut rng)
+}
+
+/// Generates a synthetic instance drawing randomness from the given RNG.
+pub fn generate_synthetic_with_rng<R: Rng + ?Sized>(
+    config: &SyntheticConfig,
+    rng: &mut R,
+) -> Instance {
+    let mut builder = Instance::builder();
+    builder.beta(config.beta);
+
+    // Events with uniform capacities. Attribute vectors stay empty: the
+    // synthetic model defines conflicts and interests explicitly.
+    let event_ids: Vec<EventId> = (0..config.num_events)
+        .map(|_| {
+            let capacity = rng.gen_range(1..=config.max_event_capacity.max(1));
+            builder.add_event(capacity, AttributeVector::empty())
+        })
+        .collect();
+
+    // Pairwise conflicts with probability pcf, plus the per-event adjacency
+    // used to grow conflict-heavy bid sets.
+    let mut sigma = PairSetConflict::new();
+    let mut conflict_neighbours: Vec<Vec<EventId>> = vec![Vec::new(); config.num_events];
+    if config.p_conflict > 0.0 && config.num_events > 1 {
+        for i in 0..config.num_events {
+            for j in (i + 1)..config.num_events {
+                if config.p_conflict >= 1.0 || rng.gen_bool(config.p_conflict) {
+                    sigma.add(event_ids[i], event_ids[j]);
+                    conflict_neighbours[i].push(event_ids[j]);
+                    conflict_neighbours[j].push(event_ids[i]);
+                }
+            }
+        }
+    }
+
+    // Users: uniform capacities, dependent bid sets grown around conflicting
+    // seeds.
+    let mut user_bids: Vec<Vec<EventId>> = Vec::with_capacity(config.num_users);
+    for _ in 0..config.num_users {
+        let bids = sample_dependent_bids(config, &conflict_neighbours, rng);
+        user_bids.push(bids);
+    }
+    for bids in &user_bids {
+        let capacity = rng.gen_range(1..=config.max_user_capacity.max(1));
+        builder.add_user(capacity, AttributeVector::empty(), bids.clone());
+    }
+
+    // Social network → degree of potential interaction.
+    let interaction = sample_interaction_scores(config, rng);
+    builder.interaction_scores(interaction);
+
+    // Uniform interests on bid pairs.
+    let mut interest = TableInterest::zeros(config.num_events, config.num_users);
+    for (user_index, bids) in user_bids.iter().enumerate() {
+        for &event in bids {
+            interest.set(event, igepa_core::UserId::new(user_index), rng.gen_range(0.0..1.0));
+        }
+    }
+
+    builder
+        .build(&sigma, &interest)
+        .expect("synthetic generator produces valid instances")
+}
+
+/// Builds the social network (or its degree marginal for very large `|U|`)
+/// and returns the per-user degree of potential interaction.
+fn sample_interaction_scores<R: Rng + ?Sized>(config: &SyntheticConfig, rng: &mut R) -> Vec<f64> {
+    if config.num_users <= 1 {
+        return vec![0.0; config.num_users];
+    }
+    if config.num_users <= DENSE_NETWORK_USER_LIMIT {
+        let network: SocialNetwork = erdos_renyi(config.num_users, config.p_friend, rng);
+        network.degrees_of_potential_interaction()
+    } else {
+        let n = config.num_users - 1;
+        (0..config.num_users)
+            .map(|_| sample_binomial(n, config.p_friend, rng) as f64 / n as f64)
+            .collect()
+    }
+}
+
+/// Grows one user's bid set by repeatedly picking a random seed event and
+/// pulling in up to `conflict_group_width − 1` events conflicting with it.
+fn sample_dependent_bids<R: Rng + ?Sized>(
+    config: &SyntheticConfig,
+    conflict_neighbours: &[Vec<EventId>],
+    rng: &mut R,
+) -> Vec<EventId> {
+    let target = config.bids_per_user.min(config.num_events).max(1);
+    let mut bids: Vec<EventId> = Vec::with_capacity(target);
+    let mut guard = 0;
+    while bids.len() < target && guard < 20 * target {
+        guard += 1;
+        let seed_index = rng.gen_range(0..config.num_events);
+        let seed = EventId::new(seed_index);
+        if !bids.contains(&seed) {
+            bids.push(seed);
+        }
+        let neighbours = &conflict_neighbours[seed_index];
+        if neighbours.is_empty() {
+            continue;
+        }
+        let width = config.conflict_group_width.saturating_sub(1);
+        for _ in 0..width {
+            if bids.len() >= target {
+                break;
+            }
+            let pick = neighbours[rng.gen_range(0..neighbours.len())];
+            if !bids.contains(&pick) {
+                bids.push(pick);
+            }
+        }
+    }
+    bids.sort_unstable();
+    bids.dedup();
+    bids
+}
+
+/// Samples from Binomial(n, p). Exact Bernoulli summation for small `n`,
+/// normal approximation (clamped) for large `n`.
+fn sample_binomial<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> usize {
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    let var = mean * (1.0 - p);
+    if mean > 30.0 && var > 30.0 {
+        // Box–Muller normal approximation.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let value = (mean + z * var.sqrt()).round();
+        value.clamp(0.0, n as f64) as usize
+    } else {
+        (0..n).filter(|_| rng.gen_bool(p)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igepa_core::InstanceStats;
+
+    #[test]
+    fn default_config_matches_table_one() {
+        let c = SyntheticConfig::default();
+        assert_eq!(c.num_events, 200);
+        assert_eq!(c.num_users, 2000);
+        assert_eq!(c.max_event_capacity, 50);
+        assert_eq!(c.max_user_capacity, 4);
+        assert_eq!(c.p_conflict, 0.3);
+        assert_eq!(c.p_friend, 0.5);
+        assert_eq!(c.beta, 0.5);
+    }
+
+    #[test]
+    fn small_instance_has_requested_dimensions() {
+        let config = SyntheticConfig::small();
+        let inst = generate_synthetic(&config, 7);
+        assert_eq!(inst.num_events(), 20);
+        assert_eq!(inst.num_users(), 100);
+        let stats = InstanceStats::of(&inst);
+        assert!(stats.max_event_capacity <= config.max_event_capacity);
+        assert!(stats.max_user_capacity <= config.max_user_capacity);
+        assert!(stats.mean_bids_per_user > 0.0);
+        assert!(stats.mean_bids_per_user <= config.bids_per_user as f64 + 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = SyntheticConfig::small();
+        let a = generate_synthetic(&config, 11);
+        let b = generate_synthetic(&config, 11);
+        assert_eq!(a.num_bids(), b.num_bids());
+        assert_eq!(
+            a.conflicts().num_conflicting_pairs(),
+            b.conflicts().num_conflicting_pairs()
+        );
+        let ua = igepa_core::UserId::new(3);
+        assert_eq!(a.user(ua).bids, b.user(ua).bids);
+        assert_eq!(a.interaction(ua), b.interaction(ua));
+        let c = generate_synthetic(&config, 12);
+        // A different seed should (overwhelmingly) give a different workload.
+        assert!(
+            a.num_bids() != c.num_bids()
+                || a.conflicts().num_conflicting_pairs() != c.conflicts().num_conflicting_pairs()
+                || a.user(ua).bids != c.user(ua).bids
+        );
+    }
+
+    #[test]
+    fn conflict_density_tracks_pcf() {
+        let mut config = SyntheticConfig::small();
+        config.num_events = 60;
+        config.p_conflict = 0.4;
+        let inst = generate_synthetic(&config, 3);
+        let density = inst.conflicts().density();
+        assert!((density - 0.4).abs() < 0.1, "density {density}");
+        config.p_conflict = 0.0;
+        let inst0 = generate_synthetic(&config, 3);
+        assert_eq!(inst0.conflicts().density(), 0.0);
+        config.p_conflict = 1.0;
+        let inst1 = generate_synthetic(&config, 3);
+        assert!((inst1.conflicts().density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interaction_scores_track_pdeg() {
+        let mut config = SyntheticConfig::small();
+        config.num_users = 200;
+        config.p_friend = 0.3;
+        let inst = generate_synthetic(&config, 5);
+        let mean: f64 = (0..inst.num_users())
+            .map(|i| inst.interaction(igepa_core::UserId::new(i)))
+            .sum::<f64>()
+            / inst.num_users() as f64;
+        assert!((mean - 0.3).abs() < 0.05, "mean interaction {mean}");
+    }
+
+    #[test]
+    fn large_user_counts_use_binomial_marginal() {
+        let config = SyntheticConfig {
+            num_users: DENSE_NETWORK_USER_LIMIT + 500,
+            num_events: 10,
+            bids_per_user: 3,
+            ..SyntheticConfig::small()
+        };
+        let inst = generate_synthetic(&config, 9);
+        assert_eq!(inst.num_users(), DENSE_NETWORK_USER_LIMIT + 500);
+        let mean: f64 = (0..inst.num_users())
+            .map(|i| inst.interaction(igepa_core::UserId::new(i)))
+            .sum::<f64>()
+            / inst.num_users() as f64;
+        assert!((mean - config.p_friend).abs() < 0.05, "mean interaction {mean}");
+    }
+
+    #[test]
+    fn bids_are_valid_events_and_bounded() {
+        let config = SyntheticConfig::small();
+        let inst = generate_synthetic(&config, 21);
+        for user in inst.users() {
+            assert!(!user.bids.is_empty());
+            assert!(user.bids.len() <= config.bids_per_user);
+            for &v in &user.bids {
+                assert!(v.index() < inst.num_events());
+            }
+        }
+    }
+
+    #[test]
+    fn bid_sets_contain_conflicting_events_when_pcf_high() {
+        let mut config = SyntheticConfig::small();
+        config.p_conflict = 0.8;
+        config.bids_per_user = 6;
+        let inst = generate_synthetic(&config, 13);
+        // With pcf = 0.8 and dependent sampling most users should hold at
+        // least one conflicting pair in their bid set.
+        let mut users_with_conflicting_bids = 0;
+        for user in inst.users() {
+            let mut found = false;
+            for (i, &a) in user.bids.iter().enumerate() {
+                for &b in &user.bids[i + 1..] {
+                    if inst.conflicts().conflicts(a, b) {
+                        found = true;
+                    }
+                }
+            }
+            if found {
+                users_with_conflicting_bids += 1;
+            }
+        }
+        assert!(
+            users_with_conflicting_bids * 2 > inst.num_users(),
+            "only {users_with_conflicting_bids} of {} users have conflicting bids",
+            inst.num_users()
+        );
+    }
+
+    #[test]
+    fn binomial_sampler_matches_expectation() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Small-n exact path.
+        let small: f64 = (0..2000).map(|_| sample_binomial(10, 0.3, &mut rng) as f64).sum::<f64>() / 2000.0;
+        assert!((small - 3.0).abs() < 0.2, "{small}");
+        // Large-n normal approximation path.
+        let large: f64 = (0..500).map(|_| sample_binomial(5000, 0.5, &mut rng) as f64).sum::<f64>() / 500.0;
+        assert!((large - 2500.0).abs() < 25.0, "{large}");
+        assert_eq!(sample_binomial(100, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(100, 1.0, &mut rng), 100);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+    }
+
+    #[test]
+    fn interest_values_are_in_unit_interval() {
+        let inst = generate_synthetic(&SyntheticConfig::small(), 31);
+        for user in inst.users() {
+            for &v in &user.bids {
+                let si = inst.interest(v, user.id);
+                assert!((0.0..=1.0).contains(&si));
+            }
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Ablation studies around the design choices of LP-packing.
+//!
+//! None of these appear as numbered artefacts in the (4-page) paper, but
+//! each probes a decision the paper either makes implicitly or leaves
+//! unexplored. DESIGN.md lists them as extensions:
+//!
+//! * **α sweep** — Theorem 2 proves the ¼ bound at `α = ½`, yet the
+//!   evaluation uses `α = 1`. The sweep shows how utility varies with α.
+//! * **β sweep** — the utility trades user interest against social
+//!   interaction; the sweep varies β from 0 (interaction only) to 1
+//!   (interest only) and checks the algorithm ordering at every point.
+//! * **LP backend** — exact simplex vs the dual-subgradient packing solver
+//!   behind the same rounding, on identical workloads.
+//! * **Guidance/rounding ablation** — LP-packing vs its deterministic
+//!   rounding, the Lagrangian price heuristic, and the metaheuristics.
+//! * **Interaction measure** — Definition 6 uses normalised degree; the
+//!   ablation re-scores the same workload with closeness, PageRank,
+//!   eigenvector and core-number centralities.
+//! * **Clustered workloads** — the Table I comparison repeated on the
+//!   community-structured generator.
+
+use crate::report::{AlgorithmResult, SweepPoint, SweepReport, TableReport};
+use crate::settings::ExperimentSettings;
+use igepa_algos::{
+    run_and_record, ArrangementAlgorithm, GreedyArrangement, Lagrangian, LocalSearch,
+    LpBackend, LpDeterministic, LpPacking, RandomU, RandomV, SimulatedAnnealing, TabuSearch,
+};
+use igepa_core::{Instance, InstanceSnapshot};
+use igepa_datagen::{generate_clustered_dataset, generate_synthetic, ClusteredConfig, SyntheticConfig};
+use igepa_graph::InteractionMeasure;
+
+/// Runs a roster of algorithms on `repetitions` freshly generated instances
+/// and aggregates one [`AlgorithmResult`] per algorithm.
+fn compare_roster<F>(
+    settings: &ExperimentSettings,
+    algorithms: &[Box<dyn ArrangementAlgorithm>],
+    mut make_instance: F,
+) -> Vec<AlgorithmResult>
+where
+    F: FnMut(usize) -> Instance,
+{
+    let mut utilities: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+    let mut runtimes: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+    for rep in 0..settings.repetitions.max(1) {
+        let instance = make_instance(rep);
+        for (i, algorithm) in algorithms.iter().enumerate() {
+            let record = run_and_record(
+                algorithm.as_ref(),
+                &instance,
+                settings.base_seed + rep as u64,
+            );
+            assert!(
+                record.feasible,
+                "{} produced an infeasible arrangement",
+                record.algorithm
+            );
+            utilities[i].push(record.utility);
+            runtimes[i].push(record.runtime_seconds);
+        }
+    }
+    algorithms
+        .iter()
+        .enumerate()
+        .map(|(i, a)| AlgorithmResult::from_runs(a.name(), &utilities[i], &runtimes[i]))
+        .collect()
+}
+
+/// α sweep: LP-packing with α ∈ {¼, ½, ¾, 1} on the (scaled) Table I
+/// default workload. The result keeps one row per α value; the algorithm
+/// name in each row is `LP-packing`.
+pub fn run_alpha_ablation(settings: &ExperimentSettings) -> SweepReport {
+    let config = settings.scale_config(&SyntheticConfig::paper_default());
+    let alphas = [0.25, 0.5, 0.75, 1.0];
+    let mut points = Vec::with_capacity(alphas.len());
+    for (k, &alpha) in alphas.iter().enumerate() {
+        let algorithm: Vec<Box<dyn ArrangementAlgorithm>> = vec![Box::new(LpPacking {
+            alpha,
+            backend: settings.lp_backend,
+            ..LpPacking::default()
+        })];
+        let results = compare_roster(settings, &algorithm, |rep| {
+            generate_synthetic(&config, settings.base_seed + 1000 * k as u64 + rep as u64)
+        });
+        points.push(SweepPoint {
+            factor_value: alpha,
+            results,
+        });
+    }
+    SweepReport {
+        id: "ablation-alpha".to_string(),
+        factor_name: "sampling parameter α".to_string(),
+        points,
+    }
+}
+
+/// β sweep: the full paper roster at β ∈ {0, ¼, ½, ¾, 1}.
+pub fn run_beta_ablation(settings: &ExperimentSettings) -> SweepReport {
+    let base = settings.scale_config(&SyntheticConfig::paper_default());
+    let betas = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut points = Vec::with_capacity(betas.len());
+    for (k, &beta) in betas.iter().enumerate() {
+        let config = SyntheticConfig {
+            beta,
+            ..base.clone()
+        };
+        let results = settings.compare_on(|rep| {
+            generate_synthetic(&config, settings.base_seed + 2000 * k as u64 + rep as u64)
+        });
+        points.push(SweepPoint {
+            factor_value: beta,
+            results,
+        });
+    }
+    SweepReport {
+        id: "ablation-beta".to_string(),
+        factor_name: "balance parameter β".to_string(),
+        points,
+    }
+}
+
+/// LP backend ablation: identical workloads solved by LP-packing with the
+/// exact simplex and with the dual-subgradient packing solver.
+pub fn run_backend_ablation(settings: &ExperimentSettings) -> TableReport {
+    let config = settings.scale_config(&SyntheticConfig::paper_default());
+    let algorithms: Vec<Box<dyn ArrangementAlgorithm>> = vec![
+        Box::new(LpPacking::with_backend(LpBackend::Simplex)),
+        Box::new(LpPacking::with_backend(LpBackend::DualSubgradient { rounds: 1500 })),
+        Box::new(GreedyArrangement),
+    ];
+    // `name()` is identical for both LP-packing variants, so relabel rows.
+    let mut results = compare_roster(settings, &algorithms, |rep| {
+        generate_synthetic(&config, settings.base_seed + rep as u64)
+    });
+    if results.len() >= 2 {
+        results[0].algorithm = "LP-packing (simplex)".to_string();
+        results[1].algorithm = "LP-packing (dual subgradient)".to_string();
+    }
+    TableReport {
+        id: "ablation-backend".to_string(),
+        description: format!(
+            "LP backend ablation on the Table I default workload (|V|={}, |U|={})",
+            config.num_events, config.num_users
+        ),
+        results,
+    }
+}
+
+/// Guidance/rounding ablation: LP-packing vs deterministic LP rounding, the
+/// Lagrangian price heuristic, local search and the metaheuristics.
+pub fn run_extension_ablation(settings: &ExperimentSettings) -> TableReport {
+    let config = settings.scale_config(&SyntheticConfig::paper_default());
+    let algorithms: Vec<Box<dyn ArrangementAlgorithm>> = vec![
+        Box::new(LpPacking {
+            backend: settings.lp_backend,
+            ..LpPacking::default()
+        }),
+        Box::new(LpDeterministic::default()),
+        Box::new(Lagrangian::default()),
+        Box::new(GreedyArrangement),
+        Box::new(LocalSearch::default()),
+        Box::new(TabuSearch::default()),
+        Box::new(SimulatedAnnealing::default()),
+        Box::new(RandomU),
+        Box::new(RandomV),
+    ];
+    let results = compare_roster(settings, &algorithms, |rep| {
+        generate_synthetic(&config, settings.base_seed + rep as u64)
+    });
+    TableReport {
+        id: "ablation-extensions".to_string(),
+        description: format!(
+            "LP guidance vs heuristic alternatives on the Table I default workload (|V|={}, |U|={})",
+            config.num_events, config.num_users
+        ),
+        results,
+    }
+}
+
+/// Interaction-measure ablation: the same clustered workload re-scored with
+/// every [`InteractionMeasure`], compared across the paper roster. Returns
+/// one table per measure.
+pub fn run_interaction_ablation(settings: &ExperimentSettings) -> Vec<TableReport> {
+    let config = scaled_clustered_config(settings);
+    InteractionMeasure::all()
+        .into_iter()
+        .map(|measure| {
+            let results = settings.compare_on(|rep| {
+                let dataset =
+                    generate_clustered_dataset(&config, settings.base_seed + rep as u64);
+                rescore_interaction(&dataset.instance, measure.scores(&dataset.network))
+            });
+            TableReport {
+                id: format!("ablation-interaction-{}", measure.id()),
+                description: format!(
+                    "paper roster with D(G,u) replaced by {measure} centrality (clustered workload, |V|={}, |U|={})",
+                    config.num_events, config.num_users
+                ),
+                results,
+            }
+        })
+        .collect()
+}
+
+/// Table-I-style comparison on the community-structured workload.
+pub fn run_clustered_table(settings: &ExperimentSettings) -> TableReport {
+    let config = scaled_clustered_config(settings);
+    let results = settings.compare_on(|rep| {
+        generate_clustered_dataset(&config, settings.base_seed + rep as u64).instance
+    });
+    TableReport {
+        id: "clustered".to_string(),
+        description: format!(
+            "community-structured workload (|V|={}, |U|={}, {} communities, {} time slots)",
+            config.num_events, config.num_users, config.num_communities, config.num_time_slots
+        ),
+        results,
+    }
+}
+
+fn scaled_clustered_config(settings: &ExperimentSettings) -> ClusteredConfig {
+    let base = ClusteredConfig::default();
+    if (settings.scale - 1.0).abs() < 1e-12 {
+        return base;
+    }
+    let scale = settings.scale.max(0.01);
+    ClusteredConfig {
+        num_events: ((base.num_events as f64 * scale).round() as usize).max(4),
+        num_users: ((base.num_users as f64 * scale).round() as usize).max(10),
+        num_communities: ((base.num_communities as f64 * scale.sqrt()).round() as usize).max(2),
+        num_time_slots: ((base.num_time_slots as f64 * scale.sqrt()).round() as usize).max(2),
+        ..base
+    }
+}
+
+/// Replaces an instance's interaction scores (Definition 6) by the given
+/// vector, keeping every other ingredient identical.
+fn rescore_interaction(instance: &Instance, scores: Vec<f64>) -> Instance {
+    let mut snapshot = InstanceSnapshot::capture(instance);
+    assert_eq!(
+        snapshot.interaction.len(),
+        scores.len(),
+        "one interaction score per user is required"
+    );
+    snapshot.interaction = scores;
+    snapshot
+        .restore()
+        .expect("re-scored snapshot remains a valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_settings() -> ExperimentSettings {
+        ExperimentSettings {
+            repetitions: 1,
+            scale: 0.05,
+            ..ExperimentSettings::quick()
+        }
+    }
+
+    #[test]
+    fn alpha_ablation_produces_one_point_per_alpha() {
+        let report = run_alpha_ablation(&quick_settings());
+        assert_eq!(report.id, "ablation-alpha");
+        assert_eq!(report.points.len(), 4);
+        for point in &report.points {
+            assert_eq!(point.results.len(), 1);
+            assert_eq!(point.results[0].algorithm, "LP-packing");
+            assert!(point.results[0].mean_utility >= 0.0);
+        }
+        // α = 1 keeps at least as much LP mass as α = ¼ in expectation; with
+        // a single repetition we only check monotonicity loosely: the largest
+        // α must not be the unique minimum.
+        let first = report.points.first().unwrap().results[0].mean_utility;
+        let last = report.points.last().unwrap().results[0].mean_utility;
+        assert!(last >= 0.5 * first);
+    }
+
+    #[test]
+    fn beta_ablation_covers_the_whole_range_and_keeps_the_roster() {
+        let report = run_beta_ablation(&quick_settings());
+        assert_eq!(report.points.len(), 5);
+        assert_eq!(report.points[0].factor_value, 0.0);
+        assert_eq!(report.points[4].factor_value, 1.0);
+        for point in &report.points {
+            assert_eq!(point.results.len(), 4);
+        }
+    }
+
+    #[test]
+    fn backend_ablation_relabels_the_two_lp_rows() {
+        let report = run_backend_ablation(&quick_settings());
+        let names: Vec<&str> = report.results.iter().map(|r| r.algorithm.as_str()).collect();
+        assert!(names.contains(&"LP-packing (simplex)"));
+        assert!(names.contains(&"LP-packing (dual subgradient)"));
+        assert!(names.contains(&"GG"));
+    }
+
+    #[test]
+    fn extension_ablation_runs_the_full_heuristic_roster() {
+        let report = run_extension_ablation(&quick_settings());
+        assert_eq!(report.results.len(), 9);
+        for result in &report.results {
+            assert!(result.mean_utility >= 0.0);
+        }
+        // LP-packing should not be the worst algorithm in the table.
+        let lp = report
+            .results
+            .iter()
+            .find(|r| r.algorithm == "LP-packing")
+            .unwrap()
+            .mean_utility;
+        let worst = report
+            .results
+            .iter()
+            .map(|r| r.mean_utility)
+            .fold(f64::INFINITY, f64::min);
+        assert!(lp > worst - 1e-9);
+    }
+
+    #[test]
+    fn interaction_ablation_produces_one_table_per_measure() {
+        let reports = run_interaction_ablation(&quick_settings());
+        assert_eq!(reports.len(), InteractionMeasure::all().len());
+        for report in &reports {
+            assert!(report.id.starts_with("ablation-interaction-"));
+            assert_eq!(report.results.len(), 4);
+        }
+    }
+
+    #[test]
+    fn clustered_table_compares_the_paper_roster() {
+        let report = run_clustered_table(&quick_settings());
+        assert_eq!(report.id, "clustered");
+        assert_eq!(report.results.len(), 4);
+    }
+
+    #[test]
+    fn rescore_interaction_replaces_only_the_scores() {
+        let dataset = generate_clustered_dataset(&ClusteredConfig::tiny(), 1);
+        let scores = vec![0.5; dataset.instance.num_users()];
+        let rescored = rescore_interaction(&dataset.instance, scores);
+        assert_eq!(rescored.num_users(), dataset.instance.num_users());
+        assert_eq!(rescored.num_events(), dataset.instance.num_events());
+        for u in 0..rescored.num_users() {
+            assert!((rescored.interaction(igepa_core::UserId::new(u)) - 0.5).abs() < 1e-12);
+        }
+    }
+}

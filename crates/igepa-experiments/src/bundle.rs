@@ -1,0 +1,111 @@
+//! Machine-readable results bundle.
+//!
+//! The CLI prints markdown and writes per-artefact CSV files; this module
+//! additionally collects a whole run — tables, sweeps and shape checks —
+//! into one serde-serialisable value so downstream tooling (plot scripts,
+//! regression dashboards, the EXPERIMENTS.md generator) can consume a single
+//! JSON document instead of scraping the console output.
+
+use crate::report::{SweepReport, TableReport};
+use crate::shape::ShapeReport;
+use serde::{Deserialize, Serialize};
+
+/// A complete set of experiment outputs from one harness invocation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResultsBundle {
+    /// Free-form description of the settings behind the run (repetitions,
+    /// scale, backend, seed).
+    pub settings: String,
+    /// Table-style comparisons (Table I, Table II, ablation tables, …).
+    pub tables: Vec<TableReport>,
+    /// Sweep-style series (Fig. 1 subfigures, α/β sweeps, scalability).
+    pub sweeps: Vec<SweepReport>,
+    /// Qualitative shape checks evaluated on the reports above.
+    pub shape: ShapeReport,
+}
+
+impl ResultsBundle {
+    /// Creates an empty bundle tagged with a settings description.
+    pub fn new(settings: impl Into<String>) -> Self {
+        ResultsBundle {
+            settings: settings.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a table report.
+    pub fn push_table(&mut self, table: TableReport) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds a sweep report.
+    pub fn push_sweep(&mut self, sweep: SweepReport) -> &mut Self {
+        self.sweeps.push(sweep);
+        self
+    }
+
+    /// Looks up a table by its id.
+    pub fn table(&self, id: &str) -> Option<&TableReport> {
+        self.tables.iter().find(|t| t.id == id)
+    }
+
+    /// Looks up a sweep by its id.
+    pub fn sweep(&self, id: &str) -> Option<&SweepReport> {
+        self.sweeps.iter().find(|s| s.id == id)
+    }
+
+    /// Serialises the bundle to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("results bundle serialisation cannot fail")
+    }
+
+    /// Parses a bundle from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::AlgorithmResult;
+
+    fn sample_table(id: &str) -> TableReport {
+        TableReport {
+            id: id.to_string(),
+            description: "sample".to_string(),
+            results: vec![AlgorithmResult::from_runs("LP-packing", &[1.0, 2.0], &[0.1, 0.2])],
+        }
+    }
+
+    #[test]
+    fn bundle_round_trips_through_json() {
+        let mut bundle = ResultsBundle::new("reps=2 scale=1.0");
+        bundle.push_table(sample_table("table1"));
+        bundle.push_sweep(SweepReport {
+            id: "fig1a".to_string(),
+            factor_name: "|V|".to_string(),
+            points: vec![],
+        });
+        let restored = ResultsBundle::from_json(&bundle.to_json()).unwrap();
+        assert_eq!(restored, bundle);
+        assert!(restored.table("table1").is_some());
+        assert!(restored.table("missing").is_none());
+        assert!(restored.sweep("fig1a").is_some());
+        assert!(restored.sweep("fig1b").is_none());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(ResultsBundle::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn new_records_the_settings_description() {
+        let bundle = ResultsBundle::new("paper reps");
+        assert_eq!(bundle.settings, "paper reps");
+        assert!(bundle.tables.is_empty());
+        assert!(bundle.shape.checks.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Figure 1 reproduction: utility of the four algorithms while varying one
+//! factor of the synthetic workload at a time.
+//!
+//! The paper sweeps six factors around the Table I defaults:
+//!
+//! | Subfigure | Factor | Sweep values used here |
+//! |---|---|---|
+//! | 1(a) | number of events `\|V\|` | 100, 150, 200, 250, 300 |
+//! | 1(b) | number of users `\|U\|` | 1000, 2000, 5000, 8000, 10000 |
+//! | 1(c) | conflict probability `pcf` | 0.1, 0.2, 0.3, 0.4, 0.5 |
+//! | 1(d) | friendship probability `pdeg` | 0.1, 0.3, 0.5, 0.7, 0.9 |
+//! | 1(e) | max event capacity `max c_v` | 10, 30, 50, 70, 90 |
+//! | 1(f) | max user capacity `max c_u` | 2, 3, 4, 5, 6 |
+//!
+//! (The paper's figure does not list its exact tick values; these ranges are
+//! centred on the Table I defaults in the same way.)
+
+use crate::report::{SweepPoint, SweepReport};
+use crate::settings::ExperimentSettings;
+use igepa_datagen::{generate_synthetic, SyntheticConfig};
+use serde::{Deserialize, Serialize};
+
+/// The factor varied in one subfigure of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Figure1Factor {
+    /// Fig. 1(a): number of events `|V|`.
+    NumEvents,
+    /// Fig. 1(b): number of users `|U|`.
+    NumUsers,
+    /// Fig. 1(c): probability of event conflict `pcf`.
+    ConflictProbability,
+    /// Fig. 1(d): probability that two users are friends `pdeg`.
+    FriendProbability,
+    /// Fig. 1(e): maximum event capacity `max c_v`.
+    MaxEventCapacity,
+    /// Fig. 1(f): maximum user capacity `max c_u`.
+    MaxUserCapacity,
+}
+
+impl Figure1Factor {
+    /// All six factors in subfigure order.
+    pub fn all() -> [Figure1Factor; 6] {
+        [
+            Figure1Factor::NumEvents,
+            Figure1Factor::NumUsers,
+            Figure1Factor::ConflictProbability,
+            Figure1Factor::FriendProbability,
+            Figure1Factor::MaxEventCapacity,
+            Figure1Factor::MaxUserCapacity,
+        ]
+    }
+
+    /// Experiment identifier (`fig1a` … `fig1f`).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Figure1Factor::NumEvents => "fig1a",
+            Figure1Factor::NumUsers => "fig1b",
+            Figure1Factor::ConflictProbability => "fig1c",
+            Figure1Factor::FriendProbability => "fig1d",
+            Figure1Factor::MaxEventCapacity => "fig1e",
+            Figure1Factor::MaxUserCapacity => "fig1f",
+        }
+    }
+
+    /// Human-readable factor name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Figure1Factor::NumEvents => "|V|",
+            Figure1Factor::NumUsers => "|U|",
+            Figure1Factor::ConflictProbability => "pcf",
+            Figure1Factor::FriendProbability => "pdeg",
+            Figure1Factor::MaxEventCapacity => "max c_v",
+            Figure1Factor::MaxUserCapacity => "max c_u",
+        }
+    }
+
+    /// Parses a CLI spelling of the factor.
+    pub fn parse(text: &str) -> Option<Figure1Factor> {
+        match text.to_ascii_lowercase().as_str() {
+            "events" | "num-events" | "v" | "fig1a" | "a" => Some(Figure1Factor::NumEvents),
+            "users" | "num-users" | "u" | "fig1b" | "b" => Some(Figure1Factor::NumUsers),
+            "pcf" | "conflict" | "fig1c" | "c" => Some(Figure1Factor::ConflictProbability),
+            "pdeg" | "friends" | "fig1d" | "d" => Some(Figure1Factor::FriendProbability),
+            "event-capacity" | "max-cv" | "cv" | "fig1e" | "e" => {
+                Some(Figure1Factor::MaxEventCapacity)
+            }
+            "user-capacity" | "max-cu" | "cu" | "fig1f" | "f" => {
+                Some(Figure1Factor::MaxUserCapacity)
+            }
+            _ => None,
+        }
+    }
+
+    /// The sweep values used by the reproduction.
+    pub fn sweep_values(&self) -> Vec<f64> {
+        match self {
+            Figure1Factor::NumEvents => vec![100.0, 150.0, 200.0, 250.0, 300.0],
+            Figure1Factor::NumUsers => vec![1000.0, 2000.0, 5000.0, 8000.0, 10000.0],
+            Figure1Factor::ConflictProbability => vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            Figure1Factor::FriendProbability => vec![0.1, 0.3, 0.5, 0.7, 0.9],
+            Figure1Factor::MaxEventCapacity => vec![10.0, 30.0, 50.0, 70.0, 90.0],
+            Figure1Factor::MaxUserCapacity => vec![2.0, 3.0, 4.0, 5.0, 6.0],
+        }
+    }
+
+    /// Returns the Table I default configuration with this factor set to
+    /// `value`.
+    pub fn apply(&self, base: &SyntheticConfig, value: f64) -> SyntheticConfig {
+        let mut config = base.clone();
+        match self {
+            Figure1Factor::NumEvents => config.num_events = value.round() as usize,
+            Figure1Factor::NumUsers => config.num_users = value.round() as usize,
+            Figure1Factor::ConflictProbability => config.p_conflict = value,
+            Figure1Factor::FriendProbability => config.p_friend = value,
+            Figure1Factor::MaxEventCapacity => config.max_event_capacity = value.round() as usize,
+            Figure1Factor::MaxUserCapacity => config.max_user_capacity = value.round() as usize,
+        }
+        config
+    }
+}
+
+/// Runs the sweep for one subfigure of Fig. 1.
+pub fn run_figure1(factor: Figure1Factor, settings: &ExperimentSettings) -> SweepReport {
+    let base = SyntheticConfig::paper_default();
+    let mut points = Vec::new();
+    for (k, value) in factor.sweep_values().into_iter().enumerate() {
+        let config = settings.scale_config(&factor.apply(&base, value));
+        let seed_offset = settings.base_seed + 1000 * k as u64;
+        let results = settings.compare_on(|rep| {
+            generate_synthetic(&config, seed_offset.wrapping_add(rep as u64))
+        });
+        points.push(SweepPoint { factor_value: value, results });
+    }
+    SweepReport {
+        id: factor.id().to_string(),
+        factor_name: factor.name().to_string(),
+        points,
+    }
+}
+
+/// Runs all six subfigures of Fig. 1.
+pub fn run_all_figure1(settings: &ExperimentSettings) -> Vec<SweepReport> {
+    Figure1Factor::all()
+        .into_iter()
+        .map(|f| run_figure1(f, settings))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_metadata_is_consistent() {
+        for f in Figure1Factor::all() {
+            assert!(!f.sweep_values().is_empty());
+            assert!(Figure1Factor::parse(f.id()).is_some());
+            assert_eq!(Figure1Factor::parse(f.id()).unwrap(), f);
+        }
+        assert_eq!(Figure1Factor::parse("users"), Some(Figure1Factor::NumUsers));
+        assert_eq!(Figure1Factor::parse("pcf"), Some(Figure1Factor::ConflictProbability));
+        assert_eq!(Figure1Factor::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn sweep_centres_include_the_table_one_default() {
+        let base = SyntheticConfig::paper_default();
+        assert!(Figure1Factor::NumEvents.sweep_values().contains(&(base.num_events as f64)));
+        assert!(Figure1Factor::NumUsers.sweep_values().contains(&(base.num_users as f64)));
+        assert!(Figure1Factor::ConflictProbability.sweep_values().contains(&base.p_conflict));
+        assert!(Figure1Factor::FriendProbability.sweep_values().contains(&base.p_friend));
+        assert!(Figure1Factor::MaxEventCapacity
+            .sweep_values()
+            .contains(&(base.max_event_capacity as f64)));
+        assert!(Figure1Factor::MaxUserCapacity
+            .sweep_values()
+            .contains(&(base.max_user_capacity as f64)));
+    }
+
+    #[test]
+    fn apply_changes_only_the_swept_factor() {
+        let base = SyntheticConfig::paper_default();
+        let c = Figure1Factor::ConflictProbability.apply(&base, 0.45);
+        assert_eq!(c.p_conflict, 0.45);
+        assert_eq!(c.num_events, base.num_events);
+        assert_eq!(c.num_users, base.num_users);
+        let e = Figure1Factor::NumEvents.apply(&base, 150.0);
+        assert_eq!(e.num_events, 150);
+        assert_eq!(e.p_conflict, base.p_conflict);
+    }
+
+    #[test]
+    fn quick_sweep_produces_a_complete_report() {
+        // Shrunk sweep: only exercise the plumbing, not paper scale.
+        let settings = ExperimentSettings {
+            repetitions: 1,
+            scale: 0.05,
+            ..ExperimentSettings::quick()
+        };
+        let report = run_figure1(Figure1Factor::MaxUserCapacity, &settings);
+        assert_eq!(report.id, "fig1f");
+        assert_eq!(report.points.len(), 5);
+        for p in &report.points {
+            assert_eq!(p.results.len(), 4);
+        }
+        // The markdown renderer works on real output.
+        assert!(report.to_markdown().contains("fig1f"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Command-line entry point of the experiment harness.
+//!
+//! ```text
+//! igepa-experiments <command> [options]
+//!
+//! Commands:
+//!   table1                 Table I default synthetic setting
+//!   table2                 Table II (Meetup-SF simulator)
+//!   figure1 --factor <f>   One subfigure of Fig. 1 (a..f, or names like "users")
+//!   figure1-all            All six subfigures
+//!   ratio                  Empirical approximation-ratio study
+//!   ablations              α, β, LP backend, rounding and interaction ablations
+//!   clustered              Paper roster on the community-structured workload
+//!   scalability            Runtime vs |U| for LP-packing (both backends) and GG
+//!   online                 Online-arrival study (online greedy / ranking vs offline)
+//!   all                    Everything above, plus the qualitative shape checks
+//!
+//! Options:
+//!   --reps <n>        repetitions per configuration (default 10)
+//!   --paper-reps      use the paper's 50 repetitions
+//!   --scale <x>       scale |V| and |U| by x (default 1.0; use e.g. 0.1 for a quick run)
+//!   --seed <n>        base random seed
+//!   --extensions      also run LocalSearch and Online-Greedy
+//!   --exact-lp        force the exact simplex LP backend
+//!   --csv-dir <dir>   also write CSV files into <dir>
+//! ```
+
+use igepa_algos::LpBackend;
+use igepa_experiments::{
+    check_sweep, check_table_ordering, check_users_sweep_convergence, run_all_figure1,
+    run_alpha_ablation, run_backend_ablation, run_beta_ablation, run_clustered_table,
+    run_extension_ablation, run_figure1, run_interaction_ablation, run_online_study,
+    run_ratio_study, run_scalability, run_table1, run_table2, ExperimentSettings, Figure1Factor,
+    ShapeReport, SweepReport, TableReport,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return;
+    }
+    let command = args[0].clone();
+    let options = parse_options(&args[1..]);
+
+    let mut settings = ExperimentSettings::default();
+    settings.repetitions = options.reps.unwrap_or(settings.repetitions);
+    if options.paper_reps {
+        settings.repetitions = 50;
+    }
+    settings.scale = options.scale.unwrap_or(settings.scale);
+    settings.base_seed = options.seed.unwrap_or(settings.base_seed);
+    settings.include_extensions = options.extensions;
+    if options.exact_lp {
+        settings.lp_backend = LpBackend::Simplex;
+    }
+
+    match command.as_str() {
+        "table1" => emit_table(run_table1(&settings), &options),
+        "table2" => emit_table(run_table2(&settings), &options),
+        "figure1" => {
+            let factor = options
+                .factor
+                .as_deref()
+                .and_then(Figure1Factor::parse)
+                .unwrap_or_else(|| {
+                    eprintln!("--factor must be one of a..f, events, users, pcf, pdeg, event-capacity, user-capacity");
+                    std::process::exit(2);
+                });
+            emit_sweep(run_figure1(factor, &settings), &options);
+        }
+        "figure1-all" => {
+            for report in run_all_figure1(&settings) {
+                emit_sweep(report, &options);
+            }
+        }
+        "ratio" => {
+            let report = run_ratio_study(&settings, 10);
+            println!("{}", report.to_markdown());
+        }
+        "ablations" => {
+            emit_sweep(run_alpha_ablation(&settings), &options);
+            emit_sweep(run_beta_ablation(&settings), &options);
+            emit_table(run_backend_ablation(&settings), &options);
+            emit_table(run_extension_ablation(&settings), &options);
+            for report in run_interaction_ablation(&settings) {
+                emit_table(report, &options);
+            }
+        }
+        "clustered" => emit_table(run_clustered_table(&settings), &options),
+        "scalability" => emit_sweep(run_scalability(&settings), &options),
+        "online" => emit_table(run_online_study(&settings), &options),
+        "all" => {
+            let mut shape = ShapeReport::default();
+
+            let table1 = run_table1(&settings);
+            shape.checks.extend(check_table_ordering(&table1, 0.02));
+            emit_table(table1, &options);
+
+            for report in run_all_figure1(&settings) {
+                let monotone = matches!(report.id.as_str(), "fig1a" | "fig1b" | "fig1e" | "fig1f");
+                shape.checks.extend(check_sweep(&report, monotone, 0.02));
+                if report.id == "fig1b" {
+                    shape.checks.extend(check_users_sweep_convergence(&report));
+                }
+                emit_sweep(report, &options);
+            }
+
+            let table2 = run_table2(&settings);
+            shape.checks.extend(check_table_ordering(&table2, 0.02));
+            emit_table(table2, &options);
+
+            println!("{}", run_ratio_study(&settings, 10).to_markdown());
+            emit_sweep(run_alpha_ablation(&settings), &options);
+            emit_sweep(run_beta_ablation(&settings), &options);
+            emit_table(run_backend_ablation(&settings), &options);
+            emit_table(run_extension_ablation(&settings), &options);
+            for report in run_interaction_ablation(&settings) {
+                emit_table(report, &options);
+            }
+            emit_table(run_clustered_table(&settings), &options);
+            emit_sweep(run_scalability(&settings), &options);
+            emit_table(run_online_study(&settings), &options);
+
+            println!("### Shape checks (qualitative claims of the paper)\n");
+            println!("{}", shape.to_markdown());
+            if shape.all_passed() {
+                println!("\nall shape checks passed");
+            } else {
+                println!("\n{} shape check(s) FAILED", shape.failures());
+            }
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Options {
+    reps: Option<usize>,
+    paper_reps: bool,
+    scale: Option<f64>,
+    seed: Option<u64>,
+    extensions: bool,
+    exact_lp: bool,
+    factor: Option<String>,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut options = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                options.reps = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--paper-reps" => options.paper_reps = true,
+            "--scale" => {
+                options.scale = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--seed" => {
+                options.seed = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--extensions" => options.extensions = true,
+            "--exact-lp" => options.exact_lp = true,
+            "--factor" => {
+                options.factor = args.get(i + 1).cloned();
+                i += 1;
+            }
+            "--csv-dir" => {
+                options.csv_dir = args.get(i + 1).map(PathBuf::from);
+                i += 1;
+            }
+            other => {
+                eprintln!("ignoring unknown option: {other}");
+            }
+        }
+        i += 1;
+    }
+    options
+}
+
+fn emit_table(report: TableReport, options: &Options) {
+    println!("{}", report.to_markdown());
+    write_csv(&report.id, &report.to_csv(), options);
+}
+
+fn emit_sweep(report: SweepReport, options: &Options) {
+    println!("{}", report.to_markdown());
+    write_csv(&report.id, &report.to_csv(), options);
+}
+
+fn write_csv(id: &str, csv: &str, options: &Options) {
+    if let Some(dir) = &options.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{id}.csv"));
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "igepa-experiments — reproduce the tables and figures of the IGEPA paper\n\n\
+         Usage: igepa-experiments <table1|table2|figure1|figure1-all|ratio|ablations|clustered|scalability|online|all> [options]\n\n\
+         Options:\n\
+           --reps <n>       repetitions per configuration (default 10)\n\
+           --paper-reps     use the paper's 50 repetitions\n\
+           --scale <x>      scale |V| and |U| by x (default 1.0)\n\
+           --seed <n>       base random seed\n\
+           --factor <f>     subfigure for `figure1`: a..f, events, users, pcf, pdeg,\n\
+                            event-capacity, user-capacity\n\
+           --extensions     also run LocalSearch and Online-Greedy\n\
+           --exact-lp       force the exact simplex LP backend\n\
+           --csv-dir <dir>  also write CSV files into <dir>"
+    );
+}

@@ -1,0 +1,145 @@
+//! Online-arrival study (extension).
+//!
+//! The paper solves the offline problem; its related work points at online
+//! variants where users arrive one by one. This study quantifies the price
+//! of online arrival on the Table I workload: the offline algorithms
+//! (LP-packing, GG) see the whole instance, the online rules (online
+//! greedy, online ranking) commit per arrival, and the table also reports
+//! how sensitive the online rules are to the arrival order (random vs
+//! most-active-first vs least-active-first).
+
+use crate::report::{AlgorithmResult, TableReport};
+use crate::settings::ExperimentSettings;
+use igepa_algos::{
+    run_and_record, ArrangementAlgorithm, GreedyArrangement, LpPacking, OnlineGreedy,
+    OnlineRanking,
+};
+use igepa_core::Instance;
+use igepa_datagen::{activity_order, generate_synthetic, SyntheticConfig};
+
+/// Runs the online-vs-offline comparison and returns one table.
+pub fn run_online_study(settings: &ExperimentSettings) -> TableReport {
+    let config = settings.scale_config(&SyntheticConfig::paper_default());
+
+    // Roster rows 1–4: offline references and the RNG-driven online rules.
+    let roster: Vec<Box<dyn ArrangementAlgorithm>> = vec![
+        Box::new(LpPacking {
+            backend: settings.lp_backend,
+            ..LpPacking::default()
+        }),
+        Box::new(GreedyArrangement),
+        Box::new(OnlineGreedy::default()),
+        Box::new(OnlineRanking::default()),
+    ];
+    let mut utilities: Vec<Vec<f64>> = vec![Vec::new(); roster.len() + 2];
+    let mut runtimes: Vec<Vec<f64>> = vec![Vec::new(); roster.len() + 2];
+
+    for rep in 0..settings.repetitions.max(1) {
+        let seed = settings.base_seed + rep as u64;
+        let instance = generate_synthetic(&config, seed);
+        for (i, algorithm) in roster.iter().enumerate() {
+            let record = run_and_record(algorithm.as_ref(), &instance, seed);
+            assert!(record.feasible);
+            utilities[i].push(record.utility);
+            runtimes[i].push(record.runtime_seconds);
+        }
+        // Rows 5–6: ranking under deterministic activity-ordered arrivals.
+        for (offset, descending) in [(roster.len(), true), (roster.len() + 1, false)] {
+            let start = std::time::Instant::now();
+            let utility = ranking_with_activity_order(&instance, descending);
+            utilities[offset].push(utility);
+            runtimes[offset].push(start.elapsed().as_secs_f64());
+        }
+    }
+
+    let mut results: Vec<AlgorithmResult> = roster
+        .iter()
+        .enumerate()
+        .map(|(i, a)| AlgorithmResult::from_runs(a.name(), &utilities[i], &runtimes[i]))
+        .collect();
+    results.push(AlgorithmResult::from_runs(
+        "Online-Ranking (most active first)",
+        &utilities[roster.len()],
+        &runtimes[roster.len()],
+    ));
+    results.push(AlgorithmResult::from_runs(
+        "Online-Ranking (least active first)",
+        &utilities[roster.len() + 1],
+        &runtimes[roster.len() + 1],
+    ));
+
+    TableReport {
+        id: "online".to_string(),
+        description: format!(
+            "online arrival study on the Table I default workload (|V|={}, |U|={})",
+            config.num_events, config.num_users
+        ),
+        results,
+    }
+}
+
+fn ranking_with_activity_order(instance: &Instance, descending: bool) -> f64 {
+    let sequence = activity_order(instance, descending);
+    // Deterministic ranks: every event gets rank 0.5, so only the arrival
+    // order differs between the two activity-ordered rows.
+    let ranks = vec![0.5; instance.num_events()];
+    let algorithm = OnlineRanking {
+        rank_weight: 0.0,
+        shuffle_arrivals: false,
+    };
+    let arrangement = algorithm.arrange_in_order(instance, sequence.order(), &ranks);
+    assert!(arrangement.is_feasible(instance));
+    arrangement.utility(instance).total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_study_produces_six_rows() {
+        let settings = ExperimentSettings {
+            repetitions: 1,
+            scale: 0.05,
+            ..ExperimentSettings::quick()
+        };
+        let report = run_online_study(&settings);
+        assert_eq!(report.id, "online");
+        assert_eq!(report.results.len(), 6);
+        let names: Vec<&str> = report.results.iter().map(|r| r.algorithm.as_str()).collect();
+        assert!(names.contains(&"LP-packing"));
+        assert!(names.contains(&"Online-Ranking"));
+        assert!(names.contains(&"Online-Ranking (most active first)"));
+        for result in &report.results {
+            assert!(result.mean_utility > 0.0);
+        }
+    }
+
+    #[test]
+    fn offline_lp_is_not_dominated_by_the_online_rules() {
+        let settings = ExperimentSettings {
+            repetitions: 2,
+            scale: 0.1,
+            ..ExperimentSettings::quick()
+        };
+        let report = run_online_study(&settings);
+        let lp = report
+            .results
+            .iter()
+            .find(|r| r.algorithm == "LP-packing")
+            .unwrap()
+            .mean_utility;
+        for online in report
+            .results
+            .iter()
+            .filter(|r| r.algorithm.starts_with("Online"))
+        {
+            assert!(
+                online.mean_utility <= lp * 1.1,
+                "{} ({}) implausibly beats offline LP-packing ({lp}) by more than 10%",
+                online.algorithm,
+                online.mean_utility
+            );
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Report structures and renderers (markdown + CSV) shared by all
+//! experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean utility of one algorithm at one sweep point (or table row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmResult {
+    /// Algorithm name as reported by `ArrangementAlgorithm::name`.
+    pub algorithm: String,
+    /// Mean utility over the repetitions.
+    pub mean_utility: f64,
+    /// Minimum utility over the repetitions.
+    pub min_utility: f64,
+    /// Maximum utility over the repetitions.
+    pub max_utility: f64,
+    /// Mean wall-clock runtime per repetition, in seconds.
+    pub mean_runtime_seconds: f64,
+    /// Number of repetitions aggregated.
+    pub repetitions: usize,
+}
+
+impl AlgorithmResult {
+    /// Aggregates per-run utilities and runtimes into a result row.
+    pub fn from_runs(algorithm: &str, utilities: &[f64], runtimes: &[f64]) -> Self {
+        assert!(!utilities.is_empty(), "at least one repetition is required");
+        let n = utilities.len() as f64;
+        AlgorithmResult {
+            algorithm: algorithm.to_string(),
+            mean_utility: utilities.iter().sum::<f64>() / n,
+            min_utility: utilities.iter().cloned().fold(f64::INFINITY, f64::min),
+            max_utility: utilities.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            mean_runtime_seconds: if runtimes.is_empty() {
+                0.0
+            } else {
+                runtimes.iter().sum::<f64>() / runtimes.len() as f64
+            },
+            repetitions: utilities.len(),
+        }
+    }
+}
+
+/// One point of a parameter sweep (e.g. `|V| = 200`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept factor's value at this point.
+    pub factor_value: f64,
+    /// Per-algorithm results at this point.
+    pub results: Vec<AlgorithmResult>,
+}
+
+/// A full sweep over one factor — the reproduction of one subfigure of
+/// Fig. 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Experiment identifier, e.g. `"fig1a"`.
+    pub id: String,
+    /// Human-readable description of the swept factor.
+    pub factor_name: String,
+    /// The sweep points in order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// A single-setting comparison — the reproduction of Table I/II style rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableReport {
+    /// Experiment identifier, e.g. `"table2"`.
+    pub id: String,
+    /// Human-readable workload description.
+    pub description: String,
+    /// Per-algorithm results.
+    pub results: Vec<AlgorithmResult>,
+}
+
+impl SweepReport {
+    /// Renders the sweep as a GitHub-flavoured markdown table (one row per
+    /// sweep point, one column per algorithm).
+    pub fn to_markdown(&self) -> String {
+        let mut algorithms: Vec<&str> = Vec::new();
+        for p in &self.points {
+            for r in &p.results {
+                if !algorithms.contains(&r.algorithm.as_str()) {
+                    algorithms.push(&r.algorithm);
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {} — utility vs {}\n\n", self.id, self.factor_name));
+        out.push_str(&format!("| {} |", self.factor_name));
+        for a in &algorithms {
+            out.push_str(&format!(" {a} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &algorithms {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!("| {} |", format_value(p.factor_value)));
+            for a in &algorithms {
+                match p.results.iter().find(|r| r.algorithm == *a) {
+                    Some(r) => out.push_str(&format!(" {:.2} |", r.mean_utility)),
+                    None => out.push_str(" – |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the sweep as CSV (`factor,algorithm,mean,min,max,runtime,reps`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("factor_value,algorithm,mean_utility,min_utility,max_utility,mean_runtime_seconds,repetitions\n");
+        for p in &self.points {
+            for r in &p.results {
+                out.push_str(&format!(
+                    "{},{},{:.6},{:.6},{:.6},{:.6},{}\n",
+                    format_value(p.factor_value),
+                    r.algorithm,
+                    r.mean_utility,
+                    r.min_utility,
+                    r.max_utility,
+                    r.mean_runtime_seconds,
+                    r.repetitions
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl TableReport {
+    /// Renders the comparison as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.description));
+        out.push_str("| Algorithm | Mean utility | Min | Max | Mean runtime (s) | Reps |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for r in &self.results {
+            out.push_str(&format!(
+                "| {} | {:.2} | {:.2} | {:.2} | {:.3} | {} |\n",
+                r.algorithm,
+                r.mean_utility,
+                r.min_utility,
+                r.max_utility,
+                r.mean_runtime_seconds,
+                r.repetitions
+            ));
+        }
+        out
+    }
+
+    /// Renders the comparison as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("algorithm,mean_utility,min_utility,max_utility,mean_runtime_seconds,repetitions\n");
+        for r in &self.results {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6},{}\n",
+                r.algorithm,
+                r.mean_utility,
+                r.min_utility,
+                r.max_utility,
+                r.mean_runtime_seconds,
+                r.repetitions
+            ));
+        }
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sweep() -> SweepReport {
+        SweepReport {
+            id: "fig1a".into(),
+            factor_name: "|V|".into(),
+            points: vec![
+                SweepPoint {
+                    factor_value: 100.0,
+                    results: vec![
+                        AlgorithmResult::from_runs("LP-packing", &[10.0, 12.0], &[0.1, 0.2]),
+                        AlgorithmResult::from_runs("GG", &[9.0, 9.0], &[0.01, 0.01]),
+                    ],
+                },
+                SweepPoint {
+                    factor_value: 200.0,
+                    results: vec![
+                        AlgorithmResult::from_runs("LP-packing", &[20.0], &[0.1]),
+                        AlgorithmResult::from_runs("GG", &[18.0], &[0.01]),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn algorithm_result_aggregates_runs() {
+        let r = AlgorithmResult::from_runs("X", &[1.0, 3.0], &[0.5, 1.5]);
+        assert_eq!(r.mean_utility, 2.0);
+        assert_eq!(r.min_utility, 1.0);
+        assert_eq!(r.max_utility, 3.0);
+        assert_eq!(r.mean_runtime_seconds, 1.0);
+        assert_eq!(r.repetitions, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn empty_runs_are_rejected() {
+        let _ = AlgorithmResult::from_runs("X", &[], &[]);
+    }
+
+    #[test]
+    fn sweep_markdown_contains_all_points_and_algorithms() {
+        let md = sample_sweep().to_markdown();
+        assert!(md.contains("| 100 |"));
+        assert!(md.contains("| 200 |"));
+        assert!(md.contains("LP-packing"));
+        assert!(md.contains("GG"));
+        assert!(md.contains("11.00")); // mean of 10 and 12
+    }
+
+    #[test]
+    fn sweep_csv_has_one_row_per_algorithm_per_point() {
+        let csv = sample_sweep().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + 4); // header + 2 points × 2 algorithms
+        assert!(lines[1].starts_with("100,LP-packing"));
+    }
+
+    #[test]
+    fn table_markdown_and_csv() {
+        let t = TableReport {
+            id: "table2".into(),
+            description: "Meetup-SF".into(),
+            results: vec![AlgorithmResult::from_runs("GG", &[5.0], &[0.2])],
+        };
+        assert!(t.to_markdown().contains("Meetup-SF"));
+        assert!(t.to_csv().contains("GG,5.000000"));
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let json = serde_json::to_string(&sample_sweep()).unwrap();
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sample_sweep());
+    }
+}

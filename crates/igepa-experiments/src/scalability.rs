@@ -1,0 +1,128 @@
+//! Scalability study: wall-clock runtime as the workload grows.
+//!
+//! The paper reports only utility; its scalability claim is implicit in the
+//! Fig. 1(b) sweep reaching 10 000 users. This study makes the claim
+//! explicit by measuring the mean runtime of LP-packing (both LP backends)
+//! and the GG greedy baseline while the number of users grows with the
+//! Table I default ratios, which is the axis along which the benchmark LP
+//! grows fastest (one convexity row and up to `2^{c_u}` columns per user).
+
+use crate::report::{AlgorithmResult, SweepPoint, SweepReport};
+use crate::settings::ExperimentSettings;
+use igepa_algos::{run_and_record, ArrangementAlgorithm, GreedyArrangement, LpBackend, LpPacking};
+use igepa_datagen::{generate_synthetic, SyntheticConfig};
+
+/// User counts swept by [`run_scalability`] at scale 1.0.
+pub const DEFAULT_USER_COUNTS: [usize; 4] = [500, 1000, 2000, 4000];
+
+/// Largest benchmark-LP row count (`|U| + |V|`) at which the exact simplex
+/// backend is still included in the study. Beyond this the exact backend
+/// takes minutes per repetition — which is exactly the finding the study
+/// documents — so only the dual-subgradient backend and GG are measured.
+/// The value matches the `LpBackend::Auto` default threshold.
+pub const SIMPLEX_ROW_LIMIT: usize = 1200;
+
+/// Runs the scalability study. The sweep points are the user counts of
+/// [`DEFAULT_USER_COUNTS`] multiplied by the settings' scale factor.
+pub fn run_scalability(settings: &ExperimentSettings) -> SweepReport {
+    let base = SyntheticConfig::paper_default();
+    let algorithms: Vec<(&str, Box<dyn ArrangementAlgorithm>)> = vec![
+        (
+            "LP-packing (simplex)",
+            Box::new(LpPacking::with_backend(LpBackend::Simplex)),
+        ),
+        (
+            "LP-packing (dual subgradient)",
+            Box::new(LpPacking::with_backend(LpBackend::DualSubgradient { rounds: 1500 })),
+        ),
+        ("GG", Box::new(GreedyArrangement)),
+    ];
+
+    let mut points = Vec::new();
+    for (k, &users) in DEFAULT_USER_COUNTS.iter().enumerate() {
+        let num_users = ((users as f64 * settings.scale.max(0.01)).round() as usize).max(10);
+        let config = SyntheticConfig {
+            num_users,
+            num_events: ((base.num_events as f64 * settings.scale.max(0.01)).round() as usize)
+                .max(4),
+            ..base.clone()
+        };
+        let include_simplex = num_users + config.num_events <= SIMPLEX_ROW_LIMIT;
+        let mut utilities: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+        let mut runtimes: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+        for rep in 0..settings.repetitions.max(1) {
+            let seed = settings.base_seed + 3000 * k as u64 + rep as u64;
+            let instance = generate_synthetic(&config, seed);
+            for (i, (label, algorithm)) in algorithms.iter().enumerate() {
+                if *label == "LP-packing (simplex)" && !include_simplex {
+                    continue;
+                }
+                let record = run_and_record(algorithm.as_ref(), &instance, seed);
+                assert!(record.feasible);
+                utilities[i].push(record.utility);
+                runtimes[i].push(record.runtime_seconds);
+            }
+        }
+        let results = algorithms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !utilities[*i].is_empty())
+            .map(|(i, (label, _))| AlgorithmResult::from_runs(label, &utilities[i], &runtimes[i]))
+            .collect();
+        points.push(SweepPoint {
+            factor_value: num_users as f64,
+            results,
+        });
+    }
+    SweepReport {
+        id: "scalability".to_string(),
+        factor_name: "number of users |U| (runtime study)".to_string(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalability_report_has_one_point_per_user_count() {
+        let settings = ExperimentSettings {
+            repetitions: 1,
+            scale: 0.02,
+            ..ExperimentSettings::quick()
+        };
+        let report = run_scalability(&settings);
+        assert_eq!(report.id, "scalability");
+        assert_eq!(report.points.len(), DEFAULT_USER_COUNTS.len());
+        for point in &report.points {
+            assert_eq!(point.results.len(), 3);
+            for result in &point.results {
+                assert!(result.mean_runtime_seconds >= 0.0);
+                assert!(result.mean_utility > 0.0);
+            }
+        }
+        // The user counts are increasing.
+        for w in report.points.windows(2) {
+            assert!(w[0].factor_value <= w[1].factor_value);
+        }
+    }
+
+    #[test]
+    fn greedy_is_never_slower_than_the_simplex_backed_lp() {
+        let settings = ExperimentSettings {
+            repetitions: 1,
+            scale: 0.05,
+            ..ExperimentSettings::quick()
+        };
+        let report = run_scalability(&settings);
+        let last = report.points.last().unwrap();
+        let lp = last
+            .results
+            .iter()
+            .find(|r| r.algorithm == "LP-packing (simplex)")
+            .unwrap();
+        let gg = last.results.iter().find(|r| r.algorithm == "GG").unwrap();
+        assert!(gg.mean_runtime_seconds <= lp.mean_runtime_seconds + 1e-3);
+    }
+}

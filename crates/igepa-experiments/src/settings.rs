@@ -1,0 +1,178 @@
+//! Shared experiment settings: repetitions, seeds, workload scale and the
+//! algorithm roster.
+
+use igepa_algos::{
+    ArrangementAlgorithm, GreedyArrangement, LocalSearch, LpBackend, LpPacking, OnlineGreedy,
+    RandomU, RandomV,
+};
+use igepa_core::Instance;
+use igepa_datagen::SyntheticConfig;
+use serde::{Deserialize, Serialize};
+
+/// Settings shared by every experiment of the harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSettings {
+    /// Number of repetitions per configuration (the paper averages 50; the
+    /// harness defaults to 10 to keep a full reproduction run tractable on a
+    /// laptop — pass `--paper-reps` to the CLI for 50).
+    pub repetitions: usize,
+    /// Base random seed; repetition `i` of configuration `k` uses
+    /// `base_seed + 1000·k + i`.
+    pub base_seed: u64,
+    /// Workload scale factor applied to `|V|` and `|U|` of the synthetic
+    /// sweeps (1.0 = paper scale). Used by quick runs, tests and benches.
+    pub scale: f64,
+    /// LP backend used by LP-packing.
+    pub lp_backend: LpBackend,
+    /// Also run the extension algorithms (local search, online greedy).
+    pub include_extensions: bool,
+}
+
+impl Default for ExperimentSettings {
+    fn default() -> Self {
+        ExperimentSettings {
+            repetitions: 10,
+            base_seed: 20190411, // ICDE 2019 dates, for flavour
+            scale: 1.0,
+            lp_backend: LpBackend::default(),
+            include_extensions: false,
+        }
+    }
+}
+
+impl ExperimentSettings {
+    /// Paper-faithful settings: 50 repetitions at full scale.
+    pub fn paper() -> Self {
+        ExperimentSettings { repetitions: 50, ..Self::default() }
+    }
+
+    /// Quick settings for tests and benches: scaled-down workloads and few
+    /// repetitions.
+    pub fn quick() -> Self {
+        ExperimentSettings {
+            repetitions: 2,
+            scale: 0.1,
+            ..Self::default()
+        }
+    }
+
+    /// Applies the scale factor to a synthetic configuration.
+    pub fn scale_config(&self, config: &SyntheticConfig) -> SyntheticConfig {
+        if (self.scale - 1.0).abs() < 1e-12 {
+            return config.clone();
+        }
+        let scale = self.scale.max(0.01);
+        SyntheticConfig {
+            num_events: ((config.num_events as f64 * scale).round() as usize).max(4),
+            num_users: ((config.num_users as f64 * scale).round() as usize).max(10),
+            ..config.clone()
+        }
+    }
+
+    /// The algorithm roster compared by the paper (plus extensions when
+    /// enabled). LP-packing uses the configured backend and `α = 1`, the
+    /// value the paper uses empirically.
+    pub fn algorithms(&self) -> Vec<Box<dyn ArrangementAlgorithm>> {
+        let mut algorithms: Vec<Box<dyn ArrangementAlgorithm>> = vec![
+            Box::new(LpPacking { backend: self.lp_backend, ..LpPacking::default() }),
+            Box::new(GreedyArrangement),
+            Box::new(RandomU),
+            Box::new(RandomV),
+        ];
+        if self.include_extensions {
+            algorithms.push(Box::new(LocalSearch::default()));
+            algorithms.push(Box::new(OnlineGreedy::default()));
+        }
+        algorithms
+    }
+
+    /// Runs every algorithm of the roster `repetitions` times on instances
+    /// produced by `make_instance(repetition)` and aggregates the results.
+    ///
+    /// A fresh instance per repetition matches the paper's methodology of
+    /// averaging over 50 randomly generated datasets per configuration.
+    pub fn compare_on<F>(&self, mut make_instance: F) -> Vec<crate::report::AlgorithmResult>
+    where
+        F: FnMut(usize) -> Instance,
+    {
+        let algorithms = self.algorithms();
+        let mut utilities: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+        let mut runtimes: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+        for rep in 0..self.repetitions.max(1) {
+            let instance = make_instance(rep);
+            for (i, algorithm) in algorithms.iter().enumerate() {
+                let record =
+                    igepa_algos::run_and_record(algorithm.as_ref(), &instance, self.base_seed + rep as u64);
+                assert!(
+                    record.feasible,
+                    "{} produced an infeasible arrangement",
+                    record.algorithm
+                );
+                utilities[i].push(record.utility);
+                runtimes[i].push(record.runtime_seconds);
+            }
+        }
+        algorithms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| crate::report::AlgorithmResult::from_runs(a.name(), &utilities[i], &runtimes[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igepa_datagen::generate_synthetic;
+
+    #[test]
+    fn default_settings_match_documentation() {
+        let s = ExperimentSettings::default();
+        assert_eq!(s.repetitions, 10);
+        assert_eq!(s.scale, 1.0);
+        assert!(!s.include_extensions);
+        assert_eq!(ExperimentSettings::paper().repetitions, 50);
+    }
+
+    #[test]
+    fn scaling_shrinks_the_workload() {
+        let s = ExperimentSettings::quick();
+        let scaled = s.scale_config(&SyntheticConfig::default());
+        assert_eq!(scaled.num_events, 20);
+        assert_eq!(scaled.num_users, 200);
+        // Other knobs are untouched.
+        assert_eq!(scaled.p_conflict, 0.3);
+        let unscaled = ExperimentSettings::default().scale_config(&SyntheticConfig::default());
+        assert_eq!(unscaled.num_events, 200);
+    }
+
+    #[test]
+    fn roster_matches_the_paper() {
+        let names: Vec<&str> = ExperimentSettings::default()
+            .algorithms()
+            .iter()
+            .map(|a| a.name())
+            .collect();
+        assert_eq!(names, vec!["LP-packing", "GG", "Random-U", "Random-V"]);
+        let extended = ExperimentSettings {
+            include_extensions: true,
+            ..Default::default()
+        };
+        assert_eq!(extended.algorithms().len(), 6);
+    }
+
+    #[test]
+    fn compare_on_produces_one_row_per_algorithm() {
+        let settings = ExperimentSettings {
+            repetitions: 2,
+            ..ExperimentSettings::quick()
+        };
+        let config = SyntheticConfig::tiny();
+        let results = settings.compare_on(|rep| generate_synthetic(&config, rep as u64));
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(r.repetitions, 2);
+            assert!(r.mean_utility >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Random and structured social-network generators.
+//!
+//! The paper's synthetic workloads connect "each pair of users ... with the
+//! probability of `pdeg`" — an Erdős–Rényi `G(n, p)` graph — while the real
+//! Meetup dataset links two users iff they share at least one group. Both
+//! generators live here, together with Barabási–Albert and Watts–Strogatz
+//! models used by the extension experiments to probe how degree skew affects
+//! the interaction term of the utility.
+
+use crate::graph::SocialNetwork;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`: every unordered pair becomes an edge independently
+/// with probability `p`. This is the `pdeg` model of the paper's Table I.
+pub fn erdos_renyi<R: Rng + ?Sized>(num_users: usize, p: f64, rng: &mut R) -> SocialNetwork {
+    let mut g = SocialNetwork::new(num_users);
+    if p <= 0.0 {
+        return g;
+    }
+    for a in 0..num_users {
+        for b in (a + 1)..num_users {
+            if p >= 1.0 || rng.gen_bool(p) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches every new node to `m` existing nodes chosen proportionally to
+/// their degree. Produces the heavy-tailed degree distributions observed on
+/// real EBSNs.
+pub fn barabasi_albert<R: Rng + ?Sized>(num_users: usize, m: usize, rng: &mut R) -> SocialNetwork {
+    let mut g = SocialNetwork::new(num_users);
+    if num_users == 0 || m == 0 {
+        return g;
+    }
+    let m = m.min(num_users.saturating_sub(1)).max(1);
+    // Seed clique over the first m + 1 nodes.
+    let seed = (m + 1).min(num_users);
+    for a in 0..seed {
+        for b in (a + 1)..seed {
+            g.add_edge(a, b);
+        }
+    }
+    // `targets` holds one entry per edge endpoint, so sampling uniformly from
+    // it is sampling proportionally to degree.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for (a, b) in g.edges().collect::<Vec<_>>() {
+        endpoints.push(a);
+        endpoints.push(b);
+    }
+    for new_node in seed..num_users {
+        let mut chosen = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let target = if endpoints.is_empty() {
+                rng.gen_range(0..new_node)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if target != new_node && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &target in &chosen {
+            if g.add_edge(new_node, target) {
+                endpoints.push(new_node);
+                endpoints.push(target);
+            }
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where every node is
+/// connected to its `k` nearest neighbours (k/2 on each side), with each
+/// edge rewired to a random endpoint with probability `p_rewire`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    num_users: usize,
+    k: usize,
+    p_rewire: f64,
+    rng: &mut R,
+) -> SocialNetwork {
+    let mut g = SocialNetwork::new(num_users);
+    if num_users < 2 || k == 0 {
+        return g;
+    }
+    let half = (k / 2).max(1).min(num_users - 1);
+    for a in 0..num_users {
+        for offset in 1..=half {
+            let b = (a + offset) % num_users;
+            if a == b {
+                continue;
+            }
+            if p_rewire > 0.0 && rng.gen_bool(p_rewire.min(1.0)) {
+                // Rewire: keep `a`, pick a random other endpoint.
+                let mut guard = 0;
+                loop {
+                    guard += 1;
+                    let c = rng.gen_range(0..num_users);
+                    if c != a && !g.has_edge(a, c) {
+                        g.add_edge(a, c);
+                        break;
+                    }
+                    if guard > 20 {
+                        g.add_edge(a, b);
+                        break;
+                    }
+                }
+            } else {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+/// Links two users iff they share at least one group — the rule the paper
+/// uses to derive the social network of the Meetup dataset ("if two users
+/// join at least one common group, they have an edge in G").
+///
+/// `memberships[g]` lists the users belonging to group `g`.
+pub fn from_group_memberships(num_users: usize, memberships: &[Vec<usize>]) -> SocialNetwork {
+    let mut g = SocialNetwork::new(num_users);
+    for members in memberships {
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                if a < num_users && b < num_users {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Samples exactly `num_edges` distinct random edges (an Erdős–Rényi
+/// `G(n, M)` graph). Useful when a target edge count, rather than an edge
+/// probability, should be matched.
+pub fn random_edges<R: Rng + ?Sized>(
+    num_users: usize,
+    num_edges: usize,
+    rng: &mut R,
+) -> SocialNetwork {
+    let mut g = SocialNetwork::new(num_users);
+    if num_users < 2 {
+        return g;
+    }
+    let max_edges = num_users * (num_users - 1) / 2;
+    let target = num_edges.min(max_edges);
+    if target * 3 >= max_edges {
+        // Dense regime: enumerate all pairs and shuffle.
+        let mut pairs: Vec<(usize, usize)> = (0..num_users)
+            .flat_map(|a| ((a + 1)..num_users).map(move |b| (a, b)))
+            .collect();
+        pairs.shuffle(rng);
+        for &(a, b) in pairs.iter().take(target) {
+            g.add_edge(a, b);
+        }
+    } else {
+        // Sparse regime: rejection-sample.
+        while g.num_edges() < target {
+            let a = rng.gen_range(0..num_users);
+            let b = rng.gen_range(0..num_users);
+            if a != b {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let g0 = erdos_renyi(10, 0.0, &mut rng(1));
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = erdos_renyi(10, 1.0, &mut rng(1));
+        assert_eq!(g1.num_edges(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_near_expectation() {
+        let n = 200;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, &mut rng(7));
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = g.num_edges() as f64;
+        // Loose 3-sigma-ish bound; deterministic because the seed is fixed.
+        assert!((actual - expected).abs() < 0.25 * expected, "{actual} vs {expected}");
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_for_a_seed() {
+        let a = erdos_renyi(50, 0.2, &mut rng(99));
+        let b = erdos_renyi(50, 0.2, &mut rng(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn barabasi_albert_has_expected_edge_count() {
+        let n = 100;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng(3));
+        // seed clique of m+1 nodes + ~m edges per subsequent node
+        let min_expected = (n - (m + 1)) * 1 + m * (m + 1) / 2;
+        assert!(g.num_edges() >= min_expected);
+        assert!(g.num_edges() <= m * n + m * (m + 1) / 2);
+        // Every late node has degree >= 1.
+        for u in 0..n {
+            assert!(g.degree(u) >= 1, "node {u} is isolated");
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_degenerate_inputs() {
+        assert_eq!(barabasi_albert(0, 2, &mut rng(1)).num_users(), 0);
+        assert_eq!(barabasi_albert(5, 0, &mut rng(1)).num_edges(), 0);
+        let single = barabasi_albert(1, 3, &mut rng(1));
+        assert_eq!(single.num_users(), 1);
+        assert_eq!(single.num_edges(), 0);
+    }
+
+    #[test]
+    fn watts_strogatz_without_rewiring_is_a_ring_lattice() {
+        let g = watts_strogatz(10, 2, 0.0, &mut rng(5));
+        assert_eq!(g.num_edges(), 10);
+        for u in 0..10 {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_preserves_edge_count_roughly() {
+        let g = watts_strogatz(50, 4, 0.3, &mut rng(11));
+        // Rewiring can occasionally fall back or collide, so allow slack.
+        assert!(g.num_edges() >= 80 && g.num_edges() <= 100, "{}", g.num_edges());
+    }
+
+    #[test]
+    fn group_membership_links_members() {
+        let groups = vec![vec![0, 1, 2], vec![2, 3], vec![4]];
+        let g = from_group_memberships(5, &groups);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn random_edges_hits_exact_count() {
+        let g = random_edges(30, 50, &mut rng(2));
+        assert_eq!(g.num_edges(), 50);
+        // Request more edges than possible: clamp to the complete graph.
+        let g_full = random_edges(5, 1000, &mut rng(2));
+        assert_eq!(g_full.num_edges(), 10);
+        let g_tiny = random_edges(1, 10, &mut rng(2));
+        assert_eq!(g_tiny.num_edges(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Undirected social network over the user set `U`.
+//!
+//! Definition 6 of the paper defines the *degree of potential interaction*
+//! of a user `u` as `D(G, u) = |{u' : (u, u') ∈ E}| / (|U| − 1)`, i.e. the
+//! normalised degree of `u` in the social network `G = (U, E)`. This module
+//! provides the graph storage that the workload generators populate and from
+//! which the per-user interaction scores handed to `igepa_core::Instance`
+//! are computed.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected, simple graph whose nodes are the users `0..n` of an IGEPA
+/// instance.
+///
+/// Edges are stored as sorted adjacency lists, so neighbour queries are
+/// `O(log deg)` and iteration is cache-friendly. Self-loops and parallel
+/// edges are rejected/ignored, matching the "social tie" semantics of the
+/// paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocialNetwork {
+    adjacency: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl SocialNetwork {
+    /// Creates an edgeless network over `num_users` users.
+    pub fn new(num_users: usize) -> Self {
+        SocialNetwork {
+            adjacency: vec![Vec::new(); num_users],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a network from an edge list. Self-loops and duplicate edges are
+    /// ignored; node indices must be smaller than `num_users`.
+    pub fn from_edges(num_users: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Self::new(num_users);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of users (nodes), `|U|`.
+    pub fn num_users(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of social ties (undirected edges), `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the undirected edge `{a, b}`. Returns `true` if the edge was new.
+    ///
+    /// Self-loops are ignored (returns `false`).
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert!(
+            a < self.num_users() && b < self.num_users(),
+            "edge ({a}, {b}) references a user outside 0..{}",
+            self.num_users()
+        );
+        if a == b {
+            return false;
+        }
+        let (a32, b32) = (a as u32, b as u32);
+        match self.adjacency[a].binary_search(&b32) {
+            Ok(_) => false,
+            Err(pos_a) => {
+                self.adjacency[a].insert(pos_a, b32);
+                let pos_b = self.adjacency[b]
+                    .binary_search(&a32)
+                    .expect_err("adjacency lists out of sync");
+                self.adjacency[b].insert(pos_b, a32);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Whether the undirected edge `{a, b}` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        if a >= self.num_users() || b >= self.num_users() || a == b {
+            return false;
+        }
+        self.adjacency[a].binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Degree of user `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Degrees of all users, in user order.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adjacency.iter().map(Vec::len).collect()
+    }
+
+    /// Neighbours of user `u`, sorted by id.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adjacency[u]
+    }
+
+    /// Iterates over every undirected edge exactly once, as `(lo, hi)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(a, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&b| (b as usize) > a)
+                .map(move |&b| (a, b as usize))
+        })
+    }
+
+    /// Degree of potential interaction `D(G, u)` for every user
+    /// (Definition 6): `deg(u) / (|U| − 1)`, or 0 when `|U| ≤ 1`.
+    ///
+    /// The result is exactly the `interaction_scores` vector expected by
+    /// `igepa_core::InstanceBuilder`.
+    pub fn degrees_of_potential_interaction(&self) -> Vec<f64> {
+        let n = self.num_users();
+        if n <= 1 {
+            return vec![0.0; n];
+        }
+        let denom = (n - 1) as f64;
+        self.adjacency.iter().map(|nbrs| nbrs.len() as f64 / denom).collect()
+    }
+
+    /// Degree of potential interaction of a single user.
+    pub fn degree_of_potential_interaction(&self, u: usize) -> f64 {
+        let n = self.num_users();
+        if n <= 1 {
+            return 0.0;
+        }
+        self.degree(u) as f64 / (n - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_network_has_no_edges() {
+        let g = SocialNetwork::new(5);
+        assert_eq!(g.num_users(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degrees(), vec![0; 5]);
+    }
+
+    #[test]
+    fn add_edge_is_undirected_and_idempotent() {
+        let mut g = SocialNetwork::new(3);
+        assert!(g.add_edge(0, 2));
+        assert!(!g.add_edge(2, 0));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = SocialNetwork::new(2);
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "references a user outside")]
+    fn out_of_range_edge_panics() {
+        let mut g = SocialNetwork::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn from_edges_deduplicates() {
+        let g = SocialNetwork::from_edges(4, vec![(0, 1), (1, 0), (2, 3), (2, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn edges_iterates_each_pair_once() {
+        let g = SocialNetwork::from_edges(4, vec![(0, 1), (1, 2), (0, 3)]);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn interaction_degree_matches_definition_six() {
+        // 4 users: degrees 2, 1, 1, 0 -> D = deg / 3.
+        let g = SocialNetwork::from_edges(4, vec![(0, 1), (0, 2)]);
+        let d = g.degrees_of_potential_interaction();
+        assert!((d[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((d[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d[3], 0.0);
+        assert!((g.degree_of_potential_interaction(0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interaction_degree_of_tiny_networks_is_zero() {
+        assert!(SocialNetwork::new(0).degrees_of_potential_interaction().is_empty());
+        assert_eq!(SocialNetwork::new(1).degrees_of_potential_interaction(), vec![0.0]);
+        assert_eq!(SocialNetwork::new(1).degree_of_potential_interaction(0), 0.0);
+    }
+
+    #[test]
+    fn complete_graph_has_interaction_one() {
+        let n = 6;
+        let mut g = SocialNetwork::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(g.num_edges(), n * (n - 1) / 2);
+        for d in g.degrees_of_potential_interaction() {
+            assert!((d - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = SocialNetwork::from_edges(5, vec![(2, 4), (2, 0), (2, 3)]);
+        assert_eq!(g.neighbors(2), &[0, 3, 4]);
+    }
+}

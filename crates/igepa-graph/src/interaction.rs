@@ -1,0 +1,183 @@
+//! Alternative "degree of potential interaction" measures.
+//!
+//! Definition 6 of the paper fixes `D(G, u) = deg(u) / (|U| − 1)`, citing
+//! Freeman's centrality survey. That is one member of a family of
+//! interaction measures; the ablation experiments swap the measure to check
+//! whether LP-packing's advantage over the baselines depends on the exact
+//! choice. Every measure returns a score vector in `[0, 1]` suitable for
+//! `igepa_core::InstanceBuilder::interaction_scores`.
+
+use crate::centrality::{
+    closeness_centrality, core_numbers, degree_centrality, eigenvector_centrality, pagerank,
+    PageRankConfig,
+};
+use crate::graph::SocialNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Which social-network statistic is used as the interaction score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InteractionMeasure {
+    /// `deg(u) / (|U| − 1)` — the paper's Definition 6 (the default).
+    Degree,
+    /// Harmonic closeness centrality.
+    Closeness,
+    /// PageRank, rescaled so the largest score is 1.
+    PageRank,
+    /// Eigenvector centrality (already in `[0, 1]`).
+    Eigenvector,
+    /// Core number, rescaled by the maximum core number.
+    CoreNumber,
+}
+
+impl InteractionMeasure {
+    /// All measures, in a stable order used by the ablation sweep.
+    pub fn all() -> [InteractionMeasure; 5] {
+        [
+            InteractionMeasure::Degree,
+            InteractionMeasure::Closeness,
+            InteractionMeasure::PageRank,
+            InteractionMeasure::Eigenvector,
+            InteractionMeasure::CoreNumber,
+        ]
+    }
+
+    /// Stable identifier used in reports and CSV headers.
+    pub fn id(&self) -> &'static str {
+        match self {
+            InteractionMeasure::Degree => "degree",
+            InteractionMeasure::Closeness => "closeness",
+            InteractionMeasure::PageRank => "pagerank",
+            InteractionMeasure::Eigenvector => "eigenvector",
+            InteractionMeasure::CoreNumber => "core",
+        }
+    }
+
+    /// Parses the identifier produced by [`InteractionMeasure::id`].
+    pub fn parse(text: &str) -> Option<InteractionMeasure> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "degree" => Some(InteractionMeasure::Degree),
+            "closeness" => Some(InteractionMeasure::Closeness),
+            "pagerank" => Some(InteractionMeasure::PageRank),
+            "eigenvector" => Some(InteractionMeasure::Eigenvector),
+            "core" | "corenumber" | "core-number" => Some(InteractionMeasure::CoreNumber),
+            _ => None,
+        }
+    }
+
+    /// Computes the per-user interaction scores in `[0, 1]`.
+    pub fn scores(&self, g: &SocialNetwork) -> Vec<f64> {
+        match self {
+            InteractionMeasure::Degree => degree_centrality(g),
+            InteractionMeasure::Closeness => closeness_centrality(g),
+            InteractionMeasure::PageRank => {
+                rescale_by_max(pagerank(g, &PageRankConfig::default()))
+            }
+            InteractionMeasure::Eigenvector => eigenvector_centrality(g, 200, 1e-10),
+            InteractionMeasure::CoreNumber => {
+                rescale_by_max(core_numbers(g).into_iter().map(|c| c as f64).collect())
+            }
+        }
+    }
+}
+
+impl Default for InteractionMeasure {
+    fn default() -> Self {
+        InteractionMeasure::Degree
+    }
+}
+
+impl std::fmt::Display for InteractionMeasure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+fn rescale_by_max(mut scores: Vec<f64>) -> Vec<f64> {
+    let max = scores.iter().cloned().fold(0.0_f64, f64::max);
+    if max > f64::EPSILON {
+        for s in &mut scores {
+            *s /= max;
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_graph() -> SocialNetwork {
+        let mut rng = StdRng::seed_from_u64(100);
+        generators::barabasi_albert(80, 2, &mut rng)
+    }
+
+    #[test]
+    fn every_measure_stays_in_unit_interval() {
+        let g = sample_graph();
+        for measure in InteractionMeasure::all() {
+            let scores = measure.scores(&g);
+            assert_eq!(scores.len(), g.num_users(), "{measure}");
+            for &s in &scores {
+                assert!((0.0..=1.0 + 1e-12).contains(&s), "{measure}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_measure_matches_paper_definition() {
+        let g = sample_graph();
+        let ours = InteractionMeasure::Degree.scores(&g);
+        let paper = g.degrees_of_potential_interaction();
+        for (a, b) in ours.iter().zip(paper.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ids_round_trip_through_parse() {
+        for measure in InteractionMeasure::all() {
+            assert_eq!(InteractionMeasure::parse(measure.id()), Some(measure));
+            assert_eq!(
+                InteractionMeasure::parse(&measure.id().to_uppercase()),
+                Some(measure)
+            );
+        }
+        assert_eq!(InteractionMeasure::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_measure_is_degree() {
+        assert_eq!(InteractionMeasure::default(), InteractionMeasure::Degree);
+    }
+
+    #[test]
+    fn hubs_score_high_under_every_measure() {
+        // A star: the hub must dominate the leaves under every measure.
+        let g = SocialNetwork::from_edges(12, (1..12).map(|i| (0, i)));
+        for measure in InteractionMeasure::all() {
+            let scores = measure.scores(&g);
+            for leaf in 1..12 {
+                assert!(
+                    scores[0] >= scores[leaf] - 1e-12,
+                    "{measure}: hub {} < leaf {}",
+                    scores[0],
+                    scores[leaf]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_yields_zero_or_uniform_scores() {
+        let g = SocialNetwork::new(6);
+        for measure in InteractionMeasure::all() {
+            let scores = measure.scores(&g);
+            assert_eq!(scores.len(), 6);
+            let first = scores[0];
+            assert!(scores.iter().all(|&s| (s - first).abs() < 1e-12));
+        }
+    }
+}

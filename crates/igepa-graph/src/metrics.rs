@@ -1,0 +1,198 @@
+//! Structural metrics over social networks.
+//!
+//! These are used by the experiment harness to report workload
+//! characteristics (density, degree distribution, clustering, connectivity)
+//! alongside utility numbers, and by tests to validate the generators.
+
+use crate::graph::SocialNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Edge density: `|E| / C(|U|, 2)`, or 0 for fewer than two users.
+pub fn density(g: &SocialNetwork) -> f64 {
+    let n = g.num_users();
+    if n < 2 {
+        return 0.0;
+    }
+    g.num_edges() as f64 / ((n * (n - 1)) / 2) as f64
+}
+
+/// Mean degree over all users (0 for the empty graph).
+pub fn mean_degree(g: &SocialNetwork) -> f64 {
+    let n = g.num_users();
+    if n == 0 {
+        return 0.0;
+    }
+    2.0 * g.num_edges() as f64 / n as f64
+}
+
+/// Histogram of degrees: `histogram[d]` is the number of users with degree `d`.
+pub fn degree_histogram(g: &SocialNetwork) -> Vec<usize> {
+    let degrees = g.degrees();
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for d in degrees {
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Global clustering via the average of local clustering coefficients.
+///
+/// The local coefficient of a node with degree < 2 is defined as 0.
+pub fn average_clustering(g: &SocialNetwork) -> f64 {
+    let n = g.num_users();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for u in 0..n {
+        let nbrs = g.neighbors(u);
+        let k = nbrs.len();
+        if k < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if g.has_edge(a as usize, b as usize) {
+                    links += 1;
+                }
+            }
+        }
+        total += 2.0 * links as f64 / (k * (k - 1)) as f64;
+    }
+    total / n as f64
+}
+
+/// Connected components, as a vector of sorted node lists, largest first.
+pub fn connected_components(g: &SocialNetwork) -> Vec<Vec<usize>> {
+    let n = g.num_users();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut stack = vec![start];
+        let mut component = Vec::new();
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            component.push(u);
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    components
+}
+
+/// Summary of a social network, reported by the experiment harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Edge density in `[0, 1]`.
+    pub density: f64,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average local clustering coefficient.
+    pub clustering: f64,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+}
+
+impl NetworkStats {
+    /// Computes all statistics for the given network.
+    pub fn of(g: &SocialNetwork) -> Self {
+        let components = connected_components(g);
+        NetworkStats {
+            num_users: g.num_users(),
+            num_edges: g.num_edges(),
+            density: density(g),
+            mean_degree: mean_degree(g),
+            max_degree: g.degrees().into_iter().max().unwrap_or(0),
+            clustering: average_clustering(g),
+            num_components: components.len(),
+            largest_component: components.first().map(Vec::len).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_isolated() -> SocialNetwork {
+        // 0-1-2 triangle, 3 isolated.
+        SocialNetwork::from_edges(4, vec![(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn density_of_triangle_plus_isolated() {
+        let g = triangle_plus_isolated();
+        assert!((density(&g) - 3.0 / 6.0).abs() < 1e-12);
+        assert_eq!(density(&SocialNetwork::new(1)), 0.0);
+    }
+
+    #[test]
+    fn mean_degree_counts_both_endpoints() {
+        let g = triangle_plus_isolated();
+        assert!((mean_degree(&g) - 6.0 / 4.0).abs() < 1e-12);
+        assert_eq!(mean_degree(&SocialNetwork::new(0)), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = triangle_plus_isolated();
+        assert_eq!(degree_histogram(&g), vec![1, 0, 3]);
+        assert_eq!(degree_histogram(&SocialNetwork::new(3)), vec![3]);
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_three_quarters_here() {
+        let g = triangle_plus_isolated();
+        // Triangle nodes each have coefficient 1; the isolated node has 0.
+        assert!((average_clustering(&g) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_path_is_zero() {
+        let g = SocialNetwork::from_edges(3, vec![(0, 1), (1, 2)]);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn components_split_and_ordered_by_size() {
+        let g = SocialNetwork::from_edges(6, vec![(0, 1), (1, 2), (3, 4)]);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(comps[2], vec![5]);
+    }
+
+    #[test]
+    fn stats_aggregate_everything() {
+        let g = triangle_plus_isolated();
+        let s = NetworkStats::of(&g);
+        assert_eq!(s.num_users, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.num_components, 2);
+        assert_eq!(s.largest_component, 3);
+        assert!((s.clustering - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the social-network substrate: every generator
+//! must produce simple undirected graphs whose interaction degrees satisfy
+//! Definition 6 of the paper.
+
+use igepa_graph::{
+    barabasi_albert, erdos_renyi, from_group_memberships, metrics, random_edges, watts_strogatz,
+    SocialNetwork,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Checks the structural invariants every generated network must satisfy.
+fn check_invariants(g: &SocialNetwork) {
+    let n = g.num_users();
+    // Handshake lemma: the degree sum equals twice the edge count.
+    let degree_sum: usize = g.degrees().iter().sum();
+    assert_eq!(degree_sum, 2 * g.num_edges());
+    // No self-loops, symmetric adjacency, sorted neighbour lists.
+    for u in 0..n {
+        let nbrs = g.neighbors(u);
+        assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicate neighbours");
+        for &v in nbrs {
+            assert_ne!(u, v as usize, "self loop at {u}");
+            assert!(g.has_edge(v as usize, u), "asymmetric edge {u}-{v}");
+        }
+    }
+    // Definition 6: D(G, u) = deg(u) / (n - 1), clamped to [0, 1].
+    let interaction = g.degrees_of_potential_interaction();
+    assert_eq!(interaction.len(), n);
+    for (u, &d) in interaction.iter().enumerate() {
+        assert!((0.0..=1.0).contains(&d), "interaction {d} out of range");
+        if n > 1 {
+            let expected = g.degree(u) as f64 / (n - 1) as f64;
+            assert!((d - expected).abs() < 1e-12);
+        } else {
+            assert_eq!(d, 0.0);
+        }
+    }
+    // Components partition the node set.
+    let components = metrics::connected_components(g);
+    let covered: usize = components.iter().map(Vec::len).sum();
+    assert_eq!(covered, n);
+    // Density is consistent with the edge count.
+    if n >= 2 {
+        let expected = g.num_edges() as f64 / ((n * (n - 1)) / 2) as f64;
+        assert!((metrics::density(g) - expected).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn erdos_renyi_invariants(n in 0usize..120, p in 0.0f64..1.0, seed in 0u64..500) {
+        let g = erdos_renyi(n, p, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_users(), n);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn barabasi_albert_invariants(n in 0usize..100, m in 0usize..6, seed in 0u64..500) {
+        let g = barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_users(), n);
+        check_invariants(&g);
+        // Once the seed clique exists, the graph stays connected.
+        if n > 0 && m > 0 {
+            let components = metrics::connected_components(&g);
+            prop_assert_eq!(components[0].len(), n, "BA graph should be connected");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_invariants(n in 0usize..100, k in 0usize..8, p in 0.0f64..1.0, seed in 0u64..500) {
+        let g = watts_strogatz(n, k, p, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_users(), n);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn random_edges_invariants(n in 0usize..80, m in 0usize..300, seed in 0u64..500) {
+        let g = random_edges(n, m, &mut StdRng::seed_from_u64(seed));
+        check_invariants(&g);
+        let max_edges = if n < 2 { 0 } else { n * (n - 1) / 2 };
+        prop_assert_eq!(g.num_edges(), m.min(max_edges));
+    }
+
+    #[test]
+    fn group_overlap_invariants(
+        memberships in proptest::collection::vec(
+            proptest::collection::vec(0usize..40, 0..8),
+            0..10,
+        ),
+    ) {
+        let g = from_group_memberships(40, &memberships);
+        check_invariants(&g);
+        // Every pair of users sharing a group must be linked.
+        for group in &memberships {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    if a != b {
+                        prop_assert!(g.has_edge(a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed(n in 2usize..60, p in 0.0f64..1.0, seed in 0u64..500) {
+        let a = erdos_renyi(n, p, &mut StdRng::seed_from_u64(seed));
+        let b = erdos_renyi(n, p, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+}

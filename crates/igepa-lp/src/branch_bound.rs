@@ -1,0 +1,311 @@
+//! Branch-and-bound integer programming on top of the simplex solver.
+//!
+//! The exact IGEPA baseline solves the benchmark ILP — the LP (1)–(4) with
+//! `x_{u,S} ∈ {0, 1}` — whose optimum *is* the optimum of the IGEPA problem
+//! (the observation behind Lemma 1). Instances small enough for this solver
+//! are used to measure the empirical approximation ratio of LP-packing.
+//!
+//! The solver is a classic best-first branch and bound:
+//!
+//! * the LP relaxation is solved by [`SimplexSolver`];
+//! * branching fixes the most fractional integer variable to 0 or 1 by
+//!   tightening its bounds (no new rows are ever added);
+//! * nodes whose LP bound cannot beat the incumbent are pruned;
+//! * an optional node limit turns the solver into an anytime heuristic with
+//!   a reported bound.
+
+use crate::error::LpError;
+use crate::problem::LinearProgram;
+use crate::simplex::SimplexSolver;
+use crate::solution::IlpSolution;
+
+/// An integer program: a [`LinearProgram`] plus the set of variables that
+/// must take integral values (all of them binary/integral within their
+/// bounds).
+#[derive(Debug, Clone)]
+pub struct IntegerProgram {
+    /// The LP relaxation.
+    pub lp: LinearProgram,
+    /// Indices of variables required to be integral.
+    pub integer_vars: Vec<usize>,
+}
+
+impl IntegerProgram {
+    /// Creates an integer program where *all* variables are integral.
+    pub fn all_integer(lp: LinearProgram) -> Self {
+        let integer_vars = (0..lp.num_vars()).collect();
+        IntegerProgram { lp, integer_vars }
+    }
+}
+
+/// Branch-and-bound solver configuration.
+#[derive(Debug, Clone)]
+pub struct BranchBoundSolver {
+    /// Simplex used for the relaxations.
+    pub lp_solver: SimplexSolver,
+    /// Integrality tolerance.
+    pub tolerance: f64,
+    /// Maximum number of explored nodes before giving up and returning the
+    /// incumbent (with its proven bound).
+    pub max_nodes: usize,
+}
+
+impl Default for BranchBoundSolver {
+    fn default() -> Self {
+        BranchBoundSolver {
+            lp_solver: SimplexSolver::default(),
+            tolerance: 1e-6,
+            max_nodes: 100_000,
+        }
+    }
+}
+
+/// A search node: variable bound overrides relative to the root LP.
+#[derive(Debug, Clone)]
+struct Node {
+    /// `(variable, lower_fixed_to_one, upper_fixed_to_zero)` expressed as
+    /// explicit bound overrides.
+    overrides: Vec<(usize, f64, f64)>,
+    /// LP bound inherited from the parent (used for best-first ordering).
+    bound: f64,
+}
+
+impl BranchBoundSolver {
+    /// Solves the integer program to optimality (or to the node limit).
+    pub fn solve(&self, ip: &IntegerProgram) -> Result<IlpSolution, LpError> {
+        let root_bound = f64::INFINITY;
+        let mut stack = vec![Node { overrides: Vec::new(), bound: root_bound }];
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        let mut best_bound_seen = f64::NEG_INFINITY;
+        let mut nodes_explored = 0usize;
+        let mut limit_hit = false;
+
+        while let Some(node) = stack.pop() {
+            if nodes_explored >= self.max_nodes {
+                // Put the node back conceptually; report what we have.
+                limit_hit = true;
+                break;
+            }
+            // Prune against the incumbent using the inherited bound.
+            if let Some((_, best)) = &incumbent {
+                if node.bound <= *best + self.tolerance {
+                    continue;
+                }
+            }
+            nodes_explored += 1;
+
+            let mut lp = ip.lp.clone();
+            let mut lower_fixed = vec![0.0; lp.num_vars()];
+            for &(var, lower, upper) in &node.overrides {
+                lower_fixed[var] = lower;
+                lp.set_upper_bound(var, upper);
+            }
+            // Variables fixed to 1 are modelled by substituting their lower
+            // bound: shift them out of the LP by fixing both bounds. The LP
+            // model only supports a zero lower bound, so a variable fixed to
+            // 1 keeps bounds [0, 1] but gets a huge objective reward? No —
+            // instead we model "x ≥ 1" by flipping: fix the variable by
+            // setting its upper bound to 1 and adding a constraint x ≥ 1 as
+            // −x ≤ −1.
+            for &(var, lower, _) in &node.overrides {
+                if lower > 0.0 {
+                    lp.add_le_constraint(vec![(var, -1.0)], -lower)?;
+                }
+            }
+
+            let relaxation = match self.lp_solver.solve(&lp) {
+                Ok(sol) => sol,
+                Err(LpError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            };
+            if nodes_explored == 1 {
+                best_bound_seen = relaxation.objective;
+            }
+
+            if let Some((_, best)) = &incumbent {
+                if relaxation.objective <= *best + self.tolerance {
+                    continue;
+                }
+            }
+
+            // Find the most fractional integer variable.
+            let mut branch_var: Option<(usize, f64)> = None;
+            for &var in &ip.integer_vars {
+                let v = relaxation.values[var];
+                let frac = (v - v.round()).abs();
+                if frac > self.tolerance {
+                    match branch_var {
+                        Some((_, best_frac)) if best_frac >= frac => {}
+                        _ => branch_var = Some((var, frac)),
+                    }
+                }
+            }
+
+            match branch_var {
+                None => {
+                    // Integral solution; round to kill float dust.
+                    let mut values = relaxation.values.clone();
+                    for &var in &ip.integer_vars {
+                        values[var] = values[var].round();
+                    }
+                    let objective = ip.lp.objective_value(&values);
+                    let better = incumbent
+                        .as_ref()
+                        .map(|(_, best)| objective > *best + self.tolerance)
+                        .unwrap_or(true);
+                    if better {
+                        incumbent = Some((values, objective));
+                    }
+                }
+                Some((var, _)) => {
+                    let value = relaxation.values[var];
+                    let floor = value.floor();
+                    let ceil = value.ceil();
+                    // Down branch: x ≤ floor.
+                    let mut down = node.overrides.clone();
+                    down.push((var, 0.0, floor));
+                    // Up branch: x ≥ ceil (upper bound unchanged).
+                    let mut up = node.overrides.clone();
+                    up.push((var, ceil, ip.lp.upper_bound(var)));
+                    // Depth-first, exploring the up branch first (greedy).
+                    stack.push(Node { overrides: down, bound: relaxation.objective });
+                    stack.push(Node { overrides: up, bound: relaxation.objective });
+                }
+            }
+        }
+
+        match incumbent {
+            Some((values, objective)) => Ok(IlpSolution {
+                values,
+                objective,
+                nodes_explored,
+                // When the tree was searched to completion the incumbent is
+                // proven optimal; otherwise report the root relaxation bound.
+                best_bound: if limit_hit {
+                    best_bound_seen.max(objective)
+                } else {
+                    objective
+                },
+            }),
+            // No integral point was found. If the search ran to completion the
+            // program is infeasible; if it was cut short, say so instead.
+            None if nodes_explored >= self.max_nodes => {
+                Err(LpError::IterationLimit { limit: self.max_nodes })
+            }
+            None => Err(LpError::Infeasible),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knapsack(profits: &[f64], weights: &[f64], capacity: f64) -> IntegerProgram {
+        let mut lp = LinearProgram::new();
+        let vars: Vec<usize> = profits.iter().map(|&p| lp.add_var(p, 1.0)).collect();
+        lp.add_le_constraint(
+            vars.iter().zip(weights).map(|(&v, &w)| (v, w)),
+            capacity,
+        )
+        .unwrap();
+        IntegerProgram::all_integer(lp)
+    }
+
+    #[test]
+    fn binary_knapsack_exact() {
+        // Items (profit, weight): (10,5), (6,4), (5,3), capacity 7 -> take items 2+3 = 11.
+        let ip = knapsack(&[10.0, 6.0, 5.0], &[5.0, 4.0, 3.0], 7.0);
+        let sol = BranchBoundSolver::default().solve(&ip).unwrap();
+        assert!((sol.objective - 11.0).abs() < 1e-6);
+        assert_eq!(sol.values.iter().map(|v| v.round() as i64).sum::<i64>(), 2);
+        assert_eq!(sol.gap(), 0.0);
+    }
+
+    #[test]
+    fn knapsack_where_lp_is_fractional() {
+        // Classic case where the LP takes half an item.
+        let ip = knapsack(&[60.0, 100.0, 120.0], &[10.0, 20.0, 30.0], 50.0);
+        let sol = BranchBoundSolver::default().solve(&ip).unwrap();
+        assert!((sol.objective - 220.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn already_integral_lp_needs_no_branching() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 1.0);
+        let y = lp.add_var(1.0, 1.0);
+        lp.add_le_constraint(vec![(x, 1.0)], 1.0).unwrap();
+        lp.add_le_constraint(vec![(y, 1.0)], 1.0).unwrap();
+        let sol = BranchBoundSolver::default()
+            .solve(&IntegerProgram::all_integer(lp))
+            .unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+        assert_eq!(sol.nodes_explored, 1);
+    }
+
+    #[test]
+    fn infeasible_ip_reported() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 1.0);
+        lp.add_le_constraint(vec![(x, -1.0)], -2.0).unwrap(); // x >= 2 impossible
+        let err = BranchBoundSolver::default()
+            .solve(&IntegerProgram::all_integer(lp))
+            .unwrap_err();
+        assert_eq!(err, LpError::Infeasible);
+    }
+
+    #[test]
+    fn assignment_ilp_matches_brute_force() {
+        // 3 users × 2 sets each, one shared row of capacity 2; mirrors the
+        // IGEPA benchmark ILP in miniature.
+        let mut lp = LinearProgram::new();
+        let profits = [[2.0, 1.2], [1.8, 1.0], [1.5, 0.4]];
+        let mut ids = Vec::new();
+        for user in profits.iter() {
+            let a = lp.add_var(user[0], 1.0);
+            let b = lp.add_var(user[1], 1.0);
+            lp.add_le_constraint(vec![(a, 1.0), (b, 1.0)], 1.0).unwrap();
+            ids.push((a, b));
+        }
+        // The "premium" set of every user shares an event with capacity 2.
+        lp.add_le_constraint(ids.iter().map(|&(a, _)| (a, 1.0)), 2.0).unwrap();
+        let sol = BranchBoundSolver::default()
+            .solve(&IntegerProgram::all_integer(lp))
+            .unwrap();
+        // Best: premium for users 0 and 2 (2.0 + 1.5) + fallback 1.0 for
+        // user 1 = 4.5 (tied with giving premium to users 1 and 2).
+        assert!((sol.objective - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn larger_knapsack_bound_dominates_incumbent() {
+        let ip = knapsack(
+            &[10.0, 9.0, 8.0, 7.0, 6.0, 5.0, 4.0],
+            &[5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 2.0],
+            9.0,
+        );
+        let sol = BranchBoundSolver::default().solve(&ip).unwrap();
+        assert!(sol.best_bound + 1e-9 >= sol.objective);
+        assert_eq!(sol.gap(), 0.0);
+        // Optimal: items with weights 4+3+2 = 9 and profits 8+6+4 = 18
+        // beats 10+8 (weight 9, profit 18)... both give 18.
+        assert!((sol.objective - 18.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_node_limit_without_incumbent_is_reported() {
+        let ip = knapsack(
+            &[10.0, 9.0, 8.0, 7.0, 6.0, 5.0, 4.0],
+            &[5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 2.0],
+            9.0,
+        );
+        let solver = BranchBoundSolver { max_nodes: 1, ..Default::default() };
+        match solver.solve(&ip) {
+            // Either the single root node already produced an integral
+            // incumbent, or the limit error is reported; both are acceptable.
+            Ok(sol) => assert!(sol.objective > 0.0),
+            Err(e) => assert_eq!(e, LpError::IterationLimit { limit: 1 }),
+        }
+    }
+}

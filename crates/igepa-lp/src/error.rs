@@ -1,0 +1,70 @@
+//! Error types shared by the LP and ILP solvers.
+
+use std::fmt;
+
+/// Errors returned by the solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// A constraint or objective references a variable that does not exist.
+    UnknownVariable {
+        /// The offending variable index.
+        variable: usize,
+        /// Number of variables in the program.
+        num_variables: usize,
+    },
+    /// The iteration limit was reached before convergence.
+    IterationLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A numerical invariant broke down (e.g. a pivot element became too
+    /// small to divide by safely).
+    Numerical(String),
+    /// The model is empty or otherwise malformed.
+    InvalidModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "the linear program is infeasible"),
+            LpError::Unbounded => write!(f, "the linear program is unbounded"),
+            LpError::UnknownVariable { variable, num_variables } => write!(
+                f,
+                "variable index {variable} is out of range (program has {num_variables} variables)"
+            ),
+            LpError::IterationLimit { limit } => {
+                write!(f, "iteration limit of {limit} reached before convergence")
+            }
+            LpError::Numerical(msg) => write!(f, "numerical difficulty: {msg}"),
+            LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        assert!(LpError::IterationLimit { limit: 10 }.to_string().contains("10"));
+        assert!(LpError::UnknownVariable { variable: 5, num_variables: 2 }
+            .to_string()
+            .contains('5'));
+    }
+
+    #[test]
+    fn error_is_boxable() {
+        let e: Box<dyn std::error::Error> = Box::new(LpError::Numerical("tiny pivot".into()));
+        assert!(e.to_string().contains("tiny pivot"));
+    }
+}

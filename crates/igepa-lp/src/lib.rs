@@ -1,0 +1,54 @@
+//! # igepa-lp — linear and integer programming substrate
+//!
+//! The IGEPA paper solves its benchmark LP (1)–(4) with Gurobi. This crate
+//! is the from-scratch replacement used by the reproduction:
+//!
+//! * [`LinearProgram`] — a small modelling layer for `max c·x, A·x ≤ b,
+//!   0 ≤ x ≤ u`;
+//! * [`SimplexSolver`] — an exact bounded-variable revised simplex with
+//!   Phase I, used wherever exactness matters (validation, small/medium
+//!   instances, the approximation-ratio study);
+//! * [`BlockPackingSolver`] — a structure-aware approximate solver for the
+//!   block packing shape of the benchmark LP (per-user convexity blocks plus
+//!   per-event capacity rows), which scales to the paper's largest sweeps;
+//! * [`BranchBoundSolver`] — branch and bound over the simplex, providing
+//!   the exact ILP baseline (the benchmark ILP *is* the IGEPA optimum).
+//!
+//! ```
+//! use igepa_lp::{LinearProgram, SimplexSolver};
+//!
+//! // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18
+//! let mut lp = LinearProgram::new();
+//! let x = lp.add_var(3.0, f64::INFINITY);
+//! let y = lp.add_var(5.0, f64::INFINITY);
+//! lp.add_le_constraint([(x, 1.0)], 4.0).unwrap();
+//! lp.add_le_constraint([(y, 2.0)], 12.0).unwrap();
+//! lp.add_le_constraint([(x, 3.0), (y, 2.0)], 18.0).unwrap();
+//! let solution = SimplexSolver::default().solve(&lp).unwrap();
+//! assert!((solution.objective - 36.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod branch_bound;
+pub mod error;
+pub mod mps;
+pub mod packing;
+pub mod presolve;
+pub mod problem;
+pub mod scaling;
+pub mod simplex;
+pub mod solution;
+
+pub use branch_bound::{BranchBoundSolver, IntegerProgram};
+pub use error::LpError;
+pub use mps::{from_mps, to_mps};
+pub use packing::{
+    BlockPackingProblem, BlockPackingSolver, BlockSolution, PackingBlock, PackingColumn,
+};
+pub use presolve::{presolve, presolve_and_solve, PresolveStats, PresolvedLp};
+pub use problem::{Constraint, LinearProgram, VarId};
+pub use scaling::{equilibrate, matrix_spread, ScaledLp};
+pub use simplex::SimplexSolver;
+pub use solution::{IlpSolution, LpSolution, SolveStatus};

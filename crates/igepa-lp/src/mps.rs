@@ -1,0 +1,360 @@
+//! MPS-format export and import for [`LinearProgram`].
+//!
+//! The paper's authors solved the benchmark LP with Gurobi. To make the
+//! reproduction auditable against any external solver, this module writes
+//! the exact LP instance our simplex sees in the industry-standard (fixed
+//! field, but whitespace-tolerant) MPS format and reads it back. The model
+//! shape is `max c·x, A·x ≤ b, 0 ≤ x ≤ u`, which maps onto:
+//!
+//! * an `N` objective row (MPS minimises by convention, so the objective is
+//!   negated on export and re-negated on import — a round trip is lossless);
+//! * one `L` row per constraint;
+//! * `UP` bound records for the finite upper bounds.
+
+use crate::error::LpError;
+use crate::problem::LinearProgram;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Name given to the objective row on export.
+const OBJECTIVE_ROW: &str = "OBJ";
+
+/// Serializes the program in MPS format.
+///
+/// Variables are named `X0, X1, …` and constraints `R0, R1, …` in model
+/// order, which keeps the mapping to [`crate::problem::VarId`] trivial.
+pub fn to_mps(lp: &LinearProgram, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "NAME          {name}");
+    out.push_str("ROWS\n");
+    let _ = writeln!(out, " N  {OBJECTIVE_ROW}");
+    for row in 0..lp.num_constraints() {
+        let _ = writeln!(out, " L  R{row}");
+    }
+
+    out.push_str("COLUMNS\n");
+    for var in 0..lp.num_vars() {
+        // MPS minimises; our model maximises.
+        let c = lp.objective(var);
+        if c != 0.0 {
+            let _ = writeln!(out, "    X{var}  {OBJECTIVE_ROW}  {}", -c);
+        }
+        for (row, constraint) in lp.constraints().iter().enumerate() {
+            for &(v, coeff) in &constraint.coefficients {
+                if v == var && coeff != 0.0 {
+                    let _ = writeln!(out, "    X{var}  R{row}  {coeff}");
+                }
+            }
+        }
+    }
+
+    out.push_str("RHS\n");
+    for (row, constraint) in lp.constraints().iter().enumerate() {
+        if constraint.rhs != 0.0 {
+            let _ = writeln!(out, "    RHS  R{row}  {}", constraint.rhs);
+        }
+    }
+
+    out.push_str("BOUNDS\n");
+    for var in 0..lp.num_vars() {
+        let upper = lp.upper_bound(var);
+        if upper.is_finite() {
+            let _ = writeln!(out, " UP BND  X{var}  {upper}");
+        }
+    }
+    out.push_str("ENDATA\n");
+    out
+}
+
+/// Parses a program previously written by [`to_mps`].
+///
+/// The parser accepts any variable and row names (not just `X<i>` / `R<i>`),
+/// free-form whitespace, and `*` comment lines. Only the features emitted by
+/// [`to_mps`] are supported: `N`/`L` rows, `RHS`, and `UP`/`FX` bounds.
+/// Unsupported row types (`G`, `E`) and bound types are rejected with
+/// [`LpError::InvalidModel`].
+pub fn from_mps(text: &str) -> Result<LinearProgram, LpError> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        None,
+        Rows,
+        Columns,
+        Rhs,
+        Bounds,
+        Done,
+    }
+
+    let mut section = Section::None;
+    let mut objective_row: Option<String> = None;
+    let mut row_order: Vec<String> = Vec::new();
+    let mut row_index: HashMap<String, usize> = HashMap::new();
+    // Column data gathered before we know all rows is keyed by name.
+    let mut var_order: Vec<String> = Vec::new();
+    let mut var_index: HashMap<String, usize> = HashMap::new();
+    let mut objective_coeffs: HashMap<usize, f64> = HashMap::new();
+    let mut entries: Vec<(usize, usize, f64)> = Vec::new(); // (row, var, coeff)
+    let mut rhs: HashMap<usize, f64> = HashMap::new();
+    let mut upper_bounds: HashMap<usize, f64> = HashMap::new();
+
+    let invalid = |msg: String| LpError::InvalidModel(msg);
+
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        let is_header = !raw.starts_with(' ') && !raw.starts_with('\t');
+        if is_header {
+            let keyword = line.split_whitespace().next().unwrap_or("");
+            section = match keyword {
+                "NAME" => section,
+                "ROWS" => Section::Rows,
+                "COLUMNS" => Section::Columns,
+                "RHS" => Section::Rhs,
+                "RANGES" => {
+                    return Err(invalid("RANGES sections are not supported".into()));
+                }
+                "BOUNDS" => Section::Bounds,
+                "ENDATA" => Section::Done,
+                other => {
+                    return Err(invalid(format!("unknown MPS section {other:?}")));
+                }
+            };
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match section {
+            Section::Rows => {
+                if fields.len() != 2 {
+                    return Err(invalid(format!("malformed ROWS line {line:?}")));
+                }
+                match fields[0] {
+                    "N" => {
+                        if objective_row.is_some() {
+                            return Err(invalid("multiple objective rows".into()));
+                        }
+                        objective_row = Some(fields[1].to_string());
+                    }
+                    "L" => {
+                        let name = fields[1].to_string();
+                        row_index.insert(name.clone(), row_order.len());
+                        row_order.push(name);
+                    }
+                    other => {
+                        return Err(invalid(format!(
+                            "row type {other:?} is not supported (only N and L)"
+                        )));
+                    }
+                }
+            }
+            Section::Columns => {
+                // Lines carry one or two (row, value) pairs after the column name.
+                if fields.len() != 3 && fields.len() != 5 {
+                    return Err(invalid(format!("malformed COLUMNS line {line:?}")));
+                }
+                let column = fields[0];
+                let var = *var_index.entry(column.to_string()).or_insert_with(|| {
+                    var_order.push(column.to_string());
+                    var_order.len() - 1
+                });
+                for pair in fields[1..].chunks(2) {
+                    let row_name = pair[0];
+                    let value: f64 = pair[1]
+                        .parse()
+                        .map_err(|_| invalid(format!("bad coefficient {:?}", pair[1])))?;
+                    if Some(row_name) == objective_row.as_deref() {
+                        // Undo the export-side negation.
+                        *objective_coeffs.entry(var).or_insert(0.0) += -value;
+                    } else {
+                        let row = *row_index
+                            .get(row_name)
+                            .ok_or_else(|| invalid(format!("unknown row {row_name:?}")))?;
+                        entries.push((row, var, value));
+                    }
+                }
+            }
+            Section::Rhs => {
+                if fields.len() != 3 && fields.len() != 5 {
+                    return Err(invalid(format!("malformed RHS line {line:?}")));
+                }
+                for pair in fields[1..].chunks(2) {
+                    let row_name = pair[0];
+                    let value: f64 = pair[1]
+                        .parse()
+                        .map_err(|_| invalid(format!("bad rhs {:?}", pair[1])))?;
+                    if Some(row_name) == objective_row.as_deref() {
+                        continue; // objective constants are ignored
+                    }
+                    let row = *row_index
+                        .get(row_name)
+                        .ok_or_else(|| invalid(format!("unknown row {row_name:?}")))?;
+                    rhs.insert(row, value);
+                }
+            }
+            Section::Bounds => {
+                if fields.len() != 4 {
+                    return Err(invalid(format!("malformed BOUNDS line {line:?}")));
+                }
+                let bound_type = fields[0];
+                let column = fields[2];
+                let value: f64 = fields[3]
+                    .parse()
+                    .map_err(|_| invalid(format!("bad bound {:?}", fields[3])))?;
+                let var = *var_index
+                    .get(column)
+                    .ok_or_else(|| invalid(format!("bound on unknown column {column:?}")))?;
+                match bound_type {
+                    "UP" => {
+                        upper_bounds.insert(var, value);
+                    }
+                    "FX" => {
+                        // Fixed variable: represent as an upper bound plus an
+                        // equality we cannot express; reject unless fixed at 0.
+                        if value.abs() > 1e-12 {
+                            return Err(invalid(
+                                "FX bounds other than zero are not supported".into(),
+                            ));
+                        }
+                        upper_bounds.insert(var, 0.0);
+                    }
+                    other => {
+                        return Err(invalid(format!("bound type {other:?} is not supported")));
+                    }
+                }
+            }
+            Section::None | Section::Done => {
+                return Err(invalid(format!("data line outside any section: {line:?}")));
+            }
+        }
+    }
+
+    if objective_row.is_none() {
+        return Err(invalid("missing objective (N) row".into()));
+    }
+
+    let mut lp = LinearProgram::new();
+    for var in 0..var_order.len() {
+        let objective = objective_coeffs.get(&var).copied().unwrap_or(0.0);
+        let upper = upper_bounds.get(&var).copied().unwrap_or(f64::INFINITY);
+        lp.add_var(objective, upper);
+    }
+    let num_rows = row_order.len();
+    let mut row_coefficients: Vec<Vec<(usize, f64)>> = vec![Vec::new(); num_rows];
+    for (row, var, coeff) in entries {
+        row_coefficients[row].push((var, coeff));
+    }
+    for (row, coefficients) in row_coefficients.into_iter().enumerate() {
+        let b = rhs.get(&row).copied().unwrap_or(0.0);
+        lp.add_le_constraint(coefficients, b)?;
+    }
+    Ok(lp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::SimplexSolver;
+
+    fn textbook_lp() -> LinearProgram {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(3.0, f64::INFINITY);
+        let y = lp.add_var(5.0, 6.0);
+        lp.add_le_constraint([(x, 1.0)], 4.0).unwrap();
+        lp.add_le_constraint([(x, 3.0), (y, 2.0)], 18.0).unwrap();
+        lp
+    }
+
+    #[test]
+    fn export_contains_all_sections() {
+        let text = to_mps(&textbook_lp(), "TEXTBOOK");
+        for section in ["NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA"] {
+            assert!(text.contains(section), "missing {section}");
+        }
+        assert!(text.contains("TEXTBOOK"));
+        assert!(text.contains(" L  R0"));
+        assert!(text.contains(" UP BND  X1  6"));
+    }
+
+    #[test]
+    fn round_trip_preserves_the_model_and_its_optimum() {
+        let original = textbook_lp();
+        let text = to_mps(&original, "RT");
+        let restored = from_mps(&text).unwrap();
+        assert_eq!(restored.num_vars(), original.num_vars());
+        assert_eq!(restored.num_constraints(), original.num_constraints());
+        for v in 0..original.num_vars() {
+            assert!((restored.objective(v) - original.objective(v)).abs() < 1e-12);
+            assert_eq!(
+                restored.upper_bound(v).is_finite(),
+                original.upper_bound(v).is_finite()
+            );
+        }
+        let a = SimplexSolver::default().solve(&original).unwrap();
+        let b = SimplexSolver::default().solve(&restored).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_sign_convention_round_trips() {
+        // Export negates (MPS minimises); import must negate back.
+        let mut lp = LinearProgram::new();
+        lp.add_var(2.5, 1.0);
+        let text = to_mps(&lp, "SIGN");
+        assert!(text.contains("-2.5"));
+        let restored = from_mps(&text).unwrap();
+        assert!((restored.objective(0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "* a comment\nNAME T\nROWS\n N  OBJ\n L  R0\n\nCOLUMNS\n    X0  OBJ  -1\n    X0  R0  1\nRHS\n    RHS  R0  2\nBOUNDS\nENDATA\n";
+        let lp = from_mps(text).unwrap();
+        assert_eq!(lp.num_vars(), 1);
+        assert_eq!(lp.num_constraints(), 1);
+        let solution = SimplexSolver::default().solve(&lp).unwrap();
+        assert!((solution.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsupported_row_types_are_rejected() {
+        let text = "ROWS\n N  OBJ\n G  R0\nENDATA\n";
+        assert!(matches!(from_mps(text), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn unsupported_bound_types_are_rejected() {
+        let text = "ROWS\n N  OBJ\n L  R0\nCOLUMNS\n    X0  R0  1\nBOUNDS\n MI BND  X0  0\nENDATA\n";
+        assert!(matches!(from_mps(text), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn unknown_rows_in_columns_are_rejected() {
+        let text = "ROWS\n N  OBJ\n L  R0\nCOLUMNS\n    X0  NOPE  1\nENDATA\n";
+        assert!(matches!(from_mps(text), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn missing_objective_row_is_rejected() {
+        let text = "ROWS\n L  R0\nCOLUMNS\n    X0  R0  1\nENDATA\n";
+        assert!(matches!(from_mps(text), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn two_pair_column_lines_are_accepted() {
+        let text = "ROWS\n N  OBJ\n L  R0\n L  R1\nCOLUMNS\n    X0  R0  1  R1  2\n    X0  OBJ  -1\nRHS\n    RHS  R0  4  R1  6\nENDATA\n";
+        let lp = from_mps(text).unwrap();
+        assert_eq!(lp.num_constraints(), 2);
+        let solution = SimplexSolver::default().solve(&lp).unwrap();
+        // x ≤ 4 and 2x ≤ 6 → x = 3.
+        assert!((solution.objective - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fx_zero_bound_fixes_the_variable() {
+        let text = "ROWS\n N  OBJ\n L  R0\nCOLUMNS\n    X0  OBJ  -1\n    X0  R0  1\n    X1  OBJ  -1\n    X1  R0  1\nRHS\n    RHS  R0  5\nBOUNDS\n FX BND  X1  0\nENDATA\n";
+        let lp = from_mps(text).unwrap();
+        assert_eq!(lp.upper_bound(1), 0.0);
+        let solution = SimplexSolver::default().solve(&lp).unwrap();
+        assert!((solution.objective - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,471 @@
+//! Structure-aware approximate solver for block packing LPs.
+//!
+//! The IGEPA benchmark LP (1)–(4) has a very particular shape:
+//!
+//! * the variables are grouped into **blocks** (one block per user, one
+//!   variable per admissible event set) and each block carries a convexity
+//!   constraint `Σ_S x_{u,S} ≤ 1`;
+//! * on top of the blocks sit **global packing rows** (one per event,
+//!   `Σ x ≤ c_v`) with non-negative coefficients;
+//! * the objective is non-negative.
+//!
+//! An exact simplex over this LP needs a basis of size `|U| + |V|`, which is
+//! prohibitive for the paper's larger sweeps (up to 10 000 users). The
+//! [`BlockPackingSolver`] below instead runs projected dual subgradient
+//! ascent with primal averaging:
+//!
+//! 1. maintain a price `y_i ≥ 0` for every global row;
+//! 2. each round, every block plays its **best response** to the current
+//!    prices — the single column maximising `profit − Σ_i y_i·a_i`, or
+//!    nothing if every column is unprofitable (this respects the block's
+//!    convexity constraint exactly);
+//! 3. prices rise on overloaded rows and decay (towards zero) on slack rows
+//!    with a diminishing step size;
+//! 4. the reported solution is the **average** of the primal plays, scaled
+//!    per-row so that every global constraint holds exactly.
+//!
+//! The average of best responses converges to an optimal LP solution as the
+//! number of rounds grows (standard saddle-point/no-regret analysis); the
+//! final scaling guarantees feasibility, so the output is always a valid
+//! input for the randomised rounding of LP-packing. Accuracy against the
+//! exact simplex is asserted in the integration tests.
+
+use crate::error::LpError;
+use crate::solution::SolveStatus;
+use serde::{Deserialize, Serialize};
+
+/// One column (candidate choice) inside a block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackingColumn {
+    /// Objective contribution when the column is taken with value 1.
+    pub profit: f64,
+    /// Sparse usage of the global rows: `(row, coefficient)`, coefficients
+    /// must be non-negative.
+    pub usage: Vec<(usize, f64)>,
+}
+
+/// A block of columns sharing a convexity constraint `Σ x ≤ 1`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PackingBlock {
+    /// The block's columns.
+    pub columns: Vec<PackingColumn>,
+}
+
+/// A block-structured packing LP.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockPackingProblem {
+    /// Capacities of the global rows (must be positive).
+    pub capacities: Vec<f64>,
+    /// The blocks.
+    pub blocks: Vec<PackingBlock>,
+}
+
+impl BlockPackingProblem {
+    /// Creates a problem with the given global row capacities.
+    pub fn new(capacities: Vec<f64>) -> Self {
+        BlockPackingProblem {
+            capacities,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Adds a block and returns its index.
+    pub fn add_block(&mut self, block: PackingBlock) -> usize {
+        self.blocks.push(block);
+        self.blocks.len() - 1
+    }
+
+    /// Total number of columns across blocks.
+    pub fn num_columns(&self) -> usize {
+        self.blocks.iter().map(|b| b.columns.len()).sum()
+    }
+
+    /// Number of global rows.
+    pub fn num_rows(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Validates capacities and column usages.
+    pub fn validate(&self) -> Result<(), LpError> {
+        for (i, &c) in self.capacities.iter().enumerate() {
+            if c <= 0.0 || !c.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "capacity of row {i} must be positive and finite, got {c}"
+                )));
+            }
+        }
+        for (b, block) in self.blocks.iter().enumerate() {
+            for (c, col) in block.columns.iter().enumerate() {
+                if col.profit < 0.0 || !col.profit.is_finite() {
+                    return Err(LpError::InvalidModel(format!(
+                        "profit of column {c} in block {b} must be non-negative"
+                    )));
+                }
+                for &(row, coeff) in &col.usage {
+                    if row >= self.capacities.len() {
+                        return Err(LpError::InvalidModel(format!(
+                            "column {c} in block {b} references unknown row {row}"
+                        )));
+                    }
+                    if coeff < 0.0 || !coeff.is_finite() {
+                        return Err(LpError::InvalidModel(format!(
+                            "column {c} in block {b} has a negative coefficient on row {row}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Objective value of a fractional solution given per-block column values.
+    pub fn objective_value(&self, x: &BlockSolution) -> f64 {
+        self.blocks
+            .iter()
+            .zip(&x.values)
+            .map(|(block, vals)| {
+                block
+                    .columns
+                    .iter()
+                    .zip(vals)
+                    .map(|(col, &v)| col.profit * v)
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Row loads of a fractional solution.
+    pub fn row_loads(&self, x: &BlockSolution) -> Vec<f64> {
+        let mut loads = vec![0.0; self.capacities.len()];
+        for (block, vals) in self.blocks.iter().zip(&x.values) {
+            for (col, &v) in block.columns.iter().zip(vals) {
+                if v > 0.0 {
+                    for &(row, coeff) in &col.usage {
+                        loads[row] += coeff * v;
+                    }
+                }
+            }
+        }
+        loads
+    }
+
+    /// Whether `x` satisfies every block and row constraint within `tol`.
+    pub fn is_feasible(&self, x: &BlockSolution, tol: f64) -> bool {
+        if x.values.len() != self.blocks.len() {
+            return false;
+        }
+        for (block, vals) in self.blocks.iter().zip(&x.values) {
+            if vals.len() != block.columns.len() {
+                return false;
+            }
+            let sum: f64 = vals.iter().sum();
+            if sum > 1.0 + tol || vals.iter().any(|&v| v < -tol) {
+                return false;
+            }
+        }
+        self.row_loads(x)
+            .iter()
+            .zip(&self.capacities)
+            .all(|(&load, &cap)| load <= cap + tol)
+    }
+}
+
+/// Fractional solution of a [`BlockPackingProblem`]: one value per column,
+/// grouped by block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockSolution {
+    /// `values[b][c]` is the value of column `c` of block `b`.
+    pub values: Vec<Vec<f64>>,
+    /// Objective at `values`.
+    pub objective: f64,
+    /// Termination status (always [`SolveStatus::Approximate`] for this
+    /// solver).
+    pub status: SolveStatus,
+    /// Number of subgradient rounds performed.
+    pub iterations: usize,
+}
+
+/// Projected dual subgradient solver with primal averaging for
+/// [`BlockPackingProblem`]s.
+#[derive(Debug, Clone)]
+pub struct BlockPackingSolver {
+    /// Number of subgradient rounds.
+    pub rounds: usize,
+    /// Initial step size; the round-`t` step is `step / sqrt(t)`.
+    pub step: f64,
+}
+
+impl Default for BlockPackingSolver {
+    fn default() -> Self {
+        BlockPackingSolver {
+            rounds: 600,
+            step: 1.0,
+        }
+    }
+}
+
+impl BlockPackingSolver {
+    /// Creates a solver that runs the given number of rounds.
+    pub fn with_rounds(rounds: usize) -> Self {
+        BlockPackingSolver {
+            rounds,
+            ..Self::default()
+        }
+    }
+
+    /// Solves the block packing LP approximately. The returned solution is
+    /// always feasible.
+    pub fn solve(&self, problem: &BlockPackingProblem) -> Result<BlockSolution, LpError> {
+        problem.validate()?;
+        let num_rows = problem.num_rows();
+        let rounds = self.rounds.max(1);
+
+        let mut prices = vec![0.0f64; num_rows];
+        // Accumulated (summed) primal plays; divided by `rounds` at the end.
+        let mut accumulated: Vec<Vec<f64>> = problem
+            .blocks
+            .iter()
+            .map(|b| vec![0.0; b.columns.len()])
+            .collect();
+        let mut loads = vec![0.0f64; num_rows];
+
+        for t in 1..=rounds {
+            loads.iter_mut().for_each(|l| *l = 0.0);
+            // Best response of every block to the current prices.
+            for (block, acc) in problem.blocks.iter().zip(accumulated.iter_mut()) {
+                let mut best: Option<(usize, f64)> = None;
+                for (c, col) in block.columns.iter().enumerate() {
+                    let mut reduced = col.profit;
+                    for &(row, coeff) in &col.usage {
+                        reduced -= prices[row] * coeff;
+                    }
+                    if reduced > 0.0 {
+                        match best {
+                            Some((_, b)) if b >= reduced => {}
+                            _ => best = Some((c, reduced)),
+                        }
+                    }
+                }
+                if let Some((c, _)) = best {
+                    acc[c] += 1.0;
+                    for &(row, coeff) in &block.columns[c].usage {
+                        loads[row] += coeff;
+                    }
+                }
+            }
+            // Dual update: prices rise on overloaded rows, fall otherwise.
+            let eta = self.step / (t as f64).sqrt();
+            for i in 0..num_rows {
+                let violation = (loads[i] - problem.capacities[i]) / problem.capacities[i];
+                prices[i] = (prices[i] + eta * violation).max(0.0);
+            }
+        }
+
+        // Average the plays.
+        let scale = 1.0 / rounds as f64;
+        let mut values: Vec<Vec<f64>> = accumulated
+            .into_iter()
+            .map(|block| block.into_iter().map(|v| v * scale).collect())
+            .collect();
+
+        // Repair: scale down columns on any row that is still (slightly)
+        // overloaded so the output is exactly feasible.
+        let mut solution = BlockSolution {
+            values: values.clone(),
+            objective: 0.0,
+            status: SolveStatus::Approximate,
+            iterations: rounds,
+        };
+        let loads = problem.row_loads(&solution);
+        let mut row_scale = vec![1.0f64; num_rows];
+        for i in 0..num_rows {
+            if loads[i] > problem.capacities[i] {
+                row_scale[i] = problem.capacities[i] / loads[i];
+            }
+        }
+        if row_scale.iter().any(|&s| s < 1.0) {
+            for (block, vals) in problem.blocks.iter().zip(values.iter_mut()) {
+                for (col, v) in block.columns.iter().zip(vals.iter_mut()) {
+                    if *v > 0.0 {
+                        let factor = col
+                            .usage
+                            .iter()
+                            .map(|&(row, _)| row_scale[row])
+                            .fold(1.0f64, f64::min);
+                        *v *= factor;
+                    }
+                }
+            }
+        }
+        solution.values = values;
+        solution.objective = problem.objective_value(&solution);
+        debug_assert!(problem.is_feasible(&solution, 1e-7));
+        Ok(solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two blocks competing for one row of capacity 1.
+    fn shared_row_problem() -> BlockPackingProblem {
+        let mut p = BlockPackingProblem::new(vec![1.0]);
+        p.add_block(PackingBlock {
+            columns: vec![
+                PackingColumn { profit: 2.0, usage: vec![(0, 1.0)] },
+                PackingColumn { profit: 1.0, usage: vec![] },
+            ],
+        });
+        p.add_block(PackingBlock {
+            columns: vec![
+                PackingColumn { profit: 2.0, usage: vec![(0, 1.0)] },
+                PackingColumn { profit: 1.0, usage: vec![] },
+            ],
+        });
+        p
+    }
+
+    #[test]
+    fn validation_rejects_bad_models() {
+        let mut p = BlockPackingProblem::new(vec![0.0]);
+        assert!(p.validate().is_err());
+        p.capacities = vec![1.0];
+        p.add_block(PackingBlock {
+            columns: vec![PackingColumn { profit: -1.0, usage: vec![] }],
+        });
+        assert!(p.validate().is_err());
+        p.blocks[0].columns[0].profit = 1.0;
+        p.blocks[0].columns[0].usage = vec![(5, 1.0)];
+        assert!(p.validate().is_err());
+        p.blocks[0].columns[0].usage = vec![(0, -1.0)];
+        assert!(p.validate().is_err());
+        p.blocks[0].columns[0].usage = vec![(0, 1.0)];
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn solution_is_feasible_and_near_optimal_on_shared_row() {
+        let p = shared_row_problem();
+        let s = BlockPackingSolver::with_rounds(2000).solve(&p).unwrap();
+        assert!(p.is_feasible(&s, 1e-7));
+        // LP optimum is 3: one unit of the shared row split between the
+        // premium columns plus the fallback column of the loser.
+        assert!(s.objective > 2.7, "objective {}", s.objective);
+        assert!(s.objective <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_problem_yields_zero() {
+        let p = BlockPackingProblem::new(vec![]);
+        let s = BlockPackingSolver::default().solve(&p).unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert!(s.values.is_empty());
+    }
+
+    #[test]
+    fn unconstrained_blocks_take_their_best_column() {
+        let mut p = BlockPackingProblem::new(vec![10.0]);
+        p.add_block(PackingBlock {
+            columns: vec![
+                PackingColumn { profit: 1.0, usage: vec![(0, 1.0)] },
+                PackingColumn { profit: 3.0, usage: vec![(0, 1.0)] },
+            ],
+        });
+        let s = BlockPackingSolver::with_rounds(200).solve(&p).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-6);
+        assert!((s.values[0][1] - 1.0).abs() < 1e-6);
+        assert!(s.values[0][0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_profit_columns_are_never_taken() {
+        let mut p = BlockPackingProblem::new(vec![1.0]);
+        p.add_block(PackingBlock {
+            columns: vec![PackingColumn { profit: 0.0, usage: vec![(0, 1.0)] }],
+        });
+        let s = BlockPackingSolver::with_rounds(100).solve(&p).unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert_eq!(s.values[0][0], 0.0);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded_even_under_contention() {
+        // 10 blocks all want the same unit-capacity row.
+        let mut p = BlockPackingProblem::new(vec![1.0]);
+        for _ in 0..10 {
+            p.add_block(PackingBlock {
+                columns: vec![PackingColumn { profit: 1.0, usage: vec![(0, 1.0)] }],
+            });
+        }
+        let s = BlockPackingSolver::with_rounds(1500).solve(&p).unwrap();
+        assert!(p.is_feasible(&s, 1e-7));
+        let load = p.row_loads(&s)[0];
+        assert!(load <= 1.0 + 1e-7);
+        // The LP optimum is exactly 1 (the row is the only bottleneck).
+        assert!(s.objective > 0.8, "objective {}", s.objective);
+    }
+
+    #[test]
+    fn matches_exact_simplex_on_small_instances() {
+        use crate::problem::LinearProgram;
+        use crate::simplex::SimplexSolver;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..5 {
+            let num_rows = rng.gen_range(2..5);
+            let num_blocks = rng.gen_range(3..7);
+            let capacities: Vec<f64> = (0..num_rows).map(|_| rng.gen_range(1.0..3.0)).collect();
+            let mut p = BlockPackingProblem::new(capacities.clone());
+            for _ in 0..num_blocks {
+                let num_cols = rng.gen_range(1..4);
+                let columns = (0..num_cols)
+                    .map(|_| {
+                        let usage: Vec<(usize, f64)> = (0..num_rows)
+                            .filter(|_| rng.gen_bool(0.6))
+                            .map(|r| (r, 1.0))
+                            .collect();
+                        PackingColumn { profit: rng.gen_range(0.1..2.0), usage }
+                    })
+                    .collect();
+                p.add_block(PackingBlock { columns });
+            }
+
+            // Exact LP for reference.
+            let mut lp = LinearProgram::new();
+            let mut var_ids: Vec<Vec<usize>> = Vec::new();
+            for block in &p.blocks {
+                let ids: Vec<usize> = block
+                    .columns
+                    .iter()
+                    .map(|c| lp.add_var(c.profit, 1.0))
+                    .collect();
+                lp.add_le_constraint(ids.iter().map(|&v| (v, 1.0)), 1.0).unwrap();
+                var_ids.push(ids);
+            }
+            for (row, &cap) in capacities.iter().enumerate() {
+                let mut coeffs = Vec::new();
+                for (b, block) in p.blocks.iter().enumerate() {
+                    for (c, col) in block.columns.iter().enumerate() {
+                        if let Some(&(_, w)) = col.usage.iter().find(|&&(r, _)| r == row) {
+                            coeffs.push((var_ids[b][c], w));
+                        }
+                    }
+                }
+                lp.add_le_constraint(coeffs, cap).unwrap();
+            }
+            let exact = SimplexSolver::default().solve(&lp).unwrap();
+            let approx = BlockPackingSolver::with_rounds(4000).solve(&p).unwrap();
+            assert!(p.is_feasible(&approx, 1e-7));
+            assert!(
+                approx.objective >= 0.9 * exact.objective - 1e-6,
+                "approx {} vs exact {}",
+                approx.objective,
+                exact.objective
+            );
+            assert!(approx.objective <= exact.objective + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! LP presolve: cheap, provably-safe reductions applied before the simplex.
+//!
+//! Commercial solvers (the paper uses Gurobi) spend a significant fraction
+//! of their speed advantage in presolve. This module implements the subset
+//! of classic reductions that are valid for the model shape used throughout
+//! the reproduction — `max c·x, A·x ≤ b, 0 ≤ x ≤ u`:
+//!
+//! * **empty / redundant rows** — rows whose maximum activity already
+//!   satisfies the right-hand side are dropped; rows whose *minimum*
+//!   activity exceeds it prove infeasibility immediately;
+//! * **dominated variables** — a variable with non-positive objective whose
+//!   coefficients are all non-negative can only consume capacity, so it is
+//!   fixed to 0; a variable with non-negative objective whose coefficients
+//!   are all non-positive is fixed to its upper bound;
+//! * **bound tightening** — in a row whose coefficients are all
+//!   non-negative, every variable's upper bound can be tightened to
+//!   `rhs / a_j`;
+//! * **singleton rows** — a one-variable row becomes a bound update and is
+//!   removed.
+//!
+//! The reductions iterate to a fixed point. [`PresolvedLp::restore`] maps a
+//! solution of the reduced program back to the original variable space, and
+//! the objective values agree exactly (up to floating-point noise), which
+//! the tests check against the unreduced simplex.
+
+use crate::error::LpError;
+use crate::problem::{LinearProgram, VarId};
+use crate::simplex::SimplexSolver;
+use crate::solution::LpSolution;
+
+/// Statistics of one presolve run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Rows removed because they could never bind.
+    pub redundant_rows: usize,
+    /// Rows removed because they only involved one variable.
+    pub singleton_rows: usize,
+    /// Variables fixed at zero.
+    pub fixed_at_zero: usize,
+    /// Variables fixed at their upper bound.
+    pub fixed_at_upper: usize,
+    /// Upper bounds tightened.
+    pub bounds_tightened: usize,
+    /// Number of reduction passes until the fixed point.
+    pub passes: usize,
+}
+
+impl PresolveStats {
+    /// Total number of individual reductions applied.
+    pub fn total_reductions(&self) -> usize {
+        self.redundant_rows
+            + self.singleton_rows
+            + self.fixed_at_zero
+            + self.fixed_at_upper
+            + self.bounds_tightened
+    }
+}
+
+/// Outcome of presolving a [`LinearProgram`].
+#[derive(Debug, Clone)]
+pub struct PresolvedLp {
+    /// The reduced program (over the surviving variables only).
+    pub reduced: LinearProgram,
+    /// Original variable index of each reduced variable.
+    pub kept_vars: Vec<VarId>,
+    /// `(original variable, fixed value)` for every removed variable.
+    pub fixed: Vec<(VarId, f64)>,
+    /// Objective contribution of the fixed variables.
+    pub objective_offset: f64,
+    /// Number of variables in the original program.
+    pub original_num_vars: usize,
+    /// What was reduced.
+    pub stats: PresolveStats,
+}
+
+impl PresolvedLp {
+    /// Maps a solution of the reduced program back to the original
+    /// variable space (fixed variables get their fixed values).
+    pub fn restore(&self, reduced_values: &[f64]) -> Vec<f64> {
+        let mut full = vec![0.0; self.original_num_vars];
+        for (&orig, &value) in self.kept_vars.iter().zip(reduced_values.iter()) {
+            full[orig] = value;
+        }
+        for &(orig, value) in &self.fixed {
+            full[orig] = value;
+        }
+        full
+    }
+
+    /// Objective value in the *original* program for a reduced-space point.
+    pub fn restored_objective(&self, reduced_objective: f64) -> f64 {
+        reduced_objective + self.objective_offset
+    }
+}
+
+/// Applies the presolve reductions until no further reduction fires.
+///
+/// Returns [`LpError::Infeasible`] when a row can never be satisfied and
+/// [`LpError::Unbounded`] when an unbounded variable with positive objective
+/// escapes every constraint.
+pub fn presolve(lp: &LinearProgram) -> Result<PresolvedLp, LpError> {
+    let n = lp.num_vars();
+    let mut upper: Vec<f64> = lp.upper_bounds().to_vec();
+    let mut fixed_value: Vec<Option<f64>> = vec![None; n];
+    // Row representation we can edit: (coefficients, rhs, alive).
+    let mut rows: Vec<(Vec<(VarId, f64)>, f64, bool)> = lp
+        .constraints()
+        .iter()
+        .map(|c| (c.coefficients.clone(), c.rhs, true))
+        .collect();
+    let mut stats = PresolveStats::default();
+
+    const MAX_PASSES: usize = 32;
+    for pass in 0..MAX_PASSES {
+        let mut changed = false;
+        stats.passes = pass + 1;
+
+        // --- Row reductions -------------------------------------------------
+        for row in rows.iter_mut().filter(|r| r.2) {
+            // Substitute already-fixed variables into the right-hand side.
+            let mut coefficients = Vec::with_capacity(row.0.len());
+            let mut rhs = row.1;
+            for &(var, coeff) in &row.0 {
+                match fixed_value[var] {
+                    Some(value) => rhs -= coeff * value,
+                    None => coefficients.push((var, coeff)),
+                }
+            }
+            if coefficients.len() != row.0.len() {
+                changed = true;
+            }
+            row.0 = coefficients;
+            row.1 = rhs;
+
+            // Empty row: either trivially satisfied or infeasible.
+            if row.0.is_empty() {
+                if row.1 < -1e-9 {
+                    return Err(LpError::Infeasible);
+                }
+                row.2 = false;
+                stats.redundant_rows += 1;
+                changed = true;
+                continue;
+            }
+
+            // Activity bounds over 0 ≤ x ≤ u.
+            let mut max_activity = 0.0_f64;
+            let mut min_activity = 0.0_f64;
+            for &(var, coeff) in &row.0 {
+                if coeff > 0.0 {
+                    max_activity += coeff * upper[var];
+                } else {
+                    min_activity += coeff * upper[var];
+                }
+            }
+            if min_activity > row.1 + 1e-9 {
+                return Err(LpError::Infeasible);
+            }
+            if max_activity <= row.1 + 1e-12 {
+                row.2 = false;
+                stats.redundant_rows += 1;
+                changed = true;
+                continue;
+            }
+
+            // Singleton row `a·x ≤ rhs`.
+            if row.0.len() == 1 {
+                let (var, coeff) = row.0[0];
+                if coeff > 0.0 {
+                    let implied = row.1 / coeff;
+                    if implied < -1e-9 {
+                        return Err(LpError::Infeasible);
+                    }
+                    let implied = implied.max(0.0);
+                    if implied < upper[var] - 1e-12 {
+                        upper[var] = implied;
+                        stats.bounds_tightened += 1;
+                    }
+                    row.2 = false;
+                    stats.singleton_rows += 1;
+                    changed = true;
+                    continue;
+                }
+                // coeff < 0: with x ≥ 0 the row is either always satisfied
+                // (rhs ≥ 0, handled by the redundancy check via max activity
+                // = 0 ≤ rhs) or expresses a lower bound we cannot represent;
+                // keep it for the simplex in that case.
+            }
+
+            // Bound tightening in all-non-negative rows.
+            if row.0.iter().all(|&(_, c)| c >= 0.0) {
+                for &(var, coeff) in &row.0 {
+                    if coeff > 1e-12 {
+                        let implied = row.1 / coeff;
+                        if implied < upper[var] - 1e-9 {
+                            upper[var] = implied.max(0.0);
+                            stats.bounds_tightened += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Column (variable) reductions -----------------------------------
+        // Sign summary of each free variable's column over the live rows.
+        let mut has_positive = vec![false; n];
+        let mut has_negative = vec![false; n];
+        for (coefficients, _, alive) in rows.iter() {
+            if !alive {
+                continue;
+            }
+            for &(var, coeff) in coefficients {
+                if coeff > 0.0 {
+                    has_positive[var] = true;
+                } else if coeff < 0.0 {
+                    has_negative[var] = true;
+                }
+            }
+        }
+        for var in 0..n {
+            if fixed_value[var].is_some() {
+                continue;
+            }
+            let c = lp.objective(var);
+            if upper[var] <= 1e-12 {
+                // Bound tightening collapsed the domain to {0}.
+                fixed_value[var] = Some(0.0);
+                stats.fixed_at_zero += 1;
+                changed = true;
+            } else if c <= 0.0 && !has_negative[var] {
+                // Can only consume capacity and never helps the objective.
+                fixed_value[var] = Some(0.0);
+                stats.fixed_at_zero += 1;
+                changed = true;
+            } else if c >= 0.0 && !has_positive[var] {
+                // Relaxing it never hurts: push to the upper bound.
+                if upper[var].is_infinite() {
+                    if c > 0.0 {
+                        return Err(LpError::Unbounded);
+                    }
+                    fixed_value[var] = Some(0.0);
+                    stats.fixed_at_zero += 1;
+                } else {
+                    fixed_value[var] = Some(upper[var]);
+                    stats.fixed_at_upper += 1;
+                }
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // --- Assemble the reduced program ----------------------------------------
+    let kept_vars: Vec<VarId> = (0..n).filter(|&v| fixed_value[v].is_none()).collect();
+    let new_index: Vec<Option<usize>> = {
+        let mut map = vec![None; n];
+        for (new, &orig) in kept_vars.iter().enumerate() {
+            map[orig] = Some(new);
+        }
+        map
+    };
+    let mut reduced = LinearProgram::new();
+    for &orig in &kept_vars {
+        reduced.add_var(lp.objective(orig), upper[orig]);
+    }
+    for (coefficients, rhs, alive) in rows.iter() {
+        if !alive {
+            continue;
+        }
+        let mut mapped = Vec::with_capacity(coefficients.len());
+        let mut adjusted_rhs = *rhs;
+        for &(var, coeff) in coefficients {
+            match fixed_value[var] {
+                Some(value) => adjusted_rhs -= coeff * value,
+                None => mapped.push((new_index[var].expect("kept var has an index"), coeff)),
+            }
+        }
+        if mapped.is_empty() {
+            if adjusted_rhs < -1e-9 {
+                return Err(LpError::Infeasible);
+            }
+            continue;
+        }
+        reduced
+            .add_le_constraint(mapped, adjusted_rhs)
+            .expect("mapped indices are in range");
+    }
+
+    let fixed: Vec<(VarId, f64)> = (0..n)
+        .filter_map(|v| fixed_value[v].map(|value| (v, value)))
+        .collect();
+    let objective_offset: f64 = fixed.iter().map(|&(v, value)| lp.objective(v) * value).sum();
+
+    Ok(PresolvedLp {
+        reduced,
+        kept_vars,
+        fixed,
+        objective_offset,
+        original_num_vars: n,
+        stats,
+    })
+}
+
+/// Presolves, solves the reduced program with the given simplex, and maps
+/// the solution back to the original variable space.
+pub fn presolve_and_solve(lp: &LinearProgram, solver: &SimplexSolver) -> Result<LpSolution, LpError> {
+    let presolved = presolve(lp)?;
+    if presolved.reduced.num_vars() == 0 {
+        let values = presolved.restore(&[]);
+        return Ok(LpSolution {
+            objective: lp.objective_value(&values),
+            values,
+            status: crate::solution::SolveStatus::Optimal,
+            iterations: 0,
+        });
+    }
+    let reduced_solution = solver.solve(&presolved.reduced)?;
+    let values = presolved.restore(&reduced_solution.values);
+    Ok(LpSolution {
+        objective: lp.objective_value(&values),
+        values,
+        status: reduced_solution.status,
+        iterations: reduced_solution.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn knapsack_like() -> LinearProgram {
+        // max 3x + 5y + 0z  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, z ≤ 7
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(3.0, f64::INFINITY);
+        let y = lp.add_var(5.0, f64::INFINITY);
+        let z = lp.add_var(0.0, 10.0);
+        lp.add_le_constraint([(x, 1.0)], 4.0).unwrap();
+        lp.add_le_constraint([(y, 2.0)], 12.0).unwrap();
+        lp.add_le_constraint([(x, 3.0), (y, 2.0)], 18.0).unwrap();
+        lp.add_le_constraint([(z, 1.0)], 7.0).unwrap();
+        lp
+    }
+
+    #[test]
+    fn presolve_preserves_the_optimum_of_the_textbook_lp() {
+        let lp = knapsack_like();
+        let direct = SimplexSolver::default().solve(&lp).unwrap();
+        let via_presolve = presolve_and_solve(&lp, &SimplexSolver::default()).unwrap();
+        assert!((direct.objective - 36.0).abs() < 1e-6);
+        assert!((via_presolve.objective - direct.objective).abs() < 1e-6);
+        assert!(lp.is_feasible(&via_presolve.values, 1e-6));
+    }
+
+    #[test]
+    fn zero_objective_capacity_consumers_are_fixed_at_zero() {
+        let lp = knapsack_like();
+        let presolved = presolve(&lp).unwrap();
+        // z has zero objective and only non-negative coefficients → fixed.
+        assert!(presolved.fixed.iter().any(|&(v, value)| v == 2 && value == 0.0));
+        assert!(presolved.stats.fixed_at_zero >= 1);
+    }
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let lp = knapsack_like();
+        let presolved = presolve(&lp).unwrap();
+        assert!(presolved.stats.singleton_rows >= 2);
+        // The reduced program keeps only the genuinely coupling row.
+        assert!(presolved.reduced.num_constraints() <= 1);
+        let solved = SimplexSolver::default().solve(&presolved.reduced).unwrap();
+        assert!((presolved.restored_objective(solved.objective) - 36.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_rows_are_dropped() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 2.0);
+        let y = lp.add_var(1.0, 3.0);
+        // Max activity 2 + 3 = 5 ≤ 100: redundant.
+        lp.add_le_constraint([(x, 1.0), (y, 1.0)], 100.0).unwrap();
+        lp.add_le_constraint([(x, 1.0), (y, 1.0)], 4.0).unwrap();
+        let presolved = presolve(&lp).unwrap();
+        assert!(presolved.stats.redundant_rows >= 1);
+        let solution = presolve_and_solve(&lp, &SimplexSolver::default()).unwrap();
+        assert!((solution.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_rows_are_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 5.0);
+        // -x ≤ -10 means x ≥ 10, impossible with x ≤ 5.
+        lp.add_le_constraint([(x, -1.0)], -10.0).unwrap();
+        assert!(matches!(presolve(&lp), Err(LpError::Infeasible)));
+    }
+
+    #[test]
+    fn empty_negative_row_is_infeasible() {
+        let mut lp = LinearProgram::new();
+        let _x = lp.add_var(1.0, 5.0);
+        lp.add_le_constraint(std::iter::empty::<(usize, f64)>(), -1.0)
+            .unwrap();
+        assert!(matches!(presolve(&lp), Err(LpError::Infeasible)));
+    }
+
+    #[test]
+    fn unconstrained_positive_variable_with_infinite_bound_is_unbounded() {
+        let mut lp = LinearProgram::new();
+        let _free = lp.add_var(2.0, f64::INFINITY);
+        assert!(matches!(presolve(&lp), Err(LpError::Unbounded)));
+    }
+
+    #[test]
+    fn unconstrained_bounded_variables_are_fixed_at_their_bound() {
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var(2.0, 3.0);
+        let b = lp.add_var(-1.0, 4.0);
+        // No constraints at all.
+        let presolved = presolve(&lp).unwrap();
+        assert!(presolved.fixed.contains(&(a, 3.0)));
+        assert!(presolved.fixed.contains(&(b, 0.0)));
+        assert_eq!(presolved.reduced.num_vars(), 0);
+        let solution = presolve_and_solve(&lp, &SimplexSolver::default()).unwrap();
+        assert!((solution.objective - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_tightening_caps_variables_by_their_rows() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 100.0);
+        let y = lp.add_var(1.0, 100.0);
+        lp.add_le_constraint([(x, 2.0), (y, 1.0)], 10.0).unwrap();
+        let presolved = presolve(&lp).unwrap();
+        assert!(presolved.stats.bounds_tightened >= 2);
+        // x ≤ 5, y ≤ 10 after tightening.
+        let xi = presolved.kept_vars.iter().position(|&v| v == x);
+        let yi = presolved.kept_vars.iter().position(|&v| v == y);
+        if let Some(xi) = xi {
+            assert!(presolved.reduced.upper_bound(xi) <= 5.0 + 1e-9);
+        }
+        if let Some(yi) = yi {
+            assert!(presolved.reduced.upper_bound(yi) <= 10.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn restore_places_values_at_original_indices() {
+        let lp = knapsack_like();
+        let presolved = presolve(&lp).unwrap();
+        let reduced_solution = SimplexSolver::default().solve(&presolved.reduced).unwrap();
+        let full = presolved.restore(&reduced_solution.values);
+        assert_eq!(full.len(), lp.num_vars());
+        assert!(lp.is_feasible(&full, 1e-6));
+        assert!((lp.objective_value(&full) - 36.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn presolve_agrees_with_direct_simplex_on_random_packing_lps() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..25 {
+            let num_vars = rng.gen_range(2..10);
+            let num_rows = rng.gen_range(1..8);
+            let mut lp = LinearProgram::new();
+            for _ in 0..num_vars {
+                let objective = rng.gen_range(0.0..5.0);
+                let upper = if rng.gen_bool(0.3) {
+                    f64::INFINITY
+                } else {
+                    rng.gen_range(0.5..4.0)
+                };
+                lp.add_var(objective, upper);
+            }
+            for _ in 0..num_rows {
+                let mut coefficients: Vec<(usize, f64)> = Vec::new();
+                for v in 0..num_vars {
+                    if rng.gen_bool(0.6) {
+                        coefficients.push((v, rng.gen_range(0.1..3.0)));
+                    }
+                }
+                let rhs = rng.gen_range(1.0..10.0);
+                lp.add_le_constraint(coefficients, rhs).unwrap();
+            }
+            // Ensure boundedness: give every infinite-bound variable a row.
+            for v in 0..num_vars {
+                if lp.upper_bound(v).is_infinite() {
+                    lp.add_le_constraint([(v, 1.0)], rng.gen_range(1.0..6.0)).unwrap();
+                }
+            }
+            let direct = SimplexSolver::default().solve(&lp).unwrap();
+            let presolved = presolve_and_solve(&lp, &SimplexSolver::default()).unwrap();
+            assert!(
+                (direct.objective - presolved.objective).abs() < 1e-6,
+                "trial {trial}: direct {} vs presolved {}",
+                direct.objective,
+                presolved.objective
+            );
+            assert!(lp.is_feasible(&presolved.values, 1e-6), "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Linear-program model: variables with box bounds, `≤` constraints and a
+//! maximisation objective.
+//!
+//! The model mirrors what the IGEPA benchmark LP (1)–(4) needs — maximise a
+//! non-negative objective over box-bounded variables subject to `≤` rows —
+//! but is general enough for arbitrary coefficients, so the solvers can be
+//! exercised on textbook LPs in tests.
+
+use crate::error::LpError;
+use serde::{Deserialize, Serialize};
+
+/// Index of a decision variable within a [`LinearProgram`].
+pub type VarId = usize;
+
+/// A single `Σ aᵢ·xᵢ ≤ rhs` constraint with sparse coefficients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Sparse `(variable, coefficient)` pairs; variables appear at most once.
+    pub coefficients: Vec<(VarId, f64)>,
+    /// Right-hand side of the `≤` constraint.
+    pub rhs: f64,
+}
+
+/// A linear program `max c·x  s.t.  A·x ≤ b,  l ≤ x ≤ u` with `l = 0`.
+///
+/// Variables are created through [`LinearProgram::add_var`], which returns a
+/// dense [`VarId`]; constraints reference those ids.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    upper_bounds: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with objective coefficient `objective` and bounds
+    /// `0 ≤ x ≤ upper_bound` (`f64::INFINITY` for no upper bound).
+    pub fn add_var(&mut self, objective: f64, upper_bound: f64) -> VarId {
+        assert!(
+            upper_bound >= 0.0,
+            "upper bound must be non-negative, got {upper_bound}"
+        );
+        self.objective.push(objective);
+        self.upper_bounds.push(upper_bound);
+        self.objective.len() - 1
+    }
+
+    /// Adds the constraint `Σ coeff·x ≤ rhs`. Coefficients for the same
+    /// variable are summed; zero coefficients are dropped.
+    pub fn add_le_constraint(
+        &mut self,
+        coefficients: impl IntoIterator<Item = (VarId, f64)>,
+        rhs: f64,
+    ) -> Result<usize, LpError> {
+        let mut merged: Vec<(VarId, f64)> = Vec::new();
+        for (var, coeff) in coefficients {
+            if var >= self.num_vars() {
+                return Err(LpError::UnknownVariable {
+                    variable: var,
+                    num_variables: self.num_vars(),
+                });
+            }
+            match merged.iter_mut().find(|(v, _)| *v == var) {
+                Some((_, existing)) => *existing += coeff,
+                None => merged.push((var, coeff)),
+            }
+        }
+        merged.retain(|&(_, c)| c != 0.0);
+        merged.sort_unstable_by_key(|&(v, _)| v);
+        self.constraints.push(Constraint {
+            coefficients: merged,
+            rhs,
+        });
+        Ok(self.constraints.len() - 1)
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of `≤` constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective coefficient of a variable.
+    pub fn objective(&self, var: VarId) -> f64 {
+        self.objective[var]
+    }
+
+    /// All objective coefficients in variable order.
+    pub fn objective_vector(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Upper bound of a variable.
+    pub fn upper_bound(&self, var: VarId) -> f64 {
+        self.upper_bounds[var]
+    }
+
+    /// All upper bounds in variable order.
+    pub fn upper_bounds(&self) -> &[f64] {
+        &self.upper_bounds
+    }
+
+    /// Tightens the upper bound of a variable (used by branch & bound).
+    ///
+    /// Panics if the new bound is negative.
+    pub fn set_upper_bound(&mut self, var: VarId, upper_bound: f64) {
+        assert!(upper_bound >= 0.0, "upper bound must be non-negative");
+        self.upper_bounds[var] = upper_bound;
+    }
+
+    /// The constraints in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective
+            .iter()
+            .zip(x)
+            .map(|(c, v)| c * v)
+            .sum()
+    }
+
+    /// Checks whether `x` satisfies every constraint and bound within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for (j, &v) in x.iter().enumerate() {
+            if v < -tol || v > self.upper_bounds[j] + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coefficients.iter().map(|&(j, a)| a * x[j]).sum();
+            if lhs > c.rhs + tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Maximum violation of any constraint or bound at `x` (0 if feasible).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (j, &v) in x.iter().enumerate() {
+            worst = worst.max(-v).max(v - self.upper_bounds[j]);
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coefficients.iter().map(|&(j, a)| a * x[j]).sum();
+            worst = worst.max(lhs - c.rhs);
+        }
+        worst.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_lp() -> LinearProgram {
+        // max 3x + 2y s.t. x + y <= 4, x <= 3, y <= 10 (bounds), x,y >= 0.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(3.0, 3.0);
+        let y = lp.add_var(2.0, 10.0);
+        lp.add_le_constraint(vec![(x, 1.0), (y, 1.0)], 4.0).unwrap();
+        lp
+    }
+
+    #[test]
+    fn add_var_assigns_dense_ids() {
+        let mut lp = LinearProgram::new();
+        assert_eq!(lp.add_var(1.0, 1.0), 0);
+        assert_eq!(lp.add_var(2.0, f64::INFINITY), 1);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.objective(1), 2.0);
+        assert_eq!(lp.upper_bound(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn constraint_merges_duplicate_variables() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 1.0);
+        let row = lp
+            .add_le_constraint(vec![(x, 2.0), (x, 3.0), (x, -5.0)], 7.0)
+            .unwrap();
+        assert!(lp.constraints()[row].coefficients.is_empty());
+        let row2 = lp.add_le_constraint(vec![(x, 2.0), (x, 3.0)], 7.0).unwrap();
+        assert_eq!(lp.constraints()[row2].coefficients, vec![(x, 5.0)]);
+    }
+
+    #[test]
+    fn unknown_variable_is_rejected() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0, 1.0);
+        let err = lp.add_le_constraint(vec![(3, 1.0)], 1.0).unwrap_err();
+        assert!(matches!(err, LpError::UnknownVariable { variable: 3, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_upper_bound_panics() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0, -1.0);
+    }
+
+    #[test]
+    fn objective_value_and_feasibility() {
+        let lp = toy_lp();
+        let x = vec![3.0, 1.0];
+        assert_eq!(lp.objective_value(&x), 11.0);
+        assert!(lp.is_feasible(&x, 1e-9));
+        assert!(!lp.is_feasible(&[3.0, 2.0], 1e-9)); // row violated
+        assert!(!lp.is_feasible(&[4.0, 0.0], 1e-9)); // bound violated
+        assert!(!lp.is_feasible(&[-0.1, 0.0], 1e-9)); // nonnegativity
+        assert!(!lp.is_feasible(&[1.0], 1e-9)); // wrong dimension
+    }
+
+    #[test]
+    fn max_violation_reports_worst_breach() {
+        let lp = toy_lp();
+        assert_eq!(lp.max_violation(&[3.0, 1.0]), 0.0);
+        let v = lp.max_violation(&[3.0, 3.0]);
+        assert!((v - 2.0).abs() < 1e-12); // row exceeded by 2
+    }
+
+    #[test]
+    fn set_upper_bound_tightens() {
+        let mut lp = toy_lp();
+        lp.set_upper_bound(0, 1.0);
+        assert_eq!(lp.upper_bound(0), 1.0);
+        assert!(!lp.is_feasible(&[2.0, 0.0], 1e-9));
+    }
+}

@@ -1,0 +1,695 @@
+//! Exact bounded-variable revised simplex.
+//!
+//! This is the workhorse used where the paper uses Gurobi: it solves
+//! `max c·x  s.t.  A·x ≤ b,  0 ≤ x ≤ u` exactly (up to floating-point
+//! tolerance). The implementation is a revised simplex with
+//!
+//! * an explicit dense basis inverse updated by elementary row operations,
+//! * bounded variables handled natively (non-basic variables may sit at
+//!   their lower *or* upper bound, and a "bound flip" avoids a pivot when a
+//!   variable travels across its box),
+//! * a Phase I with artificial variables for rows whose right-hand side is
+//!   negative (the IGEPA benchmark LP never needs it, but branch-and-bound
+//!   and the test-suite LPs exercise it),
+//! * Dantzig pricing with an automatic switch to Bland's rule after a run of
+//!   degenerate pivots, which guarantees termination.
+//!
+//! The dense `m × m` inverse makes the solver suitable for LPs with up to a
+//! few thousand rows — ample for the instance sizes where exactness matters
+//! (validation, the approximation-ratio study and the exact ILP baseline).
+//! Larger instances use the structure-aware approximate solver in
+//! [`crate::packing`].
+
+use crate::error::LpError;
+use crate::problem::LinearProgram;
+use crate::solution::{LpSolution, SolveStatus};
+
+/// Where a non-basic variable currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarStatus {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+/// Configuration for the revised simplex solver.
+#[derive(Debug, Clone)]
+pub struct SimplexSolver {
+    /// Feasibility / optimality tolerance.
+    pub tolerance: f64,
+    /// Hard cap on pivots (per phase). `None` derives a limit from the
+    /// problem size.
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for SimplexSolver {
+    fn default() -> Self {
+        SimplexSolver {
+            tolerance: 1e-9,
+            max_iterations: None,
+        }
+    }
+}
+
+/// Internal working state shared by both phases.
+struct Tableau {
+    /// Rows (constraints).
+    m: usize,
+    /// Structural + slack + artificial variables.
+    total_vars: usize,
+    /// Number of structural variables.
+    n_structural: usize,
+    /// Sparse columns of the structural variables: `(row, coeff)`.
+    columns: Vec<Vec<(usize, f64)>>,
+    /// Right-hand sides after sign normalisation.
+    /// +1 if the row kept its sign, −1 if it was multiplied by −1 so that
+    /// the rhs became non-negative.
+    row_sign: Vec<f64>,
+    /// Upper bound of every variable (structural, slack, artificial).
+    upper: Vec<f64>,
+    /// Status of every variable.
+    status: Vec<VarStatus>,
+    /// Index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Dense basis inverse, row-major `m × m`.
+    binv: Vec<f64>,
+    /// Values of the basic variables.
+    xb: Vec<f64>,
+    /// First artificial variable index (== n_structural + m when present).
+    artificial_start: usize,
+    tolerance: f64,
+}
+
+impl Tableau {
+    fn new(lp: &LinearProgram, tolerance: f64) -> Self {
+        let m = lp.num_constraints();
+        let n = lp.num_vars();
+        // Column j of a structural variable: its coefficients across rows,
+        // with the row sign folded in below.
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut rhs = Vec::with_capacity(m);
+        let mut row_sign = Vec::with_capacity(m);
+        for (i, c) in lp.constraints().iter().enumerate() {
+            let sign = if c.rhs < 0.0 { -1.0 } else { 1.0 };
+            row_sign.push(sign);
+            rhs.push(c.rhs * sign);
+            for &(var, coeff) in &c.coefficients {
+                columns[var].push((i, coeff * sign));
+            }
+        }
+
+        // Variable layout: [structural | slack | artificial (lazy)].
+        // The slack of a sign-flipped row has coefficient −1 (because
+        // `A·x ≤ b` became `−A·x ≥ −b`, i.e. `−A·x − s = −b` with `s ≥ 0`).
+        let mut upper: Vec<f64> = lp.upper_bounds().to_vec();
+        upper.extend(std::iter::repeat(f64::INFINITY).take(m));
+
+        let mut status = vec![VarStatus::AtLower; n + m];
+        let mut basis = Vec::with_capacity(m);
+        let mut artificials = Vec::new();
+        for i in 0..m {
+            if row_sign[i] > 0.0 {
+                // Slack starts basic at rhs ≥ 0.
+                basis.push(n + i);
+            } else {
+                // Slack coefficient is −1; a slack basis would be negative.
+                // Add an artificial variable (+1 coefficient) instead.
+                artificials.push(i);
+                basis.push(usize::MAX); // patched below
+            }
+        }
+        let artificial_start = n + m;
+        let total_vars = artificial_start + artificials.len();
+        upper.extend(std::iter::repeat(f64::INFINITY).take(artificials.len()));
+        status.extend(std::iter::repeat(VarStatus::AtLower).take(artificials.len()));
+        for (k, &row) in artificials.iter().enumerate() {
+            basis[row] = artificial_start + k;
+        }
+
+        let mut xb = vec![0.0; m];
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+            xb[i] = rhs[i];
+            status[basis[i]] = VarStatus::Basic(i);
+        }
+
+        Tableau {
+            m,
+            total_vars,
+            n_structural: n,
+            columns,
+
+            row_sign,
+            upper,
+            status,
+            basis,
+            binv,
+            xb,
+            artificial_start,
+            tolerance,
+        }
+    }
+
+    fn has_artificials(&self) -> bool {
+        self.total_vars > self.artificial_start
+    }
+
+    /// Objective coefficient of variable `j` in the given phase.
+    fn cost(&self, j: usize, phase_one: bool, structural_obj: &[f64]) -> f64 {
+        if phase_one {
+            // Maximise −Σ artificials.
+            if j >= self.artificial_start {
+                -1.0
+            } else {
+                0.0
+            }
+        } else if j < self.n_structural {
+            structural_obj[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Sparse column of variable `j` (structural, slack or artificial).
+    fn column(&self, j: usize, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        if j < self.n_structural {
+            out.extend_from_slice(&self.columns[j]);
+        } else if j < self.artificial_start {
+            let row = j - self.n_structural;
+            out.push((row, self.row_sign[row]));
+        } else {
+            // Artificials only exist on sign-flipped rows, coefficient +1.
+            let mut count = 0;
+            for row in 0..self.m {
+                if self.row_sign[row] < 0.0 {
+                    if self.artificial_start + count == j {
+                        out.push((row, 1.0));
+                        return;
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+
+    /// Current value of a non-basic variable.
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::AtLower => 0.0,
+            VarStatus::AtUpper => self.upper[j],
+            VarStatus::Basic(row) => self.xb[row],
+        }
+    }
+
+    /// `y = c_B · B⁻¹` for the given phase.
+    fn dual_prices(&self, phase_one: bool, structural_obj: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (row, &bj) in self.basis.iter().enumerate() {
+            let cb = self.cost(bj, phase_one, structural_obj);
+            if cb != 0.0 {
+                let brow = &self.binv[row * m..(row + 1) * m];
+                for k in 0..m {
+                    y[k] += cb * brow[k];
+                }
+            }
+        }
+        y
+    }
+
+    /// `w = B⁻¹ · A_j` for a sparse column.
+    fn ftran(&self, column: &[(usize, f64)]) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for &(row, coeff) in column {
+            for i in 0..m {
+                w[i] += self.binv[i * m + row] * coeff;
+            }
+        }
+        w
+    }
+
+    /// One simplex iteration. Returns `Ok(true)` if an improving pivot or
+    /// bound flip was performed, `Ok(false)` if the current basis is optimal
+    /// for the phase objective.
+    fn iterate(
+        &mut self,
+        phase_one: bool,
+        structural_obj: &[f64],
+        use_bland: bool,
+        scratch_col: &mut Vec<(usize, f64)>,
+    ) -> Result<IterationOutcome, LpError> {
+        let tol = self.tolerance;
+        let y = self.dual_prices(phase_one, structural_obj);
+
+        // Pricing: find an entering variable.
+        let mut entering: Option<(usize, f64, f64)> = None; // (var, reduced cost, score)
+        for j in 0..self.total_vars {
+            if matches!(self.status[j], VarStatus::Basic(_)) {
+                continue;
+            }
+            // Artificials are frozen (upper bound 0) in phase two.
+            if !phase_one && j >= self.artificial_start {
+                continue;
+            }
+            // Variables fixed to zero (upper bound 0) can never move.
+            if self.upper[j] <= 0.0 {
+                continue;
+            }
+            self.column(j, scratch_col);
+            let mut d = self.cost(j, phase_one, structural_obj);
+            for &(row, coeff) in scratch_col.iter() {
+                d -= y[row] * coeff;
+            }
+            let improving = match self.status[j] {
+                VarStatus::AtLower => d > tol,
+                VarStatus::AtUpper => d < -tol,
+                VarStatus::Basic(_) => false,
+            };
+            if !improving {
+                continue;
+            }
+            if use_bland {
+                entering = Some((j, d, 0.0));
+                break;
+            }
+            let score = d.abs();
+            match entering {
+                Some((_, _, best)) if best >= score => {}
+                _ => entering = Some((j, d, score)),
+            }
+        }
+
+        let Some((q, _dq, _)) = entering else {
+            return Ok(IterationOutcome::Optimal);
+        };
+
+        // Direction: +1 when increasing from the lower bound, −1 when
+        // decreasing from the upper bound.
+        let sigma = match self.status[q] {
+            VarStatus::AtLower => 1.0,
+            VarStatus::AtUpper => -1.0,
+            VarStatus::Basic(_) => unreachable!("basic variable cannot enter"),
+        };
+
+        self.column(q, scratch_col);
+        let w = self.ftran(scratch_col);
+
+        // Ratio test.
+        let own_range = self.upper[q]; // lower bound is always 0
+        let mut t_max = own_range;
+        let mut leaving: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+        for i in 0..self.m {
+            let dir = sigma * w[i];
+            if dir > tol {
+                // Basic variable decreases towards 0.
+                let t = self.xb[i] / dir;
+                if t < t_max - 1e-12 {
+                    t_max = t.max(0.0);
+                    leaving = Some((i, false));
+                }
+            } else if dir < -tol {
+                // Basic variable increases towards its upper bound.
+                let ub = self.upper[self.basis[i]];
+                if ub.is_finite() {
+                    let t = (ub - self.xb[i]) / (-dir);
+                    if t < t_max - 1e-12 {
+                        t_max = t.max(0.0);
+                        leaving = Some((i, true));
+                    }
+                }
+            }
+        }
+
+        if t_max.is_infinite() {
+            return Err(LpError::Unbounded);
+        }
+
+        let degenerate = t_max <= tol;
+
+        match leaving {
+            None => {
+                // Bound flip: the entering variable runs across its box.
+                for i in 0..self.m {
+                    self.xb[i] -= sigma * t_max * w[i];
+                }
+                self.status[q] = match self.status[q] {
+                    VarStatus::AtLower => VarStatus::AtUpper,
+                    VarStatus::AtUpper => VarStatus::AtLower,
+                    VarStatus::Basic(_) => unreachable!(),
+                };
+                Ok(IterationOutcome::Progress { degenerate })
+            }
+            Some((r, leaves_at_upper)) => {
+                let pivot = w[r];
+                if pivot.abs() < 1e-12 {
+                    return Err(LpError::Numerical(format!(
+                        "pivot element {pivot:.3e} too small"
+                    )));
+                }
+                // Update basic values.
+                for i in 0..self.m {
+                    self.xb[i] -= sigma * t_max * w[i];
+                }
+                let old_basic = self.basis[r];
+                let entering_value = self.nonbasic_value(q) + sigma * t_max;
+                // Leaving variable snaps exactly onto the bound it hit.
+                self.status[old_basic] = if leaves_at_upper {
+                    VarStatus::AtUpper
+                } else {
+                    VarStatus::AtLower
+                };
+                self.basis[r] = q;
+                self.status[q] = VarStatus::Basic(r);
+                self.xb[r] = entering_value;
+
+                // binv ← E · binv with the elementary matrix built from w.
+                let m = self.m;
+                let inv_pivot = 1.0 / pivot;
+                // First scale row r.
+                for k in 0..m {
+                    self.binv[r * m + k] *= inv_pivot;
+                }
+                for i in 0..m {
+                    if i == r {
+                        continue;
+                    }
+                    let factor = w[i];
+                    if factor != 0.0 {
+                        for k in 0..m {
+                            self.binv[i * m + k] -= factor * self.binv[r * m + k];
+                        }
+                    }
+                }
+                Ok(IterationOutcome::Progress { degenerate })
+            }
+        }
+    }
+
+    /// Current phase objective value.
+    fn objective_value(&self, phase_one: bool, structural_obj: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for j in 0..self.total_vars {
+            let v = match self.status[j] {
+                VarStatus::Basic(row) => self.xb[row],
+                VarStatus::AtLower => 0.0,
+                VarStatus::AtUpper => self.upper[j],
+            };
+            if v != 0.0 {
+                total += v * self.cost(j, phase_one, structural_obj);
+            }
+        }
+        total
+    }
+
+    /// Extracts the structural solution vector.
+    fn structural_solution(&self) -> Vec<f64> {
+        (0..self.n_structural)
+            .map(|j| match self.status[j] {
+                VarStatus::Basic(row) => self.xb[row].max(0.0),
+                VarStatus::AtLower => 0.0,
+                VarStatus::AtUpper => self.upper[j],
+            })
+            .collect()
+    }
+}
+
+enum IterationOutcome {
+    Optimal,
+    Progress { degenerate: bool },
+}
+
+impl SimplexSolver {
+    /// Creates a solver with the given tolerance.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        SimplexSolver {
+            tolerance,
+            max_iterations: None,
+        }
+    }
+
+    /// Solves the linear program to optimality.
+    pub fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError> {
+        if lp.num_vars() == 0 {
+            return Ok(LpSolution {
+                values: Vec::new(),
+                objective: 0.0,
+                status: SolveStatus::Optimal,
+                iterations: 0,
+            });
+        }
+        let mut tableau = Tableau::new(lp, self.tolerance);
+        let obj: Vec<f64> = lp.objective_vector().to_vec();
+        let m = tableau.m;
+        let n = lp.num_vars();
+        let limit = self
+            .max_iterations
+            .unwrap_or_else(|| 200 + 50 * (m + n));
+
+        let mut iterations = 0usize;
+        let mut scratch = Vec::new();
+
+        // Phase I: drive artificial variables to zero.
+        if tableau.has_artificials() {
+            iterations += self.run_phase(&mut tableau, true, &obj, limit, &mut scratch)?;
+            let phase_one_obj = tableau.objective_value(true, &obj);
+            if phase_one_obj < -self.tolerance.max(1e-7) {
+                return Err(LpError::Infeasible);
+            }
+            // Freeze artificials so they can never re-enter.
+            for j in tableau.artificial_start..tableau.total_vars {
+                tableau.upper[j] = 0.0;
+            }
+        }
+
+        // Phase II: optimise the real objective.
+        iterations += self.run_phase(&mut tableau, false, &obj, limit, &mut scratch)?;
+
+        let values = tableau.structural_solution();
+        let objective = lp.objective_value(&values);
+        Ok(LpSolution {
+            values,
+            objective,
+            status: SolveStatus::Optimal,
+            iterations,
+        })
+    }
+
+    fn run_phase(
+        &self,
+        tableau: &mut Tableau,
+        phase_one: bool,
+        obj: &[f64],
+        limit: usize,
+        scratch: &mut Vec<(usize, f64)>,
+    ) -> Result<usize, LpError> {
+        let mut iterations = 0usize;
+        let mut degenerate_streak = 0usize;
+        let bland_threshold = 3 * (tableau.m + tableau.n_structural) + 50;
+        loop {
+            if iterations >= limit {
+                return Err(LpError::IterationLimit { limit });
+            }
+            let use_bland = degenerate_streak > bland_threshold;
+            match tableau.iterate(phase_one, obj, use_bland, scratch)? {
+                IterationOutcome::Optimal => return Ok(iterations),
+                IterationOutcome::Progress { degenerate } => {
+                    iterations += 1;
+                    if degenerate {
+                        degenerate_streak += 1;
+                    } else {
+                        degenerate_streak = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(lp: &LinearProgram) -> LpSolution {
+        SimplexSolver::default().solve(lp).expect("solvable LP")
+    }
+
+    #[test]
+    fn textbook_two_variable_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> (2, 6), obj 36.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(3.0, f64::INFINITY);
+        let y = lp.add_var(5.0, f64::INFINITY);
+        lp.add_le_constraint(vec![(x, 1.0)], 4.0).unwrap();
+        lp.add_le_constraint(vec![(y, 2.0)], 12.0).unwrap();
+        lp.add_le_constraint(vec![(x, 3.0), (y, 2.0)], 18.0).unwrap();
+        let s = solve(&lp);
+        assert!((s.objective - 36.0).abs() < 1e-6);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 6.0).abs() < 1e-6);
+        assert!(lp.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn upper_bounds_are_respected_with_bound_flips() {
+        // max x + y with x <= 1.5, y <= 2.5 (box), x + y <= 3 -> obj 3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 1.5);
+        let y = lp.add_var(1.0, 2.5);
+        lp.add_le_constraint(vec![(x, 1.0), (y, 1.0)], 3.0).unwrap();
+        let s = solve(&lp);
+        assert!((s.objective - 3.0).abs() < 1e-6);
+        assert!(lp.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn pure_box_lp_without_constraints() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(2.0, 3.0);
+        lp.add_var(-1.0, 5.0);
+        let s = solve(&lp);
+        assert!((s.objective - 6.0).abs() < 1e-9);
+        assert_eq!(s.values[1], 0.0);
+    }
+
+    #[test]
+    fn unbounded_lp_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, f64::INFINITY);
+        let y = lp.add_var(0.0, f64::INFINITY);
+        lp.add_le_constraint(vec![(x, -1.0), (y, 1.0)], 5.0).unwrap();
+        let err = SimplexSolver::default().solve(&lp).unwrap_err();
+        assert_eq!(err, LpError::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_lp_detected() {
+        // x >= 2 written as -x <= -2, together with x <= 1 (bound).
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 1.0);
+        lp.add_le_constraint(vec![(x, -1.0)], -2.0).unwrap();
+        let err = SimplexSolver::default().solve(&lp).unwrap_err();
+        assert_eq!(err, LpError::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_feasible_lp_uses_phase_one() {
+        // max x + y s.t. x + y <= 4, -x - y <= -2 (i.e. x + y >= 2), x,y <= 3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 3.0);
+        let y = lp.add_var(1.0, 3.0);
+        lp.add_le_constraint(vec![(x, 1.0), (y, 1.0)], 4.0).unwrap();
+        lp.add_le_constraint(vec![(x, -1.0), (y, -1.0)], -2.0).unwrap();
+        let s = solve(&lp);
+        assert!((s.objective - 4.0).abs() < 1e-6);
+        assert!(lp.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn minimisation_via_negated_objective() {
+        // min x + 2y s.t. x + y >= 3, y >= 1  <=>  max -x - 2y, -x - y <= -3, -y <= -1.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-1.0, f64::INFINITY);
+        let y = lp.add_var(-2.0, f64::INFINITY);
+        lp.add_le_constraint(vec![(x, -1.0), (y, -1.0)], -3.0).unwrap();
+        lp.add_le_constraint(vec![(y, -1.0)], -1.0).unwrap();
+        let s = solve(&lp);
+        // Optimal: y = 1, x = 2, objective (max form) = -4.
+        assert!((s.objective - (-4.0)).abs() < 1e-6);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_like_packing_lp() {
+        // Two "users" each choosing between two "sets"; one shared event of
+        // capacity 1. Mirrors the structure of the IGEPA benchmark LP.
+        // max 2a1 + 1a2 + 2b1 + 1b2
+        //   a1 + a2 <= 1; b1 + b2 <= 1; a1 + b1 <= 1 (shared event); vars in [0,1].
+        let mut lp = LinearProgram::new();
+        let a1 = lp.add_var(2.0, 1.0);
+        let a2 = lp.add_var(1.0, 1.0);
+        let b1 = lp.add_var(2.0, 1.0);
+        let b2 = lp.add_var(1.0, 1.0);
+        lp.add_le_constraint(vec![(a1, 1.0), (a2, 1.0)], 1.0).unwrap();
+        lp.add_le_constraint(vec![(b1, 1.0), (b2, 1.0)], 1.0).unwrap();
+        lp.add_le_constraint(vec![(a1, 1.0), (b1, 1.0)], 1.0).unwrap();
+        let s = solve(&lp);
+        // Optimal value 3: one user takes the premium set, the other falls back.
+        assert!((s.objective - 3.0).abs() < 1e-6);
+        assert!(lp.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Many redundant constraints through the same vertex.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, f64::INFINITY);
+        let y = lp.add_var(1.0, f64::INFINITY);
+        for _ in 0..5 {
+            lp.add_le_constraint(vec![(x, 1.0), (y, 1.0)], 1.0).unwrap();
+        }
+        lp.add_le_constraint(vec![(x, 1.0)], 1.0).unwrap();
+        lp.add_le_constraint(vec![(y, 1.0)], 1.0).unwrap();
+        let s = solve(&lp);
+        assert!((s.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_objective_returns_feasible_point() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 2.0);
+        lp.add_le_constraint(vec![(x, 1.0)], 1.0).unwrap();
+        let s = solve(&lp);
+        assert_eq!(s.objective, 0.0);
+        assert!(lp.is_feasible(&s.values, 1e-9));
+    }
+
+    #[test]
+    fn empty_program_is_trivially_optimal() {
+        let lp = LinearProgram::new();
+        let s = solve(&lp);
+        assert_eq!(s.objective, 0.0);
+        assert!(s.values.is_empty());
+    }
+
+    #[test]
+    fn fixed_variables_stay_at_zero() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(10.0, 0.0); // fixed to zero despite juicy objective
+        let y = lp.add_var(1.0, 1.0);
+        lp.add_le_constraint(vec![(x, 1.0), (y, 1.0)], 5.0).unwrap();
+        let s = solve(&lp);
+        assert_eq!(s.values[0], 0.0);
+        assert!((s.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_dense_lps_match_feasibility_and_bounds() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..6);
+            let m = rng.gen_range(1..5);
+            let mut lp = LinearProgram::new();
+            for _ in 0..n {
+                lp.add_var(rng.gen_range(-2.0..3.0), rng.gen_range(0.5..3.0));
+            }
+            for _ in 0..m {
+                let coeffs: Vec<(usize, f64)> = (0..n)
+                    .map(|j| (j, rng.gen_range(0.0..2.0)))
+                    .collect();
+                lp.add_le_constraint(coeffs, rng.gen_range(1.0..6.0)).unwrap();
+            }
+            let s = SimplexSolver::default().solve(&lp).unwrap_or_else(|e| {
+                panic!("trial {trial}: unexpected failure {e}");
+            });
+            assert!(lp.is_feasible(&s.values, 1e-6), "trial {trial} infeasible");
+            // The objective must dominate the all-zero solution.
+            assert!(s.objective >= -1e-9, "trial {trial} objective {}", s.objective);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Solver results.
+
+use serde::{Deserialize, Serialize};
+
+/// How a solver terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// Proven optimal (within the solver's tolerance).
+    Optimal,
+    /// Feasible but only approximately optimal (e.g. iterative solvers that
+    /// stop at a target accuracy).
+    Approximate,
+}
+
+/// Solution of a linear program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Value of every decision variable, in variable order.
+    pub values: Vec<f64>,
+    /// Objective value at `values`.
+    pub objective: f64,
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Number of iterations (simplex pivots or subgradient rounds) performed.
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    /// Value of a single variable.
+    pub fn value(&self, var: usize) -> f64 {
+        self.values[var]
+    }
+
+    /// Whether the solver proved optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
+    }
+}
+
+/// Solution of an integer program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IlpSolution {
+    /// Value of every decision variable (integral for integer variables).
+    pub values: Vec<f64>,
+    /// Objective value at `values`.
+    pub objective: f64,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+    /// Best LP upper bound proven (equals `objective` when solved to
+    /// optimality).
+    pub best_bound: f64,
+}
+
+impl IlpSolution {
+    /// Absolute optimality gap `best_bound − objective` (non-negative).
+    pub fn gap(&self) -> f64 {
+        (self.best_bound - self.objective).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_solution_accessors() {
+        let s = LpSolution {
+            values: vec![1.0, 0.5],
+            objective: 2.5,
+            status: SolveStatus::Optimal,
+            iterations: 3,
+        };
+        assert_eq!(s.value(1), 0.5);
+        assert!(s.is_optimal());
+        let a = LpSolution { status: SolveStatus::Approximate, ..s };
+        assert!(!a.is_optimal());
+    }
+
+    #[test]
+    fn ilp_gap_is_clamped_to_zero() {
+        let s = IlpSolution {
+            values: vec![1.0],
+            objective: 5.0,
+            nodes_explored: 1,
+            best_bound: 5.0,
+        };
+        assert_eq!(s.gap(), 0.0);
+        let s2 = IlpSolution { best_bound: 6.0, ..s };
+        assert_eq!(s2.gap(), 1.0);
+    }
+}

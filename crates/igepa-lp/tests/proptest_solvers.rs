@@ -1,0 +1,177 @@
+//! Property-based tests for the LP/ILP substrate: the simplex is checked
+//! against feasibility, weak duality with brute-force candidate points, and
+//! the approximate packing solver against the exact simplex.
+
+use igepa_lp::{
+    BlockPackingProblem, BlockPackingSolver, BranchBoundSolver, IntegerProgram, LinearProgram,
+    PackingBlock, PackingColumn, SimplexSolver,
+};
+use proptest::prelude::*;
+
+/// A random packing-style LP: non-negative coefficients, ≤ rows, box bounds.
+#[derive(Debug, Clone)]
+struct RandomPackingLp {
+    objective: Vec<f64>,
+    upper_bounds: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn packing_lp_strategy() -> impl Strategy<Value = RandomPackingLp> {
+    (1usize..5, 1usize..4).prop_flat_map(|(num_vars, num_rows)| {
+        let objective = proptest::collection::vec(0.0f64..3.0, num_vars);
+        let upper_bounds = proptest::collection::vec(0.1f64..2.0, num_vars);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(0.0f64..2.0, num_vars),
+                0.5f64..5.0,
+            ),
+            num_rows,
+        );
+        (objective, upper_bounds, rows).prop_map(|(objective, upper_bounds, rows)| {
+            RandomPackingLp { objective, upper_bounds, rows }
+        })
+    })
+}
+
+fn build_lp(raw: &RandomPackingLp) -> LinearProgram {
+    let mut lp = LinearProgram::new();
+    let vars: Vec<usize> = raw
+        .objective
+        .iter()
+        .zip(&raw.upper_bounds)
+        .map(|(&c, &u)| lp.add_var(c, u))
+        .collect();
+    for (coeffs, rhs) in &raw.rows {
+        lp.add_le_constraint(
+            vars.iter().zip(coeffs).map(|(&v, &a)| (v, a)),
+            *rhs,
+        )
+        .unwrap();
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simplex solution of a packing LP is always feasible and at least
+    /// as good as a grid of candidate feasible points (scaled bound vectors).
+    #[test]
+    fn simplex_is_feasible_and_dominates_candidates(raw in packing_lp_strategy()) {
+        let lp = build_lp(&raw);
+        let solution = SimplexSolver::default().solve(&lp).unwrap();
+        prop_assert!(lp.is_feasible(&solution.values, 1e-6));
+
+        // Candidate points: x = t·u for t on a grid, scaled back into the
+        // feasible region if a row is violated.
+        for step in 0..=4 {
+            let t = step as f64 / 4.0;
+            let mut candidate: Vec<f64> = raw.upper_bounds.iter().map(|&u| t * u).collect();
+            // Scale down to satisfy all rows.
+            let mut worst = 1.0f64;
+            for (coeffs, rhs) in &raw.rows {
+                let lhs: f64 = coeffs.iter().zip(&candidate).map(|(a, x)| a * x).sum();
+                if lhs > *rhs && lhs > 0.0 {
+                    worst = worst.min(*rhs / lhs);
+                }
+            }
+            for x in candidate.iter_mut() {
+                *x *= worst;
+            }
+            prop_assert!(lp.is_feasible(&candidate, 1e-6));
+            let value = lp.objective_value(&candidate);
+            prop_assert!(
+                solution.objective + 1e-6 >= value,
+                "simplex {} below candidate {}",
+                solution.objective,
+                value
+            );
+        }
+    }
+
+    /// Branch and bound never beats the LP relaxation and always returns an
+    /// integral, feasible point dominated by the relaxation bound.
+    #[test]
+    fn branch_and_bound_respects_relaxation(raw in packing_lp_strategy()) {
+        // Make the problem binary by clamping bounds to 1.
+        let mut lp = build_lp(&raw);
+        for v in 0..lp.num_vars() {
+            lp.set_upper_bound(v, 1.0);
+        }
+        let relaxation = SimplexSolver::default().solve(&lp).unwrap();
+        let ilp = BranchBoundSolver::default()
+            .solve(&IntegerProgram::all_integer(lp.clone()))
+            .unwrap();
+        prop_assert!(lp.is_feasible(&ilp.values, 1e-6));
+        for &v in &ilp.values {
+            prop_assert!((v - v.round()).abs() < 1e-6);
+        }
+        prop_assert!(relaxation.objective + 1e-6 >= ilp.objective);
+        prop_assert!(ilp.best_bound + 1e-6 >= ilp.objective);
+    }
+
+    /// The approximate block packing solver always returns a feasible
+    /// solution whose value is sandwiched between 0 and the exact LP value.
+    #[test]
+    fn packing_solver_is_feasible_and_bounded_by_the_exact_lp(
+        capacities in proptest::collection::vec(1.0f64..4.0, 1..4),
+        profits in proptest::collection::vec(0.0f64..2.0, 2..8),
+    ) {
+        let num_rows = capacities.len();
+        let mut problem = BlockPackingProblem::new(capacities.clone());
+        // One block per pair of profits, columns touching alternating rows.
+        let mut lp = LinearProgram::new();
+        let mut block_vars: Vec<Vec<usize>> = Vec::new();
+        for (b, chunk) in profits.chunks(2).enumerate() {
+            let columns: Vec<PackingColumn> = chunk
+                .iter()
+                .enumerate()
+                .map(|(c, &p)| PackingColumn {
+                    profit: p,
+                    usage: vec![((b + c) % num_rows, 1.0)],
+                })
+                .collect();
+            let vars: Vec<usize> = columns.iter().map(|c| lp.add_var(c.profit, 1.0)).collect();
+            lp.add_le_constraint(vars.iter().map(|&v| (v, 1.0)), 1.0).unwrap();
+            block_vars.push(vars.clone());
+            problem.add_block(PackingBlock { columns });
+        }
+        for (row, &cap) in capacities.iter().enumerate() {
+            let mut coeffs = Vec::new();
+            for (b, block) in problem.blocks.iter().enumerate() {
+                for (c, col) in block.columns.iter().enumerate() {
+                    if col.usage.iter().any(|&(r, _)| r == row) {
+                        coeffs.push((block_vars[b][c], 1.0));
+                    }
+                }
+            }
+            lp.add_le_constraint(coeffs, cap).unwrap();
+        }
+
+        let exact = SimplexSolver::default().solve(&lp).unwrap();
+        let approx = BlockPackingSolver::with_rounds(800).solve(&problem).unwrap();
+        prop_assert!(problem.is_feasible(&approx, 1e-6));
+        prop_assert!(approx.objective >= -1e-9);
+        prop_assert!(approx.objective <= exact.objective + 1e-6);
+    }
+}
+
+#[test]
+fn simplex_handles_a_known_degenerate_transportation_lp() {
+    // Fixed regression anchor outside proptest: a transportation-style LP
+    // with equalities emulated by pairs of inequalities.
+    let mut lp = LinearProgram::new();
+    // Two sources (supply 3, 2), two sinks (demand 2, 3), costs as profits.
+    let x11 = lp.add_var(4.0, f64::INFINITY);
+    let x12 = lp.add_var(1.0, f64::INFINITY);
+    let x21 = lp.add_var(2.0, f64::INFINITY);
+    let x22 = lp.add_var(3.0, f64::INFINITY);
+    lp.add_le_constraint([(x11, 1.0), (x12, 1.0)], 3.0).unwrap();
+    lp.add_le_constraint([(x21, 1.0), (x22, 1.0)], 2.0).unwrap();
+    lp.add_le_constraint([(x11, 1.0), (x21, 1.0)], 2.0).unwrap();
+    lp.add_le_constraint([(x12, 1.0), (x22, 1.0)], 3.0).unwrap();
+    let solution = SimplexSolver::default().solve(&lp).unwrap();
+    // Optimal: x11 = 2, x22 = 2, x12 = 1 -> 4·2 + 1·1 + 3·2 = 15.
+    assert!((solution.objective - 15.0).abs() < 1e-6);
+    assert!(lp.is_feasible(&solution.values, 1e-6));
+}

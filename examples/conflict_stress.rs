@@ -1,0 +1,60 @@
+//! Conflict-stress scenario: how do the algorithms cope as the conflict
+//! probability between events rises? This mirrors Fig. 1(c) of the paper on
+//! a scaled-down workload and also includes the extension algorithms.
+//!
+//! ```text
+//! cargo run --release --example conflict_stress
+//! ```
+
+use igepa::prelude::*;
+use igepa::algos::{GreedyArrangement, LocalSearch, LpPacking, OnlineGreedy, RandomU, RandomV};
+use igepa::datagen::generate_synthetic;
+
+fn main() {
+    let base = SyntheticConfig {
+        num_events: 40,
+        num_users: 300,
+        max_event_capacity: 15,
+        max_user_capacity: 4,
+        bids_per_user: 8,
+        ..SyntheticConfig::default()
+    };
+
+    let algorithms: Vec<Box<dyn ArrangementAlgorithm>> = vec![
+        Box::new(LpPacking::default()),
+        Box::new(GreedyArrangement),
+        Box::new(LocalSearch::default()),
+        Box::new(OnlineGreedy::default()),
+        Box::new(RandomU),
+        Box::new(RandomV),
+    ];
+
+    println!("utility as the conflict probability pcf grows (mean of 3 seeds)\n");
+    print!("{:>6}", "pcf");
+    for a in &algorithms {
+        print!(" {:>16}", a.name());
+    }
+    println!();
+
+    for pcf in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let config = SyntheticConfig { p_conflict: pcf, ..base.clone() };
+        print!("{pcf:>6.1}");
+        for algorithm in &algorithms {
+            let mut total = 0.0;
+            for seed in 0..3u64 {
+                let instance = generate_synthetic(&config, 100 + seed);
+                let arrangement = algorithm.run_seeded(&instance, seed);
+                assert!(arrangement.is_feasible(&instance));
+                total += arrangement.utility(&instance).total;
+            }
+            print!(" {:>16.2}", total / 3.0);
+        }
+        println!();
+    }
+
+    println!(
+        "\nExpected shape: every algorithm loses utility as conflicts grow, and the \
+         gap between LP-packing and GG widens (conflict-heavy bid sets are exactly \
+         where LP guidance pays off)."
+    );
+}

@@ -1,0 +1,103 @@
+//! Online arrivals: users show up one by one and must be arranged
+//! immediately, the setting of the online variants cited in Section V.
+//!
+//! The example streams the users of a synthetic workload in a random
+//! arrival order through the online greedy algorithm and compares the
+//! resulting utility with the offline algorithms that see the whole
+//! workload at once (LP-packing, GG) — quantifying the price of not
+//! knowing the future.
+//!
+//! ```text
+//! cargo run --release --example online_arrivals
+//! ```
+
+use igepa::algos::{ArrangementAlgorithm, GreedyArrangement, LpPacking, OnlineGreedy};
+use igepa::core::{Arrangement, EventId, Instance, UserId};
+use igepa::datagen::{generate_synthetic, SyntheticConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A minimal online simulator: users arrive in the given order; each is
+/// immediately given the best feasible subset of their bids (greedy per
+/// user), and decisions are never revisited.
+fn simulate_online(instance: &Instance, arrival_order: &[usize]) -> Arrangement {
+    let mut arrangement = Arrangement::empty_for(instance);
+    for &user_index in arrival_order {
+        let user = instance.user(UserId::new(user_index));
+        // Rank this user's bids by weight and take them greedily while they
+        // stay feasible.
+        let mut bids: Vec<EventId> = user.bids.clone();
+        bids.sort_by(|&a, &b| {
+            instance
+                .weight(b, user.id)
+                .partial_cmp(&instance.weight(a, user.id))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut taken: Vec<EventId> = Vec::new();
+        for v in bids {
+            if taken.len() >= user.capacity {
+                break;
+            }
+            if arrangement.load_of(v) >= instance.event(v).capacity {
+                continue;
+            }
+            if taken.iter().any(|&w| instance.conflicts().conflicts(w, v)) {
+                continue;
+            }
+            arrangement.assign(v, user.id);
+            taken.push(v);
+        }
+    }
+    arrangement
+}
+
+fn main() {
+    let config = SyntheticConfig {
+        num_events: 50,
+        num_users: 500,
+        ..SyntheticConfig::default()
+    };
+    let instance = generate_synthetic(&config, 8);
+    println!(
+        "workload: {} events, {} users, {} bids\n",
+        instance.num_events(),
+        instance.num_users(),
+        instance.num_bids()
+    );
+
+    // Offline references.
+    let lp = LpPacking::default().run_seeded(&instance, 1);
+    let gg = GreedyArrangement.run_seeded(&instance, 1);
+    let online_algo = OnlineGreedy::default().run_seeded(&instance, 1);
+    println!("offline LP-packing utility: {:.2}", lp.utility(&instance).total);
+    println!("offline GG utility:         {:.2}", gg.utility(&instance).total);
+    println!("OnlineGreedy (library):     {:.2}\n", online_algo.utility(&instance).total);
+
+    // Online simulation over several random arrival orders.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut orders: Vec<usize> = (0..instance.num_users()).collect();
+    let mut best = f64::MIN;
+    let mut worst = f64::MAX;
+    let mut total = 0.0;
+    let trials = 10;
+    for _ in 0..trials {
+        orders.shuffle(&mut rng);
+        let arrangement = simulate_online(&instance, &orders);
+        assert!(arrangement.is_feasible(&instance));
+        let utility = arrangement.utility(&instance).total;
+        best = best.max(utility);
+        worst = worst.min(utility);
+        total += utility;
+    }
+    println!(
+        "online arrivals over {trials} random orders: mean {:.2}, best {:.2}, worst {:.2}",
+        total / trials as f64,
+        best,
+        worst
+    );
+    println!(
+        "competitive ratio vs offline LP-packing: {:.3} (mean)",
+        (total / trials as f64) / lp.utility(&instance).total
+    );
+}

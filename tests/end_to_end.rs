@@ -1,0 +1,191 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! workload generation → algorithms → feasibility/utility → reporting.
+
+use igepa::algos::{
+    ArrangementAlgorithm, ExactIlp, GreedyArrangement, LocalSearch, LpBackend, LpPacking,
+    OnlineGreedy, RandomU, RandomV,
+};
+use igepa::core::{AdmissibleSetIndex, ArrangementStats, InstanceStats, UserId};
+use igepa::datagen::{
+    generate_meetup, generate_meetup_dataset, generate_synthetic, MeetupConfig, SyntheticConfig,
+};
+
+fn full_roster() -> Vec<Box<dyn ArrangementAlgorithm>> {
+    vec![
+        Box::new(LpPacking::default()),
+        Box::new(GreedyArrangement),
+        Box::new(RandomU),
+        Box::new(RandomV),
+        Box::new(LocalSearch::default()),
+        Box::new(OnlineGreedy::default()),
+    ]
+}
+
+#[test]
+fn every_algorithm_is_feasible_on_synthetic_workloads() {
+    let config = SyntheticConfig::small();
+    for seed in 0..3u64 {
+        let instance = generate_synthetic(&config, seed);
+        for algorithm in full_roster() {
+            let arrangement = algorithm.run_seeded(&instance, seed);
+            let stats = ArrangementStats::of(&instance, &arrangement);
+            assert!(
+                stats.feasible,
+                "{} infeasible on synthetic seed {seed}",
+                algorithm.name()
+            );
+            assert!(stats.utility >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_is_feasible_on_the_meetup_simulator() {
+    let config = MeetupConfig::small();
+    let instance = generate_meetup(&config, 11);
+    for algorithm in full_roster() {
+        let arrangement = algorithm.run_seeded(&instance, 5);
+        assert!(
+            arrangement.is_feasible(&instance),
+            "{} infeasible on meetup workload",
+            algorithm.name()
+        );
+    }
+}
+
+#[test]
+fn lp_packing_beats_the_random_baselines_on_average() {
+    // The paper's headline qualitative result: LP-packing > Random-U/V, and
+    // LP-packing >= GG except in regimes with overwhelming user surplus.
+    let config = SyntheticConfig {
+        num_events: 25,
+        num_users: 150,
+        max_event_capacity: 8,
+        max_user_capacity: 3,
+        bids_per_user: 6,
+        ..SyntheticConfig::default()
+    };
+    let repetitions = 5;
+    let mut totals = [0.0f64; 4]; // lp, gg, random_u, random_v
+    for seed in 0..repetitions {
+        let instance = generate_synthetic(&config, seed);
+        totals[0] += LpPacking::default()
+            .run_seeded(&instance, seed)
+            .utility(&instance)
+            .total;
+        totals[1] += GreedyArrangement
+            .run_seeded(&instance, seed)
+            .utility(&instance)
+            .total;
+        totals[2] += RandomU.run_seeded(&instance, seed).utility(&instance).total;
+        totals[3] += RandomV.run_seeded(&instance, seed).utility(&instance).total;
+    }
+    let [lp, gg, ru, rv] = totals.map(|t| t / repetitions as f64);
+    assert!(lp > ru, "LP-packing ({lp:.2}) should beat Random-U ({ru:.2})");
+    assert!(lp > rv, "LP-packing ({lp:.2}) should beat Random-V ({rv:.2})");
+    assert!(
+        lp >= 0.95 * gg,
+        "LP-packing ({lp:.2}) should be at least on par with GG ({gg:.2})"
+    );
+}
+
+#[test]
+fn exact_optimum_dominates_all_heuristics_and_respects_lemma_one() {
+    let config = SyntheticConfig::tiny();
+    for seed in 0..3u64 {
+        let instance = generate_synthetic(&config, seed);
+        let (optimal_arrangement, opt) = ExactIlp::default().solve_with_value(&instance);
+        assert!(optimal_arrangement.is_feasible(&instance));
+
+        // Lemma 1: the LP relaxation upper-bounds the optimum.
+        let admissible = AdmissibleSetIndex::build(&instance).unwrap();
+        let lp_algo = LpPacking::with_backend(LpBackend::Simplex);
+        let fractional = lp_algo.solve_benchmark_lp(&instance, &admissible);
+        let lp_value: f64 = fractional
+            .iter()
+            .enumerate()
+            .map(|(u, sets)| {
+                sets.iter()
+                    .map(|(s, x)| x * instance.set_weight(UserId::new(u), s))
+                    .sum::<f64>()
+            })
+            .sum();
+        assert!(
+            lp_value + 1e-6 >= opt,
+            "seed {seed}: LP value {lp_value} below ILP optimum {opt}"
+        );
+
+        for algorithm in full_roster() {
+            let utility = algorithm
+                .run_seeded(&instance, seed)
+                .utility(&instance)
+                .total;
+            assert!(
+                opt + 1e-6 >= utility,
+                "seed {seed}: {} achieved {utility} above the optimum {opt}",
+                algorithm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_runs_are_fully_reproducible_across_the_stack() {
+    let config = SyntheticConfig::small();
+    let a = generate_synthetic(&config, 77);
+    let b = generate_synthetic(&config, 77);
+    for algorithm in full_roster() {
+        let ra = algorithm.run_seeded(&a, 5);
+        let rb = algorithm.run_seeded(&b, 5);
+        assert_eq!(
+            ra.utility(&a).total,
+            rb.utility(&b).total,
+            "{} is not reproducible",
+            algorithm.name()
+        );
+    }
+}
+
+#[test]
+fn meetup_dataset_preprocessing_matches_the_paper_rules() {
+    let config = MeetupConfig::small();
+    let dataset = generate_meetup_dataset(&config, 3);
+    let instance = &dataset.instance;
+    let stats = InstanceStats::of(instance);
+    assert_eq!(stats.num_events, config.num_events);
+    assert_eq!(stats.num_users, config.num_users);
+    // Every user's capacity is twice their attendance, so mean capacity is
+    // at least 2 (everyone attended at least one event).
+    assert!(stats.mean_user_capacity >= 2.0);
+    // The social network and the instance interaction scores agree.
+    let degrees = dataset.network.degrees_of_potential_interaction();
+    for (u, &d) in degrees.iter().enumerate() {
+        assert!((instance.interaction(UserId::new(u)) - d).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn interaction_term_steers_assignments_towards_social_users() {
+    // With beta = 0 the utility only rewards socially active participants,
+    // so LP-packing and GG should prefer the high-degree user when capacity
+    // is scarce.
+    use igepa::core::{AttributeVector, ConstantInterest, Instance, NeverConflict};
+    let mut builder = Instance::builder();
+    let event = builder.add_event(1, AttributeVector::empty());
+    builder.add_user(1, AttributeVector::empty(), vec![event]);
+    builder.add_user(1, AttributeVector::empty(), vec![event]);
+    builder.interaction_scores(vec![0.05, 0.95]);
+    builder.beta(0.0);
+    let instance = builder.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+
+    let gg = GreedyArrangement.run_seeded(&instance, 0);
+    assert!(gg.contains(event, UserId::new(1)));
+    let mut lp_wins = 0;
+    for seed in 0..10 {
+        let lp = LpPacking::default().run_seeded(&instance, seed);
+        if lp.contains(event, UserId::new(1)) {
+            lp_wins += 1;
+        }
+    }
+    assert!(lp_wins >= 8, "LP-packing picked the social user only {lp_wins}/10 times");
+}

@@ -1,0 +1,157 @@
+//! Integration tests for the extension algorithms (simulated annealing,
+//! tabu search, Lagrangian prices, deterministic LP rounding, bottleneck
+//! greedy, portfolio) across the workload generators.
+
+use igepa::algos::{
+    ArrangementAlgorithm, BottleneckGreedy, GreedyArrangement, Lagrangian, LpDeterministic,
+    LpPacking, Portfolio, RandomV, SimulatedAnnealing, TabuSearch,
+};
+use igepa::core::ArrangementStats;
+use igepa::datagen::{
+    generate_clustered, generate_meetup, generate_synthetic, ClusteredConfig, MeetupConfig,
+    SyntheticConfig,
+};
+
+fn extension_roster() -> Vec<Box<dyn ArrangementAlgorithm>> {
+    vec![
+        Box::new(LpDeterministic::default()),
+        Box::new(Lagrangian::default()),
+        Box::new(SimulatedAnnealing {
+            iterations: 3_000,
+            ..SimulatedAnnealing::default()
+        }),
+        Box::new(TabuSearch {
+            iterations: 100,
+            tenure: 15,
+        }),
+        Box::new(BottleneckGreedy),
+        Box::new(Portfolio::default()),
+    ]
+}
+
+#[test]
+fn extension_algorithms_are_feasible_on_every_generator() {
+    let synthetic = generate_synthetic(&SyntheticConfig::small(), 1);
+    let clustered = generate_clustered(&ClusteredConfig::small(), 1);
+    let meetup = generate_meetup(&MeetupConfig::small(), 1);
+    for (label, instance) in [
+        ("synthetic", &synthetic),
+        ("clustered", &clustered),
+        ("meetup", &meetup),
+    ] {
+        for algorithm in extension_roster() {
+            let arrangement = algorithm.run_seeded(instance, 3);
+            let stats = ArrangementStats::of(instance, &arrangement);
+            assert!(
+                stats.feasible,
+                "{} infeasible on the {label} workload",
+                algorithm.name()
+            );
+            assert!(stats.utility >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn improvement_heuristics_dominate_their_greedy_seed() {
+    let config = SyntheticConfig::small();
+    for seed in 0..3u64 {
+        let instance = generate_synthetic(&config, seed);
+        let greedy = GreedyArrangement
+            .run_seeded(&instance, seed)
+            .utility(&instance)
+            .total;
+        for algorithm in [
+            Box::new(TabuSearch::default()) as Box<dyn ArrangementAlgorithm>,
+            Box::new(SimulatedAnnealing {
+                iterations: 5_000,
+                ..SimulatedAnnealing::default()
+            }),
+            Box::new(Portfolio::default()),
+        ] {
+            let utility = algorithm
+                .run_seeded(&instance, seed)
+                .utility(&instance)
+                .total;
+            assert!(
+                utility + 1e-9 >= greedy,
+                "{} ({utility}) lost to its greedy seed ({greedy}) on seed {seed}",
+                algorithm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn lp_guided_algorithms_beat_the_randomized_baseline() {
+    let config = SyntheticConfig::small();
+    let mut lp_total = 0.0;
+    let mut lp_det_total = 0.0;
+    let mut lagrangian_total = 0.0;
+    let mut random_total = 0.0;
+    for seed in 0..3u64 {
+        let instance = generate_synthetic(&config, seed);
+        lp_total += LpPacking::default()
+            .run_seeded(&instance, seed)
+            .utility(&instance)
+            .total;
+        lp_det_total += LpDeterministic::default()
+            .run_seeded(&instance, seed)
+            .utility(&instance)
+            .total;
+        lagrangian_total += Lagrangian::default()
+            .run_seeded(&instance, seed)
+            .utility(&instance)
+            .total;
+        random_total += RandomV.run_seeded(&instance, seed).utility(&instance).total;
+    }
+    assert!(lp_total > random_total, "LP-packing {lp_total} vs Random-V {random_total}");
+    assert!(
+        lp_det_total > random_total,
+        "LP-deterministic {lp_det_total} vs Random-V {random_total}"
+    );
+    assert!(
+        lagrangian_total > random_total,
+        "Lagrangian {lagrangian_total} vs Random-V {random_total}"
+    );
+}
+
+#[test]
+fn bottleneck_greedy_improves_the_worst_off_event() {
+    // On the clustered workload (popular events attract most bids) the
+    // bottleneck greedy must not leave any serviceable event worse off than
+    // the total-utility greedy does.
+    let instance = generate_clustered(&ClusteredConfig::small(), 5);
+    let bottleneck = BottleneckGreedy.run_seeded(&instance, 5);
+    let greedy = GreedyArrangement.run_seeded(&instance, 5);
+    let ours = BottleneckGreedy::bottleneck_value(&instance, &bottleneck);
+    let theirs = BottleneckGreedy::bottleneck_value(&instance, &greedy);
+    assert!(
+        ours + 1e-9 >= theirs,
+        "bottleneck value {ours} is below the greedy baseline's {theirs}"
+    );
+}
+
+#[test]
+fn clustered_workloads_preserve_the_paper_ordering() {
+    // The headline shape of Fig. 1 — LP-packing ≥ GG ≥ randomized — must
+    // also hold on the community-structured generator.
+    let config = ClusteredConfig::small();
+    let mut lp = 0.0;
+    let mut gg = 0.0;
+    let mut random = 0.0;
+    for seed in 0..3u64 {
+        let instance = generate_clustered(&config, seed);
+        lp += LpPacking::default()
+            .run_seeded(&instance, seed)
+            .utility(&instance)
+            .total;
+        gg += GreedyArrangement
+            .run_seeded(&instance, seed)
+            .utility(&instance)
+            .total;
+        random += RandomV.run_seeded(&instance, seed).utility(&instance).total;
+    }
+    assert!(lp + 1e-9 >= gg, "LP-packing {lp} below GG {gg}");
+    assert!(gg > random, "GG {gg} below Random-V {random}");
+}

@@ -1,0 +1,137 @@
+//! Integration tests for the LP substrate extensions (presolve, MPS export,
+//! scaling) exercised on benchmark-LP-shaped programs derived from real
+//! workload instances.
+
+use igepa::core::{AdmissibleSetIndex, EventId, Instance};
+use igepa::datagen::{generate_synthetic, SyntheticConfig};
+use igepa::lp::{
+    equilibrate, from_mps, matrix_spread, presolve, presolve_and_solve, to_mps, LinearProgram,
+    SimplexSolver,
+};
+
+/// Builds the paper's benchmark LP (1)–(4) for an instance: one variable per
+/// (user, admissible set), per-user convexity rows and per-event capacity
+/// rows. This mirrors what LP-packing solves internally, but as a plain
+/// [`LinearProgram`] so the generic LP tooling can be applied to it.
+fn benchmark_lp(instance: &Instance) -> LinearProgram {
+    let admissible = AdmissibleSetIndex::build(instance).expect("admissible sets enumerable");
+    let mut lp = LinearProgram::new();
+    let mut event_terms: Vec<Vec<(usize, f64)>> = vec![Vec::new(); instance.num_events()];
+    let mut user_rows: Vec<Vec<usize>> = Vec::new();
+    for user_sets in admissible.iter() {
+        let mut vars = Vec::new();
+        for set in &user_sets.sets {
+            let weight = instance.set_weight(user_sets.user, set);
+            let var = lp.add_var(weight, 1.0);
+            vars.push(var);
+            for &v in set {
+                event_terms[v.index()].push((var, 1.0));
+            }
+        }
+        user_rows.push(vars);
+    }
+    for vars in user_rows {
+        if !vars.is_empty() {
+            lp.add_le_constraint(vars.into_iter().map(|v| (v, 1.0)), 1.0)
+                .unwrap();
+        }
+    }
+    for (event_index, terms) in event_terms.into_iter().enumerate() {
+        if !terms.is_empty() {
+            let capacity = instance.event(EventId::new(event_index)).capacity as f64;
+            lp.add_le_constraint(terms, capacity).unwrap();
+        }
+    }
+    lp
+}
+
+fn small_instance(seed: u64) -> Instance {
+    generate_synthetic(&SyntheticConfig::tiny(), seed)
+}
+
+#[test]
+fn presolve_preserves_the_benchmark_lp_optimum() {
+    for seed in 0..3u64 {
+        let instance = small_instance(seed);
+        let lp = benchmark_lp(&instance);
+        let direct = SimplexSolver::default().solve(&lp).expect("solvable");
+        let presolved = presolve_and_solve(&lp, &SimplexSolver::default()).expect("solvable");
+        assert!(
+            (direct.objective - presolved.objective).abs() < 1e-6 * (1.0 + direct.objective),
+            "seed {seed}: direct {} vs presolved {}",
+            direct.objective,
+            presolved.objective
+        );
+        assert!(lp.is_feasible(&presolved.values, 1e-6));
+    }
+}
+
+#[test]
+fn presolve_reduces_the_benchmark_lp() {
+    // Capacity rows whose capacity exceeds the number of interested users
+    // are redundant and must be dropped; the reduced LP is never larger.
+    let instance = small_instance(7);
+    let lp = benchmark_lp(&instance);
+    let reduced = presolve(&lp).expect("presolvable");
+    assert!(reduced.reduced.num_vars() <= lp.num_vars());
+    assert!(reduced.reduced.num_constraints() <= lp.num_constraints());
+    assert!(reduced.stats.passes >= 1);
+}
+
+#[test]
+fn benchmark_lp_round_trips_through_mps() {
+    let instance = small_instance(2);
+    let lp = benchmark_lp(&instance);
+    let text = to_mps(&lp, "IGEPA-BENCHMARK");
+    let restored = from_mps(&text).expect("parseable");
+    assert_eq!(restored.num_vars(), lp.num_vars());
+    assert_eq!(restored.num_constraints(), lp.num_constraints());
+    let a = SimplexSolver::default().solve(&lp).unwrap();
+    let b = SimplexSolver::default().solve(&restored).unwrap();
+    assert!((a.objective - b.objective).abs() < 1e-6 * (1.0 + a.objective));
+}
+
+#[test]
+fn scaling_leaves_the_well_conditioned_benchmark_lp_intact() {
+    // The benchmark LP has 0/1 coefficients, so its spread is already 1 and
+    // equilibration must not distort the optimum.
+    let instance = small_instance(4);
+    let lp = benchmark_lp(&instance);
+    assert!((matrix_spread(&lp) - 1.0).abs() < 1e-12);
+    let scaled = equilibrate(&lp, 2);
+    let direct = SimplexSolver::default().solve(&lp).unwrap();
+    let via_scaled = SimplexSolver::default().solve(&scaled.scaled).unwrap();
+    let unscaled = scaled.unscale_solution(&via_scaled.values);
+    assert!(
+        (lp.objective_value(&unscaled) - direct.objective).abs()
+            < 1e-6 * (1.0 + direct.objective)
+    );
+}
+
+#[test]
+fn lemma1_holds_after_presolve() {
+    // Lemma 1: the LP optimum upper-bounds the utility of any feasible
+    // arrangement — and presolve must not break that certificate.
+    use igepa::algos::{ArrangementAlgorithm, GreedyArrangement, LpPacking};
+    for seed in 0..3u64 {
+        let instance = small_instance(seed + 10);
+        let lp = benchmark_lp(&instance);
+        let bound = presolve_and_solve(&lp, &SimplexSolver::default())
+            .expect("solvable")
+            .objective;
+        for algorithm in [
+            Box::new(LpPacking::default()) as Box<dyn ArrangementAlgorithm>,
+            Box::new(GreedyArrangement),
+        ] {
+            let utility = algorithm
+                .run_seeded(&instance, seed)
+                .utility(&instance)
+                .total;
+            assert!(
+                utility <= bound + 1e-6 * (1.0 + bound),
+                "{}: utility {utility} exceeds the LP bound {bound} (seed {seed})",
+                algorithm.name()
+            );
+        }
+    }
+}

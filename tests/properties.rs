@@ -1,0 +1,147 @@
+//! Cross-crate property-based tests (proptest): model invariants that must
+//! hold for *any* randomly generated workload, not just the hand-picked unit
+//! test cases.
+
+use igepa::algos::{
+    ArrangementAlgorithm, GreedyArrangement, LpBackend, LpPacking, RandomU, RandomV,
+};
+use igepa::core::{AdmissibleSetIndex, Arrangement, UserId};
+use igepa::datagen::{generate_synthetic, SyntheticConfig};
+use proptest::prelude::*;
+
+/// Strategy over small synthetic configurations with every factor varied.
+fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        3usize..12,   // events
+        5usize..40,   // users
+        1usize..6,    // max event capacity
+        1usize..4,    // max user capacity
+        0.0f64..0.9,  // p_conflict
+        0.0f64..0.9,  // p_friend
+        0.0f64..=1.0, // beta
+        2usize..7,    // bids per user
+    )
+        .prop_map(
+            |(num_events, num_users, max_cv, max_cu, pcf, pdeg, beta, bids)| SyntheticConfig {
+                num_events,
+                num_users,
+                max_event_capacity: max_cv,
+                max_user_capacity: max_cu,
+                p_conflict: pcf,
+                p_friend: pdeg,
+                beta,
+                bids_per_user: bids,
+                conflict_group_width: 3,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every algorithm returns a feasible arrangement on any workload.
+    #[test]
+    fn all_algorithms_always_feasible(config in config_strategy(), seed in 0u64..1000) {
+        let instance = generate_synthetic(&config, seed);
+        let algorithms: Vec<Box<dyn ArrangementAlgorithm>> = vec![
+            Box::new(LpPacking::default()),
+            Box::new(GreedyArrangement),
+            Box::new(RandomU),
+            Box::new(RandomV),
+        ];
+        for algorithm in algorithms {
+            let arrangement = algorithm.run_seeded(&instance, seed);
+            prop_assert!(
+                arrangement.is_feasible(&instance),
+                "{} produced an infeasible arrangement",
+                algorithm.name()
+            );
+        }
+    }
+
+    /// Lemma 1: the benchmark LP optimum upper-bounds the utility of every
+    /// feasible arrangement produced by any algorithm.
+    #[test]
+    fn lp_value_upper_bounds_all_feasible_arrangements(
+        config in config_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let instance = generate_synthetic(&config, seed);
+        let admissible = AdmissibleSetIndex::build(&instance).unwrap();
+        let lp_algo = LpPacking::with_backend(LpBackend::Simplex);
+        let fractional = lp_algo.solve_benchmark_lp(&instance, &admissible);
+        let lp_value: f64 = fractional
+            .iter()
+            .enumerate()
+            .map(|(u, sets)| {
+                sets.iter()
+                    .map(|(s, x)| x * instance.set_weight(UserId::new(u), s))
+                    .sum::<f64>()
+            })
+            .sum();
+        for algorithm in [&GreedyArrangement as &dyn ArrangementAlgorithm, &RandomU, &RandomV] {
+            let utility = algorithm.run_seeded(&instance, seed).utility(&instance).total;
+            prop_assert!(
+                lp_value + 1e-6 >= utility,
+                "LP value {lp_value} below {} utility {utility}",
+                algorithm.name()
+            );
+        }
+    }
+
+    /// The admissible-set index only ever contains sets that satisfy the
+    /// user capacity and conflict constraints, and never duplicates.
+    #[test]
+    fn admissible_sets_are_valid_and_unique(config in config_strategy(), seed in 0u64..1000) {
+        let instance = generate_synthetic(&config, seed);
+        let admissible = AdmissibleSetIndex::build(&instance).unwrap();
+        for user_sets in admissible.iter() {
+            let user = instance.user(user_sets.user);
+            let mut seen = std::collections::HashSet::new();
+            for set in &user_sets.sets {
+                prop_assert!(!set.is_empty());
+                prop_assert!(set.len() <= user.capacity);
+                prop_assert!(instance.conflicts().set_is_conflict_free(set));
+                for v in set {
+                    prop_assert!(user.has_bid(*v));
+                }
+                prop_assert!(seen.insert(set.clone()), "duplicate admissible set");
+            }
+        }
+    }
+
+    /// Utility is additive over pairs: removing any single pair decreases the
+    /// utility by exactly that pair's weight.
+    #[test]
+    fn utility_is_additive_over_pairs(config in config_strategy(), seed in 0u64..1000) {
+        let instance = generate_synthetic(&config, seed);
+        let arrangement = GreedyArrangement.run_seeded(&instance, seed);
+        let total = arrangement.utility(&instance).total;
+        let first_pair = arrangement.pairs().next();
+        if let Some((event, user)) = first_pair {
+            let mut smaller: Arrangement = arrangement.clone();
+            smaller.unassign(event, user);
+            let reduced = smaller.utility(&instance).total;
+            let weight = instance.weight(event, user);
+            prop_assert!((total - reduced - weight).abs() < 1e-9);
+        }
+    }
+
+    /// The workload generator itself produces valid instances: interests and
+    /// interaction scores in [0, 1], bids referencing real events.
+    #[test]
+    fn generator_invariants(config in config_strategy(), seed in 0u64..1000) {
+        let instance = generate_synthetic(&config, seed);
+        prop_assert_eq!(instance.num_events(), config.num_events);
+        prop_assert_eq!(instance.num_users(), config.num_users);
+        for user in instance.users() {
+            let d = instance.interaction(user.id);
+            prop_assert!((0.0..=1.0).contains(&d));
+            for &v in &user.bids {
+                prop_assert!(v.index() < instance.num_events());
+                let si = instance.interest(v, user.id);
+                prop_assert!((0.0..=1.0).contains(&si));
+            }
+        }
+    }
+}

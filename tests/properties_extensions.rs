@@ -1,0 +1,258 @@
+//! Property-based tests (proptest) for the extension modules: CSV round
+//! trips, spatial conflict functions, LP presolve/scaling/MPS invariants,
+//! centrality ranges and the feasibility of every extension algorithm on
+//! arbitrary generated instances.
+
+use igepa::algos::{
+    ArrangementAlgorithm, BottleneckGreedy, Lagrangian, LpDeterministic, OnlineRanking,
+    SimulatedAnnealing, TabuSearch,
+};
+use igepa::core::{
+    arrangement_from_csv, arrangement_to_csv, instance_from_csv, instance_to_csv,
+    AttributeVector, ConflictFn, DistanceConflict, Event, EventId, TravelTimeConflict,
+};
+use igepa::datagen::{generate_clustered, generate_synthetic, ClusteredConfig, SyntheticConfig};
+use igepa::graph::{
+    betweenness_centrality, closeness_centrality, core_numbers, erdos_renyi, modularity,
+    pagerank, InteractionMeasure, PageRankConfig, Partition, SocialNetwork,
+};
+use igepa::lp::{
+    equilibrate, from_mps, presolve_and_solve, to_mps, LinearProgram, SimplexSolver,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------------
+// Instance CSV round trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn synthetic_instances_round_trip_through_csv(seed in 0u64..500) {
+        let instance = generate_synthetic(&SyntheticConfig::tiny(), seed);
+        let restored = instance_from_csv(&instance_to_csv(&instance)).expect("parseable");
+        prop_assert_eq!(restored.num_events(), instance.num_events());
+        prop_assert_eq!(restored.num_users(), instance.num_users());
+        prop_assert_eq!(restored.num_bids(), instance.num_bids());
+        prop_assert!((restored.beta() - instance.beta()).abs() < 1e-12);
+        // Utility of the same arrangement must be identical on both copies.
+        let arrangement = igepa::algos::GreedyArrangement.run_seeded(&instance, seed);
+        prop_assert!(
+            (arrangement.utility(&instance).total - arrangement.utility(&restored).total).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn arrangements_round_trip_through_csv(seed in 0u64..500) {
+        let instance = generate_clustered(&ClusteredConfig::tiny(), seed);
+        let arrangement = igepa::algos::GreedyArrangement.run_seeded(&instance, seed);
+        let restored = arrangement_from_csv(&arrangement_to_csv(&arrangement), &instance)
+            .expect("parseable");
+        prop_assert_eq!(restored, arrangement);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spatial conflict functions
+// ---------------------------------------------------------------------------
+
+fn arbitrary_event(id: usize, start: i64, duration: i64, x: f64, y: f64) -> Event {
+    Event::new(
+        EventId::new(id),
+        4,
+        AttributeVector::empty()
+            .with_time(start, duration.max(1))
+            .with_location(x, y),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn travel_time_conflict_is_symmetric_and_subsumes_overlap(
+        start_a in -500i64..500, dur_a in 1i64..200,
+        start_b in -500i64..500, dur_b in 1i64..200,
+        xa in -50.0f64..50.0, ya in -50.0f64..50.0,
+        xb in -50.0f64..50.0, yb in -50.0f64..50.0,
+        speed in 0.1f64..20.0,
+    ) {
+        let a = arbitrary_event(0, start_a, dur_a, xa, ya);
+        let b = arbitrary_event(1, start_b, dur_b, xb, yb);
+        let sigma = TravelTimeConflict::new(speed);
+        prop_assert_eq!(sigma.conflicts(&a, &b), sigma.conflicts(&b, &a));
+        // Overlapping windows always conflict regardless of speed.
+        let overlap = start_a < start_b + dur_b && start_b < start_a + dur_a;
+        if overlap {
+            prop_assert!(sigma.conflicts(&a, &b));
+        }
+        // A faster traveller never has *more* conflicts.
+        let faster = TravelTimeConflict::new(speed * 2.0);
+        if faster.conflicts(&a, &b) {
+            prop_assert!(sigma.conflicts(&a, &b));
+        }
+    }
+
+    #[test]
+    fn distance_conflict_is_monotone_in_the_radius(
+        start_a in -100i64..100, dur_a in 1i64..100,
+        start_b in -100i64..100, dur_b in 1i64..100,
+        xa in -10.0f64..10.0, ya in -10.0f64..10.0,
+        xb in -10.0f64..10.0, yb in -10.0f64..10.0,
+        radius in 0.0f64..10.0,
+    ) {
+        let a = arbitrary_event(0, start_a, dur_a, xa, ya);
+        let b = arbitrary_event(1, start_b, dur_b, xb, yb);
+        let narrow = DistanceConflict::new(radius);
+        let wide = DistanceConflict::new(radius + 5.0);
+        prop_assert_eq!(narrow.conflicts(&a, &b), narrow.conflicts(&b, &a));
+        if narrow.conflicts(&a, &b) {
+            prop_assert!(wide.conflicts(&a, &b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LP substrate: presolve, scaling, MPS
+// ---------------------------------------------------------------------------
+
+fn random_packing_lp(seed: u64, num_vars: usize, num_rows: usize) -> LinearProgram {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lp = LinearProgram::new();
+    for _ in 0..num_vars {
+        lp.add_var(rng.gen_range(0.0..5.0), rng.gen_range(0.5..3.0));
+    }
+    for _ in 0..num_rows {
+        let mut coefficients = Vec::new();
+        for v in 0..num_vars {
+            if rng.gen_bool(0.5) {
+                coefficients.push((v, rng.gen_range(0.1..2.0)));
+            }
+        }
+        lp.add_le_constraint(coefficients, rng.gen_range(1.0..8.0)).unwrap();
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn presolve_scaling_and_mps_preserve_the_optimum(
+        seed in 0u64..10_000,
+        num_vars in 2usize..8,
+        num_rows in 1usize..6,
+    ) {
+        let lp = random_packing_lp(seed, num_vars, num_rows);
+        let reference = SimplexSolver::default().solve(&lp).expect("bounded");
+        let tolerance = 1e-6 * (1.0 + reference.objective.abs());
+
+        let presolved = presolve_and_solve(&lp, &SimplexSolver::default()).expect("bounded");
+        prop_assert!((presolved.objective - reference.objective).abs() < tolerance);
+        prop_assert!(lp.is_feasible(&presolved.values, 1e-6));
+
+        let scaled = equilibrate(&lp, 2);
+        let scaled_solution = SimplexSolver::default().solve(&scaled.scaled).expect("bounded");
+        let unscaled = scaled.unscale_solution(&scaled_solution.values);
+        prop_assert!((lp.objective_value(&unscaled) - reference.objective).abs() < tolerance);
+
+        let restored = from_mps(&to_mps(&lp, "PROP")).expect("parseable");
+        let roundtrip = SimplexSolver::default().solve(&restored).expect("bounded");
+        prop_assert!((roundtrip.objective - reference.objective).abs() < tolerance);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph substrate: centrality ranges, modularity bounds, interaction measures
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn centralities_stay_in_range_on_random_graphs(seed in 0u64..10_000, n in 2usize..40, p in 0.0f64..0.6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g: SocialNetwork = erdos_renyi(n, p, &mut rng);
+        for &score in &closeness_centrality(&g) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&score));
+        }
+        for &score in &betweenness_centrality(&g) {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&score));
+        }
+        let pr = pagerank(&g, &PageRankConfig::default());
+        prop_assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        for (u, &core) in core_numbers(&g).iter().enumerate() {
+            prop_assert!(core <= g.degree(u));
+        }
+        for measure in InteractionMeasure::all() {
+            for &score in &measure.scores(&g) {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&score));
+            }
+        }
+    }
+
+    #[test]
+    fn modularity_is_bounded_for_any_partition(seed in 0u64..10_000, n in 2usize..30, k in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g: SocialNetwork = erdos_renyi(n, 0.3, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|u| u % k).collect();
+        let q = modularity(&g, &Partition::from_labels(labels));
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&q));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension algorithms: always feasible on arbitrary instances
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn extension_algorithms_always_return_feasible_arrangements(seed in 0u64..1_000) {
+        let instance = generate_synthetic(&SyntheticConfig::tiny(), seed);
+        let algorithms: Vec<Box<dyn ArrangementAlgorithm>> = vec![
+            Box::new(LpDeterministic::default()),
+            Box::new(Lagrangian::quick()),
+            Box::new(SimulatedAnnealing::quick()),
+            Box::new(TabuSearch::quick()),
+            Box::new(BottleneckGreedy),
+            Box::new(OnlineRanking::default()),
+        ];
+        for algorithm in algorithms {
+            let arrangement = algorithm.run_seeded(&instance, seed);
+            prop_assert!(
+                arrangement.is_feasible(&instance),
+                "{} infeasible on seed {}",
+                algorithm.name(),
+                seed
+            );
+            // Every assigned pair respects the bid constraint explicitly.
+            for (v, u) in arrangement.pairs() {
+                prop_assert!(instance.user(u).has_bid(v));
+                prop_assert!(instance.event(v).has_bidder(u));
+            }
+        }
+    }
+
+    #[test]
+    fn interaction_scores_enter_the_utility_linearly(seed in 0u64..1_000) {
+        // Doubling β's complement share: with β = 1 the interaction term
+        // vanishes, so utilities computed on the same arrangement must not
+        // depend on the interaction scores at all.
+        let instance = generate_synthetic(
+            &SyntheticConfig { beta: 1.0, ..SyntheticConfig::tiny() },
+            seed,
+        );
+        let arrangement = igepa::algos::GreedyArrangement.run_seeded(&instance, seed);
+        let breakdown = arrangement.utility(&instance);
+        // With β = 1 the total is exactly the (unweighted) interest sum.
+        prop_assert!((breakdown.total - breakdown.interest_sum).abs() < 1e-9);
+        prop_assert!((breakdown.beta - 1.0).abs() < 1e-12);
+    }
+}
