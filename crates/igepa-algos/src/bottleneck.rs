@@ -86,7 +86,10 @@ impl ArrangementAlgorithm for BottleneckGreedy {
                     if current.len() >= user.capacity {
                         continue;
                     }
-                    if current.iter().any(|&w| instance.conflicts().conflicts(w, v)) {
+                    if current
+                        .iter()
+                        .any(|&w| instance.conflicts().conflicts(w, v))
+                    {
                         continue;
                     }
                     let weight = instance.weight(v, u);
@@ -158,9 +161,7 @@ mod tests {
             "bottleneck {min_ours} < greedy's {min_greedy}"
         );
         // And the flip side of the trade-off: total utility is not higher.
-        assert!(
-            bottleneck.utility(&instance).total <= greedy.utility(&instance).total + 1e-9
-        );
+        assert!(bottleneck.utility(&instance).total <= greedy.utility(&instance).total + 1e-9);
     }
 
     #[test]
@@ -194,7 +195,7 @@ mod tests {
         let instance = generate_synthetic(&config, 3);
         let m = BottleneckGreedy.run_seeded(&instance, 3);
         assert!(m.is_feasible(&instance));
-        assert!(m.len() > 0);
+        assert!(!m.is_empty());
     }
 
     #[test]

@@ -66,7 +66,8 @@ impl ExactIlp {
         for (event_index, terms) in event_terms.into_iter().enumerate() {
             if !terms.is_empty() {
                 let capacity = instance.event(EventId::new(event_index)).capacity as f64;
-                lp.add_le_constraint(terms, capacity).expect("valid event row");
+                lp.add_le_constraint(terms, capacity)
+                    .expect("valid event row");
             }
         }
 
@@ -156,9 +157,18 @@ mod tests {
         for seed in 0..3 {
             let inst = generate_synthetic(&config, seed);
             let (_, opt) = ExactIlp::default().solve_with_value(&inst);
-            let greedy = GreedyArrangement.run_seeded(&inst, seed).utility(&inst).total;
-            let lp = LpPacking::default().run_seeded(&inst, seed).utility(&inst).total;
-            assert!(opt + 1e-6 >= greedy, "seed {seed}: opt {opt} < greedy {greedy}");
+            let greedy = GreedyArrangement
+                .run_seeded(&inst, seed)
+                .utility(&inst)
+                .total;
+            let lp = LpPacking::default()
+                .run_seeded(&inst, seed)
+                .utility(&inst)
+                .total;
+            assert!(
+                opt + 1e-6 >= greedy,
+                "seed {seed}: opt {opt} < greedy {greedy}"
+            );
             assert!(opt + 1e-6 >= lp, "seed {seed}: opt {opt} < lp {lp}");
         }
     }
@@ -167,7 +177,10 @@ mod tests {
     #[should_panic(expected = "exact ILP guard")]
     fn variable_guard_trips_on_large_instances() {
         let inst = generate_synthetic(&SyntheticConfig::small(), 1);
-        let guard = ExactIlp { max_variables: 10, ..Default::default() };
+        let guard = ExactIlp {
+            max_variables: 10,
+            ..Default::default()
+        };
         let _ = guard.solve_with_value(&inst);
     }
 }

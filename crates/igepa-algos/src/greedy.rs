@@ -22,35 +22,11 @@ impl ArrangementAlgorithm for GreedyArrangement {
     }
 
     fn run_with_rng(&self, instance: &Instance, _rng: &mut dyn RngCore) -> Arrangement {
-        // Collect all bid pairs with their weights and sort by weight,
-        // breaking ties deterministically by (event, user).
-        let mut pairs: Vec<(f64, igepa_core::EventId, igepa_core::UserId)> = instance
-            .bid_pairs()
-            .map(|(v, u)| (instance.weight(v, u), v, u))
-            .collect();
-        pairs.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
-        });
-
+        // All bid pairs ordered by decreasing weight (ties broken by
+        // (event, user)), each admitted while it keeps the arrangement
+        // feasible — the shared greedy admission kernel.
         let mut arrangement = Arrangement::empty_for(instance);
-        for (_, v, u) in pairs {
-            // Event capacity.
-            if arrangement.load_of(v) >= instance.event(v).capacity {
-                continue;
-            }
-            // User capacity.
-            let current = arrangement.events_of(u);
-            if current.len() >= instance.user(u).capacity {
-                continue;
-            }
-            // Conflict with already-assigned events.
-            if current.iter().any(|&w| instance.conflicts().conflicts(w, v)) {
-                continue;
-            }
-            arrangement.assign(v, u);
-        }
+        crate::warm_start::admit_greedily(instance, &mut arrangement, instance.bid_pairs());
         arrangement
     }
 }
@@ -98,7 +74,9 @@ mod tests {
     #[test]
     fn greedy_respects_user_capacity() {
         let mut b = Instance::builder();
-        let events: Vec<EventId> = (0..4).map(|_| b.add_event(5, AttributeVector::empty())).collect();
+        let events: Vec<EventId> = (0..4)
+            .map(|_| b.add_event(5, AttributeVector::empty()))
+            .collect();
         b.add_user(2, AttributeVector::empty(), events.clone());
         b.interaction_scores(vec![0.5]);
         let inst = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();

@@ -43,6 +43,7 @@ pub mod randomized;
 pub mod runner;
 pub mod simulated_annealing;
 pub mod tabu_search;
+pub mod warm_start;
 
 pub use bottleneck::BottleneckGreedy;
 pub use exact::ExactIlp;
@@ -58,3 +59,4 @@ pub use randomized::{RandomU, RandomV};
 pub use runner::{run_and_record, run_repeated, ArrangementAlgorithm, RunRecord};
 pub use simulated_annealing::SimulatedAnnealing;
 pub use tabu_search::TabuSearch;
+pub use warm_start::{admit_greedily, can_assign, carry_over_feasible, WarmStart};

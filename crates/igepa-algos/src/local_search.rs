@@ -62,7 +62,10 @@ impl LocalSearch {
                     if arrangement.load_of(v) >= instance.event(v).capacity {
                         continue;
                     }
-                    if current.iter().any(|&w| instance.conflicts().conflicts(w, v)) {
+                    if current
+                        .iter()
+                        .any(|&w| instance.conflicts().conflicts(w, v))
+                    {
                         continue;
                     }
                     let gain = instance.weight(v, u);

@@ -18,19 +18,11 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 /// LP-guided deterministic rounding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct LpDeterministic {
     /// The underlying LP-packing configuration (backend, set limit). Its α
     /// is ignored — there is no sampling step.
     pub lp: LpPacking,
-}
-
-impl Default for LpDeterministic {
-    fn default() -> Self {
-        LpDeterministic {
-            lp: LpPacking::default(),
-        }
-    }
 }
 
 impl ArrangementAlgorithm for LpDeterministic {

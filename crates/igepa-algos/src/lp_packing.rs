@@ -46,7 +46,9 @@ pub enum LpBackend {
 
 impl Default for LpBackend {
     fn default() -> Self {
-        LpBackend::Auto { row_threshold: 1200 }
+        LpBackend::Auto {
+            row_threshold: 1200,
+        }
     }
 }
 
@@ -76,17 +78,26 @@ impl LpPacking {
     /// LP-packing with the theoretical `α = ½` (used by the approximation
     /// ratio study).
     pub fn theoretical() -> Self {
-        LpPacking { alpha: 0.5, ..Self::default() }
+        LpPacking {
+            alpha: 0.5,
+            ..Self::default()
+        }
     }
 
     /// LP-packing with a specific α.
     pub fn with_alpha(alpha: f64) -> Self {
-        LpPacking { alpha, ..Self::default() }
+        LpPacking {
+            alpha,
+            ..Self::default()
+        }
     }
 
     /// LP-packing forced onto a specific backend.
     pub fn with_backend(backend: LpBackend) -> Self {
-        LpPacking { backend, ..Self::default() }
+        LpPacking {
+            backend,
+            ..Self::default()
+        }
     }
 
     /// Solves the benchmark LP (1)–(4) and returns, per user, the admissible
@@ -190,9 +201,7 @@ impl LpPacking {
             let columns: Vec<PackingColumn> = user_sets
                 .sets
                 .iter()
-                .filter(|set| {
-                    set.iter().all(|v| row_of_event[v.index()].is_some())
-                })
+                .filter(|set| set.iter().all(|v| row_of_event[v.index()].is_some()))
                 .map(|set| PackingColumn {
                     profit: instance.set_weight(user_sets.user, set),
                     usage: set
@@ -328,7 +337,10 @@ mod tests {
         let inst = conflicting_instance();
         for seed in 0..20 {
             let m = LpPacking::default().run_seeded(&inst, seed);
-            assert!(m.is_feasible(&inst), "seed {seed} produced infeasible output");
+            assert!(
+                m.is_feasible(&inst),
+                "seed {seed} produced infeasible output"
+            );
         }
     }
 

@@ -99,7 +99,10 @@ mod tests {
         for seed in 0..3 {
             let inst = generate_synthetic(&config, seed);
             let (_, opt) = ExactIlp::default().solve_with_value(&inst);
-            let online = OnlineGreedy::default().run_seeded(&inst, seed).utility(&inst).total;
+            let online = OnlineGreedy::default()
+                .run_seeded(&inst, seed)
+                .utility(&inst)
+                .total;
             assert!(opt + 1e-6 >= online);
         }
     }
@@ -107,7 +110,10 @@ mod tests {
     #[test]
     fn deterministic_arrival_order_is_reproducible() {
         let inst = generate_synthetic(&SyntheticConfig::tiny(), 9);
-        let algo = OnlineGreedy { shuffle_arrivals: false, ..Default::default() };
+        let algo = OnlineGreedy {
+            shuffle_arrivals: false,
+            ..Default::default()
+        };
         assert_eq!(algo.run_seeded(&inst, 1), algo.run_seeded(&inst, 2));
     }
 

@@ -59,8 +59,7 @@ impl OnlineRanking {
                 .iter()
                 .map(|&v| {
                     let rank = ranks.get(v.index()).copied().unwrap_or(0.5);
-                    let score =
-                        (1.0 - weight) * instance.weight(v, user.id) + weight * rank;
+                    let score = (1.0 - weight) * instance.weight(v, user.id) + weight * rank;
                     (v, score)
                 })
                 .collect();

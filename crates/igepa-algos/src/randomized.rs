@@ -34,7 +34,10 @@ fn can_assign(instance: &Instance, arrangement: &Arrangement, v: EventId, u: Use
     if current.len() >= instance.user(u).capacity {
         return false;
     }
-    if current.iter().any(|&w| instance.conflicts().conflicts(w, v)) {
+    if current
+        .iter()
+        .any(|&w| instance.conflicts().conflicts(w, v))
+    {
         return false;
     }
     true
@@ -155,7 +158,7 @@ mod tests {
         let mv = RandomV.run_seeded(&inst, 0);
         assert!(mu.is_feasible(&inst));
         assert!(mv.is_feasible(&inst));
-        assert!(mu.len() > 0);
-        assert!(mv.len() > 0);
+        assert!(!mu.is_empty());
+        assert!(!mv.is_empty());
     }
 }

@@ -85,7 +85,9 @@ impl SimulatedAnnealing {
                     .filter(|&v| {
                         !arrangement.contains(v, user.id)
                             && arrangement.load_of(v) < instance.event(v).capacity
-                            && !current.iter().any(|&w| instance.conflicts().conflicts(w, v))
+                            && !current
+                                .iter()
+                                .any(|&w| instance.conflicts().conflicts(w, v))
                     })
                     .collect();
                 if candidates.is_empty() {

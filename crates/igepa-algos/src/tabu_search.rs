@@ -74,7 +74,9 @@ impl TabuSearch {
                 for &v in &user.bids {
                     if arrangement.contains(v, u)
                         || arrangement.load_of(v) >= instance.event(v).capacity
-                        || current.iter().any(|&w| instance.conflicts().conflicts(w, v))
+                        || current
+                            .iter()
+                            .any(|&w| instance.conflicts().conflicts(w, v))
                     {
                         continue;
                     }

@@ -19,17 +19,19 @@ fn small_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
         0.0f64..0.9,
         2usize..6,
     )
-        .prop_map(|(events, users, max_cv, max_cu, pcf, pdeg, bids)| SyntheticConfig {
-            num_events: events,
-            num_users: users,
-            max_event_capacity: max_cv,
-            max_user_capacity: max_cu,
-            p_conflict: pcf,
-            p_friend: pdeg,
-            bids_per_user: bids,
-            conflict_group_width: 3,
-            ..SyntheticConfig::default()
-        })
+        .prop_map(
+            |(events, users, max_cv, max_cu, pcf, pdeg, bids)| SyntheticConfig {
+                num_events: events,
+                num_users: users,
+                max_event_capacity: max_cv,
+                max_user_capacity: max_cu,
+                p_conflict: pcf,
+                p_friend: pdeg,
+                bids_per_user: bids,
+                conflict_group_width: 3,
+                ..SyntheticConfig::default()
+            },
+        )
 }
 
 proptest! {

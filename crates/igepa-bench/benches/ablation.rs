@@ -17,10 +17,17 @@ fn alpha_ablation(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
     for &alpha in &[0.25f64, 0.5, 0.75, 1.0] {
-        let algorithm = LpPacking { alpha, ..LpPacking::default() };
-        group.bench_with_input(BenchmarkId::from_parameter(alpha), &instance, |b, instance| {
-            b.iter(|| black_box(algorithm.run_seeded(instance, 3).utility(instance).total))
-        });
+        let algorithm = LpPacking {
+            alpha,
+            ..LpPacking::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alpha),
+            &instance,
+            |b, instance| {
+                b.iter(|| black_box(algorithm.run_seeded(instance, 3).utility(instance).total))
+            },
+        );
     }
     group.finish();
 }
@@ -33,14 +40,24 @@ fn backend_ablation(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(900));
     let backends: Vec<(&str, LpBackend)> = vec![
         ("simplex", LpBackend::Simplex),
-        ("dual_subgradient_400", LpBackend::DualSubgradient { rounds: 400 }),
-        ("dual_subgradient_1600", LpBackend::DualSubgradient { rounds: 1600 }),
+        (
+            "dual_subgradient_400",
+            LpBackend::DualSubgradient { rounds: 400 },
+        ),
+        (
+            "dual_subgradient_1600",
+            LpBackend::DualSubgradient { rounds: 1600 },
+        ),
     ];
     for (name, backend) in backends {
         let algorithm = LpPacking::with_backend(backend);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &instance, |b, instance| {
-            b.iter(|| black_box(algorithm.run_seeded(instance, 3).utility(instance).total))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &instance,
+            |b, instance| {
+                b.iter(|| black_box(algorithm.run_seeded(instance, 3).utility(instance).total))
+            },
+        );
     }
     group.finish();
 }
@@ -65,5 +82,10 @@ fn extension_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(ablation, alpha_ablation, backend_ablation, extension_ablation);
+criterion_group!(
+    ablation,
+    alpha_ablation,
+    backend_ablation,
+    extension_ablation
+);
 criterion_main!(ablation);

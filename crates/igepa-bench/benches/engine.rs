@@ -1,0 +1,137 @@
+//! Serving-engine benchmarks: warm-start repair vs cold re-solve across
+//! delta-batch sizes.
+//!
+//! The claim under test: absorbing a delta through the engine's greedy
+//! patch is much cheaper than re-running a solver from scratch, and the
+//! advantage persists (though shrinks per delta) when deltas arrive in
+//! bursts handled by one repair pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use igepa_algos::{ArrangementAlgorithm, GreedyArrangement};
+use igepa_core::{ConstantInterest, Instance, NeverConflict};
+use igepa_datagen::{generate_synthetic, generate_trace, DeltaTrace, SyntheticConfig, TraceConfig};
+use igepa_engine::{Engine, EngineConfig};
+use std::hint::black_box;
+
+fn base_instance() -> Instance {
+    generate_synthetic(
+        &SyntheticConfig {
+            num_events: 20,
+            num_users: 200,
+            bids_per_user: 5,
+            ..SyntheticConfig::default()
+        },
+        3,
+    )
+}
+
+fn trace_for(instance: &Instance, num_deltas: usize) -> DeltaTrace {
+    generate_trace(
+        instance,
+        &TraceConfig {
+            num_deltas,
+            ..TraceConfig::default()
+        },
+        11,
+    )
+}
+
+fn fresh_engine(instance: Instance) -> Engine {
+    Engine::new(
+        instance,
+        Box::new(NeverConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        EngineConfig {
+            seed: 5,
+            // Measure pure repair cost: no periodic cold solves mixed in.
+            staleness_check_interval: 0,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Warm path vs cold re-solve: one engine absorbs the whole trace in
+/// `batch`-sized bursts, against re-solving from scratch per burst.
+fn warm_engine_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_warm_vs_cold");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(900));
+
+    let base = base_instance();
+    let trace = trace_for(&base, 256);
+
+    for &batch in &[1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("warm_repair", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut engine = fresh_engine(base.clone());
+                    for chunk in trace.deltas.chunks(batch) {
+                        let deltas: Vec<_> = chunk.iter().map(|t| t.delta.clone()).collect();
+                        engine.apply_batch(&deltas).expect("trace deltas are valid");
+                    }
+                    black_box(engine.utility())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cold_resolve", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut instance = base.clone();
+                    let solver = GreedyArrangement;
+                    let mut utility = 0.0;
+                    for (i, chunk) in trace.deltas.chunks(batch).enumerate() {
+                        for timed in chunk {
+                            instance
+                                .apply_delta(&timed.delta, &NeverConflict, &ConstantInterest(0.5))
+                                .expect("trace deltas are valid");
+                        }
+                        let arrangement = solver.run_seeded(&instance, i as u64);
+                        utility = arrangement.utility_value(&instance);
+                    }
+                    black_box(utility)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Single-delta absorption cost on growing instances (the serving hot path).
+fn single_delta_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_single_delta");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+
+    for &num_users in &[200usize, 800] {
+        let base = generate_synthetic(
+            &SyntheticConfig {
+                num_events: 20,
+                num_users,
+                bids_per_user: 5,
+                ..SyntheticConfig::default()
+            },
+            4,
+        );
+        let trace = trace_for(&base, 64);
+        group.bench_with_input(BenchmarkId::new("apply", num_users), &num_users, |b, _| {
+            b.iter(|| {
+                let mut engine = fresh_engine(base.clone());
+                for timed in &trace.deltas {
+                    engine.apply(&timed.delta).expect("trace deltas are valid");
+                }
+                black_box(engine.arrangement().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(engine, warm_engine_replay, single_delta_latency);
+criterion_main!(engine);

@@ -53,9 +53,13 @@ fn heuristic_roster(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions_heuristics");
     configure(&mut group);
     for (name, algorithm) in &algorithms {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &instance, |b, instance| {
-            b.iter(|| black_box(algorithm.run_seeded(instance, 5).utility(instance).total))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &instance,
+            |b, instance| {
+                b.iter(|| black_box(algorithm.run_seeded(instance, 5).utility(instance).total))
+            },
+        );
     }
     group.finish();
 }
@@ -97,14 +101,18 @@ fn graph_analysis(c: &mut Criterion) {
     let g = dataset.network;
     let mut group = c.benchmark_group("graph_analysis");
     configure(&mut group);
-    group.bench_function("closeness", |b| b.iter(|| black_box(closeness_centrality(&g).len())));
+    group.bench_function("closeness", |b| {
+        b.iter(|| black_box(closeness_centrality(&g).len()))
+    });
     group.bench_function("betweenness", |b| {
         b.iter(|| black_box(betweenness_centrality(&g).len()))
     });
     group.bench_function("pagerank", |b| {
         b.iter(|| black_box(pagerank(&g, &PageRankConfig::default()).len()))
     });
-    group.bench_function("core_numbers", |b| b.iter(|| black_box(core_numbers(&g).len())));
+    group.bench_function("core_numbers", |b| {
+        b.iter(|| black_box(core_numbers(&g).len()))
+    });
     group.bench_function("label_propagation", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);

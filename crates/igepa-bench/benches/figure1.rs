@@ -28,13 +28,9 @@ fn bench_factor(c: &mut Criterion, factor: Figure1Factor) {
         config.num_users = ((config.num_users as f64 * BENCH_SCALE).round() as usize).max(20);
         let instance = generate_synthetic(&config, 42);
         for (name, algorithm) in paper_roster() {
-            group.bench_with_input(
-                BenchmarkId::new(name, value),
-                &instance,
-                |b, instance| {
-                    b.iter(|| black_box(igepa_bench::run_once(algorithm.as_ref(), instance, 7)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, value), &instance, |b, instance| {
+                b.iter(|| black_box(igepa_bench::run_once(algorithm.as_ref(), instance, 7)))
+            });
         }
     }
     group.finish();

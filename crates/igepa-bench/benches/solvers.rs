@@ -31,9 +31,7 @@ fn benchmark_lp_solvers(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("simplex", num_users),
             &instance,
-            |b, instance| {
-                b.iter(|| black_box(simplex.solve_benchmark_lp(instance, &admissible)))
-            },
+            |b, instance| b.iter(|| black_box(simplex.solve_benchmark_lp(instance, &admissible))),
         );
         let subgradient = LpPacking::with_backend(LpBackend::DualSubgradient { rounds: 800 });
         group.bench_with_input(
@@ -61,9 +59,13 @@ fn admissible_set_enumeration(c: &mut Criterion) {
             ..SyntheticConfig::default()
         };
         let instance = generate_synthetic(&config, 9);
-        group.bench_with_input(BenchmarkId::new("bids_per_user", bids), &instance, |b, instance| {
-            b.iter(|| black_box(AdmissibleSetIndex::build(instance).unwrap().total_sets()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bids_per_user", bids),
+            &instance,
+            |b, instance| {
+                b.iter(|| black_box(AdmissibleSetIndex::build(instance).unwrap().total_sets()))
+            },
+        );
     }
     group.finish();
 }

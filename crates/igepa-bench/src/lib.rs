@@ -16,7 +16,10 @@ use igepa_datagen::SyntheticConfig;
 /// The four algorithms compared throughout the paper's evaluation.
 pub fn paper_roster() -> Vec<(&'static str, Box<dyn ArrangementAlgorithm>)> {
     vec![
-        ("LP-packing", Box::new(LpPacking::default()) as Box<dyn ArrangementAlgorithm>),
+        (
+            "LP-packing",
+            Box::new(LpPacking::default()) as Box<dyn ArrangementAlgorithm>,
+        ),
         ("GG", Box::new(GreedyArrangement)),
         ("Random-U", Box::new(RandomU)),
         ("Random-V", Box::new(RandomV)),

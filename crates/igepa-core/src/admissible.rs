@@ -59,7 +59,10 @@ impl AdmissibleSetIndex {
         let mut per_user = Vec::with_capacity(instance.num_users());
         for user in instance.users() {
             let sets = enumerate_for_user(instance, user.id, limit)?;
-            per_user.push(UserAdmissibleSets { user: user.id, sets });
+            per_user.push(UserAdmissibleSets {
+                user: user.id,
+                sets,
+            });
         }
         Ok(AdmissibleSetIndex { per_user })
     }
@@ -119,7 +122,10 @@ pub fn enumerate_for_user(
     ) -> Result<(), CoreError> {
         for i in start..bids.len() {
             let candidate = bids[i];
-            if stack.iter().any(|&chosen| conflicts.conflicts(chosen, candidate)) {
+            if stack
+                .iter()
+                .any(|&chosen| conflicts.conflicts(chosen, candidate))
+            {
                 continue;
             }
             stack.push(candidate);
@@ -135,7 +141,9 @@ pub fn enumerate_for_user(
         Ok(())
     }
 
-    recurse(bids, 0, capacity, conflicts, &mut stack, &mut out, limit, user)?;
+    recurse(
+        bids, 0, capacity, conflicts, &mut stack, &mut out, limit, user,
+    )?;
     Ok(out)
 }
 
@@ -243,7 +251,9 @@ mod tests {
     #[test]
     fn zero_capacity_user_has_no_sets() {
         let inst = single_user_instance(3, 0, &[]);
-        assert!(enumerate_for_user(&inst, UserId::new(0), 1000).unwrap().is_empty());
+        assert!(enumerate_for_user(&inst, UserId::new(0), 1000)
+            .unwrap()
+            .is_empty());
         assert_eq!(count_for_user(&inst, UserId::new(0)), 0);
     }
 
@@ -251,7 +261,10 @@ mod tests {
     fn explosion_limit_is_enforced() {
         let inst = single_user_instance(10, 5, &[]);
         let err = enumerate_for_user(&inst, UserId::new(0), 7).unwrap_err();
-        assert!(matches!(err, CoreError::AdmissibleSetExplosion { limit: 7, .. }));
+        assert!(matches!(
+            err,
+            CoreError::AdmissibleSetExplosion { limit: 7, .. }
+        ));
     }
 
     #[test]

@@ -102,9 +102,10 @@ impl Arrangement {
 
     /// Iterates over all `(event, user)` pairs in the arrangement.
     pub fn pairs(&self) -> impl Iterator<Item = (EventId, UserId)> + '_ {
-        self.per_user.iter().enumerate().flat_map(|(u, events)| {
-            events.iter().map(move |&v| (v, UserId::new(u)))
-        })
+        self.per_user
+            .iter()
+            .enumerate()
+            .flat_map(|(u, events)| events.iter().map(move |&v| (v, UserId::new(u))))
     }
 
     /// Builds an arrangement from a list of pairs (duplicates are collapsed).
@@ -120,6 +121,42 @@ impl Arrangement {
         m
     }
 
+    /// Grows the arrangement to cover at least the given sizes (existing
+    /// assignments are untouched). Shrinking is not supported; smaller
+    /// values are ignored.
+    pub fn grow(&mut self, num_events: usize, num_users: usize) {
+        if num_events > self.num_events {
+            self.event_load.resize(num_events, 0);
+            self.num_events = num_events;
+        }
+        if num_users > self.per_user.len() {
+            self.per_user.resize(num_users, Vec::new());
+        }
+    }
+
+    /// Removes every assignment of `user` and returns the events they were
+    /// removed from.
+    pub fn remove_user_assignments(&mut self, user: UserId) -> Vec<EventId> {
+        let events = std::mem::take(&mut self.per_user[user.index()]);
+        for &v in &events {
+            self.event_load[v.index()] -= 1;
+        }
+        events
+    }
+
+    /// Users currently assigned to `event`, in increasing id order.
+    ///
+    /// This scans all users (the arrangement is stored per user); it is a
+    /// repair-path helper, not an inner-loop primitive.
+    pub fn users_of(&self, event: EventId) -> Vec<UserId> {
+        self.per_user
+            .iter()
+            .enumerate()
+            .filter(|(_, events)| events.binary_search(&event).is_ok())
+            .map(|(u, _)| UserId::new(u))
+            .collect()
+    }
+
     /// Checks the arrangement against the bid, capacity and conflict
     /// constraints of Definition 4 and returns every violation found.
     pub fn violations(&self, instance: &Instance) -> Vec<Violation> {
@@ -131,7 +168,10 @@ impl Arrangement {
             let user = instance.user(user_id);
             for &v in events {
                 if !user.has_bid(v) {
-                    out.push(Violation::Bid { event: v, user: user_id });
+                    out.push(Violation::Bid {
+                        event: v,
+                        user: user_id,
+                    });
                 }
             }
             if events.len() > user.capacity {
@@ -257,14 +297,35 @@ impl fmt::Display for Violation {
             Violation::Bid { event, user } => {
                 write!(f, "{user} is assigned {event} without bidding for it")
             }
-            Violation::EventCapacity { event, assigned, capacity } => {
-                write!(f, "{event} hosts {assigned} users but has capacity {capacity}")
+            Violation::EventCapacity {
+                event,
+                assigned,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "{event} hosts {assigned} users but has capacity {capacity}"
+                )
             }
-            Violation::UserCapacity { user, assigned, capacity } => {
-                write!(f, "{user} attends {assigned} events but has capacity {capacity}")
+            Violation::UserCapacity {
+                user,
+                assigned,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "{user} attends {assigned} events but has capacity {capacity}"
+                )
             }
-            Violation::Conflict { user, first, second } => {
-                write!(f, "{user} is assigned conflicting events {first} and {second}")
+            Violation::Conflict {
+                user,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "{user} is assigned conflicting events {first} and {second}"
+                )
             }
         }
     }

@@ -204,6 +204,29 @@ impl ConflictMatrix {
             .collect()
     }
 
+    /// Grows the matrix by one event, evaluating `sigma` only against the
+    /// `existing` events (the `n` events the matrix currently covers). The
+    /// old pairs are copied, not re-evaluated — this is the incremental
+    /// patch used by delta application instead of a full
+    /// [`ConflictMatrix::build`].
+    pub fn push_event(&mut self, existing: &[Event], new_event: &Event, sigma: &dyn ConflictFn) {
+        let n = self.n;
+        debug_assert_eq!(existing.len(), n, "existing events must match matrix size");
+        let m = n + 1;
+        let mut bits = vec![false; m * m];
+        for i in 0..n {
+            bits[i * m..i * m + n].copy_from_slice(&self.bits[i * n..(i + 1) * n]);
+        }
+        for (i, old) in existing.iter().enumerate() {
+            if sigma.conflicts(old, new_event) {
+                bits[i * m + n] = true;
+                bits[n * m + i] = true;
+            }
+        }
+        self.n = m;
+        self.bits = bits;
+    }
+
     /// Checks that a set of events is pairwise conflict-free.
     pub fn set_is_conflict_free(&self, events: &[EventId]) -> bool {
         for (idx, &a) in events.iter().enumerate() {
@@ -273,7 +296,11 @@ mod tests {
 
     #[test]
     fn matrix_build_is_symmetric_with_false_diagonal() {
-        let events = vec![timed_event(0, 0, 60), timed_event(1, 30, 60), timed_event(2, 200, 60)];
+        let events = vec![
+            timed_event(0, 0, 60),
+            timed_event(1, 30, 60),
+            timed_event(2, 200, 60),
+        ];
         let m = ConflictMatrix::build(&events, &TimeOverlapConflict);
         assert!(m.conflicts(EventId::new(0), EventId::new(1)));
         assert!(m.conflicts(EventId::new(1), EventId::new(0)));

@@ -115,7 +115,10 @@ fn largest_compatible_subset(instance: &Instance, user: UserId) -> usize {
     ordered.sort_by_key(|&v| conflicts_within(v));
     let mut chosen: Vec<EventId> = Vec::new();
     for v in ordered {
-        if chosen.iter().all(|&w| !instance.conflicts().conflicts(v, w)) {
+        if chosen
+            .iter()
+            .all(|&w| !instance.conflicts().conflicts(v, w))
+        {
             chosen.push(v);
         }
     }
@@ -201,19 +204,21 @@ mod tests {
         let skewed = build(&[5, 5], &[vec![0], vec![0], vec![0], vec![0]], &[]);
         let g_even = ContentionStats::of(&even).bid_gini;
         let g_skewed = ContentionStats::of(&skewed).bid_gini;
-        assert!(g_even < 1e-9, "even demand should have Gini ≈ 0, got {g_even}");
-        assert!(g_skewed > 0.4, "skewed demand should have high Gini, got {g_skewed}");
+        assert!(
+            g_even < 1e-9,
+            "even demand should have Gini ≈ 0, got {g_even}"
+        );
+        assert!(
+            g_skewed > 0.4,
+            "skewed demand should have high Gini, got {g_skewed}"
+        );
     }
 
     #[test]
     fn conflicting_bids_lower_the_compatible_fraction() {
         // A user bids for three mutually conflicting events: only one is
         // attendable, so the compatible fraction is 1/3.
-        let instance = build(
-            &[5, 5, 5],
-            &[vec![0, 1, 2]],
-            &[(0, 1), (0, 2), (1, 2)],
-        );
+        let instance = build(&[5, 5, 5], &[vec![0, 1, 2]], &[(0, 1), (0, 2), (1, 2)]);
         let stats = ContentionStats::of(&instance);
         assert!((stats.mean_compatible_bid_fraction - 1.0 / 3.0).abs() < 1e-9);
     }

@@ -176,11 +176,7 @@ fn malformed(line: usize, message: impl Into<String>) -> CsvError {
     }
 }
 
-fn parse_field<T: std::str::FromStr>(
-    field: &str,
-    line: usize,
-    what: &str,
-) -> Result<T, CsvError> {
+fn parse_field<T: std::str::FromStr>(field: &str, line: usize, what: &str) -> Result<T, CsvError> {
     field
         .trim()
         .parse::<T>()
@@ -481,8 +477,7 @@ mod tests {
             assert_eq!(a.capacity, b.capacity);
             assert_eq!(a.bids, b.bids);
             assert!(
-                (original.interaction(UserId::new(i)) - restored.interaction(UserId::new(i)))
-                    .abs()
+                (original.interaction(UserId::new(i)) - restored.interaction(UserId::new(i))).abs()
                     < 1e-12
             );
         }
@@ -499,7 +494,14 @@ mod tests {
     #[test]
     fn csv_text_has_all_sections() {
         let text = instance_to_csv(&sample_instance());
-        for section in ["[meta]", "[events]", "[users]", "[conflicts]", "[interests]", "[interaction]"] {
+        for section in [
+            "[meta]",
+            "[events]",
+            "[users]",
+            "[conflicts]",
+            "[interests]",
+            "[interaction]",
+        ] {
             assert!(text.contains(section), "missing {section}");
         }
     }
@@ -508,10 +510,9 @@ mod tests {
     fn missing_sections_are_reported() {
         let err = instance_from_csv("[meta]\nkey,value\nbeta,0.5\n").unwrap_err();
         assert!(matches!(err, CsvError::MissingSection("events")));
-        let err = instance_from_csv(
-            "[events]\nid,capacity,start,duration,x,y,categories\n0,1,,,,,\n",
-        )
-        .unwrap_err();
+        let err =
+            instance_from_csv("[events]\nid,capacity,start,duration,x,y,categories\n0,1,,,,,\n")
+                .unwrap_err();
         assert!(matches!(err, CsvError::MissingSection("users")));
     }
 
@@ -567,6 +568,8 @@ id,capacity,categories,bids
     fn error_display_is_informative() {
         let err = malformed(7, "boom");
         assert!(err.to_string().contains("line 7"));
-        assert!(CsvError::MissingSection("users").to_string().contains("users"));
+        assert!(CsvError::MissingSection("users")
+            .to_string()
+            .contains("users"));
     }
 }

@@ -1,0 +1,679 @@
+//! Incremental instance mutations for the arrangement-serving engine.
+//!
+//! The batch pipeline treats an [`Instance`] as frozen; a serving system
+//! does not have that luxury: EBSN platforms see users and events arrive
+//! and change continuously. This module defines the vocabulary of those
+//! changes — [`InstanceDelta`] — plus validated in-place application
+//! ([`Instance::apply_delta`]) that patches the conflict matrix and the
+//! interest table incrementally instead of rebuilding them.
+//!
+//! Every successful application returns a [`DeltaEffect`] naming the users
+//! and events whose neighbourhood changed; callers (the `igepa-engine`
+//! crate) fold these into a [`DirtySet`] that drives warm-start repair.
+//!
+//! Identifier stability: ids are dense indices, so removal never reindexes.
+//! [`InstanceDelta::RemoveUser`] instead *retires* the user — bids cleared,
+//! capacity and interaction zeroed — leaving a husk that no feasible
+//! arrangement can assign anything to. This keeps recorded traces
+//! replayable byte-for-byte.
+
+use crate::attrs::AttributeVector;
+use crate::conflict::ConflictFn;
+use crate::error::CoreError;
+use crate::event::Event;
+use crate::ids::{EventId, UserId};
+use crate::instance::Instance;
+use crate::interest::InterestFn;
+use crate::user::User;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The event- or user-side target of a capacity update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapacityTarget {
+    /// Update `c_v` of an event.
+    Event(EventId),
+    /// Update `c_u` of a user.
+    User(UserId),
+}
+
+/// One incremental mutation of an [`Instance`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InstanceDelta {
+    /// A new user joins with the given capacity, attributes, bid set and
+    /// degree of potential interaction.
+    AddUser {
+        /// Capacity `c_u`.
+        capacity: usize,
+        /// Attribute vector `l_u`.
+        attrs: AttributeVector,
+        /// Events the user bids for.
+        bids: Vec<EventId>,
+        /// `D(G, u)` in `[0, 1]`.
+        interaction: f64,
+    },
+    /// A user leaves the platform. The user is retired in place (see the
+    /// module docs), never reindexed.
+    RemoveUser {
+        /// The leaving user.
+        user: UserId,
+    },
+    /// A new event is announced with the given capacity and attributes.
+    /// Conflicts against existing events are evaluated by the σ passed to
+    /// [`Instance::apply_delta`].
+    AddEvent {
+        /// Capacity `c_v`.
+        capacity: usize,
+        /// Attribute vector `l_v`.
+        attrs: AttributeVector,
+    },
+    /// An event or user changes capacity.
+    UpdateCapacity {
+        /// What to update.
+        target: CapacityTarget,
+        /// The new capacity.
+        capacity: usize,
+    },
+    /// A user replaces their bid set.
+    UpdateBids {
+        /// The bidding user.
+        user: UserId,
+        /// The new bid set (replaces the old one entirely).
+        bids: Vec<EventId>,
+    },
+    /// A user's degree of potential interaction changes (e.g. the social
+    /// graph gained edges).
+    UpdateInteractionScore {
+        /// The user.
+        user: UserId,
+        /// The new `D(G, u)` in `[0, 1]`.
+        score: f64,
+    },
+}
+
+impl InstanceDelta {
+    /// Short, stable name of the delta kind (for reports and logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InstanceDelta::AddUser { .. } => "add_user",
+            InstanceDelta::RemoveUser { .. } => "remove_user",
+            InstanceDelta::AddEvent { .. } => "add_event",
+            InstanceDelta::UpdateCapacity { .. } => "update_capacity",
+            InstanceDelta::UpdateBids { .. } => "update_bids",
+            InstanceDelta::UpdateInteractionScore { .. } => "update_interaction_score",
+        }
+    }
+}
+
+/// What a successfully applied delta touched.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeltaEffect {
+    /// Users whose assignments may have become infeasible or improvable.
+    pub dirty_users: Vec<UserId>,
+    /// Events whose load constraints or candidate sets changed.
+    pub dirty_events: Vec<EventId>,
+    /// Id of the user created by an `AddUser` delta.
+    pub created_user: Option<UserId>,
+    /// Id of the event created by an `AddEvent` delta.
+    pub created_event: Option<EventId>,
+}
+
+/// Accumulated dirty users/events between repairs; the unit of work of the
+/// warm-start repair loop.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DirtySet {
+    /// Dirty users, deduplicated and ordered.
+    pub users: BTreeSet<UserId>,
+    /// Dirty events, deduplicated and ordered.
+    pub events: BTreeSet<EventId>,
+}
+
+impl DirtySet {
+    /// An empty dirty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a delta's effect into the set.
+    pub fn absorb(&mut self, effect: &DeltaEffect) {
+        self.users.extend(effect.dirty_users.iter().copied());
+        self.events.extend(effect.dirty_events.iter().copied());
+    }
+
+    /// Marks a single user dirty.
+    pub fn mark_user(&mut self, user: UserId) {
+        self.users.insert(user);
+    }
+
+    /// Marks a single event dirty.
+    pub fn mark_event(&mut self, event: EventId) {
+        self.events.insert(event);
+    }
+
+    /// Whether nothing is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty() && self.events.is_empty()
+    }
+
+    /// Number of dirty users plus dirty events.
+    pub fn len(&self) -> usize {
+        self.users.len() + self.events.len()
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.users.clear();
+        self.events.clear();
+    }
+}
+
+impl Instance {
+    /// Applies one delta in place, patching the conflict matrix and the
+    /// interest table incrementally.
+    ///
+    /// `sigma` is consulted only for `AddEvent` (new-vs-existing pairs);
+    /// `interest` only for bid pairs introduced by `AddUser` / `UpdateBids`.
+    /// Existing cached values are never re-evaluated. Validation mirrors
+    /// [`crate::InstanceBuilder::build`]: unknown ids, out-of-range scores
+    /// and out-of-range interest values are rejected and leave the instance
+    /// unchanged.
+    pub fn apply_delta(
+        &mut self,
+        delta: &InstanceDelta,
+        sigma: &dyn ConflictFn,
+        interest: &dyn InterestFn,
+    ) -> Result<DeltaEffect, CoreError> {
+        match delta {
+            InstanceDelta::AddUser {
+                capacity,
+                attrs,
+                bids,
+                interaction,
+            } => self.apply_add_user(
+                *capacity,
+                attrs.clone(),
+                bids.clone(),
+                *interaction,
+                interest,
+            ),
+            InstanceDelta::RemoveUser { user } => self.apply_remove_user(*user),
+            InstanceDelta::AddEvent { capacity, attrs } => {
+                self.apply_add_event(*capacity, attrs.clone(), sigma)
+            }
+            InstanceDelta::UpdateCapacity { target, capacity } => {
+                self.apply_update_capacity(*target, *capacity)
+            }
+            InstanceDelta::UpdateBids { user, bids } => {
+                self.apply_update_bids(*user, bids.clone(), interest)
+            }
+            InstanceDelta::UpdateInteractionScore { user, score } => {
+                self.apply_update_interaction(*user, *score)
+            }
+        }
+    }
+
+    fn check_user(&self, user: UserId) -> Result<(), CoreError> {
+        if user.index() >= self.users.len() {
+            return Err(CoreError::UnknownUser { user });
+        }
+        Ok(())
+    }
+
+    fn check_event(&self, event: EventId) -> Result<(), CoreError> {
+        if event.index() >= self.events.len() {
+            return Err(CoreError::UnknownEvent { event });
+        }
+        Ok(())
+    }
+
+    fn check_interaction(user: UserId, value: f64) -> Result<(), CoreError> {
+        if !(0.0..=1.0).contains(&value) || value.is_nan() {
+            return Err(CoreError::InteractionOutOfRange { user, value });
+        }
+        Ok(())
+    }
+
+    fn apply_add_user(
+        &mut self,
+        capacity: usize,
+        attrs: AttributeVector,
+        bids: Vec<EventId>,
+        interaction: f64,
+        interest: &dyn InterestFn,
+    ) -> Result<DeltaEffect, CoreError> {
+        let id = UserId::new(self.users.len());
+        Self::check_interaction(id, interaction)?;
+        for &v in &bids {
+            if v.index() >= self.events.len() {
+                return Err(CoreError::UnknownEventInBid { user: id, event: v });
+            }
+        }
+        let user = User::new(id, capacity, attrs, bids);
+
+        // Validate every new interest value before mutating anything.
+        let mut values = Vec::with_capacity(user.bids.len());
+        for &v in &user.bids {
+            let value = interest.interest(&self.events[v.index()], &user);
+            if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                return Err(CoreError::InterestOutOfRange {
+                    event: v,
+                    user: id,
+                    value,
+                });
+            }
+            values.push((v, value));
+        }
+
+        self.interest.push_user();
+        for (v, value) in values {
+            self.interest.set(v, id, value);
+        }
+        for &v in &user.bids {
+            let bidders = &mut self.events[v.index()].bidders;
+            if let Err(pos) = bidders.binary_search(&id) {
+                bidders.insert(pos, id);
+            }
+        }
+        self.interaction.push(interaction);
+        let dirty_events = user.bids.clone();
+        self.users.push(user);
+
+        Ok(DeltaEffect {
+            dirty_users: vec![id],
+            dirty_events,
+            created_user: Some(id),
+            created_event: None,
+        })
+    }
+
+    fn apply_remove_user(&mut self, user: UserId) -> Result<DeltaEffect, CoreError> {
+        self.check_user(user)?;
+        let old_bids = std::mem::take(&mut self.users[user.index()].bids);
+        for &v in &old_bids {
+            let bidders = &mut self.events[v.index()].bidders;
+            if let Ok(pos) = bidders.binary_search(&user) {
+                bidders.remove(pos);
+            }
+        }
+        self.users[user.index()].capacity = 0;
+        self.interaction[user.index()] = 0.0;
+        Ok(DeltaEffect {
+            dirty_users: vec![user],
+            dirty_events: old_bids,
+            created_user: None,
+            created_event: None,
+        })
+    }
+
+    fn apply_add_event(
+        &mut self,
+        capacity: usize,
+        attrs: AttributeVector,
+        sigma: &dyn ConflictFn,
+    ) -> Result<DeltaEffect, CoreError> {
+        let id = EventId::new(self.events.len());
+        let event = Event::new(id, capacity, attrs);
+        self.conflicts.push_event(&self.events, &event, sigma);
+        self.interest.push_event();
+        self.events.push(event);
+        Ok(DeltaEffect {
+            dirty_users: Vec::new(),
+            dirty_events: vec![id],
+            created_user: None,
+            created_event: Some(id),
+        })
+    }
+
+    fn apply_update_capacity(
+        &mut self,
+        target: CapacityTarget,
+        capacity: usize,
+    ) -> Result<DeltaEffect, CoreError> {
+        match target {
+            CapacityTarget::Event(event) => {
+                self.check_event(event)?;
+                self.events[event.index()].capacity = capacity;
+                Ok(DeltaEffect {
+                    dirty_users: Vec::new(),
+                    dirty_events: vec![event],
+                    created_user: None,
+                    created_event: None,
+                })
+            }
+            CapacityTarget::User(user) => {
+                self.check_user(user)?;
+                self.users[user.index()].capacity = capacity;
+                Ok(DeltaEffect {
+                    dirty_users: vec![user],
+                    dirty_events: Vec::new(),
+                    created_user: None,
+                    created_event: None,
+                })
+            }
+        }
+    }
+
+    fn apply_update_bids(
+        &mut self,
+        user: UserId,
+        bids: Vec<EventId>,
+        interest: &dyn InterestFn,
+    ) -> Result<DeltaEffect, CoreError> {
+        self.check_user(user)?;
+        for &v in &bids {
+            if v.index() >= self.events.len() {
+                return Err(CoreError::UnknownEventInBid { user, event: v });
+            }
+        }
+        let mut candidate = self.users[user.index()].clone();
+        candidate.bids = {
+            let mut b = bids;
+            b.sort_unstable();
+            b.dedup();
+            b
+        };
+
+        // Validate the interest of newly introduced bids before mutating.
+        let old_bids: BTreeSet<EventId> = self.users[user.index()].bids.iter().copied().collect();
+        let mut new_values = Vec::new();
+        for &v in &candidate.bids {
+            if !old_bids.contains(&v) {
+                let value = interest.interest(&self.events[v.index()], &candidate);
+                if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                    return Err(CoreError::InterestOutOfRange {
+                        event: v,
+                        user,
+                        value,
+                    });
+                }
+                new_values.push((v, value));
+            }
+        }
+
+        let new_bids: BTreeSet<EventId> = candidate.bids.iter().copied().collect();
+        // Events in the symmetric difference change candidate sets.
+        let mut dirty_events: Vec<EventId> =
+            old_bids.symmetric_difference(&new_bids).copied().collect();
+        dirty_events.sort_unstable();
+
+        for &v in old_bids.difference(&new_bids) {
+            let bidders = &mut self.events[v.index()].bidders;
+            if let Ok(pos) = bidders.binary_search(&user) {
+                bidders.remove(pos);
+            }
+        }
+        for &v in new_bids.difference(&old_bids) {
+            let bidders = &mut self.events[v.index()].bidders;
+            if let Err(pos) = bidders.binary_search(&user) {
+                bidders.insert(pos, user);
+            }
+        }
+        for (v, value) in new_values {
+            self.interest.set(v, user, value);
+        }
+        self.users[user.index()] = candidate;
+
+        Ok(DeltaEffect {
+            dirty_users: vec![user],
+            dirty_events,
+            created_user: None,
+            created_event: None,
+        })
+    }
+
+    fn apply_update_interaction(
+        &mut self,
+        user: UserId,
+        score: f64,
+    ) -> Result<DeltaEffect, CoreError> {
+        self.check_user(user)?;
+        Self::check_interaction(user, score)?;
+        self.interaction[user.index()] = score;
+        Ok(DeltaEffect {
+            dirty_users: vec![user],
+            dirty_events: Vec::new(),
+            created_user: None,
+            created_event: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::{NeverConflict, PairSetConflict};
+    use crate::interest::ConstantInterest;
+
+    fn base_instance() -> Instance {
+        let mut b = Instance::builder();
+        let v0 = b.add_event(2, AttributeVector::empty());
+        let v1 = b.add_event(1, AttributeVector::empty());
+        b.add_user(1, AttributeVector::empty(), vec![v0, v1]);
+        b.add_user(2, AttributeVector::empty(), vec![v1]);
+        b.interaction_scores(vec![0.3, 0.7]);
+        b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap()
+    }
+
+    #[test]
+    fn add_user_extends_all_tables() {
+        let mut inst = base_instance();
+        let effect = inst
+            .apply_delta(
+                &InstanceDelta::AddUser {
+                    capacity: 2,
+                    attrs: AttributeVector::empty(),
+                    bids: vec![EventId::new(0)],
+                    interaction: 0.9,
+                },
+                &NeverConflict,
+                &ConstantInterest(0.6),
+            )
+            .unwrap();
+        let id = effect.created_user.unwrap();
+        assert_eq!(id, UserId::new(2));
+        assert_eq!(inst.num_users(), 3);
+        assert_eq!(inst.interaction(id), 0.9);
+        assert_eq!(inst.interest(EventId::new(0), id), 0.6);
+        assert!(inst.event(EventId::new(0)).has_bidder(id));
+        assert_eq!(effect.dirty_events, vec![EventId::new(0)]);
+        // Untouched pairs keep their cached interest.
+        assert_eq!(inst.interest(EventId::new(1), UserId::new(0)), 0.5);
+    }
+
+    #[test]
+    fn add_user_with_unknown_bid_is_rejected_atomically() {
+        let mut inst = base_instance();
+        let before = inst.clone();
+        let err = inst
+            .apply_delta(
+                &InstanceDelta::AddUser {
+                    capacity: 1,
+                    attrs: AttributeVector::empty(),
+                    bids: vec![EventId::new(9)],
+                    interaction: 0.5,
+                },
+                &NeverConflict,
+                &ConstantInterest(0.5),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownEventInBid { .. }));
+        assert_eq!(inst.num_users(), before.num_users());
+        assert_eq!(inst.interest(EventId::new(1), UserId::new(1)), 0.5);
+    }
+
+    #[test]
+    fn remove_user_retires_in_place() {
+        let mut inst = base_instance();
+        let effect = inst
+            .apply_delta(
+                &InstanceDelta::RemoveUser {
+                    user: UserId::new(0),
+                },
+                &NeverConflict,
+                &ConstantInterest(0.5),
+            )
+            .unwrap();
+        assert_eq!(inst.num_users(), 2, "ids stay dense");
+        assert_eq!(inst.user(UserId::new(0)).capacity, 0);
+        assert!(inst.user(UserId::new(0)).bids.is_empty());
+        assert!(!inst.event(EventId::new(0)).has_bidder(UserId::new(0)));
+        assert_eq!(inst.interaction(UserId::new(0)), 0.0);
+        assert_eq!(effect.dirty_events, vec![EventId::new(0), EventId::new(1)]);
+    }
+
+    #[test]
+    fn add_event_patches_conflicts_incrementally() {
+        let mut b = Instance::builder();
+        b.add_event(1, AttributeVector::from_time(0, 60));
+        b.add_event(1, AttributeVector::from_time(100, 60));
+        let mut inst = b
+            .build(
+                &crate::conflict::TimeOverlapConflict,
+                &ConstantInterest(0.0),
+            )
+            .unwrap();
+        let effect = inst
+            .apply_delta(
+                &InstanceDelta::AddEvent {
+                    capacity: 3,
+                    attrs: AttributeVector::from_time(30, 60),
+                },
+                &crate::conflict::TimeOverlapConflict,
+                &ConstantInterest(0.0),
+            )
+            .unwrap();
+        let id = effect.created_event.unwrap();
+        assert_eq!(id, EventId::new(2));
+        assert!(inst.conflicts().conflicts(EventId::new(0), id));
+        assert!(!inst.conflicts().conflicts(EventId::new(1), id));
+        assert!(!inst.conflicts().conflicts(EventId::new(0), EventId::new(1)));
+        assert_eq!(inst.conflicts().num_events(), 3);
+    }
+
+    #[test]
+    fn update_bids_tracks_symmetric_difference() {
+        let mut inst = base_instance();
+        let effect = inst
+            .apply_delta(
+                &InstanceDelta::UpdateBids {
+                    user: UserId::new(0),
+                    bids: vec![EventId::new(1)],
+                },
+                &NeverConflict,
+                &ConstantInterest(0.5),
+            )
+            .unwrap();
+        // v0 dropped; v1 kept — only v0 is dirty.
+        assert_eq!(effect.dirty_events, vec![EventId::new(0)]);
+        assert!(!inst.event(EventId::new(0)).has_bidder(UserId::new(0)));
+        assert!(inst.event(EventId::new(1)).has_bidder(UserId::new(0)));
+        assert_eq!(inst.user(UserId::new(0)).bids, vec![EventId::new(1)]);
+    }
+
+    #[test]
+    fn capacity_and_interaction_updates_validate_targets() {
+        let mut inst = base_instance();
+        assert!(inst
+            .apply_delta(
+                &InstanceDelta::UpdateCapacity {
+                    target: CapacityTarget::Event(EventId::new(7)),
+                    capacity: 5,
+                },
+                &NeverConflict,
+                &ConstantInterest(0.5),
+            )
+            .is_err());
+        assert!(inst
+            .apply_delta(
+                &InstanceDelta::UpdateInteractionScore {
+                    user: UserId::new(1),
+                    score: 1.5,
+                },
+                &NeverConflict,
+                &ConstantInterest(0.5),
+            )
+            .is_err());
+        inst.apply_delta(
+            &InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::User(UserId::new(1)),
+                capacity: 5,
+            },
+            &NeverConflict,
+            &ConstantInterest(0.5),
+        )
+        .unwrap();
+        assert_eq!(inst.user(UserId::new(1)).capacity, 5);
+    }
+
+    #[test]
+    fn deltas_serialize_roundtrip() {
+        let deltas = vec![
+            InstanceDelta::AddUser {
+                capacity: 2,
+                attrs: AttributeVector::empty(),
+                bids: vec![EventId::new(1)],
+                interaction: 0.25,
+            },
+            InstanceDelta::RemoveUser {
+                user: UserId::new(3),
+            },
+            InstanceDelta::AddEvent {
+                capacity: 10,
+                attrs: AttributeVector::from_time(5, 30),
+            },
+            InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::Event(EventId::new(2)),
+                capacity: 4,
+            },
+            InstanceDelta::UpdateBids {
+                user: UserId::new(0),
+                bids: vec![],
+            },
+            InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(1),
+                score: 0.5,
+            },
+        ];
+        let json = serde_json::to_string(&deltas).unwrap();
+        let back: Vec<InstanceDelta> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, deltas);
+    }
+
+    #[test]
+    fn dirty_set_absorbs_and_clears() {
+        let mut dirty = DirtySet::new();
+        assert!(dirty.is_empty());
+        dirty.absorb(&DeltaEffect {
+            dirty_users: vec![UserId::new(1), UserId::new(1)],
+            dirty_events: vec![EventId::new(0)],
+            created_user: None,
+            created_event: None,
+        });
+        dirty.mark_user(UserId::new(2));
+        dirty.mark_event(EventId::new(0));
+        assert_eq!(dirty.len(), 3);
+        dirty.clear();
+        assert!(dirty.is_empty());
+    }
+
+    #[test]
+    fn conflicting_event_growth_keeps_existing_pairs() {
+        let mut pairs = PairSetConflict::new();
+        pairs.add(EventId::new(0), EventId::new(1));
+        let mut b = Instance::builder();
+        b.add_event(1, AttributeVector::empty());
+        b.add_event(1, AttributeVector::empty());
+        let mut inst = b.build(&pairs, &ConstantInterest(0.0)).unwrap();
+        inst.apply_delta(
+            &InstanceDelta::AddEvent {
+                capacity: 1,
+                attrs: AttributeVector::empty(),
+            },
+            &NeverConflict,
+            &ConstantInterest(0.0),
+        )
+        .unwrap();
+        assert!(inst.conflicts().conflicts(EventId::new(0), EventId::new(1)));
+        assert_eq!(inst.conflicts().num_conflicting_pairs(), 1);
+    }
+}

@@ -52,6 +52,16 @@ pub enum CoreError {
         /// Id found at that position.
         found: UserId,
     },
+    /// A delta references a user id that does not exist in the instance.
+    UnknownUser {
+        /// The unknown user id.
+        user: UserId,
+    },
+    /// A delta references an event id that does not exist in the instance.
+    UnknownEvent {
+        /// The unknown event id.
+        event: EventId,
+    },
     /// Admissible-set enumeration would exceed the configured limit.
     AdmissibleSetExplosion {
         /// The user whose enumeration overflowed.
@@ -90,6 +100,12 @@ impl fmt::Display for CoreError {
                 f,
                 "user table position {position} holds id {found}; ids must be dense and ordered"
             ),
+            CoreError::UnknownUser { user } => {
+                write!(f, "user {user} does not exist in the instance")
+            }
+            CoreError::UnknownEvent { event } => {
+                write!(f, "event {event} does not exist in the instance")
+            }
             CoreError::AdmissibleSetExplosion { user, limit } => write!(
                 f,
                 "admissible event sets of user {user} exceed the enumeration limit of {limit}"

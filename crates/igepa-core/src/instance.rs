@@ -25,13 +25,16 @@ use crate::interest::{InterestFn, TableInterest};
 use crate::user::User;
 
 /// A fully validated IGEPA problem instance.
+///
+/// Fields are crate-visible so that [`crate::delta`] can patch them
+/// incrementally while preserving the builder's invariants.
 #[derive(Debug, Clone)]
 pub struct Instance {
-    events: Vec<Event>,
-    users: Vec<User>,
-    conflicts: ConflictMatrix,
-    interest: TableInterest,
-    interaction: Vec<f64>,
+    pub(crate) events: Vec<Event>,
+    pub(crate) users: Vec<User>,
+    pub(crate) conflicts: ConflictMatrix,
+    pub(crate) interest: TableInterest,
+    pub(crate) interaction: Vec<f64>,
     beta: f64,
 }
 
@@ -226,7 +229,10 @@ impl InstanceBuilder {
         for u in &users {
             for &v in &u.bids {
                 if v.index() >= events.len() {
-                    return Err(CoreError::UnknownEventInBid { user: u.id, event: v });
+                    return Err(CoreError::UnknownEventInBid {
+                        user: u.id,
+                        event: v,
+                    });
                 }
             }
         }
@@ -319,7 +325,9 @@ mod tests {
 
     #[test]
     fn builder_mirrors_bids_into_bidder_lists() {
-        let inst = two_by_two().build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        let inst = two_by_two()
+            .build(&NeverConflict, &ConstantInterest(0.5))
+            .unwrap();
         assert_eq!(inst.event(EventId::new(0)).bidders, vec![UserId::new(0)]);
         assert_eq!(
             inst.event(EventId::new(1)).bidders,
@@ -350,7 +358,13 @@ mod tests {
         let mut b = two_by_two();
         b.interaction_scores(vec![0.5]);
         let err = b.build_trivial().unwrap_err();
-        assert!(matches!(err, CoreError::InteractionLengthMismatch { users: 2, scores: 1 }));
+        assert!(matches!(
+            err,
+            CoreError::InteractionLengthMismatch {
+                users: 2,
+                scores: 1
+            }
+        ));
     }
 
     #[test]
@@ -364,7 +378,9 @@ mod tests {
     #[test]
     fn interest_out_of_range_rejected() {
         let b = two_by_two();
-        let err = b.build(&NeverConflict, &ConstantInterestRaw(1.7)).unwrap_err();
+        let err = b
+            .build(&NeverConflict, &ConstantInterestRaw(1.7))
+            .unwrap_err();
         assert!(matches!(err, CoreError::InterestOutOfRange { .. }));
     }
 
@@ -410,7 +426,9 @@ mod tests {
         let inst = two_by_two().build(&pairs, &ConstantInterest(0.0)).unwrap();
         assert!(inst.conflicts().conflicts(EventId::new(0), EventId::new(1)));
 
-        let inst_all = two_by_two().build(&AlwaysConflict, &ConstantInterest(0.0)).unwrap();
+        let inst_all = two_by_two()
+            .build(&AlwaysConflict, &ConstantInterest(0.0))
+            .unwrap();
         assert_eq!(inst_all.conflicts().num_conflicting_pairs(), 1);
     }
 
@@ -426,7 +444,9 @@ mod tests {
 
     #[test]
     fn default_interaction_is_zero() {
-        let inst = two_by_two().build(&NeverConflict, &ConstantInterest(1.0)).unwrap();
+        let inst = two_by_two()
+            .build(&NeverConflict, &ConstantInterest(1.0))
+            .unwrap();
         assert_eq!(inst.interaction(UserId::new(0)), 0.0);
         // With beta = 0.5 and zero interaction, weight is half the interest.
         assert!((inst.weight(EventId::new(0), UserId::new(0)) - 0.5).abs() < 1e-12);

@@ -28,11 +28,16 @@ pub trait InterestFn {
 }
 
 /// Interest values stored in an explicit dense table.
+///
+/// Stored user-major (one contiguous row per user): users arrive far more
+/// often than events in the serving workload, so growing by a user is a
+/// cheap append while growing by an event (the rare delta) pays the
+/// re-stride.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TableInterest {
     num_events: usize,
     num_users: usize,
-    /// Row-major `|V| × |U|` values.
+    /// User-major `|U| × |V|` values.
     values: Vec<f64>,
 }
 
@@ -46,30 +51,55 @@ impl TableInterest {
         }
     }
 
-    /// Creates a table from row-major values. Panics if the dimensions do not
-    /// match the number of values.
+    /// Creates a table from row-major (event-major) `|V| × |U|` values.
+    /// Panics if the dimensions do not match the number of values.
     pub fn from_values(num_events: usize, num_users: usize, values: Vec<f64>) -> Self {
         assert_eq!(
             values.len(),
             num_events * num_users,
             "interest table needs |V| * |U| values"
         );
-        TableInterest {
-            num_events,
-            num_users,
-            values,
+        let mut table = TableInterest::zeros(num_events, num_users);
+        for v in 0..num_events {
+            for u in 0..num_users {
+                table.values[u * num_events + v] = values[v * num_users + u];
+            }
         }
+        table
     }
 
     /// Sets the interest of `user` in `event`.
     pub fn set(&mut self, event: EventId, user: UserId, value: f64) {
-        let idx = event.index() * self.num_users + user.index();
+        let idx = user.index() * self.num_events + event.index();
         self.values[idx] = value;
     }
 
     /// Reads the interest of `user` in `event`.
     pub fn get(&self, event: EventId, user: UserId) -> f64 {
-        self.values[event.index() * self.num_users + user.index()]
+        self.values[user.index() * self.num_events + event.index()]
+    }
+
+    /// Grows the table by one event (a zero column); values of existing
+    /// pairs are untouched. Costs a full re-stride — acceptable because
+    /// event announcements are rare relative to user arrivals.
+    pub fn push_event(&mut self) {
+        let old_stride = self.num_events;
+        let new_stride = old_stride + 1;
+        let mut values = vec![0.0; self.num_users * new_stride];
+        for row in 0..self.num_users {
+            values[row * new_stride..row * new_stride + old_stride]
+                .copy_from_slice(&self.values[row * old_stride..(row + 1) * old_stride]);
+        }
+        self.values = values;
+        self.num_events = new_stride;
+    }
+
+    /// Grows the table by one user (a zero row appended in place); values
+    /// of existing pairs are untouched. O(|V|) — the serving hot path.
+    pub fn push_user(&mut self) {
+        self.values
+            .extend(std::iter::repeat_n(0.0, self.num_events));
+        self.num_users += 1;
     }
 
     /// Number of events covered by the table.
@@ -186,11 +216,7 @@ mod tests {
     use crate::attrs::AttributeVector;
 
     fn event_with_categories(id: usize, cats: Vec<f64>) -> Event {
-        Event::new(
-            EventId::new(id),
-            10,
-            AttributeVector::from_categories(cats),
-        )
+        Event::new(EventId::new(id), 10, AttributeVector::from_categories(cats))
     }
 
     fn user_with_categories(id: usize, cats: Vec<f64>) -> User {

@@ -76,7 +76,10 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Parse(e) => write!(f, "cannot parse instance snapshot: {e}"),
             SnapshotError::Invalid(e) => write!(f, "invalid instance snapshot: {e}"),
             SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
             }
         }
     }
@@ -93,7 +96,10 @@ impl InstanceSnapshot {
         let events = instance
             .events()
             .iter()
-            .map(|e| EventRecord { capacity: e.capacity, attrs: e.attrs.clone() })
+            .map(|e| EventRecord {
+                capacity: e.capacity,
+                attrs: e.attrs.clone(),
+            })
             .collect();
         let users = instance
             .users()
@@ -107,7 +113,10 @@ impl InstanceSnapshot {
         let mut conflicts = Vec::new();
         for i in 0..instance.num_events() {
             for j in (i + 1)..instance.num_events() {
-                if instance.conflicts().conflicts(EventId::new(i), EventId::new(j)) {
+                if instance
+                    .conflicts()
+                    .conflicts(EventId::new(i), EventId::new(j))
+                {
                     conflicts.push((i as u32, j as u32));
                 }
             }
@@ -230,9 +239,16 @@ mod tests {
 
     fn sample_instance() -> Instance {
         let mut b = Instance::builder();
-        let v0 = b.add_event(2, AttributeVector::from_time(0, 90).with_categories(vec![1.0, 0.0]));
+        let v0 = b.add_event(
+            2,
+            AttributeVector::from_time(0, 90).with_categories(vec![1.0, 0.0]),
+        );
         let v1 = b.add_event(1, AttributeVector::from_time(60, 90));
-        b.add_user(2, AttributeVector::from_categories(vec![0.5, 0.5]), vec![v0, v1]);
+        b.add_user(
+            2,
+            AttributeVector::from_categories(vec![0.5, 0.5]),
+            vec![v0, v1],
+        );
         b.add_user(1, AttributeVector::empty(), vec![v0]);
         b.interaction_scores(vec![0.25, 0.75]);
         b.beta(0.3);
@@ -255,14 +271,20 @@ mod tests {
             assert_eq!(restored.user(user.id).capacity, user.capacity);
             assert!((restored.interaction(user.id) - original.interaction(user.id)).abs() < 1e-12);
             for &v in &user.bids {
-                assert!((restored.interest(v, user.id) - original.interest(v, user.id)).abs() < 1e-12);
+                assert!(
+                    (restored.interest(v, user.id) - original.interest(v, user.id)).abs() < 1e-12
+                );
             }
         }
         for i in 0..original.num_events() {
             for j in 0..original.num_events() {
                 assert_eq!(
-                    restored.conflicts().conflicts(EventId::new(i), EventId::new(j)),
-                    original.conflicts().conflicts(EventId::new(i), EventId::new(j))
+                    restored
+                        .conflicts()
+                        .conflicts(EventId::new(i), EventId::new(j)),
+                    original
+                        .conflicts()
+                        .conflicts(EventId::new(i), EventId::new(j))
                 );
             }
         }
@@ -273,7 +295,10 @@ mod tests {
         let mut snapshot = InstanceSnapshot::capture(&sample_instance());
         snapshot.interaction[0] = 2.5;
         let err = snapshot.restore().unwrap_err();
-        assert!(matches!(err, SnapshotError::Invalid(CoreError::InteractionOutOfRange { .. })));
+        assert!(matches!(
+            err,
+            SnapshotError::Invalid(CoreError::InteractionOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -281,7 +306,10 @@ mod tests {
         let mut snapshot = InstanceSnapshot::capture(&sample_instance());
         snapshot.users[0].bids.push(99);
         let err = snapshot.restore().unwrap_err();
-        assert!(matches!(err, SnapshotError::Invalid(CoreError::UnknownEventInBid { .. })));
+        assert!(matches!(
+            err,
+            SnapshotError::Invalid(CoreError::UnknownEventInBid { .. })
+        ));
     }
 
     #[test]
@@ -317,9 +345,13 @@ mod tests {
     #[test]
     fn arrangement_snapshot_rejects_unknown_entities() {
         let instance = sample_instance();
-        let snap = ArrangementSnapshot { pairs: vec![(9, 0)] };
+        let snap = ArrangementSnapshot {
+            pairs: vec![(9, 0)],
+        };
         assert!(snap.restore(&instance).is_err());
-        let snap = ArrangementSnapshot { pairs: vec![(0, 9)] };
+        let snap = ArrangementSnapshot {
+            pairs: vec![(0, 9)],
+        };
         assert!(snap.restore(&instance).is_err());
     }
 }

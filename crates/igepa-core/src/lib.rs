@@ -52,6 +52,7 @@ pub mod attrs;
 pub mod conflict;
 pub mod contention;
 pub mod csv_io;
+pub mod delta;
 pub mod error;
 pub mod event;
 pub mod ids;
@@ -74,6 +75,7 @@ pub use contention::ContentionStats;
 pub use csv_io::{
     arrangement_from_csv, arrangement_to_csv, instance_from_csv, instance_to_csv, CsvError,
 };
+pub use delta::{CapacityTarget, DeltaEffect, DirtySet, InstanceDelta};
 pub use error::CoreError;
 pub use event::Event;
 pub use ids::{EventId, UserId};

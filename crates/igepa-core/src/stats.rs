@@ -43,19 +43,34 @@ impl InstanceStats {
         let num_events = instance.num_events();
         let num_users = instance.num_users();
         let num_bids = instance.num_bids();
-        let max_bids_per_user = instance.users().iter().map(|u| u.num_bids()).max().unwrap_or(0);
+        let max_bids_per_user = instance
+            .users()
+            .iter()
+            .map(|u| u.num_bids())
+            .max()
+            .unwrap_or(0);
         let mean_bids_per_user = if num_users == 0 {
             0.0
         } else {
             num_bids as f64 / num_users as f64
         };
-        let max_event_capacity = instance.events().iter().map(|e| e.capacity).max().unwrap_or(0);
+        let max_event_capacity = instance
+            .events()
+            .iter()
+            .map(|e| e.capacity)
+            .max()
+            .unwrap_or(0);
         let mean_event_capacity = if num_events == 0 {
             0.0
         } else {
             instance.events().iter().map(|e| e.capacity).sum::<usize>() as f64 / num_events as f64
         };
-        let max_user_capacity = instance.users().iter().map(|u| u.capacity).max().unwrap_or(0);
+        let max_user_capacity = instance
+            .users()
+            .iter()
+            .map(|u| u.capacity)
+            .max()
+            .unwrap_or(0);
         let mean_user_capacity = if num_users == 0 {
             0.0
         } else {
@@ -132,7 +147,11 @@ impl ArrangementStats {
             num_pairs,
             users_served,
             events_used,
-            mean_event_fill: if fill_count == 0 { 0.0 } else { fill_sum / fill_count as f64 },
+            mean_event_fill: if fill_count == 0 {
+                0.0
+            } else {
+                fill_sum / fill_count as f64
+            },
             utility: utility.total,
             interest_sum: utility.interest_sum,
             interaction_sum: utility.interaction_sum,

@@ -75,7 +75,11 @@ impl TravelTimeConflict {
     /// any two located, non-identical venues unreachable back-to-back.
     pub fn new(speed: f64) -> Self {
         TravelTimeConflict {
-            speed: if speed > 0.0 { speed } else { f64::MIN_POSITIVE },
+            speed: if speed > 0.0 {
+                speed
+            } else {
+                f64::MIN_POSITIVE
+            },
         }
     }
 

@@ -25,7 +25,12 @@ pub struct User {
 impl User {
     /// Creates a user with the given bid set. Bids are sorted and
     /// deduplicated so that downstream code can rely on binary search.
-    pub fn new(id: UserId, capacity: usize, attrs: AttributeVector, mut bids: Vec<EventId>) -> Self {
+    pub fn new(
+        id: UserId,
+        capacity: usize,
+        attrs: AttributeVector,
+        mut bids: Vec<EventId>,
+    ) -> Self {
         bids.sort_unstable();
         bids.dedup();
         User {
@@ -57,7 +62,12 @@ mod tests {
             UserId::new(0),
             2,
             AttributeVector::empty(),
-            vec![EventId::new(5), EventId::new(1), EventId::new(5), EventId::new(3)],
+            vec![
+                EventId::new(5),
+                EventId::new(1),
+                EventId::new(5),
+                EventId::new(3),
+            ],
         );
         assert_eq!(
             u.bids,

@@ -55,7 +55,15 @@ fn raw_instance_strategy() -> impl Strategy<Value = RawInstance> {
             0.0f64..=1.0,
         )
             .prop_map(
-                move |(event_capacities, user_capacities, bids, conflicts, interests, interactions, beta)| {
+                move |(
+                    event_capacities,
+                    user_capacities,
+                    bids,
+                    conflicts,
+                    interests,
+                    interactions,
+                    beta,
+                )| {
                     RawInstance {
                         event_capacities,
                         user_capacities,
@@ -92,7 +100,9 @@ fn build(raw: &RawInstance) -> Instance {
         raw.user_capacities.len(),
         raw.interests.clone(),
     );
-    builder.build(&sigma, &interest).expect("valid random instance")
+    builder
+        .build(&sigma, &interest)
+        .expect("valid random instance")
 }
 
 /// Brute-force feasibility check straight from Definition 4.
@@ -105,10 +115,7 @@ fn brute_force_feasible(instance: &Instance, arrangement: &Arrangement) -> bool 
     }
     // Capacity constraints.
     for event in instance.events() {
-        let load = arrangement
-            .pairs()
-            .filter(|&(v, _)| v == event.id)
-            .count();
+        let load = arrangement.pairs().filter(|&(v, _)| v == event.id).count();
         if load > event.capacity {
             return false;
         }
@@ -285,6 +292,8 @@ fn user_id_helpers_are_consistent() {
     let instance = build(&raw);
     assert_eq!(instance.num_events(), 2);
     assert_eq!(instance.num_users(), 2);
-    assert!(instance.conflicts().conflicts(EventId::new(0), EventId::new(1)));
+    assert!(instance
+        .conflicts()
+        .conflicts(EventId::new(0), EventId::new(1)));
     assert_eq!(instance.interaction(UserId::new(1)), 0.6);
 }

@@ -158,15 +158,13 @@ mod tests {
         assert!(descending.is_valid_for(instance.num_users()));
         for w in descending.order.windows(2) {
             assert!(
-                instance.interaction(UserId::new(w[0]))
-                    >= instance.interaction(UserId::new(w[1]))
+                instance.interaction(UserId::new(w[0])) >= instance.interaction(UserId::new(w[1]))
             );
         }
         let ascending = activity_order(&instance, false);
         for w in ascending.order.windows(2) {
             assert!(
-                instance.interaction(UserId::new(w[0]))
-                    <= instance.interaction(UserId::new(w[1]))
+                instance.interaction(UserId::new(w[0])) <= instance.interaction(UserId::new(w[1]))
             );
         }
     }

@@ -19,9 +19,7 @@
 //! * interest is `base + boost` when the event belongs to the user's
 //!   community, `base` otherwise.
 
-use igepa_core::{
-    AttributeVector, Instance, PairSetConflict, TableInterest, UserId,
-};
+use igepa_core::{AttributeVector, Instance, PairSetConflict, TableInterest, UserId};
 use igepa_graph::SocialNetwork;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -341,8 +339,7 @@ mod tests {
         for user in instance.users() {
             for &v in &user.bids {
                 let si = instance.interest(v, user.id);
-                if dataset.event_communities[v.index()]
-                    == dataset.user_communities[user.id.index()]
+                if dataset.event_communities[v.index()] == dataset.user_communities[user.id.index()]
                 {
                     own_sum += si;
                     own_count += 1;

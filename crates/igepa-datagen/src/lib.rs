@@ -30,6 +30,7 @@ pub mod arrival;
 pub mod clustered;
 pub mod meetup;
 pub mod synthetic;
+pub mod trace;
 
 pub use arrival::{activity_order, poisson_arrivals, random_order, ArrivalSequence};
 pub use clustered::{
@@ -39,3 +40,4 @@ pub use meetup::{generate_meetup, generate_meetup_dataset, MeetupConfig, MeetupD
 pub use synthetic::{
     generate_synthetic, generate_synthetic_with_rng, SyntheticConfig, DENSE_NETWORK_USER_LIMIT,
 };
+pub use trace::{generate_trace, generate_trace_with_rng, DeltaTrace, TimedDelta, TraceConfig};

@@ -121,16 +121,15 @@ pub fn generate_meetup_dataset(config: &MeetupConfig, seed: u64) -> MeetupDatase
     let mut event_capacity: Vec<usize> = Vec::with_capacity(config.num_events);
     for _ in 0..config.num_events {
         let start = rng.gen_range(0..config.horizon_minutes.max(1));
-        let duration = rng.gen_range(config.min_duration..=config.max_duration.max(config.min_duration));
+        let duration =
+            rng.gen_range(config.min_duration..=config.max_duration.max(config.min_duration));
         let topic = rng.gen_range(0..config.num_categories.max(1));
         let mut categories = vec![0.0; config.num_categories.max(1)];
         categories[topic] = 1.0;
         // A secondary topic with smaller weight makes interests smoother.
         let secondary = rng.gen_range(0..config.num_categories.max(1));
         categories[secondary] += 0.4;
-        event_attrs.push(
-            AttributeVector::from_time(start, duration).with_categories(categories),
-        );
+        event_attrs.push(AttributeVector::from_time(start, duration).with_categories(categories));
         let capacity = if rng.gen_bool(config.capacity_known_fraction.clamp(0.0, 1.0)) {
             rng.gen_range(10..=config.max_known_capacity.max(10))
         } else {

@@ -171,7 +171,11 @@ pub fn generate_synthetic_with_rng<R: Rng + ?Sized>(
     let mut interest = TableInterest::zeros(config.num_events, config.num_users);
     for (user_index, bids) in user_bids.iter().enumerate() {
         for &event in bids {
-            interest.set(event, igepa_core::UserId::new(user_index), rng.gen_range(0.0..1.0));
+            interest.set(
+                event,
+                igepa_core::UserId::new(user_index),
+                rng.gen_range(0.0..1.0),
+            );
         }
     }
 
@@ -352,7 +356,10 @@ mod tests {
             .map(|i| inst.interaction(igepa_core::UserId::new(i)))
             .sum::<f64>()
             / inst.num_users() as f64;
-        assert!((mean - config.p_friend).abs() < 0.05, "mean interaction {mean}");
+        assert!(
+            (mean - config.p_friend).abs() < 0.05,
+            "mean interaction {mean}"
+        );
     }
 
     #[test]
@@ -401,10 +408,16 @@ mod tests {
     fn binomial_sampler_matches_expectation() {
         let mut rng = StdRng::seed_from_u64(17);
         // Small-n exact path.
-        let small: f64 = (0..2000).map(|_| sample_binomial(10, 0.3, &mut rng) as f64).sum::<f64>() / 2000.0;
+        let small: f64 = (0..2000)
+            .map(|_| sample_binomial(10, 0.3, &mut rng) as f64)
+            .sum::<f64>()
+            / 2000.0;
         assert!((small - 3.0).abs() < 0.2, "{small}");
         // Large-n normal approximation path.
-        let large: f64 = (0..500).map(|_| sample_binomial(5000, 0.5, &mut rng) as f64).sum::<f64>() / 500.0;
+        let large: f64 = (0..500)
+            .map(|_| sample_binomial(5000, 0.5, &mut rng) as f64)
+            .sum::<f64>()
+            / 500.0;
         assert!((large - 2500.0).abs() < 25.0, "{large}");
         assert_eq!(sample_binomial(100, 0.0, &mut rng), 0);
         assert_eq!(sample_binomial(100, 1.0, &mut rng), 100);

@@ -1,0 +1,386 @@
+//! Arrival-process delta traces for the serving engine.
+//!
+//! The batch generators freeze a snapshot of the platform; this module
+//! generates what happens *next*: a timestamped stream of
+//! [`InstanceDelta`]s — users joining and leaving, events being announced,
+//! capacities and bid sets churning — shaped like Meetup-style arrival
+//! processes. Timestamps follow a Poisson process (exponential
+//! inter-arrival times, as in [`crate::arrival`]), and the users touched by
+//! churn deltas rotate through a random arrival order drawn with
+//! [`crate::arrival::random_order`], so socially distinct users are
+//! exercised rather than one hot user.
+//!
+//! Traces are deterministic given `(instance, config, seed)` and serialize
+//! with serde, making them reproducible benchmark artifacts.
+
+use crate::arrival::random_order;
+use igepa_core::{AttributeVector, CapacityTarget, EventId, Instance, InstanceDelta, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Relative frequencies of the delta kinds plus workload shape knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of deltas to generate.
+    pub num_deltas: usize,
+    /// Poisson arrival rate (deltas per abstract time unit).
+    pub arrival_rate: f64,
+    /// Relative weight of `AddUser` deltas.
+    pub weight_add_user: f64,
+    /// Relative weight of `RemoveUser` deltas.
+    pub weight_remove_user: f64,
+    /// Relative weight of `AddEvent` deltas.
+    pub weight_add_event: f64,
+    /// Relative weight of `UpdateCapacity` deltas.
+    pub weight_update_capacity: f64,
+    /// Relative weight of `UpdateBids` deltas.
+    pub weight_update_bids: f64,
+    /// Relative weight of `UpdateInteractionScore` deltas.
+    pub weight_update_interaction: f64,
+    /// Bid-set size of new users / rebids, `1..=max_bids`.
+    pub max_bids: usize,
+    /// Capacity of new users and user-capacity updates, `1..=max_user_capacity`.
+    pub max_user_capacity: usize,
+    /// Capacity of new events and event-capacity updates, `1..=max_event_capacity`.
+    pub max_event_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        // Meetup-flavoured mix: registrations dominate, followed by bid
+        // churn and event announcements; leavers and capacity edits are
+        // comparatively rare.
+        TraceConfig {
+            num_deltas: 1000,
+            arrival_rate: 10.0,
+            weight_add_user: 0.35,
+            weight_remove_user: 0.05,
+            weight_add_event: 0.15,
+            weight_update_capacity: 0.10,
+            weight_update_bids: 0.25,
+            weight_update_interaction: 0.10,
+            max_bids: 5,
+            max_user_capacity: 3,
+            max_event_capacity: 20,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A small trace for tests and examples.
+    pub fn small() -> Self {
+        TraceConfig {
+            num_deltas: 200,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Total of all kind weights.
+    fn total_weight(&self) -> f64 {
+        self.weight_add_user
+            + self.weight_remove_user
+            + self.weight_add_event
+            + self.weight_update_capacity
+            + self.weight_update_bids
+            + self.weight_update_interaction
+    }
+}
+
+/// One timestamped delta of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedDelta {
+    /// Arrival timestamp (abstract time units, non-decreasing).
+    pub at: f64,
+    /// The mutation arriving at that time.
+    pub delta: InstanceDelta,
+}
+
+/// A generated delta trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeltaTrace {
+    /// The timestamped deltas, ordered by arrival time.
+    pub deltas: Vec<TimedDelta>,
+}
+
+impl DeltaTrace {
+    /// Number of deltas in the trace.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Timestamp of the last delta (0.0 for empty traces).
+    pub fn makespan(&self) -> f64 {
+        self.deltas.last().map(|d| d.at).unwrap_or(0.0)
+    }
+
+    /// The bare deltas, without timestamps.
+    pub fn deltas_only(&self) -> Vec<InstanceDelta> {
+        self.deltas.iter().map(|d| d.delta.clone()).collect()
+    }
+}
+
+/// Generates a delta trace against (a snapshot of) `instance`.
+///
+/// The generator tracks the evolving user/event population implied by its
+/// own deltas, so every generated delta is valid when the trace is applied
+/// in order to an engine seeded with `instance`: ids referenced by churn
+/// deltas always exist, removed users are not targeted twice, and bids only
+/// name events that have been announced by that point.
+pub fn generate_trace(instance: &Instance, config: &TraceConfig, seed: u64) -> DeltaTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_trace_with_rng(instance, config, &mut rng)
+}
+
+/// As [`generate_trace`] with a caller-provided generator.
+pub fn generate_trace_with_rng<R: Rng + ?Sized>(
+    instance: &Instance,
+    config: &TraceConfig,
+    rng: &mut R,
+) -> DeltaTrace {
+    let mut num_events = instance.num_events();
+    // Active users rotate through a random arrival order so churn deltas
+    // spread over the population instead of hammering one id.
+    let mut active: Vec<usize> = if instance.num_users() > 0 {
+        random_order(instance.num_users(), rng).order
+    } else {
+        Vec::new()
+    };
+    let mut next_active = 0usize;
+    let mut num_users = instance.num_users();
+
+    let rate = config.arrival_rate.max(f64::MIN_POSITIVE);
+    let total_weight = config.total_weight();
+    let mut clock = 0.0;
+    let mut deltas = Vec::with_capacity(config.num_deltas);
+
+    for _ in 0..config.num_deltas {
+        // Exponential inter-arrival times (Poisson process).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        clock += -u.ln() / rate;
+
+        let mut draws = 0usize;
+        let delta = loop {
+            // Every churn kind needs an active user; if the population is
+            // drained (or the weights only name churn kinds), fall back to
+            // growth instead of redrawing forever.
+            draws += 1;
+            if draws > 16 {
+                break make_add_user(config, num_events, rng);
+            }
+            let pick = if total_weight > 0.0 {
+                rng.gen_range(0.0..total_weight)
+            } else {
+                0.0
+            };
+            let mut acc = config.weight_add_user;
+            if pick < acc || total_weight <= 0.0 {
+                break make_add_user(config, num_events, rng);
+            }
+            acc += config.weight_remove_user;
+            if pick < acc {
+                if let Some(user) = pick_active(&active, &mut next_active) {
+                    // Retire the user and drop them from the rotation.
+                    active.retain(|&x| x != user);
+                    break InstanceDelta::RemoveUser {
+                        user: UserId::new(user),
+                    };
+                }
+                continue;
+            }
+            acc += config.weight_add_event;
+            if pick < acc {
+                num_events += 1;
+                break InstanceDelta::AddEvent {
+                    capacity: rng.gen_range(1..=config.max_event_capacity.max(1)),
+                    attrs: AttributeVector::empty(),
+                };
+            }
+            acc += config.weight_update_capacity;
+            if pick < acc {
+                if rng.gen_bool(0.5) && num_events > 0 {
+                    break InstanceDelta::UpdateCapacity {
+                        target: CapacityTarget::Event(EventId::new(rng.gen_range(0..num_events))),
+                        capacity: rng.gen_range(1..=config.max_event_capacity.max(1)),
+                    };
+                }
+                if let Some(user) = pick_active(&active, &mut next_active) {
+                    break InstanceDelta::UpdateCapacity {
+                        target: CapacityTarget::User(UserId::new(user)),
+                        capacity: rng.gen_range(1..=config.max_user_capacity.max(1)),
+                    };
+                }
+                continue;
+            }
+            acc += config.weight_update_bids;
+            if pick < acc {
+                if let Some(user) = pick_active(&active, &mut next_active) {
+                    break InstanceDelta::UpdateBids {
+                        user: UserId::new(user),
+                        bids: sample_bids(config, num_events, rng),
+                    };
+                }
+                continue;
+            }
+            // UpdateInteractionScore.
+            if let Some(user) = pick_active(&active, &mut next_active) {
+                break InstanceDelta::UpdateInteractionScore {
+                    user: UserId::new(user),
+                    score: rng.gen_range(0.0..1.0),
+                };
+            }
+            continue;
+        };
+
+        // New users join the churn rotation.
+        if matches!(delta, InstanceDelta::AddUser { .. }) {
+            active.push(num_users);
+            num_users += 1;
+        }
+        deltas.push(TimedDelta { at: clock, delta });
+    }
+
+    DeltaTrace { deltas }
+}
+
+fn make_add_user<R: Rng + ?Sized>(
+    config: &TraceConfig,
+    num_events: usize,
+    rng: &mut R,
+) -> InstanceDelta {
+    InstanceDelta::AddUser {
+        capacity: rng.gen_range(1..=config.max_user_capacity.max(1)),
+        attrs: AttributeVector::empty(),
+        bids: sample_bids(config, num_events, rng),
+        interaction: rng.gen_range(0.0..1.0),
+    }
+}
+
+fn sample_bids<R: Rng + ?Sized>(
+    config: &TraceConfig,
+    num_events: usize,
+    rng: &mut R,
+) -> Vec<EventId> {
+    if num_events == 0 {
+        return Vec::new();
+    }
+    let wanted = rng.gen_range(1..=config.max_bids.max(1)).min(num_events);
+    let mut bids: Vec<EventId> = (0..wanted)
+        .map(|_| EventId::new(rng.gen_range(0..num_events)))
+        .collect();
+    bids.sort_unstable();
+    bids.dedup();
+    bids
+}
+
+fn pick_active(active: &[usize], cursor: &mut usize) -> Option<usize> {
+    if active.is_empty() {
+        return None;
+    }
+    let user = active[*cursor % active.len()];
+    *cursor += 1;
+    Some(user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_synthetic, SyntheticConfig};
+    use igepa_core::{ConstantInterest, NeverConflict};
+
+    fn base() -> Instance {
+        generate_synthetic(&SyntheticConfig::tiny(), 7)
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_timestamped() {
+        let instance = base();
+        let config = TraceConfig::small();
+        let a = generate_trace(&instance, &config, 11);
+        let b = generate_trace(&instance, &config, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), config.num_deltas);
+        assert!(!a.is_empty());
+        assert!(a.makespan() > 0.0);
+        assert!(a.deltas.windows(2).all(|w| w[0].at <= w[1].at));
+        let c = generate_trace(&instance, &config, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_delta_applies_cleanly_in_order() {
+        let mut instance = base();
+        let trace = generate_trace(&instance, &TraceConfig::small(), 3);
+        let mut kinds_seen = std::collections::BTreeSet::new();
+        for timed in &trace.deltas {
+            kinds_seen.insert(timed.delta.kind());
+            instance
+                .apply_delta(&timed.delta, &NeverConflict, &ConstantInterest(0.5))
+                .expect("generated deltas must be valid in order");
+        }
+        // The default mix exercises every kind.
+        assert_eq!(kinds_seen.len(), 6, "kinds seen: {kinds_seen:?}");
+    }
+
+    #[test]
+    fn removed_users_are_never_touched_again() {
+        let instance = base();
+        let config = TraceConfig {
+            num_deltas: 500,
+            weight_remove_user: 0.3,
+            ..TraceConfig::default()
+        };
+        let trace = generate_trace(&instance, &config, 5);
+        let mut removed = std::collections::BTreeSet::new();
+        for timed in &trace.deltas {
+            match &timed.delta {
+                InstanceDelta::RemoveUser { user } => {
+                    assert!(removed.insert(*user), "user {user} removed twice");
+                }
+                InstanceDelta::UpdateBids { user, .. }
+                | InstanceDelta::UpdateInteractionScore { user, .. }
+                | InstanceDelta::UpdateCapacity {
+                    target: CapacityTarget::User(user),
+                    ..
+                } => {
+                    assert!(!removed.contains(user), "removed user {user} touched");
+                }
+                _ => {}
+            }
+        }
+        assert!(!removed.is_empty());
+    }
+
+    #[test]
+    fn trace_serializes_roundtrip() {
+        let instance = base();
+        let trace = generate_trace(
+            &instance,
+            &TraceConfig {
+                num_deltas: 20,
+                ..TraceConfig::default()
+            },
+            2,
+        );
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: DeltaTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_population_still_generates_add_deltas() {
+        let instance = Instance::builder().build_trivial().unwrap();
+        let trace = generate_trace(&instance, &TraceConfig::small(), 1);
+        assert_eq!(trace.len(), TraceConfig::small().num_deltas);
+        // With nobody to churn, only additions can occur at the start.
+        assert!(matches!(
+            trace.deltas[0].delta,
+            InstanceDelta::AddUser { .. } | InstanceDelta::AddEvent { .. }
+        ));
+    }
+}

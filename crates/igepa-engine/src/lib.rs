@@ -1,0 +1,89 @@
+//! # igepa-engine — incremental arrangement serving
+//!
+//! Every solver in `igepa-algos` is batch: freeze an
+//! [`Instance`](igepa_core::Instance), produce an
+//! [`Arrangement`](igepa_core::Arrangement). Real event-based social
+//! networks are not batch — users register, events are announced,
+//! capacities change, bid sets churn. This crate turns the reproduction
+//! into a *serving* system: a long-lived in-memory instance that absorbs a
+//! stream of [`InstanceDelta`](igepa_core::InstanceDelta)s and keeps a
+//! feasible, near-optimal arrangement available at all times.
+//!
+//! ## The delta / repair model
+//!
+//! 1. **Deltas** ([`igepa_core::delta`]) mutate the instance in place with
+//!    full validation. The conflict matrix and interest table are patched
+//!    incrementally — σ is evaluated only for new event pairs, `SI` only
+//!    for new bid pairs — never rebuilt.
+//! 2. **Dirty tracking**: each applied delta reports the users and events
+//!    whose constraints or candidate sets changed; the engine folds them
+//!    into a [`igepa_core::DirtySet`].
+//! 3. **Warm-start repair** ([`Engine::apply`]): for small dirty sets the
+//!    engine runs a *greedy patch* — prune assignments made infeasible,
+//!    evict overflow at dirty events, then greedily re-admit the heaviest
+//!    feasible candidate pairs touching the dirty set. When the dirty set
+//!    exceeds [`EngineConfig::escalation_fraction`] of the user base, it
+//!    escalates to a full re-solve through the [`igepa_algos::WarmStart`]
+//!    trait (seeded by the previous arrangement).
+//! 4. **Staleness control**: greedy patching drifts away from what a cold
+//!    solve would produce. Every
+//!    [`EngineConfig::staleness_check_interval`] deltas the engine runs a
+//!    cold solve on the current instance and adopts it when the served
+//!    utility has drifted below `1 − max_staleness` of it. Utility drift
+//!    is therefore *bounded by configuration*, and the cold solve doubles
+//!    as the drift measurement.
+//!
+//! The engine is fully deterministic: solver invocations draw seeds from a
+//! counter, so replaying the same request log from the same initial state
+//! reproduces every intermediate arrangement bit-for-bit.
+//!
+//! ## Requests as data
+//!
+//! [`EngineRequest`] / [`EngineResponse`] form a serde-backed JSON-lines
+//! protocol ([`protocol`]); [`replay`] drives an engine from a recorded
+//! request log and reports per-delta latency plus the utility achieved.
+//! Traces are reproducible artifacts: `igepa-datagen`'s `trace` module
+//! generates Meetup-style arrival-process workloads to feed it.
+//!
+//! ```
+//! use igepa_core::{AttributeVector, EventId, InstanceDelta, Instance,
+//!                  ConstantInterest, NeverConflict};
+//! use igepa_engine::{Engine, EngineConfig};
+//! use igepa_algos::GreedyArrangement;
+//!
+//! let mut b = Instance::builder();
+//! let v = b.add_event(2, AttributeVector::empty());
+//! b.add_user(1, AttributeVector::empty(), vec![v]);
+//! b.interaction_scores(vec![0.4]);
+//! let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+//!
+//! let mut engine = Engine::new(
+//!     instance,
+//!     Box::new(NeverConflict),
+//!     Box::new(ConstantInterest(0.5)),
+//!     Box::new(GreedyArrangement),
+//!     EngineConfig::default(),
+//! );
+//! let outcome = engine.apply(&InstanceDelta::AddUser {
+//!     capacity: 1,
+//!     attrs: AttributeVector::empty(),
+//!     bids: vec![EventId::new(0)],
+//!     interaction: 0.9,
+//! }).unwrap();
+//! assert!(engine.arrangement().is_feasible(engine.instance()));
+//! assert!(outcome.utility > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod protocol;
+pub mod replay;
+
+pub use engine::{ApplyOutcome, Engine, EngineConfig, EngineStats, RepairKind};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, requests_from_jsonl,
+    requests_to_jsonl, EngineQuery, EngineRequest, EngineResponse, ProtocolError,
+};
+pub use replay::{replay, replay_jsonl, LatencySummary, ReplayOutcome, ReplayReport};

@@ -1,0 +1,336 @@
+//! The serde-backed JSON-lines request/response protocol.
+//!
+//! One request per line, one response per request. Keeping the protocol as
+//! plain data makes traces *reproducible artifacts*: a recorded JSONL file
+//! plus the initial instance snapshot fully determines every intermediate
+//! arrangement the engine served (the engine is deterministic).
+
+use crate::engine::{Engine, EngineStats, RepairKind};
+use igepa_core::{EventId, InstanceDelta, UserId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A request to the serving engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineRequest {
+    /// Apply one instance delta and repair.
+    Apply {
+        /// The mutation to apply.
+        delta: InstanceDelta,
+    },
+    /// Apply a burst of deltas with a single repair pass.
+    ApplyBatch {
+        /// The mutations to apply, in order.
+        deltas: Vec<InstanceDelta>,
+    },
+    /// Read-only query against the served state.
+    Query {
+        /// The query to answer.
+        query: EngineQuery,
+    },
+}
+
+/// Read-only queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineQuery {
+    /// Total utility of the served arrangement.
+    Utility,
+    /// Events currently assigned to a user.
+    AssignmentsOf {
+        /// The user to look up.
+        user: UserId,
+    },
+    /// Load and capacity of an event.
+    EventLoad {
+        /// The event to look up.
+        event: EventId,
+    },
+    /// Engine activity counters.
+    Stats,
+}
+
+/// A response from the serving engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineResponse {
+    /// A delta (or batch) was applied.
+    Applied {
+        /// Delta kind (or `"batch"`).
+        kind: String,
+        /// How the arrangement was repaired.
+        repair: RepairKind,
+        /// Utility after repair.
+        utility: f64,
+        /// Pairs served after repair.
+        num_pairs: usize,
+    },
+    /// A delta was rejected by validation; the engine state is unchanged
+    /// (for batches: the prefix before the invalid delta stays applied).
+    Rejected {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// Answer to [`EngineQuery::Utility`].
+    Utility {
+        /// `β · Σ SI + (1 − β) · Σ D`.
+        total: f64,
+        /// Unweighted interest sum.
+        interest_sum: f64,
+        /// Unweighted interaction sum.
+        interaction_sum: f64,
+    },
+    /// Answer to [`EngineQuery::AssignmentsOf`].
+    Assignments {
+        /// The queried user.
+        user: UserId,
+        /// Events assigned to the user, in id order.
+        events: Vec<EventId>,
+    },
+    /// Answer to [`EngineQuery::EventLoad`].
+    EventLoad {
+        /// The queried event.
+        event: EventId,
+        /// Current number of attendees.
+        load: usize,
+        /// Capacity `c_v`.
+        capacity: usize,
+    },
+    /// Answer to [`EngineQuery::Stats`].
+    Stats {
+        /// Engine activity counters.
+        stats: EngineStats,
+    },
+}
+
+/// Error raised when decoding protocol lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// 1-based line number of the offending input, when known.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "protocol error on line {line}: {}", self.message),
+            None => write!(f, "protocol error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Encodes a request as one JSON line (no trailing newline).
+pub fn encode_request(request: &EngineRequest) -> String {
+    serde_json::to_string(request).expect("requests always serialize")
+}
+
+/// Decodes a request from one JSON line.
+pub fn decode_request(line: &str) -> Result<EngineRequest, ProtocolError> {
+    serde_json::from_str(line).map_err(|e| ProtocolError {
+        line: None,
+        message: e.to_string(),
+    })
+}
+
+/// Encodes a response as one JSON line (no trailing newline).
+pub fn encode_response(response: &EngineResponse) -> String {
+    serde_json::to_string(response).expect("responses always serialize")
+}
+
+/// Decodes a response from one JSON line.
+pub fn decode_response(line: &str) -> Result<EngineResponse, ProtocolError> {
+    serde_json::from_str(line).map_err(|e| ProtocolError {
+        line: None,
+        message: e.to_string(),
+    })
+}
+
+/// Serializes a request log to JSONL text (one request per line).
+pub fn requests_to_jsonl(requests: &[EngineRequest]) -> String {
+    let mut out = String::new();
+    for request in requests {
+        out.push_str(&encode_request(request));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL request log. Blank lines and `#`-prefixed comment lines
+/// are skipped.
+pub fn requests_from_jsonl(text: &str) -> Result<Vec<EngineRequest>, ProtocolError> {
+    let mut requests = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let request = decode_request(trimmed).map_err(|mut e| {
+            e.line = Some(idx + 1);
+            e
+        })?;
+        requests.push(request);
+    }
+    Ok(requests)
+}
+
+impl Engine {
+    /// Handles one protocol request, mutating the engine for `Apply` /
+    /// `ApplyBatch` and answering queries read-only.
+    pub fn handle(&mut self, request: &EngineRequest) -> EngineResponse {
+        match request {
+            EngineRequest::Apply { delta } => match self.apply(delta) {
+                Ok(outcome) => EngineResponse::Applied {
+                    kind: outcome.kind,
+                    repair: outcome.repair,
+                    utility: outcome.utility,
+                    num_pairs: outcome.num_pairs,
+                },
+                Err(e) => EngineResponse::Rejected {
+                    reason: e.to_string(),
+                },
+            },
+            EngineRequest::ApplyBatch { deltas } => match self.apply_batch(deltas) {
+                Ok(outcome) => EngineResponse::Applied {
+                    kind: outcome.kind,
+                    repair: outcome.repair,
+                    utility: outcome.utility,
+                    num_pairs: outcome.num_pairs,
+                },
+                Err(e) => EngineResponse::Rejected {
+                    reason: e.to_string(),
+                },
+            },
+            EngineRequest::Query { query } => self.answer(*query),
+        }
+    }
+
+    fn answer(&self, query: EngineQuery) -> EngineResponse {
+        match query {
+            EngineQuery::Utility => {
+                let breakdown = self.arrangement().utility(self.instance());
+                EngineResponse::Utility {
+                    total: breakdown.total,
+                    interest_sum: breakdown.interest_sum,
+                    interaction_sum: breakdown.interaction_sum,
+                }
+            }
+            EngineQuery::AssignmentsOf { user } => {
+                let events = if user.index() < self.instance().num_users() {
+                    self.arrangement().events_of(user).to_vec()
+                } else {
+                    Vec::new()
+                };
+                EngineResponse::Assignments { user, events }
+            }
+            EngineQuery::EventLoad { event } => {
+                let (load, capacity) = if event.index() < self.instance().num_events() {
+                    (
+                        self.arrangement().load_of(event),
+                        self.instance().event(event).capacity,
+                    )
+                } else {
+                    (0, 0)
+                };
+                EngineResponse::EventLoad {
+                    event,
+                    load,
+                    capacity,
+                }
+            }
+            EngineQuery::Stats => EngineResponse::Stats {
+                stats: *self.stats(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igepa_core::AttributeVector;
+
+    #[test]
+    fn requests_roundtrip_through_jsonl() {
+        let requests = vec![
+            EngineRequest::Apply {
+                delta: InstanceDelta::AddEvent {
+                    capacity: 5,
+                    attrs: AttributeVector::from_time(10, 60),
+                },
+            },
+            EngineRequest::ApplyBatch {
+                deltas: vec![
+                    InstanceDelta::RemoveUser {
+                        user: UserId::new(1),
+                    },
+                    InstanceDelta::UpdateInteractionScore {
+                        user: UserId::new(0),
+                        score: 0.75,
+                    },
+                ],
+            },
+            EngineRequest::Query {
+                query: EngineQuery::Utility,
+            },
+            EngineRequest::Query {
+                query: EngineQuery::AssignmentsOf {
+                    user: UserId::new(2),
+                },
+            },
+            EngineRequest::Query {
+                query: EngineQuery::EventLoad {
+                    event: EventId::new(0),
+                },
+            },
+            EngineRequest::Query {
+                query: EngineQuery::Stats,
+            },
+        ];
+        let jsonl = requests_to_jsonl(&requests);
+        assert_eq!(jsonl.lines().count(), requests.len());
+        let back = requests_from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, requests);
+    }
+
+    #[test]
+    fn jsonl_skips_blanks_and_comments() {
+        let text = "\n# a comment\n{\"Query\":{\"query\":\"Utility\"}}\n\n";
+        let requests = requests_from_jsonl(text).unwrap();
+        assert_eq!(requests.len(), 1);
+    }
+
+    #[test]
+    fn decode_errors_carry_line_numbers() {
+        let err =
+            requests_from_jsonl("{\"Query\":{\"query\":\"Utility\"}}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let responses = vec![
+            EngineResponse::Applied {
+                kind: "add_user".to_string(),
+                repair: RepairKind::GreedyPatch {
+                    pruned: 1,
+                    added: 2,
+                },
+                utility: 3.25,
+                num_pairs: 7,
+            },
+            EngineResponse::Rejected {
+                reason: "nope".to_string(),
+            },
+            EngineResponse::Stats {
+                stats: EngineStats::default(),
+            },
+        ];
+        for response in responses {
+            let line = encode_response(&response);
+            assert_eq!(decode_response(&line).unwrap(), response);
+        }
+    }
+}

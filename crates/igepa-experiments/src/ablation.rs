@@ -22,11 +22,13 @@
 use crate::report::{AlgorithmResult, SweepPoint, SweepReport, TableReport};
 use crate::settings::ExperimentSettings;
 use igepa_algos::{
-    run_and_record, ArrangementAlgorithm, GreedyArrangement, Lagrangian, LocalSearch,
-    LpBackend, LpDeterministic, LpPacking, RandomU, RandomV, SimulatedAnnealing, TabuSearch,
+    run_and_record, ArrangementAlgorithm, GreedyArrangement, Lagrangian, LocalSearch, LpBackend,
+    LpDeterministic, LpPacking, RandomU, RandomV, SimulatedAnnealing, TabuSearch,
 };
 use igepa_core::{Instance, InstanceSnapshot};
-use igepa_datagen::{generate_clustered_dataset, generate_synthetic, ClusteredConfig, SyntheticConfig};
+use igepa_datagen::{
+    generate_clustered_dataset, generate_synthetic, ClusteredConfig, SyntheticConfig,
+};
 use igepa_graph::InteractionMeasure;
 
 /// Runs a roster of algorithms on `repetitions` freshly generated instances
@@ -124,7 +126,9 @@ pub fn run_backend_ablation(settings: &ExperimentSettings) -> TableReport {
     let config = settings.scale_config(&SyntheticConfig::paper_default());
     let algorithms: Vec<Box<dyn ArrangementAlgorithm>> = vec![
         Box::new(LpPacking::with_backend(LpBackend::Simplex)),
-        Box::new(LpPacking::with_backend(LpBackend::DualSubgradient { rounds: 1500 })),
+        Box::new(LpPacking::with_backend(LpBackend::DualSubgradient {
+            rounds: 1500,
+        })),
         Box::new(GreedyArrangement),
     ];
     // `name()` is identical for both LP-packing variants, so relabel rows.
@@ -291,7 +295,11 @@ mod tests {
     #[test]
     fn backend_ablation_relabels_the_two_lp_rows() {
         let report = run_backend_ablation(&quick_settings());
-        let names: Vec<&str> = report.results.iter().map(|r| r.algorithm.as_str()).collect();
+        let names: Vec<&str> = report
+            .results
+            .iter()
+            .map(|r| r.algorithm.as_str())
+            .collect();
         assert!(names.contains(&"LP-packing (simplex)"));
         assert!(names.contains(&"LP-packing (dual subgradient)"));
         assert!(names.contains(&"GG"));

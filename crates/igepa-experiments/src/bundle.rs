@@ -75,7 +75,11 @@ mod tests {
         TableReport {
             id: id.to_string(),
             description: "sample".to_string(),
-            results: vec![AlgorithmResult::from_runs("LP-packing", &[1.0, 2.0], &[0.1, 0.2])],
+            results: vec![AlgorithmResult::from_runs(
+                "LP-packing",
+                &[1.0, 2.0],
+                &[0.1, 0.2],
+            )],
         }
     }
 

@@ -126,10 +126,12 @@ pub fn run_figure1(factor: Figure1Factor, settings: &ExperimentSettings) -> Swee
     for (k, value) in factor.sweep_values().into_iter().enumerate() {
         let config = settings.scale_config(&factor.apply(&base, value));
         let seed_offset = settings.base_seed + 1000 * k as u64;
-        let results = settings.compare_on(|rep| {
-            generate_synthetic(&config, seed_offset.wrapping_add(rep as u64))
+        let results = settings
+            .compare_on(|rep| generate_synthetic(&config, seed_offset.wrapping_add(rep as u64)));
+        points.push(SweepPoint {
+            factor_value: value,
+            results,
         });
-        points.push(SweepPoint { factor_value: value, results });
     }
     SweepReport {
         id: factor.id().to_string(),
@@ -158,17 +160,28 @@ mod tests {
             assert_eq!(Figure1Factor::parse(f.id()).unwrap(), f);
         }
         assert_eq!(Figure1Factor::parse("users"), Some(Figure1Factor::NumUsers));
-        assert_eq!(Figure1Factor::parse("pcf"), Some(Figure1Factor::ConflictProbability));
+        assert_eq!(
+            Figure1Factor::parse("pcf"),
+            Some(Figure1Factor::ConflictProbability)
+        );
         assert_eq!(Figure1Factor::parse("nonsense"), None);
     }
 
     #[test]
     fn sweep_centres_include_the_table_one_default() {
         let base = SyntheticConfig::paper_default();
-        assert!(Figure1Factor::NumEvents.sweep_values().contains(&(base.num_events as f64)));
-        assert!(Figure1Factor::NumUsers.sweep_values().contains(&(base.num_users as f64)));
-        assert!(Figure1Factor::ConflictProbability.sweep_values().contains(&base.p_conflict));
-        assert!(Figure1Factor::FriendProbability.sweep_values().contains(&base.p_friend));
+        assert!(Figure1Factor::NumEvents
+            .sweep_values()
+            .contains(&(base.num_events as f64)));
+        assert!(Figure1Factor::NumUsers
+            .sweep_values()
+            .contains(&(base.num_users as f64)));
+        assert!(Figure1Factor::ConflictProbability
+            .sweep_values()
+            .contains(&base.p_conflict));
+        assert!(Figure1Factor::FriendProbability
+            .sweep_values()
+            .contains(&base.p_friend));
         assert!(Figure1Factor::MaxEventCapacity
             .sweep_values()
             .contains(&(base.max_event_capacity as f64)));

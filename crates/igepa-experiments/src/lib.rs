@@ -31,6 +31,7 @@ pub mod online;
 pub mod ratio;
 pub mod report;
 pub mod scalability;
+pub mod serve;
 pub mod settings;
 pub mod shape;
 pub mod tables;
@@ -45,6 +46,7 @@ pub use online::run_online_study;
 pub use ratio::{run_ratio_study, RatioReport, RatioResult};
 pub use report::{AlgorithmResult, SweepPoint, SweepReport, TableReport};
 pub use scalability::{run_scalability, DEFAULT_USER_COUNTS};
+pub use serve::{run_serve_study, serving_engine, ServeReport};
 pub use settings::ExperimentSettings;
 pub use shape::{
     check_sweep, check_table_ordering, check_users_sweep_convergence, ShapeCheck, ShapeReport,

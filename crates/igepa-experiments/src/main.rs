@@ -13,6 +13,7 @@
 //!   clustered              Paper roster on the community-structured workload
 //!   scalability            Runtime vs |U| for LP-packing (both backends) and GG
 //!   online                 Online-arrival study (online greedy / ranking vs offline)
+//!   serve                  Serving study: warm-start engine vs cold re-solve on a delta trace
 //!   all                    Everything above, plus the qualitative shape checks
 //!
 //! Options:
@@ -30,8 +31,8 @@ use igepa_experiments::{
     check_sweep, check_table_ordering, check_users_sweep_convergence, run_all_figure1,
     run_alpha_ablation, run_backend_ablation, run_beta_ablation, run_clustered_table,
     run_extension_ablation, run_figure1, run_interaction_ablation, run_online_study,
-    run_ratio_study, run_scalability, run_table1, run_table2, ExperimentSettings, Figure1Factor,
-    ShapeReport, SweepReport, TableReport,
+    run_ratio_study, run_scalability, run_serve_study, run_table1, run_table2, ExperimentSettings,
+    Figure1Factor, ShapeReport, SweepReport, TableReport,
 };
 use std::path::PathBuf;
 
@@ -91,6 +92,10 @@ fn main() {
         "clustered" => emit_table(run_clustered_table(&settings), &options),
         "scalability" => emit_sweep(run_scalability(&settings), &options),
         "online" => emit_table(run_online_study(&settings), &options),
+        "serve" => {
+            let report = run_serve_study(&settings, options.deltas.unwrap_or(10_000));
+            println!("{}", report.to_markdown());
+        }
         "all" => {
             let mut shape = ShapeReport::default();
 
@@ -122,6 +127,10 @@ fn main() {
             emit_table(run_clustered_table(&settings), &options);
             emit_sweep(run_scalability(&settings), &options);
             emit_table(run_online_study(&settings), &options);
+            println!(
+                "{}",
+                run_serve_study(&settings, options.deltas.unwrap_or(2_000)).to_markdown()
+            );
 
             println!("### Shape checks (qualitative claims of the paper)\n");
             println!("{}", shape.to_markdown());
@@ -149,6 +158,7 @@ struct Options {
     exact_lp: bool,
     factor: Option<String>,
     csv_dir: Option<PathBuf>,
+    deltas: Option<usize>,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -177,6 +187,10 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--csv-dir" => {
                 options.csv_dir = args.get(i + 1).map(PathBuf::from);
+                i += 1;
+            }
+            "--deltas" => {
+                options.deltas = args.get(i + 1).and_then(|v| v.parse().ok());
                 i += 1;
             }
             other => {
@@ -216,7 +230,7 @@ fn write_csv(id: &str, csv: &str, options: &Options) {
 fn print_usage() {
     println!(
         "igepa-experiments — reproduce the tables and figures of the IGEPA paper\n\n\
-         Usage: igepa-experiments <table1|table2|figure1|figure1-all|ratio|ablations|clustered|scalability|online|all> [options]\n\n\
+         Usage: igepa-experiments <table1|table2|figure1|figure1-all|ratio|ablations|clustered|scalability|online|serve|all> [options]\n\n\
          Options:\n\
            --reps <n>       repetitions per configuration (default 10)\n\
            --paper-reps     use the paper's 50 repetitions\n\
@@ -226,6 +240,7 @@ fn print_usage() {
                             event-capacity, user-capacity\n\
            --extensions     also run LocalSearch and Online-Greedy\n\
            --exact-lp       force the exact simplex LP backend\n\
-           --csv-dir <dir>  also write CSV files into <dir>"
+           --csv-dir <dir>  also write CSV files into <dir>\n\
+           --deltas <n>     trace length for `serve` (default 10000)"
     );
 }

@@ -11,8 +11,7 @@
 use crate::report::{AlgorithmResult, TableReport};
 use crate::settings::ExperimentSettings;
 use igepa_algos::{
-    run_and_record, ArrangementAlgorithm, GreedyArrangement, LpPacking, OnlineGreedy,
-    OnlineRanking,
+    run_and_record, ArrangementAlgorithm, GreedyArrangement, LpPacking, OnlineGreedy, OnlineRanking,
 };
 use igepa_core::Instance;
 use igepa_datagen::{activity_order, generate_synthetic, SyntheticConfig};
@@ -106,7 +105,11 @@ mod tests {
         let report = run_online_study(&settings);
         assert_eq!(report.id, "online");
         assert_eq!(report.results.len(), 6);
-        let names: Vec<&str> = report.results.iter().map(|r| r.algorithm.as_str()).collect();
+        let names: Vec<&str> = report
+            .results
+            .iter()
+            .map(|r| r.algorithm.as_str())
+            .collect();
         assert!(names.contains(&"LP-packing"));
         assert!(names.contains(&"Online-Ranking"));
         assert!(names.contains(&"Online-Ranking (most active first)"));

@@ -58,7 +58,10 @@ pub fn run_ratio_study(settings: &ExperimentSettings, num_instances: usize) -> R
     let alphas = [0.5, 1.0];
     let mut results = Vec::new();
     for &alpha in &alphas {
-        let algorithm = LpPacking { alpha, ..LpPacking::default() };
+        let algorithm = LpPacking {
+            alpha,
+            ..LpPacking::default()
+        };
         let mut ratios = Vec::new();
         for k in 0..num_instances.max(1) {
             let instance = generate_synthetic(&config, settings.base_seed + 7 * k as u64);

@@ -85,7 +85,10 @@ impl SweepReport {
             }
         }
         let mut out = String::new();
-        out.push_str(&format!("### {} — utility vs {}\n\n", self.id, self.factor_name));
+        out.push_str(&format!(
+            "### {} — utility vs {}\n\n",
+            self.id, self.factor_name
+        ));
         out.push_str(&format!("| {} |", self.factor_name));
         for a in &algorithms {
             out.push_str(&format!(" {a} |"));
@@ -153,8 +156,9 @@ impl TableReport {
 
     /// Renders the comparison as CSV.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("algorithm,mean_utility,min_utility,max_utility,mean_runtime_seconds,repetitions\n");
+        let mut out = String::from(
+            "algorithm,mean_utility,min_utility,max_utility,mean_runtime_seconds,repetitions\n",
+        );
         for r in &self.results {
             out.push_str(&format!(
                 "{},{:.6},{:.6},{:.6},{:.6},{}\n",

@@ -33,7 +33,9 @@ pub fn run_scalability(settings: &ExperimentSettings) -> SweepReport {
         ),
         (
             "LP-packing (dual subgradient)",
-            Box::new(LpPacking::with_backend(LpBackend::DualSubgradient { rounds: 1500 })),
+            Box::new(LpPacking::with_backend(LpBackend::DualSubgradient {
+                rounds: 1500,
+            })),
         ),
         ("GG", Box::new(GreedyArrangement)),
     ];

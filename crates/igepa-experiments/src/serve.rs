@@ -1,0 +1,208 @@
+//! Serving study (extension): the incremental engine under an arrival
+//! trace.
+//!
+//! The paper solves one frozen instance; a deployed arrangement service
+//! faces a stream of mutations. This scenario generates a Meetup-style
+//! delta trace against a Table I base instance, replays it through the
+//! `igepa-engine` warm-start repair loop, and reports:
+//!
+//! * per-delta latency percentiles of the serving engine;
+//! * the same trace served by *cold re-solving after every delta* (the
+//!   naive baseline), to quantify the speedup;
+//! * the utility ratio of the served arrangement against a cold solve of
+//!   the final instance — the quality price of incremental serving.
+
+use crate::settings::ExperimentSettings;
+use igepa_algos::{ArrangementAlgorithm, GreedyArrangement};
+use igepa_core::{ConstantInterest, Instance, NeverConflict};
+use igepa_datagen::{generate_synthetic, generate_trace, SyntheticConfig, TraceConfig};
+use igepa_engine::{replay, Engine, EngineConfig, EngineRequest, LatencySummary};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Result of the serving study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Deltas replayed.
+    pub num_deltas: usize,
+    /// Users / events of the base instance.
+    pub base_users: usize,
+    /// Events of the base instance.
+    pub base_events: usize,
+    /// Users / events after the full trace.
+    pub final_users: usize,
+    /// Events after the full trace.
+    pub final_events: usize,
+    /// Per-delta latency of the warm-start engine (µs).
+    pub warm_latency: LatencySummary,
+    /// Per-delta latency of the cold re-solve baseline (µs).
+    pub cold_latency: LatencySummary,
+    /// Mean cold latency over mean warm latency (the serving speedup).
+    pub speedup: f64,
+    /// Final served utility relative to a cold solve of the final
+    /// instance.
+    pub utility_ratio: f64,
+    /// Greedy patches run by the engine.
+    pub greedy_patches: u64,
+    /// Full re-solves (escalations) run by the engine.
+    pub full_resolves: u64,
+    /// Staleness-triggered adoptions of a cold solution.
+    pub staleness_resolves: u64,
+}
+
+impl ServeReport {
+    /// Renders the report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("## Serving study: warm-start engine vs cold re-solve\n\n");
+        out.push_str(&format!(
+            "Base instance: {} events x {} users; after {} deltas: {} events x {} users.\n\n",
+            self.base_events, self.base_users, self.num_deltas, self.final_events, self.final_users
+        ));
+        out.push_str("| Strategy | mean (µs) | p50 (µs) | p95 (µs) | p99 (µs) | max (µs) |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        let row = |name: &str, l: &LatencySummary| {
+            format!(
+                "| {name} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+                l.mean_us, l.p50_us, l.p95_us, l.p99_us, l.max_us
+            )
+        };
+        out.push_str(&row("warm-start engine", &self.warm_latency));
+        out.push_str(&row("cold re-solve", &self.cold_latency));
+        out.push_str(&format!(
+            "\nSpeedup (mean cold / mean warm): **{:.1}x**. Final utility: **{:.1}%** of a cold solve of the final instance.\n",
+            self.speedup,
+            self.utility_ratio * 100.0
+        ));
+        out.push_str(&format!(
+            "Repairs: {} greedy patches, {} escalations, {} staleness adoptions.\n",
+            self.greedy_patches, self.full_resolves, self.staleness_resolves
+        ));
+        out
+    }
+}
+
+/// Builds the serving engine used by the study (and by the benches, so the
+/// two measure the same configuration).
+pub fn serving_engine(instance: Instance, seed: u64) -> Engine {
+    Engine::new(
+        instance,
+        Box::new(NeverConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        EngineConfig {
+            seed,
+            staleness_check_interval: 128,
+            max_staleness: 0.05,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Runs the serving study: replays `num_deltas` generated deltas through
+/// the warm engine and through per-delta cold re-solving.
+pub fn run_serve_study(settings: &ExperimentSettings, num_deltas: usize) -> ServeReport {
+    let config = settings.scale_config(&SyntheticConfig::small());
+    let base = generate_synthetic(&config, settings.base_seed);
+    let trace = generate_trace(
+        &base,
+        &TraceConfig {
+            num_deltas,
+            ..TraceConfig::default()
+        },
+        settings.base_seed + 1,
+    );
+    let requests: Vec<EngineRequest> = trace
+        .deltas
+        .iter()
+        .map(|t| EngineRequest::Apply {
+            delta: t.delta.clone(),
+        })
+        .collect();
+
+    // Warm-start serving path.
+    let mut engine = serving_engine(base.clone(), settings.base_seed);
+    let outcome = replay(&mut engine, &requests);
+    assert_eq!(
+        outcome.report.rejected, 0,
+        "generated trace must replay cleanly"
+    );
+    assert!(engine.arrangement().is_feasible(engine.instance()));
+    let utility_ratio = engine.cold_solve_ratio();
+
+    // Cold baseline: apply the same deltas to a bare instance and re-solve
+    // from scratch after every one.
+    let mut cold_instance = base.clone();
+    let solver = GreedyArrangement;
+    let mut cold_latencies = Vec::with_capacity(trace.len());
+    for (i, timed) in trace.deltas.iter().enumerate() {
+        let start = Instant::now();
+        cold_instance
+            .apply_delta(&timed.delta, &NeverConflict, &ConstantInterest(0.5))
+            .expect("trace deltas are valid");
+        let arrangement = solver.run_seeded(&cold_instance, settings.base_seed + i as u64);
+        std::hint::black_box(&arrangement);
+        cold_latencies.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    let cold_latency = LatencySummary::from_latencies(cold_latencies);
+
+    let warm_latency = outcome.report.latency;
+    let stats = *engine.stats();
+    ServeReport {
+        num_deltas,
+        base_users: base.num_users(),
+        base_events: base.num_events(),
+        final_users: engine.instance().num_users(),
+        final_events: engine.instance().num_events(),
+        warm_latency,
+        cold_latency,
+        speedup: if warm_latency.mean_us > 0.0 {
+            cold_latency.mean_us / warm_latency.mean_us
+        } else {
+            f64::INFINITY
+        },
+        utility_ratio,
+        greedy_patches: stats.greedy_patches,
+        full_resolves: stats.full_resolves,
+        staleness_resolves: stats.staleness_resolves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_study_reports_speedup_and_quality() {
+        let settings = ExperimentSettings {
+            scale: 0.5,
+            ..ExperimentSettings::quick()
+        };
+        let report = run_serve_study(&settings, 300);
+        assert_eq!(report.num_deltas, 300);
+        assert!(report.final_users >= report.base_users);
+        assert!(
+            report.utility_ratio >= 0.95,
+            "utility ratio {} below the acceptance bar",
+            report.utility_ratio
+        );
+        assert!(
+            report.speedup > 1.0,
+            "warm serving ({} µs) not faster than cold re-solve ({} µs)",
+            report.warm_latency.mean_us,
+            report.cold_latency.mean_us
+        );
+        let md = report.to_markdown();
+        assert!(md.contains("Serving study"));
+        assert!(md.contains("Speedup"));
+    }
+
+    #[test]
+    fn serve_report_serializes() {
+        let settings = ExperimentSettings::quick();
+        let report = run_serve_study(&settings, 50);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

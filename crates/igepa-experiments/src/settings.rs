@@ -43,7 +43,10 @@ impl Default for ExperimentSettings {
 impl ExperimentSettings {
     /// Paper-faithful settings: 50 repetitions at full scale.
     pub fn paper() -> Self {
-        ExperimentSettings { repetitions: 50, ..Self::default() }
+        ExperimentSettings {
+            repetitions: 50,
+            ..Self::default()
+        }
     }
 
     /// Quick settings for tests and benches: scaled-down workloads and few
@@ -74,7 +77,10 @@ impl ExperimentSettings {
     /// value the paper uses empirically.
     pub fn algorithms(&self) -> Vec<Box<dyn ArrangementAlgorithm>> {
         let mut algorithms: Vec<Box<dyn ArrangementAlgorithm>> = vec![
-            Box::new(LpPacking { backend: self.lp_backend, ..LpPacking::default() }),
+            Box::new(LpPacking {
+                backend: self.lp_backend,
+                ..LpPacking::default()
+            }),
             Box::new(GreedyArrangement),
             Box::new(RandomU),
             Box::new(RandomV),
@@ -101,8 +107,11 @@ impl ExperimentSettings {
         for rep in 0..self.repetitions.max(1) {
             let instance = make_instance(rep);
             for (i, algorithm) in algorithms.iter().enumerate() {
-                let record =
-                    igepa_algos::run_and_record(algorithm.as_ref(), &instance, self.base_seed + rep as u64);
+                let record = igepa_algos::run_and_record(
+                    algorithm.as_ref(),
+                    &instance,
+                    self.base_seed + rep as u64,
+                );
                 assert!(
                     record.feasible,
                     "{} produced an infeasible arrangement",
@@ -115,7 +124,9 @@ impl ExperimentSettings {
         algorithms
             .iter()
             .enumerate()
-            .map(|(i, a)| crate::report::AlgorithmResult::from_runs(a.name(), &utilities[i], &runtimes[i]))
+            .map(|(i, a)| {
+                crate::report::AlgorithmResult::from_runs(a.name(), &utilities[i], &runtimes[i])
+            })
             .collect()
     }
 }

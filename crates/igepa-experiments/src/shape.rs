@@ -103,7 +103,11 @@ pub fn check_table_ordering(report: &TableReport, tolerance: f64) -> Vec<ShapeCh
 }
 
 /// C1 at every point of a sweep, plus C3 monotonicity when requested.
-pub fn check_sweep(report: &SweepReport, expect_monotone_lp: bool, tolerance: f64) -> Vec<ShapeCheck> {
+pub fn check_sweep(
+    report: &SweepReport,
+    expect_monotone_lp: bool,
+    tolerance: f64,
+) -> Vec<ShapeCheck> {
     let mut checks = Vec::new();
     let mut lp_series: Vec<(f64, f64)> = Vec::new();
     let mut leads_everywhere = true;
@@ -126,7 +130,10 @@ pub fn check_sweep(report: &SweepReport, expect_monotone_lp: bool, tolerance: f6
             claim: "C1: LP-packing leads at every sweep point".to_string(),
             report: report.id.clone(),
             passed: leads_everywhere,
-            evidence: format!("worst LP/GG ratio {worst_gap:.3} over {} points", lp_series.len()),
+            evidence: format!(
+                "worst LP/GG ratio {worst_gap:.3} over {} points",
+                lp_series.len()
+            ),
         });
     }
     if expect_monotone_lp && lp_series.len() >= 2 {

@@ -8,9 +8,8 @@ use igepa_datagen::{generate_meetup, generate_synthetic, MeetupConfig, Synthetic
 /// Runs the four algorithms on the Table I default synthetic setting.
 pub fn run_table1(settings: &ExperimentSettings) -> TableReport {
     let config = settings.scale_config(&SyntheticConfig::paper_default());
-    let results = settings.compare_on(|rep| {
-        generate_synthetic(&config, settings.base_seed.wrapping_add(rep as u64))
-    });
+    let results = settings
+        .compare_on(|rep| generate_synthetic(&config, settings.base_seed.wrapping_add(rep as u64)));
     TableReport {
         id: "table1".to_string(),
         description: format!(
@@ -38,9 +37,8 @@ pub fn run_table2(settings: &ExperimentSettings) -> TableReport {
         config.num_events = ((config.num_events as f64 * settings.scale).round() as usize).max(5);
         config.num_users = ((config.num_users as f64 * settings.scale).round() as usize).max(20);
     }
-    let results = settings.compare_on(|rep| {
-        generate_meetup(&config, settings.base_seed.wrapping_add(rep as u64))
-    });
+    let results = settings
+        .compare_on(|rep| generate_meetup(&config, settings.base_seed.wrapping_add(rep as u64)));
     TableReport {
         id: "table2".to_string(),
         description: format!(
@@ -75,7 +73,11 @@ mod tests {
     fn table1_report_has_the_paper_roster() {
         let report = run_table1(&quick());
         assert_eq!(report.id, "table1");
-        let names: Vec<&str> = report.results.iter().map(|r| r.algorithm.as_str()).collect();
+        let names: Vec<&str> = report
+            .results
+            .iter()
+            .map(|r| r.algorithm.as_str())
+            .collect();
         assert_eq!(names, vec!["LP-packing", "GG", "Random-U", "Random-V"]);
         assert!(report.to_markdown().contains("LP-packing"));
     }

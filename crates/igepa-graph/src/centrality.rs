@@ -144,11 +144,9 @@ pub fn pagerank(g: &SocialNetwork, config: &PageRankConfig) -> Vec<f64> {
     let degrees: Vec<usize> = (0..n).map(|u| g.degree(u)).collect();
 
     for _ in 0..config.max_iterations {
-        let dangling_mass: f64 = (0..n)
-            .filter(|&u| degrees[u] == 0)
-            .map(|u| rank[u])
-            .sum();
-        let mut next = vec![(1.0 - config.damping) * uniform + config.damping * dangling_mass * uniform; n];
+        let dangling_mass: f64 = (0..n).filter(|&u| degrees[u] == 0).map(|u| rank[u]).sum();
+        let mut next =
+            vec![(1.0 - config.damping) * uniform + config.damping * dangling_mass * uniform; n];
         for u in 0..n {
             if degrees[u] == 0 {
                 continue;
@@ -173,7 +171,11 @@ pub fn pagerank(g: &SocialNetwork, config: &PageRankConfig) -> Vec<f64> {
 
 /// Eigenvector centrality by power iteration, normalised so the largest
 /// score is 1. Vertices in components without edges score 0.
-pub fn eigenvector_centrality(g: &SocialNetwork, max_iterations: usize, tolerance: f64) -> Vec<f64> {
+pub fn eigenvector_centrality(
+    g: &SocialNetwork,
+    max_iterations: usize,
+    tolerance: f64,
+) -> Vec<f64> {
     let n = g.num_users();
     if n == 0 {
         return Vec::new();
@@ -199,11 +201,7 @@ pub fn eigenvector_centrality(g: &SocialNetwork, max_iterations: usize, toleranc
         for v in &mut next {
             *v /= norm;
         }
-        let diff: f64 = x
-            .iter()
-            .zip(next.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f64 = x.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
         x = next;
         if diff < tolerance {
             break;

@@ -200,7 +200,10 @@ mod tests {
         let expected = p * (n * (n - 1) / 2) as f64;
         let actual = g.num_edges() as f64;
         // Loose 3-sigma-ish bound; deterministic because the seed is fixed.
-        assert!((actual - expected).abs() < 0.25 * expected, "{actual} vs {expected}");
+        assert!(
+            (actual - expected).abs() < 0.25 * expected,
+            "{actual} vs {expected}"
+        );
     }
 
     #[test]
@@ -216,7 +219,7 @@ mod tests {
         let m = 3;
         let g = barabasi_albert(n, m, &mut rng(3));
         // seed clique of m+1 nodes + ~m edges per subsequent node
-        let min_expected = (n - (m + 1)) * 1 + m * (m + 1) / 2;
+        let min_expected = (n - (m + 1)) + m * (m + 1) / 2;
         assert!(g.num_edges() >= min_expected);
         assert!(g.num_edges() <= m * n + m * (m + 1) / 2);
         // Every late node has degree >= 1.
@@ -247,7 +250,11 @@ mod tests {
     fn watts_strogatz_rewiring_preserves_edge_count_roughly() {
         let g = watts_strogatz(50, 4, 0.3, &mut rng(11));
         // Rewiring can occasionally fall back or collide, so allow slack.
-        assert!(g.num_edges() >= 80 && g.num_edges() <= 100, "{}", g.num_edges());
+        assert!(
+            g.num_edges() >= 80 && g.num_edges() <= 100,
+            "{}",
+            g.num_edges()
+        );
     }
 
     #[test]

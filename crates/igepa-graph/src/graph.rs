@@ -121,7 +121,10 @@ impl SocialNetwork {
             return vec![0.0; n];
         }
         let denom = (n - 1) as f64;
-        self.adjacency.iter().map(|nbrs| nbrs.len() as f64 / denom).collect()
+        self.adjacency
+            .iter()
+            .map(|nbrs| nbrs.len() as f64 / denom)
+            .collect()
     }
 
     /// Degree of potential interaction of a single user.
@@ -204,9 +207,17 @@ mod tests {
 
     #[test]
     fn interaction_degree_of_tiny_networks_is_zero() {
-        assert!(SocialNetwork::new(0).degrees_of_potential_interaction().is_empty());
-        assert_eq!(SocialNetwork::new(1).degrees_of_potential_interaction(), vec![0.0]);
-        assert_eq!(SocialNetwork::new(1).degree_of_potential_interaction(0), 0.0);
+        assert!(SocialNetwork::new(0)
+            .degrees_of_potential_interaction()
+            .is_empty());
+        assert_eq!(
+            SocialNetwork::new(1).degrees_of_potential_interaction(),
+            vec![0.0]
+        );
+        assert_eq!(
+            SocialNetwork::new(1).degree_of_potential_interaction(0),
+            0.0
+        );
     }
 
     #[test]

@@ -15,9 +15,10 @@ use crate::graph::SocialNetwork;
 use serde::{Deserialize, Serialize};
 
 /// Which social-network statistic is used as the interaction score.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum InteractionMeasure {
     /// `deg(u) / (|U| − 1)` — the paper's Definition 6 (the default).
+    #[default]
     Degree,
     /// Harmonic closeness centrality.
     Closeness,
@@ -69,20 +70,12 @@ impl InteractionMeasure {
         match self {
             InteractionMeasure::Degree => degree_centrality(g),
             InteractionMeasure::Closeness => closeness_centrality(g),
-            InteractionMeasure::PageRank => {
-                rescale_by_max(pagerank(g, &PageRankConfig::default()))
-            }
+            InteractionMeasure::PageRank => rescale_by_max(pagerank(g, &PageRankConfig::default())),
             InteractionMeasure::Eigenvector => eigenvector_centrality(g, 200, 1e-10),
             InteractionMeasure::CoreNumber => {
                 rescale_by_max(core_numbers(g).into_iter().map(|c| c as f64).collect())
             }
         }
-    }
-}
-
-impl Default for InteractionMeasure {
-    fn default() -> Self {
-        InteractionMeasure::Degree
     }
 }
 

@@ -61,9 +61,7 @@ pub fn eccentricity(g: &SocialNetwork, source: usize) -> Option<usize> {
 /// it is intended for the instance sizes of the paper's evaluation
 /// (thousands of users), not for web-scale graphs.
 pub fn diameter(g: &SocialNetwork) -> Option<usize> {
-    (0..g.num_users())
-        .filter_map(|u| eccentricity(g, u))
-        .max()
+    (0..g.num_users()).filter_map(|u| eccentricity(g, u)).max()
 }
 
 /// Average shortest-path length over all ordered reachable pairs `(u, w)`,

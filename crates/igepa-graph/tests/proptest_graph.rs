@@ -19,7 +19,10 @@ fn check_invariants(g: &SocialNetwork) {
     // No self-loops, symmetric adjacency, sorted neighbour lists.
     for u in 0..n {
         let nbrs = g.neighbors(u);
-        assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicate neighbours");
+        assert!(
+            nbrs.windows(2).all(|w| w[0] < w[1]),
+            "unsorted/duplicate neighbours"
+        );
         for &v in nbrs {
             assert_ne!(u, v as usize, "self loop at {u}");
             assert!(g.has_edge(v as usize, u), "asymmetric edge {u}-{v}");

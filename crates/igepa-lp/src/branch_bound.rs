@@ -74,7 +74,10 @@ impl BranchBoundSolver {
     /// Solves the integer program to optimality (or to the node limit).
     pub fn solve(&self, ip: &IntegerProgram) -> Result<IlpSolution, LpError> {
         let root_bound = f64::INFINITY;
-        let mut stack = vec![Node { overrides: Vec::new(), bound: root_bound }];
+        let mut stack = vec![Node {
+            overrides: Vec::new(),
+            bound: root_bound,
+        }];
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
         let mut best_bound_seen = f64::NEG_INFINITY;
         let mut nodes_explored = 0usize;
@@ -168,8 +171,14 @@ impl BranchBoundSolver {
                     let mut up = node.overrides.clone();
                     up.push((var, ceil, ip.lp.upper_bound(var)));
                     // Depth-first, exploring the up branch first (greedy).
-                    stack.push(Node { overrides: down, bound: relaxation.objective });
-                    stack.push(Node { overrides: up, bound: relaxation.objective });
+                    stack.push(Node {
+                        overrides: down,
+                        bound: relaxation.objective,
+                    });
+                    stack.push(Node {
+                        overrides: up,
+                        bound: relaxation.objective,
+                    });
                 }
             }
         }
@@ -189,9 +198,9 @@ impl BranchBoundSolver {
             }),
             // No integral point was found. If the search ran to completion the
             // program is infeasible; if it was cut short, say so instead.
-            None if nodes_explored >= self.max_nodes => {
-                Err(LpError::IterationLimit { limit: self.max_nodes })
-            }
+            None if nodes_explored >= self.max_nodes => Err(LpError::IterationLimit {
+                limit: self.max_nodes,
+            }),
             None => Err(LpError::Infeasible),
         }
     }
@@ -204,11 +213,8 @@ mod tests {
     fn knapsack(profits: &[f64], weights: &[f64], capacity: f64) -> IntegerProgram {
         let mut lp = LinearProgram::new();
         let vars: Vec<usize> = profits.iter().map(|&p| lp.add_var(p, 1.0)).collect();
-        lp.add_le_constraint(
-            vars.iter().zip(weights).map(|(&v, &w)| (v, w)),
-            capacity,
-        )
-        .unwrap();
+        lp.add_le_constraint(vars.iter().zip(weights).map(|(&v, &w)| (v, w)), capacity)
+            .unwrap();
         IntegerProgram::all_integer(lp)
     }
 
@@ -269,7 +275,8 @@ mod tests {
             ids.push((a, b));
         }
         // The "premium" set of every user shares an event with capacity 2.
-        lp.add_le_constraint(ids.iter().map(|&(a, _)| (a, 1.0)), 2.0).unwrap();
+        lp.add_le_constraint(ids.iter().map(|&(a, _)| (a, 1.0)), 2.0)
+            .unwrap();
         let sol = BranchBoundSolver::default()
             .solve(&IntegerProgram::all_integer(lp))
             .unwrap();
@@ -300,7 +307,10 @@ mod tests {
             &[5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 2.0],
             9.0,
         );
-        let solver = BranchBoundSolver { max_nodes: 1, ..Default::default() };
+        let solver = BranchBoundSolver {
+            max_nodes: 1,
+            ..Default::default()
+        };
         match solver.solve(&ip) {
             // Either the single root node already produced an integral
             // incumbent, or the limit error is reported; both are acceptable.

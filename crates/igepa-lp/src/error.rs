@@ -33,7 +33,10 @@ impl fmt::Display for LpError {
         match self {
             LpError::Infeasible => write!(f, "the linear program is infeasible"),
             LpError::Unbounded => write!(f, "the linear program is unbounded"),
-            LpError::UnknownVariable { variable, num_variables } => write!(
+            LpError::UnknownVariable {
+                variable,
+                num_variables,
+            } => write!(
                 f,
                 "variable index {variable} is out of range (program has {num_variables} variables)"
             ),
@@ -56,10 +59,15 @@ mod tests {
     fn display_messages_are_informative() {
         assert!(LpError::Infeasible.to_string().contains("infeasible"));
         assert!(LpError::Unbounded.to_string().contains("unbounded"));
-        assert!(LpError::IterationLimit { limit: 10 }.to_string().contains("10"));
-        assert!(LpError::UnknownVariable { variable: 5, num_variables: 2 }
+        assert!(LpError::IterationLimit { limit: 10 }
             .to_string()
-            .contains('5'));
+            .contains("10"));
+        assert!(LpError::UnknownVariable {
+            variable: 5,
+            num_variables: 2
+        }
+        .to_string()
+        .contains('5'));
     }
 
     #[test]

@@ -323,7 +323,8 @@ mod tests {
 
     #[test]
     fn unsupported_bound_types_are_rejected() {
-        let text = "ROWS\n N  OBJ\n L  R0\nCOLUMNS\n    X0  R0  1\nBOUNDS\n MI BND  X0  0\nENDATA\n";
+        let text =
+            "ROWS\n N  OBJ\n L  R0\nCOLUMNS\n    X0  R0  1\nBOUNDS\n MI BND  X0  0\nENDATA\n";
         assert!(matches!(from_mps(text), Err(LpError::InvalidModel(_))));
     }
 

@@ -313,14 +313,26 @@ mod tests {
         let mut p = BlockPackingProblem::new(vec![1.0]);
         p.add_block(PackingBlock {
             columns: vec![
-                PackingColumn { profit: 2.0, usage: vec![(0, 1.0)] },
-                PackingColumn { profit: 1.0, usage: vec![] },
+                PackingColumn {
+                    profit: 2.0,
+                    usage: vec![(0, 1.0)],
+                },
+                PackingColumn {
+                    profit: 1.0,
+                    usage: vec![],
+                },
             ],
         });
         p.add_block(PackingBlock {
             columns: vec![
-                PackingColumn { profit: 2.0, usage: vec![(0, 1.0)] },
-                PackingColumn { profit: 1.0, usage: vec![] },
+                PackingColumn {
+                    profit: 2.0,
+                    usage: vec![(0, 1.0)],
+                },
+                PackingColumn {
+                    profit: 1.0,
+                    usage: vec![],
+                },
             ],
         });
         p
@@ -332,7 +344,10 @@ mod tests {
         assert!(p.validate().is_err());
         p.capacities = vec![1.0];
         p.add_block(PackingBlock {
-            columns: vec![PackingColumn { profit: -1.0, usage: vec![] }],
+            columns: vec![PackingColumn {
+                profit: -1.0,
+                usage: vec![],
+            }],
         });
         assert!(p.validate().is_err());
         p.blocks[0].columns[0].profit = 1.0;
@@ -368,8 +383,14 @@ mod tests {
         let mut p = BlockPackingProblem::new(vec![10.0]);
         p.add_block(PackingBlock {
             columns: vec![
-                PackingColumn { profit: 1.0, usage: vec![(0, 1.0)] },
-                PackingColumn { profit: 3.0, usage: vec![(0, 1.0)] },
+                PackingColumn {
+                    profit: 1.0,
+                    usage: vec![(0, 1.0)],
+                },
+                PackingColumn {
+                    profit: 3.0,
+                    usage: vec![(0, 1.0)],
+                },
             ],
         });
         let s = BlockPackingSolver::with_rounds(200).solve(&p).unwrap();
@@ -382,7 +403,10 @@ mod tests {
     fn zero_profit_columns_are_never_taken() {
         let mut p = BlockPackingProblem::new(vec![1.0]);
         p.add_block(PackingBlock {
-            columns: vec![PackingColumn { profit: 0.0, usage: vec![(0, 1.0)] }],
+            columns: vec![PackingColumn {
+                profit: 0.0,
+                usage: vec![(0, 1.0)],
+            }],
         });
         let s = BlockPackingSolver::with_rounds(100).solve(&p).unwrap();
         assert_eq!(s.objective, 0.0);
@@ -395,7 +419,10 @@ mod tests {
         let mut p = BlockPackingProblem::new(vec![1.0]);
         for _ in 0..10 {
             p.add_block(PackingBlock {
-                columns: vec![PackingColumn { profit: 1.0, usage: vec![(0, 1.0)] }],
+                columns: vec![PackingColumn {
+                    profit: 1.0,
+                    usage: vec![(0, 1.0)],
+                }],
             });
         }
         let s = BlockPackingSolver::with_rounds(1500).solve(&p).unwrap();
@@ -427,7 +454,10 @@ mod tests {
                             .filter(|_| rng.gen_bool(0.6))
                             .map(|r| (r, 1.0))
                             .collect();
-                        PackingColumn { profit: rng.gen_range(0.1..2.0), usage }
+                        PackingColumn {
+                            profit: rng.gen_range(0.1..2.0),
+                            usage,
+                        }
                     })
                     .collect();
                 p.add_block(PackingBlock { columns });
@@ -442,7 +472,8 @@ mod tests {
                     .iter()
                     .map(|c| lp.add_var(c.profit, 1.0))
                     .collect();
-                lp.add_le_constraint(ids.iter().map(|&v| (v, 1.0)), 1.0).unwrap();
+                lp.add_le_constraint(ids.iter().map(|&v| (v, 1.0)), 1.0)
+                    .unwrap();
                 var_ids.push(ids);
             }
             for (row, &cap) in capacities.iter().enumerate() {

@@ -293,7 +293,10 @@ pub fn presolve(lp: &LinearProgram) -> Result<PresolvedLp, LpError> {
     let fixed: Vec<(VarId, f64)> = (0..n)
         .filter_map(|v| fixed_value[v].map(|value| (v, value)))
         .collect();
-    let objective_offset: f64 = fixed.iter().map(|&(v, value)| lp.objective(v) * value).sum();
+    let objective_offset: f64 = fixed
+        .iter()
+        .map(|&(v, value)| lp.objective(v) * value)
+        .sum();
 
     Ok(PresolvedLp {
         reduced,
@@ -307,7 +310,10 @@ pub fn presolve(lp: &LinearProgram) -> Result<PresolvedLp, LpError> {
 
 /// Presolves, solves the reduced program with the given simplex, and maps
 /// the solution back to the original variable space.
-pub fn presolve_and_solve(lp: &LinearProgram, solver: &SimplexSolver) -> Result<LpSolution, LpError> {
+pub fn presolve_and_solve(
+    lp: &LinearProgram,
+    solver: &SimplexSolver,
+) -> Result<LpSolution, LpError> {
     let presolved = presolve(lp)?;
     if presolved.reduced.num_vars() == 0 {
         let values = presolved.restore(&[]);
@@ -362,7 +368,10 @@ mod tests {
         let lp = knapsack_like();
         let presolved = presolve(&lp).unwrap();
         // z has zero objective and only non-negative coefficients → fixed.
-        assert!(presolved.fixed.iter().any(|&(v, value)| v == 2 && value == 0.0));
+        assert!(presolved
+            .fixed
+            .iter()
+            .any(|&(v, value)| v == 2 && value == 0.0));
         assert!(presolved.stats.fixed_at_zero >= 1);
     }
 
@@ -489,7 +498,8 @@ mod tests {
             // Ensure boundedness: give every infinite-bound variable a row.
             for v in 0..num_vars {
                 if lp.upper_bound(v).is_infinite() {
-                    lp.add_le_constraint([(v, 1.0)], rng.gen_range(1.0..6.0)).unwrap();
+                    lp.add_le_constraint([(v, 1.0)], rng.gen_range(1.0..6.0))
+                        .unwrap();
                 }
             }
             let direct = SimplexSolver::default().solve(&lp).unwrap();

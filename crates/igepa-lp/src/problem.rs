@@ -124,11 +124,7 @@ impl LinearProgram {
 
     /// Evaluates the objective at a point.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .zip(x)
-            .map(|(c, v)| c * v)
-            .sum()
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
     }
 
     /// Checks whether `x` satisfies every constraint and bound within `tol`.

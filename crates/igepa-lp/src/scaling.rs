@@ -159,7 +159,8 @@ mod tests {
         let x = lp.add_var(1.0, f64::INFINITY);
         let y = lp.add_var(1000.0, f64::INFINITY);
         lp.add_le_constraint([(x, 0.001), (y, 0.1)], 0.05).unwrap();
-        lp.add_le_constraint([(x, 1000.0), (y, 100_000.0)], 200_000.0).unwrap();
+        lp.add_le_constraint([(x, 1000.0), (y, 100_000.0)], 200_000.0)
+            .unwrap();
         lp
     }
 
@@ -200,7 +201,11 @@ mod tests {
         lp.add_le_constraint([(x, 1.0), (y, 1.0)], 1.5).unwrap();
         let scaled = equilibrate(&lp, 2);
         assert!((scaled.scaled_spread() - 1.0).abs() < 1e-9);
-        for &f in scaled.column_factors.iter().chain(scaled.row_factors.iter()) {
+        for &f in scaled
+            .column_factors
+            .iter()
+            .chain(scaled.row_factors.iter())
+        {
             assert!((f - 1.0).abs() < 1e-9);
         }
     }
@@ -236,7 +241,8 @@ mod tests {
                 let coefficients: Vec<(usize, f64)> = (0..num_vars)
                     .map(|v| (v, rng.gen_range(0.01..100.0)))
                     .collect();
-                lp.add_le_constraint(coefficients, rng.gen_range(1.0..50.0)).unwrap();
+                lp.add_le_constraint(coefficients, rng.gen_range(1.0..50.0))
+                    .unwrap();
             }
             let direct = SimplexSolver::default().solve(&lp).unwrap();
             let scaled = equilibrate(&lp, 3);

@@ -102,7 +102,7 @@ impl Tableau {
         // The slack of a sign-flipped row has coefficient −1 (because
         // `A·x ≤ b` became `−A·x ≥ −b`, i.e. `−A·x − s = −b` with `s ≥ 0`).
         let mut upper: Vec<f64> = lp.upper_bounds().to_vec();
-        upper.extend(std::iter::repeat(f64::INFINITY).take(m));
+        upper.extend(std::iter::repeat_n(f64::INFINITY, m));
 
         let mut status = vec![VarStatus::AtLower; n + m];
         let mut basis = Vec::with_capacity(m);
@@ -120,8 +120,8 @@ impl Tableau {
         }
         let artificial_start = n + m;
         let total_vars = artificial_start + artificials.len();
-        upper.extend(std::iter::repeat(f64::INFINITY).take(artificials.len()));
-        status.extend(std::iter::repeat(VarStatus::AtLower).take(artificials.len()));
+        upper.extend(std::iter::repeat_n(f64::INFINITY, artificials.len()));
+        status.extend(std::iter::repeat_n(VarStatus::AtLower, artificials.len()));
         for (k, &row) in artificials.iter().enumerate() {
             basis[row] = artificial_start + k;
         }
@@ -444,9 +444,7 @@ impl SimplexSolver {
         let obj: Vec<f64> = lp.objective_vector().to_vec();
         let m = tableau.m;
         let n = lp.num_vars();
-        let limit = self
-            .max_iterations
-            .unwrap_or_else(|| 200 + 50 * (m + n));
+        let limit = self.max_iterations.unwrap_or_else(|| 200 + 50 * (m + n));
 
         let mut iterations = 0usize;
         let mut scratch = Vec::new();
@@ -524,7 +522,8 @@ mod tests {
         let y = lp.add_var(5.0, f64::INFINITY);
         lp.add_le_constraint(vec![(x, 1.0)], 4.0).unwrap();
         lp.add_le_constraint(vec![(y, 2.0)], 12.0).unwrap();
-        lp.add_le_constraint(vec![(x, 3.0), (y, 2.0)], 18.0).unwrap();
+        lp.add_le_constraint(vec![(x, 3.0), (y, 2.0)], 18.0)
+            .unwrap();
         let s = solve(&lp);
         assert!((s.objective - 36.0).abs() < 1e-6);
         assert!((s.values[0] - 2.0).abs() < 1e-6);
@@ -559,7 +558,8 @@ mod tests {
         let mut lp = LinearProgram::new();
         let x = lp.add_var(1.0, f64::INFINITY);
         let y = lp.add_var(0.0, f64::INFINITY);
-        lp.add_le_constraint(vec![(x, -1.0), (y, 1.0)], 5.0).unwrap();
+        lp.add_le_constraint(vec![(x, -1.0), (y, 1.0)], 5.0)
+            .unwrap();
         let err = SimplexSolver::default().solve(&lp).unwrap_err();
         assert_eq!(err, LpError::Unbounded);
     }
@@ -581,7 +581,8 @@ mod tests {
         let x = lp.add_var(1.0, 3.0);
         let y = lp.add_var(1.0, 3.0);
         lp.add_le_constraint(vec![(x, 1.0), (y, 1.0)], 4.0).unwrap();
-        lp.add_le_constraint(vec![(x, -1.0), (y, -1.0)], -2.0).unwrap();
+        lp.add_le_constraint(vec![(x, -1.0), (y, -1.0)], -2.0)
+            .unwrap();
         let s = solve(&lp);
         assert!((s.objective - 4.0).abs() < 1e-6);
         assert!(lp.is_feasible(&s.values, 1e-6));
@@ -593,7 +594,8 @@ mod tests {
         let mut lp = LinearProgram::new();
         let x = lp.add_var(-1.0, f64::INFINITY);
         let y = lp.add_var(-2.0, f64::INFINITY);
-        lp.add_le_constraint(vec![(x, -1.0), (y, -1.0)], -3.0).unwrap();
+        lp.add_le_constraint(vec![(x, -1.0), (y, -1.0)], -3.0)
+            .unwrap();
         lp.add_le_constraint(vec![(y, -1.0)], -1.0).unwrap();
         let s = solve(&lp);
         // Optimal: y = 1, x = 2, objective (max form) = -4.
@@ -613,9 +615,12 @@ mod tests {
         let a2 = lp.add_var(1.0, 1.0);
         let b1 = lp.add_var(2.0, 1.0);
         let b2 = lp.add_var(1.0, 1.0);
-        lp.add_le_constraint(vec![(a1, 1.0), (a2, 1.0)], 1.0).unwrap();
-        lp.add_le_constraint(vec![(b1, 1.0), (b2, 1.0)], 1.0).unwrap();
-        lp.add_le_constraint(vec![(a1, 1.0), (b1, 1.0)], 1.0).unwrap();
+        lp.add_le_constraint(vec![(a1, 1.0), (a2, 1.0)], 1.0)
+            .unwrap();
+        lp.add_le_constraint(vec![(b1, 1.0), (b2, 1.0)], 1.0)
+            .unwrap();
+        lp.add_le_constraint(vec![(a1, 1.0), (b1, 1.0)], 1.0)
+            .unwrap();
         let s = solve(&lp);
         // Optimal value 3: one user takes the premium set, the other falls back.
         assert!((s.objective - 3.0).abs() < 1e-6);
@@ -679,17 +684,21 @@ mod tests {
                 lp.add_var(rng.gen_range(-2.0..3.0), rng.gen_range(0.5..3.0));
             }
             for _ in 0..m {
-                let coeffs: Vec<(usize, f64)> = (0..n)
-                    .map(|j| (j, rng.gen_range(0.0..2.0)))
-                    .collect();
-                lp.add_le_constraint(coeffs, rng.gen_range(1.0..6.0)).unwrap();
+                let coeffs: Vec<(usize, f64)> =
+                    (0..n).map(|j| (j, rng.gen_range(0.0..2.0))).collect();
+                lp.add_le_constraint(coeffs, rng.gen_range(1.0..6.0))
+                    .unwrap();
             }
             let s = SimplexSolver::default().solve(&lp).unwrap_or_else(|e| {
                 panic!("trial {trial}: unexpected failure {e}");
             });
             assert!(lp.is_feasible(&s.values, 1e-6), "trial {trial} infeasible");
             // The objective must dominate the all-zero solution.
-            assert!(s.objective >= -1e-9, "trial {trial} objective {}", s.objective);
+            assert!(
+                s.objective >= -1e-9,
+                "trial {trial} objective {}",
+                s.objective
+            );
         }
     }
 }

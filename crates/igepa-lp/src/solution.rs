@@ -72,7 +72,10 @@ mod tests {
         };
         assert_eq!(s.value(1), 0.5);
         assert!(s.is_optimal());
-        let a = LpSolution { status: SolveStatus::Approximate, ..s };
+        let a = LpSolution {
+            status: SolveStatus::Approximate,
+            ..s
+        };
         assert!(!a.is_optimal());
     }
 
@@ -85,7 +88,10 @@ mod tests {
             best_bound: 5.0,
         };
         assert_eq!(s.gap(), 0.0);
-        let s2 = IlpSolution { best_bound: 6.0, ..s };
+        let s2 = IlpSolution {
+            best_bound: 6.0,
+            ..s
+        };
         assert_eq!(s2.gap(), 1.0);
     }
 }

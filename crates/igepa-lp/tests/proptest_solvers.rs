@@ -28,7 +28,11 @@ fn packing_lp_strategy() -> impl Strategy<Value = RandomPackingLp> {
             num_rows,
         );
         (objective, upper_bounds, rows).prop_map(|(objective, upper_bounds, rows)| {
-            RandomPackingLp { objective, upper_bounds, rows }
+            RandomPackingLp {
+                objective,
+                upper_bounds,
+                rows,
+            }
         })
     })
 }
@@ -42,11 +46,8 @@ fn build_lp(raw: &RandomPackingLp) -> LinearProgram {
         .map(|(&c, &u)| lp.add_var(c, u))
         .collect();
     for (coeffs, rhs) in &raw.rows {
-        lp.add_le_constraint(
-            vars.iter().zip(coeffs).map(|(&v, &a)| (v, a)),
-            *rhs,
-        )
-        .unwrap();
+        lp.add_le_constraint(vars.iter().zip(coeffs).map(|(&v, &a)| (v, a)), *rhs)
+            .unwrap();
     }
     lp
 }

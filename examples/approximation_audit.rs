@@ -9,9 +9,9 @@
 //! cargo run --release --example approximation_audit
 //! ```
 
-use igepa::prelude::*;
 use igepa::algos::LpPacking;
 use igepa::datagen::generate_synthetic;
+use igepa::prelude::*;
 
 fn main() {
     let config = SyntheticConfig::tiny();
@@ -39,7 +39,10 @@ fn main() {
         }
         let mut ratios = [0.0f64; 2];
         for (i, alpha) in [0.5, 1.0].into_iter().enumerate() {
-            let algorithm = LpPacking { alpha, ..LpPacking::default() };
+            let algorithm = LpPacking {
+                alpha,
+                ..LpPacking::default()
+            };
             let mean_utility: f64 = (0..repetitions)
                 .map(|rep| {
                     algorithm

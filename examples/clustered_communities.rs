@@ -83,5 +83,7 @@ fn main() {
             utilities[3]
         );
     }
-    println!("\n(the ordering LP-packing ≥ GG ≥ Random-U ≈ Random-V should hold for every measure)");
+    println!(
+        "\n(the ordering LP-packing ≥ GG ≥ Random-U ≈ Random-V should hold for every measure)"
+    );
 }

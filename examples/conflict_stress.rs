@@ -6,9 +6,9 @@
 //! cargo run --release --example conflict_stress
 //! ```
 
-use igepa::prelude::*;
 use igepa::algos::{GreedyArrangement, LocalSearch, LpPacking, OnlineGreedy, RandomU, RandomV};
 use igepa::datagen::generate_synthetic;
+use igepa::prelude::*;
 
 fn main() {
     let base = SyntheticConfig {
@@ -37,7 +37,10 @@ fn main() {
     println!();
 
     for pcf in [0.1, 0.3, 0.5, 0.7, 0.9] {
-        let config = SyntheticConfig { p_conflict: pcf, ..base.clone() };
+        let config = SyntheticConfig {
+            p_conflict: pcf,
+            ..base.clone()
+        };
         print!("{pcf:>6.1}");
         for algorithm in &algorithms {
             let mut total = 0.0;

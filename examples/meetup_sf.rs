@@ -6,14 +6,18 @@
 //! cargo run --example meetup_sf -- --small           # quick scaled-down run
 //! ```
 
-use igepa::prelude::*;
 use igepa::algos::{GreedyArrangement, LpPacking, RandomU, RandomV};
 use igepa::datagen::generate_meetup_dataset;
 use igepa::graph::NetworkStats;
+use igepa::prelude::*;
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let config = if small { MeetupConfig::small() } else { MeetupConfig::paper_default() };
+    let config = if small {
+        MeetupConfig::small()
+    } else {
+        MeetupConfig::paper_default()
+    };
 
     println!(
         "generating Meetup-SF dataset: {} events, {} users ...",
@@ -42,13 +46,20 @@ fn main() {
     ];
 
     println!("\nTable II style comparison (utility, one seed):");
-    println!("{:<12} {:>10} {:>8} {:>12}", "algorithm", "utility", "pairs", "runtime (s)");
+    println!(
+        "{:<12} {:>10} {:>8} {:>12}",
+        "algorithm", "utility", "pairs", "runtime (s)"
+    );
     for algorithm in &algorithms {
         let start = std::time::Instant::now();
         let arrangement = algorithm.run_seeded(instance, 7);
         let elapsed = start.elapsed().as_secs_f64();
         let stats = ArrangementStats::of(instance, &arrangement);
-        assert!(stats.feasible, "{} produced an infeasible arrangement", algorithm.name());
+        assert!(
+            stats.feasible,
+            "{} produced an infeasible arrangement",
+            algorithm.name()
+        );
         println!(
             "{:<12} {:>10.2} {:>8} {:>12.3}",
             algorithm.name(),
@@ -58,7 +69,5 @@ fn main() {
         );
     }
 
-    println!(
-        "\nExpected shape (paper Table II): LP-packing > GG > Random-U ≳ Random-V."
-    );
+    println!("\nExpected shape (paper Table II): LP-packing > GG > Random-U ≳ Random-V.");
 }

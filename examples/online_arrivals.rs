@@ -70,9 +70,18 @@ fn main() {
     let lp = LpPacking::default().run_seeded(&instance, 1);
     let gg = GreedyArrangement.run_seeded(&instance, 1);
     let online_algo = OnlineGreedy::default().run_seeded(&instance, 1);
-    println!("offline LP-packing utility: {:.2}", lp.utility(&instance).total);
-    println!("offline GG utility:         {:.2}", gg.utility(&instance).total);
-    println!("OnlineGreedy (library):     {:.2}\n", online_algo.utility(&instance).total);
+    println!(
+        "offline LP-packing utility: {:.2}",
+        lp.utility(&instance).total
+    );
+    println!(
+        "offline GG utility:         {:.2}",
+        gg.utility(&instance).total
+    );
+    println!(
+        "OnlineGreedy (library):     {:.2}\n",
+        online_algo.utility(&instance).total
+    );
 
     // Online simulation over several random arrival orders.
     let mut rng = StdRng::seed_from_u64(99);

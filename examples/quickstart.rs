@@ -5,9 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use igepa::prelude::*;
+use igepa::algos::{GreedyArrangement, LpPacking, RandomU, RandomV};
 use igepa::core::{AttributeVector, ConstantInterest, PairSetConflict};
-use igepa::algos::{LpPacking, GreedyArrangement, RandomU, RandomV};
+use igepa::prelude::*;
 
 fn main() {
     // --- Model a small evening programme -------------------------------
@@ -50,7 +50,10 @@ fn main() {
         Box::new(RandomV),
     ];
 
-    println!("\n{:<12} {:>8} {:>8} {:>10}", "algorithm", "utility", "pairs", "feasible");
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>10}",
+        "algorithm", "utility", "pairs", "feasible"
+    );
     for algorithm in &algorithms {
         let arrangement = algorithm.run_seeded(&instance, 42);
         let stats = ArrangementStats::of(&instance, &arrangement);
@@ -67,7 +70,10 @@ fn main() {
     let arrangement = LpPacking::default().run_seeded(&instance, 42);
     println!("\nLP-packing assignment:");
     for (event, user) in arrangement.pairs() {
-        println!("  {user} -> {event} (weight {:.3})", instance.weight(event, user));
+        println!(
+            "  {user} -> {event} (weight {:.3})",
+            instance.weight(event, user)
+        );
     }
     let _ = (alice, bob, carol, dave);
 }

@@ -13,6 +13,7 @@
 //! | [`lp`] | `igepa-lp` | LP/ILP substrate: bounded-variable simplex, packing solver, branch & bound |
 //! | [`datagen`] | `igepa-datagen` | Table-I synthetic workloads and the Meetup-SF simulator |
 //! | [`algos`] | `igepa-algos` | LP-packing (Algorithm 1), GG greedy, Random-U/V, exact ILP, extensions |
+//! | [`engine`] | `igepa-engine` | incremental arrangement serving: deltas, warm-start repair, replayable request log |
 //! | [`experiments`] | `igepa-experiments` | reproduction harness for every table and figure of the paper |
 //!
 //! The most common entry points are also re-exported at the crate root.
@@ -37,6 +38,7 @@
 pub use igepa_algos as algos;
 pub use igepa_core as core;
 pub use igepa_datagen as datagen;
+pub use igepa_engine as engine;
 pub use igepa_experiments as experiments;
 pub use igepa_graph as graph;
 pub use igepa_lp as lp;
@@ -53,8 +55,9 @@ pub mod prelude {
         ContentionStats, EventId, Instance, InstanceStats, UserId,
     };
     pub use igepa_datagen::{
-        generate_clustered, generate_meetup, generate_synthetic, ClusteredConfig, MeetupConfig,
-        SyntheticConfig,
+        generate_clustered, generate_meetup, generate_synthetic, generate_trace, ClusteredConfig,
+        DeltaTrace, MeetupConfig, SyntheticConfig, TraceConfig,
     };
+    pub use igepa_engine::{Engine, EngineConfig, EngineRequest, EngineResponse};
     pub use igepa_graph::{InteractionMeasure, SocialNetwork};
 }

@@ -81,8 +81,14 @@ fn lp_packing_beats_the_random_baselines_on_average() {
         totals[3] += RandomV.run_seeded(&instance, seed).utility(&instance).total;
     }
     let [lp, gg, ru, rv] = totals.map(|t| t / repetitions as f64);
-    assert!(lp > ru, "LP-packing ({lp:.2}) should beat Random-U ({ru:.2})");
-    assert!(lp > rv, "LP-packing ({lp:.2}) should beat Random-V ({rv:.2})");
+    assert!(
+        lp > ru,
+        "LP-packing ({lp:.2}) should beat Random-U ({ru:.2})"
+    );
+    assert!(
+        lp > rv,
+        "LP-packing ({lp:.2}) should beat Random-V ({rv:.2})"
+    );
     assert!(
         lp >= 0.95 * gg,
         "LP-packing ({lp:.2}) should be at least on par with GG ({gg:.2})"
@@ -176,7 +182,9 @@ fn interaction_term_steers_assignments_towards_social_users() {
     builder.add_user(1, AttributeVector::empty(), vec![event]);
     builder.interaction_scores(vec![0.05, 0.95]);
     builder.beta(0.0);
-    let instance = builder.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+    let instance = builder
+        .build(&NeverConflict, &ConstantInterest(0.5))
+        .unwrap();
 
     let gg = GreedyArrangement.run_seeded(&instance, 0);
     assert!(gg.contains(event, UserId::new(1)));
@@ -187,5 +195,8 @@ fn interaction_term_steers_assignments_towards_social_users() {
             lp_wins += 1;
         }
     }
-    assert!(lp_wins >= 8, "LP-packing picked the social user only {lp_wins}/10 times");
+    assert!(
+        lp_wins >= 8,
+        "LP-packing picked the social user only {lp_wins}/10 times"
+    );
 }

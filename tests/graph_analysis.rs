@@ -3,7 +3,9 @@
 //! real workload instances.
 
 use igepa::core::{InstanceSnapshot, UserId};
-use igepa::datagen::{generate_clustered_dataset, generate_meetup_dataset, ClusteredConfig, MeetupConfig};
+use igepa::datagen::{
+    generate_clustered_dataset, generate_meetup_dataset, ClusteredConfig, MeetupConfig,
+};
 use igepa::graph::{
     betweenness_centrality, closeness_centrality, core_numbers, degree_centrality, diameter,
     greedy_modularity, is_connected, label_propagation, modularity, pagerank, InteractionMeasure,
@@ -106,9 +108,9 @@ fn every_interaction_measure_yields_a_valid_instance() {
         assert_eq!(scores.len(), dataset.instance.num_users());
         let mut snapshot = InstanceSnapshot::capture(&dataset.instance);
         snapshot.interaction = scores.clone();
-        let rescored = snapshot.restore().unwrap_or_else(|e| {
-            panic!("measure {measure} produced an invalid instance: {e}")
-        });
+        let rescored = snapshot
+            .restore()
+            .unwrap_or_else(|e| panic!("measure {measure} produced an invalid instance: {e}"));
         for (u, &score) in scores.iter().enumerate() {
             assert!((rescored.interaction(UserId::new(u)) - score).abs() < 1e-12);
         }

@@ -105,7 +105,10 @@ fn lp_guided_algorithms_beat_the_randomized_baseline() {
             .total;
         random_total += RandomV.run_seeded(&instance, seed).utility(&instance).total;
     }
-    assert!(lp_total > random_total, "LP-packing {lp_total} vs Random-V {random_total}");
+    assert!(
+        lp_total > random_total,
+        "LP-packing {lp_total} vs Random-V {random_total}"
+    );
     assert!(
         lp_det_total > random_total,
         "LP-deterministic {lp_det_total} vs Random-V {random_total}"

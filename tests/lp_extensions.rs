@@ -103,8 +103,7 @@ fn scaling_leaves_the_well_conditioned_benchmark_lp_intact() {
     let via_scaled = SimplexSolver::default().solve(&scaled.scaled).unwrap();
     let unscaled = scaled.unscale_solution(&via_scaled.values);
     assert!(
-        (lp.objective_value(&unscaled) - direct.objective).abs()
-            < 1e-6 * (1.0 + direct.objective)
+        (lp.objective_value(&unscaled) - direct.objective).abs() < 1e-6 * (1.0 + direct.objective)
     );
 }
 

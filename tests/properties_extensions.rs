@@ -8,17 +8,15 @@ use igepa::algos::{
     SimulatedAnnealing, TabuSearch,
 };
 use igepa::core::{
-    arrangement_from_csv, arrangement_to_csv, instance_from_csv, instance_to_csv,
-    AttributeVector, ConflictFn, DistanceConflict, Event, EventId, TravelTimeConflict,
+    arrangement_from_csv, arrangement_to_csv, instance_from_csv, instance_to_csv, AttributeVector,
+    ConflictFn, DistanceConflict, Event, EventId, TravelTimeConflict,
 };
 use igepa::datagen::{generate_clustered, generate_synthetic, ClusteredConfig, SyntheticConfig};
 use igepa::graph::{
-    betweenness_centrality, closeness_centrality, core_numbers, erdos_renyi, modularity,
-    pagerank, InteractionMeasure, PageRankConfig, Partition, SocialNetwork,
+    betweenness_centrality, closeness_centrality, core_numbers, erdos_renyi, modularity, pagerank,
+    InteractionMeasure, PageRankConfig, Partition, SocialNetwork,
 };
-use igepa::lp::{
-    equilibrate, from_mps, presolve_and_solve, to_mps, LinearProgram, SimplexSolver,
-};
+use igepa::lp::{equilibrate, from_mps, presolve_and_solve, to_mps, LinearProgram, SimplexSolver};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -134,7 +132,8 @@ fn random_packing_lp(seed: u64, num_vars: usize, num_rows: usize) -> LinearProgr
                 coefficients.push((v, rng.gen_range(0.1..2.0)));
             }
         }
-        lp.add_le_constraint(coefficients, rng.gen_range(1.0..8.0)).unwrap();
+        lp.add_le_constraint(coefficients, rng.gen_range(1.0..8.0))
+            .unwrap();
     }
     lp
 }
