@@ -107,6 +107,20 @@ impl LpPacking {
         instance: &Instance,
         admissible: &AdmissibleSetIndex,
     ) -> Vec<Vec<(Vec<EventId>, f64)>> {
+        self.solve_benchmark_lp_warm(instance, admissible, None)
+    }
+
+    /// As [`LpPacking::solve_benchmark_lp`], optionally warm-started from
+    /// a previous arrangement. On the dual-subgradient backend the
+    /// previous arrangement seeds the row prices (see
+    /// [`LpPacking::event_prices_from`]) — the dual warm start; the exact
+    /// simplex backend has no incremental state and ignores it.
+    pub fn solve_benchmark_lp_warm(
+        &self,
+        instance: &Instance,
+        admissible: &AdmissibleSetIndex,
+        previous: Option<&Arrangement>,
+    ) -> Vec<Vec<(Vec<EventId>, f64)>> {
         let use_simplex = match self.backend {
             LpBackend::Simplex => true,
             LpBackend::DualSubgradient { .. } => false,
@@ -124,8 +138,43 @@ impl LpPacking {
                 // users on contended events.
                 _ => 1500,
             };
-            self.solve_with_packing(instance, admissible, rounds)
+            let prices = previous.map(|prev| Self::event_prices_from(instance, prev));
+            self.solve_with_packing(instance, admissible, rounds, prices.as_deref())
         }
+    }
+
+    /// Derives initial dual prices (one per event) from a previous
+    /// arrangement: an event that was filled to capacity is priced at the
+    /// marginal (lowest) weight of its attendees — the classic dual
+    /// estimate "what does one more seat earn" — while under-subscribed
+    /// events stay free. Feeding these into
+    /// [`BlockPackingSolver::solve_warm`] lets the subgradient ascent
+    /// start near the prices the previous solve ended at instead of
+    /// re-pricing every contended event from zero.
+    pub fn event_prices_from(instance: &Instance, previous: &Arrangement) -> Vec<f64> {
+        let num_events = instance.num_events();
+        let mut load = vec![0usize; num_events];
+        let mut min_weight = vec![f64::INFINITY; num_events];
+        for (v, u) in previous.pairs() {
+            if v.index() >= num_events || u.index() >= instance.num_users() {
+                continue;
+            }
+            load[v.index()] += 1;
+            let w = instance.weight(v, u);
+            if w < min_weight[v.index()] {
+                min_weight[v.index()] = w;
+            }
+        }
+        (0..num_events)
+            .map(|i| {
+                let capacity = instance.event(EventId::new(i)).capacity;
+                if capacity > 0 && load[i] >= capacity && min_weight[i].is_finite() {
+                    min_weight[i]
+                } else {
+                    0.0
+                }
+            })
+            .collect()
     }
 
     fn solve_with_simplex(
@@ -186,6 +235,7 @@ impl LpPacking {
         instance: &Instance,
         admissible: &AdmissibleSetIndex,
         rounds: usize,
+        event_prices: Option<&[f64]>,
     ) -> Vec<Vec<(Vec<EventId>, f64)>> {
         // Global rows: one per event with positive capacity.
         let mut row_of_event: Vec<Option<usize>> = vec![None; instance.num_events()];
@@ -212,9 +262,23 @@ impl LpPacking {
                 .collect();
             problem.add_block(PackingBlock { columns });
         }
-        let solution = BlockPackingSolver::with_rounds(rounds)
-            .solve(&problem)
-            .expect("block packing LP is well-formed");
+        let solver = BlockPackingSolver::with_rounds(rounds);
+        let solution = match event_prices {
+            Some(prices) => {
+                // Re-index the per-event prices onto the problem's rows
+                // (events with zero capacity have no row).
+                let row_prices: Vec<f64> = row_of_event
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(event, row)| {
+                        row.map(|_| prices.get(event).copied().unwrap_or(0.0))
+                    })
+                    .collect();
+                solver.solve_warm(&problem, &row_prices)
+            }
+            None => solver.solve(&problem),
+        }
+        .expect("block packing LP is well-formed");
         admissible
             .iter()
             .enumerate()
@@ -243,18 +307,46 @@ impl ArrangementAlgorithm for LpPacking {
     }
 
     fn run_with_rng(&self, instance: &Instance, rng: &mut dyn RngCore) -> Arrangement {
-        use rand::Rng;
-
         // Line 1: admissible sets and the benchmark LP.
         let admissible = AdmissibleSetIndex::build_with_limit(instance, self.admissible_set_limit)
             .expect("admissible-set enumeration within limit");
         let fractional = self.solve_benchmark_lp(instance, &admissible);
+        self.round_fractional(instance, &fractional, rng)
+    }
+}
+
+impl LpPacking {
+    /// Warm-start re-solve used by the `WarmStart` impl: solve the LP with
+    /// dual prices seeded from `previous`, then round. Falls back to a
+    /// cold solve on the exact simplex backend.
+    pub(crate) fn resolve_from_previous(
+        &self,
+        instance: &Instance,
+        previous: &Arrangement,
+        rng: &mut dyn RngCore,
+    ) -> Arrangement {
+        let admissible = AdmissibleSetIndex::build_with_limit(instance, self.admissible_set_limit)
+            .expect("admissible-set enumeration within limit");
+        let fractional = self.solve_benchmark_lp_warm(instance, &admissible, Some(previous));
+        self.round_fractional(instance, &fractional, rng)
+    }
+
+    /// Lines 2–8 of Algorithm 1: randomised rounding of the fractional
+    /// solution plus the capacity repair step (shared by the cold and
+    /// warm-start paths).
+    fn round_fractional(
+        &self,
+        instance: &Instance,
+        fractional: &[Vec<(Vec<EventId>, f64)>],
+        rng: &mut dyn RngCore,
+    ) -> Arrangement {
+        use rand::Rng;
 
         // Lines 2–3: sample one admissible set per user with probability
         // α · x*_{u,S}.
         let alpha = self.alpha.clamp(0.0, 1.0);
         let mut sampled: Vec<Vec<EventId>> = Vec::with_capacity(instance.num_users());
-        for per_user in &fractional {
+        for per_user in fractional {
             let mut threshold: f64 = rng.gen_range(0.0..1.0);
             let mut chosen: Vec<EventId> = Vec::new();
             for (set, value) in per_user {

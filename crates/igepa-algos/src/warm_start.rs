@@ -158,9 +158,24 @@ impl WarmStart for LocalSearch {
     }
 }
 
+impl WarmStart for crate::lp_packing::LpPacking {
+    /// Dual warm start: seed the packing LP's row prices from the previous
+    /// arrangement (saturated events priced at their marginal attendee
+    /// weight, see [`crate::lp_packing::LpPacking::event_prices_from`]),
+    /// then round as usual. On the exact simplex backend the seed is
+    /// ignored and this is a cold solve.
+    fn resolve_with_rng(
+        &self,
+        instance: &Instance,
+        previous: &Arrangement,
+        rng: &mut dyn RngCore,
+    ) -> Arrangement {
+        self.resolve_from_previous(instance, previous, rng)
+    }
+}
+
 // Cold-start impls for the rest of the roster, so any solver can sit behind
 // `Box<dyn WarmStart>` in the engine.
-impl WarmStart for crate::lp_packing::LpPacking {}
 impl WarmStart for crate::lp_deterministic::LpDeterministic {}
 impl WarmStart for crate::randomized::RandomU {}
 impl WarmStart for crate::randomized::RandomV {}
@@ -248,5 +263,81 @@ mod tests {
         let warm = crate::randomized::RandomU.resolve_seeded(&inst, &previous, 42);
         let cold = crate::randomized::RandomU.run_seeded(&inst, 42);
         assert_eq!(warm, cold);
+    }
+
+    /// A contended instance: one hot event everyone wants plus a spare.
+    fn contended_instance(num_users: usize) -> Instance {
+        let mut b = igepa_core::Instance::builder();
+        let hot = b.add_event(2, igepa_core::AttributeVector::empty());
+        let spare = b.add_event(num_users, igepa_core::AttributeVector::empty());
+        for _ in 0..num_users {
+            b.add_user(2, igepa_core::AttributeVector::empty(), vec![hot, spare]);
+        }
+        b.interaction_scores((0..num_users).map(|u| (u as f64 * 0.17) % 1.0).collect());
+        b.build(
+            &igepa_core::NeverConflict,
+            &igepa_core::ConstantInterest(0.5),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lp_packing_dual_warm_start_is_feasible_and_deterministic() {
+        use crate::lp_packing::{LpBackend, LpPacking};
+        let inst = contended_instance(12);
+        let algo = LpPacking::with_backend(LpBackend::DualSubgradient { rounds: 300 });
+        let previous = algo.run_seeded(&inst, 3);
+        let warm_a = algo.resolve_seeded(&inst, &previous, 4);
+        let warm_b = algo.resolve_seeded(&inst, &previous, 4);
+        assert!(warm_a.is_feasible(&inst));
+        assert_eq!(warm_a, warm_b, "warm resolve must be deterministic");
+    }
+
+    #[test]
+    fn lp_packing_event_prices_mark_saturated_events() {
+        use crate::lp_packing::LpPacking;
+        let inst = contended_instance(6);
+        let mut previous = Arrangement::empty_for(&inst);
+        // Fill the hot event (capacity 2) and leave the spare unsaturated.
+        previous.assign(EventId::new(0), UserId::new(0));
+        previous.assign(EventId::new(0), UserId::new(1));
+        previous.assign(EventId::new(1), UserId::new(2));
+        let prices = LpPacking::event_prices_from(&inst, &previous);
+        assert_eq!(prices.len(), 2);
+        let expected = inst
+            .weight(EventId::new(0), UserId::new(0))
+            .min(inst.weight(EventId::new(0), UserId::new(1)));
+        assert!((prices[0] - expected).abs() < 1e-12);
+        assert_eq!(prices[1], 0.0, "unsaturated events stay free");
+    }
+
+    #[test]
+    fn lp_packing_warm_start_retains_quality_on_static_instance() {
+        use crate::lp_packing::{LpBackend, LpPacking};
+        let inst = contended_instance(16);
+        let strong = LpPacking::with_backend(LpBackend::DualSubgradient { rounds: 1200 });
+        let cold_strong = strong.run_seeded(&inst, 7);
+        // A warm resolve with FAR fewer subgradient rounds, seeded by the
+        // strong solution's saturation pattern, must stay competitive.
+        let quick = LpPacking::with_backend(LpBackend::DualSubgradient { rounds: 60 });
+        let warm = quick.resolve_seeded(&inst, &cold_strong, 7);
+        assert!(warm.is_feasible(&inst));
+        let cold_value = cold_strong.utility_value(&inst);
+        let warm_value = warm.utility_value(&inst);
+        assert!(
+            warm_value >= 0.9 * cold_value,
+            "warm {warm_value} fell too far below cold {cold_value}"
+        );
+    }
+
+    #[test]
+    fn lp_packing_simplex_backend_falls_back_to_cold() {
+        use crate::lp_packing::{LpBackend, LpPacking};
+        let inst = contended_instance(4);
+        let algo = LpPacking::with_backend(LpBackend::Simplex);
+        let previous = algo.run_seeded(&inst, 1);
+        let warm = algo.resolve_seeded(&inst, &previous, 2);
+        let cold = algo.run_seeded(&inst, 2);
+        assert_eq!(warm, cold, "simplex has no incremental state");
     }
 }

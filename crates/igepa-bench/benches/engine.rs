@@ -9,8 +9,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use igepa_algos::{ArrangementAlgorithm, GreedyArrangement};
 use igepa_core::{ConstantInterest, Instance, NeverConflict};
-use igepa_datagen::{generate_synthetic, generate_trace, DeltaTrace, SyntheticConfig, TraceConfig};
+use igepa_datagen::{
+    generate_clustered_dataset, generate_community_trace, generate_synthetic, generate_trace,
+    ClusteredConfig, CommunityTraceConfig, DeltaTrace, SyntheticConfig, TraceConfig,
+};
 use igepa_engine::{Engine, EngineConfig};
+use igepa_experiments::sharded_serving_engine;
 use std::hint::black_box;
 
 fn base_instance() -> Instance {
@@ -133,5 +137,54 @@ fn single_delta_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(engine, warm_engine_replay, single_delta_latency);
+/// Sharded vs monolithic per-delta latency on a partition-friendly
+/// multi-community trace: the claim under test is that per-delta latency
+/// *improves* as the shard count grows (each delta touches one smaller
+/// repair loop, and staleness/escalation solves run over sub-instances).
+fn sharded_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_sharded_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    let dataset = generate_clustered_dataset(
+        &ClusteredConfig {
+            num_events: 40,
+            num_users: 600,
+            num_communities: 8,
+            ..ClusteredConfig::default()
+        },
+        17,
+    );
+    let base = dataset.instance.clone();
+    let trace = generate_community_trace(
+        &base,
+        &dataset.event_communities,
+        &CommunityTraceConfig::partition_friendly(512, 4),
+        23,
+    );
+    let deltas: Vec<_> = trace.deltas.iter().map(|t| t.delta.clone()).collect();
+
+    for &shards in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("replay", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                // Same construction as the `serve --shards N` study, so the
+                // bench measures exactly the configuration the study reports.
+                let mut engine = sharded_serving_engine(base.clone(), 5, shards);
+                for delta in &deltas {
+                    engine.apply(delta).expect("trace deltas are valid");
+                }
+                black_box(engine.utility())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    engine,
+    warm_engine_replay,
+    single_delta_latency,
+    sharded_scaling
+);
 criterion_main!(engine);

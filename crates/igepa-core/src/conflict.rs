@@ -128,12 +128,35 @@ impl ConflictFn for PairSetConflict {
 /// Algorithms query conflicts in inner loops (admissible-set enumeration,
 /// greedy feasibility checks), so the matrix stores the answers densely as a
 /// flat bit-per-pair table. The diagonal is always `false`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The table is allocated with a `stride` that may exceed the number of
+/// events: [`ConflictMatrix::push_event`] grows the allocation by doubling,
+/// so a serving engine absorbing a stream of `AddEvent` deltas pays
+/// amortised O(|V|) per announcement instead of re-copying the whole
+/// O(|V|²) table every time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConflictMatrix {
     n: usize,
-    /// Row-major `n × n` boolean table.
+    /// Allocated row length (`stride >= n`); `bits` holds `stride²` flags.
+    stride: usize,
+    /// Row-major `stride × stride` boolean table; only the top-left
+    /// `n × n` corner is meaningful.
     bits: Vec<bool>,
 }
+
+impl PartialEq for ConflictMatrix {
+    /// Logical equality: same events and same conflicting pairs,
+    /// regardless of how much spare capacity each matrix has allocated.
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && (0..self.n).all(|i| {
+                self.bits[i * self.stride..i * self.stride + self.n]
+                    == other.bits[i * other.stride..i * other.stride + other.n]
+            })
+    }
+}
+
+impl Eq for ConflictMatrix {}
 
 impl ConflictMatrix {
     /// Builds the matrix by evaluating `sigma` on every unordered pair of
@@ -149,13 +172,14 @@ impl ConflictMatrix {
                 }
             }
         }
-        ConflictMatrix { n, bits }
+        ConflictMatrix { n, stride: n, bits }
     }
 
     /// Builds a matrix with no conflicts over `n` events.
     pub fn none(n: usize) -> Self {
         ConflictMatrix {
             n,
+            stride: n,
             bits: vec![false; n * n],
         }
     }
@@ -169,7 +193,7 @@ impl ConflictMatrix {
     #[inline]
     pub fn conflicts(&self, a: EventId, b: EventId) -> bool {
         debug_assert!(a.index() < self.n && b.index() < self.n);
-        self.bits[a.index() * self.n + b.index()]
+        self.bits[a.index() * self.stride + b.index()]
     }
 
     /// Number of unordered conflicting pairs.
@@ -177,7 +201,7 @@ impl ConflictMatrix {
         let mut count = 0;
         for i in 0..self.n {
             for j in (i + 1)..self.n {
-                if self.bits[i * self.n + j] {
+                if self.bits[i * self.stride + j] {
                     count += 1;
                 }
             }
@@ -199,7 +223,7 @@ impl ConflictMatrix {
     pub fn conflicting_events(&self, event: EventId) -> Vec<EventId> {
         let i = event.index();
         (0..self.n)
-            .filter(|&j| self.bits[i * self.n + j])
+            .filter(|&j| self.bits[i * self.stride + j])
             .map(EventId::new)
             .collect()
     }
@@ -208,23 +232,30 @@ impl ConflictMatrix {
     /// `existing` events (the `n` events the matrix currently covers). The
     /// old pairs are copied, not re-evaluated — this is the incremental
     /// patch used by delta application instead of a full
-    /// [`ConflictMatrix::build`].
+    /// [`ConflictMatrix::build`]. The allocation grows by doubling, so a
+    /// long stream of announcements costs amortised O(n) per event rather
+    /// than O(n²).
     pub fn push_event(&mut self, existing: &[Event], new_event: &Event, sigma: &dyn ConflictFn) {
         let n = self.n;
         debug_assert_eq!(existing.len(), n, "existing events must match matrix size");
-        let m = n + 1;
-        let mut bits = vec![false; m * m];
-        for i in 0..n {
-            bits[i * m..i * m + n].copy_from_slice(&self.bits[i * n..(i + 1) * n]);
+        if n == self.stride {
+            // Out of spare capacity: restride into a doubled allocation.
+            let new_stride = (self.stride * 2).max(4);
+            let mut bits = vec![false; new_stride * new_stride];
+            for i in 0..n {
+                bits[i * new_stride..i * new_stride + n]
+                    .copy_from_slice(&self.bits[i * self.stride..i * self.stride + n]);
+            }
+            self.stride = new_stride;
+            self.bits = bits;
         }
         for (i, old) in existing.iter().enumerate() {
             if sigma.conflicts(old, new_event) {
-                bits[i * m + n] = true;
-                bits[n * m + i] = true;
+                self.bits[i * self.stride + n] = true;
+                self.bits[n * self.stride + i] = true;
             }
         }
-        self.n = m;
-        self.bits = bits;
+        self.n = n + 1;
     }
 
     /// Checks that a set of events is pairwise conflict-free.
@@ -331,6 +362,36 @@ mod tests {
             vec![EventId::new(2), EventId::new(3)]
         );
         assert!(m.conflicting_events(EventId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn repeated_growth_restrides_correctly() {
+        // Grow past several doubling boundaries and check every pair
+        // against a from-scratch build after each push.
+        let events: Vec<Event> = (0..20).map(|i| timed_event(i, i as i64 * 50, 60)).collect();
+        let mut grown = ConflictMatrix::build(&events[..1], &TimeOverlapConflict);
+        for n in 1..events.len() {
+            grown.push_event(&events[..n], &events[n], &TimeOverlapConflict);
+            let rebuilt = ConflictMatrix::build(&events[..=n], &TimeOverlapConflict);
+            assert_eq!(
+                grown,
+                rebuilt,
+                "divergence after growing to {} events",
+                n + 1
+            );
+            assert_eq!(grown.num_events(), n + 1);
+        }
+        assert!(grown.num_conflicting_pairs() > 0);
+    }
+
+    #[test]
+    fn equality_ignores_spare_capacity() {
+        let events: Vec<Event> = (0..3).map(plain_event).collect();
+        let exact = ConflictMatrix::build(&events, &NeverConflict);
+        let mut grown = ConflictMatrix::build(&events[..1], &NeverConflict);
+        grown.push_event(&events[..1], &events[1], &NeverConflict);
+        grown.push_event(&events[..2], &events[2], &NeverConflict);
+        assert_eq!(exact, grown);
     }
 
     #[test]

@@ -31,14 +31,32 @@ pub trait InterestFn {
 ///
 /// Stored user-major (one contiguous row per user): users arrive far more
 /// often than events in the serving workload, so growing by a user is a
-/// cheap append while growing by an event (the rare delta) pays the
-/// re-stride.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// cheap append. Rows are allocated with a `stride` that may exceed the
+/// number of events, and event growth doubles the stride, so a stream of
+/// event announcements costs amortised O(|U|) each instead of an O(|U|·|V|)
+/// re-stride every time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TableInterest {
     num_events: usize,
     num_users: usize,
-    /// User-major `|U| × |V|` values.
+    /// Allocated row length (`stride >= num_events`).
+    stride: usize,
+    /// User-major `|U| × stride` values; only the first `num_events` of
+    /// each row are meaningful.
     values: Vec<f64>,
+}
+
+impl PartialEq for TableInterest {
+    /// Logical equality: same dimensions and same stored values,
+    /// regardless of how much spare row capacity each table carries.
+    fn eq(&self, other: &Self) -> bool {
+        self.num_events == other.num_events
+            && self.num_users == other.num_users
+            && (0..self.num_users).all(|row| {
+                self.values[row * self.stride..row * self.stride + self.num_events]
+                    == other.values[row * other.stride..row * other.stride + other.num_events]
+            })
+    }
 }
 
 impl TableInterest {
@@ -47,6 +65,7 @@ impl TableInterest {
         TableInterest {
             num_events,
             num_users,
+            stride: num_events,
             values: vec![0.0; num_events * num_users],
         }
     }
@@ -70,35 +89,40 @@ impl TableInterest {
 
     /// Sets the interest of `user` in `event`.
     pub fn set(&mut self, event: EventId, user: UserId, value: f64) {
-        let idx = user.index() * self.num_events + event.index();
+        let idx = user.index() * self.stride + event.index();
         self.values[idx] = value;
     }
 
     /// Reads the interest of `user` in `event`.
     pub fn get(&self, event: EventId, user: UserId) -> f64 {
-        self.values[user.index() * self.num_events + event.index()]
+        self.values[user.index() * self.stride + event.index()]
     }
 
     /// Grows the table by one event (a zero column); values of existing
-    /// pairs are untouched. Costs a full re-stride — acceptable because
-    /// event announcements are rare relative to user arrivals.
+    /// pairs are untouched. Re-strides only when the spare row capacity is
+    /// exhausted, doubling it, so long announcement streams pay amortised
+    /// O(|U|) per event.
     pub fn push_event(&mut self) {
-        let old_stride = self.num_events;
-        let new_stride = old_stride + 1;
-        let mut values = vec![0.0; self.num_users * new_stride];
-        for row in 0..self.num_users {
-            values[row * new_stride..row * new_stride + old_stride]
-                .copy_from_slice(&self.values[row * old_stride..(row + 1) * old_stride]);
+        if self.num_events == self.stride {
+            let new_stride = (self.stride * 2).max(4);
+            let mut values = vec![0.0; self.num_users * new_stride];
+            for row in 0..self.num_users {
+                values[row * new_stride..row * new_stride + self.num_events].copy_from_slice(
+                    &self.values[row * self.stride..row * self.stride + self.num_events],
+                );
+            }
+            self.stride = new_stride;
+            self.values = values;
         }
-        self.values = values;
-        self.num_events = new_stride;
+        // Rows are always extended to the full stride with zeros and the
+        // table never shrinks, so the newly exposed column is zero.
+        self.num_events += 1;
     }
 
     /// Grows the table by one user (a zero row appended in place); values
     /// of existing pairs are untouched. O(|V|) — the serving hot path.
     pub fn push_user(&mut self) {
-        self.values
-            .extend(std::iter::repeat_n(0.0, self.num_events));
+        self.values.extend(std::iter::repeat_n(0.0, self.stride));
         self.num_users += 1;
     }
 
@@ -242,6 +266,41 @@ mod tests {
     #[should_panic(expected = "interest table needs")]
     fn table_interest_from_values_checks_dimensions() {
         let _ = TableInterest::from_values(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn table_growth_preserves_values_across_restrides() {
+        // Interleave event and user growth past several doubling
+        // boundaries; every previously stored value must survive and the
+        // new rows/columns must read zero.
+        let mut t = TableInterest::zeros(1, 1);
+        t.set(EventId::new(0), UserId::new(0), 0.25);
+        for step in 0..12 {
+            if step % 2 == 0 {
+                t.push_event();
+            } else {
+                t.push_user();
+            }
+            let v = EventId::new(t.num_events() - 1);
+            let u = UserId::new(t.num_users() - 1);
+            assert_eq!(t.get(v, u), 0.0, "fresh cell must be zero");
+            t.set(v, u, 0.01 * (step + 1) as f64);
+        }
+        assert_eq!(t.get(EventId::new(0), UserId::new(0)), 0.25);
+        assert_eq!(t.num_events(), 7);
+        assert_eq!(t.num_users(), 7);
+        // Equality ignores spare capacity.
+        let mut exact = TableInterest::zeros(7, 7);
+        for v in 0..7 {
+            for u in 0..7 {
+                exact.set(
+                    EventId::new(v),
+                    UserId::new(u),
+                    t.get(EventId::new(v), UserId::new(u)),
+                );
+            }
+        }
+        assert_eq!(exact, t);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod ids;
 pub mod instance;
 pub mod interest;
 pub mod io;
+pub mod partition;
 pub mod stats;
 pub mod travel;
 pub mod user;
@@ -83,6 +84,10 @@ pub use instance::{Instance, InstanceBuilder};
 pub use interest::{ConstantInterest, CosineInterest, InterestFn, JaccardInterest, TableInterest};
 pub use io::{
     instance_from_json, instance_to_json, ArrangementSnapshot, InstanceSnapshot, SnapshotError,
+};
+pub use partition::{
+    assign_users, boundary_events, spans_shards, HashPartitioner, LocalityPartitioner,
+    PartitionCut, Partitioner,
 };
 pub use stats::{ArrangementStats, InstanceStats};
 pub use travel::{DistanceConflict, TravelTimeConflict};

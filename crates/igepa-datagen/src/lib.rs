@@ -40,4 +40,7 @@ pub use meetup::{generate_meetup, generate_meetup_dataset, MeetupConfig, MeetupD
 pub use synthetic::{
     generate_synthetic, generate_synthetic_with_rng, SyntheticConfig, DENSE_NETWORK_USER_LIMIT,
 };
-pub use trace::{generate_trace, generate_trace_with_rng, DeltaTrace, TimedDelta, TraceConfig};
+pub use trace::{
+    generate_community_trace, generate_trace, generate_trace_with_rng, CommunityTraceConfig,
+    DeltaTrace, TimedDelta, TraceConfig,
+};

@@ -248,6 +248,296 @@ pub fn generate_trace_with_rng<R: Rng + ?Sized>(
     DeltaTrace { deltas }
 }
 
+/// Shape knobs of a *multi-community* delta trace: the workload that
+/// stresses (or spares) a sharded engine's cross-shard boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommunityTraceConfig {
+    /// The underlying arrival-process mix.
+    pub base: TraceConfig,
+    /// Number of communities events and users are organised around.
+    pub num_communities: usize,
+    /// Probability that a single bid targets the bidder's home community.
+    /// `1.0` is perfectly partition-friendly; lowering it grows the
+    /// cross-community (and, under a community-aligned partitioner,
+    /// cross-shard) boundary.
+    pub locality: f64,
+    /// Zipf exponent of home-community popularity for arriving users
+    /// (0 = uniform): with skew, a few hot communities absorb most churn.
+    pub skew: f64,
+}
+
+impl Default for CommunityTraceConfig {
+    fn default() -> Self {
+        CommunityTraceConfig {
+            base: TraceConfig::default(),
+            num_communities: 4,
+            locality: 0.9,
+            skew: 1.0,
+        }
+    }
+}
+
+impl CommunityTraceConfig {
+    /// A partition-friendly mix: population churn (registrations, bid
+    /// churn, departures) dominates while the event catalogue stays
+    /// comparatively stable, and bids are strongly local. This is the
+    /// workload where sharding pays — every event announcement is
+    /// broadcast to all shards, so announcement-heavy traces dilute the
+    /// per-shard latency win that user-routed deltas enjoy.
+    pub fn partition_friendly(num_deltas: usize, num_communities: usize) -> Self {
+        CommunityTraceConfig {
+            base: TraceConfig {
+                num_deltas,
+                weight_add_user: 0.40,
+                weight_remove_user: 0.05,
+                weight_add_event: 0.05,
+                weight_update_capacity: 0.05,
+                weight_update_bids: 0.30,
+                weight_update_interaction: 0.15,
+                ..TraceConfig::default()
+            },
+            num_communities,
+            locality: 0.95,
+            skew: 1.0,
+        }
+    }
+}
+
+/// Generates a community-structured delta trace against (a snapshot of)
+/// `instance`.
+///
+/// `event_communities` names the home community of every existing event
+/// (e.g. `ClusteredDataset::event_communities`); events announced by the
+/// trace itself are dealt to communities round-robin by global event
+/// index. Every arriving user draws a Zipf-skewed home community and
+/// bids inside it with probability [`CommunityTraceConfig::locality`];
+/// bid churn keeps the user's home. Existing users inherit the majority
+/// community of their bids. The same validity guarantees as
+/// [`generate_trace`] hold: applied in order, every delta is valid.
+pub fn generate_community_trace(
+    instance: &Instance,
+    event_communities: &[usize],
+    config: &CommunityTraceConfig,
+    seed: u64,
+) -> DeltaTrace {
+    assert_eq!(
+        event_communities.len(),
+        instance.num_events(),
+        "one community per existing event"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_communities = config.num_communities.max(1);
+
+    // Evolving community membership of events.
+    let mut events_of_community: Vec<Vec<usize>> = vec![Vec::new(); num_communities];
+    for (event, &community) in event_communities.iter().enumerate() {
+        events_of_community[community % num_communities].push(event);
+    }
+    let mut num_events = instance.num_events();
+
+    // Home community of every user: majority of their bids, ties to the
+    // smaller community, `u mod C` for users without bids.
+    let mut user_home: Vec<usize> = instance
+        .users()
+        .iter()
+        .map(|user| {
+            if user.bids.is_empty() {
+                return user.id.index() % num_communities;
+            }
+            let mut votes = vec![0usize; num_communities];
+            for &v in &user.bids {
+                votes[event_communities[v.index()] % num_communities] += 1;
+            }
+            votes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(c, &count)| (count, std::cmp::Reverse(c)))
+                .map(|(c, _)| c)
+                .unwrap_or(0)
+        })
+        .collect();
+
+    // Zipf weights over communities for arriving users.
+    let community_weights: Vec<f64> = (0..num_communities)
+        .map(|c| 1.0 / ((c + 1) as f64).powf(config.skew.max(0.0)))
+        .collect();
+    let total_community_weight: f64 = community_weights.iter().sum();
+
+    let mut active: Vec<usize> = if instance.num_users() > 0 {
+        random_order(instance.num_users(), &mut rng).order
+    } else {
+        Vec::new()
+    };
+    let mut next_active = 0usize;
+
+    let base = &config.base;
+    let rate = base.arrival_rate.max(f64::MIN_POSITIVE);
+    let total_weight = base.total_weight();
+    let mut clock = 0.0;
+    let mut deltas = Vec::with_capacity(base.num_deltas);
+
+    for _ in 0..base.num_deltas {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        clock += -u.ln() / rate;
+
+        let mut draws = 0usize;
+        let delta = loop {
+            draws += 1;
+            let home = {
+                let mut threshold = rng.gen_range(0.0..total_community_weight);
+                let mut chosen = num_communities - 1;
+                for (c, &w) in community_weights.iter().enumerate() {
+                    if threshold < w {
+                        chosen = c;
+                        break;
+                    }
+                    threshold -= w;
+                }
+                chosen
+            };
+            if draws > 16 {
+                user_home.push(home);
+                break make_community_add_user(
+                    config,
+                    home,
+                    &events_of_community,
+                    num_events,
+                    &mut rng,
+                );
+            }
+            let pick = if total_weight > 0.0 {
+                rng.gen_range(0.0..total_weight)
+            } else {
+                0.0
+            };
+            let mut acc = base.weight_add_user;
+            if pick < acc || total_weight <= 0.0 {
+                user_home.push(home);
+                break make_community_add_user(
+                    config,
+                    home,
+                    &events_of_community,
+                    num_events,
+                    &mut rng,
+                );
+            }
+            acc += base.weight_remove_user;
+            if pick < acc {
+                if let Some(user) = pick_active(&active, &mut next_active) {
+                    active.retain(|&x| x != user);
+                    break InstanceDelta::RemoveUser {
+                        user: UserId::new(user),
+                    };
+                }
+                continue;
+            }
+            acc += base.weight_add_event;
+            if pick < acc {
+                // New events are dealt to communities round-robin by id.
+                events_of_community[num_events % num_communities].push(num_events);
+                num_events += 1;
+                break InstanceDelta::AddEvent {
+                    capacity: rng.gen_range(1..=base.max_event_capacity.max(1)),
+                    attrs: AttributeVector::empty(),
+                };
+            }
+            acc += base.weight_update_capacity;
+            if pick < acc {
+                if rng.gen_bool(0.5) && num_events > 0 {
+                    break InstanceDelta::UpdateCapacity {
+                        target: CapacityTarget::Event(EventId::new(rng.gen_range(0..num_events))),
+                        capacity: rng.gen_range(1..=base.max_event_capacity.max(1)),
+                    };
+                }
+                if let Some(user) = pick_active(&active, &mut next_active) {
+                    break InstanceDelta::UpdateCapacity {
+                        target: CapacityTarget::User(UserId::new(user)),
+                        capacity: rng.gen_range(1..=base.max_user_capacity.max(1)),
+                    };
+                }
+                continue;
+            }
+            acc += base.weight_update_bids;
+            if pick < acc {
+                if let Some(user) = pick_active(&active, &mut next_active) {
+                    let home = user_home[user];
+                    break InstanceDelta::UpdateBids {
+                        user: UserId::new(user),
+                        bids: sample_community_bids(
+                            config,
+                            home,
+                            &events_of_community,
+                            num_events,
+                            &mut rng,
+                        ),
+                    };
+                }
+                continue;
+            }
+            if let Some(user) = pick_active(&active, &mut next_active) {
+                break InstanceDelta::UpdateInteractionScore {
+                    user: UserId::new(user),
+                    score: rng.gen_range(0.0..1.0),
+                };
+            }
+            continue;
+        };
+
+        if matches!(delta, InstanceDelta::AddUser { .. }) {
+            active.push(user_home.len() - 1);
+        }
+        deltas.push(TimedDelta { at: clock, delta });
+    }
+
+    DeltaTrace { deltas }
+}
+
+fn make_community_add_user<R: Rng + ?Sized>(
+    config: &CommunityTraceConfig,
+    home: usize,
+    events_of_community: &[Vec<usize>],
+    num_events: usize,
+    rng: &mut R,
+) -> InstanceDelta {
+    InstanceDelta::AddUser {
+        capacity: rng.gen_range(1..=config.base.max_user_capacity.max(1)),
+        attrs: AttributeVector::empty(),
+        bids: sample_community_bids(config, home, events_of_community, num_events, rng),
+        interaction: rng.gen_range(0.0..1.0),
+    }
+}
+
+/// Draws a bid set mostly inside the home community: each bid stays home
+/// with probability `locality` (when the home community has events) and
+/// falls back to a uniform global pick otherwise.
+fn sample_community_bids<R: Rng + ?Sized>(
+    config: &CommunityTraceConfig,
+    home: usize,
+    events_of_community: &[Vec<usize>],
+    num_events: usize,
+    rng: &mut R,
+) -> Vec<EventId> {
+    if num_events == 0 {
+        return Vec::new();
+    }
+    let wanted = rng
+        .gen_range(1..=config.base.max_bids.max(1))
+        .min(num_events);
+    let home_pool = &events_of_community[home % events_of_community.len()];
+    let mut bids: Vec<EventId> = (0..wanted)
+        .map(|_| {
+            if !home_pool.is_empty() && rng.gen_bool(config.locality.clamp(0.0, 1.0)) {
+                EventId::new(home_pool[rng.gen_range(0..home_pool.len())])
+            } else {
+                EventId::new(rng.gen_range(0..num_events))
+            }
+        })
+        .collect();
+    bids.sort_unstable();
+    bids.dedup();
+    bids
+}
+
 fn make_add_user<R: Rng + ?Sized>(
     config: &TraceConfig,
     num_events: usize,
@@ -370,6 +660,101 @@ mod tests {
         let json = serde_json::to_string(&trace).unwrap();
         let back: DeltaTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn community_trace_is_deterministic_and_applies_cleanly() {
+        let dataset = crate::generate_clustered_dataset(&crate::ClusteredConfig::tiny(), 5);
+        let config = CommunityTraceConfig {
+            base: TraceConfig::small(),
+            num_communities: 3,
+            locality: 0.9,
+            skew: 1.0,
+        };
+        let a =
+            generate_community_trace(&dataset.instance, &dataset.event_communities, &config, 21);
+        let b =
+            generate_community_trace(&dataset.instance, &dataset.event_communities, &config, 21);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), config.base.num_deltas);
+        let mut instance = dataset.instance.clone();
+        for timed in &a.deltas {
+            instance
+                .apply_delta(&timed.delta, &NeverConflict, &ConstantInterest(0.5))
+                .expect("community trace deltas must be valid in order");
+        }
+    }
+
+    #[test]
+    fn high_locality_keeps_bids_inside_the_home_community() {
+        let dataset = crate::generate_clustered_dataset(&crate::ClusteredConfig::tiny(), 9);
+        let num_communities = 3;
+        let config = CommunityTraceConfig {
+            base: TraceConfig {
+                num_deltas: 400,
+                weight_add_user: 1.0,
+                weight_remove_user: 0.0,
+                weight_add_event: 0.0,
+                weight_update_capacity: 0.0,
+                weight_update_bids: 0.0,
+                weight_update_interaction: 0.0,
+                ..TraceConfig::default()
+            },
+            num_communities,
+            locality: 1.0,
+            skew: 0.0,
+        };
+        let trace =
+            generate_community_trace(&dataset.instance, &dataset.event_communities, &config, 3);
+        // With locality 1.0 and no new events, every AddUser's bid set
+        // must live inside a single community.
+        for timed in &trace.deltas {
+            if let InstanceDelta::AddUser { bids, .. } = &timed.delta {
+                let communities: std::collections::BTreeSet<usize> = bids
+                    .iter()
+                    .map(|v| dataset.event_communities[v.index()] % num_communities)
+                    .collect();
+                assert!(
+                    communities.len() <= 1,
+                    "bids {bids:?} span communities {communities:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_communities_absorb_more_arrivals() {
+        let dataset = crate::generate_clustered_dataset(&crate::ClusteredConfig::tiny(), 2);
+        let config = CommunityTraceConfig {
+            base: TraceConfig {
+                num_deltas: 600,
+                weight_add_user: 1.0,
+                weight_remove_user: 0.0,
+                weight_add_event: 0.0,
+                weight_update_capacity: 0.0,
+                weight_update_bids: 0.0,
+                weight_update_interaction: 0.0,
+                ..TraceConfig::default()
+            },
+            num_communities: 3,
+            locality: 1.0,
+            skew: 2.0,
+        };
+        let trace =
+            generate_community_trace(&dataset.instance, &dataset.event_communities, &config, 7);
+        // Count arrivals per home community via the bid sets.
+        let mut per_community = vec![0usize; 3];
+        for timed in &trace.deltas {
+            if let InstanceDelta::AddUser { bids, .. } = &timed.delta {
+                if let Some(v) = bids.first() {
+                    per_community[dataset.event_communities[v.index()] % 3] += 1;
+                }
+            }
+        }
+        assert!(
+            per_community[0] > per_community[2],
+            "skew 2.0 must favour community 0: {per_community:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,1102 @@
+//! The sharded engine: N independent [`Shard`]s behind one coordinator.
+//!
+//! ## Partitioned state
+//!
+//! Users are placed onto shards by a pluggable
+//! [`Partitioner`](igepa_core::Partitioner) (sticky: a user never
+//! migrates). Every shard serves a **sub-instance** holding *all* events
+//! but only the shard's users; event capacities in a sub-instance are
+//! per-shard **quotas** that always sum to the true capacity. Because bid,
+//! user-capacity and conflict constraints are per user, each shard's
+//! repair loop is independent, and the quota invariant makes the merged
+//! arrangement feasible *by construction*: per-event merged load is the
+//! sum of shard loads, each bounded by its quota.
+//!
+//! ## Routing
+//!
+//! The coordinator validates every delta against a full-capacity **mirror
+//! instance** first (so rejection semantics match the monolithic engine
+//! exactly), then routes it:
+//!
+//! * user-scoped deltas go to the owning shard with the user id rewritten
+//!   to the shard-local dense id;
+//! * `AddEvent` is broadcast, splitting the capacity into quotas;
+//! * `UpdateCapacity` on an event re-splits the quota, preserving current
+//!   shard loads where possible (evictions only when the total shrinks
+//!   below the merged load).
+//!
+//! ## Reconciliation
+//!
+//! Boundary events — events whose bidders span shards — can strand quota
+//! on a shard with no demand while another shard's bidders go unseated.
+//! Every [`ShardedConfig::reconcile_interval`] applied deltas (and on
+//! explicit [`ShardedEngine::rebalance`]) the coordinator runs the bounded
+//! exchange protocol of [`crate::reconcile`], moving slack quota toward
+//! unmet demand and re-repairing the shards it touched.
+//!
+//! With `num_shards == 1` the single shard serves a clone of the full
+//! instance and every request takes the exact code path of the monolithic
+//! [`Engine`](crate::Engine), reproducing its responses bit for bit.
+
+use crate::reconcile::{self, ReconcileReport};
+use crate::shard::{ApplyOutcome, EngineConfig, EngineStats, RepairKind, Shard};
+use igepa_algos::WarmStart;
+use igepa_core::{
+    Arrangement, CapacityTarget, ConflictFn, CoreError, Event, EventId, Instance, InstanceDelta,
+    InterestFn, Partitioner, User, UserId, UtilityBreakdown,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Configuration of the sharded coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedConfig {
+    /// Number of shards (1 reproduces the monolithic engine bit for bit).
+    pub num_shards: usize,
+    /// Per-shard repair-loop knobs; shard `k` solves with base seed
+    /// `shard.seed + k` so shards draw decorrelated solver streams.
+    pub shard: EngineConfig,
+    /// Run a reconciliation pass every this many applied deltas
+    /// (0 = only on explicit [`ShardedEngine::rebalance`] calls).
+    pub reconcile_interval: u64,
+    /// Bounded exchange rounds per reconciliation pass.
+    pub reconcile_rounds: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            num_shards: 1,
+            shard: EngineConfig::default(),
+            reconcile_interval: 64,
+            reconcile_rounds: 3,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// A config with `num_shards` shards and defaults everywhere else.
+    pub fn with_shards(num_shards: usize) -> Self {
+        ShardedConfig {
+            num_shards,
+            ..ShardedConfig::default()
+        }
+    }
+}
+
+/// Aggregate counters of the coordinator itself (shard counters live in
+/// each shard's [`EngineStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoordinatorStats {
+    /// Reconciliation passes run (periodic and explicit).
+    pub reconcile_passes: u64,
+    /// Capacity units moved between shards across all passes.
+    pub quota_moved: u64,
+    /// Boundary events seen by the most recent pass.
+    pub last_boundary_events: usize,
+}
+
+/// Per-shard summary answered to the `ShardStats` query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatsEntry {
+    /// Shard index.
+    pub shard: usize,
+    /// Users owned by the shard (including retired ones).
+    pub users: usize,
+    /// Pairs the shard currently serves.
+    pub pairs: usize,
+    /// Utility of the shard's slice of the arrangement.
+    pub utility: f64,
+    /// The shard's repair-loop counters.
+    pub stats: EngineStats,
+}
+
+/// σ adapter that replays a prebuilt conflict matrix (events keep their
+/// global ids inside every sub-instance, so lookups are direct).
+struct MatrixSigma<'a>(&'a igepa_core::ConflictMatrix);
+
+impl ConflictFn for MatrixSigma<'_> {
+    fn conflicts(&self, a: &Event, b: &Event) -> bool {
+        self.0.conflicts(a.id, b.id)
+    }
+}
+
+/// Interest adapter that copies cached values out of the global instance
+/// instead of re-evaluating the interest function (which may be stateful
+/// or expensive). `to_global` maps shard-local user ids to global ids.
+struct CopiedInterest<'a> {
+    global: &'a Instance,
+    to_global: &'a [UserId],
+}
+
+impl InterestFn for CopiedInterest<'_> {
+    fn interest(&self, event: &Event, user: &User) -> f64 {
+        self.global
+            .interest(event.id, self.to_global[user.id.index()])
+    }
+}
+
+/// A partitioned arrangement-serving engine. See the module docs.
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    /// Full-capacity global instance, kept in lockstep with the shards.
+    mirror: Instance,
+    sigma: Rc<dyn ConflictFn>,
+    interest: Rc<dyn InterestFn>,
+    solver: Rc<dyn WarmStart>,
+    partitioner: Box<dyn Partitioner>,
+    /// Per global user: `(owning shard, shard-local id)`.
+    owners: Vec<(usize, UserId)>,
+    /// Per shard: shard-local id → global id.
+    locals: Vec<Vec<UserId>>,
+    config: ShardedConfig,
+    /// Cached per-shard utility / pair counts (refreshed on every shard
+    /// touch) so apply outcomes report merged totals in O(num_shards).
+    shard_utility: Vec<f64>,
+    shard_pairs: Vec<usize>,
+    /// Rejections caught by mirror validation (shards never see them).
+    rejected: u64,
+    deltas_since_reconcile: u64,
+    /// Events touched by deltas since the last reconciliation pass —
+    /// the only places quota can newly strand, so the periodic pass
+    /// scans just these instead of the whole catalogue.
+    reconcile_candidates: BTreeSet<EventId>,
+    coordinator_stats: CoordinatorStats,
+    /// Seed counter of the ad-hoc cold solves run by
+    /// [`ShardedEngine::cold_solve_ratio`].
+    probe_counter: u64,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine over `instance`.
+    ///
+    /// `sigma` / `interest` are consulted only for event pairs and bid
+    /// pairs introduced by future deltas, exactly as in the monolithic
+    /// engine — but routed deltas evaluate them against **shard-local**
+    /// user ids (attributes are preserved; ids are remapped), so both
+    /// functions must be *id-independent*: pure functions of the event
+    /// and user attribute vectors (`NeverConflict`, `TimeOverlapConflict`,
+    /// `ConstantInterest`, `CosineInterest`, …). Id- or table-keyed
+    /// implementations such as `TableInterest` would cache values for the
+    /// wrong rows; if one slips through and a shard rejects a
+    /// mirror-validated delta, the engine panics rather than desync.
+    /// The solver is shared by all shards (solvers are stateless);
+    /// shard `k` seeds it with `config.shard.seed + k`.
+    pub fn new(
+        instance: Instance,
+        sigma: Box<dyn ConflictFn>,
+        interest: Box<dyn InterestFn>,
+        solver: Box<dyn WarmStart>,
+        partitioner: Box<dyn Partitioner>,
+        config: ShardedConfig,
+    ) -> Self {
+        let num_shards = config.num_shards.max(1);
+        let sigma: Rc<dyn ConflictFn> = Rc::from(sigma);
+        let interest: Rc<dyn InterestFn> = Rc::from(interest);
+        let solver: Rc<dyn WarmStart> = Rc::from(solver);
+
+        // Place every existing user.
+        let assignment = igepa_core::assign_users(&instance, partitioner.as_ref(), num_shards);
+        let mut locals: Vec<Vec<UserId>> = vec![Vec::new(); num_shards];
+        let mut owners = Vec::with_capacity(instance.num_users());
+        for (u, &k) in assignment.iter().enumerate() {
+            owners.push((k, UserId::new(locals[k].len())));
+            locals[k].push(UserId::new(u));
+        }
+
+        // Split every event's capacity into per-shard quotas, proportional
+        // to each shard's bidder count (even when nobody bids yet).
+        let quotas: Vec<Vec<usize>> = instance
+            .events()
+            .iter()
+            .map(|event| {
+                let mut bidders = vec![0usize; num_shards];
+                for &u in &event.bidders {
+                    bidders[assignment[u.index()]] += 1;
+                }
+                proportional_split(event.capacity, &bidders)
+            })
+            .collect();
+
+        let mut shards = Vec::with_capacity(num_shards);
+        for k in 0..num_shards {
+            let sub_instance = if num_shards == 1 {
+                // Bit-for-bit path: the single shard serves the instance
+                // itself, exactly as the monolithic engine would.
+                instance.clone()
+            } else {
+                build_sub_instance(&instance, &locals[k], |v| quotas[v.index()][k])
+            };
+            let shard_config = EngineConfig {
+                seed: config.shard.seed.wrapping_add(k as u64),
+                ..config.shard.clone()
+            };
+            shards.push(Shard::new(
+                sub_instance,
+                Rc::clone(&sigma),
+                Rc::clone(&interest),
+                Rc::clone(&solver),
+                shard_config,
+            ));
+        }
+
+        let shard_utility = shards.iter().map(Shard::utility).collect();
+        let shard_pairs = shards.iter().map(|s| s.arrangement().len()).collect();
+        ShardedEngine {
+            shards,
+            mirror: instance,
+            sigma,
+            interest,
+            solver,
+            partitioner,
+            owners,
+            locals,
+            config,
+            shard_utility,
+            shard_pairs,
+            rejected: 0,
+            deltas_since_reconcile: 0,
+            reconcile_candidates: BTreeSet::new(),
+            coordinator_stats: CoordinatorStats::default(),
+            probe_counter: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The full-capacity global instance (kept in lockstep with shards).
+    pub fn instance(&self) -> &Instance {
+        &self.mirror
+    }
+
+    /// One shard, for inspection.
+    pub fn shard(&self, k: usize) -> &Shard {
+        &self.shards[k]
+    }
+
+    /// The coordinator's configuration.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// Owning shard of a global user id, if the user exists.
+    pub fn shard_of(&self, user: UserId) -> Option<usize> {
+        self.owners.get(user.index()).map(|&(k, _)| k)
+    }
+
+    /// Coordinator-level counters (reconciliation activity).
+    pub fn coordinator_stats(&self) -> &CoordinatorStats {
+        &self.coordinator_stats
+    }
+
+    /// Aggregated repair-loop counters across shards, plus the rejections
+    /// caught by mirror validation. With one shard this equals the
+    /// monolithic engine's stats.
+    pub fn stats(&self) -> EngineStats {
+        // Seed the fold from the first shard (not `default()`) so a
+        // single shard's counters — including a *negative* observed
+        // drift, which `merged`'s max would clobber with 0.0 — pass
+        // through unchanged.
+        let mut shards = self.shards.iter();
+        let mut total = *shards.next().expect("at least one shard").stats();
+        for shard in shards {
+            total = total.merged(shard.stats());
+        }
+        total.deltas_rejected += self.rejected;
+        total
+    }
+
+    /// Total utility currently served (sum of shard utilities).
+    pub fn utility(&self) -> f64 {
+        self.shard_utility.iter().sum()
+    }
+
+    /// Total pairs currently served.
+    pub fn num_pairs(&self) -> usize {
+        self.shard_pairs.iter().sum()
+    }
+
+    /// The merged arrangement over the global instance: every shard's
+    /// assignments with local user ids mapped back to global ids. Always
+    /// feasible for [`ShardedEngine::instance`] (the quota invariant).
+    pub fn merged_arrangement(&self) -> Arrangement {
+        let mut merged = Arrangement::new(self.mirror.num_events(), self.mirror.num_users());
+        for (k, shard) in self.shards.iter().enumerate() {
+            for (local, &global) in self.locals[k].iter().enumerate() {
+                for &v in shard.arrangement().events_of(UserId::new(local)) {
+                    merged.assign(v, global);
+                }
+            }
+        }
+        merged
+    }
+
+    /// Utility breakdown of the merged arrangement, computed as the sum
+    /// of per-shard breakdowns — O(pairs) with no intermediate merged
+    /// [`Arrangement`], and for one shard exactly the monolithic
+    /// computation (bit for bit).
+    pub fn merged_utility(&self) -> UtilityBreakdown {
+        let mut total = 0.0;
+        let mut interest_sum = 0.0;
+        let mut interaction_sum = 0.0;
+        for shard in &self.shards {
+            let breakdown = shard.arrangement().utility(shard.instance());
+            total += breakdown.total;
+            interest_sum += breakdown.interest_sum;
+            interaction_sum += breakdown.interaction_sum;
+        }
+        UtilityBreakdown {
+            total,
+            interest_sum,
+            interaction_sum,
+            beta: self.mirror.beta(),
+        }
+    }
+
+    /// Runs one cold solve of the full instance with the shared solver and
+    /// reports `served / cold` (1.0 when the cold solve is empty). The
+    /// monolithic quality yardstick; does not modify the served state.
+    pub fn cold_solve_ratio(&mut self) -> f64 {
+        let seed = self.config.shard.seed.wrapping_add(self.probe_counter);
+        self.probe_counter += 1;
+        let cold = self.solver.run_seeded(&self.mirror, seed);
+        let cold_utility = cold.utility_value(&self.mirror);
+        if cold_utility <= 0.0 {
+            return 1.0;
+        }
+        self.merged_utility().total / cold_utility
+    }
+
+    /// Applies one delta: validate on the mirror, route to the owning
+    /// shard(s), repair, and reconcile when the interval elapsed.
+    pub fn apply(&mut self, delta: &InstanceDelta) -> Result<ApplyOutcome, CoreError> {
+        let effect =
+            match self
+                .mirror
+                .apply_delta(delta, self.sigma.as_ref(), self.interest.as_ref())
+            {
+                Ok(effect) => effect,
+                Err(e) => {
+                    self.rejected += 1;
+                    return Err(e);
+                }
+            };
+        self.note_candidates(&effect);
+        let repair = self.route(delta, effect.created_user);
+        let outcome = ApplyOutcome {
+            kind: delta.kind().to_string(),
+            repair,
+            utility: self.utility(),
+            num_pairs: self.num_pairs(),
+        };
+        self.after_deltas(1);
+        Ok(outcome)
+    }
+
+    /// Applies a batch with one repair pass per touched shard. Semantics
+    /// match the monolithic engine: the prefix before the first invalid
+    /// delta stays applied (and repaired) and the error is returned.
+    pub fn apply_batch(&mut self, deltas: &[InstanceDelta]) -> Result<ApplyOutcome, CoreError> {
+        let num_shards = self.shards.len();
+        let mut per_shard: Vec<Vec<InstanceDelta>> = vec![Vec::new(); num_shards];
+        let mut first_error = None;
+        let mut accepted = 0u64;
+
+        for delta in deltas {
+            let effect =
+                match self
+                    .mirror
+                    .apply_delta(delta, self.sigma.as_ref(), self.interest.as_ref())
+                {
+                    Ok(effect) => effect,
+                    Err(e) => {
+                        self.rejected += 1;
+                        first_error = Some(e);
+                        break;
+                    }
+                };
+            accepted += 1;
+            self.note_candidates(&effect);
+            self.plan(delta, effect.created_user, &mut per_shard);
+        }
+
+        let mut worst = RepairKind::Untouched;
+        for k in 0..num_shards {
+            // A single shard always receives the batch (even an empty
+            // one) so the monolithic repair-once path is reproduced.
+            if per_shard[k].is_empty() && num_shards > 1 {
+                continue;
+            }
+            let outcome = self.shards[k].apply_batch(&per_shard[k]).unwrap_or_else(|e| {
+                panic!(
+                    "shard {k} rejected a mirror-validated batch ({e});                      ShardedEngine requires attribute-based (id-independent)                      conflict and interest functions"
+                )
+            });
+            if outcome.repair.severity() > worst.severity() {
+                worst = outcome.repair;
+            }
+            self.refresh(k, &outcome);
+        }
+        self.after_deltas(accepted);
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(ApplyOutcome {
+            kind: "batch".to_string(),
+            repair: worst,
+            utility: self.utility(),
+            num_pairs: self.num_pairs(),
+        })
+    }
+
+    /// Runs an explicit full reconciliation pass (every event examined)
+    /// and reports what moved.
+    pub fn rebalance(&mut self) -> ReconcileReport {
+        self.reconcile_now(true)
+    }
+
+    /// Applies a shard-local delta, turning a rejection into a loud
+    /// invariant panic: the mirror already validated the delta, so a
+    /// shard can only disagree when the caller's σ/interest functions
+    /// violate the id-independence contract of [`ShardedEngine::new`] —
+    /// continuing would silently desync the mirror from the shards.
+    fn shard_apply(&mut self, k: usize, delta: &InstanceDelta) -> ApplyOutcome {
+        let outcome = self.shards[k].apply(delta).unwrap_or_else(|e| {
+            panic!(
+                "shard {k} rejected a mirror-validated delta ({e});                  ShardedEngine requires attribute-based (id-independent)                  conflict and interest functions"
+            )
+        });
+        self.refresh(k, &outcome);
+        outcome
+    }
+
+    /// Routes one mirror-validated delta and returns the worst repair the
+    /// shards ran for it.
+    fn route(&mut self, delta: &InstanceDelta, created_user: Option<UserId>) -> RepairKind {
+        let num_shards = self.shards.len();
+        match delta {
+            InstanceDelta::AddUser { .. } => {
+                let k = self.register_new_user(created_user.expect("AddUser creates a user"));
+                self.shard_apply(k, delta).repair
+            }
+            InstanceDelta::AddEvent { capacity, attrs } => {
+                let split = proportional_split(*capacity, &vec![0usize; num_shards]);
+                let mut worst = RepairKind::Untouched;
+                for k in 0..num_shards {
+                    let outcome = self.shard_apply(
+                        k,
+                        &InstanceDelta::AddEvent {
+                            capacity: split[k],
+                            attrs: attrs.clone(),
+                        },
+                    );
+                    if outcome.repair.severity() > worst.severity() {
+                        worst = outcome.repair;
+                    }
+                }
+                worst
+            }
+            InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::Event(event),
+                capacity,
+            } => {
+                let quotas = self.resplit_event(*event, *capacity);
+                let mut worst = RepairKind::Untouched;
+                for k in 0..num_shards {
+                    let outcome = self.shard_apply(
+                        k,
+                        &InstanceDelta::UpdateCapacity {
+                            target: CapacityTarget::Event(*event),
+                            capacity: quotas[k],
+                        },
+                    );
+                    if outcome.repair.severity() > worst.severity() {
+                        worst = outcome.repair;
+                    }
+                }
+                worst
+            }
+            _ => {
+                let (k, local) = self.rewrite_owner(delta);
+                self.shard_apply(k, &local).repair
+            }
+        }
+    }
+
+    /// Batch planning: registers new users, splits broadcast capacities
+    /// and pushes the shard-local delta(s) onto `per_shard`.
+    fn plan(
+        &mut self,
+        delta: &InstanceDelta,
+        created_user: Option<UserId>,
+        per_shard: &mut [Vec<InstanceDelta>],
+    ) {
+        let num_shards = self.shards.len();
+        match delta {
+            InstanceDelta::AddUser { .. } => {
+                let k = self.register_new_user(created_user.expect("AddUser creates a user"));
+                per_shard[k].push(delta.clone());
+            }
+            InstanceDelta::AddEvent { capacity, attrs } => {
+                let split = proportional_split(*capacity, &vec![0usize; num_shards]);
+                for (k, quotas) in per_shard.iter_mut().enumerate() {
+                    quotas.push(InstanceDelta::AddEvent {
+                        capacity: split[k],
+                        attrs: attrs.clone(),
+                    });
+                }
+            }
+            InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::Event(event),
+                capacity,
+            } => {
+                let quotas = self.resplit_event(*event, *capacity);
+                for (k, batch) in per_shard.iter_mut().enumerate() {
+                    batch.push(InstanceDelta::UpdateCapacity {
+                        target: CapacityTarget::Event(*event),
+                        capacity: quotas[k],
+                    });
+                }
+            }
+            _ => {
+                let (k, local) = self.rewrite_owner(delta);
+                per_shard[k].push(local);
+            }
+        }
+    }
+
+    /// Assigns a freshly created global user to a shard and records the
+    /// global → (shard, local) mapping. Returns the shard.
+    fn register_new_user(&mut self, global: UserId) -> usize {
+        let bids = &self.mirror.user(global).bids;
+        let k = self
+            .partitioner
+            .shard_for(global, bids, self.shards.len())
+            .min(self.shards.len() - 1);
+        self.owners.push((k, UserId::new(self.locals[k].len())));
+        self.locals[k].push(global);
+        k
+    }
+
+    /// Rewrites a user-scoped delta to the owning shard's local id.
+    fn rewrite_owner(&self, delta: &InstanceDelta) -> (usize, InstanceDelta) {
+        let global = match delta {
+            InstanceDelta::RemoveUser { user }
+            | InstanceDelta::UpdateBids { user, .. }
+            | InstanceDelta::UpdateInteractionScore { user, .. }
+            | InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::User(user),
+                ..
+            } => *user,
+            _ => unreachable!("route/plan dispatch covers the other kinds"),
+        };
+        let (k, local) = self.owners[global.index()];
+        let rewritten = match delta {
+            InstanceDelta::RemoveUser { .. } => InstanceDelta::RemoveUser { user: local },
+            InstanceDelta::UpdateBids { bids, .. } => InstanceDelta::UpdateBids {
+                user: local,
+                bids: bids.clone(),
+            },
+            InstanceDelta::UpdateInteractionScore { score, .. } => {
+                InstanceDelta::UpdateInteractionScore {
+                    user: local,
+                    score: *score,
+                }
+            }
+            InstanceDelta::UpdateCapacity { capacity, .. } => InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::User(local),
+                capacity: *capacity,
+            },
+            _ => unreachable!(),
+        };
+        (k, rewritten)
+    }
+
+    /// Re-splits an event's (possibly changed) total capacity into quotas,
+    /// preserving each shard's current load when the total allows it;
+    /// slack is dealt proportionally to bidder counts. When the total
+    /// shrinks below the merged load, loads are cut proportionally (the
+    /// shards evict through their normal repair path).
+    fn resplit_event(&self, event: EventId, capacity: usize) -> Vec<usize> {
+        let num_shards = self.shards.len();
+        let loads: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| {
+                if event.index() < s.arrangement().num_events() {
+                    s.load_of(event)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let total_load: usize = loads.iter().sum();
+        if capacity >= total_load {
+            let mut bidders = vec![0usize; num_shards];
+            if event.index() < self.mirror.num_events() {
+                for &u in &self.mirror.event(event).bidders {
+                    bidders[self.owners[u.index()].0] += 1;
+                }
+            }
+            let slack = proportional_split(capacity - total_load, &bidders);
+            loads.iter().zip(slack).map(|(&l, s)| l + s).collect()
+        } else {
+            proportional_split(capacity, &loads)
+        }
+    }
+
+    /// Updates the cached utility / pair count of a shard from its latest
+    /// apply outcome.
+    fn refresh(&mut self, k: usize, outcome: &ApplyOutcome) {
+        self.shard_utility[k] = outcome.utility;
+        self.shard_pairs[k] = outcome.num_pairs;
+    }
+
+    /// Reconciliation bookkeeping after `accepted` applied deltas.
+    fn after_deltas(&mut self, accepted: u64) {
+        self.deltas_since_reconcile += accepted;
+        if self.shards.len() > 1
+            && self.config.reconcile_interval > 0
+            && self.deltas_since_reconcile >= self.config.reconcile_interval
+        {
+            self.deltas_since_reconcile = 0;
+            self.reconcile_now(false);
+        }
+    }
+
+    /// Records where a delta may have stranded quota: the events it
+    /// dirtied plus every bid of the users it dirtied (a user-capacity
+    /// change shifts demand at all of their events).
+    fn note_candidates(&mut self, effect: &igepa_core::DeltaEffect) {
+        if self.shards.len() <= 1 {
+            return;
+        }
+        self.reconcile_candidates
+            .extend(effect.dirty_events.iter().copied());
+        if let Some(event) = effect.created_event {
+            self.reconcile_candidates.insert(event);
+        }
+        for &user in &effect.dirty_users {
+            if user.index() < self.mirror.num_users() {
+                self.reconcile_candidates
+                    .extend(self.mirror.user(user).bids.iter().copied());
+            }
+        }
+    }
+
+    fn reconcile_now(&mut self, full: bool) -> ReconcileReport {
+        let events: Vec<EventId> = if full {
+            self.mirror.events().iter().map(|e| e.id).collect()
+        } else {
+            self.reconcile_candidates.iter().copied().collect()
+        };
+        self.reconcile_candidates.clear();
+        let report = reconcile::run(
+            &mut self.shards,
+            &self.mirror,
+            &self.owners,
+            &events,
+            self.config.reconcile_rounds,
+        );
+        self.coordinator_stats.reconcile_passes += 1;
+        self.coordinator_stats.quota_moved += report.quota_moved as u64;
+        self.coordinator_stats.last_boundary_events = report.boundary_events;
+        if report.quota_moved > 0 {
+            for (k, shard) in self.shards.iter().enumerate() {
+                self.shard_utility[k] = shard.utility();
+                self.shard_pairs[k] = shard.arrangement().len();
+            }
+        }
+        report
+    }
+
+    /// Events currently assigned to a global user (empty for unknown
+    /// ids), read from the owning shard.
+    pub fn assignments_of(&self, user: UserId) -> Vec<EventId> {
+        self.owners
+            .get(user.index())
+            .map(|&(k, local)| self.shards[k].arrangement().events_of(local).to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Per-shard summaries for the `ShardStats` query. Mirror-level
+    /// rejections never reach a shard, so they are attributed to shard 0
+    /// — exactly where the monolithic engine counts them, keeping the
+    /// one-shard response bit-for-bit identical.
+    pub(crate) fn shard_stats_entries(&self) -> Vec<ShardStatsEntry> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                let mut stats = *shard.stats();
+                if k == 0 {
+                    stats.deltas_rejected += self.rejected;
+                }
+                ShardStatsEntry {
+                    shard: k,
+                    users: shard.instance().num_users(),
+                    pairs: shard.arrangement().len(),
+                    utility: shard.utility(),
+                    stats,
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("num_shards", &self.shards.len())
+            .field("num_events", &self.mirror.num_events())
+            .field("num_users", &self.mirror.num_users())
+            .field("num_pairs", &self.num_pairs())
+            .field("coordinator_stats", &self.coordinator_stats)
+            .finish()
+    }
+}
+
+/// Builds shard `k`'s sub-instance: all events (with quota capacities),
+/// only the mapped users, and conflict/interest data copied from the
+/// global instance rather than re-evaluated.
+fn build_sub_instance(
+    global: &Instance,
+    to_global: &[UserId],
+    quota_of: impl Fn(EventId) -> usize,
+) -> Instance {
+    let mut builder = Instance::builder();
+    builder.beta(global.beta());
+    for event in global.events() {
+        builder.add_event(quota_of(event.id), event.attrs.clone());
+    }
+    for &g in to_global {
+        let user = global.user(g);
+        builder.add_user(user.capacity, user.attrs.clone(), user.bids.clone());
+    }
+    builder.interaction_scores(to_global.iter().map(|&g| global.interaction(g)).collect());
+    builder
+        .build(
+            &MatrixSigma(global.conflicts()),
+            &CopiedInterest { global, to_global },
+        )
+        .expect("sub-instance of a valid instance is valid")
+}
+
+/// Largest-remainder split of `capacity` into `weights.len()` parts,
+/// proportional to `weights`; an even split when all weights are zero.
+/// Deterministic: remainders go to the largest fractional part, ties to
+/// the lowest index. The parts always sum to `capacity`.
+fn proportional_split(capacity: usize, weights: &[usize]) -> Vec<usize> {
+    let n = weights.len().max(1);
+    let total: usize = weights.iter().sum();
+    if total == 0 {
+        let base = capacity / n;
+        let rem = capacity % n;
+        return (0..n).map(|k| base + usize::from(k < rem)).collect();
+    }
+    let mut parts: Vec<usize> = weights.iter().map(|&w| capacity * w / total).collect();
+    let mut remainder = capacity - parts.iter().sum::<usize>();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&k| (std::cmp::Reverse(capacity * weights[k] % total), k));
+    for &k in &order {
+        if remainder == 0 {
+            break;
+        }
+        parts[k] += 1;
+        remainder -= 1;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igepa_algos::GreedyArrangement;
+    use igepa_core::{AttributeVector, ConstantInterest, HashPartitioner, NeverConflict};
+
+    fn sharded_for(num_events: usize, num_users: usize, num_shards: usize) -> ShardedEngine {
+        let mut b = Instance::builder();
+        let events: Vec<EventId> = (0..num_events)
+            .map(|_| b.add_event(2, AttributeVector::empty()))
+            .collect();
+        for _ in 0..num_users {
+            b.add_user(2, AttributeVector::empty(), events.clone());
+        }
+        b.interaction_scores(vec![0.5; num_users]);
+        let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        ShardedEngine::new(
+            instance,
+            Box::new(NeverConflict),
+            Box::new(ConstantInterest(0.5)),
+            Box::new(GreedyArrangement),
+            Box::new(HashPartitioner),
+            ShardedConfig::with_shards(num_shards),
+        )
+    }
+
+    #[test]
+    fn proportional_split_sums_and_orders_deterministically() {
+        assert_eq!(proportional_split(7, &[0, 0, 0]), vec![3, 2, 2]);
+        assert_eq!(proportional_split(0, &[1, 2]), vec![0, 0]);
+        let parts = proportional_split(10, &[1, 1, 3]);
+        assert_eq!(parts.iter().sum::<usize>(), 10);
+        assert_eq!(parts, vec![2, 2, 6]);
+        // Remainders go to the largest fractional part, ties to low index.
+        assert_eq!(proportional_split(5, &[1, 1]), vec![3, 2]);
+    }
+
+    #[test]
+    fn quotas_partition_every_event_capacity() {
+        let engine = sharded_for(5, 12, 3);
+        for event in engine.instance().events() {
+            let total: usize = (0..engine.num_shards())
+                .map(|k| engine.shard(k).quota_of(event.id))
+                .sum();
+            assert_eq!(total, event.capacity, "quota invariant on {}", event.id);
+        }
+    }
+
+    #[test]
+    fn merged_arrangement_is_feasible_from_the_start() {
+        let engine = sharded_for(4, 10, 3);
+        let merged = engine.merged_arrangement();
+        assert!(merged.is_feasible(engine.instance()));
+        assert_eq!(merged.len(), engine.num_pairs());
+    }
+
+    #[test]
+    fn deltas_route_and_keep_the_merged_arrangement_feasible() {
+        let mut engine = sharded_for(3, 9, 2);
+        engine
+            .apply(&InstanceDelta::AddUser {
+                capacity: 2,
+                attrs: AttributeVector::empty(),
+                bids: vec![EventId::new(0), EventId::new(2)],
+                interaction: 0.9,
+            })
+            .unwrap();
+        engine
+            .apply(&InstanceDelta::AddEvent {
+                capacity: 5,
+                attrs: AttributeVector::empty(),
+            })
+            .unwrap();
+        engine
+            .apply(&InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::Event(EventId::new(0)),
+                capacity: 1,
+            })
+            .unwrap();
+        engine
+            .apply(&InstanceDelta::RemoveUser {
+                user: UserId::new(3),
+            })
+            .unwrap();
+        let merged = engine.merged_arrangement();
+        assert!(merged.is_feasible(engine.instance()));
+        // Quota invariant survives every routed delta.
+        for event in engine.instance().events() {
+            let total: usize = (0..engine.num_shards())
+                .map(|k| engine.shard(k).quota_of(event.id))
+                .sum();
+            assert_eq!(total, event.capacity);
+        }
+        // Mirror and shards agree on the population.
+        assert_eq!(engine.instance().num_users(), 10);
+        let shard_users: usize = (0..engine.num_shards())
+            .map(|k| engine.shard(k).instance().num_users())
+            .sum();
+        assert_eq!(shard_users, 10);
+    }
+
+    #[test]
+    fn rejected_deltas_touch_no_shard() {
+        let mut engine = sharded_for(2, 4, 2);
+        let before = engine.stats();
+        let err = engine.apply(&InstanceDelta::UpdateInteractionScore {
+            user: UserId::new(99),
+            score: 0.5,
+        });
+        assert!(err.is_err());
+        let after = engine.stats();
+        assert_eq!(after.deltas_rejected, before.deltas_rejected + 1);
+        assert_eq!(after.deltas_applied, before.deltas_applied);
+    }
+
+    #[test]
+    fn rebalance_is_a_noop_when_quota_matches_demand() {
+        // Bidder-proportional initial quotas put all capacity where the
+        // users are, so there is nothing for the exchange to move.
+        let mut b = Instance::builder();
+        let v = b.add_event(2, AttributeVector::empty());
+        for _ in 0..3 {
+            b.add_user(1, AttributeVector::empty(), vec![v]);
+        }
+        b.interaction_scores(vec![0.5; 3]);
+        let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+
+        #[derive(Debug)]
+        struct AllToZero;
+        impl Partitioner for AllToZero {
+            fn shard_for(&self, _u: UserId, _b: &[EventId], _n: usize) -> usize {
+                0
+            }
+        }
+        let mut engine = ShardedEngine::new(
+            instance,
+            Box::new(NeverConflict),
+            Box::new(ConstantInterest(0.5)),
+            Box::new(GreedyArrangement),
+            Box::new(AllToZero),
+            ShardedConfig {
+                num_shards: 2,
+                reconcile_interval: 0,
+                ..ShardedConfig::with_shards(2)
+            },
+        );
+        assert_eq!(engine.shard(0).quota_of(v), 2);
+        let before_pairs = engine.num_pairs();
+        let report = engine.rebalance();
+        assert_eq!(report.quota_moved, 0);
+        assert_eq!(engine.num_pairs(), before_pairs);
+    }
+
+    #[test]
+    fn stranded_quota_is_reclaimed_by_reconciliation() {
+        // Capacity 4 event, 4 bidders all hashed onto both shards; force a
+        // bad split by routing every user to shard 1 while the quota is
+        // dealt evenly (no bidders at construction time).
+        let mut b = Instance::builder();
+        let v = b.add_event(4, AttributeVector::empty());
+        // No users yet: quotas split evenly 2/2.
+        b.interaction_scores(vec![]);
+        let _ = v;
+        let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+
+        #[derive(Debug)]
+        struct AllToOne;
+        impl Partitioner for AllToOne {
+            fn shard_for(&self, _u: UserId, _b: &[EventId], n: usize) -> usize {
+                n - 1
+            }
+        }
+        let mut engine = ShardedEngine::new(
+            instance,
+            Box::new(NeverConflict),
+            Box::new(ConstantInterest(0.5)),
+            Box::new(GreedyArrangement),
+            Box::new(AllToOne),
+            ShardedConfig {
+                num_shards: 2,
+                reconcile_interval: 0,
+                ..ShardedConfig::with_shards(2)
+            },
+        );
+        assert_eq!(engine.shard(0).quota_of(EventId::new(0)), 2);
+        for _ in 0..4 {
+            engine
+                .apply(&InstanceDelta::AddUser {
+                    capacity: 1,
+                    attrs: AttributeVector::empty(),
+                    bids: vec![EventId::new(0)],
+                    interaction: 0.5,
+                })
+                .unwrap();
+        }
+        // Only 2 of 4 bidders fit into shard 1's quota before reconciling.
+        assert_eq!(engine.num_pairs(), 2);
+        let report = engine.rebalance();
+        assert_eq!(report.quota_moved, 2);
+        assert_eq!(engine.num_pairs(), 4);
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+        assert_eq!(engine.coordinator_stats().quota_moved, 2);
+    }
+
+    #[test]
+    fn periodic_reconcile_fires_on_the_interval() {
+        let mut b = Instance::builder();
+        b.add_event(4, AttributeVector::empty());
+        b.interaction_scores(vec![]);
+        let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+
+        #[derive(Debug)]
+        struct AllToOne;
+        impl Partitioner for AllToOne {
+            fn shard_for(&self, _u: UserId, _b: &[EventId], n: usize) -> usize {
+                n - 1
+            }
+        }
+        let mut engine = ShardedEngine::new(
+            instance,
+            Box::new(NeverConflict),
+            Box::new(ConstantInterest(0.5)),
+            Box::new(GreedyArrangement),
+            Box::new(AllToOne),
+            ShardedConfig {
+                num_shards: 2,
+                reconcile_interval: 4,
+                ..ShardedConfig::with_shards(2)
+            },
+        );
+        for _ in 0..4 {
+            engine
+                .apply(&InstanceDelta::AddUser {
+                    capacity: 1,
+                    attrs: AttributeVector::empty(),
+                    bids: vec![EventId::new(0)],
+                    interaction: 0.5,
+                })
+                .unwrap();
+        }
+        // The fourth delta crossed the interval: quota was reclaimed
+        // automatically and all four bidders are seated.
+        assert!(engine.coordinator_stats().reconcile_passes >= 1);
+        assert_eq!(engine.num_pairs(), 4);
+    }
+
+    #[test]
+    fn batch_routes_to_multiple_shards_with_one_repair_each() {
+        let mut engine = sharded_for(2, 8, 2);
+        let deltas: Vec<InstanceDelta> = (0..8)
+            .map(|u| InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(u),
+                score: 0.7,
+            })
+            .collect();
+        let outcome = engine.apply_batch(&deltas).unwrap();
+        assert_eq!(outcome.kind, "batch");
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+        let stats = engine.stats();
+        assert_eq!(stats.deltas_applied, 8);
+    }
+
+    #[test]
+    fn batch_error_keeps_prefix_applied() {
+        let mut engine = sharded_for(2, 2, 2);
+        let deltas = vec![
+            InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(0),
+                score: 0.9,
+            },
+            InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(77),
+                score: 0.9,
+            },
+            InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(1),
+                score: 0.9,
+            },
+        ];
+        let err = engine.apply_batch(&deltas);
+        assert!(err.is_err());
+        assert_eq!(engine.instance().interaction(UserId::new(0)), 0.9);
+        // The delta after the invalid one was not applied.
+        assert_eq!(engine.instance().interaction(UserId::new(1)), 0.5);
+        assert_eq!(engine.stats().deltas_applied, 1);
+        assert_eq!(engine.stats().deltas_rejected, 1);
+    }
+}

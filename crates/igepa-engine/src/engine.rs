@@ -1,109 +1,20 @@
-//! The serving engine: delta application, dirty tracking and the
-//! warm-start repair loop. See the crate docs for the model.
+//! The single-instance serving engine: one [`Shard`] over the full
+//! instance.
+//!
+//! The solve/repair core lives in [`crate::shard`]; this wrapper keeps the
+//! original monolithic API (and bit-for-bit behaviour) for callers that do
+//! not need sharding. The sharded coordinator is [`crate::ShardedEngine`].
 
-use igepa_algos::{admit_greedily, WarmStart};
-use igepa_core::{
-    Arrangement, ConflictFn, CoreError, DirtySet, EventId, Instance, InstanceDelta, InterestFn,
-    UserId,
-};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use crate::shard::Shard;
+pub use crate::shard::{ApplyOutcome, BatchPolicy, EngineConfig, EngineStats, RepairKind};
+use igepa_algos::WarmStart;
+use igepa_core::{Arrangement, ConflictFn, CoreError, Instance, InstanceDelta, InterestFn};
+use std::rc::Rc;
 
-/// Tuning knobs of the repair loop.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct EngineConfig {
-    /// Base seed for every solver invocation; solves draw `seed`,
-    /// `seed + 1`, … so runs are reproducible.
-    pub seed: u64,
-    /// When the dirty-user count exceeds this fraction of all users, the
-    /// greedy patch escalates to a full warm-start re-solve.
-    pub escalation_fraction: f64,
-    /// Run a cold solve and compare utilities every this many deltas
-    /// (0 disables staleness checking).
-    pub staleness_check_interval: u64,
-    /// Adopt the cold solution when the served utility falls below
-    /// `(1 − max_staleness) ×` the cold utility.
-    pub max_staleness: f64,
-}
-
-impl Default for EngineConfig {
-    fn default() -> Self {
-        EngineConfig {
-            seed: 0,
-            escalation_fraction: 0.25,
-            staleness_check_interval: 256,
-            max_staleness: 0.05,
-        }
-    }
-}
-
-/// Counters describing the engine's activity so far.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct EngineStats {
-    /// Deltas applied successfully.
-    pub deltas_applied: u64,
-    /// Deltas rejected by validation.
-    pub deltas_rejected: u64,
-    /// Repairs handled by the greedy patch.
-    pub greedy_patches: u64,
-    /// Repairs escalated to a full warm-start re-solve.
-    pub full_resolves: u64,
-    /// Cold solves adopted by the staleness check.
-    pub staleness_resolves: u64,
-    /// Cold solves run by the staleness check (adopted or not).
-    pub staleness_checks: u64,
-    /// Utility drift `1 − served/cold` observed at the last staleness
-    /// check (negative when the served arrangement was better).
-    pub last_observed_drift: f64,
-}
-
-/// How [`Engine::apply`] restored the arrangement after a delta.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum RepairKind {
-    /// The delta left the arrangement feasible and no candidates improved
-    /// it (nothing changed).
-    Untouched,
-    /// Local prune / evict / re-admit around the dirty set.
-    GreedyPatch {
-        /// Pairs removed while restoring feasibility.
-        pruned: usize,
-        /// Pairs added back by greedy re-admission.
-        added: usize,
-    },
-    /// Full warm-start re-solve (dirty set exceeded the escalation
-    /// threshold).
-    FullResolve,
-    /// A staleness check replaced the served arrangement with a fresh cold
-    /// solve (possibly after one of the other repairs ran first).
-    StalenessResolve,
-}
-
-/// Result of one successful [`Engine::apply`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ApplyOutcome {
-    /// What kind of delta was applied.
-    pub kind: String,
-    /// How the arrangement was repaired.
-    pub repair: RepairKind,
-    /// Utility of the served arrangement after repair.
-    pub utility: f64,
-    /// Number of (event, user) pairs served after repair.
-    pub num_pairs: usize,
-}
-
-/// A long-lived arrangement-serving engine. See the crate docs.
+/// A long-lived arrangement-serving engine over one instance. See the
+/// crate docs.
 pub struct Engine {
-    instance: Instance,
-    arrangement: Arrangement,
-    dirty: DirtySet,
-    sigma: Box<dyn ConflictFn>,
-    interest: Box<dyn InterestFn>,
-    solver: Box<dyn WarmStart>,
-    config: EngineConfig,
-    stats: EngineStats,
-    solve_counter: u64,
-    /// `stats.deltas_applied` at the last staleness check.
-    last_staleness_check: u64,
+    shard: Shard,
 }
 
 impl Engine {
@@ -119,46 +30,41 @@ impl Engine {
         solver: Box<dyn WarmStart>,
         config: EngineConfig,
     ) -> Self {
-        let mut engine = Engine {
-            arrangement: Arrangement::empty_for(&instance),
-            instance,
-            dirty: DirtySet::new(),
-            sigma,
-            interest,
-            solver,
-            config,
-            stats: EngineStats::default(),
-            solve_counter: 0,
-            last_staleness_check: 0,
-        };
-        engine.arrangement = engine.next_solve(None);
-        engine
+        Engine {
+            shard: Shard::new(
+                instance,
+                Rc::from(sigma),
+                Rc::from(interest),
+                Rc::from(solver),
+                config,
+            ),
+        }
     }
 
     /// The instance currently served.
     pub fn instance(&self) -> &Instance {
-        &self.instance
+        self.shard.instance()
     }
 
     /// The arrangement currently served (always feasible for
     /// [`Engine::instance`]).
     pub fn arrangement(&self) -> &Arrangement {
-        &self.arrangement
+        self.shard.arrangement()
     }
 
     /// Utility of the served arrangement.
     pub fn utility(&self) -> f64 {
-        self.arrangement.utility_value(&self.instance)
+        self.shard.utility()
     }
 
     /// Activity counters.
     pub fn stats(&self) -> &EngineStats {
-        &self.stats
+        self.shard.stats()
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        self.shard.config()
     }
 
     /// Applies one delta and repairs the served arrangement.
@@ -166,33 +72,7 @@ impl Engine {
     /// On validation errors the instance, arrangement and counters (except
     /// `deltas_rejected`) are unchanged.
     pub fn apply(&mut self, delta: &InstanceDelta) -> Result<ApplyOutcome, CoreError> {
-        let effect =
-            match self
-                .instance
-                .apply_delta(delta, self.sigma.as_ref(), self.interest.as_ref())
-            {
-                Ok(effect) => effect,
-                Err(e) => {
-                    self.stats.deltas_rejected += 1;
-                    return Err(e);
-                }
-            };
-        self.arrangement
-            .grow(self.instance.num_events(), self.instance.num_users());
-        self.dirty.absorb(&effect);
-        self.stats.deltas_applied += 1;
-
-        let mut repair = self.repair();
-        if self.maybe_check_staleness() {
-            repair = RepairKind::StalenessResolve;
-        }
-
-        Ok(ApplyOutcome {
-            kind: delta.kind().to_string(),
-            repair,
-            utility: self.utility(),
-            num_pairs: self.arrangement.len(),
-        })
+        self.shard.apply(delta)
     }
 
     /// Applies a batch of deltas with a single repair pass at the end —
@@ -201,195 +81,24 @@ impl Engine {
     /// previously applied deltas of the batch stay applied and the
     /// arrangement is repaired before returning the error.
     pub fn apply_batch(&mut self, deltas: &[InstanceDelta]) -> Result<ApplyOutcome, CoreError> {
-        let mut first_error = None;
-        for delta in deltas {
-            match self
-                .instance
-                .apply_delta(delta, self.sigma.as_ref(), self.interest.as_ref())
-            {
-                Ok(effect) => {
-                    self.arrangement
-                        .grow(self.instance.num_events(), self.instance.num_users());
-                    self.dirty.absorb(&effect);
-                    self.stats.deltas_applied += 1;
-                }
-                Err(e) => {
-                    self.stats.deltas_rejected += 1;
-                    first_error = Some(e);
-                    break;
-                }
-            }
-        }
-        let mut repair = self.repair();
-        if self.maybe_check_staleness() {
-            repair = RepairKind::StalenessResolve;
-        }
-        if let Some(e) = first_error {
-            return Err(e);
-        }
-        Ok(ApplyOutcome {
-            kind: "batch".to_string(),
-            repair,
-            utility: self.utility(),
-            num_pairs: self.arrangement.len(),
-        })
+        self.shard.apply_batch(deltas)
     }
 
     /// Forces a cold solve of the current instance and reports the served
     /// utility relative to it (`served / cold`, 1.0 when the cold solve is
     /// empty). Does not modify the served arrangement.
     pub fn cold_solve_ratio(&mut self) -> f64 {
-        let cold = self.next_solve(None);
-        let cold_utility = cold.utility_value(&self.instance);
-        if cold_utility <= 0.0 {
-            return 1.0;
-        }
-        self.utility() / cold_utility
-    }
-
-    /// Runs the solver; with `Some(previous)` it warm-starts from it.
-    fn next_solve(&mut self, previous: Option<&Arrangement>) -> Arrangement {
-        let seed = self.config.seed.wrapping_add(self.solve_counter);
-        self.solve_counter += 1;
-        match previous {
-            Some(prev) => self.solver.resolve_seeded(&self.instance, prev, seed),
-            None => self.solver.run_seeded(&self.instance, seed),
-        }
-    }
-
-    fn repair(&mut self) -> RepairKind {
-        if self.dirty.is_empty() {
-            return RepairKind::Untouched;
-        }
-        let threshold =
-            (self.config.escalation_fraction * self.instance.num_users() as f64).max(1.0);
-        let repair = if self.dirty.users.len() as f64 > threshold {
-            let previous = std::mem::replace(
-                &mut self.arrangement,
-                Arrangement::empty_for(&self.instance),
-            );
-            self.arrangement = self.next_solve(Some(&previous));
-            self.stats.full_resolves += 1;
-            RepairKind::FullResolve
-        } else {
-            self.greedy_patch()
-        };
-        self.dirty.clear();
-        repair
-    }
-
-    /// Local repair: prune dirty users' assignments, evict overflow at
-    /// dirty events, then greedily re-admit the heaviest feasible
-    /// candidate pairs around the dirty set.
-    fn greedy_patch(&mut self) -> RepairKind {
-        let mut pruned = 0usize;
-
-        // Re-seat every dirty user from scratch: removing all their pairs
-        // and re-adding greedily uniformly handles revoked bids, shrunk
-        // user capacities and conflict structure around new assignments.
-        let dirty_users: Vec<UserId> = self.dirty.users.iter().copied().collect();
-        for &u in &dirty_users {
-            pruned += self.arrangement.remove_user_assignments(u).len();
-        }
-
-        // Evict overflow at dirty events (capacity may have shrunk),
-        // dropping the lightest attendees first.
-        let dirty_events: Vec<EventId> = self.dirty.events.iter().copied().collect();
-        let mut evicted_users: BTreeSet<UserId> = BTreeSet::new();
-        for &v in &dirty_events {
-            let capacity = self.instance.event(v).capacity;
-            if self.arrangement.load_of(v) <= capacity {
-                continue;
-            }
-            let mut attendees: Vec<(f64, UserId)> = self
-                .arrangement
-                .users_of(v)
-                .into_iter()
-                .map(|u| (self.instance.weight(v, u), u))
-                .collect();
-            attendees.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.1.cmp(&b.1))
-            });
-            let overflow = self.arrangement.load_of(v) - capacity;
-            for &(_, u) in attendees.iter().take(overflow) {
-                self.arrangement.unassign(v, u);
-                evicted_users.insert(u);
-                pruned += 1;
-            }
-        }
-
-        // Candidate pairs: dirty users × their bids, dirty events × their
-        // bidders, and every bid of a user evicted above (they may fit
-        // elsewhere).
-        let mut candidates: BTreeSet<(EventId, UserId)> = BTreeSet::new();
-        for &u in dirty_users.iter().chain(evicted_users.iter()) {
-            for &v in &self.instance.user(u).bids {
-                candidates.insert((v, u));
-            }
-        }
-        for &v in &dirty_events {
-            for &u in &self.instance.event(v).bidders {
-                candidates.insert((v, u));
-            }
-        }
-
-        let added = admit_greedily(&self.instance, &mut self.arrangement, candidates);
-
-        if pruned == 0 && added == 0 {
-            RepairKind::Untouched
-        } else {
-            self.stats.greedy_patches += 1;
-            RepairKind::GreedyPatch { pruned, added }
-        }
-    }
-
-    /// Runs the staleness check when at least
-    /// `staleness_check_interval` deltas accumulated since the last one.
-    /// Tracking the last-check watermark (rather than exact interval
-    /// multiples) means batches that jump over a multiple still trigger
-    /// the check, so the configured drift bound holds on every apply
-    /// path.
-    fn maybe_check_staleness(&mut self) -> bool {
-        let interval = self.config.staleness_check_interval;
-        if interval == 0 || self.stats.deltas_applied - self.last_staleness_check < interval {
-            return false;
-        }
-        self.last_staleness_check = self.stats.deltas_applied;
-        self.check_staleness()
-    }
-
-    /// Cold-solves the current instance and adopts the result when the
-    /// served utility drifted too far. Returns whether it was adopted.
-    fn check_staleness(&mut self) -> bool {
-        let cold = self.next_solve(None);
-        self.stats.staleness_checks += 1;
-        let cold_utility = cold.utility_value(&self.instance);
-        let served_utility = self.utility();
-        self.stats.last_observed_drift = if cold_utility > 0.0 {
-            1.0 - served_utility / cold_utility
-        } else {
-            0.0
-        };
-        if served_utility < (1.0 - self.config.max_staleness) * cold_utility {
-            self.arrangement = cold;
-            self.stats.staleness_resolves += 1;
-            true
-        } else {
-            false
-        }
+        self.shard.cold_solve_ratio()
     }
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("num_events", &self.instance.num_events())
-            .field("num_users", &self.instance.num_users())
-            .field("num_pairs", &self.arrangement.len())
-            .field("dirty", &self.dirty.len())
-            .field("stats", &self.stats)
+            .field("num_events", &self.instance().num_events())
+            .field("num_users", &self.instance().num_users())
+            .field("num_pairs", &self.arrangement().len())
+            .field("stats", self.stats())
             .finish()
     }
 }
@@ -398,7 +107,9 @@ impl std::fmt::Debug for Engine {
 mod tests {
     use super::*;
     use igepa_algos::GreedyArrangement;
-    use igepa_core::{AttributeVector, CapacityTarget, ConstantInterest, NeverConflict};
+    use igepa_core::{
+        AttributeVector, CapacityTarget, ConstantInterest, EventId, NeverConflict, UserId,
+    };
 
     fn engine_for(num_events: usize, num_users: usize) -> Engine {
         let mut b = Instance::builder();

@@ -37,6 +37,24 @@
 //! counter, so replaying the same request log from the same initial state
 //! reproduces every intermediate arrangement bit-for-bit.
 //!
+//! ## Sharded serving
+//!
+//! One repair loop caps how many users a process can serve. The crate
+//! therefore splits into three layers:
+//!
+//! * [`Shard`] ([`shard`]) — the reusable solve/repair core over one
+//!   slice of the users (all events, quota'd capacities);
+//! * [`Engine`] ([`engine`]) — the monolithic façade: exactly one shard
+//!   over the full instance, original API and behaviour;
+//! * [`ShardedEngine`] ([`coordinator`]) — N shards behind a routing
+//!   coordinator. Users are placed by a pluggable
+//!   [`Partitioner`](igepa_core::Partitioner); each event's capacity is
+//!   split into per-shard *quotas* that always sum to the true capacity,
+//!   which makes the merged arrangement feasible by construction. The
+//!   bounded quota-exchange protocol of [`reconcile`] moves slack quota
+//!   toward unmet demand at boundary events. `num_shards == 1`
+//!   reproduces the monolithic engine's responses bit for bit.
+//!
 //! ## Requests as data
 //!
 //! [`EngineRequest`] / [`EngineResponse`] form a serde-backed JSON-lines
@@ -77,13 +95,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod coordinator;
 pub mod engine;
 pub mod protocol;
+pub mod reconcile;
 pub mod replay;
+pub mod shard;
 
+pub use coordinator::{CoordinatorStats, ShardStatsEntry, ShardedConfig, ShardedEngine};
 pub use engine::{ApplyOutcome, Engine, EngineConfig, EngineStats, RepairKind};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, requests_from_jsonl,
     requests_to_jsonl, EngineQuery, EngineRequest, EngineResponse, ProtocolError,
 };
-pub use replay::{replay, replay_jsonl, LatencySummary, ReplayOutcome, ReplayReport};
+pub use reconcile::ReconcileReport;
+pub use replay::{
+    replay, replay_jsonl, EngineBackend, LatencySummary, ReplayOutcome, ReplayReport,
+};
+pub use shard::{BatchPolicy, Shard};

@@ -4,8 +4,17 @@
 //! plain data makes traces *reproducible artifacts*: a recorded JSONL file
 //! plus the initial instance snapshot fully determines every intermediate
 //! arrangement the engine served (the engine is deterministic).
+//!
+//! The protocol is **shard-aware** but degrades gracefully: every request
+//! is answered by both the monolithic [`Engine`] (which behaves as one
+//! logical shard — `ShardStats` returns a single entry, `Rebalance` is a
+//! no-op) and the [`ShardedEngine`]. A request log recorded against one
+//! backend replays against the other, and a `ShardedEngine` with one shard
+//! reproduces the monolithic responses bit for bit.
 
+use crate::coordinator::{ShardStatsEntry, ShardedEngine};
 use crate::engine::{Engine, EngineStats, RepairKind};
+use crate::reconcile::ReconcileReport;
 use igepa_core::{EventId, InstanceDelta, UserId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -23,6 +32,9 @@ pub enum EngineRequest {
         /// The mutations to apply, in order.
         deltas: Vec<InstanceDelta>,
     },
+    /// Run a cross-shard reconciliation pass now (no-op on a monolithic
+    /// engine, which has no boundary to reconcile).
+    Rebalance,
     /// Read-only query against the served state.
     Query {
         /// The query to answer.
@@ -47,6 +59,10 @@ pub enum EngineQuery {
     },
     /// Engine activity counters.
     Stats,
+    /// Per-shard activity summaries (one entry on a monolithic engine).
+    ShardStats,
+    /// The full served arrangement, merged across shards.
+    MergedSnapshot,
 }
 
 /// A response from the serving engine.
@@ -96,8 +112,31 @@ pub enum EngineResponse {
     },
     /// Answer to [`EngineQuery::Stats`].
     Stats {
-        /// Engine activity counters.
+        /// Engine activity counters (aggregated across shards).
         stats: EngineStats,
+    },
+    /// Answer to [`EngineQuery::ShardStats`].
+    ShardStats {
+        /// One entry per shard.
+        shards: Vec<ShardStatsEntry>,
+    },
+    /// Answer to [`EngineQuery::MergedSnapshot`].
+    Snapshot {
+        /// Events the snapshot was sized for.
+        num_events: usize,
+        /// Users the snapshot was sized for.
+        num_users: usize,
+        /// Utility of the snapshot.
+        utility: f64,
+        /// The served `(event, user)` pairs, grouped by user.
+        pairs: Vec<(EventId, UserId)>,
+    },
+    /// A [`EngineRequest::Rebalance`] ran.
+    Rebalanced {
+        /// What the reconciliation pass did.
+        report: ReconcileReport,
+        /// Utility after the pass.
+        utility: f64,
     },
 }
 
@@ -202,6 +241,11 @@ impl Engine {
                     reason: e.to_string(),
                 },
             },
+            // A monolithic engine has no shard boundary to reconcile.
+            EngineRequest::Rebalance => EngineResponse::Rebalanced {
+                report: ReconcileReport::default(),
+                utility: self.utility(),
+            },
             EngineRequest::Query { query } => self.answer(*query),
         }
     }
@@ -242,6 +286,109 @@ impl Engine {
             EngineQuery::Stats => EngineResponse::Stats {
                 stats: *self.stats(),
             },
+            EngineQuery::ShardStats => EngineResponse::ShardStats {
+                shards: vec![ShardStatsEntry {
+                    shard: 0,
+                    users: self.instance().num_users(),
+                    pairs: self.arrangement().len(),
+                    utility: self.utility(),
+                    stats: *self.stats(),
+                }],
+            },
+            EngineQuery::MergedSnapshot => EngineResponse::Snapshot {
+                num_events: self.instance().num_events(),
+                num_users: self.instance().num_users(),
+                utility: self.utility(),
+                pairs: self.arrangement().pairs().collect(),
+            },
+        }
+    }
+}
+
+impl ShardedEngine {
+    /// Handles one protocol request against the sharded engine. With one
+    /// shard every response matches the monolithic [`Engine`] bit for bit.
+    pub fn handle(&mut self, request: &EngineRequest) -> EngineResponse {
+        match request {
+            EngineRequest::Apply { delta } => match self.apply(delta) {
+                Ok(outcome) => EngineResponse::Applied {
+                    kind: outcome.kind,
+                    repair: outcome.repair,
+                    utility: outcome.utility,
+                    num_pairs: outcome.num_pairs,
+                },
+                Err(e) => EngineResponse::Rejected {
+                    reason: e.to_string(),
+                },
+            },
+            EngineRequest::ApplyBatch { deltas } => match self.apply_batch(deltas) {
+                Ok(outcome) => EngineResponse::Applied {
+                    kind: outcome.kind,
+                    repair: outcome.repair,
+                    utility: outcome.utility,
+                    num_pairs: outcome.num_pairs,
+                },
+                Err(e) => EngineResponse::Rejected {
+                    reason: e.to_string(),
+                },
+            },
+            EngineRequest::Rebalance => {
+                let report = self.rebalance();
+                EngineResponse::Rebalanced {
+                    report,
+                    utility: self.merged_utility().total,
+                }
+            }
+            EngineRequest::Query { query } => self.answer(*query),
+        }
+    }
+
+    fn answer(&self, query: EngineQuery) -> EngineResponse {
+        match query {
+            EngineQuery::Utility => {
+                let breakdown = self.merged_utility();
+                EngineResponse::Utility {
+                    total: breakdown.total,
+                    interest_sum: breakdown.interest_sum,
+                    interaction_sum: breakdown.interaction_sum,
+                }
+            }
+            EngineQuery::AssignmentsOf { user } => EngineResponse::Assignments {
+                user,
+                events: self.assignments_of(user),
+            },
+            EngineQuery::EventLoad { event } => {
+                let (load, capacity) = if event.index() < self.instance().num_events() {
+                    (
+                        (0..self.num_shards())
+                            .map(|k| self.shard(k).load_of(event))
+                            .sum(),
+                        self.instance().event(event).capacity,
+                    )
+                } else {
+                    (0, 0)
+                };
+                EngineResponse::EventLoad {
+                    event,
+                    load,
+                    capacity,
+                }
+            }
+            EngineQuery::Stats => EngineResponse::Stats {
+                stats: self.stats(),
+            },
+            EngineQuery::ShardStats => EngineResponse::ShardStats {
+                shards: self.shard_stats_entries(),
+            },
+            EngineQuery::MergedSnapshot => {
+                let merged = self.merged_arrangement();
+                EngineResponse::Snapshot {
+                    num_events: self.instance().num_events(),
+                    num_users: self.instance().num_users(),
+                    utility: merged.utility_value(self.instance()),
+                    pairs: merged.pairs().collect(),
+                }
+            }
         }
     }
 }
@@ -271,6 +418,7 @@ mod tests {
                     },
                 ],
             },
+            EngineRequest::Rebalance,
             EngineRequest::Query {
                 query: EngineQuery::Utility,
             },
@@ -287,6 +435,12 @@ mod tests {
             EngineRequest::Query {
                 query: EngineQuery::Stats,
             },
+            EngineRequest::Query {
+                query: EngineQuery::ShardStats,
+            },
+            EngineRequest::Query {
+                query: EngineQuery::MergedSnapshot,
+            },
         ];
         let jsonl = requests_to_jsonl(&requests);
         assert_eq!(jsonl.lines().count(), requests.len());
@@ -299,6 +453,16 @@ mod tests {
         let text = "\n# a comment\n{\"Query\":{\"query\":\"Utility\"}}\n\n";
         let requests = requests_from_jsonl(text).unwrap();
         assert_eq!(requests.len(), 1);
+    }
+
+    #[test]
+    fn pre_sharding_logs_still_decode() {
+        // A request log recorded before the protocol grew shard-aware
+        // variants must keep parsing unchanged.
+        let legacy = "{\"Apply\":{\"delta\":{\"AddEvent\":{\"capacity\":2,\"attrs\":{\"time\":null,\"location\":null,\"categories\":[]}}}}}\n{\"Query\":{\"query\":\"Stats\"}}\n";
+        let requests = requests_from_jsonl(legacy).unwrap();
+        assert_eq!(requests.len(), 2);
+        assert!(matches!(requests[0], EngineRequest::Apply { .. }));
     }
 
     #[test]
@@ -326,6 +490,31 @@ mod tests {
             },
             EngineResponse::Stats {
                 stats: EngineStats::default(),
+            },
+            EngineResponse::ShardStats {
+                shards: vec![ShardStatsEntry {
+                    shard: 1,
+                    users: 4,
+                    pairs: 3,
+                    utility: 1.5,
+                    stats: EngineStats::default(),
+                }],
+            },
+            EngineResponse::Snapshot {
+                num_events: 2,
+                num_users: 3,
+                utility: 0.75,
+                pairs: vec![(EventId::new(0), UserId::new(2))],
+            },
+            EngineResponse::Rebalanced {
+                report: ReconcileReport {
+                    rounds_run: 1,
+                    boundary_events: 2,
+                    contended_events: 1,
+                    quota_moved: 3,
+                    shard_repairs: 1,
+                },
+                utility: 9.5,
             },
         ];
         for response in responses {

@@ -1,0 +1,249 @@
+//! Cross-shard reconciliation: a bounded quota-exchange protocol over
+//! contended events.
+//!
+//! The quota invariant (per-event shard quotas sum to the true capacity)
+//! keeps the merged arrangement feasible no matter what, but it says
+//! nothing about *where* the quota sits. A boundary event — one whose
+//! bidders live on more than one shard — can strand slack quota on a
+//! shard with no demand while another shard's bidders go unseated (the
+//! same stranding also happens when churn moves all of an event's bidders
+//! onto one shard while the quota split is stale). The reconciler fixes
+//! exactly that:
+//!
+//! 1. For every event, each shard reports its quota, its load and its
+//!    *unmet demand* (bidders it could seat if the quota allowed,
+//!    [`crate::Shard::unmet_demand`]).
+//! 2. Shards with free quota beyond their own demand donate; shards with
+//!    demand beyond their free quota receive. Units move donor→receiver
+//!    in shard-index order, so the exchange is deterministic.
+//! 3. Each shard that gained quota re-runs its greedy repair over the
+//!    dirtied events, seating the waiting bidders.
+//!
+//! The pass is **bounded**: at most `max_rounds` rounds, stopping early
+//! on the first round that moves nothing. Donations never exceed slack,
+//! so reconciliation itself never evicts anybody, and every move
+//! preserves the quota invariant (what one shard gives up, another
+//! receives).
+
+use crate::shard::Shard;
+use igepa_core::{EventId, Instance, UserId};
+use serde::{Deserialize, Serialize};
+
+/// What one reconciliation pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReconcileReport {
+    /// Exchange rounds that actually ran (moved at least one unit).
+    pub rounds_run: usize,
+    /// Events whose bidders span more than one shard (the structural
+    /// boundary the partitioner left behind).
+    pub boundary_events: usize,
+    /// Events the first round actually moved quota for.
+    pub contended_events: usize,
+    /// Capacity units moved between shards, summed over rounds.
+    pub quota_moved: usize,
+    /// Shard repair passes triggered by quota changes.
+    pub shard_repairs: usize,
+}
+
+/// Runs one bounded reconciliation pass over the given candidate events
+/// (the coordinator tracks which events deltas have touched since the
+/// last pass, so periodic passes don't rescan the whole catalogue; an
+/// explicit rebalance passes every event). See the module docs.
+pub(crate) fn run(
+    shards: &mut [Shard],
+    mirror: &Instance,
+    owners: &[(usize, UserId)],
+    events: &[EventId],
+    max_rounds: usize,
+) -> ReconcileReport {
+    let num_shards = shards.len();
+    let mut report = ReconcileReport::default();
+    if num_shards <= 1 || max_rounds == 0 || events.is_empty() {
+        return report;
+    }
+    // Boundary metric over the examined events only (the full-catalogue
+    // count is an O(total bids) scan the periodic path must not pay),
+    // sharing the single boundary definition in `igepa_core::partition`.
+    report.boundary_events = events
+        .iter()
+        .filter(|&&event| igepa_core::spans_shards(mirror.event(event), |u| owners[u.index()].0))
+        .count();
+
+    for round in 0..max_rounds {
+        // Plan this round's moves over every candidate event.
+        let mut changes: Vec<Vec<(EventId, usize)>> = vec![Vec::new(); num_shards];
+        let mut moved = 0usize;
+        let mut contended = 0usize;
+        for &event in events {
+            let quota: Vec<usize> = shards.iter().map(|s| s.quota_of(event)).collect();
+            let load: Vec<usize> = shards.iter().map(|s| s.load_of(event)).collect();
+            let demand: Vec<usize> = shards.iter().map(|s| s.unmet_demand(event)).collect();
+            // Free quota beyond the shard's own demand donates; demand
+            // beyond the shard's free quota receives.
+            let surplus: Vec<usize> = (0..num_shards)
+                .map(|k| (quota[k] - load[k]).saturating_sub(demand[k]))
+                .collect();
+            let deficit: Vec<usize> = (0..num_shards)
+                .map(|k| demand[k].saturating_sub(quota[k] - load[k]))
+                .collect();
+            let to_move = surplus
+                .iter()
+                .sum::<usize>()
+                .min(deficit.iter().sum::<usize>());
+            if to_move == 0 {
+                continue;
+            }
+            contended += 1;
+            let mut new_quota = quota.clone();
+            let mut take = to_move;
+            for k in 0..num_shards {
+                let t = surplus[k].min(take);
+                new_quota[k] -= t;
+                take -= t;
+                if take == 0 {
+                    break;
+                }
+            }
+            let mut give = to_move;
+            for k in 0..num_shards {
+                let g = deficit[k].min(give);
+                new_quota[k] += g;
+                give -= g;
+                if give == 0 {
+                    break;
+                }
+            }
+            debug_assert_eq!(
+                new_quota.iter().sum::<usize>(),
+                quota.iter().sum::<usize>(),
+                "quota exchange must preserve the invariant"
+            );
+            for k in 0..num_shards {
+                if new_quota[k] != quota[k] {
+                    changes[k].push((event, new_quota[k]));
+                }
+            }
+            moved += to_move;
+        }
+        if moved == 0 {
+            break;
+        }
+        if round == 0 {
+            report.contended_events = contended;
+        }
+        report.quota_moved += moved;
+        report.rounds_run += 1;
+        for (k, shard_changes) in changes.iter().enumerate() {
+            if !shard_changes.is_empty() {
+                shards[k].apply_quotas(shard_changes);
+                report.shard_repairs += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::EngineConfig;
+    use igepa_algos::GreedyArrangement;
+    use igepa_core::{AttributeVector, ConstantInterest, Instance, NeverConflict};
+    use std::rc::Rc;
+
+    /// Two shards over one global event of capacity 4: shard 0 has no
+    /// users but holds quota 3; shard 1 has three bidders and quota 1.
+    fn stranded_setup() -> (Vec<Shard>, Instance, Vec<(usize, UserId)>) {
+        let make = |quota: usize, users: usize| {
+            let mut b = Instance::builder();
+            let v = b.add_event(quota, AttributeVector::empty());
+            for _ in 0..users {
+                b.add_user(1, AttributeVector::empty(), vec![v]);
+            }
+            b.interaction_scores(vec![0.5; users]);
+            let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+            Shard::new(
+                instance,
+                Rc::new(NeverConflict),
+                Rc::new(ConstantInterest(0.5)),
+                Rc::new(GreedyArrangement),
+                EngineConfig::default(),
+            )
+        };
+        let shards = vec![make(3, 0), make(1, 3)];
+        // Global mirror: capacity 4, three users all bidding for it.
+        let mut b = Instance::builder();
+        let v = b.add_event(4, AttributeVector::empty());
+        for _ in 0..3 {
+            b.add_user(1, AttributeVector::empty(), vec![v]);
+        }
+        b.interaction_scores(vec![0.5; 3]);
+        let mirror = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        // To make the event a boundary event, pretend user 0 sits on
+        // shard 0 (with no local counterpart needed for quota math).
+        let owners = vec![
+            (1, UserId::new(0)),
+            (1, UserId::new(1)),
+            (1, UserId::new(2)),
+        ];
+        (shards, mirror, owners)
+    }
+
+    #[test]
+    fn stranded_quota_moves_even_without_boundary_bidders() {
+        // All bidders on shard 1 (no boundary event), yet 3 of the 4
+        // capacity units sit on shard 0: the exchange must reclaim them.
+        let (mut shards, mirror, owners) = stranded_setup();
+        let report = run(&mut shards, &mirror, &owners, &[EventId::new(0)], 3);
+        assert_eq!(report.boundary_events, 0);
+        assert_eq!(report.contended_events, 1);
+        assert_eq!(report.quota_moved, 2);
+        assert_eq!(shards[1].load_of(EventId::new(0)), 3);
+    }
+
+    #[test]
+    fn stranded_quota_flows_to_the_demanding_shard() {
+        let (mut shards, mirror, mut owners) = stranded_setup();
+        owners[0] = (0, UserId::new(0)); // now bidders span both shards
+        assert_eq!(shards[1].load_of(EventId::new(0)), 1);
+        assert_eq!(shards[1].unmet_demand(EventId::new(0)), 2);
+        let report = run(&mut shards, &mirror, &owners, &[EventId::new(0)], 3);
+        assert_eq!(report.boundary_events, 1);
+        assert_eq!(report.quota_moved, 2);
+        assert_eq!(report.rounds_run, 1);
+        // Shard 1 got two more units and seated both waiting bidders.
+        assert_eq!(shards[1].quota_of(EventId::new(0)), 3);
+        assert_eq!(shards[1].load_of(EventId::new(0)), 3);
+        assert_eq!(shards[0].quota_of(EventId::new(0)), 1);
+        // Quota invariant against the mirror capacity.
+        assert_eq!(
+            shards[0].quota_of(EventId::new(0)) + shards[1].quota_of(EventId::new(0)),
+            4
+        );
+        // A second pass finds nothing left to move.
+        let again = run(&mut shards, &mirror, &owners, &[EventId::new(0)], 3);
+        assert_eq!(again.quota_moved, 0);
+    }
+
+    #[test]
+    fn zero_rounds_disables_the_pass() {
+        let (mut shards, mirror, mut owners) = stranded_setup();
+        owners[0] = (0, UserId::new(0));
+        let report = run(&mut shards, &mirror, &owners, &[EventId::new(0)], 0);
+        assert_eq!(report.quota_moved, 0);
+        assert_eq!(shards[1].load_of(EventId::new(0)), 1);
+    }
+
+    #[test]
+    fn donations_never_exceed_slack_so_nobody_is_evicted() {
+        let (mut shards, mirror, mut owners) = stranded_setup();
+        owners[0] = (0, UserId::new(0));
+        let pairs_before: usize = shards.iter().map(|s| s.arrangement().len()).sum();
+        let report = run(&mut shards, &mirror, &owners, &[EventId::new(0)], 3);
+        let pairs_after: usize = shards.iter().map(|s| s.arrangement().len()).sum();
+        assert!(pairs_after >= pairs_before + report.quota_moved.min(2));
+        for shard in &shards {
+            assert!(shard.arrangement().is_feasible(shard.instance()));
+        }
+    }
+}

@@ -4,10 +4,52 @@
 //! every response bit-for-bit (latencies are reported separately so the
 //! response stream itself stays deterministic).
 
+use crate::coordinator::ShardedEngine;
 use crate::engine::Engine;
 use crate::protocol::{requests_from_jsonl, EngineRequest, EngineResponse, ProtocolError};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Anything the replay driver can feed a request log to: the monolithic
+/// [`Engine`] or the [`ShardedEngine`] coordinator.
+pub trait EngineBackend {
+    /// Handles one protocol request.
+    fn handle(&mut self, request: &EngineRequest) -> EngineResponse;
+
+    /// Utility currently served (merged across shards where applicable).
+    fn served_utility(&self) -> f64;
+
+    /// Pairs currently served (merged across shards where applicable).
+    fn served_pairs(&self) -> usize;
+}
+
+impl EngineBackend for Engine {
+    fn handle(&mut self, request: &EngineRequest) -> EngineResponse {
+        Engine::handle(self, request)
+    }
+
+    fn served_utility(&self) -> f64 {
+        self.utility()
+    }
+
+    fn served_pairs(&self) -> usize {
+        self.arrangement().len()
+    }
+}
+
+impl EngineBackend for ShardedEngine {
+    fn handle(&mut self, request: &EngineRequest) -> EngineResponse {
+        ShardedEngine::handle(self, request)
+    }
+
+    fn served_utility(&self) -> f64 {
+        self.utility()
+    }
+
+    fn served_pairs(&self) -> usize {
+        self.num_pairs()
+    }
+}
 
 /// Latency distribution over the replayed requests, in microseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -72,7 +114,7 @@ pub struct ReplayOutcome {
 }
 
 /// Replays a request log against `engine`, measuring per-request latency.
-pub fn replay(engine: &mut Engine, requests: &[EngineRequest]) -> ReplayOutcome {
+pub fn replay<B: EngineBackend>(engine: &mut B, requests: &[EngineRequest]) -> ReplayOutcome {
     let mut responses = Vec::with_capacity(requests.len());
     let mut latencies = Vec::with_capacity(requests.len());
     let mut applied = 0usize;
@@ -97,14 +139,17 @@ pub fn replay(engine: &mut Engine, requests: &[EngineRequest]) -> ReplayOutcome 
         rejected,
         queries,
         latency: LatencySummary::from_latencies(latencies),
-        final_utility: engine.utility(),
-        final_pairs: engine.arrangement().len(),
+        final_utility: engine.served_utility(),
+        final_pairs: engine.served_pairs(),
     };
     ReplayOutcome { responses, report }
 }
 
 /// Parses a JSONL request log and replays it.
-pub fn replay_jsonl(engine: &mut Engine, text: &str) -> Result<ReplayOutcome, ProtocolError> {
+pub fn replay_jsonl<B: EngineBackend>(
+    engine: &mut B,
+    text: &str,
+) -> Result<ReplayOutcome, ProtocolError> {
     let requests = requests_from_jsonl(text)?;
     Ok(replay(engine, &requests))
 }

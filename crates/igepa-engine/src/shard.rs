@@ -1,0 +1,775 @@
+//! The shard: delta application, dirty tracking and the warm-start repair
+//! loop over one slice of the user population.
+//!
+//! A [`Shard`] is the reusable solve/repair core extracted from the
+//! original monolithic engine. The single-instance [`crate::Engine`] wraps
+//! exactly one shard over the full instance; the sharded
+//! [`crate::ShardedEngine`] owns several, each serving a sub-instance that
+//! contains **all events** (with per-shard capacity *quotas*) but only the
+//! shard's users. Because bid, user-capacity and conflict constraints are
+//! per user, a shard's repair loop is self-contained; the only cross-shard
+//! coupling — event capacity — is handled by the coordinator moving quota
+//! between shards (see [`crate::reconcile`]).
+
+use igepa_algos::{admit_greedily, WarmStart};
+use igepa_core::{
+    Arrangement, CapacityTarget, ConflictFn, CoreError, DirtySet, EventId, Instance, InstanceDelta,
+    InterestFn, UserId,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// How a shard repairs after absorbing a *burst* of deltas in one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum BatchPolicy {
+    /// Always run the incremental path: greedy patch, escalating to a full
+    /// warm-start re-solve when the dirty-user count exceeds
+    /// [`EngineConfig::escalation_fraction`]. This is the original engine
+    /// behaviour and the default.
+    #[default]
+    Escalation,
+    /// Per-burst cost model: estimate the greedy patch's work (candidate
+    /// pairs around the dirty set plus the per-dirty-event attendee scans)
+    /// against one cold solve of the whole instance, and run whichever is
+    /// predicted cheaper. Large bursts dirty most of the instance, where
+    /// `benches/engine.rs` shows a single cold greedy solve beats
+    /// patch-plus-escalation.
+    CostModel {
+        /// Estimated cost per candidate pair examined by the greedy patch.
+        patch_cost_per_candidate: f64,
+        /// Estimated cost per bid pair examined by a cold solve.
+        solve_cost_per_bid: f64,
+    },
+}
+
+impl BatchPolicy {
+    /// A cost model with unit constants — a reasonable default when
+    /// opting in to per-burst cold solves.
+    pub fn cost_model() -> Self {
+        BatchPolicy::CostModel {
+            patch_cost_per_candidate: 1.0,
+            solve_cost_per_bid: 1.0,
+        }
+    }
+}
+
+/// Tuning knobs of the repair loop.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EngineConfig {
+    /// Base seed for every solver invocation; solves draw `seed`,
+    /// `seed + 1`, … so runs are reproducible.
+    pub seed: u64,
+    /// When the dirty-user count exceeds this fraction of all users, the
+    /// greedy patch escalates to a full warm-start re-solve.
+    pub escalation_fraction: f64,
+    /// Run a cold solve and compare utilities every this many deltas
+    /// (0 disables staleness checking).
+    pub staleness_check_interval: u64,
+    /// Adopt the cold solution when the served utility falls below
+    /// `(1 − max_staleness) ×` the cold utility.
+    pub max_staleness: f64,
+    /// How batched bursts are repaired (see [`BatchPolicy`]).
+    pub batch_policy: BatchPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0,
+            escalation_fraction: 0.25,
+            staleness_check_interval: 256,
+            max_staleness: 0.05,
+            batch_policy: BatchPolicy::Escalation,
+        }
+    }
+}
+
+/// Hand-written so configs serialized before `batch_policy` existed keep
+/// deserializing (the vendored serde derive has no `#[serde(default)]`):
+/// a missing field falls back to [`BatchPolicy::default`].
+impl serde::Deserialize for EngineConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = serde::expect_object(value, "EngineConfig")?;
+        Ok(EngineConfig {
+            seed: serde::Deserialize::from_value(serde::object_field(
+                entries,
+                "seed",
+                "EngineConfig",
+            )?)?,
+            escalation_fraction: serde::Deserialize::from_value(serde::object_field(
+                entries,
+                "escalation_fraction",
+                "EngineConfig",
+            )?)?,
+            staleness_check_interval: serde::Deserialize::from_value(serde::object_field(
+                entries,
+                "staleness_check_interval",
+                "EngineConfig",
+            )?)?,
+            max_staleness: serde::Deserialize::from_value(serde::object_field(
+                entries,
+                "max_staleness",
+                "EngineConfig",
+            )?)?,
+            batch_policy: match entries.iter().find(|(name, _)| name == "batch_policy") {
+                Some((_, policy)) => serde::Deserialize::from_value(policy)?,
+                None => BatchPolicy::default(),
+            },
+        })
+    }
+}
+
+/// Counters describing the shard's activity so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Deltas applied successfully.
+    pub deltas_applied: u64,
+    /// Deltas rejected by validation.
+    pub deltas_rejected: u64,
+    /// Repairs handled by the greedy patch.
+    pub greedy_patches: u64,
+    /// Repairs escalated to a full warm-start re-solve.
+    pub full_resolves: u64,
+    /// Bursts repaired by a single cold solve under
+    /// [`BatchPolicy::CostModel`].
+    pub batch_solves: u64,
+    /// Cold solves adopted by the staleness check.
+    pub staleness_resolves: u64,
+    /// Cold solves run by the staleness check (adopted or not).
+    pub staleness_checks: u64,
+    /// Quota updates absorbed from the cross-shard reconciler.
+    pub quota_updates: u64,
+    /// Utility drift `1 − served/cold` observed at the last staleness
+    /// check (negative when the served arrangement was better).
+    pub last_observed_drift: f64,
+}
+
+impl EngineStats {
+    /// Element-wise sum of two counter sets; `last_observed_drift` takes
+    /// the larger (worse) drift. Used to aggregate shard stats into one
+    /// engine-level view.
+    pub fn merged(&self, other: &EngineStats) -> EngineStats {
+        EngineStats {
+            deltas_applied: self.deltas_applied + other.deltas_applied,
+            deltas_rejected: self.deltas_rejected + other.deltas_rejected,
+            greedy_patches: self.greedy_patches + other.greedy_patches,
+            full_resolves: self.full_resolves + other.full_resolves,
+            batch_solves: self.batch_solves + other.batch_solves,
+            staleness_resolves: self.staleness_resolves + other.staleness_resolves,
+            staleness_checks: self.staleness_checks + other.staleness_checks,
+            quota_updates: self.quota_updates + other.quota_updates,
+            last_observed_drift: self.last_observed_drift.max(other.last_observed_drift),
+        }
+    }
+}
+
+/// How [`Shard::apply`] restored the arrangement after a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RepairKind {
+    /// The delta left the arrangement feasible and no candidates improved
+    /// it (nothing changed).
+    Untouched,
+    /// Local prune / evict / re-admit around the dirty set.
+    GreedyPatch {
+        /// Pairs removed while restoring feasibility.
+        pruned: usize,
+        /// Pairs added back by greedy re-admission.
+        added: usize,
+    },
+    /// Full warm-start re-solve (dirty set exceeded the escalation
+    /// threshold).
+    FullResolve,
+    /// One cold solve replaced the burst's incremental repair
+    /// ([`BatchPolicy::CostModel`] predicted it cheaper).
+    BatchSolve,
+    /// A staleness check replaced the served arrangement with a fresh cold
+    /// solve (possibly after one of the other repairs ran first).
+    StalenessResolve,
+}
+
+impl RepairKind {
+    /// Coarse severity ordering used when several shards repaired in one
+    /// coordinator step and a single kind must summarise them.
+    pub fn severity(&self) -> u8 {
+        match self {
+            RepairKind::Untouched => 0,
+            RepairKind::GreedyPatch { .. } => 1,
+            RepairKind::FullResolve => 2,
+            RepairKind::BatchSolve => 3,
+            RepairKind::StalenessResolve => 4,
+        }
+    }
+}
+
+/// Result of one successful [`Shard::apply`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplyOutcome {
+    /// What kind of delta was applied.
+    pub kind: String,
+    /// How the arrangement was repaired.
+    pub repair: RepairKind,
+    /// Utility of the served arrangement after repair.
+    pub utility: f64,
+    /// Number of (event, user) pairs served after repair.
+    pub num_pairs: usize,
+}
+
+/// One long-lived solve/repair unit over a (sub-)instance. See the module
+/// docs; the public API mirrors the original monolithic engine.
+pub struct Shard {
+    instance: Instance,
+    arrangement: Arrangement,
+    dirty: DirtySet,
+    sigma: Rc<dyn ConflictFn>,
+    interest: Rc<dyn InterestFn>,
+    solver: Rc<dyn WarmStart>,
+    config: EngineConfig,
+    stats: EngineStats,
+    solve_counter: u64,
+    /// `stats.deltas_applied` at the last staleness check.
+    last_staleness_check: u64,
+}
+
+impl Shard {
+    /// Creates a shard serving `instance`, running an initial cold solve.
+    ///
+    /// `sigma` and `interest` are consulted only for *new* event pairs and
+    /// bid pairs introduced by future deltas; existing cached values are
+    /// kept as-is.
+    pub fn new(
+        instance: Instance,
+        sigma: Rc<dyn ConflictFn>,
+        interest: Rc<dyn InterestFn>,
+        solver: Rc<dyn WarmStart>,
+        config: EngineConfig,
+    ) -> Self {
+        let mut shard = Shard {
+            arrangement: Arrangement::empty_for(&instance),
+            instance,
+            dirty: DirtySet::new(),
+            sigma,
+            interest,
+            solver,
+            config,
+            stats: EngineStats::default(),
+            solve_counter: 0,
+            last_staleness_check: 0,
+        };
+        shard.arrangement = shard.next_solve(None);
+        shard
+    }
+
+    /// The (sub-)instance currently served.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The arrangement currently served (always feasible for
+    /// [`Shard::instance`]).
+    pub fn arrangement(&self) -> &Arrangement {
+        &self.arrangement
+    }
+
+    /// Utility of the served arrangement.
+    pub fn utility(&self) -> f64 {
+        self.arrangement.utility_value(&self.instance)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The shard's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Current capacity quota of an event in this shard's sub-instance.
+    pub fn quota_of(&self, event: EventId) -> usize {
+        self.instance.event(event).capacity
+    }
+
+    /// Attendees this shard currently seats at `event`.
+    pub fn load_of(&self, event: EventId) -> usize {
+        self.arrangement.load_of(event)
+    }
+
+    /// Bidders of `event` who could be seated if the quota allowed:
+    /// unassigned, with spare user capacity and no conflict against their
+    /// current assignments. This is the per-event demand signal the
+    /// cross-shard reconciler balances quota against.
+    pub fn unmet_demand(&self, event: EventId) -> usize {
+        let bidders = &self.instance.event(event).bidders;
+        bidders
+            .iter()
+            .filter(|&&u| {
+                !self.arrangement.contains(event, u)
+                    && self.arrangement.events_of(u).len() < self.instance.user(u).capacity
+                    && !self
+                        .arrangement
+                        .events_of(u)
+                        .iter()
+                        .any(|&w| self.instance.conflicts().conflicts(w, event))
+            })
+            .count()
+    }
+
+    /// Applies a batch of quota changes handed down by the reconciler,
+    /// then runs one repair pass over the dirtied events. Unlike
+    /// [`Shard::apply`] this does not count as external deltas — quota
+    /// movement is internal bookkeeping of the sharded engine.
+    pub fn apply_quotas(&mut self, changes: &[(EventId, usize)]) -> RepairKind {
+        for &(event, quota) in changes {
+            self.instance
+                .apply_delta(
+                    &InstanceDelta::UpdateCapacity {
+                        target: CapacityTarget::Event(event),
+                        capacity: quota,
+                    },
+                    self.sigma.as_ref(),
+                    self.interest.as_ref(),
+                )
+                .expect("reconciler only names events that exist");
+            self.dirty.mark_event(event);
+            self.stats.quota_updates += 1;
+        }
+        self.repair()
+    }
+
+    /// Applies one delta and repairs the served arrangement.
+    ///
+    /// On validation errors the instance, arrangement and counters (except
+    /// `deltas_rejected`) are unchanged.
+    pub fn apply(&mut self, delta: &InstanceDelta) -> Result<ApplyOutcome, CoreError> {
+        let effect =
+            match self
+                .instance
+                .apply_delta(delta, self.sigma.as_ref(), self.interest.as_ref())
+            {
+                Ok(effect) => effect,
+                Err(e) => {
+                    self.stats.deltas_rejected += 1;
+                    return Err(e);
+                }
+            };
+        self.arrangement
+            .grow(self.instance.num_events(), self.instance.num_users());
+        self.dirty.absorb(&effect);
+        self.stats.deltas_applied += 1;
+
+        let mut repair = self.repair();
+        if self.maybe_check_staleness() {
+            repair = RepairKind::StalenessResolve;
+        }
+
+        Ok(ApplyOutcome {
+            kind: delta.kind().to_string(),
+            repair,
+            utility: self.utility(),
+            num_pairs: self.arrangement.len(),
+        })
+    }
+
+    /// Applies a batch of deltas with a single repair pass at the end —
+    /// cheaper than per-delta repair when deltas arrive in bursts. Returns
+    /// one outcome describing the batch. Fails on the first invalid delta;
+    /// previously applied deltas of the batch stay applied and the
+    /// arrangement is repaired before returning the error.
+    pub fn apply_batch(&mut self, deltas: &[InstanceDelta]) -> Result<ApplyOutcome, CoreError> {
+        let mut first_error = None;
+        for delta in deltas {
+            match self
+                .instance
+                .apply_delta(delta, self.sigma.as_ref(), self.interest.as_ref())
+            {
+                Ok(effect) => {
+                    self.arrangement
+                        .grow(self.instance.num_events(), self.instance.num_users());
+                    self.dirty.absorb(&effect);
+                    self.stats.deltas_applied += 1;
+                }
+                Err(e) => {
+                    self.stats.deltas_rejected += 1;
+                    first_error = Some(e);
+                    break;
+                }
+            }
+        }
+        let mut repair = self.repair_batch();
+        if self.maybe_check_staleness() {
+            repair = RepairKind::StalenessResolve;
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(ApplyOutcome {
+            kind: "batch".to_string(),
+            repair,
+            utility: self.utility(),
+            num_pairs: self.arrangement.len(),
+        })
+    }
+
+    /// Forces a cold solve of the current instance and reports the served
+    /// utility relative to it (`served / cold`, 1.0 when the cold solve is
+    /// empty). Does not modify the served arrangement.
+    pub fn cold_solve_ratio(&mut self) -> f64 {
+        let cold = self.next_solve(None);
+        let cold_utility = cold.utility_value(&self.instance);
+        if cold_utility <= 0.0 {
+            return 1.0;
+        }
+        self.utility() / cold_utility
+    }
+
+    /// Runs the solver; with `Some(previous)` it warm-starts from it.
+    fn next_solve(&mut self, previous: Option<&Arrangement>) -> Arrangement {
+        let seed = self.config.seed.wrapping_add(self.solve_counter);
+        self.solve_counter += 1;
+        match previous {
+            Some(prev) => self.solver.resolve_seeded(&self.instance, prev, seed),
+            None => self.solver.run_seeded(&self.instance, seed),
+        }
+    }
+
+    /// Repair path of a batched burst: consult the batch policy first,
+    /// then fall through to the incremental repair.
+    fn repair_batch(&mut self) -> RepairKind {
+        if self.dirty.is_empty() {
+            return RepairKind::Untouched;
+        }
+        if let BatchPolicy::CostModel {
+            patch_cost_per_candidate,
+            solve_cost_per_bid,
+        } = self.config.batch_policy
+        {
+            // Cold-solve work: one greedy pass over every bid pair (plus
+            // fixed per-event bookkeeping).
+            let solve_cost =
+                solve_cost_per_bid * (self.instance.num_bids() + self.instance.num_events()) as f64;
+            let threshold =
+                (self.config.escalation_fraction * self.instance.num_users() as f64).max(1.0);
+            let incremental_cost = if self.dirty.users.len() as f64 > threshold {
+                // The incremental path would escalate to a warm-start
+                // re-solve: carry over the previous pairs, then run the
+                // full greedy pass anyway — roughly two cold solves.
+                2.0 * solve_cost
+            } else {
+                // Greedy-patch work: candidate pairs around the dirty set
+                // plus the full-user attendee scan per dirty event.
+                let mut candidates = 0usize;
+                for &u in &self.dirty.users {
+                    candidates += self.instance.user(u).num_bids();
+                }
+                for &v in &self.dirty.events {
+                    candidates += self.instance.event(v).num_bidders();
+                }
+                let scans = self.dirty.events.len() * self.instance.num_users();
+                patch_cost_per_candidate * (candidates + scans) as f64
+            };
+            if incremental_cost > solve_cost {
+                self.arrangement = self.next_solve(None);
+                self.dirty.clear();
+                self.stats.batch_solves += 1;
+                return RepairKind::BatchSolve;
+            }
+        }
+        self.repair()
+    }
+
+    fn repair(&mut self) -> RepairKind {
+        if self.dirty.is_empty() {
+            return RepairKind::Untouched;
+        }
+        let threshold =
+            (self.config.escalation_fraction * self.instance.num_users() as f64).max(1.0);
+        let repair = if self.dirty.users.len() as f64 > threshold {
+            let previous = std::mem::replace(
+                &mut self.arrangement,
+                Arrangement::empty_for(&self.instance),
+            );
+            self.arrangement = self.next_solve(Some(&previous));
+            self.stats.full_resolves += 1;
+            RepairKind::FullResolve
+        } else {
+            self.greedy_patch()
+        };
+        self.dirty.clear();
+        repair
+    }
+
+    /// Local repair: prune dirty users' assignments, evict overflow at
+    /// dirty events, then greedily re-admit the heaviest feasible
+    /// candidate pairs around the dirty set.
+    fn greedy_patch(&mut self) -> RepairKind {
+        let mut pruned = 0usize;
+
+        // Re-seat every dirty user from scratch: removing all their pairs
+        // and re-adding greedily uniformly handles revoked bids, shrunk
+        // user capacities and conflict structure around new assignments.
+        let dirty_users: Vec<UserId> = self.dirty.users.iter().copied().collect();
+        for &u in &dirty_users {
+            pruned += self.arrangement.remove_user_assignments(u).len();
+        }
+
+        // Evict overflow at dirty events (capacity may have shrunk),
+        // dropping the lightest attendees first.
+        let dirty_events: Vec<EventId> = self.dirty.events.iter().copied().collect();
+        let mut evicted_users: BTreeSet<UserId> = BTreeSet::new();
+        for &v in &dirty_events {
+            let capacity = self.instance.event(v).capacity;
+            if self.arrangement.load_of(v) <= capacity {
+                continue;
+            }
+            let mut attendees: Vec<(f64, UserId)> = self
+                .arrangement
+                .users_of(v)
+                .into_iter()
+                .map(|u| (self.instance.weight(v, u), u))
+                .collect();
+            attendees.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            let overflow = self.arrangement.load_of(v) - capacity;
+            for &(_, u) in attendees.iter().take(overflow) {
+                self.arrangement.unassign(v, u);
+                evicted_users.insert(u);
+                pruned += 1;
+            }
+        }
+
+        // Candidate pairs: dirty users × their bids, dirty events × their
+        // bidders, and every bid of a user evicted above (they may fit
+        // elsewhere).
+        let mut candidates: BTreeSet<(EventId, UserId)> = BTreeSet::new();
+        for &u in dirty_users.iter().chain(evicted_users.iter()) {
+            for &v in &self.instance.user(u).bids {
+                candidates.insert((v, u));
+            }
+        }
+        for &v in &dirty_events {
+            for &u in &self.instance.event(v).bidders {
+                candidates.insert((v, u));
+            }
+        }
+
+        let added = admit_greedily(&self.instance, &mut self.arrangement, candidates);
+
+        if pruned == 0 && added == 0 {
+            RepairKind::Untouched
+        } else {
+            self.stats.greedy_patches += 1;
+            RepairKind::GreedyPatch { pruned, added }
+        }
+    }
+
+    /// Runs the staleness check when at least
+    /// `staleness_check_interval` deltas accumulated since the last one.
+    /// Tracking the last-check watermark (rather than exact interval
+    /// multiples) means batches that jump over a multiple still trigger
+    /// the check, so the configured drift bound holds on every apply
+    /// path.
+    fn maybe_check_staleness(&mut self) -> bool {
+        let interval = self.config.staleness_check_interval;
+        if interval == 0 || self.stats.deltas_applied - self.last_staleness_check < interval {
+            return false;
+        }
+        self.last_staleness_check = self.stats.deltas_applied;
+        self.check_staleness()
+    }
+
+    /// Cold-solves the current instance and adopts the result when the
+    /// served utility drifted too far. Returns whether it was adopted.
+    fn check_staleness(&mut self) -> bool {
+        let cold = self.next_solve(None);
+        self.stats.staleness_checks += 1;
+        let cold_utility = cold.utility_value(&self.instance);
+        let served_utility = self.utility();
+        self.stats.last_observed_drift = if cold_utility > 0.0 {
+            1.0 - served_utility / cold_utility
+        } else {
+            0.0
+        };
+        if served_utility < (1.0 - self.config.max_staleness) * cold_utility {
+            self.arrangement = cold;
+            self.stats.staleness_resolves += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("num_events", &self.instance.num_events())
+            .field("num_users", &self.instance.num_users())
+            .field("num_pairs", &self.arrangement.len())
+            .field("dirty", &self.dirty.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igepa_algos::GreedyArrangement;
+    use igepa_core::{AttributeVector, ConstantInterest, NeverConflict};
+
+    fn shard_for(num_events: usize, num_users: usize, config: EngineConfig) -> Shard {
+        let mut b = Instance::builder();
+        let events: Vec<EventId> = (0..num_events)
+            .map(|_| b.add_event(2, AttributeVector::empty()))
+            .collect();
+        for _ in 0..num_users {
+            b.add_user(2, AttributeVector::empty(), events.clone());
+        }
+        b.interaction_scores(vec![0.5; num_users]);
+        let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        Shard::new(
+            instance,
+            Rc::new(NeverConflict),
+            Rc::new(ConstantInterest(0.5)),
+            Rc::new(GreedyArrangement),
+            config,
+        )
+    }
+
+    #[test]
+    fn quota_and_demand_reflect_the_sub_instance() {
+        let mut shard = shard_for(1, 3, EngineConfig::default());
+        // Event capacity 2, three bidders with capacity 2 each: two seated.
+        assert_eq!(shard.quota_of(EventId::new(0)), 2);
+        assert_eq!(shard.load_of(EventId::new(0)), 2);
+        assert_eq!(shard.unmet_demand(EventId::new(0)), 1);
+        // Raising the quota seats the remaining bidder.
+        let repair = shard.apply_quotas(&[(EventId::new(0), 3)]);
+        assert!(matches!(repair, RepairKind::GreedyPatch { added: 1, .. }));
+        assert_eq!(shard.load_of(EventId::new(0)), 3);
+        assert_eq!(shard.unmet_demand(EventId::new(0)), 0);
+        assert_eq!(shard.stats().quota_updates, 1);
+        // Quota updates do not count as external deltas.
+        assert_eq!(shard.stats().deltas_applied, 0);
+        assert!(shard.arrangement().is_feasible(shard.instance()));
+    }
+
+    #[test]
+    fn shrinking_quota_evicts_overflow() {
+        let mut shard = shard_for(1, 2, EngineConfig::default());
+        assert_eq!(shard.load_of(EventId::new(0)), 2);
+        shard.apply_quotas(&[(EventId::new(0), 1)]);
+        assert_eq!(shard.load_of(EventId::new(0)), 1);
+        assert!(shard.arrangement().is_feasible(shard.instance()));
+    }
+
+    #[test]
+    fn cost_model_runs_one_cold_solve_on_large_bursts() {
+        let mut shard = shard_for(
+            3,
+            8,
+            EngineConfig {
+                batch_policy: BatchPolicy::cost_model(),
+                ..EngineConfig::default()
+            },
+        );
+        // Touch every user: the patch would scan far more than a solve.
+        let deltas: Vec<InstanceDelta> = (0..8)
+            .map(|u| InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(u),
+                score: 0.9,
+            })
+            .collect();
+        let outcome = shard.apply_batch(&deltas).unwrap();
+        assert_eq!(outcome.repair, RepairKind::BatchSolve);
+        assert_eq!(shard.stats().batch_solves, 1);
+        assert_eq!(shard.stats().full_resolves, 0);
+        assert!(shard.arrangement().is_feasible(shard.instance()));
+    }
+
+    #[test]
+    fn cost_model_keeps_patching_small_bursts() {
+        let mut a = shard_for(
+            2,
+            40,
+            EngineConfig {
+                batch_policy: BatchPolicy::cost_model(),
+                ..EngineConfig::default()
+            },
+        );
+        let mut b = shard_for(2, 40, EngineConfig::default());
+        let delta = InstanceDelta::UpdateInteractionScore {
+            user: UserId::new(0),
+            score: 0.9,
+        };
+        let oa = a.apply_batch(std::slice::from_ref(&delta)).unwrap();
+        let ob = b.apply_batch(std::slice::from_ref(&delta)).unwrap();
+        // A one-delta burst dirtying one user is cheap to patch; the cost
+        // model must agree with the escalation policy here.
+        assert_eq!(oa.repair, ob.repair);
+        assert_eq!(oa.utility.to_bits(), ob.utility.to_bits());
+        assert_eq!(a.stats().batch_solves, 0);
+    }
+
+    #[test]
+    fn pre_batch_policy_configs_still_deserialize() {
+        // A config serialized before `batch_policy` existed: the missing
+        // field defaults instead of failing.
+        let legacy = "{\"seed\":7,\"escalation_fraction\":0.25,\
+                      \"staleness_check_interval\":256,\"max_staleness\":0.05}";
+        let config: EngineConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.batch_policy, BatchPolicy::Escalation);
+        // And the current format round-trips.
+        let current = EngineConfig {
+            batch_policy: BatchPolicy::cost_model(),
+            ..EngineConfig::default()
+        };
+        let json = serde_json::to_string(&current).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, current);
+    }
+
+    #[test]
+    fn batch_policy_severity_ordering_is_total() {
+        let kinds = [
+            RepairKind::Untouched,
+            RepairKind::GreedyPatch {
+                pruned: 0,
+                added: 1,
+            },
+            RepairKind::FullResolve,
+            RepairKind::BatchSolve,
+            RepairKind::StalenessResolve,
+        ];
+        for w in kinds.windows(2) {
+            assert!(w[0].severity() < w[1].severity());
+        }
+    }
+
+    #[test]
+    fn merged_stats_sum_counters_and_keep_worst_drift() {
+        let a = EngineStats {
+            deltas_applied: 3,
+            greedy_patches: 2,
+            last_observed_drift: 0.01,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            deltas_applied: 4,
+            full_resolves: 1,
+            last_observed_drift: 0.04,
+            ..EngineStats::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.deltas_applied, 7);
+        assert_eq!(m.greedy_patches, 2);
+        assert_eq!(m.full_resolves, 1);
+        assert_eq!(m.last_observed_drift, 0.04);
+    }
+}

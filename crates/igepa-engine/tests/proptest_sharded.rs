@@ -1,0 +1,306 @@
+//! Property tests for the sharded engine:
+//!
+//! * under arbitrary valid delta sequences and **any shard count**, the
+//!   merged arrangement stays feasible for the full-capacity global
+//!   instance (capacities, conflicts, bids — Definition 4) and the
+//!   per-event quota invariant holds;
+//! * a `ShardedEngine` with **one shard** reproduces the monolithic
+//!   `Engine`'s protocol responses **bit for bit**, across applies,
+//!   batches, queries and rebalances;
+//! * reconciliation (periodic and explicit) never breaks feasibility and
+//!   never loses pairs.
+
+use igepa_algos::GreedyArrangement;
+use igepa_core::{
+    AttributeVector, CapacityTarget, ConstantInterest, EventId, HashPartitioner, Instance,
+    InstanceDelta, NeverConflict, PairSetConflict, UserId,
+};
+use igepa_engine::{
+    encode_response, Engine, EngineConfig, EngineQuery, EngineRequest, ShardedConfig, ShardedEngine,
+};
+use proptest::prelude::*;
+
+/// A delta described by raw numbers; resolved against the engine's evolving
+/// population at apply time so it is always valid.
+#[derive(Debug, Clone)]
+struct RawDelta {
+    kind: u8,
+    a: usize,
+    b: usize,
+    score: f64,
+}
+
+fn raw_delta_strategy() -> impl Strategy<Value = RawDelta> {
+    (0u8..6, 0usize..64, 0usize..64, 0.0f64..=1.0).prop_map(|(kind, a, b, score)| RawDelta {
+        kind,
+        a,
+        b,
+        score,
+    })
+}
+
+/// Resolves a raw delta against current instance dimensions.
+fn resolve(raw: &RawDelta, instance: &Instance) -> InstanceDelta {
+    let num_events = instance.num_events();
+    let num_users = instance.num_users();
+    match raw.kind {
+        0 => InstanceDelta::AddUser {
+            capacity: 1 + raw.a % 3,
+            attrs: AttributeVector::empty(),
+            bids: if num_events == 0 {
+                Vec::new()
+            } else {
+                vec![
+                    EventId::new(raw.a % num_events),
+                    EventId::new(raw.b % num_events),
+                ]
+            },
+            interaction: raw.score,
+        },
+        1 if num_users > 0 => InstanceDelta::RemoveUser {
+            user: UserId::new(raw.a % num_users),
+        },
+        2 => InstanceDelta::AddEvent {
+            capacity: 1 + raw.b % 4,
+            attrs: AttributeVector::empty(),
+        },
+        3 if num_events > 0 && raw.b.is_multiple_of(2) => InstanceDelta::UpdateCapacity {
+            target: CapacityTarget::Event(EventId::new(raw.a % num_events)),
+            capacity: raw.b % 5,
+        },
+        3 | 4 if num_users > 0 => {
+            if raw.kind == 3 {
+                InstanceDelta::UpdateCapacity {
+                    target: CapacityTarget::User(UserId::new(raw.a % num_users)),
+                    capacity: raw.b % 4,
+                }
+            } else {
+                InstanceDelta::UpdateBids {
+                    user: UserId::new(raw.a % num_users),
+                    bids: if num_events == 0 {
+                        Vec::new()
+                    } else {
+                        vec![EventId::new(raw.b % num_events)]
+                    },
+                }
+            }
+        }
+        5 if num_users > 0 => InstanceDelta::UpdateInteractionScore {
+            user: UserId::new(raw.a % num_users),
+            score: raw.score,
+        },
+        // Population too small for the drawn kind: fall back to growth.
+        _ => InstanceDelta::AddEvent {
+            capacity: 1 + raw.b % 4,
+            attrs: AttributeVector::empty(),
+        },
+    }
+}
+
+fn seeded_instance(num_events: usize, num_users: usize, conflicts: bool) -> Instance {
+    let mut b = Instance::builder();
+    let events: Vec<EventId> = (0..num_events)
+        .map(|i| b.add_event(1 + i % 3, AttributeVector::empty()))
+        .collect();
+    for u in 0..num_users {
+        let bids: Vec<EventId> = events
+            .iter()
+            .copied()
+            .filter(|v| (v.index() + u) % 2 == 0)
+            .collect();
+        b.add_user(1 + u % 3, AttributeVector::empty(), bids);
+    }
+    b.interaction_scores((0..num_users).map(|u| (u as f64 * 0.13) % 1.0).collect());
+    if conflicts && num_events >= 2 {
+        let mut sigma = PairSetConflict::new();
+        sigma.add(EventId::new(0), EventId::new(1));
+        b.build(&sigma, &ConstantInterest(0.5)).unwrap()
+    } else {
+        b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap()
+    }
+}
+
+fn sharded_over(instance: Instance, seed: u64, shards: usize, interval: u64) -> ShardedEngine {
+    ShardedEngine::new(
+        instance,
+        Box::new(NeverConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        Box::new(HashPartitioner),
+        ShardedConfig {
+            num_shards: shards,
+            shard: EngineConfig {
+                seed,
+                staleness_check_interval: 8,
+                ..EngineConfig::default()
+            },
+            reconcile_interval: interval,
+            reconcile_rounds: 2,
+        },
+    )
+}
+
+fn monolithic_over(instance: Instance, seed: u64) -> Engine {
+    Engine::new(
+        instance,
+        Box::new(NeverConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        EngineConfig {
+            seed,
+            staleness_check_interval: 8,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Quota invariant: per event, shard quotas sum to the mirror capacity.
+fn assert_quota_invariant(engine: &ShardedEngine) {
+    for event in engine.instance().events() {
+        let total: usize = (0..engine.num_shards())
+            .map(|k| engine.shard(k).quota_of(event.id))
+            .sum();
+        assert_eq!(
+            total, event.capacity,
+            "quota invariant broken on {}",
+            event.id
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merged_arrangement_stays_feasible_for_any_shard_count(
+        num_events in 1usize..5,
+        num_users in 1usize..6,
+        with_conflicts in any::<bool>(),
+        shards in 1usize..5,
+        raws in proptest::collection::vec(raw_delta_strategy(), 1..40),
+        seed in 0u64..50,
+    ) {
+        let instance = seeded_instance(num_events, num_users, with_conflicts);
+        // A short reconcile interval so the exchange protocol runs often.
+        let mut engine = sharded_over(instance, seed, shards, 4);
+        prop_assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+        for raw in &raws {
+            let delta = resolve(raw, engine.instance());
+            let outcome = engine.apply(&delta);
+            prop_assert!(outcome.is_ok(), "resolved delta rejected: {:?}", outcome.err());
+            // The serving invariant, merged across shards, after every
+            // single delta: bids, capacities, conflicts all hold on the
+            // full-capacity global instance.
+            let merged = engine.merged_arrangement();
+            prop_assert!(
+                merged.is_feasible(engine.instance()),
+                "infeasible after {:?}: {:?}",
+                delta.kind(),
+                merged.violations(engine.instance())
+            );
+            assert_quota_invariant(&engine);
+        }
+        // An explicit full rebalance keeps everything feasible and never
+        // drops served pairs.
+        let before = engine.num_pairs();
+        engine.rebalance();
+        prop_assert!(engine.num_pairs() >= before);
+        prop_assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+        assert_quota_invariant(&engine);
+    }
+
+    #[test]
+    fn one_shard_reproduces_monolithic_responses_bit_for_bit(
+        num_events in 1usize..4,
+        num_users in 1usize..4,
+        raws in proptest::collection::vec(raw_delta_strategy(), 1..30),
+        batch_every in 2usize..5,
+        seed in 0u64..50,
+    ) {
+        let instance = seeded_instance(num_events, num_users, true);
+        let mut mono = monolithic_over(instance.clone(), seed);
+        let mut sharded = sharded_over(instance, seed, 1, 4);
+
+        // Interleave applies, batches, every query kind and rebalances,
+        // resolving raw deltas against the monolithic engine's state.
+        let mut pending_batch: Vec<InstanceDelta> = Vec::new();
+        let mut requests: Vec<EngineRequest> = Vec::new();
+        for (i, raw) in raws.iter().enumerate() {
+            let delta = resolve(raw, mono.instance());
+            if i % batch_every == 0 {
+                pending_batch.push(delta);
+                if pending_batch.len() == 2 {
+                    requests.push(EngineRequest::ApplyBatch {
+                        deltas: std::mem::take(&mut pending_batch),
+                    });
+                }
+            } else {
+                requests.push(EngineRequest::Apply { delta });
+            }
+            if i % 5 == 4 {
+                // An always-invalid delta: both backends must reject it
+                // identically AND report it identically in later stats.
+                requests.push(EngineRequest::Apply {
+                    delta: InstanceDelta::UpdateInteractionScore {
+                        user: UserId::new(mono.instance().num_users() + 7),
+                        score: 0.5,
+                    },
+                });
+            }
+            match i % 7 {
+                1 => requests.push(EngineRequest::Query { query: EngineQuery::Utility }),
+                2 => requests.push(EngineRequest::Query {
+                    query: EngineQuery::AssignmentsOf { user: UserId::new(raw.a % 8) },
+                }),
+                3 => requests.push(EngineRequest::Query {
+                    query: EngineQuery::EventLoad { event: EventId::new(raw.b % 8) },
+                }),
+                4 => requests.push(EngineRequest::Query { query: EngineQuery::Stats }),
+                5 => requests.push(EngineRequest::Query { query: EngineQuery::ShardStats }),
+                6 => requests.push(EngineRequest::Rebalance),
+                _ => requests.push(EngineRequest::Query { query: EngineQuery::MergedSnapshot }),
+            }
+            // Process the interleaved stream immediately so the next raw
+            // delta resolves against the evolved population.
+            for request in requests.drain(..) {
+                let mono_response = mono.handle(&request);
+                let sharded_response = sharded.handle(&request);
+                // Bit-for-bit: the serialized lines must be identical
+                // (covers every f64 exactly as it will hit a replay log).
+                prop_assert_eq!(
+                    encode_response(&mono_response),
+                    encode_response(&sharded_response),
+                    "diverged on request {:?}",
+                    request
+                );
+            }
+        }
+        prop_assert_eq!(mono.utility().to_bits(), sharded.utility().to_bits());
+        prop_assert_eq!(mono.arrangement().len(), sharded.num_pairs());
+    }
+
+    #[test]
+    fn stats_aggregate_matches_shard_totals(
+        shards in 1usize..4,
+        raws in proptest::collection::vec(raw_delta_strategy(), 1..20),
+        seed in 0u64..20,
+    ) {
+        let instance = seeded_instance(3, 4, false);
+        let mut engine = sharded_over(instance, seed, shards, 0);
+        let mut applied = 0u64;
+        for raw in &raws {
+            let delta = resolve(raw, engine.instance());
+            if engine.apply(&delta).is_ok() {
+                applied += 1;
+            }
+        }
+        let stats = engine.stats();
+        // Broadcast deltas count once per shard; user-routed ones once.
+        prop_assert!(stats.deltas_applied >= applied);
+        prop_assert_eq!(stats.deltas_rejected, 0);
+        let per_shard: u64 = (0..engine.num_shards())
+            .map(|k| engine.shard(k).stats().deltas_applied)
+            .sum();
+        prop_assert_eq!(stats.deltas_applied, per_shard);
+    }
+}

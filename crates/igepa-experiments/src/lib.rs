@@ -46,7 +46,10 @@ pub use online::run_online_study;
 pub use ratio::{run_ratio_study, RatioReport, RatioResult};
 pub use report::{AlgorithmResult, SweepPoint, SweepReport, TableReport};
 pub use scalability::{run_scalability, DEFAULT_USER_COUNTS};
-pub use serve::{run_serve_study, serving_engine, ServeReport};
+pub use serve::{
+    run_serve_study, run_sharded_serve_study, serving_engine, sharded_serving_engine, ServeReport,
+    ShardedServeReport,
+};
 pub use settings::ExperimentSettings;
 pub use shape::{
     check_sweep, check_table_ordering, check_users_sweep_convergence, ShapeCheck, ShapeReport,

@@ -31,8 +31,8 @@ use igepa_experiments::{
     check_sweep, check_table_ordering, check_users_sweep_convergence, run_all_figure1,
     run_alpha_ablation, run_backend_ablation, run_beta_ablation, run_clustered_table,
     run_extension_ablation, run_figure1, run_interaction_ablation, run_online_study,
-    run_ratio_study, run_scalability, run_serve_study, run_table1, run_table2, ExperimentSettings,
-    Figure1Factor, ShapeReport, SweepReport, TableReport,
+    run_ratio_study, run_scalability, run_serve_study, run_sharded_serve_study, run_table1,
+    run_table2, ExperimentSettings, Figure1Factor, ShapeReport, SweepReport, TableReport,
 };
 use std::path::PathBuf;
 
@@ -93,8 +93,19 @@ fn main() {
         "scalability" => emit_sweep(run_scalability(&settings), &options),
         "online" => emit_table(run_online_study(&settings), &options),
         "serve" => {
-            let report = run_serve_study(&settings, options.deltas.unwrap_or(10_000));
-            println!("{}", report.to_markdown());
+            let deltas = options.deltas.unwrap_or(10_000);
+            let shards = options.shards.unwrap_or(1);
+            if shards > 1 {
+                let report = run_sharded_serve_study(&settings, deltas, shards);
+                println!("{}", report.to_markdown());
+                if !report.merged_feasible {
+                    eprintln!("merged arrangement is INFEASIBLE");
+                    std::process::exit(1);
+                }
+            } else {
+                let report = run_serve_study(&settings, deltas);
+                println!("{}", report.to_markdown());
+            }
         }
         "all" => {
             let mut shape = ShapeReport::default();
@@ -159,6 +170,7 @@ struct Options {
     factor: Option<String>,
     csv_dir: Option<PathBuf>,
     deltas: Option<usize>,
+    shards: Option<usize>,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -191,6 +203,10 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--deltas" => {
                 options.deltas = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--shards" => {
+                options.shards = args.get(i + 1).and_then(|v| v.parse().ok());
                 i += 1;
             }
             other => {
@@ -241,6 +257,7 @@ fn print_usage() {
            --extensions     also run LocalSearch and Online-Greedy\n\
            --exact-lp       force the exact simplex LP backend\n\
            --csv-dir <dir>  also write CSV files into <dir>\n\
-           --deltas <n>     trace length for `serve` (default 10000)"
+           --deltas <n>     trace length for `serve` (default 10000)\n\
+           --shards <n>     shard count for `serve` (default 1 = monolithic)"
     );
 }

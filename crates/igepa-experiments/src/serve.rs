@@ -14,9 +14,14 @@
 
 use crate::settings::ExperimentSettings;
 use igepa_algos::{ArrangementAlgorithm, GreedyArrangement};
-use igepa_core::{ConstantInterest, Instance, NeverConflict};
-use igepa_datagen::{generate_synthetic, generate_trace, SyntheticConfig, TraceConfig};
-use igepa_engine::{replay, Engine, EngineConfig, EngineRequest, LatencySummary};
+use igepa_core::{ConstantInterest, Instance, LocalityPartitioner, NeverConflict};
+use igepa_datagen::{
+    generate_clustered_dataset, generate_community_trace, generate_synthetic, generate_trace,
+    ClusteredConfig, CommunityTraceConfig, SyntheticConfig, TraceConfig,
+};
+use igepa_engine::{
+    replay, Engine, EngineConfig, EngineRequest, LatencySummary, ShardedConfig, ShardedEngine,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -168,6 +173,201 @@ pub fn run_serve_study(settings: &ExperimentSettings, num_deltas: usize) -> Serv
     }
 }
 
+/// Result of the sharded serving study: the same multi-community trace
+/// replayed through a monolithic engine and through N shards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedServeReport {
+    /// Shards of the partitioned engine.
+    pub shards: usize,
+    /// Deltas replayed through both engines.
+    pub num_deltas: usize,
+    /// Events / users of the community-structured base instance.
+    pub base_events: usize,
+    /// Users of the base instance.
+    pub base_users: usize,
+    /// Users after the full trace.
+    pub final_users: usize,
+    /// Per-delta latency of the monolithic engine (µs).
+    pub mono_latency: LatencySummary,
+    /// Per-delta latency of the sharded engine (µs).
+    pub sharded_latency: LatencySummary,
+    /// Mean monolithic latency over mean sharded latency.
+    pub speedup: f64,
+    /// Final utility served by the monolithic engine.
+    pub mono_utility: f64,
+    /// Final merged utility served by the sharded engine.
+    pub sharded_utility: f64,
+    /// `sharded_utility / mono_utility` — the quality price of sharding.
+    pub utility_ratio: f64,
+    /// Whether the merged arrangement is feasible for the full instance.
+    pub merged_feasible: bool,
+    /// Events whose bidders span shards at the end of the run.
+    pub boundary_events: usize,
+    /// Reconciliation passes the coordinator ran.
+    pub reconcile_passes: u64,
+    /// Capacity units the reconciler moved between shards.
+    pub quota_moved: u64,
+    /// Pairs served per shard at the end of the run.
+    pub pairs_per_shard: Vec<usize>,
+}
+
+impl ShardedServeReport {
+    /// Renders the report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## Sharded serving study: {} shards vs monolithic\n\n",
+            self.shards
+        ));
+        out.push_str(&format!(
+            "Base instance: {} events x {} users; {} deltas of a multi-community trace; {} users at the end.\n\n",
+            self.base_events, self.base_users, self.num_deltas, self.final_users
+        ));
+        out.push_str("| Engine | mean (µs) | p50 (µs) | p95 (µs) | p99 (µs) | max (µs) |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        let row = |name: &str, l: &LatencySummary| {
+            format!(
+                "| {name} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+                l.mean_us, l.p50_us, l.p95_us, l.p99_us, l.max_us
+            )
+        };
+        out.push_str(&row("monolithic", &self.mono_latency));
+        out.push_str(&row(
+            &format!("{} shards", self.shards),
+            &self.sharded_latency,
+        ));
+        out.push_str(&format!(
+            "\nPer-delta speedup (mean mono / mean sharded): **{:.2}x**. \
+             Merged utility: **{:.1}%** of the monolithic engine's ({}).\n",
+            self.speedup,
+            self.utility_ratio * 100.0,
+            if self.merged_feasible {
+                "feasible"
+            } else {
+                "INFEASIBLE"
+            }
+        ));
+        out.push_str(&format!(
+            "Boundary: {} events span shards; {} reconcile passes moved {} capacity units. Pairs per shard: {:?}.\n",
+            self.boundary_events, self.reconcile_passes, self.quota_moved, self.pairs_per_shard
+        ));
+        out
+    }
+}
+
+/// Scales the clustered base configuration like
+/// [`ExperimentSettings::scale_config`] does for the synthetic one.
+fn scaled_clustered(settings: &ExperimentSettings) -> ClusteredConfig {
+    let scale = settings.scale.max(0.01);
+    let base = ClusteredConfig::default();
+    ClusteredConfig {
+        num_events: ((base.num_events as f64 * scale).round() as usize).max(8),
+        num_users: ((base.num_users as f64 * scale).round() as usize).max(24),
+        ..base
+    }
+}
+
+/// Builds the sharded engine used by the study and the benches: locality
+/// partitioning over the conflict graph, periodic reconciliation, and the
+/// same repair knobs as [`serving_engine`].
+pub fn sharded_serving_engine(instance: Instance, seed: u64, shards: usize) -> ShardedEngine {
+    let partitioner = LocalityPartitioner::from_instance(&instance, shards);
+    ShardedEngine::new(
+        instance,
+        Box::new(NeverConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        Box::new(partitioner),
+        ShardedConfig {
+            num_shards: shards,
+            shard: EngineConfig {
+                seed,
+                staleness_check_interval: 128,
+                max_staleness: 0.05,
+                ..EngineConfig::default()
+            },
+            reconcile_interval: 64,
+            reconcile_rounds: 3,
+        },
+    )
+}
+
+/// Runs the sharded serving study: replays one multi-community trace
+/// through a monolithic engine and an N-shard engine and compares
+/// latency, utility and the merged arrangement's feasibility.
+pub fn run_sharded_serve_study(
+    settings: &ExperimentSettings,
+    num_deltas: usize,
+    shards: usize,
+) -> ShardedServeReport {
+    let dataset = generate_clustered_dataset(&scaled_clustered(settings), settings.base_seed);
+    let base = dataset.instance.clone();
+    let trace = generate_community_trace(
+        &base,
+        &dataset.event_communities,
+        &CommunityTraceConfig::partition_friendly(num_deltas, shards.max(1)),
+        settings.base_seed + 1,
+    );
+    let requests: Vec<EngineRequest> = trace
+        .deltas
+        .iter()
+        .map(|t| EngineRequest::Apply {
+            delta: t.delta.clone(),
+        })
+        .collect();
+
+    // Monolithic path.
+    let mut mono = serving_engine(base.clone(), settings.base_seed);
+    let mono_outcome = replay(&mut mono, &requests);
+    assert_eq!(
+        mono_outcome.report.rejected, 0,
+        "community trace must replay cleanly"
+    );
+    let mono_utility = mono.utility();
+
+    // Sharded path.
+    let mut sharded = sharded_serving_engine(base, settings.base_seed, shards);
+    let sharded_outcome = replay(&mut sharded, &requests);
+    assert_eq!(sharded_outcome.report.rejected, 0);
+    // One final reconciliation so stranded quota does not linger past the
+    // end of the trace.
+    let final_report = sharded.rebalance();
+    let merged = sharded.merged_arrangement();
+    let merged_feasible = merged.is_feasible(sharded.instance());
+    let sharded_utility = merged.utility_value(sharded.instance());
+
+    let mono_latency = mono_outcome.report.latency;
+    let sharded_latency = sharded_outcome.report.latency;
+    ShardedServeReport {
+        shards: sharded.num_shards(),
+        num_deltas,
+        base_events: dataset.instance.num_events(),
+        base_users: dataset.instance.num_users(),
+        final_users: sharded.instance().num_users(),
+        mono_latency,
+        sharded_latency,
+        speedup: if sharded_latency.mean_us > 0.0 {
+            mono_latency.mean_us / sharded_latency.mean_us
+        } else {
+            f64::INFINITY
+        },
+        mono_utility,
+        sharded_utility,
+        utility_ratio: if mono_utility > 0.0 {
+            sharded_utility / mono_utility
+        } else {
+            1.0
+        },
+        merged_feasible,
+        boundary_events: final_report.boundary_events,
+        reconcile_passes: sharded.coordinator_stats().reconcile_passes,
+        quota_moved: sharded.coordinator_stats().quota_moved,
+        pairs_per_shard: (0..sharded.num_shards())
+            .map(|k| sharded.shard(k).arrangement().len())
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +404,42 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: ServeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn sharded_study_is_feasible_and_close_to_monolithic() {
+        let settings = ExperimentSettings {
+            scale: 0.25,
+            ..ExperimentSettings::quick()
+        };
+        let report = run_sharded_serve_study(&settings, 400, 4);
+        assert_eq!(report.shards, 4);
+        assert!(report.merged_feasible, "merged arrangement infeasible");
+        assert!(
+            report.utility_ratio >= 0.95,
+            "sharded utility only {:.3} of monolithic",
+            report.utility_ratio
+        );
+        let md = report.to_markdown();
+        assert!(md.contains("Sharded serving study"));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ShardedServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn single_shard_study_matches_monolithic_exactly() {
+        let settings = ExperimentSettings {
+            scale: 0.2,
+            ..ExperimentSettings::quick()
+        };
+        let report = run_sharded_serve_study(&settings, 200, 1);
+        assert_eq!(report.shards, 1);
+        assert!(report.merged_feasible);
+        assert_eq!(
+            report.sharded_utility.to_bits(),
+            report.mono_utility.to_bits(),
+            "one shard must reproduce the monolithic utility bit for bit"
+        );
     }
 }

@@ -58,6 +58,8 @@ pub mod prelude {
         generate_clustered, generate_meetup, generate_synthetic, generate_trace, ClusteredConfig,
         DeltaTrace, MeetupConfig, SyntheticConfig, TraceConfig,
     };
-    pub use igepa_engine::{Engine, EngineConfig, EngineRequest, EngineResponse};
+    pub use igepa_engine::{
+        Engine, EngineConfig, EngineRequest, EngineResponse, ShardedConfig, ShardedEngine,
+    };
     pub use igepa_graph::{InteractionMeasure, SocialNetwork};
 }

@@ -4,9 +4,14 @@
 //! sampling-based property tester: strategies generate random values, the
 //! [`proptest!`] macro runs each test body over `ProptestConfig::cases`
 //! sampled inputs and reports the failing input's `Debug` representation.
-//! There is **no shrinking** — a failure prints the raw input instead of a
-//! minimal one, which is enough to reproduce and debug (runs are seeded
-//! deterministically per test).
+//! Failures are **shrunk** with basic halving/truncation shrinkers before
+//! reporting: ranges halve toward their lower bound, collections truncate
+//! toward their minimum size (and shrink elements in place), and tuples
+//! shrink one component at a time. Combinator strategies (`prop_map`,
+//! `prop_flat_map`, filters) do not shrink through the mapping — the
+//! shrink loop simply keeps whatever smaller failing input it can reach,
+//! so counterexamples are *near*-minimal, not guaranteed minimal. Runs
+//! are seeded deterministically per test.
 //!
 //! Supported surface: range strategies over ints and floats, tuples up to
 //! arity 8, `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`,
@@ -66,10 +71,18 @@ pub mod strategy {
     /// A generator of random values of type `Value`.
     pub trait Strategy {
         /// The generated value type.
-        type Value: Debug;
+        type Value: Debug + Clone;
 
         /// Draws one value.
         fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Proposes strictly "smaller" candidate values derived from a
+        /// failing `value`; the runner keeps candidates that still fail.
+        /// The default (combinators, `Just`) proposes nothing.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
@@ -136,18 +149,25 @@ pub mod strategy {
 
     trait DynStrategy<T> {
         fn dyn_sample(&self, rng: &mut StdRng) -> T;
+        fn dyn_shrink(&self, value: &T) -> Vec<T>;
     }
 
     impl<S: Strategy> DynStrategy<S::Value> for S {
         fn dyn_sample(&self, rng: &mut StdRng) -> S::Value {
             self.sample(rng)
         }
+        fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            self.shrink(value)
+        }
     }
 
-    impl<T: Debug> Strategy for BoxedStrategy<T> {
+    impl<T: Debug + Clone> Strategy for BoxedStrategy<T> {
         type Value = T;
         fn sample(&self, rng: &mut StdRng) -> T {
             self.0.dyn_sample(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.0.dyn_shrink(value)
         }
     }
 
@@ -157,7 +177,7 @@ pub mod strategy {
         f: F,
     }
 
-    impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    impl<S: Strategy, T: Debug + Clone, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
         type Value = T;
         fn sample(&self, rng: &mut StdRng) -> T {
             (self.f)(self.inner.sample(rng))
@@ -184,7 +204,7 @@ pub mod strategy {
         whence: &'static str,
     }
 
-    impl<S: Strategy, T: Debug, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
+    impl<S: Strategy, T: Debug + Clone, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
         type Value = T;
         fn sample(&self, rng: &mut StdRng) -> T {
             for _ in 0..MAX_FILTER_ATTEMPTS {
@@ -217,6 +237,13 @@ pub mod strategy {
             }
             panic!("prop_filter `{}` rejected too many samples", self.whence);
         }
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            self.inner
+                .shrink(value)
+                .into_iter()
+                .filter(|v| (self.f)(v))
+                .collect()
+        }
     }
 
     /// Strategy that always yields a clone of one value.
@@ -237,14 +264,78 @@ pub mod strategy {
                 fn sample(&self, rng: &mut StdRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    halve_toward(self.start, *value)
+                }
             }
             impl Strategy for RangeInclusive<$t> {
                 type Value = $t;
                 fn sample(&self, rng: &mut StdRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    halve_toward(*self.start(), *value)
+                }
             }
         )*};
+    }
+
+    /// Halving shrinker for ordered numeric ranges: propose the lower
+    /// bound itself, then a bisection ladder of candidates approaching the
+    /// failing value (`value − Δ/2`, `value − Δ/4`, …, down to the unit
+    /// step), so the shrink loop can route around candidates that pass or
+    /// are rejected by `prop_assume`.
+    fn halve_toward<T>(lo: T, value: T) -> Vec<T>
+    where
+        T: Copy + PartialEq + std::ops::Sub<Output = T> + Halve,
+    {
+        if value == lo {
+            return Vec::new();
+        }
+        let mut out = vec![lo];
+        let mut delta = value - lo;
+        for _ in 0..24 {
+            delta = delta.halve();
+            if delta.negligible() {
+                break;
+            }
+            let candidate = value - delta;
+            if candidate != lo && candidate != value && out.last() != Some(&candidate) {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+
+    /// Division by two for the numeric types ranges support.
+    pub trait Halve {
+        /// `self / 2` in the type's own arithmetic.
+        fn halve(self) -> Self;
+        /// Whether the step is too small to make progress.
+        fn negligible(self) -> bool;
+    }
+
+    macro_rules! impl_halve_int {
+        ($($t:ty),*) => {$(
+            impl Halve for $t {
+                fn halve(self) -> Self {
+                    self / 2
+                }
+                fn negligible(self) -> bool {
+                    self == 0
+                }
+            }
+        )*};
+    }
+    impl_halve_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Halve for f64 {
+        fn halve(self) -> Self {
+            self / 2.0
+        }
+        fn negligible(self) -> bool {
+            self.abs() < 1e-9
+        }
     }
 
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
@@ -258,6 +349,13 @@ pub mod strategy {
         fn sample(&self, rng: &mut StdRng) -> bool {
             rng.gen_bool(0.5)
         }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 
     macro_rules! impl_any_int {
@@ -267,6 +365,28 @@ pub mod strategy {
                 fn sample(&self, rng: &mut StdRng) -> $t {
                     rng.gen_range(<$t>::MIN..=<$t>::MAX)
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    // Bisection ladder toward zero (works from either
+                    // sign: the delta keeps the value's sign).
+                    let mut out = Vec::new();
+                    if *value != 0 {
+                        out.push(0);
+                        let mut delta = *value;
+                        for _ in 0..24 {
+                            delta /= 2;
+                            if delta == 0 {
+                                break;
+                            }
+                            let candidate = *value - delta;
+                            if candidate != 0 && candidate != *value
+                                && out.last() != Some(&candidate)
+                            {
+                                out.push(candidate);
+                            }
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
@@ -274,31 +394,41 @@ pub mod strategy {
     impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
     macro_rules! impl_tuple_strategy {
-        ($(($($name:ident),+))*) => {$(
-            #[allow(non_snake_case)]
+        ($(($($name:ident $idx:tt),+))*) => {$(
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
                 type Value = ($($name::Value,)+);
                 fn sample(&self, rng: &mut StdRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.sample(rng),)+)
+                    ($(self.$idx.sample(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // One component at a time, the others kept as-is.
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
     }
 
     impl_tuple_strategy! {
-        (A)
-        (A, B)
-        (A, B, C)
-        (A, B, C, D)
-        (A, B, C, D, E)
-        (A, B, C, D, E, F)
-        (A, B, C, D, E, F, G)
-        (A, B, C, D, E, F, G, H)
-        (A, B, C, D, E, F, G, H, I)
-        (A, B, C, D, E, F, G, H, I, J)
-        (A, B, C, D, E, F, G, H, I, J, K)
-        (A, B, C, D, E, F, G, H, I, J, K, L)
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10, L 11)
     }
 }
 
@@ -371,6 +501,30 @@ pub mod collection {
             let n = self.size.pick(rng);
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Truncation toward the minimum size: halve the excess, then
+            // drop a single trailing element.
+            let lo = self.size.lo.min(value.len());
+            if value.len() > lo {
+                let half = lo + (value.len() - lo) / 2;
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if half != value.len() - 1 {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            // Element-wise shrink, one position at a time.
+            for (i, element) in value.iter().enumerate() {
+                for cand in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 
     /// Strategy for `BTreeSet`s whose elements come from `element`. The set
@@ -408,6 +562,27 @@ pub mod collection {
                 attempts += 1;
             }
             set
+        }
+        fn shrink(&self, value: &BTreeSet<S::Value>) -> Vec<BTreeSet<S::Value>> {
+            // Truncation toward the minimum size: keep the smallest half
+            // of the excess, then drop the largest single element.
+            let mut out = Vec::new();
+            let lo = self.size.lo.min(value.len());
+            if value.len() > lo {
+                let half = lo + (value.len() - lo) / 2;
+                if half < value.len() {
+                    out.push(value.iter().take(half).cloned().collect());
+                }
+                if half != value.len() - 1 {
+                    let mut next = value.clone();
+                    let largest = next.iter().next_back().cloned();
+                    if let Some(largest) = largest {
+                        next.remove(&largest);
+                    }
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -465,10 +640,42 @@ macro_rules! proptest {
     };
 }
 
-/// Drives one property: samples inputs, runs the case closure, panics with
-/// the failing input's `Debug` representation. The generic signature pins
-/// the closure's argument type to the strategy's `Value`, so patterns in the
-/// test header never influence inference.
+/// Upper bound on accepted shrink steps per failure (each step keeps a
+/// strictly smaller failing input, so this also bounds the total work).
+const MAX_SHRINK_STEPS: usize = 512;
+
+/// Outcome of running the case closure once, with panics folded into
+/// failures so panicking bodies shrink like assertion failures do.
+enum CaseOutcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+fn run_case<V>(
+    case: &mut impl FnMut(V) -> Result<(), test_runner::TestCaseError>,
+    value: V,
+) -> CaseOutcome {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(value))) {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(test_runner::TestCaseError::Reject(_))) => CaseOutcome::Reject,
+        Ok(Err(test_runner::TestCaseError::Fail(msg))) => CaseOutcome::Fail(msg),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "test body panicked".to_string());
+            CaseOutcome::Fail(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Drives one property: samples inputs, runs the case closure, shrinks
+/// failures with the strategy's halving/truncation shrinkers, and panics
+/// with the near-minimal counterexample's `Debug` representation. The
+/// generic signature pins the closure's argument type to the strategy's
+/// `Value`, so patterns in the test header never influence inference.
 #[doc(hidden)]
 pub fn __run<S: strategy::Strategy>(
     name: &str,
@@ -488,12 +695,42 @@ pub fn __run<S: strategy::Strategy>(
             );
         }
         let sampled = strategy.sample(&mut rng);
-        let debug_repr = format!("{sampled:?}");
-        match case(sampled) {
-            Ok(()) => accepted += 1,
-            Err(test_runner::TestCaseError::Reject(_)) => {}
-            Err(test_runner::TestCaseError::Fail(msg)) => {
-                panic!("proptest {name} failed: {msg}\ninput: {debug_repr}");
+        match run_case(&mut case, sampled.clone()) {
+            CaseOutcome::Pass => accepted += 1,
+            CaseOutcome::Reject => {}
+            CaseOutcome::Fail(msg) => {
+                let original_repr = format!("{sampled:?}");
+                // Quiet the default panic hook while probing candidates:
+                // panicking bodies would otherwise print a "thread
+                // panicked" block per probe and bury the final report.
+                // (Briefly global — a concurrently failing test in another
+                // thread still fails, just without its hook output.)
+                let previous_hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(|_| {}));
+                // Greedy shrink: repeatedly adopt the first strictly
+                // smaller candidate that still fails (rejected candidates
+                // do not count as failures).
+                let mut current = sampled;
+                let mut current_msg = msg;
+                let mut steps = 0usize;
+                'shrinking: while steps < MAX_SHRINK_STEPS {
+                    for candidate in strategy.shrink(&current) {
+                        if let CaseOutcome::Fail(m) = run_case(&mut case, candidate.clone()) {
+                            current = candidate;
+                            current_msg = m;
+                            steps += 1;
+                            continue 'shrinking;
+                        }
+                    }
+                    break;
+                }
+                std::panic::set_hook(previous_hook);
+                if steps == 0 {
+                    panic!("proptest {name} failed: {current_msg}\ninput: {original_repr}");
+                }
+                panic!(
+                    "proptest {name} failed: {current_msg}\nminimal input (after {steps} shrink steps): {current:?}\noriginal input: {original_repr}"
+                );
             }
         }
     }
@@ -641,6 +878,106 @@ mod tests {
             }
         }
         inner();
+    }
+
+    #[test]
+    fn failing_scalar_shrinks_to_the_boundary() {
+        // x >= 5 fails; halving toward 0 must land exactly on 5.
+        let result = std::panic::catch_unwind(|| {
+            crate::__run(
+                "shrink_scalar",
+                &crate::test_runner::ProptestConfig::with_cases(64),
+                &(0usize..100,),
+                |(x,)| {
+                    if x < 5 {
+                        Ok(())
+                    } else {
+                        Err(crate::test_runner::TestCaseError::Fail(format!(
+                            "x was {x}"
+                        )))
+                    }
+                },
+            );
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("x was 5"), "not minimal: {message}");
+        assert!(
+            message.contains("minimal input"),
+            "no shrink report: {message}"
+        );
+    }
+
+    #[test]
+    fn failing_vec_truncates_to_minimal_length() {
+        // Any vec with >= 3 elements fails; truncation must reach len 3.
+        let result = std::panic::catch_unwind(|| {
+            crate::__run(
+                "shrink_vec",
+                &crate::test_runner::ProptestConfig::with_cases(64),
+                &(crate::collection::vec(0usize..100, 0..20),),
+                |(v,)| {
+                    if v.len() < 3 {
+                        Ok(())
+                    } else {
+                        Err(crate::test_runner::TestCaseError::Fail(format!(
+                            "len was {}",
+                            v.len()
+                        )))
+                    }
+                },
+            );
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("len was 3"), "not minimal: {message}");
+        // Elements shrink toward the range's lower bound too.
+        assert!(
+            message.contains("[0, 0, 0]"),
+            "elements not shrunk: {message}"
+        );
+    }
+
+    #[test]
+    fn shrinking_respects_prop_assume_rejections() {
+        // Fails for every even x >= 6; odd candidates are rejected, so the
+        // shrinker must not adopt them even though they are "smaller".
+        let result = std::panic::catch_unwind(|| {
+            crate::__run(
+                "shrink_assume",
+                &crate::test_runner::ProptestConfig::with_cases(64),
+                &(0usize..100,),
+                |(x,)| {
+                    if x % 2 == 1 {
+                        return Err(crate::test_runner::TestCaseError::Reject("odd".into()));
+                    }
+                    if x < 6 {
+                        Ok(())
+                    } else {
+                        Err(crate::test_runner::TestCaseError::Fail(format!(
+                            "x was {x}"
+                        )))
+                    }
+                },
+            );
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("x was 6"), "not minimal: {message}");
+    }
+
+    #[test]
+    fn panicking_bodies_shrink_too() {
+        let result = std::panic::catch_unwind(|| {
+            crate::__run(
+                "shrink_panic",
+                &crate::test_runner::ProptestConfig::with_cases(64),
+                &(0usize..100,),
+                |(x,)| {
+                    assert!(x < 7, "x was {x}");
+                    Ok(())
+                },
+            );
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("panic: x was 7"), "not minimal: {message}");
     }
 
     #[test]
