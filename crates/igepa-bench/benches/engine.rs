@@ -13,9 +13,12 @@ use igepa_datagen::{
     generate_clustered_dataset, generate_community_trace, generate_synthetic, generate_trace,
     ClusteredConfig, CommunityTraceConfig, DeltaTrace, SyntheticConfig, TraceConfig,
 };
-use igepa_engine::{Engine, EngineConfig};
+use igepa_engine::{
+    Engine, EngineClient, EngineConfig, EngineQuery, EngineServer, EngineService, Framing,
+};
 use igepa_experiments::sharded_serving_engine;
 use std::hint::black_box;
+use std::net::TcpListener;
 
 fn base_instance() -> Instance {
     generate_synthetic(
@@ -181,10 +184,84 @@ fn sharded_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Service-dispatch overhead: the same read query answered by an
+/// in-process `EngineService` vs over the TCP loopback transport with 1
+/// and 4 per-shard worker threads. Queries barrier the worker pool, so
+/// the TCP numbers put the whole decode → barrier → answer → encode →
+/// socket round-trip on the perf trajectory next to raw dispatch.
+fn service_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_service_dispatch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(900));
+
+    const QUERIES_PER_ITER: usize = 64;
+    let dataset = generate_clustered_dataset(
+        &ClusteredConfig {
+            num_events: 40,
+            num_users: 600,
+            num_communities: 8,
+            ..ClusteredConfig::default()
+        },
+        17,
+    );
+    let base = dataset.instance.clone();
+
+    group.bench_function("in_process", |b| {
+        let mut service = EngineService::new(sharded_serving_engine(base.clone(), 5, 4));
+        b.iter(|| {
+            let mut total = 0.0;
+            for _ in 0..QUERIES_PER_ITER {
+                if let Ok(igepa_engine::EngineResponse::Utility { total: t, .. }) = service
+                    .try_handle(&igepa_engine::EngineRequest::Query {
+                        query: EngineQuery::Utility,
+                    })
+                {
+                    total += t;
+                }
+            }
+            black_box(total)
+        })
+    });
+
+    for &workers in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("tcp_loopback", workers),
+            &workers,
+            |b, &workers| {
+                let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                let handle = EngineServer::serve_sharded(
+                    listener,
+                    sharded_serving_engine(base.clone(), 5, workers),
+                    Framing::Lines,
+                )
+                .unwrap();
+                let mut client =
+                    EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+                b.iter(|| {
+                    let mut total = 0.0;
+                    for _ in 0..QUERIES_PER_ITER {
+                        if let Ok(igepa_engine::EngineResponse::Utility { total: t, .. }) =
+                            client.query(EngineQuery::Utility)
+                        {
+                            total += t;
+                        }
+                    }
+                    black_box(total)
+                });
+                drop(client);
+                handle.shutdown().unwrap();
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     engine,
     warm_engine_replay,
     single_delta_latency,
-    sharded_scaling
+    sharded_scaling,
+    service_dispatch
 );
 criterion_main!(engine);

@@ -39,7 +39,10 @@
 //! [`Engine`](crate::Engine), reproducing its responses bit for bit.
 
 use crate::reconcile::{self, ReconcileReport};
-use crate::shard::{ApplyOutcome, EngineConfig, EngineStats, RepairKind, Shard};
+use crate::shard::{
+    ApplyOutcome, EngineConfig, EngineStats, RepairKind, Shard, SharedConflict, SharedInterest,
+    SharedSolver,
+};
 use igepa_algos::WarmStart;
 use igepa_core::{
     Arrangement, CapacityTarget, ConflictFn, CoreError, Event, EventId, Instance, InstanceDelta,
@@ -47,7 +50,7 @@ use igepa_core::{
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Configuration of the sharded coordinator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -140,12 +143,17 @@ impl InterestFn for CopiedInterest<'_> {
 /// A partitioned arrangement-serving engine. See the module docs.
 pub struct ShardedEngine {
     shards: Vec<Shard>,
+    /// Shard count, independent of `shards.len()`: the TCP transport's
+    /// per-shard dispatcher temporarily detaches the shards into worker
+    /// threads, and routing decisions must keep working while they are
+    /// out (see [`ShardedEngine::detach_shards`]).
+    num_shards: usize,
     /// Full-capacity global instance, kept in lockstep with the shards.
     mirror: Instance,
-    sigma: Rc<dyn ConflictFn>,
-    interest: Rc<dyn InterestFn>,
-    solver: Rc<dyn WarmStart>,
-    partitioner: Box<dyn Partitioner>,
+    sigma: SharedConflict,
+    interest: SharedInterest,
+    solver: SharedSolver,
+    partitioner: Box<dyn Partitioner + Send>,
     /// Per global user: `(owning shard, shard-local id)`.
     owners: Vec<(usize, UserId)>,
     /// Per shard: shard-local id → global id.
@@ -185,16 +193,16 @@ impl ShardedEngine {
     /// shard `k` seeds it with `config.shard.seed + k`.
     pub fn new(
         instance: Instance,
-        sigma: Box<dyn ConflictFn>,
-        interest: Box<dyn InterestFn>,
-        solver: Box<dyn WarmStart>,
-        partitioner: Box<dyn Partitioner>,
+        sigma: Box<dyn ConflictFn + Send + Sync>,
+        interest: Box<dyn InterestFn + Send + Sync>,
+        solver: Box<dyn WarmStart + Send + Sync>,
+        partitioner: Box<dyn Partitioner + Send>,
         config: ShardedConfig,
     ) -> Self {
         let num_shards = config.num_shards.max(1);
-        let sigma: Rc<dyn ConflictFn> = Rc::from(sigma);
-        let interest: Rc<dyn InterestFn> = Rc::from(interest);
-        let solver: Rc<dyn WarmStart> = Rc::from(solver);
+        let sigma: SharedConflict = Arc::from(sigma);
+        let interest: SharedInterest = Arc::from(interest);
+        let solver: SharedSolver = Arc::from(solver);
 
         // Place every existing user.
         let assignment = igepa_core::assign_users(&instance, partitioner.as_ref(), num_shards);
@@ -234,9 +242,9 @@ impl ShardedEngine {
             };
             shards.push(Shard::new(
                 sub_instance,
-                Rc::clone(&sigma),
-                Rc::clone(&interest),
-                Rc::clone(&solver),
+                Arc::clone(&sigma),
+                Arc::clone(&interest),
+                Arc::clone(&solver),
                 shard_config,
             ));
         }
@@ -245,6 +253,7 @@ impl ShardedEngine {
         let shard_pairs = shards.iter().map(|s| s.arrangement().len()).collect();
         ShardedEngine {
             shards,
+            num_shards,
             mirror: instance,
             sigma,
             interest,
@@ -265,7 +274,7 @@ impl ShardedEngine {
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.num_shards
     }
 
     /// The full-capacity global instance (kept in lockstep with shards).
@@ -401,7 +410,7 @@ impl ShardedEngine {
     /// match the monolithic engine: the prefix before the first invalid
     /// delta stays applied (and repaired) and the error is returned.
     pub fn apply_batch(&mut self, deltas: &[InstanceDelta]) -> Result<ApplyOutcome, CoreError> {
-        let num_shards = self.shards.len();
+        let num_shards = self.num_shards;
         let mut per_shard: Vec<Vec<InstanceDelta>> = vec![Vec::new(); num_shards];
         let mut first_error = None;
         let mut accepted = 0u64;
@@ -474,14 +483,66 @@ impl ShardedEngine {
         outcome
     }
 
-    /// Routes one mirror-validated delta and returns the worst repair the
-    /// shards ran for it.
-    fn route(&mut self, delta: &InstanceDelta, created_user: Option<UserId>) -> RepairKind {
-        let num_shards = self.shards.len();
+    /// Maps a mirror-validated *user-scoped* delta (including `AddUser`,
+    /// which registers the new user) to its owning shard and the
+    /// shard-local delta. The single source of user routing, shared by
+    /// [`ShardedEngine::route`], batch planning, and the TCP transport's
+    /// per-shard dispatcher.
+    fn user_route(
+        &mut self,
+        delta: &InstanceDelta,
+        created_user: Option<UserId>,
+    ) -> (usize, InstanceDelta) {
         match delta {
             InstanceDelta::AddUser { .. } => {
                 let k = self.register_new_user(created_user.expect("AddUser creates a user"));
-                self.shard_apply(k, delta).repair
+                (k, delta.clone())
+            }
+            _ => self.rewrite_owner(delta),
+        }
+    }
+
+    /// Validates a user-scoped delta on the mirror and routes it, without
+    /// touching any shard: the per-shard worker dispatcher's fast path
+    /// (the owning worker applies the returned shard-local delta).
+    pub(crate) fn plan_user_delta(
+        &mut self,
+        delta: &InstanceDelta,
+    ) -> Result<(usize, InstanceDelta), CoreError> {
+        debug_assert!(
+            !matches!(
+                delta,
+                InstanceDelta::AddEvent { .. }
+                    | InstanceDelta::UpdateCapacity {
+                        target: CapacityTarget::Event(_),
+                        ..
+                    }
+            ),
+            "event-scoped deltas broadcast to every shard and must barrier"
+        );
+        let effect =
+            match self
+                .mirror
+                .apply_delta(delta, self.sigma.as_ref(), self.interest.as_ref())
+            {
+                Ok(effect) => effect,
+                Err(e) => {
+                    self.rejected += 1;
+                    return Err(e);
+                }
+            };
+        self.note_candidates(&effect);
+        Ok(self.user_route(delta, effect.created_user))
+    }
+
+    /// Routes one mirror-validated delta and returns the worst repair the
+    /// shards ran for it.
+    fn route(&mut self, delta: &InstanceDelta, created_user: Option<UserId>) -> RepairKind {
+        let num_shards = self.num_shards;
+        match delta {
+            InstanceDelta::AddUser { .. } => {
+                let (k, local) = self.user_route(delta, created_user);
+                self.shard_apply(k, &local).repair
             }
             InstanceDelta::AddEvent { capacity, attrs } => {
                 let split = proportional_split(*capacity, &vec![0usize; num_shards]);
@@ -521,7 +582,7 @@ impl ShardedEngine {
                 worst
             }
             _ => {
-                let (k, local) = self.rewrite_owner(delta);
+                let (k, local) = self.user_route(delta, created_user);
                 self.shard_apply(k, &local).repair
             }
         }
@@ -535,11 +596,11 @@ impl ShardedEngine {
         created_user: Option<UserId>,
         per_shard: &mut [Vec<InstanceDelta>],
     ) {
-        let num_shards = self.shards.len();
+        let num_shards = self.num_shards;
         match delta {
             InstanceDelta::AddUser { .. } => {
-                let k = self.register_new_user(created_user.expect("AddUser creates a user"));
-                per_shard[k].push(delta.clone());
+                let (k, local) = self.user_route(delta, created_user);
+                per_shard[k].push(local);
             }
             InstanceDelta::AddEvent { capacity, attrs } => {
                 let split = proportional_split(*capacity, &vec![0usize; num_shards]);
@@ -563,7 +624,7 @@ impl ShardedEngine {
                 }
             }
             _ => {
-                let (k, local) = self.rewrite_owner(delta);
+                let (k, local) = self.user_route(delta, created_user);
                 per_shard[k].push(local);
             }
         }
@@ -575,8 +636,8 @@ impl ShardedEngine {
         let bids = &self.mirror.user(global).bids;
         let k = self
             .partitioner
-            .shard_for(global, bids, self.shards.len())
-            .min(self.shards.len() - 1);
+            .shard_for(global, bids, self.num_shards)
+            .min(self.num_shards - 1);
         self.owners.push((k, UserId::new(self.locals[k].len())));
         self.locals[k].push(global);
         k
@@ -622,7 +683,11 @@ impl ShardedEngine {
     /// shrinks below the merged load, loads are cut proportionally (the
     /// shards evict through their normal repair path).
     fn resplit_event(&self, event: EventId, capacity: usize) -> Vec<usize> {
-        let num_shards = self.shards.len();
+        debug_assert!(
+            !self.shards.is_empty(),
+            "event capacity changes need the shard loads; barrier first"
+        );
+        let num_shards = self.num_shards;
         let loads: Vec<usize> = self
             .shards
             .iter()
@@ -658,21 +723,62 @@ impl ShardedEngine {
 
     /// Reconciliation bookkeeping after `accepted` applied deltas.
     fn after_deltas(&mut self, accepted: u64) {
+        self.note_applied(accepted);
+        if self.periodic_reconcile_pending() {
+            self.run_pending_reconcile();
+        }
+    }
+
+    /// Counts applied deltas toward the periodic reconcile interval. The
+    /// per-shard worker dispatcher calls this from its completion handler
+    /// (where `after_deltas` would run on the serial path).
+    pub(crate) fn note_applied(&mut self, accepted: u64) {
         self.deltas_since_reconcile += accepted;
-        if self.shards.len() > 1
+    }
+
+    /// Whether the periodic reconcile interval has elapsed. The dispatcher
+    /// checks this after every completion and barriers the workers before
+    /// calling [`ShardedEngine::run_pending_reconcile`].
+    pub(crate) fn periodic_reconcile_pending(&self) -> bool {
+        self.num_shards > 1
             && self.config.reconcile_interval > 0
             && self.deltas_since_reconcile >= self.config.reconcile_interval
-        {
-            self.deltas_since_reconcile = 0;
-            self.reconcile_now(false);
-        }
+    }
+
+    /// Runs the due periodic reconcile pass (shards must be attached).
+    pub(crate) fn run_pending_reconcile(&mut self) {
+        self.deltas_since_reconcile = 0;
+        self.reconcile_now(false);
+    }
+
+    /// Updates the cached utility / pair count for a shard whose apply ran
+    /// on a worker thread (the dispatcher's analogue of `refresh`).
+    pub(crate) fn note_outcome(&mut self, k: usize, outcome: &ApplyOutcome) {
+        self.refresh(k, outcome);
+    }
+
+    /// Moves the shards out of the coordinator so per-shard worker
+    /// threads can own them. While detached, only mirror-side routing
+    /// ([`ShardedEngine::plan_user_delta`]) and the cached aggregates
+    /// (`utility`, `num_pairs`) keep working; anything that reads shard
+    /// state must [`ShardedEngine::attach_shards`] first.
+    pub(crate) fn detach_shards(&mut self) -> Vec<Shard> {
+        debug_assert_eq!(self.shards.len(), self.num_shards, "shards already out");
+        std::mem::take(&mut self.shards)
+    }
+
+    /// Puts the shards back after a worker barrier, in shard order.
+    pub(crate) fn attach_shards(&mut self, shards: Vec<Shard>) {
+        debug_assert!(self.shards.is_empty(), "shards already attached");
+        debug_assert_eq!(shards.len(), self.num_shards);
+        self.shards = shards;
     }
 
     /// Records where a delta may have stranded quota: the events it
     /// dirtied plus every bid of the users it dirtied (a user-capacity
     /// change shifts demand at all of their events).
     fn note_candidates(&mut self, effect: &igepa_core::DeltaEffect) {
-        if self.shards.len() <= 1 {
+        if self.num_shards <= 1 {
             return;
         }
         self.reconcile_candidates

@@ -9,7 +9,7 @@ use crate::shard::Shard;
 pub use crate::shard::{ApplyOutcome, BatchPolicy, EngineConfig, EngineStats, RepairKind};
 use igepa_algos::WarmStart;
 use igepa_core::{Arrangement, ConflictFn, CoreError, Instance, InstanceDelta, InterestFn};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A long-lived arrangement-serving engine over one instance. See the
 /// crate docs.
@@ -25,17 +25,17 @@ impl Engine {
     /// kept as-is.
     pub fn new(
         instance: Instance,
-        sigma: Box<dyn ConflictFn>,
-        interest: Box<dyn InterestFn>,
-        solver: Box<dyn WarmStart>,
+        sigma: Box<dyn ConflictFn + Send + Sync>,
+        interest: Box<dyn InterestFn + Send + Sync>,
+        solver: Box<dyn WarmStart + Send + Sync>,
         config: EngineConfig,
     ) -> Self {
         Engine {
             shard: Shard::new(
                 instance,
-                Rc::from(sigma),
-                Rc::from(interest),
-                Rc::from(solver),
+                Arc::from(sigma),
+                Arc::from(interest),
+                Arc::from(solver),
                 config,
             ),
         }

@@ -1,0 +1,237 @@
+//! Typed errors of the serving API.
+//!
+//! The pre-envelope protocol reported failures in two stringly ways: a
+//! rejected delta became `EngineResponse::Rejected { reason: String }`,
+//! and an out-of-range `AssignmentsOf` / `EventLoad` query silently
+//! answered `[]` / `(0, 0)`. The enveloped API replaces both with a typed
+//! taxonomy: [`EngineError`] is the `Err` side of every
+//! [`ResponseEnvelope`](crate::protocol::ResponseEnvelope), and
+//! [`RejectReason`] classifies validation failures while still rendering
+//! the exact legacy reason strings (so legacy responses built through the
+//! typed path replay bit for bit).
+
+use igepa_core::{CoreError, EventId, UserId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a delta was rejected by instance validation.
+///
+/// The common cases are structured; everything else carries the
+/// validation message verbatim in [`RejectReason::Invalid`]. The
+/// [`fmt::Display`] impl reproduces [`CoreError`]'s strings exactly, so a
+/// legacy `Rejected { reason }` response built from a `RejectReason` is
+/// byte-identical to one built from the original error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The delta referenced a user that does not exist.
+    UnknownUser {
+        /// The unknown user id.
+        user: UserId,
+    },
+    /// The delta referenced an event that does not exist.
+    UnknownEvent {
+        /// The unknown event id.
+        event: EventId,
+    },
+    /// A bid set named an event that does not exist.
+    UnknownEventInBid {
+        /// The bidding user.
+        user: UserId,
+        /// The unknown event id found in the bid set.
+        event: EventId,
+    },
+    /// Any other validation failure, message verbatim.
+    Invalid {
+        /// The validation error's display string.
+        detail: String,
+    },
+}
+
+impl From<&CoreError> for RejectReason {
+    fn from(e: &CoreError) -> Self {
+        match e {
+            CoreError::UnknownUser { user } => RejectReason::UnknownUser { user: *user },
+            CoreError::UnknownEvent { event } => RejectReason::UnknownEvent { event: *event },
+            CoreError::UnknownEventInBid { user, event } => RejectReason::UnknownEventInBid {
+                user: *user,
+                event: *event,
+            },
+            other => RejectReason::Invalid {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Keep these strings in lockstep with `CoreError`'s Display: the
+        // legacy protocol's `Rejected { reason }` is built from them.
+        match self {
+            RejectReason::UnknownUser { user } => {
+                write!(f, "user {user} does not exist in the instance")
+            }
+            RejectReason::UnknownEvent { event } => {
+                write!(f, "event {event} does not exist in the instance")
+            }
+            RejectReason::UnknownEventInBid { user, event } => {
+                write!(f, "user {user} bids for unknown event {event}")
+            }
+            RejectReason::Invalid { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+/// The entity a [`EngineError::NotFound`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntityRef {
+    /// A user id outside the served population.
+    User {
+        /// The queried user.
+        user: UserId,
+    },
+    /// An event id outside the served catalogue.
+    Event {
+        /// The queried event.
+        event: EventId,
+    },
+}
+
+impl fmt::Display for EntityRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntityRef::User { user } => write!(f, "user {user}"),
+            EntityRef::Event { event } => write!(f, "event {event}"),
+        }
+    }
+}
+
+/// The `Err` side of an enveloped response: everything that can go wrong
+/// between decoding a request line and answering it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineError {
+    /// A delta (or batch) was rejected by validation; the engine state is
+    /// unchanged (for batches: the prefix before the invalid delta stays
+    /// applied, exactly as in the legacy protocol).
+    Rejected {
+        /// The classified rejection.
+        reason: RejectReason,
+    },
+    /// A query named a user or event outside the served instance. The
+    /// legacy protocol silently answered `[]` / `(0, 0)` here.
+    NotFound {
+        /// What was not found.
+        entity: EntityRef,
+    },
+    /// The request envelope declared a protocol version this server does
+    /// not speak.
+    Unsupported {
+        /// The rejected version.
+        version: u32,
+    },
+    /// The request line could not be decoded at all.
+    Malformed {
+        /// Decoder message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Rejected { reason } => write!(f, "rejected: {reason}"),
+            EngineError::NotFound { entity } => {
+                write!(f, "{entity} does not exist in the instance")
+            }
+            EngineError::Unsupported { version } => {
+                write!(f, "unsupported protocol version {version}")
+            }
+            EngineError::Malformed { detail } => write!(f, "malformed request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<&CoreError> for EngineError {
+    fn from(e: &CoreError) -> Self {
+        EngineError::Rejected {
+            reason: RejectReason::from(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_reason_matches_core_error_strings() {
+        let cases = vec![
+            CoreError::UnknownUser {
+                user: UserId::new(9),
+            },
+            CoreError::UnknownEvent {
+                event: EventId::new(4),
+            },
+            CoreError::UnknownEventInBid {
+                user: UserId::new(3),
+                event: EventId::new(9),
+            },
+            CoreError::InvalidBeta(1.5),
+            CoreError::InteractionOutOfRange {
+                user: UserId::new(2),
+                value: 7.0,
+            },
+        ];
+        for e in cases {
+            assert_eq!(
+                RejectReason::from(&e).to_string(),
+                e.to_string(),
+                "legacy reason string drifted for {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_error_serde_roundtrip() {
+        let errors = vec![
+            EngineError::Rejected {
+                reason: RejectReason::UnknownUser {
+                    user: UserId::new(1),
+                },
+            },
+            EngineError::Rejected {
+                reason: RejectReason::Invalid {
+                    detail: "beta out of range".to_string(),
+                },
+            },
+            EngineError::NotFound {
+                entity: EntityRef::Event {
+                    event: EventId::new(7),
+                },
+            },
+            EngineError::Unsupported { version: 9 },
+            EngineError::Malformed {
+                detail: "not json".to_string(),
+            },
+        ];
+        for e in errors {
+            let json = serde_json::to_string(&e).unwrap();
+            assert_eq!(serde_json::from_str::<EngineError>(&json).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::NotFound {
+            entity: EntityRef::User {
+                user: UserId::new(5),
+            },
+        };
+        assert!(e.to_string().contains("u5"));
+        assert!(EngineError::Unsupported { version: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -63,6 +63,70 @@
 //! Traces are reproducible artifacts: `igepa-datagen`'s `trace` module
 //! generates Meetup-style arrival-process workloads to feed it.
 //!
+//! ## Service layer and TCP transport
+//!
+//! Protocol *semantics* live in one place: [`EngineService`] interprets
+//! requests against anything implementing [`EngineBackend`] (both engines
+//! do), so the monolithic and sharded paths can never drift. On the wire,
+//! requests travel as versioned [`RequestEnvelope`]s and come back as
+//! [`ResponseEnvelope`]s whose `result` carries a typed [`EngineError`]
+//! on failure — while bare pre-envelope request lines still decode (and
+//! replay bit for bit) through the legacy dialect.
+//!
+//! [`transport`] puts the envelopes on TCP: line- or length-prefix-framed
+//! JSONL, a blocking [`EngineClient`], a serial [`EngineServer::serve`]
+//! for any backend, and [`EngineServer::serve_sharded`], which runs one
+//! worker thread per shard — user-scoped deltas are validated on the
+//! coordinator and repaired concurrently on the owning shard's worker;
+//! broadcasts, batches, queries and `Rebalance` barrier.
+//!
+//! ### Client/server quickstart
+//!
+//! ```
+//! use igepa_core::{AttributeVector, ConstantInterest, EventId, Instance,
+//!                  HashPartitioner, InstanceDelta, NeverConflict};
+//! use igepa_algos::GreedyArrangement;
+//! use igepa_engine::{EngineClient, EngineQuery, EngineResponse, EngineServer,
+//!                    Framing, ShardedConfig, ShardedEngine};
+//! use std::net::TcpListener;
+//!
+//! // Server: a 2-shard engine behind per-shard workers on an ephemeral port.
+//! let mut b = Instance::builder();
+//! let v = b.add_event(4, AttributeVector::empty());
+//! for _ in 0..3 { b.add_user(1, AttributeVector::empty(), vec![v]); }
+//! b.interaction_scores(vec![0.5; 3]);
+//! let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+//! let engine = ShardedEngine::new(
+//!     instance,
+//!     Box::new(NeverConflict),
+//!     Box::new(ConstantInterest(0.5)),
+//!     Box::new(GreedyArrangement),
+//!     Box::new(HashPartitioner),
+//!     ShardedConfig::with_shards(2),
+//! );
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let server = EngineServer::serve_sharded(listener, engine, Framing::Lines).unwrap();
+//!
+//! // Client: blocking calls, versioned envelopes, typed errors.
+//! let mut client = EngineClient::connect(server.local_addr(), Framing::Lines).unwrap();
+//! let applied = client.apply(InstanceDelta::AddUser {
+//!     capacity: 1,
+//!     attrs: AttributeVector::empty(),
+//!     bids: vec![EventId::new(0)],
+//!     interaction: 0.9,
+//! }).unwrap();
+//! assert!(matches!(applied, EngineResponse::Applied { .. }));
+//! assert!(matches!(
+//!     client.query(EngineQuery::Utility).unwrap(),
+//!     EngineResponse::Utility { .. }
+//! ));
+//!
+//! // Clean shutdown hands the engine back for inspection.
+//! drop(client);
+//! let engine = server.shutdown().unwrap();
+//! assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+//! ```
+//!
 //! ```
 //! use igepa_core::{AttributeVector, EventId, InstanceDelta, Instance,
 //!                  ConstantInterest, NeverConflict};
@@ -97,19 +161,25 @@
 
 pub mod coordinator;
 pub mod engine;
+pub mod error;
 pub mod protocol;
 pub mod reconcile;
 pub mod replay;
+pub mod service;
 pub mod shard;
+pub mod transport;
 
 pub use coordinator::{CoordinatorStats, ShardStatsEntry, ShardedConfig, ShardedEngine};
 pub use engine::{ApplyOutcome, Engine, EngineConfig, EngineStats, RepairKind};
+pub use error::{EngineError, EntityRef, RejectReason};
 pub use protocol::{
-    decode_request, decode_response, encode_request, encode_response, requests_from_jsonl,
-    requests_to_jsonl, EngineQuery, EngineRequest, EngineResponse, ProtocolError,
+    decode_request, decode_request_envelope, decode_response, decode_response_envelope,
+    encode_request, encode_request_envelope, encode_response, encode_response_envelope,
+    requests_from_jsonl, requests_to_jsonl, EngineQuery, EngineRequest, EngineResponse,
+    ProtocolError, RequestEnvelope, ResponseEnvelope, LEGACY_VERSION, PROTOCOL_VERSION,
 };
 pub use reconcile::ReconcileReport;
-pub use replay::{
-    replay, replay_jsonl, EngineBackend, LatencySummary, ReplayOutcome, ReplayReport,
-};
+pub use replay::{replay, replay_jsonl, LatencySummary, ReplayOutcome, ReplayReport};
+pub use service::{EngineBackend, EngineService};
 pub use shard::{BatchPolicy, Shard};
+pub use transport::{ClientError, EngineClient, EngineServer, Framing, ServerHandle};

@@ -11,13 +11,36 @@
 //! no-op) and the [`ShardedEngine`]. A request log recorded against one
 //! backend replays against the other, and a `ShardedEngine` with one shard
 //! reproduces the monolithic responses bit for bit.
+//!
+//! ## Envelopes
+//!
+//! On a wire, bare requests are not enough: responses need correlation
+//! ids, failures need a typed representation, and the protocol needs room
+//! to evolve. [`RequestEnvelope`] / [`ResponseEnvelope`] add exactly that
+//! — `{id, version, body}` in, `{id, result}` out, where `result` is a
+//! standard `Ok`/`Err` pairing of [`EngineResponse`] with
+//! [`EngineError`](crate::EngineError). Decoding stays **backwards
+//! compatible**: [`decode_request_envelope`] accepts both enveloped lines
+//! and bare pre-envelope requests (wrapped under [`LEGACY_VERSION`], which
+//! the service layer answers with the original silent-and-stringly
+//! semantics), and the envelope decoder tolerates the field aliases `seq`
+//! (for `id`), `v` (for `version`) and `request` / `req` (for `body`).
 
 use crate::coordinator::{ShardStatsEntry, ShardedEngine};
 use crate::engine::{Engine, EngineStats, RepairKind};
+use crate::error::EngineError;
 use crate::reconcile::ReconcileReport;
 use igepa_core::{EventId, InstanceDelta, UserId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Version tag of the current (strict, typed-error) protocol dialect.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Version assigned to bare pre-envelope requests by the legacy decode
+/// path. The service layer answers this dialect with the original
+/// pre-envelope semantics so recorded logs replay bit for bit.
+pub const LEGACY_VERSION: u32 = 0;
 
 /// A request to the serving engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -214,182 +237,138 @@ pub fn requests_from_jsonl(text: &str) -> Result<Vec<EngineRequest>, ProtocolErr
     Ok(requests)
 }
 
+// ------------------------------------------------------------ envelopes
+
+/// A versioned, correlated request: what actually travels on a wire.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RequestEnvelope {
+    /// Client-chosen correlation id, echoed in the response envelope.
+    pub id: u64,
+    /// Protocol dialect of `body` (see [`PROTOCOL_VERSION`]).
+    pub version: u32,
+    /// The request itself.
+    pub body: EngineRequest,
+}
+
+/// Hand-written so the decoder accepts field aliases (`seq` for `id`, `v`
+/// for `version`, `request` / `req` for `body`) and defaults a missing
+/// `version` to [`PROTOCOL_VERSION`] — the vendored serde derive has no
+/// `#[serde(alias)]` / `#[serde(default)]`.
+impl serde::Deserialize for RequestEnvelope {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = serde::expect_object(value, "RequestEnvelope")?;
+        let field = |names: &[&str]| {
+            entries
+                .iter()
+                .find(|(k, _)| names.contains(&k.as_str()))
+                .map(|(_, v)| v)
+        };
+        let id = match field(&["id", "seq"]) {
+            Some(v) => serde::Deserialize::from_value(v)?,
+            None => return Err(serde::DeError::msg("missing field `id` of RequestEnvelope")),
+        };
+        let version = match field(&["version", "v"]) {
+            Some(v) => serde::Deserialize::from_value(v)?,
+            None => PROTOCOL_VERSION,
+        };
+        let body = match field(&["body", "request", "req"]) {
+            Some(v) => serde::Deserialize::from_value(v)?,
+            None => {
+                return Err(serde::DeError::msg(
+                    "missing field `body` of RequestEnvelope",
+                ))
+            }
+        };
+        Ok(RequestEnvelope { id, version, body })
+    }
+}
+
+/// The enveloped reply: the request's `id` plus a typed outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Correlation id copied from the request envelope.
+    pub id: u64,
+    /// The response, or the typed failure.
+    pub result: Result<EngineResponse, EngineError>,
+}
+
+/// Encodes a request envelope as one JSON line (no trailing newline).
+pub fn encode_request_envelope(envelope: &RequestEnvelope) -> String {
+    serde_json::to_string(envelope).expect("envelopes always serialize")
+}
+
+/// Decodes a request envelope from one wire line, accepting both
+/// enveloped and bare pre-envelope requests.
+///
+/// A line whose top-level object carries a `body` / `request` / `req`
+/// field decodes as an envelope; anything else takes the legacy path and
+/// decodes as a bare [`EngineRequest`], wrapped under [`LEGACY_VERSION`]
+/// with `fallback_id` as the correlation id.
+pub fn decode_request_envelope(
+    line: &str,
+    fallback_id: u64,
+) -> Result<RequestEnvelope, ProtocolError> {
+    let value: serde::Value = serde_json::from_str(line).map_err(|e| ProtocolError {
+        line: None,
+        message: e.to_string(),
+    })?;
+    let enveloped = matches!(
+        &value,
+        serde::Value::Object(entries)
+            if entries
+                .iter()
+                .any(|(k, _)| matches!(k.as_str(), "body" | "request" | "req"))
+    );
+    if enveloped {
+        serde::Deserialize::from_value(&value).map_err(|e: serde::DeError| ProtocolError {
+            line: None,
+            message: e.to_string(),
+        })
+    } else {
+        let body: EngineRequest =
+            serde::Deserialize::from_value(&value).map_err(|e: serde::DeError| ProtocolError {
+                line: None,
+                message: e.to_string(),
+            })?;
+        Ok(RequestEnvelope {
+            id: fallback_id,
+            version: LEGACY_VERSION,
+            body,
+        })
+    }
+}
+
+/// Encodes a response envelope as one JSON line (no trailing newline).
+pub fn encode_response_envelope(envelope: &ResponseEnvelope) -> String {
+    serde_json::to_string(envelope).expect("envelopes always serialize")
+}
+
+/// Decodes a response envelope from one JSON line.
+pub fn decode_response_envelope(line: &str) -> Result<ResponseEnvelope, ProtocolError> {
+    serde_json::from_str(line).map_err(|e| ProtocolError {
+        line: None,
+        message: e.to_string(),
+    })
+}
+
+// ------------------------------------------------- thin handle wrappers
+
 impl Engine {
     /// Handles one protocol request, mutating the engine for `Apply` /
-    /// `ApplyBatch` and answering queries read-only.
+    /// `ApplyBatch` and answering queries read-only. Protocol semantics
+    /// live in [`crate::service`]; this wrapper exists for callers that
+    /// do not need a full [`EngineService`](crate::EngineService).
     pub fn handle(&mut self, request: &EngineRequest) -> EngineResponse {
-        match request {
-            EngineRequest::Apply { delta } => match self.apply(delta) {
-                Ok(outcome) => EngineResponse::Applied {
-                    kind: outcome.kind,
-                    repair: outcome.repair,
-                    utility: outcome.utility,
-                    num_pairs: outcome.num_pairs,
-                },
-                Err(e) => EngineResponse::Rejected {
-                    reason: e.to_string(),
-                },
-            },
-            EngineRequest::ApplyBatch { deltas } => match self.apply_batch(deltas) {
-                Ok(outcome) => EngineResponse::Applied {
-                    kind: outcome.kind,
-                    repair: outcome.repair,
-                    utility: outcome.utility,
-                    num_pairs: outcome.num_pairs,
-                },
-                Err(e) => EngineResponse::Rejected {
-                    reason: e.to_string(),
-                },
-            },
-            // A monolithic engine has no shard boundary to reconcile.
-            EngineRequest::Rebalance => EngineResponse::Rebalanced {
-                report: ReconcileReport::default(),
-                utility: self.utility(),
-            },
-            EngineRequest::Query { query } => self.answer(*query),
-        }
-    }
-
-    fn answer(&self, query: EngineQuery) -> EngineResponse {
-        match query {
-            EngineQuery::Utility => {
-                let breakdown = self.arrangement().utility(self.instance());
-                EngineResponse::Utility {
-                    total: breakdown.total,
-                    interest_sum: breakdown.interest_sum,
-                    interaction_sum: breakdown.interaction_sum,
-                }
-            }
-            EngineQuery::AssignmentsOf { user } => {
-                let events = if user.index() < self.instance().num_users() {
-                    self.arrangement().events_of(user).to_vec()
-                } else {
-                    Vec::new()
-                };
-                EngineResponse::Assignments { user, events }
-            }
-            EngineQuery::EventLoad { event } => {
-                let (load, capacity) = if event.index() < self.instance().num_events() {
-                    (
-                        self.arrangement().load_of(event),
-                        self.instance().event(event).capacity,
-                    )
-                } else {
-                    (0, 0)
-                };
-                EngineResponse::EventLoad {
-                    event,
-                    load,
-                    capacity,
-                }
-            }
-            EngineQuery::Stats => EngineResponse::Stats {
-                stats: *self.stats(),
-            },
-            EngineQuery::ShardStats => EngineResponse::ShardStats {
-                shards: vec![ShardStatsEntry {
-                    shard: 0,
-                    users: self.instance().num_users(),
-                    pairs: self.arrangement().len(),
-                    utility: self.utility(),
-                    stats: *self.stats(),
-                }],
-            },
-            EngineQuery::MergedSnapshot => EngineResponse::Snapshot {
-                num_events: self.instance().num_events(),
-                num_users: self.instance().num_users(),
-                utility: self.utility(),
-                pairs: self.arrangement().pairs().collect(),
-            },
-        }
+        crate::service::handle_request(self, request)
     }
 }
 
 impl ShardedEngine {
     /// Handles one protocol request against the sharded engine. With one
-    /// shard every response matches the monolithic [`Engine`] bit for bit.
+    /// shard every response matches the monolithic [`Engine`] bit for
+    /// bit. Protocol semantics live in [`crate::service`].
     pub fn handle(&mut self, request: &EngineRequest) -> EngineResponse {
-        match request {
-            EngineRequest::Apply { delta } => match self.apply(delta) {
-                Ok(outcome) => EngineResponse::Applied {
-                    kind: outcome.kind,
-                    repair: outcome.repair,
-                    utility: outcome.utility,
-                    num_pairs: outcome.num_pairs,
-                },
-                Err(e) => EngineResponse::Rejected {
-                    reason: e.to_string(),
-                },
-            },
-            EngineRequest::ApplyBatch { deltas } => match self.apply_batch(deltas) {
-                Ok(outcome) => EngineResponse::Applied {
-                    kind: outcome.kind,
-                    repair: outcome.repair,
-                    utility: outcome.utility,
-                    num_pairs: outcome.num_pairs,
-                },
-                Err(e) => EngineResponse::Rejected {
-                    reason: e.to_string(),
-                },
-            },
-            EngineRequest::Rebalance => {
-                let report = self.rebalance();
-                EngineResponse::Rebalanced {
-                    report,
-                    utility: self.merged_utility().total,
-                }
-            }
-            EngineRequest::Query { query } => self.answer(*query),
-        }
-    }
-
-    fn answer(&self, query: EngineQuery) -> EngineResponse {
-        match query {
-            EngineQuery::Utility => {
-                let breakdown = self.merged_utility();
-                EngineResponse::Utility {
-                    total: breakdown.total,
-                    interest_sum: breakdown.interest_sum,
-                    interaction_sum: breakdown.interaction_sum,
-                }
-            }
-            EngineQuery::AssignmentsOf { user } => EngineResponse::Assignments {
-                user,
-                events: self.assignments_of(user),
-            },
-            EngineQuery::EventLoad { event } => {
-                let (load, capacity) = if event.index() < self.instance().num_events() {
-                    (
-                        (0..self.num_shards())
-                            .map(|k| self.shard(k).load_of(event))
-                            .sum(),
-                        self.instance().event(event).capacity,
-                    )
-                } else {
-                    (0, 0)
-                };
-                EngineResponse::EventLoad {
-                    event,
-                    load,
-                    capacity,
-                }
-            }
-            EngineQuery::Stats => EngineResponse::Stats {
-                stats: self.stats(),
-            },
-            EngineQuery::ShardStats => EngineResponse::ShardStats {
-                shards: self.shard_stats_entries(),
-            },
-            EngineQuery::MergedSnapshot => {
-                let merged = self.merged_arrangement();
-                EngineResponse::Snapshot {
-                    num_events: self.instance().num_events(),
-                    num_users: self.instance().num_users(),
-                    utility: merged.utility_value(self.instance()),
-                    pairs: merged.pairs().collect(),
-                }
-            }
-        }
+        crate::service::handle_request(self, request)
     }
 }
 
@@ -471,6 +450,73 @@ mod tests {
             requests_from_jsonl("{\"Query\":{\"query\":\"Utility\"}}\nnot json\n").unwrap_err();
         assert_eq!(err.line, Some(2));
         assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn envelopes_roundtrip() {
+        let envelope = RequestEnvelope {
+            id: 17,
+            version: PROTOCOL_VERSION,
+            body: EngineRequest::Query {
+                query: EngineQuery::Utility,
+            },
+        };
+        let line = encode_request_envelope(&envelope);
+        assert_eq!(decode_request_envelope(&line, 0).unwrap(), envelope);
+
+        let response = ResponseEnvelope {
+            id: 17,
+            result: Ok(EngineResponse::Rejected {
+                reason: "nope".to_string(),
+            }),
+        };
+        let line = encode_response_envelope(&response);
+        assert_eq!(decode_response_envelope(&line).unwrap(), response);
+
+        let failure = ResponseEnvelope {
+            id: 18,
+            result: Err(crate::error::EngineError::Unsupported { version: 9 }),
+        };
+        let line = encode_response_envelope(&failure);
+        assert_eq!(decode_response_envelope(&line).unwrap(), failure);
+    }
+
+    #[test]
+    fn envelope_decoder_accepts_field_aliases() {
+        let aliased = "{\"seq\":4,\"v\":1,\"request\":{\"Query\":{\"query\":\"Utility\"}}}";
+        let envelope = decode_request_envelope(aliased, 0).unwrap();
+        assert_eq!(envelope.id, 4);
+        assert_eq!(envelope.version, PROTOCOL_VERSION);
+        assert!(matches!(envelope.body, EngineRequest::Query { .. }));
+        // A missing version defaults to the current dialect.
+        let no_version = "{\"id\":5,\"body\":\"Rebalance\"}";
+        let envelope = decode_request_envelope(no_version, 0).unwrap();
+        assert_eq!(envelope.version, PROTOCOL_VERSION);
+        assert_eq!(envelope.body, EngineRequest::Rebalance);
+    }
+
+    #[test]
+    fn bare_requests_decode_under_the_legacy_version() {
+        let bare = "{\"Query\":{\"query\":\"Stats\"}}";
+        let envelope = decode_request_envelope(bare, 41).unwrap();
+        assert_eq!(envelope.id, 41);
+        assert_eq!(envelope.version, LEGACY_VERSION);
+        assert_eq!(
+            envelope.body,
+            EngineRequest::Query {
+                query: EngineQuery::Stats,
+            }
+        );
+        // Unit variants serialize as bare strings; those too.
+        let envelope = decode_request_envelope("\"Rebalance\"", 2).unwrap();
+        assert_eq!(envelope.version, LEGACY_VERSION);
+        assert_eq!(envelope.body, EngineRequest::Rebalance);
+    }
+
+    #[test]
+    fn undecodable_envelope_lines_error() {
+        assert!(decode_request_envelope("not json", 0).is_err());
+        assert!(decode_request_envelope("{\"id\":1,\"body\":{\"Nope\":3}}", 0).is_err());
     }
 
     #[test]

@@ -149,7 +149,7 @@ mod tests {
     use crate::shard::EngineConfig;
     use igepa_algos::GreedyArrangement;
     use igepa_core::{AttributeVector, ConstantInterest, Instance, NeverConflict};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// Two shards over one global event of capacity 4: shard 0 has no
     /// users but holds quota 3; shard 1 has three bidders and quota 1.
@@ -164,9 +164,9 @@ mod tests {
             let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
             Shard::new(
                 instance,
-                Rc::new(NeverConflict),
-                Rc::new(ConstantInterest(0.5)),
-                Rc::new(GreedyArrangement),
+                Arc::new(NeverConflict),
+                Arc::new(ConstantInterest(0.5)),
+                Arc::new(GreedyArrangement),
                 EngineConfig::default(),
             )
         };

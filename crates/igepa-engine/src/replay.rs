@@ -4,52 +4,10 @@
 //! every response bit-for-bit (latencies are reported separately so the
 //! response stream itself stays deterministic).
 
-use crate::coordinator::ShardedEngine;
-use crate::engine::Engine;
 use crate::protocol::{requests_from_jsonl, EngineRequest, EngineResponse, ProtocolError};
+pub use crate::service::EngineBackend;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-
-/// Anything the replay driver can feed a request log to: the monolithic
-/// [`Engine`] or the [`ShardedEngine`] coordinator.
-pub trait EngineBackend {
-    /// Handles one protocol request.
-    fn handle(&mut self, request: &EngineRequest) -> EngineResponse;
-
-    /// Utility currently served (merged across shards where applicable).
-    fn served_utility(&self) -> f64;
-
-    /// Pairs currently served (merged across shards where applicable).
-    fn served_pairs(&self) -> usize;
-}
-
-impl EngineBackend for Engine {
-    fn handle(&mut self, request: &EngineRequest) -> EngineResponse {
-        Engine::handle(self, request)
-    }
-
-    fn served_utility(&self) -> f64 {
-        self.utility()
-    }
-
-    fn served_pairs(&self) -> usize {
-        self.arrangement().len()
-    }
-}
-
-impl EngineBackend for ShardedEngine {
-    fn handle(&mut self, request: &EngineRequest) -> EngineResponse {
-        ShardedEngine::handle(self, request)
-    }
-
-    fn served_utility(&self) -> f64 {
-        self.utility()
-    }
-
-    fn served_pairs(&self) -> usize {
-        self.num_pairs()
-    }
-}
 
 /// Latency distribution over the replayed requests, in microseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -157,7 +115,7 @@ pub fn replay_jsonl<B: EngineBackend>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::{Engine, EngineConfig};
     use crate::protocol::EngineQuery;
     use igepa_algos::GreedyArrangement;
     use igepa_core::{

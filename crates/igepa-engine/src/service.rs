@@ -1,0 +1,616 @@
+//! The service layer: protocol semantics defined once, over any backend.
+//!
+//! Before this module existed, [`Engine`](crate::Engine) and
+//! [`ShardedEngine`](crate::ShardedEngine) each carried their own ~90-line
+//! `handle`/`answer` implementation — two near-duplicate copies of the
+//! protocol's meaning that had already begun to drift. The redesign moves
+//! every semantic decision here:
+//!
+//! * [`EngineBackend`] is the complete surface a protocol implementation
+//!   needs from a serving engine (apply, rebalance, and the read-side
+//!   accessors). Both engines implement it; the monolithic one behaves as
+//!   a single logical shard.
+//! * [`EngineService`] interprets requests against a backend. It speaks
+//!   two dialects: the **legacy** path reproduces the pre-envelope
+//!   protocol bit for bit (stringly `Rejected`, silent `[]` / `(0, 0)`
+//!   answers for unknown ids), and the **strict** path — used for
+//!   [`RequestEnvelope`]s at [`PROTOCOL_VERSION`] — returns typed
+//!   [`EngineError`]s instead.
+//!
+//! A recorded pre-envelope JSONL log therefore replays through
+//! [`EngineService`] with byte-identical responses, while new clients get
+//! a versioned, typed API on the same code path.
+
+use crate::coordinator::{ShardStatsEntry, ShardedEngine};
+use crate::engine::Engine;
+use crate::error::{EngineError, EntityRef};
+use crate::protocol::{
+    decode_request_envelope, EngineQuery, EngineRequest, EngineResponse, RequestEnvelope,
+    ResponseEnvelope, LEGACY_VERSION, PROTOCOL_VERSION,
+};
+use crate::reconcile::ReconcileReport;
+use crate::shard::{ApplyOutcome, EngineStats};
+use igepa_core::{CoreError, EventId, InstanceDelta, UserId, UtilityBreakdown};
+
+/// Everything the protocol needs from a serving engine. The replay driver
+/// and the TCP transport are generic over this trait, so one service
+/// implementation covers monolithic and sharded serving.
+pub trait EngineBackend {
+    /// Applies one delta and repairs the served arrangement.
+    fn apply(&mut self, delta: &InstanceDelta) -> Result<ApplyOutcome, CoreError>;
+
+    /// Applies a burst of deltas with one repair pass per touched shard.
+    fn apply_batch(&mut self, deltas: &[InstanceDelta]) -> Result<ApplyOutcome, CoreError>;
+
+    /// Runs a reconciliation pass and reports it plus the utility after
+    /// the pass (a no-op report on a monolithic engine).
+    fn rebalance(&mut self) -> (ReconcileReport, f64);
+
+    /// Utility breakdown of the served (merged) arrangement.
+    fn utility_breakdown(&self) -> UtilityBreakdown;
+
+    /// Users in the served instance (including retired ones).
+    fn num_users(&self) -> usize;
+
+    /// Events in the served instance.
+    fn num_events(&self) -> usize;
+
+    /// Events currently assigned to a user. Callers have already
+    /// bounds-checked `user`; the service layer decides how out-of-range
+    /// ids are reported.
+    fn assignments_of(&self, user: UserId) -> Vec<EventId>;
+
+    /// `(load, capacity)` of an in-range event.
+    fn event_load(&self, event: EventId) -> (usize, usize);
+
+    /// Aggregated activity counters.
+    fn engine_stats(&self) -> EngineStats;
+
+    /// Per-shard summaries (one entry on a monolithic engine).
+    fn shard_stats(&self) -> Vec<ShardStatsEntry>;
+
+    /// `(num_events, num_users, utility, pairs)` of the merged snapshot.
+    fn merged_snapshot(&self) -> (usize, usize, f64, Vec<(EventId, UserId)>);
+
+    /// Utility currently served (merged across shards where applicable).
+    fn served_utility(&self) -> f64;
+
+    /// Pairs currently served (merged across shards where applicable).
+    fn served_pairs(&self) -> usize;
+
+    /// Handles one protocol request with legacy semantics. Defined once,
+    /// here, for every backend.
+    fn handle(&mut self, request: &EngineRequest) -> EngineResponse
+    where
+        Self: Sized,
+    {
+        handle_request(self, request)
+    }
+}
+
+/// Builds the `Applied` response from an apply outcome (shared by the
+/// service dispatch and the per-shard worker transport).
+pub(crate) fn applied_response(outcome: ApplyOutcome) -> EngineResponse {
+    EngineResponse::Applied {
+        kind: outcome.kind,
+        repair: outcome.repair,
+        utility: outcome.utility,
+        num_pairs: outcome.num_pairs,
+    }
+}
+
+/// The single protocol interpretation. `strict` selects the enveloped
+/// dialect: out-of-range query ids become [`EngineError::NotFound`]
+/// instead of the legacy silent `[]` / `(0, 0)` answers.
+fn try_dispatch<B: EngineBackend>(
+    backend: &mut B,
+    request: &EngineRequest,
+    strict: bool,
+) -> Result<EngineResponse, EngineError> {
+    match request {
+        EngineRequest::Apply { delta } => backend
+            .apply(delta)
+            .map(applied_response)
+            .map_err(|e| EngineError::from(&e)),
+        EngineRequest::ApplyBatch { deltas } => backend
+            .apply_batch(deltas)
+            .map(applied_response)
+            .map_err(|e| EngineError::from(&e)),
+        EngineRequest::Rebalance => {
+            let (report, utility) = backend.rebalance();
+            Ok(EngineResponse::Rebalanced { report, utility })
+        }
+        EngineRequest::Query { query } => answer(backend, *query, strict),
+    }
+}
+
+fn answer<B: EngineBackend>(
+    backend: &B,
+    query: EngineQuery,
+    strict: bool,
+) -> Result<EngineResponse, EngineError> {
+    match query {
+        EngineQuery::Utility => {
+            let breakdown = backend.utility_breakdown();
+            Ok(EngineResponse::Utility {
+                total: breakdown.total,
+                interest_sum: breakdown.interest_sum,
+                interaction_sum: breakdown.interaction_sum,
+            })
+        }
+        EngineQuery::AssignmentsOf { user } => {
+            if user.index() >= backend.num_users() {
+                if strict {
+                    return Err(EngineError::NotFound {
+                        entity: EntityRef::User { user },
+                    });
+                }
+                return Ok(EngineResponse::Assignments {
+                    user,
+                    events: Vec::new(),
+                });
+            }
+            Ok(EngineResponse::Assignments {
+                user,
+                events: backend.assignments_of(user),
+            })
+        }
+        EngineQuery::EventLoad { event } => {
+            if event.index() >= backend.num_events() {
+                if strict {
+                    return Err(EngineError::NotFound {
+                        entity: EntityRef::Event { event },
+                    });
+                }
+                return Ok(EngineResponse::EventLoad {
+                    event,
+                    load: 0,
+                    capacity: 0,
+                });
+            }
+            let (load, capacity) = backend.event_load(event);
+            Ok(EngineResponse::EventLoad {
+                event,
+                load,
+                capacity,
+            })
+        }
+        EngineQuery::Stats => Ok(EngineResponse::Stats {
+            stats: backend.engine_stats(),
+        }),
+        EngineQuery::ShardStats => Ok(EngineResponse::ShardStats {
+            shards: backend.shard_stats(),
+        }),
+        EngineQuery::MergedSnapshot => {
+            let (num_events, num_users, utility, pairs) = backend.merged_snapshot();
+            Ok(EngineResponse::Snapshot {
+                num_events,
+                num_users,
+                utility,
+                pairs,
+            })
+        }
+    }
+}
+
+/// Handles one request with legacy (pre-envelope) semantics: rejections
+/// come back as the stringly `Rejected` response and out-of-range query
+/// ids answer silently. This is the path replayed request logs take.
+pub fn handle_request<B: EngineBackend>(
+    backend: &mut B,
+    request: &EngineRequest,
+) -> EngineResponse {
+    match try_dispatch(backend, request, false) {
+        Ok(response) => response,
+        Err(EngineError::Rejected { reason }) => EngineResponse::Rejected {
+            reason: reason.to_string(),
+        },
+        // Non-strict dispatch only fails on rejected deltas, but keep the
+        // mapping total rather than panic on a future error kind.
+        Err(other) => EngineResponse::Rejected {
+            reason: other.to_string(),
+        },
+    }
+}
+
+/// Version-gated envelope dispatch against a backend; shared by
+/// [`EngineService::handle_envelope`] and the TCP transport's barrier
+/// path so the two can never disagree.
+pub(crate) fn dispatch_envelope<B: EngineBackend>(
+    backend: &mut B,
+    envelope: &RequestEnvelope,
+) -> ResponseEnvelope {
+    let result = match envelope.version {
+        PROTOCOL_VERSION => try_dispatch(backend, &envelope.body, true),
+        LEGACY_VERSION => Ok(handle_request(backend, &envelope.body)),
+        version => Err(EngineError::Unsupported { version }),
+    };
+    ResponseEnvelope {
+        id: envelope.id,
+        result,
+    }
+}
+
+/// The engine service: one backend plus the protocol interpretation.
+///
+/// ```
+/// use igepa_core::{AttributeVector, ConstantInterest, Instance, NeverConflict};
+/// use igepa_algos::GreedyArrangement;
+/// use igepa_engine::{Engine, EngineConfig, EngineQuery, EngineRequest, EngineService};
+///
+/// let mut b = Instance::builder();
+/// let v = b.add_event(2, AttributeVector::empty());
+/// b.add_user(1, AttributeVector::empty(), vec![v]);
+/// b.interaction_scores(vec![0.4]);
+/// let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+/// let engine = Engine::new(
+///     instance,
+///     Box::new(NeverConflict),
+///     Box::new(ConstantInterest(0.5)),
+///     Box::new(GreedyArrangement),
+///     EngineConfig::default(),
+/// );
+///
+/// let mut service = EngineService::new(engine);
+/// let response = service.handle(&EngineRequest::Query {
+///     query: EngineQuery::Utility,
+/// });
+/// assert!(matches!(response, igepa_engine::EngineResponse::Utility { .. }));
+/// ```
+pub struct EngineService<B: EngineBackend> {
+    backend: B,
+}
+
+impl<B: EngineBackend> EngineService<B> {
+    /// Wraps a backend.
+    pub fn new(backend: B) -> Self {
+        EngineService { backend }
+    }
+
+    /// The wrapped backend, read-only.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The wrapped backend, mutable (for direct engine access between
+    /// requests).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Unwraps the backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Handles one request with legacy semantics (see [`handle_request`]).
+    pub fn handle(&mut self, request: &EngineRequest) -> EngineResponse {
+        handle_request(&mut self.backend, request)
+    }
+
+    /// Handles one request with strict semantics: typed errors, and
+    /// `NotFound` for out-of-range query ids.
+    pub fn try_handle(&mut self, request: &EngineRequest) -> Result<EngineResponse, EngineError> {
+        try_dispatch(&mut self.backend, request, true)
+    }
+
+    /// Handles one enveloped request. The envelope's version selects the
+    /// dialect: [`PROTOCOL_VERSION`] is strict, [`LEGACY_VERSION`] (the
+    /// version assigned to bare pre-envelope requests by the decoder)
+    /// keeps legacy semantics, and anything else is
+    /// [`EngineError::Unsupported`].
+    pub fn handle_envelope(&mut self, envelope: &RequestEnvelope) -> ResponseEnvelope {
+        dispatch_envelope(&mut self.backend, envelope)
+    }
+
+    /// Decodes one wire line (enveloped or legacy-bare) and handles it.
+    /// Undecodable lines answer [`EngineError::Malformed`] under
+    /// `fallback_id` instead of tearing down the connection.
+    pub fn handle_line(&mut self, line: &str, fallback_id: u64) -> ResponseEnvelope {
+        match decode_request_envelope(line, fallback_id) {
+            Ok(envelope) => self.handle_envelope(&envelope),
+            Err(e) => ResponseEnvelope {
+                id: fallback_id,
+                result: Err(EngineError::Malformed { detail: e.message }),
+            },
+        }
+    }
+}
+
+// ------------------------------------------------------- backend impls
+
+impl EngineBackend for Engine {
+    fn apply(&mut self, delta: &InstanceDelta) -> Result<ApplyOutcome, CoreError> {
+        Engine::apply(self, delta)
+    }
+
+    fn apply_batch(&mut self, deltas: &[InstanceDelta]) -> Result<ApplyOutcome, CoreError> {
+        Engine::apply_batch(self, deltas)
+    }
+
+    fn rebalance(&mut self) -> (ReconcileReport, f64) {
+        // A monolithic engine has no shard boundary to reconcile.
+        (ReconcileReport::default(), self.utility())
+    }
+
+    fn utility_breakdown(&self) -> UtilityBreakdown {
+        self.arrangement().utility(self.instance())
+    }
+
+    fn num_users(&self) -> usize {
+        self.instance().num_users()
+    }
+
+    fn num_events(&self) -> usize {
+        self.instance().num_events()
+    }
+
+    fn assignments_of(&self, user: UserId) -> Vec<EventId> {
+        self.arrangement().events_of(user).to_vec()
+    }
+
+    fn event_load(&self, event: EventId) -> (usize, usize) {
+        (
+            self.arrangement().load_of(event),
+            self.instance().event(event).capacity,
+        )
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        *self.stats()
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStatsEntry> {
+        vec![ShardStatsEntry {
+            shard: 0,
+            users: self.instance().num_users(),
+            pairs: self.arrangement().len(),
+            utility: self.utility(),
+            stats: *self.stats(),
+        }]
+    }
+
+    fn merged_snapshot(&self) -> (usize, usize, f64, Vec<(EventId, UserId)>) {
+        (
+            self.instance().num_events(),
+            self.instance().num_users(),
+            self.utility(),
+            self.arrangement().pairs().collect(),
+        )
+    }
+
+    fn served_utility(&self) -> f64 {
+        self.utility()
+    }
+
+    fn served_pairs(&self) -> usize {
+        self.arrangement().len()
+    }
+}
+
+impl EngineBackend for ShardedEngine {
+    fn apply(&mut self, delta: &InstanceDelta) -> Result<ApplyOutcome, CoreError> {
+        ShardedEngine::apply(self, delta)
+    }
+
+    fn apply_batch(&mut self, deltas: &[InstanceDelta]) -> Result<ApplyOutcome, CoreError> {
+        ShardedEngine::apply_batch(self, deltas)
+    }
+
+    fn rebalance(&mut self) -> (ReconcileReport, f64) {
+        let report = ShardedEngine::rebalance(self);
+        let utility = self.merged_utility().total;
+        (report, utility)
+    }
+
+    fn utility_breakdown(&self) -> UtilityBreakdown {
+        self.merged_utility()
+    }
+
+    fn num_users(&self) -> usize {
+        self.instance().num_users()
+    }
+
+    fn num_events(&self) -> usize {
+        self.instance().num_events()
+    }
+
+    fn assignments_of(&self, user: UserId) -> Vec<EventId> {
+        ShardedEngine::assignments_of(self, user)
+    }
+
+    fn event_load(&self, event: EventId) -> (usize, usize) {
+        (
+            (0..self.num_shards())
+                .map(|k| self.shard(k).load_of(event))
+                .sum(),
+            self.instance().event(event).capacity,
+        )
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        self.stats()
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStatsEntry> {
+        self.shard_stats_entries()
+    }
+
+    fn merged_snapshot(&self) -> (usize, usize, f64, Vec<(EventId, UserId)>) {
+        let merged = self.merged_arrangement();
+        (
+            self.instance().num_events(),
+            self.instance().num_users(),
+            merged.utility_value(self.instance()),
+            merged.pairs().collect(),
+        )
+    }
+
+    fn served_utility(&self) -> f64 {
+        self.utility()
+    }
+
+    fn served_pairs(&self) -> usize {
+        self.num_pairs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::error::RejectReason;
+    use igepa_algos::GreedyArrangement;
+    use igepa_core::{AttributeVector, ConstantInterest, Instance, NeverConflict};
+
+    fn service_for(num_events: usize, num_users: usize) -> EngineService<Engine> {
+        let mut b = Instance::builder();
+        let events: Vec<EventId> = (0..num_events)
+            .map(|_| b.add_event(2, AttributeVector::empty()))
+            .collect();
+        for _ in 0..num_users {
+            b.add_user(2, AttributeVector::empty(), events.clone());
+        }
+        b.interaction_scores(vec![0.5; num_users]);
+        let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        EngineService::new(Engine::new(
+            instance,
+            Box::new(NeverConflict),
+            Box::new(ConstantInterest(0.5)),
+            Box::new(GreedyArrangement),
+            EngineConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn legacy_out_of_range_queries_answer_silently() {
+        let mut service = service_for(2, 2);
+        let assignments = service.handle(&EngineRequest::Query {
+            query: EngineQuery::AssignmentsOf {
+                user: UserId::new(99),
+            },
+        });
+        assert_eq!(
+            assignments,
+            EngineResponse::Assignments {
+                user: UserId::new(99),
+                events: Vec::new(),
+            }
+        );
+        let load = service.handle(&EngineRequest::Query {
+            query: EngineQuery::EventLoad {
+                event: EventId::new(99),
+            },
+        });
+        assert_eq!(
+            load,
+            EngineResponse::EventLoad {
+                event: EventId::new(99),
+                load: 0,
+                capacity: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn strict_out_of_range_queries_are_not_found() {
+        let mut service = service_for(2, 2);
+        let err = service
+            .try_handle(&EngineRequest::Query {
+                query: EngineQuery::AssignmentsOf {
+                    user: UserId::new(99),
+                },
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::NotFound {
+                entity: EntityRef::User {
+                    user: UserId::new(99),
+                },
+            }
+        );
+        let err = service
+            .try_handle(&EngineRequest::Query {
+                query: EngineQuery::EventLoad {
+                    event: EventId::new(99),
+                },
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::NotFound {
+                entity: EntityRef::Event {
+                    event: EventId::new(99),
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn strict_rejections_are_typed() {
+        let mut service = service_for(2, 2);
+        let err = service
+            .try_handle(&EngineRequest::Apply {
+                delta: igepa_core::InstanceDelta::UpdateInteractionScore {
+                    user: UserId::new(9),
+                    score: 0.5,
+                },
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Rejected {
+                reason: RejectReason::UnknownUser {
+                    user: UserId::new(9),
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn envelope_version_gates_the_dialect() {
+        let mut service = service_for(2, 2);
+        let query = EngineRequest::Query {
+            query: EngineQuery::AssignmentsOf {
+                user: UserId::new(99),
+            },
+        };
+        // Strict version: NotFound.
+        let strict = service.handle_envelope(&RequestEnvelope {
+            id: 1,
+            version: PROTOCOL_VERSION,
+            body: query.clone(),
+        });
+        assert_eq!(strict.id, 1);
+        assert!(matches!(strict.result, Err(EngineError::NotFound { .. })));
+        // Legacy version: silent empty answer.
+        let legacy = service.handle_envelope(&RequestEnvelope {
+            id: 2,
+            version: LEGACY_VERSION,
+            body: query.clone(),
+        });
+        assert!(matches!(
+            legacy.result,
+            Ok(EngineResponse::Assignments { ref events, .. }) if events.is_empty()
+        ));
+        // Future version: unsupported.
+        let future = service.handle_envelope(&RequestEnvelope {
+            id: 3,
+            version: 42,
+            body: query,
+        });
+        assert_eq!(future.result, Err(EngineError::Unsupported { version: 42 }));
+    }
+
+    #[test]
+    fn handle_line_reports_malformed_input() {
+        let mut service = service_for(1, 1);
+        let response = service.handle_line("not json at all", 7);
+        assert_eq!(response.id, 7);
+        assert!(matches!(
+            response.result,
+            Err(EngineError::Malformed { .. })
+        ));
+    }
+}

@@ -18,7 +18,19 @@ use igepa_core::{
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
+
+/// Shared, thread-safe conflict-function handle. Shards are owned by
+/// per-shard worker threads under the TCP transport, so the functions a
+/// shard consults must be `Send + Sync` (every implementation in the
+/// workspace is a plain data struct, so this costs callers nothing).
+pub type SharedConflict = Arc<dyn ConflictFn + Send + Sync>;
+
+/// Shared, thread-safe interest-function handle.
+pub type SharedInterest = Arc<dyn InterestFn + Send + Sync>;
+
+/// Shared, thread-safe warm-start solver handle.
+pub type SharedSolver = Arc<dyn WarmStart + Send + Sync>;
 
 /// How a shard repairs after absorbing a *burst* of deltas in one batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -221,9 +233,9 @@ pub struct Shard {
     instance: Instance,
     arrangement: Arrangement,
     dirty: DirtySet,
-    sigma: Rc<dyn ConflictFn>,
-    interest: Rc<dyn InterestFn>,
-    solver: Rc<dyn WarmStart>,
+    sigma: SharedConflict,
+    interest: SharedInterest,
+    solver: SharedSolver,
     config: EngineConfig,
     stats: EngineStats,
     solve_counter: u64,
@@ -239,9 +251,9 @@ impl Shard {
     /// kept as-is.
     pub fn new(
         instance: Instance,
-        sigma: Rc<dyn ConflictFn>,
-        interest: Rc<dyn InterestFn>,
-        solver: Rc<dyn WarmStart>,
+        sigma: SharedConflict,
+        interest: SharedInterest,
+        solver: SharedSolver,
         config: EngineConfig,
     ) -> Self {
         let mut shard = Shard {
@@ -634,9 +646,9 @@ mod tests {
         let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
         Shard::new(
             instance,
-            Rc::new(NeverConflict),
-            Rc::new(ConstantInterest(0.5)),
-            Rc::new(GreedyArrangement),
+            Arc::new(NeverConflict),
+            Arc::new(ConstantInterest(0.5)),
+            Arc::new(GreedyArrangement),
             config,
         )
     }

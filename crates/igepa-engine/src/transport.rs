@@ -1,0 +1,1021 @@
+//! TCP transport: framed envelope JSONL, a blocking client, and servers.
+//!
+//! The protocol was designed as data ([`crate::protocol`]); this module
+//! puts it on a wire. Three pieces:
+//!
+//! * **Framing** — [`Framing::Lines`] sends one JSON document per
+//!   `\n`-terminated line (telnet-debuggable, the JSONL logs verbatim);
+//!   [`Framing::LengthPrefixed`] sends a `u32` big-endian byte length
+//!   followed by the JSON payload (binary-safe, no scan for delimiters).
+//!   Both carry exactly the envelope codecs of [`crate::protocol`].
+//! * **[`EngineClient`]** — a blocking request/response client: every
+//!   call sends one [`RequestEnvelope`] at [`PROTOCOL_VERSION`] and waits
+//!   for the matching [`ResponseEnvelope`].
+//! * **[`EngineServer`]** — [`EngineServer::serve`] runs any
+//!   [`EngineBackend`] behind a single dispatch thread;
+//!   [`EngineServer::serve_sharded`] additionally detaches a
+//!   [`ShardedEngine`]'s shards into **per-shard worker threads**. Shards
+//!   are independent between reconcile passes, so user-scoped `Apply`
+//!   requests are validated on the coordinator and executed concurrently
+//!   on the owning shard's worker, while event broadcasts, batches,
+//!   queries and `Rebalance` run a barrier (drain in-flight applies,
+//!   collect the shards, execute on the attached engine, redistribute).
+//!
+//! A client driving requests synchronously observes exactly the serial
+//! [`EngineService`](crate::EngineService) responses — the worker pool
+//! changes *where* repairs run, never what they produce. Concurrent
+//! clients interleave at request granularity in coordinator arrival
+//! order; the merged arrangement stays feasible because every delta still
+//! passes the coordinator's mirror validation and quota accounting.
+
+use crate::coordinator::ShardedEngine;
+use crate::error::EngineError;
+use crate::protocol::{
+    decode_request_envelope, decode_response_envelope, encode_request_envelope,
+    encode_response_envelope, EngineQuery, EngineRequest, EngineResponse, ProtocolError,
+    RequestEnvelope, ResponseEnvelope, LEGACY_VERSION, PROTOCOL_VERSION,
+};
+use crate::service::{applied_response, dispatch_envelope, EngineBackend, EngineService};
+use crate::shard::{ApplyOutcome, Shard};
+use igepa_core::{CapacityTarget, InstanceDelta};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// How JSON documents are delimited on the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Framing {
+    /// One document per `\n`-terminated line (blank lines are skipped).
+    #[default]
+    Lines,
+    /// `u32` big-endian payload length, then the payload bytes.
+    LengthPrefixed,
+}
+
+/// Upper bound on a length-prefixed frame. The length word is
+/// attacker-controlled bytes off a socket; allocating whatever it says
+/// (up to 4 GiB) before reading the payload would let a handful of
+/// connections exhaust memory. 64 MiB comfortably fits any batch this
+/// protocol produces.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Writes one framed payload.
+pub fn write_frame(writer: &mut impl Write, framing: Framing, payload: &str) -> io::Result<()> {
+    match framing {
+        Framing::Lines => {
+            writer.write_all(payload.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        Framing::LengthPrefixed => {
+            let len = u32::try_from(payload.len())
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32"))?;
+            writer.write_all(&len.to_be_bytes())?;
+            writer.write_all(payload.as_bytes())?;
+        }
+    }
+    writer.flush()
+}
+
+/// Reads one framed payload; `Ok(None)` signals a clean end of stream.
+pub fn read_frame(reader: &mut impl BufRead, framing: Framing) -> io::Result<Option<String>> {
+    match framing {
+        Framing::Lines => loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                return Ok(Some(trimmed.to_string()));
+            }
+        },
+        Framing::LengthPrefixed => {
+            let mut len_bytes = [0u8; 4];
+            match reader.read_exact(&mut len_bytes) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+                Err(e) => return Err(e),
+            }
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+                ));
+            }
+            let mut payload = vec![0u8; len];
+            reader.read_exact(&mut payload)?;
+            String::from_utf8(payload)
+                .map(Some)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+        }
+    }
+}
+
+// ----------------------------------------------------------------- client
+
+/// Everything a blocking call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's reply did not decode.
+    Protocol(ProtocolError),
+    /// The server answered with a typed engine error.
+    Engine(EngineError),
+    /// The server closed the stream mid-call.
+    Disconnected,
+    /// The reply's correlation id did not match the request.
+    IdMismatch {
+        /// Id the client sent.
+        expected: u64,
+        /// Id the server echoed.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "undecodable reply: {e}"),
+            ClientError::Engine(e) => write!(f, "{e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::IdMismatch { expected, got } => {
+                write!(f, "response id {got} does not match request id {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking request/response client speaking [`PROTOCOL_VERSION`].
+pub struct EngineClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    framing: Framing,
+    next_id: u64,
+}
+
+impl EngineClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs, framing: Framing) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(EngineClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            framing,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and waits for its response. Typed failures the
+    /// server reports ([`EngineError`]) come back as
+    /// [`ClientError::Engine`].
+    pub fn call(&mut self, body: EngineRequest) -> Result<EngineResponse, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let envelope = RequestEnvelope {
+            id,
+            version: PROTOCOL_VERSION,
+            body,
+        };
+        write_frame(
+            &mut self.writer,
+            self.framing,
+            &encode_request_envelope(&envelope),
+        )?;
+        let line = read_frame(&mut self.reader, self.framing)?.ok_or(ClientError::Disconnected)?;
+        let response: ResponseEnvelope =
+            decode_response_envelope(&line).map_err(ClientError::Protocol)?;
+        if response.id != id {
+            return Err(ClientError::IdMismatch {
+                expected: id,
+                got: response.id,
+            });
+        }
+        response.result.map_err(ClientError::Engine)
+    }
+
+    /// Applies one delta.
+    pub fn apply(&mut self, delta: InstanceDelta) -> Result<EngineResponse, ClientError> {
+        self.call(EngineRequest::Apply { delta })
+    }
+
+    /// Answers one read-only query.
+    pub fn query(&mut self, query: EngineQuery) -> Result<EngineResponse, ClientError> {
+        self.call(EngineRequest::Query { query })
+    }
+}
+
+// ----------------------------------------------------------------- server
+
+/// Messages flowing into a server's dispatch thread.
+enum ServerMsg {
+    /// One decoded-later wire line plus the channel its response goes to.
+    Request { line: String, reply: Sender<String> },
+    /// A per-shard worker finished an apply.
+    Completion {
+        shard: usize,
+        outcome: ApplyOutcome,
+        envelope_id: u64,
+        reply: Sender<String>,
+    },
+    /// Stop dispatching and return the backend.
+    Shutdown,
+}
+
+/// Messages a per-shard worker consumes.
+enum WorkerMsg {
+    /// Apply a shard-local, mirror-validated delta.
+    Apply {
+        delta: InstanceDelta,
+        envelope_id: u64,
+        reply: Sender<String>,
+    },
+    /// Hand the shard back to the coordinator (barrier).
+    Surrender,
+    /// Receive the shard back after a barrier (boxed: a `Shard` is a few
+    /// hundred bytes and barriers are rare, so keep the common `Apply`
+    /// variant small).
+    Resume(Box<Shard>),
+    /// Exit the worker loop (the shard was already surrendered).
+    Shutdown,
+}
+
+/// A running server: the bound address plus the handles needed to stop it
+/// and recover the backend.
+pub struct ServerHandle<B> {
+    addr: SocketAddr,
+    queue: Sender<ServerMsg>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: JoinHandle<()>,
+    dispatch_handle: JoinHandle<B>,
+}
+
+impl<B> ServerHandle<B> {
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight work, joins every thread and
+    /// returns the backend (with all shards re-attached, for the sharded
+    /// server) so callers can inspect the final served state.
+    pub fn shutdown(self) -> io::Result<B> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.queue.send(ServerMsg::Shutdown);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.accept_handle
+            .join()
+            .map_err(|_| io::Error::other("accept thread panicked"))?;
+        self.dispatch_handle
+            .join()
+            .map_err(|_| io::Error::other("dispatch thread panicked"))
+    }
+}
+
+/// Entry points for serving an engine over TCP.
+pub struct EngineServer;
+
+impl EngineServer {
+    /// Serves any backend behind one dispatch thread: requests from all
+    /// connections are executed serially against the wrapped
+    /// [`EngineService`], in arrival order.
+    pub fn serve<B: EngineBackend + Send + 'static>(
+        listener: TcpListener,
+        service: EngineService<B>,
+        framing: Framing,
+    ) -> io::Result<ServerHandle<B>> {
+        spawn_server(listener, framing, move |queue_rx, _queue_tx| {
+            serial_dispatch(service, queue_rx)
+        })
+    }
+
+    /// Serves a [`ShardedEngine`] with one worker thread per shard:
+    /// user-scoped `Apply` requests run concurrently on the owning
+    /// shard's worker; everything else barriers (see the module docs).
+    pub fn serve_sharded(
+        listener: TcpListener,
+        engine: ShardedEngine,
+        framing: Framing,
+    ) -> io::Result<ServerHandle<ShardedEngine>> {
+        spawn_server(listener, framing, move |queue_rx, queue_tx| {
+            ShardDispatcher::new(engine, queue_tx).run(queue_rx)
+        })
+    }
+}
+
+/// Spawns the accept loop and the dispatch thread shared by both server
+/// flavours. `dispatch` consumes the queue until shutdown and returns the
+/// backend; it also receives a sender so worker threads can feed
+/// completions into the same queue.
+fn spawn_server<B, F>(
+    listener: TcpListener,
+    framing: Framing,
+    dispatch: F,
+) -> io::Result<ServerHandle<B>>
+where
+    B: Send + 'static,
+    F: FnOnce(Receiver<ServerMsg>, Sender<ServerMsg>) -> B + Send + 'static,
+{
+    let addr = listener.local_addr()?;
+    let (queue_tx, queue_rx) = mpsc::channel::<ServerMsg>();
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let dispatch_queue_tx = queue_tx.clone();
+    let dispatch_handle = thread::spawn(move || dispatch(queue_rx, dispatch_queue_tx));
+
+    let accept_queue = queue_tx.clone();
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_handle = thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let queue = accept_queue.clone();
+            thread::spawn(move || connection_loop(stream, queue, framing));
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        queue: queue_tx,
+        shutdown,
+        accept_handle,
+        dispatch_handle,
+    })
+}
+
+/// Per-connection read/dispatch/write loop. Requests from one connection
+/// are answered in order; the loop ends on client disconnect, a dead
+/// dispatcher, or a write failure.
+fn connection_loop(stream: TcpStream, queue: Sender<ServerMsg>, framing: Framing) {
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    while let Ok(Some(line)) = read_frame(&mut reader, framing) {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if queue
+            .send(ServerMsg::Request {
+                line,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            break;
+        }
+        let Ok(response) = reply_rx.recv() else {
+            break;
+        };
+        if write_frame(&mut writer, framing, &response).is_err() {
+            break;
+        }
+    }
+}
+
+/// The serial dispatcher: one service, strict arrival order.
+fn serial_dispatch<B: EngineBackend>(
+    mut service: EngineService<B>,
+    queue: Receiver<ServerMsg>,
+) -> B {
+    let mut fallback_seq = 0u64;
+    while let Ok(msg) = queue.recv() {
+        match msg {
+            ServerMsg::Request { line, reply } => {
+                fallback_seq += 1;
+                let envelope = service.handle_line(&line, fallback_seq);
+                let _ = reply.send(encode_response_envelope(&envelope));
+            }
+            ServerMsg::Completion { .. } => {
+                unreachable!("the serial server spawns no workers")
+            }
+            ServerMsg::Shutdown => break,
+        }
+    }
+    service.into_backend()
+}
+
+/// Whether a delta routes to a single owning shard (the worker fast
+/// path). Event-scoped deltas broadcast and must barrier.
+fn is_user_scoped(delta: &InstanceDelta) -> bool {
+    !matches!(
+        delta,
+        InstanceDelta::AddEvent { .. }
+            | InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::Event(_),
+                ..
+            }
+    )
+}
+
+struct WorkerHandle {
+    tx: Sender<WorkerMsg>,
+    join: JoinHandle<()>,
+}
+
+/// The per-shard worker dispatcher. Owns the coordinator (mirror, quota
+/// tables, routing) while the shards live on worker threads; see the
+/// module docs for the fast-path/barrier split.
+struct ShardDispatcher {
+    engine: ShardedEngine,
+    workers: Vec<WorkerHandle>,
+    /// Shards handed back by workers during a barrier.
+    shard_return_rx: Receiver<(usize, Shard)>,
+    /// Worker applies in flight (fast-path requests not yet completed).
+    pending: usize,
+    /// Whether the shards currently live in `engine` (true) or on the
+    /// workers (false).
+    attached: bool,
+    /// Requests buffered while a barrier drained completions.
+    backlog: VecDeque<ServerMsg>,
+    fallback_seq: u64,
+}
+
+impl ShardDispatcher {
+    fn new(mut engine: ShardedEngine, completion_tx: Sender<ServerMsg>) -> Self {
+        let (shard_return_tx, shard_return_rx) = mpsc::channel();
+        let shards = engine.detach_shards();
+        let workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                spawn_worker(k, shard, completion_tx.clone(), shard_return_tx.clone())
+            })
+            .collect();
+        ShardDispatcher {
+            engine,
+            workers,
+            shard_return_rx,
+            pending: 0,
+            attached: false,
+            backlog: VecDeque::new(),
+            fallback_seq: 0,
+        }
+    }
+
+    fn run(mut self, queue: Receiver<ServerMsg>) -> ShardedEngine {
+        loop {
+            // Barrier leftovers first, then the shared queue (requests
+            // and worker completions interleave there in arrival order).
+            let msg = match self.backlog.pop_front() {
+                Some(msg) => msg,
+                None => match queue.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                },
+            };
+            match msg {
+                ServerMsg::Request { line, reply } => self.on_request(line, reply, &queue),
+                ServerMsg::Completion {
+                    shard,
+                    outcome,
+                    envelope_id,
+                    reply,
+                } => self.on_completion(shard, outcome, envelope_id, reply, &queue),
+                ServerMsg::Shutdown => break,
+            }
+        }
+        // Drain in-flight applies and bring every shard home before
+        // handing the engine back.
+        self.barrier(&queue);
+        for worker in &self.workers {
+            let _ = worker.tx.send(WorkerMsg::Shutdown);
+        }
+        for worker in self.workers {
+            let _ = worker.join.join();
+        }
+        self.engine
+    }
+
+    fn on_request(&mut self, line: String, reply: Sender<String>, queue: &Receiver<ServerMsg>) {
+        self.fallback_seq += 1;
+        let envelope = match decode_request_envelope(&line, self.fallback_seq) {
+            Ok(envelope) => envelope,
+            Err(e) => {
+                respond(
+                    &reply,
+                    ResponseEnvelope {
+                        id: self.fallback_seq,
+                        result: Err(EngineError::Malformed { detail: e.message }),
+                    },
+                );
+                return;
+            }
+        };
+        // Version-gate BEFORE routing, mirroring `dispatch_envelope`: an
+        // unsupported dialect must never reach the fast path and mutate
+        // state (the serial server answers `Unsupported` and so must we).
+        let strict = envelope.version == PROTOCOL_VERSION;
+        if !strict && envelope.version != LEGACY_VERSION {
+            respond(
+                &reply,
+                ResponseEnvelope {
+                    id: envelope.id,
+                    result: Err(EngineError::Unsupported {
+                        version: envelope.version,
+                    }),
+                },
+            );
+            return;
+        }
+        match &envelope.body {
+            // Fast path: a user-scoped delta validated on the mirror runs
+            // on the owning shard's worker, concurrently with other
+            // shards' applies.
+            EngineRequest::Apply { delta } if !self.attached && is_user_scoped(delta) => {
+                match self.engine.plan_user_delta(delta) {
+                    Ok((k, local)) => {
+                        self.pending += 1;
+                        self.workers[k]
+                            .tx
+                            .send(WorkerMsg::Apply {
+                                delta: local,
+                                envelope_id: envelope.id,
+                                reply,
+                            })
+                            .expect("worker alive until shutdown");
+                    }
+                    Err(e) => {
+                        let result = if strict {
+                            Err(EngineError::from(&e))
+                        } else {
+                            Ok(EngineResponse::Rejected {
+                                reason: e.to_string(),
+                            })
+                        };
+                        respond(
+                            &reply,
+                            ResponseEnvelope {
+                                id: envelope.id,
+                                result,
+                            },
+                        );
+                    }
+                }
+            }
+            // Everything else executes on the fully attached engine
+            // through the one service implementation.
+            _ => {
+                self.barrier(queue);
+                let response = dispatch_envelope(&mut self.engine, &envelope);
+                respond(&reply, response);
+                self.redistribute();
+            }
+        }
+    }
+
+    /// Completion bookkeeping shared by the main loop and the barrier
+    /// drain: account the shard outcome, answer the waiting client with
+    /// merged totals (exactly the serial coordinator's `ApplyOutcome`,
+    /// pre-reconcile), and count the delta toward the reconcile interval.
+    /// The periodic reconcile itself is the caller's decision — the main
+    /// loop barriers for it, the barrier drain runs it once attached.
+    fn complete_apply(
+        &mut self,
+        shard: usize,
+        outcome: ApplyOutcome,
+        envelope_id: u64,
+        reply: &Sender<String>,
+    ) {
+        self.pending -= 1;
+        self.engine.note_outcome(shard, &outcome);
+        let merged = ApplyOutcome {
+            kind: outcome.kind,
+            repair: outcome.repair,
+            utility: self.engine.utility(),
+            num_pairs: self.engine.num_pairs(),
+        };
+        respond(
+            reply,
+            ResponseEnvelope {
+                id: envelope_id,
+                result: Ok(applied_response(merged)),
+            },
+        );
+        self.engine.note_applied(1);
+    }
+
+    fn on_completion(
+        &mut self,
+        shard: usize,
+        outcome: ApplyOutcome,
+        envelope_id: u64,
+        reply: Sender<String>,
+        queue: &Receiver<ServerMsg>,
+    ) {
+        self.complete_apply(shard, outcome, envelope_id, &reply);
+        if self.engine.periodic_reconcile_pending() {
+            self.barrier(queue);
+            self.redistribute();
+        }
+    }
+
+    /// Drains in-flight applies, collects every shard from its worker and
+    /// re-attaches them to the engine (running any due periodic reconcile
+    /// while everything is home). No-op when already attached.
+    fn barrier(&mut self, queue: &Receiver<ServerMsg>) {
+        if self.attached {
+            return;
+        }
+        while self.pending > 0 {
+            match queue.recv().expect("workers hold a queue sender") {
+                ServerMsg::Completion {
+                    shard,
+                    outcome,
+                    envelope_id,
+                    reply,
+                } => self.complete_apply(shard, outcome, envelope_id, &reply),
+                msg => self.backlog.push_back(msg),
+            }
+        }
+        for worker in &self.workers {
+            worker
+                .tx
+                .send(WorkerMsg::Surrender)
+                .expect("worker alive until shutdown");
+        }
+        let mut collected: Vec<Option<Shard>> = (0..self.workers.len()).map(|_| None).collect();
+        for _ in 0..self.workers.len() {
+            let (k, shard) = self
+                .shard_return_rx
+                .recv()
+                .expect("every worker surrenders its shard");
+            collected[k] = Some(shard);
+        }
+        self.engine.attach_shards(
+            collected
+                .into_iter()
+                .map(|s| s.expect("each worker returned one shard"))
+                .collect(),
+        );
+        self.attached = true;
+        if self.engine.periodic_reconcile_pending() {
+            self.engine.run_pending_reconcile();
+        }
+    }
+
+    /// Sends the shards back to their workers after a barrier.
+    fn redistribute(&mut self) {
+        if !self.attached {
+            return;
+        }
+        let shards = self.engine.detach_shards();
+        for (k, shard) in shards.into_iter().enumerate() {
+            self.workers[k]
+                .tx
+                .send(WorkerMsg::Resume(Box::new(shard)))
+                .expect("worker alive until shutdown");
+        }
+        self.attached = false;
+    }
+}
+
+fn respond(reply: &Sender<String>, envelope: ResponseEnvelope) {
+    // A dead connection is not the dispatcher's problem.
+    let _ = reply.send(encode_response_envelope(&envelope));
+}
+
+fn spawn_worker(
+    k: usize,
+    shard: Shard,
+    completion_tx: Sender<ServerMsg>,
+    shard_return_tx: Sender<(usize, Shard)>,
+) -> WorkerHandle {
+    let (tx, rx) = mpsc::channel::<WorkerMsg>();
+    let join = thread::spawn(move || {
+        let mut slot = Some(shard);
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                WorkerMsg::Apply {
+                    delta,
+                    envelope_id,
+                    reply,
+                } => {
+                    let shard = slot.as_mut().expect("apply while surrendered");
+                    let outcome = shard.apply(&delta).unwrap_or_else(|e| {
+                        panic!(
+                            "shard {k} rejected a mirror-validated delta ({e}); \
+                             ShardedEngine requires attribute-based (id-independent) \
+                             conflict and interest functions"
+                        )
+                    });
+                    if completion_tx
+                        .send(ServerMsg::Completion {
+                            shard: k,
+                            outcome,
+                            envelope_id,
+                            reply,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                WorkerMsg::Surrender => {
+                    let shard = slot.take().expect("surrender while surrendered");
+                    if shard_return_tx.send((k, shard)).is_err() {
+                        break;
+                    }
+                }
+                WorkerMsg::Resume(shard) => slot = Some(*shard),
+                WorkerMsg::Shutdown => break,
+            }
+        }
+    });
+    WorkerHandle { tx, join }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::ShardedConfig;
+    use crate::engine::{Engine, EngineConfig};
+    use igepa_algos::GreedyArrangement;
+    use igepa_core::{
+        AttributeVector, ConstantInterest, EventId, HashPartitioner, Instance, NeverConflict,
+        UserId,
+    };
+    use std::io::Cursor;
+
+    fn base_instance(num_events: usize, num_users: usize) -> Instance {
+        let mut b = Instance::builder();
+        let events: Vec<EventId> = (0..num_events)
+            .map(|_| b.add_event(2, AttributeVector::empty()))
+            .collect();
+        for _ in 0..num_users {
+            b.add_user(2, AttributeVector::empty(), events.clone());
+        }
+        b.interaction_scores(vec![0.5; num_users]);
+        b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap()
+    }
+
+    fn sharded_for(num_events: usize, num_users: usize, num_shards: usize) -> ShardedEngine {
+        ShardedEngine::new(
+            base_instance(num_events, num_users),
+            Box::new(NeverConflict),
+            Box::new(ConstantInterest(0.5)),
+            Box::new(GreedyArrangement),
+            Box::new(HashPartitioner),
+            ShardedConfig::with_shards(num_shards),
+        )
+    }
+
+    fn add_user_request(event: usize) -> EngineRequest {
+        EngineRequest::Apply {
+            delta: InstanceDelta::AddUser {
+                capacity: 1,
+                attrs: AttributeVector::empty(),
+                bids: vec![EventId::new(event)],
+                interaction: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_in_both_framings() {
+        for framing in [Framing::Lines, Framing::LengthPrefixed] {
+            let mut buffer = Vec::new();
+            write_frame(&mut buffer, framing, "{\"a\":1}").unwrap();
+            write_frame(&mut buffer, framing, "second payload").unwrap();
+            let mut reader = Cursor::new(buffer);
+            assert_eq!(
+                read_frame(&mut reader, framing).unwrap().as_deref(),
+                Some("{\"a\":1}")
+            );
+            assert_eq!(
+                read_frame(&mut reader, framing).unwrap().as_deref(),
+                Some("second payload")
+            );
+            assert_eq!(read_frame(&mut reader, framing).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn line_framing_skips_blank_lines() {
+        let mut reader = Cursor::new(b"\n\n{\"x\":2}\n\n".to_vec());
+        assert_eq!(
+            read_frame(&mut reader, Framing::Lines).unwrap().as_deref(),
+            Some("{\"x\":2}")
+        );
+        assert_eq!(read_frame(&mut reader, Framing::Lines).unwrap(), None);
+    }
+
+    #[test]
+    fn serial_server_round_trips_requests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let engine = Engine::new(
+            base_instance(2, 3),
+            Box::new(NeverConflict),
+            Box::new(ConstantInterest(0.5)),
+            Box::new(GreedyArrangement),
+            EngineConfig::default(),
+        );
+        let handle =
+            EngineServer::serve(listener, EngineService::new(engine), Framing::Lines).unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+
+        let applied = client.apply(InstanceDelta::AddUser {
+            capacity: 1,
+            attrs: AttributeVector::empty(),
+            bids: vec![EventId::new(0)],
+            interaction: 0.9,
+        });
+        assert!(matches!(applied, Ok(EngineResponse::Applied { .. })));
+
+        // Typed errors surface client-side.
+        let missing = client.query(EngineQuery::AssignmentsOf {
+            user: UserId::new(99),
+        });
+        assert!(matches!(
+            missing,
+            Err(ClientError::Engine(EngineError::NotFound { .. }))
+        ));
+
+        let utility = client.query(EngineQuery::Utility).unwrap();
+        assert!(matches!(utility, EngineResponse::Utility { total, .. } if total > 0.0));
+
+        drop(client);
+        let engine = handle.shutdown().unwrap();
+        assert_eq!(engine.instance().num_users(), 4);
+        assert!(engine.arrangement().is_feasible(engine.instance()));
+    }
+
+    #[test]
+    fn sharded_server_matches_in_process_responses() {
+        // A synchronous client must observe exactly the serial service's
+        // responses: the worker pool changes where repairs run, not what
+        // they produce.
+        let requests: Vec<EngineRequest> = (0..40)
+            .map(|i| match i % 7 {
+                6 => EngineRequest::Query {
+                    query: EngineQuery::Utility,
+                },
+                3 => EngineRequest::Query {
+                    query: EngineQuery::EventLoad {
+                        event: EventId::new(i % 3),
+                    },
+                },
+                5 => EngineRequest::Apply {
+                    delta: InstanceDelta::AddEvent {
+                        capacity: 3,
+                        attrs: AttributeVector::empty(),
+                    },
+                },
+                _ => add_user_request(i % 3),
+            })
+            .collect();
+
+        let mut serial = EngineService::new(sharded_for(3, 8, 2));
+        let expected: Vec<Result<EngineResponse, EngineError>> =
+            requests.iter().map(|r| serial.try_handle(r)).collect();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            EngineServer::serve_sharded(listener, sharded_for(3, 8, 2), Framing::LengthPrefixed)
+                .unwrap();
+        let mut client =
+            EngineClient::connect(handle.local_addr(), Framing::LengthPrefixed).unwrap();
+        let got: Vec<Result<EngineResponse, EngineError>> = requests
+            .iter()
+            .map(|r| match client.call(r.clone()) {
+                Ok(response) => Ok(response),
+                Err(ClientError::Engine(e)) => Err(e),
+                Err(other) => panic!("transport failure: {other}"),
+            })
+            .collect();
+        assert_eq!(got, expected);
+
+        drop(client);
+        let engine = handle.shutdown().unwrap();
+        let serial_engine = serial.into_backend();
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+        assert_eq!(
+            engine.merged_utility().total.to_bits(),
+            serial_engine.merged_utility().total.to_bits()
+        );
+    }
+
+    #[test]
+    fn sharded_server_survives_concurrent_clients() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            EngineServer::serve_sharded(listener, sharded_for(4, 8, 4), Framing::Lines).unwrap();
+        let addr = handle.local_addr();
+
+        let clients: Vec<_> = (0..4)
+            .map(|c| {
+                thread::spawn(move || {
+                    let mut client = EngineClient::connect(addr, Framing::Lines).unwrap();
+                    for i in 0..25 {
+                        client.call(add_user_request((c + i) % 4)).unwrap();
+                    }
+                    client.query(EngineQuery::MergedSnapshot).unwrap()
+                })
+            })
+            .collect();
+        for c in clients {
+            assert!(matches!(c.join().unwrap(), EngineResponse::Snapshot { .. }));
+        }
+
+        let engine = handle.shutdown().unwrap();
+        assert_eq!(engine.instance().num_users(), 8 + 4 * 25);
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+    }
+
+    #[test]
+    fn length_prefixed_frames_are_size_capped() {
+        let mut reader = Cursor::new(0xFFFF_FFFFu32.to_be_bytes().to_vec());
+        let err = read_frame(&mut reader, Framing::LengthPrefixed).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn sharded_fast_path_version_gates_like_the_serial_server() {
+        // An unsupported protocol version must answer Unsupported and
+        // leave the engine untouched — even on the worker fast path.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            EngineServer::serve_sharded(listener, sharded_for(2, 4, 2), Framing::Lines).unwrap();
+
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let envelope = RequestEnvelope {
+            id: 7,
+            version: 42,
+            body: add_user_request(0),
+        };
+        write_frame(
+            &mut writer,
+            Framing::Lines,
+            &crate::protocol::encode_request_envelope(&envelope),
+        )
+        .unwrap();
+        let line = read_frame(&mut reader, Framing::Lines).unwrap().unwrap();
+        let response = decode_response_envelope(&line).unwrap();
+        assert_eq!(response.id, 7);
+        assert_eq!(
+            response.result,
+            Err(EngineError::Unsupported { version: 42 })
+        );
+
+        drop(writer);
+        let engine = handle.shutdown().unwrap();
+        assert_eq!(
+            engine.instance().num_users(),
+            4,
+            "unsupported-version Apply must not mutate the engine"
+        );
+    }
+
+    #[test]
+    fn legacy_bare_requests_work_over_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            EngineServer::serve_sharded(listener, sharded_for(2, 4, 2), Framing::Lines).unwrap();
+
+        // A hand-rolled legacy client: bare pre-envelope request lines.
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_frame(
+            &mut writer,
+            Framing::Lines,
+            "{\"Query\":{\"query\":{\"AssignmentsOf\":{\"user\":99}}}}",
+        )
+        .unwrap();
+        let line = read_frame(&mut reader, Framing::Lines).unwrap().unwrap();
+        let envelope = decode_response_envelope(&line).unwrap();
+        // Legacy dialect: silent empty answer instead of NotFound.
+        assert_eq!(
+            envelope.result,
+            Ok(EngineResponse::Assignments {
+                user: UserId::new(99),
+                events: Vec::new(),
+            })
+        );
+
+        drop(writer);
+        handle.shutdown().unwrap();
+    }
+}

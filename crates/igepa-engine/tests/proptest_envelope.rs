@@ -1,0 +1,220 @@
+//! Envelope wire-format property tests:
+//!
+//! * `encode → frame → deframe → decode` round-trips request envelopes in
+//!   both framings, for arbitrary ids, versions and request bodies;
+//! * response envelopes round-trip for every [`EngineResponse`] shape and
+//!   **every [`EngineError`] variant** (the typed taxonomy must survive
+//!   the wire unchanged);
+//! * bare pre-envelope request lines keep decoding under
+//!   [`LEGACY_VERSION`] with the caller-supplied fallback id.
+
+use igepa_core::{AttributeVector, EventId, InstanceDelta, UserId};
+use igepa_engine::transport::{read_frame, write_frame};
+use igepa_engine::{
+    decode_request_envelope, decode_response_envelope, encode_request, encode_request_envelope,
+    encode_response_envelope, EngineError, EngineQuery, EngineRequest, EngineResponse, EngineStats,
+    EntityRef, Framing, ReconcileReport, RejectReason, RepairKind, RequestEnvelope,
+    ResponseEnvelope, LEGACY_VERSION,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn request_strategy() -> impl Strategy<Value = EngineRequest> {
+    (0u8..8, 0usize..64, 0usize..64, 0.0f64..=1.0).prop_map(|(kind, a, b, score)| match kind {
+        0 => EngineRequest::Apply {
+            delta: InstanceDelta::AddUser {
+                capacity: 1 + a % 3,
+                attrs: AttributeVector::empty(),
+                bids: vec![EventId::new(a), EventId::new(b)],
+                interaction: score,
+            },
+        },
+        1 => EngineRequest::Apply {
+            delta: InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(a),
+                score,
+            },
+        },
+        2 => EngineRequest::ApplyBatch {
+            deltas: vec![
+                InstanceDelta::RemoveUser {
+                    user: UserId::new(a),
+                },
+                InstanceDelta::AddEvent {
+                    capacity: b,
+                    attrs: AttributeVector::from_time(a as i64, 30),
+                },
+            ],
+        },
+        3 => EngineRequest::Rebalance,
+        4 => EngineRequest::Query {
+            query: EngineQuery::Utility,
+        },
+        5 => EngineRequest::Query {
+            query: EngineQuery::AssignmentsOf {
+                user: UserId::new(a),
+            },
+        },
+        6 => EngineRequest::Query {
+            query: EngineQuery::EventLoad {
+                event: EventId::new(b),
+            },
+        },
+        _ => EngineRequest::Query {
+            query: EngineQuery::MergedSnapshot,
+        },
+    })
+}
+
+/// Exercises every variant of the typed error taxonomy.
+fn error_strategy() -> impl Strategy<Value = EngineError> {
+    (0u8..7, 0usize..64, 0u32..64).prop_map(|(kind, a, v)| match kind {
+        0 => EngineError::Rejected {
+            reason: RejectReason::UnknownUser {
+                user: UserId::new(a),
+            },
+        },
+        1 => EngineError::Rejected {
+            reason: RejectReason::UnknownEvent {
+                event: EventId::new(a),
+            },
+        },
+        2 => EngineError::Rejected {
+            reason: RejectReason::UnknownEventInBid {
+                user: UserId::new(a),
+                event: EventId::new(a + 1),
+            },
+        },
+        3 => EngineError::Rejected {
+            reason: RejectReason::Invalid {
+                detail: format!("interaction score {a} is outside [0, 1]"),
+            },
+        },
+        4 => EngineError::NotFound {
+            entity: EntityRef::User {
+                user: UserId::new(a),
+            },
+        },
+        5 => EngineError::NotFound {
+            entity: EntityRef::Event {
+                event: EventId::new(a),
+            },
+        },
+        _ => {
+            if v % 2 == 0 {
+                EngineError::Unsupported { version: v }
+            } else {
+                EngineError::Malformed {
+                    detail: format!("unexpected input at offset {a}"),
+                }
+            }
+        }
+    })
+}
+
+fn response_strategy() -> impl Strategy<Value = EngineResponse> {
+    (0u8..6, 0usize..64, 0.0f64..=100.0).prop_map(|(kind, a, x)| match kind {
+        0 => EngineResponse::Applied {
+            kind: "add_user".to_string(),
+            repair: RepairKind::GreedyPatch {
+                pruned: a,
+                added: a + 1,
+            },
+            utility: x,
+            num_pairs: a,
+        },
+        1 => EngineResponse::Rejected {
+            reason: format!("user u{a} does not exist in the instance"),
+        },
+        2 => EngineResponse::Utility {
+            total: x,
+            interest_sum: x / 2.0,
+            interaction_sum: x / 3.0,
+        },
+        3 => EngineResponse::Assignments {
+            user: UserId::new(a),
+            events: vec![EventId::new(a), EventId::new(a + 2)],
+        },
+        4 => EngineResponse::Stats {
+            stats: EngineStats {
+                deltas_applied: a as u64,
+                ..EngineStats::default()
+            },
+        },
+        _ => EngineResponse::Rebalanced {
+            report: ReconcileReport {
+                rounds_run: 1,
+                boundary_events: a,
+                contended_events: a / 2,
+                quota_moved: a,
+                shard_repairs: 1,
+            },
+            utility: x,
+        },
+    })
+}
+
+fn roundtrip_through_frame(payload: &str, framing: Framing) -> String {
+    let mut buffer = Vec::new();
+    write_frame(&mut buffer, framing, payload).unwrap();
+    let mut reader = Cursor::new(buffer);
+    let back = read_frame(&mut reader, framing).unwrap().unwrap();
+    assert_eq!(read_frame(&mut reader, framing).unwrap(), None);
+    back
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_envelopes_roundtrip_both_framings(
+        id in any::<u64>(),
+        version in 0u32..4,
+        body in request_strategy(),
+        length_framed in any::<bool>(),
+    ) {
+        let framing = if length_framed {
+            Framing::LengthPrefixed
+        } else {
+            Framing::Lines
+        };
+        let envelope = RequestEnvelope { id, version, body };
+        let wire = roundtrip_through_frame(&encode_request_envelope(&envelope), framing);
+        let back = decode_request_envelope(&wire, 999_999).unwrap();
+        prop_assert_eq!(back, envelope);
+    }
+
+    #[test]
+    fn response_envelopes_roundtrip_ok_and_every_error_variant(
+        id in any::<u64>(),
+        ok in response_strategy(),
+        err in error_strategy(),
+        length_framed in any::<bool>(),
+    ) {
+        let framing = if length_framed {
+            Framing::LengthPrefixed
+        } else {
+            Framing::Lines
+        };
+        for result in [Ok(ok.clone()), Err(err.clone())] {
+            let envelope = ResponseEnvelope { id, result };
+            let wire = roundtrip_through_frame(&encode_response_envelope(&envelope), framing);
+            let back = decode_response_envelope(&wire).unwrap();
+            prop_assert_eq!(back, envelope);
+        }
+    }
+
+    #[test]
+    fn bare_requests_keep_decoding_with_the_fallback_id(
+        fallback in any::<u64>(),
+        body in request_strategy(),
+    ) {
+        // A pre-envelope log line is a bare request; the envelope decoder
+        // must wrap it under the legacy dialect without loss.
+        let line = encode_request(&body);
+        let envelope = decode_request_envelope(&line, fallback).unwrap();
+        prop_assert_eq!(envelope.id, fallback);
+        prop_assert_eq!(envelope.version, LEGACY_VERSION);
+        prop_assert_eq!(envelope.body, body);
+    }
+}

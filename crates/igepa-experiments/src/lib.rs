@@ -47,7 +47,8 @@ pub use ratio::{run_ratio_study, RatioReport, RatioResult};
 pub use report::{AlgorithmResult, SweepPoint, SweepReport, TableReport};
 pub use scalability::{run_scalability, DEFAULT_USER_COUNTS};
 pub use serve::{
-    run_serve_study, run_sharded_serve_study, serving_engine, sharded_serving_engine, ServeReport,
+    run_connect_study, run_listen, run_loopback_study, run_serve_study, run_sharded_serve_study,
+    serving_engine, sharded_serving_engine, tcp_server_engine, LoopbackReport, ServeReport,
     ShardedServeReport,
 };
 pub use settings::ExperimentSettings;

@@ -30,9 +30,10 @@ use igepa_algos::LpBackend;
 use igepa_experiments::{
     check_sweep, check_table_ordering, check_users_sweep_convergence, run_all_figure1,
     run_alpha_ablation, run_backend_ablation, run_beta_ablation, run_clustered_table,
-    run_extension_ablation, run_figure1, run_interaction_ablation, run_online_study,
-    run_ratio_study, run_scalability, run_serve_study, run_sharded_serve_study, run_table1,
-    run_table2, ExperimentSettings, Figure1Factor, ShapeReport, SweepReport, TableReport,
+    run_connect_study, run_extension_ablation, run_figure1, run_interaction_ablation, run_listen,
+    run_loopback_study, run_online_study, run_ratio_study, run_scalability, run_serve_study,
+    run_sharded_serve_study, run_table1, run_table2, ExperimentSettings, Figure1Factor,
+    ShapeReport, SweepReport, TableReport,
 };
 use std::path::PathBuf;
 
@@ -93,18 +94,45 @@ fn main() {
         "scalability" => emit_sweep(run_scalability(&settings), &options),
         "online" => emit_table(run_online_study(&settings), &options),
         "serve" => {
-            let deltas = options.deltas.unwrap_or(10_000);
             let shards = options.shards.unwrap_or(1);
-            if shards > 1 {
-                let report = run_sharded_serve_study(&settings, deltas, shards);
+            if let Some(addr) = &options.connect {
+                // Drive a server started elsewhere with `--listen`.
+                let deltas = options.deltas.unwrap_or(500);
+                let report = run_connect_study(&settings, addr, deltas, shards);
                 println!("{}", report.to_markdown());
-                if !report.merged_feasible {
-                    eprintln!("merged arrangement is INFEASIBLE");
-                    std::process::exit(1);
+            } else if let Some(addr) = &options.listen {
+                if let Some(deltas) = options.deltas {
+                    // Loopback smoke: server + client in this process,
+                    // with a server-side feasibility check on shutdown.
+                    let report = run_loopback_study(&settings, addr, deltas, shards.max(1));
+                    println!("{}", report.to_markdown());
+                    if report.merged_feasible != Some(true) {
+                        eprintln!("merged arrangement is INFEASIBLE after the TCP smoke");
+                        std::process::exit(1);
+                    }
+                    if report.rejected > 0 {
+                        eprintln!(
+                            "{} deltas rejected (trace must replay cleanly)",
+                            report.rejected
+                        );
+                        std::process::exit(1);
+                    }
+                } else {
+                    run_listen(&settings, addr, shards.max(1));
                 }
             } else {
-                let report = run_serve_study(&settings, deltas);
-                println!("{}", report.to_markdown());
+                let deltas = options.deltas.unwrap_or(10_000);
+                if shards > 1 {
+                    let report = run_sharded_serve_study(&settings, deltas, shards);
+                    println!("{}", report.to_markdown());
+                    if !report.merged_feasible {
+                        eprintln!("merged arrangement is INFEASIBLE");
+                        std::process::exit(1);
+                    }
+                } else {
+                    let report = run_serve_study(&settings, deltas);
+                    println!("{}", report.to_markdown());
+                }
             }
         }
         "all" => {
@@ -171,6 +199,8 @@ struct Options {
     csv_dir: Option<PathBuf>,
     deltas: Option<usize>,
     shards: Option<usize>,
+    listen: Option<String>,
+    connect: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -207,6 +237,14 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--shards" => {
                 options.shards = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--listen" => {
+                options.listen = args.get(i + 1).cloned();
+                i += 1;
+            }
+            "--connect" => {
+                options.connect = args.get(i + 1).cloned();
                 i += 1;
             }
             other => {
@@ -258,6 +296,9 @@ fn print_usage() {
            --exact-lp       force the exact simplex LP backend\n\
            --csv-dir <dir>  also write CSV files into <dir>\n\
            --deltas <n>     trace length for `serve` (default 10000)\n\
-           --shards <n>     shard count for `serve` (default 1 = monolithic)"
+           --shards <n>     shard count for `serve` (default 1 = monolithic)\n\
+           --listen <addr>  serve over TCP (with --deltas: in-process loopback\n\
+                            smoke incl. feasibility check; without: serve forever)\n\
+           --connect <addr> drive a --listen server from this process"
     );
 }

@@ -20,9 +20,11 @@ use igepa_datagen::{
     ClusteredConfig, CommunityTraceConfig, SyntheticConfig, TraceConfig,
 };
 use igepa_engine::{
-    replay, Engine, EngineConfig, EngineRequest, LatencySummary, ShardedConfig, ShardedEngine,
+    replay, ClientError, Engine, EngineClient, EngineConfig, EngineQuery, EngineRequest,
+    EngineResponse, EngineServer, Framing, LatencySummary, ShardedConfig, ShardedEngine,
 };
 use serde::{Deserialize, Serialize};
+use std::net::TcpListener;
 use std::time::Instant;
 
 /// Result of the serving study.
@@ -368,6 +370,212 @@ pub fn run_sharded_serve_study(
     }
 }
 
+/// Result of driving a delta trace through the TCP transport (loopback or
+/// a remote server).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopbackReport {
+    /// Shards the server ran (as requested; a remote server's actual
+    /// count is whatever it was started with).
+    pub shards: usize,
+    /// Deltas driven through the client.
+    pub num_deltas: usize,
+    /// Deltas the server applied.
+    pub applied: usize,
+    /// Deltas the server rejected.
+    pub rejected: usize,
+    /// Client-observed round-trip latency per request (µs).
+    pub rtt: LatencySummary,
+    /// Utility after the final request (from the closing `Utility` query).
+    pub final_utility: f64,
+    /// Pairs served at the end (from the closing snapshot).
+    pub final_pairs: usize,
+    /// Whether the recovered server engine's merged arrangement is
+    /// feasible — only checkable in loopback mode, where this process
+    /// owns the server (`None` when driving a remote server).
+    pub merged_feasible: Option<bool>,
+}
+
+impl LoopbackReport {
+    /// Renders the report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## TCP serving smoke: {} deltas over loopback, {} shards\n\n",
+            self.num_deltas, self.shards
+        ));
+        out.push_str(&format!(
+            "Applied {} / rejected {}; final utility {:.3} over {} pairs; merged arrangement: {}.\n\n",
+            self.applied,
+            self.rejected,
+            self.final_utility,
+            self.final_pairs,
+            match self.merged_feasible {
+                Some(true) => "feasible",
+                Some(false) => "INFEASIBLE",
+                None => "not checked (remote server)",
+            }
+        ));
+        out.push_str("| RTT | mean (µs) | p50 (µs) | p95 (µs) | p99 (µs) | max (µs) |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        out.push_str(&format!(
+            "| per request | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+            self.rtt.mean_us, self.rtt.p50_us, self.rtt.p95_us, self.rtt.p99_us, self.rtt.max_us
+        ));
+        out
+    }
+}
+
+/// The community trace both TCP entry points drive, derived from the same
+/// settings on the server and client side so remote runs replay cleanly.
+fn tcp_trace(
+    settings: &ExperimentSettings,
+    num_deltas: usize,
+    shards: usize,
+) -> Vec<EngineRequest> {
+    let dataset = generate_clustered_dataset(&scaled_clustered(settings), settings.base_seed);
+    let trace = generate_community_trace(
+        &dataset.instance,
+        &dataset.event_communities,
+        &CommunityTraceConfig::partition_friendly(num_deltas, shards.max(1)),
+        settings.base_seed + 1,
+    );
+    trace
+        .deltas
+        .iter()
+        .map(|t| EngineRequest::Apply {
+            delta: t.delta.clone(),
+        })
+        .collect()
+}
+
+/// Drives the trace and a closing `Rebalance` / `Utility` /
+/// `MergedSnapshot` sequence through a connected client.
+fn drive_client(
+    client: &mut EngineClient,
+    requests: &[EngineRequest],
+) -> Result<(usize, usize, LatencySummary, f64, usize), ClientError> {
+    let mut applied = 0usize;
+    let mut rejected = 0usize;
+    let mut rtts = Vec::with_capacity(requests.len());
+    for request in requests {
+        let start = Instant::now();
+        match client.call(request.clone()) {
+            Ok(EngineResponse::Applied { .. }) => applied += 1,
+            Ok(_) => {}
+            Err(ClientError::Engine(_)) => rejected += 1,
+            Err(e) => return Err(e),
+        }
+        rtts.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    client.call(EngineRequest::Rebalance)?;
+    let final_utility = match client.query(EngineQuery::Utility)? {
+        EngineResponse::Utility { total, .. } => total,
+        other => panic!("Utility query answered {other:?}"),
+    };
+    let final_pairs = match client.query(EngineQuery::MergedSnapshot)? {
+        EngineResponse::Snapshot { pairs, .. } => pairs.len(),
+        other => panic!("MergedSnapshot query answered {other:?}"),
+    };
+    Ok((
+        applied,
+        rejected,
+        LatencySummary::from_latencies(rtts),
+        final_utility,
+        final_pairs,
+    ))
+}
+
+/// Builds the sharded engine a TCP server fronts, from the same settings
+/// the client derives its trace from.
+pub fn tcp_server_engine(settings: &ExperimentSettings, shards: usize) -> ShardedEngine {
+    let dataset = generate_clustered_dataset(&scaled_clustered(settings), settings.base_seed);
+    sharded_serving_engine(dataset.instance, settings.base_seed, shards)
+}
+
+/// Loopback smoke: start a per-shard-worker TCP server on `listen_addr`
+/// (use `127.0.0.1:0` for an ephemeral port), drive `num_deltas` through
+/// a blocking [`EngineClient`], shut the server down cleanly and verify
+/// the recovered engine's merged arrangement is feasible.
+pub fn run_loopback_study(
+    settings: &ExperimentSettings,
+    listen_addr: &str,
+    num_deltas: usize,
+    shards: usize,
+) -> LoopbackReport {
+    let requests = tcp_trace(settings, num_deltas, shards);
+    let listener = TcpListener::bind(listen_addr).expect("listen address binds");
+    let handle = EngineServer::serve_sharded(
+        listener,
+        tcp_server_engine(settings, shards),
+        Framing::Lines,
+    )
+    .expect("server spawns");
+    eprintln!("loopback server listening on {}", handle.local_addr());
+
+    let mut client =
+        EngineClient::connect(handle.local_addr(), Framing::Lines).expect("client connects");
+    let (applied, rejected, rtt, final_utility, final_pairs) =
+        drive_client(&mut client, &requests).expect("transport stays up");
+    drop(client);
+
+    let engine = handle.shutdown().expect("clean server shutdown");
+    let merged_feasible = engine.merged_arrangement().is_feasible(engine.instance());
+    LoopbackReport {
+        shards,
+        num_deltas,
+        applied,
+        rejected,
+        rtt,
+        final_utility,
+        final_pairs,
+        merged_feasible: Some(merged_feasible),
+    }
+}
+
+/// Client-only variant of the smoke: drive the trace against a server
+/// started elsewhere (`igepa-experiments serve --listen ADDR`).
+pub fn run_connect_study(
+    settings: &ExperimentSettings,
+    connect_addr: &str,
+    num_deltas: usize,
+    shards: usize,
+) -> LoopbackReport {
+    let requests = tcp_trace(settings, num_deltas, shards);
+    let mut client = EngineClient::connect(connect_addr, Framing::Lines).expect("server reachable");
+    let (applied, rejected, rtt, final_utility, final_pairs) =
+        drive_client(&mut client, &requests).expect("transport stays up");
+    LoopbackReport {
+        shards,
+        num_deltas,
+        applied,
+        rejected,
+        rtt,
+        final_utility,
+        final_pairs,
+        merged_feasible: None,
+    }
+}
+
+/// Serves forever on `listen_addr` (for an external `--connect` client).
+/// Prints the bound address, then parks the main thread.
+pub fn run_listen(settings: &ExperimentSettings, listen_addr: &str, shards: usize) -> ! {
+    let listener = TcpListener::bind(listen_addr).expect("listen address binds");
+    println!(
+        "igepa-engine: {} shards serving on {}",
+        shards,
+        listener.local_addr().expect("bound address")
+    );
+    let _handle = EngineServer::serve_sharded(
+        listener,
+        tcp_server_engine(settings, shards),
+        Framing::Lines,
+    )
+    .expect("server spawns");
+    loop {
+        std::thread::park();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +633,27 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: ShardedServeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn loopback_study_is_feasible_end_to_end() {
+        let settings = ExperimentSettings {
+            scale: 0.2,
+            ..ExperimentSettings::quick()
+        };
+        let report = run_loopback_study(&settings, "127.0.0.1:0", 120, 2);
+        assert_eq!(report.num_deltas, 120);
+        assert_eq!(report.rejected, 0, "community trace must replay cleanly");
+        assert_eq!(report.applied, 120);
+        assert_eq!(report.merged_feasible, Some(true));
+        assert!(report.final_utility > 0.0);
+        let md = report.to_markdown();
+        assert!(md.contains("TCP serving smoke"));
+        let json = serde_json::to_string(&report).unwrap();
+        assert_eq!(
+            serde_json::from_str::<LoopbackReport>(&json).unwrap(),
+            report
+        );
     }
 
     #[test]

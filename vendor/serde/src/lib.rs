@@ -316,6 +316,43 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     }
 }
 
+/// `Result` uses serde's externally tagged layout: `{"Ok": ...}` /
+/// `{"Err": ...}`, so enveloped responses look like the real thing.
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_value(&self) -> Value {
+        match self {
+            Ok(v) => Value::Object(vec![(String::from("Ok"), v.to_value())]),
+            Err(e) => Value::Object(vec![(String::from("Err"), e.to_value())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = expect_object(v, "Result")?;
+        match entries {
+            [(tag, inner)] if tag == "Ok" => T::from_value(inner).map(Ok),
+            [(tag, inner)] if tag == "Err" => E::from_value(inner).map(Err),
+            [(tag, _)] => Err(DeError::unknown_variant("Result", tag)),
+            _ => Err(DeError::msg("expected a single-key Ok/Err object")),
+        }
+    }
+}
+
+/// Identity impls so callers can work with raw value trees (e.g. to sniff
+/// an incoming line's shape before committing to a typed decode).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_serde_tuple {
     ($(($($idx:tt $t:ident),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -361,6 +398,31 @@ mod tests {
             BTreeSet::<(u32, u32)>::from_value(&s.to_value()).unwrap(),
             s
         );
+    }
+
+    #[test]
+    fn result_roundtrip_externally_tagged() {
+        let ok: Result<u32, String> = Ok(7);
+        let err: Result<u32, String> = Err("boom".to_string());
+        assert_eq!(
+            ok.to_value(),
+            Value::Object(vec![(String::from("Ok"), Value::Int(7))])
+        );
+        assert_eq!(
+            Result::<u32, String>::from_value(&ok.to_value()).unwrap(),
+            ok
+        );
+        assert_eq!(
+            Result::<u32, String>::from_value(&err.to_value()).unwrap(),
+            err
+        );
+        assert!(Result::<u32, String>::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn value_identity_roundtrip() {
+        let v = Value::Array(vec![Value::Int(1), Value::String("x".into())]);
+        assert_eq!(Value::from_value(&v.to_value()).unwrap(), v);
     }
 
     #[test]
