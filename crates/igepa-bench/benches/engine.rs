@@ -6,19 +6,26 @@
 //! advantage persists (though shrinks per delta) when deltas arrive in
 //! bursts handled by one repair pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use igepa_algos::{ArrangementAlgorithm, GreedyArrangement};
-use igepa_core::{ConstantInterest, Instance, NeverConflict};
+use igepa_bench::bench_json::BenchReport;
+use igepa_core::{
+    CapacityTarget, ConstantInterest, Instance, InstanceDelta, NeverConflict, UserId,
+};
 use igepa_datagen::{
     generate_clustered_dataset, generate_community_trace, generate_synthetic, generate_trace,
     ClusteredConfig, CommunityTraceConfig, DeltaTrace, SyntheticConfig, TraceConfig,
 };
 use igepa_engine::{
-    Engine, EngineClient, EngineConfig, EngineQuery, EngineServer, EngineService, Framing,
+    BatchPolicy, Engine, EngineClient, EngineConfig, EngineQuery, EngineRequest, EngineServer,
+    EngineService, Framing,
 };
 use igepa_experiments::sharded_serving_engine;
 use std::hint::black_box;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 fn base_instance() -> Instance {
     generate_synthetic(
@@ -257,6 +264,562 @@ fn service_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+// ------------------------------------------------------------------------
+// Machine-readable scenarios: everything below is measured with fixed
+// iteration counts and written to `BENCH_engine.json` (mean/p50/p99 per
+// scenario) so the perf trajectory is tracked across PRs. CI uploads the
+// file as an artifact.
+
+/// Whether a delta is event-scoped, i.e. broadcasts to every shard.
+fn is_broadcast(delta: &InstanceDelta) -> bool {
+    matches!(
+        delta,
+        InstanceDelta::AddEvent { .. }
+            | InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::Event(_),
+                ..
+            }
+    )
+}
+
+/// The announcement-heavy workload: a large-catalogue clustered base
+/// instance plus a catalogue-churn trace (high `AddEvent` /
+/// event-capacity mix) — the historical sharding anti-pattern. The event
+/// catalogue dominates the state (|V| ≈ |U|), as on a platform whose
+/// event inventory churns faster than its user base.
+fn churn_setup() -> (Instance, Vec<InstanceDelta>) {
+    let dataset = generate_clustered_dataset(
+        &ClusteredConfig {
+            num_events: 2400,
+            num_users: 400,
+            num_communities: 8,
+            ..ClusteredConfig::default()
+        },
+        17,
+    );
+    let trace = generate_community_trace(
+        &dataset.instance,
+        &dataset.event_communities,
+        &CommunityTraceConfig::announcement_heavy(800, 4),
+        29,
+    );
+    (
+        dataset.instance,
+        trace.deltas.into_iter().map(|t| t.delta).collect(),
+    )
+}
+
+/// The catalogue-backed engine under test in the churn scenarios:
+/// identical repair knobs to the replicated baseline, with periodic
+/// reconciliation disabled on **both** sides — reconciliation is
+/// orthogonal to event-state propagation (its code is unchanged by the
+/// catalogue) and would otherwise land its periodic cost on arbitrary
+/// deltas of whichever side triggers it.
+fn churn_engine(base: Instance, shards: usize) -> igepa_engine::ShardedEngine {
+    igepa_engine::ShardedEngine::new(
+        base,
+        Box::new(igepa_core::TimeOverlapConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        Box::new(igepa_core::HashPartitioner),
+        igepa_engine::ShardedConfig {
+            num_shards: shards,
+            shard: EngineConfig {
+                seed: 5,
+                // Staleness checks are symmetric machinery (identical code
+                // both sides); which delta their cold solve lands on is
+                // chance that swamps the propagation signal at this sample
+                // count, so the comparison disables them on both sides.
+                staleness_check_interval: 0,
+                ..EngineConfig::default()
+            },
+            reconcile_interval: 0,
+            reconcile_rounds: 3,
+        },
+    )
+}
+
+/// The pre-catalogue architecture, reconstructed for an apples-to-apples
+/// baseline: a full-capacity mirror instance plus `k` engines, each
+/// owning a **private full event view** (its own conflict matrix and
+/// interest table) over its slice of the users — so every event broadcast
+/// is applied k+1 times, exactly as the sharded engine worked before the
+/// shared catalogue. User deltas route to one engine; only broadcasts are
+/// timed.
+struct ReplicatedBaseline {
+    mirror: Instance,
+    engines: Vec<Engine>,
+    /// Global user id → (engine, engine-local user id).
+    owners: Vec<(usize, UserId)>,
+}
+
+/// Largest-remainder split of `capacity` proportional to `weights` (even
+/// when all weights are zero) — the same quota arithmetic the sharded
+/// coordinator uses, reproduced here so the baseline's engines see the
+/// per-shard quotas the real pre-catalogue shards saw, not k× the true
+/// capacity.
+fn quota_split(capacity: usize, weights: &[usize]) -> Vec<usize> {
+    let n = weights.len().max(1);
+    let total: usize = weights.iter().sum();
+    if total == 0 {
+        let base = capacity / n;
+        let rem = capacity % n;
+        return (0..n).map(|k| base + usize::from(k < rem)).collect();
+    }
+    let mut parts: Vec<usize> = weights.iter().map(|&w| capacity * w / total).collect();
+    let mut remainder = capacity - parts.iter().sum::<usize>();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&k| (std::cmp::Reverse(capacity * weights[k] % total), k));
+    for &k in &order {
+        if remainder == 0 {
+            break;
+        }
+        parts[k] += 1;
+        remainder -= 1;
+    }
+    parts
+}
+
+impl ReplicatedBaseline {
+    fn new(base: &Instance, shards: usize) -> Self {
+        let mut locals: Vec<Vec<UserId>> = vec![Vec::new(); shards];
+        let mut owners = Vec::with_capacity(base.num_users());
+        for u in 0..base.num_users() {
+            let k = u % shards;
+            owners.push((k, UserId::new(locals[k].len())));
+            locals[k].push(UserId::new(u));
+        }
+        // Initial quotas proportional to each shard's bidder count, as
+        // the pre-catalogue coordinator dealt them.
+        let quotas: Vec<Vec<usize>> = base
+            .events()
+            .iter()
+            .map(|event| {
+                let mut bidders = vec![0usize; shards];
+                for &u in &event.bidders {
+                    bidders[u.index() % shards] += 1;
+                }
+                quota_split(event.capacity, &bidders)
+            })
+            .collect();
+        let engines = (0..shards)
+            .map(|k| {
+                let mut b = Instance::builder();
+                for event in base.events() {
+                    b.add_event(quotas[event.id.index()][k], event.attrs.clone());
+                }
+                for &g in &locals[k] {
+                    let user = base.user(g);
+                    b.add_user(user.capacity, user.attrs.clone(), user.bids.clone());
+                }
+                b.interaction_scores(locals[k].iter().map(|&g| base.interaction(g)).collect());
+                let sub = b
+                    .build(&igepa_core::TimeOverlapConflict, &ConstantInterest(0.5))
+                    .expect("baseline sub-instance is valid");
+                Engine::new(
+                    sub,
+                    Box::new(igepa_core::TimeOverlapConflict),
+                    Box::new(ConstantInterest(0.5)),
+                    Box::new(GreedyArrangement),
+                    EngineConfig {
+                        seed: 5 + k as u64,
+                        staleness_check_interval: 0,
+                        ..EngineConfig::default()
+                    },
+                )
+            })
+            .collect();
+        ReplicatedBaseline {
+            mirror: base.clone(),
+            engines,
+            owners,
+        }
+    }
+
+    /// Applies one broadcast delta to the mirror and every engine — with
+    /// the same per-shard quota splits the pre-catalogue coordinator
+    /// computed (even deal for announcements, load-preserving re-split
+    /// for capacity edits) — returning the wall time of the k+1
+    /// applications. User deltas route to their owner untimed.
+    fn apply(&mut self, delta: &InstanceDelta) -> Option<f64> {
+        if is_broadcast(delta) {
+            let shards = self.engines.len();
+            let start = Instant::now();
+            self.mirror
+                .apply_delta(
+                    delta,
+                    &igepa_core::TimeOverlapConflict,
+                    &ConstantInterest(0.5),
+                )
+                .expect("trace deltas are valid");
+            match delta {
+                InstanceDelta::AddEvent { capacity, attrs } => {
+                    let split = quota_split(*capacity, &vec![0usize; shards]);
+                    for (k, engine) in self.engines.iter_mut().enumerate() {
+                        engine
+                            .apply(&InstanceDelta::AddEvent {
+                                capacity: split[k],
+                                attrs: attrs.clone(),
+                            })
+                            .expect("broadcasts are valid everywhere");
+                    }
+                }
+                InstanceDelta::UpdateCapacity {
+                    target: CapacityTarget::Event(event),
+                    capacity,
+                } => {
+                    // Load-preserving re-split, as the old coordinator's
+                    // resplit_event: keep each shard's current seating
+                    // where the total allows, deal slack by bidders,
+                    // shrink proportional to loads otherwise.
+                    let loads: Vec<usize> = self
+                        .engines
+                        .iter()
+                        .map(|e| e.arrangement().load_of(*event))
+                        .collect();
+                    let total_load: usize = loads.iter().sum();
+                    let quotas = if *capacity >= total_load {
+                        let bidders: Vec<usize> = self
+                            .engines
+                            .iter()
+                            .map(|e| e.instance().event(*event).num_bidders())
+                            .collect();
+                        let slack = quota_split(*capacity - total_load, &bidders);
+                        loads.iter().zip(slack).map(|(&l, s)| l + s).collect()
+                    } else {
+                        quota_split(*capacity, &loads)
+                    };
+                    for (k, engine) in self.engines.iter_mut().enumerate() {
+                        engine
+                            .apply(&InstanceDelta::UpdateCapacity {
+                                target: CapacityTarget::Event(*event),
+                                capacity: quotas[k],
+                            })
+                            .expect("broadcasts are valid everywhere");
+                    }
+                }
+                _ => unreachable!("is_broadcast covers exactly these kinds"),
+            }
+            return Some(start.elapsed().as_nanos() as f64 / 1_000.0);
+        }
+        self.mirror
+            .apply_delta(
+                delta,
+                &igepa_core::TimeOverlapConflict,
+                &ConstantInterest(0.5),
+            )
+            .expect("trace deltas are valid");
+        let (k, local) = match delta {
+            InstanceDelta::AddUser { .. } => {
+                let global = self.mirror.num_users() - 1;
+                let k = global % self.engines.len();
+                let local = UserId::new(self.engines[k].instance().num_users());
+                self.owners.push((k, local));
+                (k, local)
+            }
+            InstanceDelta::RemoveUser { user }
+            | InstanceDelta::UpdateBids { user, .. }
+            | InstanceDelta::UpdateInteractionScore { user, .. }
+            | InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::User(user),
+                ..
+            } => self.owners[user.index()],
+            _ => unreachable!("broadcasts handled above"),
+        };
+        let rewritten = match delta {
+            InstanceDelta::AddUser { .. } => delta.clone(),
+            InstanceDelta::RemoveUser { .. } => InstanceDelta::RemoveUser { user: local },
+            InstanceDelta::UpdateBids { bids, .. } => InstanceDelta::UpdateBids {
+                user: local,
+                bids: bids.clone(),
+            },
+            InstanceDelta::UpdateInteractionScore { score, .. } => {
+                InstanceDelta::UpdateInteractionScore {
+                    user: local,
+                    score: *score,
+                }
+            }
+            InstanceDelta::UpdateCapacity { capacity, .. } => InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::User(local),
+                capacity: *capacity,
+            },
+            _ => unreachable!(),
+        };
+        self.engines[k]
+            .apply(&rewritten)
+            .expect("user deltas are valid on the owner");
+        None
+    }
+}
+
+/// Event-churn scenarios: catalogue-backed sharded engine vs the
+/// replicated pre-catalogue baseline, per-broadcast latency at 1/2/4
+/// shards, plus the end-to-end all-delta latency of the catalogue path.
+fn churn_scenarios(report: &mut BenchReport) {
+    let (base, deltas) = churn_setup();
+    // The first few announcements trigger the one-time doubling of the
+    // conflict/interest tables (and, catalogue-side, the first CoW buffer
+    // split) — one-off costs that would swamp a 288-sample mean. Both
+    // sides absorb a warm-in prefix untimed and are measured at steady
+    // state.
+    const WARM_IN: usize = 64;
+    // One untimed warm-up replay per side, so neither pays the process's
+    // cold caches and page faults.
+    {
+        let mut engine = churn_engine(base.clone(), 2);
+        for delta in &deltas {
+            engine.apply(delta).expect("trace deltas are valid");
+        }
+        black_box(engine.utility());
+        let mut baseline = ReplicatedBaseline::new(&base, 2);
+        for delta in &deltas {
+            baseline.apply(delta);
+        }
+    }
+    for &shards in &[1usize, 2, 4] {
+        let mut engine = churn_engine(base.clone(), shards);
+        let mut announce_us = Vec::new();
+        let mut capacity_us = Vec::new();
+        let mut all_us = Vec::new();
+        for (i, delta) in deltas.iter().enumerate() {
+            let start = Instant::now();
+            engine.apply(delta).expect("trace deltas are valid");
+            let us = start.elapsed().as_nanos() as f64 / 1_000.0;
+            if i < WARM_IN {
+                continue;
+            }
+            all_us.push(us);
+            match delta {
+                InstanceDelta::AddEvent { .. } => announce_us.push(us),
+                InstanceDelta::UpdateCapacity {
+                    target: CapacityTarget::Event(_),
+                    ..
+                } => capacity_us.push(us),
+                _ => {}
+            }
+        }
+        black_box(engine.utility());
+        report.record(
+            format!("event_churn/announce_catalog/{shards}"),
+            announce_us,
+        );
+        report.record(
+            format!("event_churn/capacity_catalog/{shards}"),
+            capacity_us,
+        );
+        report.record(format!("event_churn/all_catalog/{shards}"), all_us);
+    }
+    for &shards in &[1usize, 2, 4] {
+        let mut baseline = ReplicatedBaseline::new(&base, shards);
+        let mut announce_us = Vec::new();
+        let mut capacity_us = Vec::new();
+        for (i, delta) in deltas.iter().enumerate() {
+            if let Some(us) = baseline.apply(delta) {
+                if i < WARM_IN {
+                    continue;
+                }
+                match delta {
+                    InstanceDelta::AddEvent { .. } => announce_us.push(us),
+                    _ => capacity_us.push(us),
+                }
+            }
+        }
+        report.record(
+            format!("event_churn/announce_replicated/{shards}"),
+            announce_us,
+        );
+        report.record(
+            format!("event_churn/capacity_replicated/{shards}"),
+            capacity_us,
+        );
+    }
+    for &shards in &[1usize, 2, 4] {
+        let speedup = report
+            .mean_of(&format!("event_churn/announce_replicated/{shards}"))
+            .zip(report.mean_of(&format!("event_churn/announce_catalog/{shards}")))
+            .map(|(replicated, catalog)| replicated / catalog);
+        println!(
+            "event_churn: {shards}-shard announcement speedup (replicated/catalog): {:.2}x",
+            speedup.unwrap_or(f64::NAN)
+        );
+    }
+}
+
+/// Measures the cost-model unit constants with the engine's own online
+/// calibration: drive a churny trace through a calibrating engine and
+/// report the converged EWMA estimates. NOTE: for these two scenarios the
+/// recorded value is **ns per unit** (per candidate pair / per bid pair),
+/// not µs of latency — the name carries the unit.
+fn cost_model_scenarios(report: &mut BenchReport) {
+    let base = base_instance();
+    let trace = trace_for(&base, 512);
+    let mut engine = Engine::new(
+        base,
+        Box::new(NeverConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        EngineConfig {
+            seed: 5,
+            staleness_check_interval: 64,
+            batch_policy: BatchPolicy::cost_model(),
+            online_cost_calibration: true,
+            ..EngineConfig::default()
+        },
+    );
+    for chunk in trace.deltas.chunks(4) {
+        let deltas: Vec<_> = chunk.iter().map(|t| t.delta.clone()).collect();
+        engine.apply_batch(&deltas).expect("trace deltas are valid");
+    }
+    let (patch, solve) = engine.online_cost_estimates();
+    report.record(
+        "cost_model/patch_ns_per_candidate",
+        vec![patch.expect("the driven trace exercises the greedy patch")],
+    );
+    report.record(
+        "cost_model/solve_ns_per_bid",
+        vec![solve.expect("the driven trace exercises a cold solve")],
+    );
+}
+
+/// Serial vs pipelined client: the same query burst, once call-by-call
+/// (one RTT per request) and once sent ahead with correlation-id
+/// matching. Recorded per request.
+fn pipeline_scenarios(report: &mut BenchReport) {
+    const BURST: usize = 64;
+    const ROUNDS: usize = 8;
+    let dataset = generate_clustered_dataset(
+        &ClusteredConfig {
+            num_events: 40,
+            num_users: 600,
+            num_communities: 8,
+            ..ClusteredConfig::default()
+        },
+        17,
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = EngineServer::serve_sharded(
+        listener,
+        sharded_serving_engine(dataset.instance, 5, 4),
+        Framing::Lines,
+    )
+    .unwrap();
+    let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+
+    let mut serial_us = Vec::new();
+    for _ in 0..ROUNDS {
+        for _ in 0..BURST {
+            let start = Instant::now();
+            client.query(EngineQuery::Utility).unwrap();
+            serial_us.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+        }
+    }
+    report.record("service_dispatch/serial_query_rtt", serial_us);
+
+    // One sample per burst (its per-request mean): pipelining only has
+    // burst-granular timing, so fabricating per-request samples would
+    // make the percentiles meaningless next to the serial scenario's.
+    let mut pipelined_us = Vec::new();
+    for _ in 0..ROUNDS {
+        let burst: Vec<EngineRequest> = (0..BURST)
+            .map(|_| EngineRequest::Query {
+                query: EngineQuery::Utility,
+            })
+            .collect();
+        let start = Instant::now();
+        let results = client.pipeline(burst).unwrap();
+        let per_request = start.elapsed().as_nanos() as f64 / 1_000.0 / BURST as f64;
+        assert!(results.iter().all(|r| r.is_ok()));
+        pipelined_us.push(per_request);
+    }
+    report.record("service_dispatch/pipelined_query_rtt", pipelined_us);
+
+    drop(client);
+    handle.shutdown().unwrap();
+}
+
+/// Repair throughput under concurrent query load: one writer applies
+/// user-scoped deltas over TCP while a reader hammers either `Utility`
+/// (served from the connection-thread query cache — never touches the
+/// dispatch queue or the workers) or `MergedSnapshot` (still barriers
+/// the worker pool per read). The comparison isolates what the read
+/// *path* does to the repair path at a fixed concurrency budget: on any
+/// core count, cached reads must disturb the writer far less than
+/// barriering reads, and on multi-core hardware they leave apply RTT
+/// essentially at its idle level (remaining single-core slowdown is CPU
+/// time-sharing, not architecture).
+fn concurrent_reader_scenarios(report: &mut BenchReport) {
+    let dataset = generate_clustered_dataset(
+        &ClusteredConfig {
+            num_events: 40,
+            num_users: 600,
+            num_communities: 8,
+            ..ClusteredConfig::default()
+        },
+        17,
+    );
+    let base = dataset.instance.clone();
+    // A purely user-scoped trace (no announcements, no event-capacity
+    // edits): every delta takes the worker fast path, so the writer's
+    // RTT isolates exactly what reader load does to the repair path.
+    let mut config = CommunityTraceConfig::partition_friendly(600, 4);
+    config.base.weight_add_event = 0.0;
+    config.base.weight_update_capacity = 0.0;
+    let trace = generate_community_trace(&base, &dataset.event_communities, &config, 31);
+    let user_deltas: Vec<InstanceDelta> = trace
+        .deltas
+        .into_iter()
+        .map(|t| t.delta)
+        .filter(|d| !is_broadcast(d))
+        .collect();
+    let cases: [(&str, usize, Option<EngineQuery>); 3] = [
+        ("idle", 0, None),
+        ("cached_reader", 1, Some(EngineQuery::Utility)),
+        ("barrier_reader", 1, Some(EngineQuery::MergedSnapshot)),
+    ];
+    for (label, readers, query) in cases {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = EngineServer::serve_sharded(
+            listener,
+            sharded_serving_engine(base.clone(), 5, 4),
+            Framing::Lines,
+        )
+        .unwrap();
+        let addr = handle.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                let query = query.expect("reader cases carry a query");
+                std::thread::spawn(move || {
+                    let mut client = EngineClient::connect(addr, Framing::Lines).unwrap();
+                    let mut queries = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        client.query(query).unwrap();
+                        queries += 1;
+                    }
+                    queries
+                })
+            })
+            .collect();
+
+        let mut writer = EngineClient::connect(addr, Framing::Lines).unwrap();
+        let mut rtts = Vec::with_capacity(user_deltas.len());
+        for delta in &user_deltas {
+            let start = Instant::now();
+            writer.apply(delta.clone()).unwrap();
+            rtts.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let read_queries: u64 = reader_handles.into_iter().map(|h| h.join().unwrap()).sum();
+        drop(writer);
+        handle.shutdown().unwrap();
+        println!(
+            "concurrent_readers/{label}: {readers} readers answered {read_queries} queries during the write run"
+        );
+        report.record(format!("concurrent_readers/writer_apply_rtt/{label}"), rtts);
+    }
+}
+
 criterion_group!(
     engine,
     warm_engine_replay,
@@ -264,4 +827,22 @@ criterion_group!(
     sharded_scaling,
     service_dispatch
 );
-criterion_main!(engine);
+
+fn main() {
+    // BENCH_JSON_ONLY=1 skips the interactive criterion groups and runs
+    // just the machine-readable scenarios (the CI artifact path).
+    if std::env::var("BENCH_JSON_ONLY").is_err() {
+        engine();
+    }
+    let mut report = BenchReport::new();
+    churn_scenarios(&mut report);
+    cost_model_scenarios(&mut report);
+    pipeline_scenarios(&mut report);
+    concurrent_reader_scenarios(&mut report);
+    // Written to the workspace root so the perf trajectory is tracked
+    // in one place across PRs (override with BENCH_JSON_PATH).
+    report.write(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine.json"
+    ));
+}

@@ -45,6 +45,80 @@ pub fn run_once(algorithm: &dyn ArrangementAlgorithm, instance: &Instance, seed:
     algorithm.run_seeded(instance, seed).utility(instance).total
 }
 
+/// Machine-readable benchmark reporting: scenario → latency summary,
+/// written as one JSON file (`BENCH_engine.json` for the engine bench) so
+/// the perf trajectory is tracked across PRs — CI uploads the file as an
+/// artifact next to the human-readable bench output.
+pub mod bench_json {
+    use igepa_engine::LatencySummary;
+    use serde::Serialize;
+
+    /// One recorded scenario.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Scenario {
+        /// Scenario name, `group/case/param` style.
+        pub name: String,
+        /// Per-unit latency distribution (µs): mean, p50, p95, p99, max.
+        pub latency: LatencySummary,
+        /// Number of latency samples behind the summary.
+        pub samples: usize,
+    }
+
+    /// Collects scenarios and writes them out at the end of a bench run.
+    #[derive(Debug, Default)]
+    pub struct BenchReport {
+        scenarios: Vec<Scenario>,
+    }
+
+    impl BenchReport {
+        /// An empty report.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Records one scenario from raw per-unit latencies (µs).
+        pub fn record(&mut self, name: impl Into<String>, latencies_us: Vec<f64>) {
+            self.scenarios.push(Scenario {
+                name: name.into(),
+                samples: latencies_us.len(),
+                latency: LatencySummary::from_latencies(latencies_us),
+            });
+        }
+
+        /// Mean latency (µs) of a recorded scenario, for cross-scenario
+        /// ratios inside the bench itself.
+        pub fn mean_of(&self, name: &str) -> Option<f64> {
+            self.scenarios
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.latency.mean_us)
+        }
+
+        /// Serializes the report as pretty JSON.
+        pub fn to_json(&self) -> String {
+            // The vendored serde derive does not support generics, so the
+            // document wrapper owns its scenarios.
+            #[derive(Serialize)]
+            struct Document {
+                scenarios: Vec<Scenario>,
+            }
+            serde_json::to_string_pretty(&Document {
+                scenarios: self.scenarios.clone(),
+            })
+            .expect("bench report serializes")
+        }
+
+        /// Writes the report to `path` (or the `BENCH_JSON_PATH` env
+        /// override) and prints where it went.
+        pub fn write(&self, default_path: &str) {
+            let path =
+                std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| default_path.to_string());
+            std::fs::write(&path, self.to_json()).expect("bench report writes");
+            println!("bench report: {} scenarios -> {path}", self.scenarios.len());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -238,8 +238,39 @@ impl ConflictMatrix {
     pub fn push_event(&mut self, existing: &[Event], new_event: &Event, sigma: &dyn ConflictFn) {
         let n = self.n;
         debug_assert_eq!(existing.len(), n, "existing events must match matrix size");
+        self.reserve_one();
+        for (i, old) in existing.iter().enumerate() {
+            if sigma.conflicts(old, new_event) {
+                self.bits[i * self.stride + n] = true;
+                self.bits[n * self.stride + i] = true;
+            }
+        }
+        self.n = n + 1;
+    }
+
+    /// Grows the matrix by one event from a *precomputed* partner list —
+    /// the ids of existing events the new event conflicts with — without
+    /// consulting a conflict function. This is how a catalogue replays an
+    /// already-evaluated conflict row into a lagging copy-on-write buffer:
+    /// σ is evaluated exactly once per announcement no matter how many
+    /// buffers or shards exist. Partners must be in range; amortised O(n)
+    /// like [`ConflictMatrix::push_event`].
+    pub fn push_row(&mut self, partners: &[EventId]) {
+        let n = self.n;
+        self.reserve_one();
+        for &p in partners {
+            assert!(p.index() < n, "conflict partner {p} out of range");
+            self.bits[p.index() * self.stride + n] = true;
+            self.bits[n * self.stride + p.index()] = true;
+        }
+        self.n = n + 1;
+    }
+
+    /// Ensures one more event fits, restriding into a doubled allocation
+    /// when the spare capacity is exhausted.
+    fn reserve_one(&mut self) {
+        let n = self.n;
         if n == self.stride {
-            // Out of spare capacity: restride into a doubled allocation.
             let new_stride = (self.stride * 2).max(4);
             let mut bits = vec![false; new_stride * new_stride];
             for i in 0..n {
@@ -249,13 +280,6 @@ impl ConflictMatrix {
             self.stride = new_stride;
             self.bits = bits;
         }
-        for (i, old) in existing.iter().enumerate() {
-            if sigma.conflicts(old, new_event) {
-                self.bits[i * self.stride + n] = true;
-                self.bits[n * self.stride + i] = true;
-            }
-        }
-        self.n = n + 1;
     }
 
     /// Checks that a set of events is pairwise conflict-free.
@@ -382,6 +406,29 @@ mod tests {
             assert_eq!(grown.num_events(), n + 1);
         }
         assert!(grown.num_conflicting_pairs() > 0);
+    }
+
+    #[test]
+    fn push_row_matches_push_event() {
+        let events: Vec<Event> = (0..12).map(|i| timed_event(i, i as i64 * 40, 60)).collect();
+        let mut by_sigma = ConflictMatrix::build(&events[..1], &TimeOverlapConflict);
+        let mut by_row = by_sigma.clone();
+        for n in 1..events.len() {
+            by_sigma.push_event(&events[..n], &events[n], &TimeOverlapConflict);
+            let partners: Vec<EventId> = (0..n)
+                .filter(|&i| TimeOverlapConflict.conflicts(&events[i], &events[n]))
+                .map(EventId::new)
+                .collect();
+            by_row.push_row(&partners);
+            assert_eq!(by_sigma, by_row, "divergence at {} events", n + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_row_rejects_out_of_range_partners() {
+        let mut m = ConflictMatrix::none(1);
+        m.push_row(&[EventId::new(5)]);
     }
 
     #[test]

@@ -313,9 +313,45 @@ impl Instance {
     ) -> Result<DeltaEffect, CoreError> {
         let id = EventId::new(self.events.len());
         let event = Event::new(id, capacity, attrs);
-        self.conflicts.push_event(&self.events, &event, sigma);
+        // Copy-on-write: a sole owner grows the matrix in place (the
+        // amortised-O(|V|) fast path); an instance sharing its matrix
+        // forks a private copy first. Field-level split borrows keep
+        // `self.events` readable while the matrix handle is mutated.
+        std::sync::Arc::make_mut(&mut self.conflicts).push_event(&self.events, &event, sigma);
         self.interest.push_event();
         self.events.push(event);
+        Ok(DeltaEffect {
+            dirty_users: Vec::new(),
+            dirty_events: vec![id],
+            created_user: None,
+            created_event: Some(id),
+        })
+    }
+
+    /// Announces one event by *adopting* a pre-grown, shared conflict
+    /// matrix instead of evaluating σ — the per-shard half of a
+    /// catalogue-published event broadcast. The provided matrix must
+    /// already cover the new event (the publisher evaluated σ exactly
+    /// once); this instance only appends the event record, grows the
+    /// interest table by a zero column and swaps its matrix handle, so
+    /// the per-instance cost is O(1) amortised and the O(|V|²) conflict
+    /// table stays physically shared across every adopter.
+    pub fn apply_add_event_shared(
+        &mut self,
+        capacity: usize,
+        attrs: AttributeVector,
+        conflicts: &std::sync::Arc<crate::conflict::ConflictMatrix>,
+    ) -> Result<DeltaEffect, CoreError> {
+        let id = EventId::new(self.events.len());
+        if conflicts.num_events() < self.events.len() + 1 {
+            return Err(CoreError::ConflictMatrixTooSmall {
+                events: self.events.len() + 1,
+                matrix: conflicts.num_events(),
+            });
+        }
+        self.conflicts = std::sync::Arc::clone(conflicts);
+        self.interest.push_event();
+        self.events.push(Event::new(id, capacity, attrs));
         Ok(DeltaEffect {
             dirty_users: Vec::new(),
             dirty_events: vec![id],
@@ -654,6 +690,74 @@ mod tests {
         assert_eq!(dirty.len(), 3);
         dirty.clear();
         assert!(dirty.is_empty());
+    }
+
+    #[test]
+    fn shared_add_event_adopts_the_published_matrix() {
+        use std::sync::Arc;
+        let mut inst = base_instance();
+        // Publisher-side: grow a copy of the matrix by one event row.
+        let mut published = (*inst.conflicts_handle().clone()).clone();
+        published.push_row(&[EventId::new(0)]);
+        let published = Arc::new(published);
+        let effect = inst
+            .apply_add_event_shared(3, AttributeVector::empty(), &published)
+            .unwrap();
+        let id = effect.created_event.unwrap();
+        assert_eq!(id, EventId::new(2));
+        assert_eq!(inst.num_events(), 3);
+        assert_eq!(inst.event(id).capacity, 3);
+        assert!(inst.conflicts().conflicts(EventId::new(0), id));
+        assert!(
+            Arc::ptr_eq(inst.conflicts_handle(), &published),
+            "the instance must share the published table, not copy it"
+        );
+        // A matrix that does not cover the new event is rejected.
+        let stale = Arc::new(crate::conflict::ConflictMatrix::none(1));
+        let err = inst
+            .apply_add_event_shared(1, AttributeVector::empty(), &stale)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ConflictMatrixTooSmall { .. }));
+        assert_eq!(inst.num_events(), 3, "rejection leaves the instance intact");
+    }
+
+    #[test]
+    fn cow_add_event_forks_only_when_shared() {
+        use std::sync::Arc;
+        let mut inst = base_instance();
+        // Sole owner: growth happens in place (same allocation is fine
+        // either way; what matters is the shared case below).
+        inst.apply_delta(
+            &InstanceDelta::AddEvent {
+                capacity: 1,
+                attrs: AttributeVector::empty(),
+            },
+            &NeverConflict,
+            &ConstantInterest(0.5),
+        )
+        .unwrap();
+        // Shared: a clone holds the handle; mutating must fork, leaving
+        // the clone's view untouched.
+        let snapshot = inst.clone();
+        assert!(Arc::ptr_eq(
+            inst.conflicts_handle(),
+            snapshot.conflicts_handle()
+        ));
+        inst.apply_delta(
+            &InstanceDelta::AddEvent {
+                capacity: 1,
+                attrs: AttributeVector::empty(),
+            },
+            &NeverConflict,
+            &ConstantInterest(0.5),
+        )
+        .unwrap();
+        assert!(!Arc::ptr_eq(
+            inst.conflicts_handle(),
+            snapshot.conflicts_handle()
+        ));
+        assert_eq!(snapshot.conflicts().num_events(), 3);
+        assert_eq!(inst.conflicts().num_events(), 4);
     }
 
     #[test]

@@ -69,6 +69,14 @@ pub enum CoreError {
         /// The configured limit.
         limit: usize,
     },
+    /// A shared conflict matrix does not cover every event of the
+    /// instance adopting it.
+    ConflictMatrixTooSmall {
+        /// Events the adopting instance holds (or would hold).
+        events: usize,
+        /// Events covered by the provided matrix.
+        matrix: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -109,6 +117,10 @@ impl fmt::Display for CoreError {
             CoreError::AdmissibleSetExplosion { user, limit } => write!(
                 f,
                 "admissible event sets of user {user} exceed the enumeration limit of {limit}"
+            ),
+            CoreError::ConflictMatrixTooSmall { events, matrix } => write!(
+                f,
+                "shared conflict matrix covers {matrix} events but the instance needs {events}"
             ),
         }
     }

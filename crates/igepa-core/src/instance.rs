@@ -23,16 +23,27 @@ use crate::event::Event;
 use crate::ids::{EventId, UserId};
 use crate::interest::{InterestFn, TableInterest};
 use crate::user::User;
+use std::sync::Arc;
 
 /// A fully validated IGEPA problem instance.
 ///
 /// Fields are crate-visible so that [`crate::delta`] can patch them
 /// incrementally while preserving the builder's invariants.
+///
+/// The conflict matrix is held behind an [`Arc`] so that several instances
+/// — e.g. the per-shard sub-instances of a sharded serving engine — can
+/// share one physical O(|V|²) table instead of each owning a copy.
+/// Mutation goes through [`Arc::make_mut`], i.e. copy-on-write: a sole
+/// owner patches in place (the monolithic engine pays nothing for the
+/// indirection), while a sharing instance transparently forks its own
+/// copy. Structural sharing across a fleet of instances is coordinated by
+/// a catalogue publishing pre-grown matrices which instances adopt via
+/// [`Instance::apply_add_event_shared`].
 #[derive(Debug, Clone)]
 pub struct Instance {
     pub(crate) events: Vec<Event>,
     pub(crate) users: Vec<User>,
-    pub(crate) conflicts: ConflictMatrix,
+    pub(crate) conflicts: Arc<ConflictMatrix>,
     pub(crate) interest: TableInterest,
     pub(crate) interaction: Vec<f64>,
     beta: f64,
@@ -81,6 +92,13 @@ impl Instance {
 
     /// The precomputed conflict matrix σ.
     pub fn conflicts(&self) -> &ConflictMatrix {
+        &self.conflicts
+    }
+
+    /// The shared handle to the conflict matrix. Two instances returning
+    /// [`Arc::ptr_eq`] handles share one physical table; cloning the
+    /// handle is O(1).
+    pub fn conflicts_handle(&self) -> &Arc<ConflictMatrix> {
         &self.conflicts
     }
 
@@ -196,6 +214,37 @@ impl InstanceBuilder {
         sigma: &dyn ConflictFn,
         interest: &dyn InterestFn,
     ) -> Result<Instance, CoreError> {
+        self.build_with(interest, |events| {
+            Arc::new(ConflictMatrix::build(events, sigma))
+        })
+    }
+
+    /// Finalises the instance adopting an already-built, shared conflict
+    /// matrix instead of evaluating a conflict function over every pair.
+    ///
+    /// This is how a sharded serving engine builds its per-shard
+    /// sub-instances: every shard adopts the coordinator's matrix handle,
+    /// so the O(|V|²) table exists once no matter how many shards share
+    /// it. The matrix must cover at least the builder's events.
+    pub fn build_shared(
+        self,
+        conflicts: Arc<ConflictMatrix>,
+        interest: &dyn InterestFn,
+    ) -> Result<Instance, CoreError> {
+        if conflicts.num_events() < self.events.len() {
+            return Err(CoreError::ConflictMatrixTooSmall {
+                events: self.events.len(),
+                matrix: conflicts.num_events(),
+            });
+        }
+        self.build_with(interest, |_| conflicts)
+    }
+
+    fn build_with(
+        self,
+        interest: &dyn InterestFn,
+        make_conflicts: impl FnOnce(&[Event]) -> Arc<ConflictMatrix>,
+    ) -> Result<Instance, CoreError> {
         let InstanceBuilder {
             mut events,
             users,
@@ -283,7 +332,7 @@ impl InstanceBuilder {
             }
         }
 
-        let conflicts = ConflictMatrix::build(&events, sigma);
+        let conflicts = make_conflicts(&events);
 
         Ok(Instance {
             events,

@@ -44,6 +44,11 @@ pub struct TraceConfig {
     pub max_user_capacity: usize,
     /// Capacity of new events and event-capacity updates, `1..=max_event_capacity`.
     pub max_event_capacity: usize,
+    /// Give announced events Meetup-like time windows (a deterministic
+    /// rolling slot per announcement) instead of empty attribute vectors,
+    /// so time-based conflict functions do real work on announcement
+    /// streams. Off by default, matching historical traces.
+    pub timed_announcements: bool,
 }
 
 impl Default for TraceConfig {
@@ -63,6 +68,7 @@ impl Default for TraceConfig {
             max_bids: 5,
             max_user_capacity: 3,
             max_event_capacity: 20,
+            timed_announcements: false,
         }
     }
 }
@@ -84,6 +90,18 @@ impl TraceConfig {
             + self.weight_update_capacity
             + self.weight_update_bids
             + self.weight_update_interaction
+    }
+}
+
+/// Attribute vector of an announced event: a deterministic rolling time
+/// slot when [`TraceConfig::timed_announcements`] is on (90-minute
+/// windows every 30 abstract minutes, so neighbouring announcements
+/// overlap and conflict under time-based σ), empty otherwise.
+fn announcement_attrs(config: &TraceConfig, event_index: usize) -> AttributeVector {
+    if config.timed_announcements {
+        AttributeVector::from_time(event_index as i64 * 30, 90)
+    } else {
+        AttributeVector::empty()
     }
 }
 
@@ -195,10 +213,11 @@ pub fn generate_trace_with_rng<R: Rng + ?Sized>(
             }
             acc += config.weight_add_event;
             if pick < acc {
+                let attrs = announcement_attrs(config, num_events);
                 num_events += 1;
                 break InstanceDelta::AddEvent {
                     capacity: rng.gen_range(1..=config.max_event_capacity.max(1)),
-                    attrs: AttributeVector::empty(),
+                    attrs,
                 };
             }
             acc += config.weight_update_capacity;
@@ -298,6 +317,32 @@ impl CommunityTraceConfig {
             },
             num_communities,
             locality: 0.95,
+            skew: 1.0,
+        }
+    }
+
+    /// An announcement-heavy mix: the event catalogue churns — new events
+    /// and event-capacity edits dominate the stream, with just enough
+    /// user churn that announcements have bidders to seat. This is the
+    /// historical sharding anti-pattern: every event-scoped delta
+    /// broadcasts to all shards, so pre-catalogue engines paid k+1 full
+    /// applications per announcement. Use it to measure how well shared
+    /// event state absorbs catalogue churn.
+    pub fn announcement_heavy(num_deltas: usize, num_communities: usize) -> Self {
+        CommunityTraceConfig {
+            base: TraceConfig {
+                num_deltas,
+                weight_add_user: 0.20,
+                weight_remove_user: 0.02,
+                weight_add_event: 0.35,
+                weight_update_capacity: 0.25,
+                weight_update_bids: 0.13,
+                weight_update_interaction: 0.05,
+                timed_announcements: true,
+                ..TraceConfig::default()
+            },
+            num_communities,
+            locality: 0.9,
             skew: 1.0,
         }
     }
@@ -435,10 +480,11 @@ pub fn generate_community_trace(
             if pick < acc {
                 // New events are dealt to communities round-robin by id.
                 events_of_community[num_events % num_communities].push(num_events);
+                let attrs = announcement_attrs(base, num_events);
                 num_events += 1;
                 break InstanceDelta::AddEvent {
                     capacity: rng.gen_range(1..=base.max_event_capacity.max(1)),
-                    attrs: AttributeVector::empty(),
+                    attrs,
                 };
             }
             acc += base.weight_update_capacity;

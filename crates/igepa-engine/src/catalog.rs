@@ -1,0 +1,370 @@
+//! The shared event catalogue: one copy of the event-side state, published
+//! as epoch-versioned copy-on-write snapshots.
+//!
+//! ## Why
+//!
+//! User-side state partitions cleanly across shards, but event-side state
+//! — the event list, the O(|V|²) [`ConflictMatrix`], true capacities —
+//! must be visible to *every* shard. Before the catalogue each of the k
+//! shards plus the coordinator mirror kept a private full copy: an
+//! `AddEvent` broadcast evaluated σ k+1 times and resident conflict
+//! memory was O((k+1)·|V|²). The catalogue inverts that: the event-side
+//! view lives **once**, behind [`Arc`]-shared [`CatalogSnapshot`]s, and an
+//! announcement is one coordinator-side publish (σ evaluated exactly once)
+//! plus an epoch bump every shard picks up by swapping a pointer.
+//!
+//! ## How publishing stays cheap
+//!
+//! Snapshots are immutable, so the matrix inside the current snapshot can
+//! never be grown in place while readers hold it. A naive copy-on-write
+//! would deep-copy the O(|V|²) table on every publish. The catalogue
+//! instead **double-buffers**: the matrix of the *previous* snapshot is
+//! retained as a spare write buffer, and a small log of already-evaluated
+//! conflict rows ([`ConflictMatrix::push_row`]) replays the publishes the
+//! spare missed. Once every reader has adopted the newer epoch — shards
+//! adopt synchronously during the broadcast — the spare is uniquely owned
+//! and [`Arc::make_mut`] mutates it in place, so steady-state publishing
+//! costs one σ scan plus amortised O(|V|) bookkeeping. A straggler still
+//! holding an old snapshot merely forces one transient deep copy (counted
+//! in [`EventCatalog::cow_copies`]), never incorrect data.
+//!
+//! Interest columns are *not* in the catalogue: the interest table
+//! partitions by user exactly like bids and arrangements do, so each
+//! shard's columns cover only its own users and nothing is duplicated.
+//!
+//! The memory invariant the catalogue buys: resident conflict-matrix
+//! memory is O(|V|²) — two buffers, independent of the shard count —
+//! instead of O((k+1)·|V|²), and all adopters of one epoch return
+//! [`Arc::ptr_eq`] conflict handles (asserted by the proptests).
+
+use igepa_core::{AttributeVector, ConflictFn, ConflictMatrix, Event, EventId, Instance};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One immutable, epoch-tagged view of the event catalogue: the event
+/// list with **true** (un-quota'd) capacities and the shared conflict
+/// matrix. Cheap to clone (two `Arc` bumps); shards compose their user
+/// state with a snapshot instead of owning event-side copies.
+#[derive(Debug, Clone)]
+pub struct CatalogSnapshot {
+    epoch: u64,
+    /// Catalogue events (empty bidder lists: bidders are user-state).
+    /// Append-only; an event record's `capacity` field is its capacity
+    /// *at announce time* — [`CatalogSnapshot::true_capacity`] is the
+    /// authoritative current value.
+    events: Arc<Vec<Arc<Event>>>,
+    /// Current true capacities, one per event (flat, so a capacity edit
+    /// publishes with one memcpy instead of touching the event records).
+    capacities: Arc<Vec<usize>>,
+    conflicts: Arc<ConflictMatrix>,
+}
+
+impl CatalogSnapshot {
+    /// The epoch this snapshot was published at (0 = construction).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of events in the catalogue at this epoch.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The catalogue events, in id order.
+    pub fn events(&self) -> &[Arc<Event>] {
+        &self.events
+    }
+
+    /// One catalogue event (true capacity, empty bidder list).
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// True capacity `c_v` of an event at this epoch.
+    pub fn true_capacity(&self, event: EventId) -> usize {
+        self.capacities[event.index()]
+    }
+
+    /// Current true capacities, one per event in id order.
+    pub fn capacities(&self) -> &[usize] {
+        &self.capacities
+    }
+
+    /// The shared conflict matrix at this epoch.
+    pub fn conflicts(&self) -> &ConflictMatrix {
+        &self.conflicts
+    }
+
+    /// The shared matrix handle, for adoption via
+    /// [`Instance::apply_add_event_shared`].
+    pub fn conflicts_handle(&self) -> &Arc<ConflictMatrix> {
+        &self.conflicts
+    }
+
+    /// The newest event — the one added by the publish that produced this
+    /// snapshot. `None` only for an empty catalogue.
+    pub fn newest(&self) -> Option<&Event> {
+        self.events.last().map(Arc::as_ref)
+    }
+}
+
+/// The coordinator-side writer of the shared event catalogue. See the
+/// module docs for the publish protocol.
+#[derive(Debug)]
+pub struct EventCatalog {
+    current: Arc<CatalogSnapshot>,
+    /// The previous epoch's matrix, reused as the write buffer of the
+    /// next publish (uniquely owned once every reader adopted `current`).
+    spare: Arc<ConflictMatrix>,
+    /// The previous epoch's event list, double-buffered the same way;
+    /// a lagging buffer catches up by cloning the missing tail records
+    /// (cheap `Arc` bumps) straight out of `current`.
+    spare_events: Arc<Vec<Arc<Event>>>,
+    /// Conflict rows the spare has not absorbed yet:
+    /// `(absolute event index, conflicting partners among earlier events)`.
+    pending_rows: VecDeque<(usize, Vec<EventId>)>,
+    /// Publishes that had to deep-copy the matrix because a stale
+    /// snapshot was still held (the transient CoW cost).
+    cow_copies: u64,
+}
+
+impl EventCatalog {
+    /// Builds a catalogue over an instance's current events, sharing the
+    /// instance's conflict-matrix allocation (no copy).
+    pub fn from_instance(instance: &Instance) -> Self {
+        let events: Arc<Vec<Arc<Event>>> = Arc::new(
+            instance
+                .events()
+                .iter()
+                .map(|e| Arc::new(Event::new(e.id, e.capacity, e.attrs.clone())))
+                .collect(),
+        );
+        let capacities: Vec<usize> = instance.events().iter().map(|e| e.capacity).collect();
+        let conflicts = Arc::clone(instance.conflicts_handle());
+        EventCatalog {
+            current: Arc::new(CatalogSnapshot {
+                epoch: 0,
+                events: Arc::clone(&events),
+                capacities: Arc::new(capacities),
+                conflicts: Arc::clone(&conflicts),
+            }),
+            spare: conflicts,
+            spare_events: events,
+            pending_rows: VecDeque::new(),
+            cow_copies: 0,
+        }
+    }
+
+    /// The current snapshot (cheap: one `Arc` bump).
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        Arc::clone(&self.current)
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current.epoch
+    }
+
+    /// Number of events in the catalogue.
+    pub fn num_events(&self) -> usize {
+        self.current.num_events()
+    }
+
+    /// True capacity of an event.
+    pub fn true_capacity(&self, event: EventId) -> usize {
+        self.current.true_capacity(event)
+    }
+
+    /// Publishes that forced a transient O(|V|²) matrix copy because a
+    /// stale snapshot was still alive. Steady-state publishing (readers
+    /// adopt each epoch before the next publish) keeps this at its
+    /// post-first-publish value: the very first publish always splits the
+    /// construction-time sharing with the founding instance.
+    pub fn cow_copies(&self) -> u64 {
+        self.cow_copies
+    }
+
+    /// Announces one event: evaluates σ against the catalogue exactly
+    /// once, grows the double-buffered matrix, appends the event record
+    /// and publishes the next epoch. Returns the new snapshot; its
+    /// [`CatalogSnapshot::newest`] is the announced event.
+    pub fn publish_event(
+        &mut self,
+        capacity: usize,
+        attrs: AttributeVector,
+        sigma: &dyn ConflictFn,
+    ) -> Arc<CatalogSnapshot> {
+        let n = self.current.num_events();
+        let new_event = Event::new(EventId::new(n), capacity, attrs);
+        // The one and only σ evaluation for this announcement.
+        let partners: Vec<EventId> = self
+            .current
+            .events
+            .iter()
+            .filter(|e| sigma.conflicts(e, &new_event))
+            .map(|e| e.id)
+            .collect();
+        self.pending_rows.push_back((n, partners));
+
+        // Rotate the matrix buffers: the spare becomes the next current
+        // matrix (after catching up), the outgoing current matrix becomes
+        // the new spare — it lags by exactly the rows in `pending_rows`.
+        let mut next = std::mem::replace(&mut self.spare, Arc::clone(&self.current.conflicts));
+        if Arc::get_mut(&mut next).is_none() {
+            self.cow_copies += 1;
+        }
+        let matrix = Arc::make_mut(&mut next);
+        for (index, partners) in &self.pending_rows {
+            if *index >= matrix.num_events() {
+                debug_assert_eq!(*index, matrix.num_events(), "pending rows replay in order");
+                matrix.push_row(partners);
+            }
+        }
+        self.pending_rows.retain(|(index, _)| *index >= n);
+
+        // Rotate the event-list buffers the same way; a lagging buffer
+        // catches up by cloning the missing tail out of `current` (the
+        // list is append-only), so steady-state publishing appends O(1)
+        // records instead of re-cloning O(|V|) handles.
+        let mut next_events =
+            std::mem::replace(&mut self.spare_events, Arc::clone(&self.current.events));
+        {
+            let list = Arc::make_mut(&mut next_events);
+            list.extend(self.current.events[list.len()..].iter().cloned());
+            list.push(Arc::new(new_event));
+        }
+
+        let mut capacities: Vec<usize> = self.current.capacities.as_ref().clone();
+        capacities.push(capacity);
+        self.current = Arc::new(CatalogSnapshot {
+            epoch: self.current.epoch + 1,
+            events: next_events,
+            capacities: Arc::new(capacities),
+            conflicts: next,
+        });
+        self.snapshot()
+    }
+
+    /// Updates the true capacity of an event and publishes the next
+    /// epoch. The conflict matrix and the event records are untouched
+    /// (same shared handles); only the flat capacity vector republishes,
+    /// one memcpy.
+    pub fn set_capacity(&mut self, event: EventId, capacity: usize) -> Arc<CatalogSnapshot> {
+        let mut capacities: Vec<usize> = self.current.capacities.as_ref().clone();
+        capacities[event.index()] = capacity;
+        self.current = Arc::new(CatalogSnapshot {
+            epoch: self.current.epoch + 1,
+            events: Arc::clone(&self.current.events),
+            capacities: Arc::new(capacities),
+            conflicts: Arc::clone(&self.current.conflicts),
+        });
+        self.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igepa_core::{ConstantInterest, TimeOverlapConflict};
+
+    fn timed_instance(num_events: usize) -> Instance {
+        let mut b = Instance::builder();
+        for i in 0..num_events {
+            b.add_event(2, AttributeVector::from_time(i as i64 * 40, 60));
+        }
+        b.build(&TimeOverlapConflict, &ConstantInterest(0.5))
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_shares_the_instance_matrix() {
+        let instance = timed_instance(4);
+        let catalog = EventCatalog::from_instance(&instance);
+        assert_eq!(catalog.epoch(), 0);
+        assert_eq!(catalog.num_events(), 4);
+        assert!(Arc::ptr_eq(
+            catalog.snapshot().conflicts_handle(),
+            instance.conflicts_handle()
+        ));
+        assert_eq!(catalog.true_capacity(EventId::new(1)), 2);
+    }
+
+    #[test]
+    fn publishes_match_a_from_scratch_build() {
+        let instance = timed_instance(3);
+        let mut catalog = EventCatalog::from_instance(&instance);
+        let mut events: Vec<Event> = instance.events().to_vec();
+        for i in 3..12 {
+            let attrs = AttributeVector::from_time(i as i64 * 25, 60);
+            let snapshot = catalog.publish_event(1 + i, attrs.clone(), &TimeOverlapConflict);
+            events.push(Event::new(EventId::new(i), 1 + i, attrs));
+            let rebuilt = ConflictMatrix::build(&events, &TimeOverlapConflict);
+            assert_eq!(*snapshot.conflicts(), rebuilt, "divergence at {i} events");
+            assert_eq!(snapshot.num_events(), i + 1);
+            assert_eq!(snapshot.epoch(), (i - 2) as u64);
+            assert_eq!(snapshot.newest().unwrap().id, EventId::new(i));
+            assert_eq!(snapshot.newest().unwrap().capacity, 1 + i);
+        }
+    }
+
+    #[test]
+    fn steady_state_publishing_avoids_matrix_copies() {
+        let instance = timed_instance(2);
+        let mut catalog = EventCatalog::from_instance(&instance);
+        drop(instance);
+        // Epoch 0 shares one matrix between the snapshot and the spare:
+        // the first publish must split that sharing (one copy)...
+        catalog.publish_event(1, AttributeVector::empty(), &TimeOverlapConflict);
+        let after_first = catalog.cow_copies();
+        assert_eq!(after_first, 1);
+        // ...but once no stale snapshot is held, publishing alternates
+        // between the two buffers with zero further copies.
+        for _ in 0..10 {
+            catalog.publish_event(1, AttributeVector::empty(), &TimeOverlapConflict);
+        }
+        assert_eq!(catalog.cow_copies(), after_first);
+    }
+
+    #[test]
+    fn stale_snapshot_forces_one_transient_copy() {
+        let instance = timed_instance(2);
+        let mut catalog = EventCatalog::from_instance(&instance);
+        drop(instance);
+        catalog.publish_event(1, AttributeVector::empty(), &TimeOverlapConflict);
+        let baseline = catalog.cow_copies();
+        // A straggler keeps epoch 1 alive across two publishes: the
+        // publish that wants epoch 1's matrix as its write buffer copies.
+        let straggler = catalog.snapshot();
+        catalog.publish_event(1, AttributeVector::empty(), &TimeOverlapConflict);
+        catalog.publish_event(1, AttributeVector::empty(), &TimeOverlapConflict);
+        assert_eq!(catalog.cow_copies(), baseline + 1);
+        // The straggler's view is untouched by the later publishes.
+        assert_eq!(straggler.num_events(), 3);
+        assert_eq!(straggler.conflicts().num_events(), 3);
+        drop(straggler);
+        catalog.publish_event(1, AttributeVector::empty(), &TimeOverlapConflict);
+        catalog.publish_event(1, AttributeVector::empty(), &TimeOverlapConflict);
+        assert_eq!(
+            catalog.cow_copies(),
+            baseline + 1,
+            "copies stop once adopted"
+        );
+    }
+
+    #[test]
+    fn set_capacity_bumps_epoch_and_keeps_the_matrix() {
+        let instance = timed_instance(3);
+        let mut catalog = EventCatalog::from_instance(&instance);
+        let before = catalog.snapshot();
+        let after = catalog.set_capacity(EventId::new(1), 9);
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.true_capacity(EventId::new(1)), 9);
+        assert_eq!(before.true_capacity(EventId::new(1)), 2, "old epoch intact");
+        assert!(Arc::ptr_eq(
+            before.conflicts_handle(),
+            after.conflicts_handle()
+        ));
+        // Untouched records are shared, not cloned.
+        assert!(Arc::ptr_eq(&before.events()[0], &after.events()[0]));
+    }
+}

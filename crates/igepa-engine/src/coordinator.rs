@@ -38,15 +38,16 @@
 //! instance and every request takes the exact code path of the monolithic
 //! [`Engine`](crate::Engine), reproducing its responses bit for bit.
 
+use crate::catalog::{CatalogSnapshot, EventCatalog};
 use crate::reconcile::{self, ReconcileReport};
 use crate::shard::{
-    ApplyOutcome, EngineConfig, EngineStats, RepairKind, Shard, SharedConflict, SharedInterest,
-    SharedSolver,
+    ApplyOutcome, EngineConfig, EngineStats, RepairKind, Shard, ShardOp, SharedConflict,
+    SharedInterest, SharedSolver,
 };
 use igepa_algos::WarmStart;
 use igepa_core::{
-    Arrangement, CapacityTarget, ConflictFn, CoreError, Event, EventId, Instance, InstanceDelta,
-    InterestFn, Partitioner, User, UserId, UtilityBreakdown,
+    Arrangement, AttributeVector, CapacityTarget, ConflictFn, CoreError, DeltaEffect, Event,
+    EventId, Instance, InstanceDelta, InterestFn, Partitioner, User, UserId, UtilityBreakdown,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -115,16 +116,6 @@ pub struct ShardStatsEntry {
     pub stats: EngineStats,
 }
 
-/// σ adapter that replays a prebuilt conflict matrix (events keep their
-/// global ids inside every sub-instance, so lookups are direct).
-struct MatrixSigma<'a>(&'a igepa_core::ConflictMatrix);
-
-impl ConflictFn for MatrixSigma<'_> {
-    fn conflicts(&self, a: &Event, b: &Event) -> bool {
-        self.0.conflicts(a.id, b.id)
-    }
-}
-
 /// Interest adapter that copies cached values out of the global instance
 /// instead of re-evaluating the interest function (which may be stateful
 /// or expensive). `to_global` maps shard-local user ids to global ids.
@@ -148,6 +139,11 @@ pub struct ShardedEngine {
     /// threads, and routing decisions must keep working while they are
     /// out (see [`ShardedEngine::detach_shards`]).
     num_shards: usize,
+    /// The shared event catalogue: the single writer of event-side state.
+    /// Announcements are published here once (one σ evaluation) and
+    /// adopted by the mirror and every shard as `Arc`-shared snapshots,
+    /// so resident conflict memory is O(|V|²) independent of shard count.
+    catalog: EventCatalog,
     /// Full-capacity global instance, kept in lockstep with the shards.
     mirror: Instance,
     sigma: SharedConflict,
@@ -227,6 +223,11 @@ impl ShardedEngine {
             })
             .collect();
 
+        // The catalogue starts by sharing the instance's matrix
+        // allocation; sub-instances adopt the same handle below, so the
+        // O(|V|²) table exists once across mirror + catalogue + shards.
+        let catalog = EventCatalog::from_instance(&instance);
+
         let mut shards = Vec::with_capacity(num_shards);
         for k in 0..num_shards {
             let sub_instance = if num_shards == 1 {
@@ -254,6 +255,7 @@ impl ShardedEngine {
         ShardedEngine {
             shards,
             num_shards,
+            catalog,
             mirror: instance,
             sigma,
             interest,
@@ -300,6 +302,12 @@ impl ShardedEngine {
     /// Coordinator-level counters (reconciliation activity).
     pub fn coordinator_stats(&self) -> &CoordinatorStats {
         &self.coordinator_stats
+    }
+
+    /// The shared event catalogue (epoch, true capacities, shared
+    /// conflict matrix).
+    pub fn catalog(&self) -> &EventCatalog {
+        &self.catalog
     }
 
     /// Aggregated repair-loop counters across shards, plus the rejections
@@ -382,7 +390,33 @@ impl ShardedEngine {
 
     /// Applies one delta: validate on the mirror, route to the owning
     /// shard(s), repair, and reconcile when the interval elapsed.
+    ///
+    /// Event announcements take the catalogue path instead: one
+    /// coordinator-side publish (σ evaluated once), then every shard
+    /// adopts the new snapshot in O(1) — the pre-catalogue cost of k+1
+    /// full σ scans per broadcast is gone.
     pub fn apply(&mut self, delta: &InstanceDelta) -> Result<ApplyOutcome, CoreError> {
+        if let InstanceDelta::AddEvent { capacity, attrs } = delta {
+            let (snapshot, effect) = self.publish_add_event(*capacity, attrs);
+            self.note_candidates(&effect);
+            let split = proportional_split(*capacity, &vec![0usize; self.num_shards]);
+            let mut worst = RepairKind::Untouched;
+            for k in 0..self.num_shards {
+                let outcome = self.shards[k].apply_announcement(&snapshot, split[k]);
+                if outcome.repair.severity() > worst.severity() {
+                    worst = outcome.repair;
+                }
+                self.refresh(k, &outcome);
+            }
+            let outcome = ApplyOutcome {
+                kind: delta.kind().to_string(),
+                repair: worst,
+                utility: self.utility(),
+                num_pairs: self.num_pairs(),
+            };
+            self.after_deltas(1);
+            return Ok(outcome);
+        }
         let effect =
             match self
                 .mirror
@@ -406,16 +440,52 @@ impl ShardedEngine {
         Ok(outcome)
     }
 
+    /// Publishes one `AddEvent` to the catalogue and brings the mirror
+    /// into lockstep by adopting the published matrix (σ evaluated
+    /// exactly once, inside the publish). Infallible, like `AddEvent`
+    /// validation on the monolithic engine.
+    fn publish_add_event(
+        &mut self,
+        capacity: usize,
+        attrs: &AttributeVector,
+    ) -> (Arc<CatalogSnapshot>, DeltaEffect) {
+        let snapshot = self
+            .catalog
+            .publish_event(capacity, attrs.clone(), self.sigma.as_ref());
+        let effect = self
+            .mirror
+            .apply_add_event_shared(capacity, attrs.clone(), snapshot.conflicts_handle())
+            .expect("mirror tracks the catalogue");
+        (snapshot, effect)
+    }
+
     /// Applies a batch with one repair pass per touched shard. Semantics
     /// match the monolithic engine: the prefix before the first invalid
     /// delta stays applied (and repaired) and the error is returned.
     pub fn apply_batch(&mut self, deltas: &[InstanceDelta]) -> Result<ApplyOutcome, CoreError> {
         let num_shards = self.num_shards;
-        let mut per_shard: Vec<Vec<InstanceDelta>> = vec![Vec::new(); num_shards];
+        let mut per_shard: Vec<Vec<ShardOp>> = vec![Vec::new(); num_shards];
         let mut first_error = None;
         let mut accepted = 0u64;
 
         for delta in deltas {
+            // Announcements go through the catalogue: publish once,
+            // enqueue an O(1) adopt op for every shard (ordering within
+            // the burst is preserved, so later deltas may reference the
+            // new event).
+            if let InstanceDelta::AddEvent { capacity, attrs } = delta {
+                let (snapshot, effect) = self.publish_add_event(*capacity, attrs);
+                accepted += 1;
+                self.note_candidates(&effect);
+                let split = proportional_split(*capacity, &vec![0usize; num_shards]);
+                for (k, ops) in per_shard.iter_mut().enumerate() {
+                    ops.push(ShardOp::Announce {
+                        snapshot: Arc::clone(&snapshot),
+                        quota: split[k],
+                    });
+                }
+                continue;
+            }
             let effect =
                 match self
                     .mirror
@@ -440,7 +510,7 @@ impl ShardedEngine {
             if per_shard[k].is_empty() && num_shards > 1 {
                 continue;
             }
-            let outcome = self.shards[k].apply_batch(&per_shard[k]).unwrap_or_else(|e| {
+            let outcome = self.shards[k].apply_ops(&per_shard[k]).unwrap_or_else(|e| {
                 panic!(
                     "shard {k} rejected a mirror-validated batch ({e});                      ShardedEngine requires attribute-based (id-independent)                      conflict and interest functions"
                 )
@@ -536,7 +606,8 @@ impl ShardedEngine {
     }
 
     /// Routes one mirror-validated delta and returns the worst repair the
-    /// shards ran for it.
+    /// shards ran for it. `AddEvent` never reaches here — it takes the
+    /// catalogue publish path in [`ShardedEngine::apply`].
     fn route(&mut self, delta: &InstanceDelta, created_user: Option<UserId>) -> RepairKind {
         let num_shards = self.num_shards;
         match delta {
@@ -544,27 +615,14 @@ impl ShardedEngine {
                 let (k, local) = self.user_route(delta, created_user);
                 self.shard_apply(k, &local).repair
             }
-            InstanceDelta::AddEvent { capacity, attrs } => {
-                let split = proportional_split(*capacity, &vec![0usize; num_shards]);
-                let mut worst = RepairKind::Untouched;
-                for k in 0..num_shards {
-                    let outcome = self.shard_apply(
-                        k,
-                        &InstanceDelta::AddEvent {
-                            capacity: split[k],
-                            attrs: attrs.clone(),
-                        },
-                    );
-                    if outcome.repair.severity() > worst.severity() {
-                        worst = outcome.repair;
-                    }
-                }
-                worst
+            InstanceDelta::AddEvent { .. } => {
+                unreachable!("AddEvent publishes through the catalogue")
             }
             InstanceDelta::UpdateCapacity {
                 target: CapacityTarget::Event(event),
                 capacity,
             } => {
+                self.catalog.set_capacity(*event, *capacity);
                 let quotas = self.resplit_event(*event, *capacity);
                 let mut worst = RepairKind::Untouched;
                 for k in 0..num_shards {
@@ -589,43 +647,38 @@ impl ShardedEngine {
     }
 
     /// Batch planning: registers new users, splits broadcast capacities
-    /// and pushes the shard-local delta(s) onto `per_shard`.
+    /// and pushes the shard-local op(s) onto `per_shard`. `AddEvent` is
+    /// handled by the catalogue publish in [`ShardedEngine::apply_batch`].
     fn plan(
         &mut self,
         delta: &InstanceDelta,
         created_user: Option<UserId>,
-        per_shard: &mut [Vec<InstanceDelta>],
+        per_shard: &mut [Vec<ShardOp>],
     ) {
-        let num_shards = self.num_shards;
         match delta {
             InstanceDelta::AddUser { .. } => {
                 let (k, local) = self.user_route(delta, created_user);
-                per_shard[k].push(local);
+                per_shard[k].push(ShardOp::Delta(local));
             }
-            InstanceDelta::AddEvent { capacity, attrs } => {
-                let split = proportional_split(*capacity, &vec![0usize; num_shards]);
-                for (k, quotas) in per_shard.iter_mut().enumerate() {
-                    quotas.push(InstanceDelta::AddEvent {
-                        capacity: split[k],
-                        attrs: attrs.clone(),
-                    });
-                }
+            InstanceDelta::AddEvent { .. } => {
+                unreachable!("AddEvent publishes through the catalogue")
             }
             InstanceDelta::UpdateCapacity {
                 target: CapacityTarget::Event(event),
                 capacity,
             } => {
+                self.catalog.set_capacity(*event, *capacity);
                 let quotas = self.resplit_event(*event, *capacity);
                 for (k, batch) in per_shard.iter_mut().enumerate() {
-                    batch.push(InstanceDelta::UpdateCapacity {
+                    batch.push(ShardOp::Delta(InstanceDelta::UpdateCapacity {
                         target: CapacityTarget::Event(*event),
                         capacity: quotas[k],
-                    });
+                    }));
                 }
             }
             _ => {
                 let (k, local) = self.user_route(delta, created_user);
-                per_shard[k].push(local);
+                per_shard[k].push(ShardOp::Delta(local));
             }
         }
     }
@@ -757,6 +810,13 @@ impl ShardedEngine {
         self.refresh(k, outcome);
     }
 
+    /// Rejections caught by mirror validation (shards never see them);
+    /// the transport's query cache folds this into cached stats exactly
+    /// as [`ShardedEngine::stats`] and the shard-stats entries do.
+    pub(crate) fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
     /// Moves the shards out of the coordinator so per-shard worker
     /// threads can own them. While detached, only mirror-side routing
     /// ([`ShardedEngine::plan_user_delta`]) and the cached aggregates
@@ -867,8 +927,11 @@ impl std::fmt::Debug for ShardedEngine {
 }
 
 /// Builds shard `k`'s sub-instance: all events (with quota capacities),
-/// only the mapped users, and conflict/interest data copied from the
-/// global instance rather than re-evaluated.
+/// only the mapped users, interest values copied from the global instance
+/// rather than re-evaluated, and the global conflict matrix **adopted by
+/// handle** — the shard shares the coordinator's O(|V|²) table instead of
+/// materialising a private copy (events keep their global ids inside
+/// every sub-instance, so lookups are direct).
 fn build_sub_instance(
     global: &Instance,
     to_global: &[UserId],
@@ -885,8 +948,8 @@ fn build_sub_instance(
     }
     builder.interaction_scores(to_global.iter().map(|&g| global.interaction(g)).collect());
     builder
-        .build(
-            &MatrixSigma(global.conflicts()),
+        .build_shared(
+            Arc::clone(global.conflicts_handle()),
             &CopiedInterest { global, to_global },
         )
         .expect("sub-instance of a valid instance is valid")
@@ -1017,6 +1080,131 @@ mod tests {
             .map(|k| engine.shard(k).instance().num_users())
             .sum();
         assert_eq!(shard_users, 10);
+    }
+
+    /// The tentpole memory invariant: the O(|V|²) conflict matrix exists
+    /// once — mirror, catalogue and every shard return `Arc::ptr_eq`
+    /// handles — and event broadcasts keep it that way.
+    #[test]
+    fn conflict_matrix_is_shared_across_mirror_catalog_and_shards() {
+        let assert_shared = |engine: &ShardedEngine| {
+            let mirror = engine.instance().conflicts_handle();
+            assert!(Arc::ptr_eq(
+                mirror,
+                engine.catalog().snapshot().conflicts_handle()
+            ));
+            for k in 0..engine.num_shards() {
+                assert!(
+                    Arc::ptr_eq(mirror, engine.shard(k).instance().conflicts_handle()),
+                    "shard {k} holds a private conflict matrix"
+                );
+            }
+        };
+        for shards in [1, 2, 4] {
+            let mut engine = sharded_for(3, 8, shards);
+            assert_shared(&engine);
+            // Broadcasts republish; everyone adopts the same new table.
+            for i in 0..6 {
+                engine
+                    .apply(&InstanceDelta::AddEvent {
+                        capacity: 2 + i,
+                        attrs: AttributeVector::empty(),
+                    })
+                    .unwrap();
+                assert_shared(&engine);
+            }
+            // User churn and capacity edits never split the sharing.
+            engine
+                .apply(&InstanceDelta::AddUser {
+                    capacity: 1,
+                    attrs: AttributeVector::empty(),
+                    bids: vec![EventId::new(4)],
+                    interaction: 0.5,
+                })
+                .unwrap();
+            engine
+                .apply(&InstanceDelta::UpdateCapacity {
+                    target: CapacityTarget::Event(EventId::new(3)),
+                    capacity: 7,
+                })
+                .unwrap();
+            assert_shared(&engine);
+            assert_eq!(engine.catalog().num_events(), 9);
+            // Steady-state broadcasts stop copying: only the first publish
+            // splits the construction-time buffer sharing.
+            assert_eq!(engine.catalog().cow_copies(), 1);
+        }
+    }
+
+    #[test]
+    fn catalog_capacities_track_the_mirror() {
+        let mut engine = sharded_for(2, 6, 3);
+        engine
+            .apply(&InstanceDelta::AddEvent {
+                capacity: 5,
+                attrs: AttributeVector::empty(),
+            })
+            .unwrap();
+        engine
+            .apply(&InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::Event(EventId::new(0)),
+                capacity: 9,
+            })
+            .unwrap();
+        for event in engine.instance().events() {
+            assert_eq!(
+                engine.catalog().true_capacity(event.id),
+                event.capacity,
+                "catalogue capacity of {} diverged from the mirror",
+                event.id
+            );
+            let quota_sum: usize = (0..engine.num_shards())
+                .map(|k| engine.shard(k).quota_of(event.id))
+                .sum();
+            assert_eq!(quota_sum, event.capacity);
+        }
+        assert_eq!(engine.catalog().epoch(), 2);
+        assert_eq!(
+            engine.shard(0).catalog_epoch(),
+            1,
+            "capacity publishes need no shard sync"
+        );
+    }
+
+    #[test]
+    fn batched_announcements_publish_through_the_catalog() {
+        let mut engine = sharded_for(2, 6, 2);
+        let deltas = vec![
+            InstanceDelta::AddEvent {
+                capacity: 4,
+                attrs: AttributeVector::empty(),
+            },
+            // A user delta referencing the event announced one op earlier
+            // in the same burst: ordering within the burst must hold.
+            InstanceDelta::AddUser {
+                capacity: 1,
+                attrs: AttributeVector::empty(),
+                bids: vec![EventId::new(2)],
+                interaction: 0.5,
+            },
+            InstanceDelta::AddEvent {
+                capacity: 3,
+                attrs: AttributeVector::empty(),
+            },
+        ];
+        engine.apply_batch(&deltas).unwrap();
+        assert_eq!(engine.instance().num_events(), 4);
+        assert_eq!(engine.catalog().num_events(), 4);
+        assert_eq!(engine.catalog().epoch(), 2);
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+        for k in 0..engine.num_shards() {
+            assert_eq!(engine.shard(k).instance().num_events(), 4);
+            assert_eq!(engine.shard(k).catalog_epoch(), 2);
+            assert!(Arc::ptr_eq(
+                engine.instance().conflicts_handle(),
+                engine.shard(k).instance().conflicts_handle()
+            ));
+        }
     }
 
     #[test]

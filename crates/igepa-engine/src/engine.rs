@@ -90,6 +90,12 @@ impl Engine {
     pub fn cold_solve_ratio(&mut self) -> f64 {
         self.shard.cold_solve_ratio()
     }
+
+    /// The online cost-calibration estimates `(patch ns/candidate,
+    /// solve ns/bid)`; see [`Shard::online_cost_estimates`].
+    pub fn online_cost_estimates(&self) -> (Option<f64>, Option<f64>) {
+        self.shard.online_cost_estimates()
+    }
 }
 
 impl std::fmt::Debug for Engine {

@@ -55,6 +55,21 @@
 //!   toward unmet demand at boundary events. `num_shards == 1`
 //!   reproduces the monolithic engine's responses bit for bit.
 //!
+//! ## The shared event catalogue
+//!
+//! User-side state partitions across shards; event-side state (the event
+//! list, true capacities, and the O(|V|²) conflict matrix) must be
+//! visible everywhere. The [`EventCatalog`] ([`catalog`]) keeps it
+//! **once**: immutable, epoch-versioned [`CatalogSnapshot`]s whose
+//! conflict matrix every shard and the coordinator mirror share by
+//! `Arc` handle — resident conflict memory is O(|V|²) regardless of
+//! shard count. An `AddEvent` broadcast is one coordinator-side publish
+//! (σ evaluated exactly once, into a double-buffered copy-on-write
+//! matrix) plus an epoch bump each shard absorbs in O(1) by adopting the
+//! new snapshot ([`Shard::apply_announcement`]); event-capacity edits
+//! republish only a flat capacity vector. Stragglers still holding an
+//! old epoch cost one transient matrix copy, never correctness.
+//!
 //! ## Requests as data
 //!
 //! [`EngineRequest`] / [`EngineResponse`] form a serde-backed JSON-lines
@@ -74,11 +89,23 @@
 //! replay bit for bit) through the legacy dialect.
 //!
 //! [`transport`] puts the envelopes on TCP: line- or length-prefix-framed
-//! JSONL, a blocking [`EngineClient`], a serial [`EngineServer::serve`]
-//! for any backend, and [`EngineServer::serve_sharded`], which runs one
-//! worker thread per shard — user-scoped deltas are validated on the
-//! coordinator and repaired concurrently on the owning shard's worker;
-//! broadcasts, batches, queries and `Rebalance` barrier.
+//! JSONL, a blocking [`EngineClient`] (which also *pipelines*: send-ahead
+//! with correlation-id matching on receipt, removing the RTT-per-request
+//! floor), a serial [`EngineServer::serve`] for any backend, and
+//! [`EngineServer::serve_sharded`], which runs one worker thread per
+//! shard — user-scoped deltas are validated on the coordinator and
+//! repaired concurrently on the owning shard's worker; broadcasts,
+//! batches and `Rebalance` barrier.
+//!
+//! The **read path is barrier-free**: each worker reports an epoch-tagged
+//! read-state view with every apply completion, and the aggregate queries
+//! (`Utility`, `Stats`, `ShardStats`) are answered from that cache in the
+//! connection threads — they never enter the dispatch queue, let alone
+//! stop the worker pool. The view for an apply is installed *before* its
+//! ack is sent, so a client that has seen an ack can never read the
+//! pre-apply epoch (and a synchronous client still observes exactly the
+//! serial service's responses, bit for bit). Only per-entity reads
+//! (`AssignmentsOf`, `EventLoad`) and `MergedSnapshot` still barrier.
 //!
 //! ### Client/server quickstart
 //!
@@ -159,6 +186,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod catalog;
 pub mod coordinator;
 pub mod engine;
 pub mod error;
@@ -169,6 +197,7 @@ pub mod service;
 pub mod shard;
 pub mod transport;
 
+pub use catalog::{CatalogSnapshot, EventCatalog};
 pub use coordinator::{CoordinatorStats, ShardStatsEntry, ShardedConfig, ShardedEngine};
 pub use engine::{ApplyOutcome, Engine, EngineConfig, EngineStats, RepairKind};
 pub use error::{EngineError, EntityRef, RejectReason};
@@ -181,5 +210,5 @@ pub use protocol::{
 pub use reconcile::ReconcileReport;
 pub use replay::{replay, replay_jsonl, LatencySummary, ReplayOutcome, ReplayReport};
 pub use service::{EngineBackend, EngineService};
-pub use shard::{BatchPolicy, Shard};
+pub use shard::{BatchPolicy, Shard, ShardOp};
 pub use transport::{ClientError, EngineClient, EngineServer, Framing, ServerHandle};

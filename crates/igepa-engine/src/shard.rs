@@ -11,6 +11,7 @@
 //! coupling — event capacity — is handled by the coordinator moving quota
 //! between shards (see [`crate::reconcile`]).
 
+use crate::catalog::CatalogSnapshot;
 use igepa_algos::{admit_greedily, WarmStart};
 use igepa_core::{
     Arrangement, CapacityTarget, ConflictFn, CoreError, DirtySet, EventId, Instance, InstanceDelta,
@@ -56,12 +57,21 @@ pub enum BatchPolicy {
 }
 
 impl BatchPolicy {
-    /// A cost model with unit constants — a reasonable default when
-    /// opting in to per-burst cold solves.
+    /// A cost model with calibrated constants: the per-unit costs were
+    /// measured by `benches/engine.rs` (the `cost_model/*` scenarios of
+    /// `BENCH_engine.json`, via the engine's own online calibration) on
+    /// the bench workload — ~7 ns per candidate pair examined by the
+    /// greedy patch (weight lookup, conflict scan, admission
+    /// bookkeeping) vs ~95 ns per bid pair of a cold greedy solve (sort
+    /// share plus admission). Only the *ratio* steers the patch-vs-solve
+    /// decision, so these defaults transfer across machines far better
+    /// than absolute timings; enable
+    /// [`EngineConfig::online_cost_calibration`] to track a specific
+    /// deployment's observed ratio with a per-shard EWMA.
     pub fn cost_model() -> Self {
         BatchPolicy::CostModel {
-            patch_cost_per_candidate: 1.0,
-            solve_cost_per_bid: 1.0,
+            patch_cost_per_candidate: 7.0,
+            solve_cost_per_bid: 95.0,
         }
     }
 }
@@ -83,6 +93,14 @@ pub struct EngineConfig {
     pub max_staleness: f64,
     /// How batched bursts are repaired (see [`BatchPolicy`]).
     pub batch_policy: BatchPolicy,
+    /// Refine [`BatchPolicy::CostModel`]'s per-unit costs online: each
+    /// shard keeps an EWMA of its *measured* greedy-patch and cold-solve
+    /// timings (normalised per candidate / per bid) and prefers those
+    /// over the configured constants once observed. Off by default —
+    /// wall-clock-driven decisions make repair choices (not results)
+    /// machine-dependent, which bit-for-bit replay comparisons must
+    /// opt into knowingly.
+    pub online_cost_calibration: bool,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +111,7 @@ impl Default for EngineConfig {
             staleness_check_interval: 256,
             max_staleness: 0.05,
             batch_policy: BatchPolicy::Escalation,
+            online_cost_calibration: false,
         }
     }
 }
@@ -127,6 +146,13 @@ impl serde::Deserialize for EngineConfig {
             batch_policy: match entries.iter().find(|(name, _)| name == "batch_policy") {
                 Some((_, policy)) => serde::Deserialize::from_value(policy)?,
                 None => BatchPolicy::default(),
+            },
+            online_cost_calibration: match entries
+                .iter()
+                .find(|(name, _)| name == "online_cost_calibration")
+            {
+                Some((_, flag)) => serde::Deserialize::from_value(flag)?,
+                None => false,
             },
         })
     }
@@ -214,6 +240,25 @@ impl RepairKind {
     }
 }
 
+/// One shard-local operation of a routed burst: either an ordinary
+/// (mirror-validated, id-rewritten) delta or a catalogue-published event
+/// announcement the shard absorbs in O(1) by adopting the snapshot's
+/// shared conflict matrix. Ordering within a burst is preserved, so a
+/// user delta referencing a just-announced event applies cleanly.
+#[derive(Debug, Clone)]
+pub enum ShardOp {
+    /// A shard-local instance delta.
+    Delta(InstanceDelta),
+    /// An event announcement: adopt `snapshot`'s matrix and append its
+    /// newest event with this shard's capacity quota.
+    Announce {
+        /// The catalogue snapshot published for the announcement.
+        snapshot: Arc<CatalogSnapshot>,
+        /// This shard's capacity quota for the new event.
+        quota: usize,
+    },
+}
+
 /// Result of one successful [`Shard::apply`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ApplyOutcome {
@@ -241,7 +286,19 @@ pub struct Shard {
     solve_counter: u64,
     /// `stats.deltas_applied` at the last staleness check.
     last_staleness_check: u64,
+    /// Epoch of the last catalogue snapshot absorbed (0 = none yet).
+    catalog_epoch: u64,
+    /// EWMA of measured greedy-patch cost per candidate unit (ns), fed by
+    /// [`EngineConfig::online_cost_calibration`].
+    ewma_patch_ns: Option<f64>,
+    /// EWMA of measured cold-solve cost per bid unit (ns).
+    ewma_solve_ns: Option<f64>,
 }
+
+/// EWMA smoothing factor of the online cost estimates: heavy enough to
+/// converge within a handful of repairs, light enough to ride out one
+/// noisy measurement.
+const COST_EWMA_ALPHA: f64 = 0.25;
 
 impl Shard {
     /// Creates a shard serving `instance`, running an initial cold solve.
@@ -267,6 +324,9 @@ impl Shard {
             stats: EngineStats::default(),
             solve_counter: 0,
             last_staleness_check: 0,
+            catalog_epoch: 0,
+            ewma_patch_ns: None,
+            ewma_solve_ns: None,
         };
         shard.arrangement = shard.next_solve(None);
         shard
@@ -355,33 +415,60 @@ impl Shard {
     /// On validation errors the instance, arrangement and counters (except
     /// `deltas_rejected`) are unchanged.
     pub fn apply(&mut self, delta: &InstanceDelta) -> Result<ApplyOutcome, CoreError> {
-        let effect =
-            match self
-                .instance
-                .apply_delta(delta, self.sigma.as_ref(), self.interest.as_ref())
-            {
-                Ok(effect) => effect,
-                Err(e) => {
-                    self.stats.deltas_rejected += 1;
-                    return Err(e);
-                }
-            };
-        self.arrangement
-            .grow(self.instance.num_events(), self.instance.num_users());
-        self.dirty.absorb(&effect);
-        self.stats.deltas_applied += 1;
+        self.apply_measured(delta).map(|(outcome, _)| outcome)
+    }
 
+    /// Like [`Shard::apply`], but also returns the utility breakdown of
+    /// the post-repair arrangement, computed in the same O(pairs) pass
+    /// that produces the outcome's utility (`total` is bit-identical to
+    /// [`Shard::utility`]). The transport's per-shard workers use this to
+    /// refresh the coordinator's query cache without a second scan.
+    pub fn apply_measured(
+        &mut self,
+        delta: &InstanceDelta,
+    ) -> Result<(ApplyOutcome, igepa_core::UtilityBreakdown), CoreError> {
+        self.absorb_delta(delta)?;
         let mut repair = self.repair();
         if self.maybe_check_staleness() {
             repair = RepairKind::StalenessResolve;
         }
 
-        Ok(ApplyOutcome {
-            kind: delta.kind().to_string(),
+        let breakdown = self.arrangement.utility(&self.instance);
+        Ok((
+            ApplyOutcome {
+                kind: delta.kind().to_string(),
+                repair,
+                utility: breakdown.total,
+                num_pairs: self.arrangement.len(),
+            },
+            breakdown,
+        ))
+    }
+
+    /// Absorbs a catalogue-published event announcement and repairs: the
+    /// shard-side half of an event broadcast. Instead of re-evaluating σ
+    /// against every existing event (the pre-catalogue cost, paid once
+    /// per shard), the shard adopts the snapshot's shared conflict matrix
+    /// and appends its newest event with this shard's capacity `quota` —
+    /// amortised O(1) work before the repair. Bookkeeping matches
+    /// [`Shard::apply`] of an `AddEvent` delta exactly, so a one-shard
+    /// engine stays bit-for-bit equal to the monolithic path.
+    pub fn apply_announcement(
+        &mut self,
+        snapshot: &Arc<CatalogSnapshot>,
+        quota: usize,
+    ) -> ApplyOutcome {
+        self.absorb_announcement(snapshot, quota);
+        let mut repair = self.repair();
+        if self.maybe_check_staleness() {
+            repair = RepairKind::StalenessResolve;
+        }
+        ApplyOutcome {
+            kind: "add_event".to_string(),
             repair,
             utility: self.utility(),
             num_pairs: self.arrangement.len(),
-        })
+        }
     }
 
     /// Applies a batch of deltas with a single repair pass at the end —
@@ -392,23 +479,76 @@ impl Shard {
     pub fn apply_batch(&mut self, deltas: &[InstanceDelta]) -> Result<ApplyOutcome, CoreError> {
         let mut first_error = None;
         for delta in deltas {
-            match self
-                .instance
-                .apply_delta(delta, self.sigma.as_ref(), self.interest.as_ref())
-            {
-                Ok(effect) => {
-                    self.arrangement
-                        .grow(self.instance.num_events(), self.instance.num_users());
-                    self.dirty.absorb(&effect);
-                    self.stats.deltas_applied += 1;
+            if let Err(e) = self.absorb_delta(delta) {
+                first_error = Some(e);
+                break;
+            }
+        }
+        self.finish_burst(first_error)
+    }
+
+    /// Applies a routed burst of shard operations (deltas interleaved
+    /// with catalogue announcements, in arrival order) with one repair
+    /// pass at the end. Error semantics match [`Shard::apply_batch`].
+    pub fn apply_ops(&mut self, ops: &[ShardOp]) -> Result<ApplyOutcome, CoreError> {
+        let mut first_error = None;
+        for op in ops {
+            match op {
+                ShardOp::Delta(delta) => {
+                    if let Err(e) = self.absorb_delta(delta) {
+                        first_error = Some(e);
+                        break;
+                    }
                 }
-                Err(e) => {
-                    self.stats.deltas_rejected += 1;
-                    first_error = Some(e);
-                    break;
+                ShardOp::Announce { snapshot, quota } => {
+                    self.absorb_announcement(snapshot, *quota);
                 }
             }
         }
+        self.finish_burst(first_error)
+    }
+
+    /// Applies one delta to the instance and folds its effect into the
+    /// dirty set, without repairing.
+    fn absorb_delta(&mut self, delta: &InstanceDelta) -> Result<(), CoreError> {
+        match self
+            .instance
+            .apply_delta(delta, self.sigma.as_ref(), self.interest.as_ref())
+        {
+            Ok(effect) => {
+                self.arrangement
+                    .grow(self.instance.num_events(), self.instance.num_users());
+                self.dirty.absorb(&effect);
+                self.stats.deltas_applied += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.deltas_rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Adopts a catalogue snapshot's shared matrix and appends its newest
+    /// event at `quota` capacity, without repairing.
+    fn absorb_announcement(&mut self, snapshot: &Arc<CatalogSnapshot>, quota: usize) {
+        let newest = snapshot
+            .newest()
+            .expect("published snapshots are non-empty");
+        let effect = self
+            .instance
+            .apply_add_event_shared(quota, newest.attrs.clone(), snapshot.conflicts_handle())
+            .expect("catalogue snapshots cover the announced event");
+        self.arrangement
+            .grow(self.instance.num_events(), self.instance.num_users());
+        self.dirty.absorb(&effect);
+        self.stats.deltas_applied += 1;
+        self.catalog_epoch = snapshot.epoch();
+    }
+
+    /// Shared tail of the burst paths: one batch repair, the staleness
+    /// check, and the first error (if any).
+    fn finish_burst(&mut self, first_error: Option<CoreError>) -> Result<ApplyOutcome, CoreError> {
         let mut repair = self.repair_batch();
         if self.maybe_check_staleness() {
             repair = RepairKind::StalenessResolve;
@@ -422,6 +562,19 @@ impl Shard {
             utility: self.utility(),
             num_pairs: self.arrangement.len(),
         })
+    }
+
+    /// Epoch of the last catalogue snapshot this shard absorbed (0 when
+    /// no announcement has been published yet).
+    pub fn catalog_epoch(&self) -> u64 {
+        self.catalog_epoch
+    }
+
+    /// The online cost estimates `(patch ns/candidate, solve ns/bid)`
+    /// observed so far (`None` until the first measured repair of that
+    /// kind; always `None` with calibration off).
+    pub fn online_cost_estimates(&self) -> (Option<f64>, Option<f64>) {
+        (self.ewma_patch_ns, self.ewma_solve_ns)
     }
 
     /// Forces a cold solve of the current instance and reports the served
@@ -457,10 +610,21 @@ impl Shard {
             solve_cost_per_bid,
         } = self.config.batch_policy
         {
+            // Per-unit costs: the configured (bench-calibrated) constants,
+            // or this shard's own observed EWMA once online calibration
+            // has measured at least one repair of each kind.
+            let (patch_unit, solve_unit) = if self.config.online_cost_calibration {
+                (
+                    self.ewma_patch_ns.unwrap_or(patch_cost_per_candidate),
+                    self.ewma_solve_ns.unwrap_or(solve_cost_per_bid),
+                )
+            } else {
+                (patch_cost_per_candidate, solve_cost_per_bid)
+            };
             // Cold-solve work: one greedy pass over every bid pair (plus
             // fixed per-event bookkeeping).
-            let solve_cost =
-                solve_cost_per_bid * (self.instance.num_bids() + self.instance.num_events()) as f64;
+            let solve_units = (self.instance.num_bids() + self.instance.num_events()) as f64;
+            let solve_cost = solve_unit * solve_units;
             let threshold =
                 (self.config.escalation_fraction * self.instance.num_users() as f64).max(1.0);
             let incremental_cost = if self.dirty.users.len() as f64 > threshold {
@@ -471,24 +635,39 @@ impl Shard {
             } else {
                 // Greedy-patch work: candidate pairs around the dirty set
                 // plus the full-user attendee scan per dirty event.
-                let mut candidates = 0usize;
-                for &u in &self.dirty.users {
-                    candidates += self.instance.user(u).num_bids();
-                }
-                for &v in &self.dirty.events {
-                    candidates += self.instance.event(v).num_bidders();
-                }
-                let scans = self.dirty.events.len() * self.instance.num_users();
-                patch_cost_per_candidate * (candidates + scans) as f64
+                patch_unit * self.patch_units() as f64
             };
             if incremental_cost > solve_cost {
+                let started = self
+                    .config
+                    .online_cost_calibration
+                    .then(std::time::Instant::now);
                 self.arrangement = self.next_solve(None);
+                if let Some(started) = started {
+                    observe_cost(&mut self.ewma_solve_ns, started.elapsed(), solve_units);
+                }
                 self.dirty.clear();
                 self.stats.batch_solves += 1;
                 return RepairKind::BatchSolve;
             }
         }
         self.repair()
+    }
+
+    /// The cost model's unit count for a greedy patch over the current
+    /// dirty set: candidate pairs around the dirty set plus the full-user
+    /// attendee scan per dirty event. Shared by the predictor and the
+    /// online calibration so observed timings normalise against the same
+    /// basis the decision multiplies.
+    fn patch_units(&self) -> usize {
+        let mut candidates = 0usize;
+        for &u in &self.dirty.users {
+            candidates += self.instance.user(u).num_bids();
+        }
+        for &v in &self.dirty.events {
+            candidates += self.instance.event(v).num_bidders();
+        }
+        candidates + self.dirty.events.len() * self.instance.num_users()
     }
 
     fn repair(&mut self) -> RepairKind {
@@ -505,6 +684,12 @@ impl Shard {
             self.arrangement = self.next_solve(Some(&previous));
             self.stats.full_resolves += 1;
             RepairKind::FullResolve
+        } else if self.config.online_cost_calibration {
+            let units = self.patch_units();
+            let started = std::time::Instant::now();
+            let repair = self.greedy_patch();
+            observe_cost(&mut self.ewma_patch_ns, started.elapsed(), units as f64);
+            repair
         } else {
             self.greedy_patch()
         };
@@ -596,8 +781,18 @@ impl Shard {
 
     /// Cold-solves the current instance and adopts the result when the
     /// served utility drifted too far. Returns whether it was adopted.
+    /// Under online calibration the cold solve doubles as a solve-cost
+    /// observation, so the EWMA converges even on patch-only workloads.
     fn check_staleness(&mut self) -> bool {
+        let started = self
+            .config
+            .online_cost_calibration
+            .then(std::time::Instant::now);
         let cold = self.next_solve(None);
+        if let Some(started) = started {
+            let units = (self.instance.num_bids() + self.instance.num_events()) as f64;
+            observe_cost(&mut self.ewma_solve_ns, started.elapsed(), units);
+        }
         self.stats.staleness_checks += 1;
         let cold_utility = cold.utility_value(&self.instance);
         let served_utility = self.utility();
@@ -614,6 +809,18 @@ impl Shard {
             false
         }
     }
+}
+
+/// Folds one normalised timing observation into an EWMA slot.
+fn observe_cost(slot: &mut Option<f64>, elapsed: std::time::Duration, units: f64) {
+    if units <= 0.0 {
+        return;
+    }
+    let observed = elapsed.as_nanos() as f64 / units;
+    *slot = Some(match *slot {
+        Some(previous) => COST_EWMA_ALPHA * observed + (1.0 - COST_EWMA_ALPHA) * previous,
+        None => observed,
+    });
 }
 
 impl std::fmt::Debug for Shard {
@@ -737,6 +944,7 @@ mod tests {
         let config: EngineConfig = serde_json::from_str(legacy).unwrap();
         assert_eq!(config.seed, 7);
         assert_eq!(config.batch_policy, BatchPolicy::Escalation);
+        assert!(!config.online_cost_calibration);
         // And the current format round-trips.
         let current = EngineConfig {
             batch_policy: BatchPolicy::cost_model(),
@@ -745,6 +953,62 @@ mod tests {
         let json = serde_json::to_string(&current).unwrap();
         let back: EngineConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, current);
+    }
+
+    #[test]
+    fn online_calibration_converges_on_observed_costs() {
+        let mut shard = shard_for(
+            3,
+            8,
+            EngineConfig {
+                batch_policy: BatchPolicy::cost_model(),
+                online_cost_calibration: true,
+                staleness_check_interval: 0,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(shard.online_cost_estimates(), (None, None));
+        // A one-user touch runs the greedy patch → a patch observation.
+        shard
+            .apply(&InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(0),
+                score: 0.9,
+            })
+            .unwrap();
+        let (patch, _) = shard.online_cost_estimates();
+        assert!(patch.is_some_and(|ns| ns > 0.0));
+        // A burst touching every user runs one cold batch solve → a
+        // solve observation feeding the next decision's per-unit cost.
+        let deltas: Vec<InstanceDelta> = (0..8)
+            .map(|u| InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(u),
+                score: 0.8,
+            })
+            .collect();
+        let outcome = shard.apply_batch(&deltas).unwrap();
+        assert_eq!(outcome.repair, RepairKind::BatchSolve);
+        let (_, solve) = shard.online_cost_estimates();
+        assert!(solve.is_some_and(|ns| ns > 0.0));
+        assert!(shard.arrangement().is_feasible(shard.instance()));
+    }
+
+    #[test]
+    fn calibration_off_records_nothing() {
+        let mut shard = shard_for(
+            2,
+            4,
+            EngineConfig {
+                batch_policy: BatchPolicy::cost_model(),
+                ..EngineConfig::default()
+            },
+        );
+        shard
+            .apply(&InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(0),
+                score: 0.9,
+            })
+            .unwrap();
+        assert_eq!(shard.online_cost_estimates(), (None, None));
     }
 
     #[test]

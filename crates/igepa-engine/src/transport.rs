@@ -10,7 +10,11 @@
 //!   Both carry exactly the envelope codecs of [`crate::protocol`].
 //! * **[`EngineClient`]** — a blocking request/response client: every
 //!   call sends one [`RequestEnvelope`] at [`PROTOCOL_VERSION`] and waits
-//!   for the matching [`ResponseEnvelope`].
+//!   for the matching [`ResponseEnvelope`]. It also **pipelines**
+//!   ([`EngineClient::send`] / [`EngineClient::recv`] /
+//!   [`EngineClient::pipeline`]): a whole burst goes on the wire before
+//!   the first response is read, with responses matched to outstanding
+//!   correlation ids on receipt — removing the RTT-per-request floor.
 //! * **[`EngineServer`]** — [`EngineServer::serve`] runs any
 //!   [`EngineBackend`] behind a single dispatch thread;
 //!   [`EngineServer::serve_sharded`] additionally detaches a
@@ -18,17 +22,28 @@
 //!   are independent between reconcile passes, so user-scoped `Apply`
 //!   requests are validated on the coordinator and executed concurrently
 //!   on the owning shard's worker, while event broadcasts, batches,
-//!   queries and `Rebalance` run a barrier (drain in-flight applies,
-//!   collect the shards, execute on the attached engine, redistribute).
+//!   per-entity reads and `Rebalance` run a barrier (drain in-flight
+//!   applies, collect the shards, execute on the attached engine,
+//!   redistribute).
+//!
+//! **Barrier-free reads**: the aggregate queries — `Utility`, `Stats`,
+//! `ShardStats` — never barrier and never even enter the dispatch queue.
+//! Every worker ships an epoch-tagged read-state view with each apply
+//! completion; the dispatcher installs it in a shared `QueryCache`
+//! *before* acking the apply, and connection threads answer aggregate
+//! queries straight from that cache. A reader therefore cannot stall the
+//! repair path, and a client that has seen an apply ack can never be
+//! served the pre-apply epoch.
 //!
 //! A client driving requests synchronously observes exactly the serial
 //! [`EngineService`](crate::EngineService) responses — the worker pool
-//! changes *where* repairs run, never what they produce. Concurrent
-//! clients interleave at request granularity in coordinator arrival
-//! order; the merged arrangement stays feasible because every delta still
-//! passes the coordinator's mirror validation and quota accounting.
+//! and the query cache change *where* work runs, never what it produces.
+//! Concurrent clients interleave at request granularity in coordinator
+//! arrival order; the merged arrangement stays feasible because every
+//! delta still passes the coordinator's mirror validation and quota
+//! accounting.
 
-use crate::coordinator::ShardedEngine;
+use crate::coordinator::{ShardStatsEntry, ShardedEngine};
 use crate::error::EngineError;
 use crate::protocol::{
     decode_request_envelope, decode_response_envelope, encode_request_envelope,
@@ -36,15 +51,15 @@ use crate::protocol::{
     RequestEnvelope, ResponseEnvelope, LEGACY_VERSION, PROTOCOL_VERSION,
 };
 use crate::service::{applied_response, dispatch_envelope, EngineBackend, EngineService};
-use crate::shard::{ApplyOutcome, Shard};
-use igepa_core::{CapacityTarget, InstanceDelta};
+use crate::shard::{ApplyOutcome, EngineStats, Shard};
+use igepa_core::{CapacityTarget, InstanceDelta, UtilityBreakdown};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::{self, JoinHandle};
 
 /// How JSON documents are delimited on the stream.
@@ -137,6 +152,14 @@ pub enum ClientError {
         /// Id the server echoed.
         got: u64,
     },
+    /// [`EngineClient::recv`] was asked for an id this client never sent
+    /// (or whose response was already consumed) — a local API misuse,
+    /// unlike [`ClientError::IdMismatch`], which is a server protocol
+    /// violation.
+    UnknownId {
+        /// The id that was never outstanding.
+        id: u64,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -148,6 +171,12 @@ impl fmt::Display for ClientError {
             ClientError::Disconnected => write!(f, "server closed the connection"),
             ClientError::IdMismatch { expected, got } => {
                 write!(f, "response id {got} does not match request id {expected}")
+            }
+            ClientError::UnknownId { id } => {
+                write!(
+                    f,
+                    "request id {id} was never sent (or its response was already consumed)"
+                )
             }
         }
     }
@@ -162,11 +191,25 @@ impl From<io::Error> for ClientError {
 }
 
 /// A blocking request/response client speaking [`PROTOCOL_VERSION`].
+///
+/// Besides the one-at-a-time [`EngineClient::call`], the client
+/// **pipelines**: [`EngineClient::send`] puts a request on the wire
+/// without waiting and [`EngineClient::recv`] matches responses to
+/// outstanding correlation ids on receipt (buffering any that arrive for
+/// a different id). [`EngineClient::pipeline`] drives a whole burst this
+/// way — every request is in flight before the first response is read —
+/// which removes the RTT-per-request floor the serial call pattern pays:
+/// throughput becomes server-bound instead of round-trip-bound, and the
+/// responses are byte-identical to the serial pattern's (pinned by test).
 pub struct EngineClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     framing: Framing,
     next_id: u64,
+    /// Ids sent but not yet handed to the caller.
+    outstanding: std::collections::BTreeSet<u64>,
+    /// Responses that arrived while waiting for a different id.
+    received: std::collections::BTreeMap<u64, Result<EngineResponse, EngineError>>,
 }
 
 impl EngineClient {
@@ -179,13 +222,15 @@ impl EngineClient {
             writer: stream,
             framing,
             next_id: 1,
+            outstanding: std::collections::BTreeSet::new(),
+            received: std::collections::BTreeMap::new(),
         })
     }
 
-    /// Sends one request and waits for its response. Typed failures the
-    /// server reports ([`EngineError`]) come back as
-    /// [`ClientError::Engine`].
-    pub fn call(&mut self, body: EngineRequest) -> Result<EngineResponse, ClientError> {
+    /// Sends one request without waiting for its response; returns the
+    /// correlation id to later [`EngineClient::recv`] with. The send-side
+    /// half of pipelining.
+    pub fn send(&mut self, body: EngineRequest) -> Result<u64, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let envelope = RequestEnvelope {
@@ -198,17 +243,90 @@ impl EngineClient {
             self.framing,
             &encode_request_envelope(&envelope),
         )?;
-        let line = read_frame(&mut self.reader, self.framing)?.ok_or(ClientError::Disconnected)?;
-        let response: ResponseEnvelope =
-            decode_response_envelope(&line).map_err(ClientError::Protocol)?;
-        if response.id != id {
-            return Err(ClientError::IdMismatch {
-                expected: id,
-                got: response.id,
-            });
-        }
-        response.result.map_err(ClientError::Engine)
+        self.outstanding.insert(id);
+        Ok(id)
     }
+
+    /// Receives the response for a previously [`EngineClient::send`]-sent
+    /// id, buffering responses that arrive for other outstanding ids. A
+    /// response for an id this client never sent is a protocol violation
+    /// ([`ClientError::IdMismatch`]).
+    pub fn recv(&mut self, id: u64) -> Result<EngineResponse, ClientError> {
+        if !self.outstanding.remove(&id) && !self.received.contains_key(&id) {
+            return Err(ClientError::UnknownId { id });
+        }
+        if let Some(result) = self.received.remove(&id) {
+            return result.map_err(ClientError::Engine);
+        }
+        loop {
+            let line =
+                read_frame(&mut self.reader, self.framing)?.ok_or(ClientError::Disconnected)?;
+            let response: ResponseEnvelope =
+                decode_response_envelope(&line).map_err(ClientError::Protocol)?;
+            if response.id == id {
+                return response.result.map_err(ClientError::Engine);
+            }
+            if !self.outstanding.remove(&response.id) {
+                return Err(ClientError::IdMismatch {
+                    expected: id,
+                    got: response.id,
+                });
+            }
+            self.received.insert(response.id, response.result);
+        }
+    }
+
+    /// Sends one request and waits for its response. Typed failures the
+    /// server reports ([`EngineError`]) come back as
+    /// [`ClientError::Engine`].
+    pub fn call(&mut self, body: EngineRequest) -> Result<EngineResponse, ClientError> {
+        let id = self.send(body)?;
+        self.recv(id)
+    }
+
+    /// Pipelines a burst: requests are sent ahead without waiting, and
+    /// responses are matched by correlation id in request order.
+    /// Engine-level failures come back per request; only transport
+    /// failures abort the whole burst.
+    ///
+    /// In-flight requests are capped at [`EngineClient::PIPELINE_WINDOW`]
+    /// — a fully unbounded send-ahead would deadlock once a burst
+    /// outgrows the TCP socket buffers (the server stops reading while
+    /// its response writes block, the client stops reading while its
+    /// sends block). The window keeps the RTT floor amortised away while
+    /// bounding buffered bytes.
+    pub fn pipeline(
+        &mut self,
+        bodies: Vec<EngineRequest>,
+    ) -> Result<Vec<Result<EngineResponse, EngineError>>, ClientError> {
+        let mut results = Vec::with_capacity(bodies.len());
+        let mut in_flight: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        let mut bodies = bodies.into_iter();
+        loop {
+            while in_flight.len() < Self::PIPELINE_WINDOW {
+                match bodies.next() {
+                    Some(body) => in_flight.push_back(self.send(body)?),
+                    None => break,
+                }
+            }
+            let Some(id) = in_flight.pop_front() else {
+                break;
+            };
+            results.push(match self.recv(id) {
+                Ok(response) => Ok(Ok(response)),
+                Err(ClientError::Engine(e)) => Ok(Err(e)),
+                Err(other) => Err(other),
+            }?);
+        }
+        Ok(results)
+    }
+
+    /// Maximum requests [`EngineClient::pipeline`] keeps in flight. At
+    /// typical envelope sizes this stays far below loopback socket
+    /// buffers; bursts of larger responses (e.g. `MergedSnapshot` of a
+    /// big instance) should be driven with `send`/`recv` directly at a
+    /// window sized to the expected response volume.
+    pub const PIPELINE_WINDOW: usize = 32;
 
     /// Applies one delta.
     pub fn apply(&mut self, delta: InstanceDelta) -> Result<EngineResponse, ClientError> {
@@ -223,14 +341,170 @@ impl EngineClient {
 
 // ----------------------------------------------------------------- server
 
+/// One shard's read-side state, computed by its worker after every apply
+/// and cached coordinator-side, tagged with the count of applies the
+/// shard has absorbed (its *repair epoch*). The dispatcher answers
+/// `Utility` / `Stats` / `ShardStats` queries from these views without
+/// barriering the worker pool; the view is installed **before** the
+/// corresponding apply is acked, so a reader that has seen an ack can
+/// never be served the pre-apply epoch.
+#[derive(Debug, Clone)]
+struct ShardView {
+    /// Applies absorbed by the shard when this view was taken.
+    epoch: u64,
+    /// Users owned by the shard (including retired ones).
+    users: usize,
+    /// Pairs the shard currently serves.
+    pairs: usize,
+    /// Utility breakdown of the shard's slice of the arrangement.
+    breakdown: UtilityBreakdown,
+    /// The shard's repair-loop counters.
+    stats: EngineStats,
+}
+
+impl ShardView {
+    fn of(shard: &Shard) -> Self {
+        let stats = *shard.stats();
+        ShardView {
+            epoch: stats.deltas_applied,
+            users: shard.instance().num_users(),
+            pairs: shard.arrangement().len(),
+            breakdown: shard.arrangement().utility(shard.instance()),
+            stats,
+        }
+    }
+}
+
+/// The coordinator-side query cache: per-shard views plus the mirror's
+/// rejection count, shared between the dispatcher (sole writer) and
+/// every connection thread (readers). Aggregate queries are answered
+/// straight from here **in the connection thread** — they never enter
+/// the dispatch queue, so readers cannot stall the repair path, let
+/// alone barrier it.
+struct QueryCache {
+    inner: RwLock<CacheInner>,
+}
+
+struct CacheInner {
+    views: Vec<ShardView>,
+    /// Mirror-validation rejections, attributed exactly as the serial
+    /// backend attributes them (aggregate stats and shard 0's entry).
+    rejected: u64,
+}
+
+impl QueryCache {
+    fn from_engine(engine: &ShardedEngine) -> Arc<Self> {
+        Arc::new(QueryCache {
+            inner: RwLock::new(CacheInner {
+                views: (0..engine.num_shards())
+                    .map(|k| ShardView::of(engine.shard(k)))
+                    .collect(),
+                rejected: engine.rejected_count(),
+            }),
+        })
+    }
+
+    /// Installs one shard's post-apply view (the per-completion hot path).
+    fn install(&self, shard: usize, view: ShardView, rejected: u64) {
+        let mut inner = self.inner.write().expect("query cache poisoned");
+        debug_assert!(
+            view.epoch >= inner.views[shard].epoch,
+            "views are monotonic"
+        );
+        inner.views[shard] = view;
+        inner.rejected = rejected;
+    }
+
+    /// Re-reads every shard (after barrier-executed operations).
+    fn refresh_all(&self, engine: &ShardedEngine) {
+        let mut inner = self.inner.write().expect("query cache poisoned");
+        for (k, view) in inner.views.iter_mut().enumerate() {
+            *view = ShardView::of(engine.shard(k));
+        }
+        inner.rejected = engine.rejected_count();
+    }
+
+    /// Records a mirror-validation rejection (fast-path apply refused).
+    fn note_rejected(&self, rejected: u64) {
+        self.inner.write().expect("query cache poisoned").rejected = rejected;
+    }
+
+    /// Answers one cacheable query, reproducing the serial service's
+    /// aggregation (same shard order, same float summation, same
+    /// rejected-delta attribution) bit for bit. Both dialects agree on
+    /// these queries: they carry no user-supplied ids, so there is no
+    /// `NotFound` case to diverge on.
+    fn answer(&self, query: EngineQuery) -> EngineResponse {
+        let inner = self.inner.read().expect("query cache poisoned");
+        match query {
+            EngineQuery::Utility => {
+                let mut total = 0.0;
+                let mut interest_sum = 0.0;
+                let mut interaction_sum = 0.0;
+                for view in &inner.views {
+                    total += view.breakdown.total;
+                    interest_sum += view.breakdown.interest_sum;
+                    interaction_sum += view.breakdown.interaction_sum;
+                }
+                EngineResponse::Utility {
+                    total,
+                    interest_sum,
+                    interaction_sum,
+                }
+            }
+            EngineQuery::Stats => {
+                let mut views = inner.views.iter();
+                let mut total = views.next().expect("at least one shard").stats;
+                for view in views {
+                    total = total.merged(&view.stats);
+                }
+                total.deltas_rejected += inner.rejected;
+                EngineResponse::Stats { stats: total }
+            }
+            EngineQuery::ShardStats => {
+                let shards = inner
+                    .views
+                    .iter()
+                    .enumerate()
+                    .map(|(k, view)| {
+                        let mut stats = view.stats;
+                        if k == 0 {
+                            stats.deltas_rejected += inner.rejected;
+                        }
+                        ShardStatsEntry {
+                            shard: k,
+                            users: view.users,
+                            pairs: view.pairs,
+                            utility: view.breakdown.total,
+                            stats,
+                        }
+                    })
+                    .collect();
+                EngineResponse::ShardStats { shards }
+            }
+            _ => unreachable!("only cacheable queries reach the view cache"),
+        }
+    }
+}
+
 /// Messages flowing into a server's dispatch thread.
 enum ServerMsg {
-    /// One decoded-later wire line plus the channel its response goes to.
+    /// One decoded-later wire line plus the channel its response goes to
+    /// (the serial server's path; connections decode nothing).
     Request { line: String, reply: Sender<String> },
+    /// One envelope already decoded by the connection thread (the
+    /// sharded server's path; cacheable queries were answered before
+    /// ever reaching this queue).
+    Envelope {
+        envelope: RequestEnvelope,
+        reply: Sender<String>,
+    },
     /// A per-shard worker finished an apply.
     Completion {
         shard: usize,
         outcome: ApplyOutcome,
+        /// The shard's post-apply read-state, for the query cache.
+        view: Box<ShardView>,
         envelope_id: u64,
         reply: Sender<String>,
     },
@@ -301,21 +575,24 @@ impl EngineServer {
         service: EngineService<B>,
         framing: Framing,
     ) -> io::Result<ServerHandle<B>> {
-        spawn_server(listener, framing, move |queue_rx, _queue_tx| {
+        spawn_server(listener, framing, None, move |queue_rx, _queue_tx| {
             serial_dispatch(service, queue_rx)
         })
     }
 
     /// Serves a [`ShardedEngine`] with one worker thread per shard:
     /// user-scoped `Apply` requests run concurrently on the owning
-    /// shard's worker; everything else barriers (see the module docs).
+    /// shard's worker; aggregate queries are answered from the shared
+    /// [`QueryCache`] in the connection threads (no barrier, no dispatch
+    /// queue); everything else barriers (see the module docs).
     pub fn serve_sharded(
         listener: TcpListener,
         engine: ShardedEngine,
         framing: Framing,
     ) -> io::Result<ServerHandle<ShardedEngine>> {
-        spawn_server(listener, framing, move |queue_rx, queue_tx| {
-            ShardDispatcher::new(engine, queue_tx).run(queue_rx)
+        let cache = QueryCache::from_engine(&engine);
+        spawn_server(listener, framing, Some(cache.clone()), move |rx, tx| {
+            ShardDispatcher::new(engine, tx, cache).run(rx)
         })
     }
 }
@@ -323,10 +600,12 @@ impl EngineServer {
 /// Spawns the accept loop and the dispatch thread shared by both server
 /// flavours. `dispatch` consumes the queue until shutdown and returns the
 /// backend; it also receives a sender so worker threads can feed
-/// completions into the same queue.
+/// completions into the same queue. With a `cache`, connection threads
+/// decode envelopes themselves and answer cacheable queries locally.
 fn spawn_server<B, F>(
     listener: TcpListener,
     framing: Framing,
+    cache: Option<Arc<QueryCache>>,
     dispatch: F,
 ) -> io::Result<ServerHandle<B>>
 where
@@ -349,7 +628,8 @@ where
             }
             let Ok(stream) = stream else { continue };
             let queue = accept_queue.clone();
-            thread::spawn(move || connection_loop(stream, queue, framing));
+            let cache = cache.clone();
+            thread::spawn(move || connection_loop(stream, queue, framing, cache));
         }
     });
 
@@ -365,22 +645,72 @@ where
 /// Per-connection read/dispatch/write loop. Requests from one connection
 /// are answered in order; the loop ends on client disconnect, a dead
 /// dispatcher, or a write failure.
-fn connection_loop(stream: TcpStream, queue: Sender<ServerMsg>, framing: Framing) {
+///
+/// With a query cache (the sharded server), the connection thread itself
+/// decodes each line: cacheable queries are answered straight from the
+/// cache — the read path shares nothing with the dispatch queue — and
+/// everything else is forwarded pre-decoded. Malformed lines answer
+/// locally under a per-connection fallback id.
+fn connection_loop(
+    stream: TcpStream,
+    queue: Sender<ServerMsg>,
+    framing: Framing,
+    cache: Option<Arc<QueryCache>>,
+) {
     stream.set_nodelay(true).ok();
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    let mut fallback_seq = 0u64;
     while let Ok(Some(line)) = read_frame(&mut reader, framing) {
         let (reply_tx, reply_rx) = mpsc::channel();
-        if queue
-            .send(ServerMsg::Request {
+        let msg = match &cache {
+            None => ServerMsg::Request {
                 line,
                 reply: reply_tx,
-            })
-            .is_err()
-        {
+            },
+            Some(cache) => {
+                fallback_seq += 1;
+                let envelope = match decode_request_envelope(&line, fallback_seq) {
+                    Ok(envelope) => envelope,
+                    Err(e) => {
+                        let response = ResponseEnvelope {
+                            id: fallback_seq,
+                            result: Err(EngineError::Malformed { detail: e.message }),
+                        };
+                        if write_frame(&mut writer, framing, &encode_response_envelope(&response))
+                            .is_err()
+                        {
+                            break;
+                        }
+                        continue;
+                    }
+                };
+                let supported =
+                    envelope.version == PROTOCOL_VERSION || envelope.version == LEGACY_VERSION;
+                if let (true, EngineRequest::Query { query }) = (supported, &envelope.body) {
+                    if cached_query(query) {
+                        let response = ResponseEnvelope {
+                            id: envelope.id,
+                            result: Ok(cache.answer(*query)),
+                        };
+                        if write_frame(&mut writer, framing, &encode_response_envelope(&response))
+                            .is_err()
+                        {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+                ServerMsg::Envelope {
+                    envelope,
+                    reply: reply_tx,
+                }
+            }
+        };
+        if queue.send(msg).is_err() {
             break;
         }
         let Ok(response) = reply_rx.recv() else {
@@ -405,13 +735,24 @@ fn serial_dispatch<B: EngineBackend>(
                 let envelope = service.handle_line(&line, fallback_seq);
                 let _ = reply.send(encode_response_envelope(&envelope));
             }
-            ServerMsg::Completion { .. } => {
-                unreachable!("the serial server spawns no workers")
+            ServerMsg::Envelope { .. } | ServerMsg::Completion { .. } => {
+                unreachable!("the serial server decodes in the dispatcher and spawns no workers")
             }
             ServerMsg::Shutdown => break,
         }
     }
     service.into_backend()
+}
+
+/// Whether a query is served from the coordinator-side view cache
+/// without barriering the workers. Aggregate reads qualify; per-entity
+/// reads (`AssignmentsOf`, `EventLoad`) and the full `MergedSnapshot`
+/// need arrangement detail only the shards hold.
+fn cached_query(query: &EngineQuery) -> bool {
+    matches!(
+        query,
+        EngineQuery::Utility | EngineQuery::Stats | EngineQuery::ShardStats
+    )
 }
 
 /// Whether a delta routes to a single owning shard (the worker fast
@@ -447,11 +788,17 @@ struct ShardDispatcher {
     attached: bool,
     /// Requests buffered while a barrier drained completions.
     backlog: VecDeque<ServerMsg>,
-    fallback_seq: u64,
+    /// The query cache shared with every connection thread; this
+    /// dispatcher is its only writer.
+    cache: Arc<QueryCache>,
 }
 
 impl ShardDispatcher {
-    fn new(mut engine: ShardedEngine, completion_tx: Sender<ServerMsg>) -> Self {
+    fn new(
+        mut engine: ShardedEngine,
+        completion_tx: Sender<ServerMsg>,
+        cache: Arc<QueryCache>,
+    ) -> Self {
         let (shard_return_tx, shard_return_rx) = mpsc::channel();
         let shards = engine.detach_shards();
         let workers = shards
@@ -468,7 +815,7 @@ impl ShardDispatcher {
             pending: 0,
             attached: false,
             backlog: VecDeque::new(),
-            fallback_seq: 0,
+            cache,
         }
     }
 
@@ -484,13 +831,17 @@ impl ShardDispatcher {
                 },
             };
             match msg {
-                ServerMsg::Request { line, reply } => self.on_request(line, reply, &queue),
+                ServerMsg::Request { .. } => {
+                    unreachable!("sharded connections decode envelopes themselves")
+                }
+                ServerMsg::Envelope { envelope, reply } => self.on_request(envelope, reply, &queue),
                 ServerMsg::Completion {
                     shard,
                     outcome,
+                    view,
                     envelope_id,
                     reply,
-                } => self.on_completion(shard, outcome, envelope_id, reply, &queue),
+                } => self.on_completion(shard, outcome, *view, envelope_id, reply, &queue),
                 ServerMsg::Shutdown => break,
             }
         }
@@ -506,21 +857,12 @@ impl ShardDispatcher {
         self.engine
     }
 
-    fn on_request(&mut self, line: String, reply: Sender<String>, queue: &Receiver<ServerMsg>) {
-        self.fallback_seq += 1;
-        let envelope = match decode_request_envelope(&line, self.fallback_seq) {
-            Ok(envelope) => envelope,
-            Err(e) => {
-                respond(
-                    &reply,
-                    ResponseEnvelope {
-                        id: self.fallback_seq,
-                        result: Err(EngineError::Malformed { detail: e.message }),
-                    },
-                );
-                return;
-            }
-        };
+    fn on_request(
+        &mut self,
+        envelope: RequestEnvelope,
+        reply: Sender<String>,
+        queue: &Receiver<ServerMsg>,
+    ) {
         // Version-gate BEFORE routing, mirroring `dispatch_envelope`: an
         // unsupported dialect must never reach the fast path and mutate
         // state (the serial server answers `Unsupported` and so must we).
@@ -555,6 +897,7 @@ impl ShardDispatcher {
                             .expect("worker alive until shutdown");
                     }
                     Err(e) => {
+                        self.cache.note_rejected(self.engine.rejected_count());
                         let result = if strict {
                             Err(EngineError::from(&e))
                         } else {
@@ -573,59 +916,93 @@ impl ShardDispatcher {
                 }
             }
             // Everything else executes on the fully attached engine
-            // through the one service implementation.
+            // through the one service implementation. (Cacheable queries
+            // never reach this queue — connection threads answer them
+            // from the shared cache.) The cache refreshes BEFORE the
+            // response goes out, preserving the never-stale-after-ack
+            // guarantee for barrier-executed applies (broadcasts,
+            // batches, rebalances) too.
             _ => {
                 self.barrier(queue);
                 let response = dispatch_envelope(&mut self.engine, &envelope);
+                self.cache.refresh_all(&self.engine);
                 respond(&reply, response);
                 self.redistribute();
             }
         }
     }
 
-    /// Completion bookkeeping shared by the main loop and the barrier
-    /// drain: account the shard outcome, answer the waiting client with
-    /// merged totals (exactly the serial coordinator's `ApplyOutcome`,
-    /// pre-reconcile), and count the delta toward the reconcile interval.
-    /// The periodic reconcile itself is the caller's decision — the main
-    /// loop barriers for it, the barrier drain runs it once attached.
-    fn complete_apply(
+    /// Completion bookkeeping: account the shard outcome, install the
+    /// post-apply view in the query cache, count the delta toward the
+    /// reconcile interval, and build the client's response with merged
+    /// totals (exactly the serial coordinator's `ApplyOutcome`,
+    /// pre-reconcile). The caller decides when to send it.
+    fn account_apply(
         &mut self,
         shard: usize,
         outcome: ApplyOutcome,
+        view: ShardView,
         envelope_id: u64,
-        reply: &Sender<String>,
-    ) {
+    ) -> ResponseEnvelope {
         self.pending -= 1;
         self.engine.note_outcome(shard, &outcome);
+        // Install the post-apply view BEFORE the ack can go out: once a
+        // client sees the ack, every cached read reflects this apply.
+        self.cache
+            .install(shard, view, self.engine.rejected_count());
         let merged = ApplyOutcome {
             kind: outcome.kind,
             repair: outcome.repair,
             utility: self.engine.utility(),
             num_pairs: self.engine.num_pairs(),
         };
-        respond(
-            reply,
-            ResponseEnvelope {
-                id: envelope_id,
-                result: Ok(applied_response(merged)),
-            },
-        );
         self.engine.note_applied(1);
+        ResponseEnvelope {
+            id: envelope_id,
+            result: Ok(applied_response(merged)),
+        }
+    }
+
+    /// Barrier-drain variant: account and answer immediately. Applies
+    /// drained here did not trigger the pending reconcile themselves, so
+    /// a pre-reconcile ack matches the serial semantics (their requests
+    /// are concurrent with the triggering one).
+    fn complete_apply(
+        &mut self,
+        shard: usize,
+        outcome: ApplyOutcome,
+        view: ShardView,
+        envelope_id: u64,
+        reply: &Sender<String>,
+    ) {
+        let response = self.account_apply(shard, outcome, view, envelope_id);
+        respond(reply, response);
     }
 
     fn on_completion(
         &mut self,
         shard: usize,
         outcome: ApplyOutcome,
+        view: ShardView,
         envelope_id: u64,
         reply: Sender<String>,
         queue: &Receiver<ServerMsg>,
     ) {
-        self.complete_apply(shard, outcome, envelope_id, &reply);
+        let response = self.account_apply(shard, outcome, view, envelope_id);
         if self.engine.periodic_reconcile_pending() {
+            // This apply crossed the reconcile interval. The serial
+            // coordinator reconciles before returning from apply, so the
+            // reconcile (and the cache refresh reflecting it) must land
+            // BEFORE this ack — a synchronous client's post-ack cached
+            // reads are then post-reconcile, exactly like the serial
+            // service's. The response itself keeps its pre-reconcile
+            // merged totals, also exactly like the serial outcome.
             self.barrier(queue);
+            self.cache.refresh_all(&self.engine);
+            respond(&reply, response);
             self.redistribute();
+        } else {
+            respond(&reply, response);
         }
     }
 
@@ -641,9 +1018,10 @@ impl ShardDispatcher {
                 ServerMsg::Completion {
                     shard,
                     outcome,
+                    view,
                     envelope_id,
                     reply,
-                } => self.complete_apply(shard, outcome, envelope_id, &reply),
+                } => self.complete_apply(shard, outcome, *view, envelope_id, &reply),
                 msg => self.backlog.push_back(msg),
             }
         }
@@ -673,7 +1051,9 @@ impl ShardDispatcher {
         }
     }
 
-    /// Sends the shards back to their workers after a barrier.
+    /// Sends the shards back to their workers after a barrier. Callers
+    /// refresh the query cache themselves before responding (both barrier
+    /// paths do it pre-ack), so no refresh happens here.
     fn redistribute(&mut self) {
         if !self.attached {
             return;
@@ -711,17 +1091,29 @@ fn spawn_worker(
                     reply,
                 } => {
                     let shard = slot.as_mut().expect("apply while surrendered");
-                    let outcome = shard.apply(&delta).unwrap_or_else(|e| {
+                    let (outcome, breakdown) = shard.apply_measured(&delta).unwrap_or_else(|e| {
                         panic!(
                             "shard {k} rejected a mirror-validated delta ({e}); \
                              ShardedEngine requires attribute-based (id-independent) \
                              conflict and interest functions"
                         )
                     });
+                    // Read-state for the coordinator's query cache,
+                    // computed here (reusing the apply's own utility
+                    // scan) so readers never have to barrier.
+                    let stats = *shard.stats();
+                    let view = Box::new(ShardView {
+                        epoch: stats.deltas_applied,
+                        users: shard.instance().num_users(),
+                        pairs: shard.arrangement().len(),
+                        breakdown,
+                        stats,
+                    });
                     if completion_tx
                         .send(ServerMsg::Completion {
                             shard: k,
                             outcome,
+                            view,
                             envelope_id,
                             reply,
                         })
@@ -912,6 +1304,161 @@ mod tests {
             engine.merged_utility().total.to_bits(),
             serial_engine.merged_utility().total.to_bits()
         );
+    }
+
+    #[test]
+    fn cached_reads_are_never_stale_after_apply_acks() {
+        // The consistency pin of the barrier-free read path: the cache is
+        // updated BEFORE an apply is acked — per completion on the worker
+        // fast path, and by the pre-respond refresh on the barrier path
+        // (broadcasts) — so a client that has seen the ack can never read
+        // the pre-apply epoch. Drive both apply kinds over TCP and, after
+        // every single ack, compare each cacheable query against a serial
+        // in-process service fed the same stream — bit for bit.
+        let mut serial = EngineService::new(sharded_for(3, 6, 3));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            EngineServer::serve_sharded(listener, sharded_for(3, 6, 3), Framing::Lines).unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+
+        // Run past the periodic reconcile interval (64): the apply that
+        // crosses it must reconcile-and-refresh BEFORE its ack, exactly
+        // like the serial coordinator reconciles before returning.
+        for i in 0..70 {
+            let apply = if i % 5 == 4 {
+                // Event-scoped: takes the barrier path, not the worker
+                // fast path.
+                EngineRequest::Apply {
+                    delta: InstanceDelta::AddEvent {
+                        capacity: 2,
+                        attrs: AttributeVector::empty(),
+                    },
+                }
+            } else {
+                add_user_request(i % 3)
+            };
+            let expected_ack = serial.try_handle(&apply).unwrap();
+            let ack = client.call(apply).unwrap();
+            assert_eq!(ack, expected_ack);
+            for query in [
+                EngineQuery::Utility,
+                EngineQuery::Stats,
+                EngineQuery::ShardStats,
+            ] {
+                let expected = serial.try_handle(&EngineRequest::Query { query }).unwrap();
+                let got = client.query(query).unwrap();
+                assert_eq!(got, expected, "stale cached read after ack {i}");
+            }
+        }
+
+        drop(client);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipelined_client_matches_serial_client_bit_for_bit() {
+        // The same request mix — applies, aggregate queries, invalid
+        // deltas — driven once serially (call per request) and once as a
+        // single pipelined burst against identically-constructed servers.
+        // Pipelining changes only when requests hit the wire, never what
+        // they produce.
+        let requests: Vec<EngineRequest> = (0..60)
+            .map(|i| match i % 6 {
+                1 => EngineRequest::Query {
+                    query: EngineQuery::Utility,
+                },
+                3 => EngineRequest::Query {
+                    query: EngineQuery::Stats,
+                },
+                4 => EngineRequest::Apply {
+                    delta: InstanceDelta::UpdateInteractionScore {
+                        user: UserId::new(9999),
+                        score: 0.5,
+                    },
+                },
+                5 => EngineRequest::Query {
+                    query: EngineQuery::ShardStats,
+                },
+                _ => add_user_request(i % 3),
+            })
+            .collect();
+
+        let run = |pipelined: bool| -> Vec<Result<EngineResponse, EngineError>> {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let handle =
+                EngineServer::serve_sharded(listener, sharded_for(3, 6, 2), Framing::Lines)
+                    .unwrap();
+            let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+            let results = if pipelined {
+                client.pipeline(requests.clone()).unwrap()
+            } else {
+                requests
+                    .iter()
+                    .map(|r| match client.call(r.clone()) {
+                        Ok(response) => Ok(response),
+                        Err(ClientError::Engine(e)) => Err(e),
+                        Err(other) => panic!("transport failure: {other}"),
+                    })
+                    .collect()
+            };
+            drop(client);
+            handle.shutdown().unwrap();
+            results
+        };
+
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn large_pipelined_bursts_do_not_deadlock() {
+        // A burst far beyond the in-flight window (and beyond what
+        // unbounded send-ahead could push through loopback socket
+        // buffers without the server stalling) completes, in order.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            EngineServer::serve_sharded(listener, sharded_for(2, 4, 2), Framing::Lines).unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+        let burst: Vec<EngineRequest> = (0..2000)
+            .map(|i| match i % 2 {
+                0 => EngineRequest::Query {
+                    query: EngineQuery::Utility,
+                },
+                _ => add_user_request(i % 2),
+            })
+            .collect();
+        let results = client.pipeline(burst).unwrap();
+        assert_eq!(results.len(), 2000);
+        assert!(results.iter().all(|r| r.is_ok()));
+        drop(client);
+        let engine = handle.shutdown().unwrap();
+        assert_eq!(engine.instance().num_users(), 4 + 1000);
+    }
+
+    #[test]
+    fn recv_rejects_ids_never_sent() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            EngineServer::serve_sharded(listener, sharded_for(2, 2, 1), Framing::Lines).unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+        assert!(matches!(
+            client.recv(42),
+            Err(ClientError::UnknownId { id: 42 })
+        ));
+        // Out-of-order receive of a real burst still works.
+        let a = client
+            .send(EngineRequest::Query {
+                query: EngineQuery::Utility,
+            })
+            .unwrap();
+        let b = client
+            .send(EngineRequest::Query {
+                query: EngineQuery::Stats,
+            })
+            .unwrap();
+        assert!(matches!(client.recv(b), Ok(EngineResponse::Stats { .. })));
+        assert!(matches!(client.recv(a), Ok(EngineResponse::Utility { .. })));
+        drop(client);
+        handle.shutdown().unwrap();
     }
 
     #[test]

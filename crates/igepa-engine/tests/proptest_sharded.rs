@@ -39,6 +39,25 @@ fn raw_delta_strategy() -> impl Strategy<Value = RawDelta> {
     })
 }
 
+/// Event-churn-heavy sequences: announcements and capacity edits (the
+/// broadcast kinds, which take the catalogue publish path) drawn with
+/// ~4x the weight of user-side churn.
+fn churn_heavy_strategy() -> impl Strategy<Value = RawDelta> {
+    (0u8..10, 0usize..64, 0usize..64, 0.0f64..=1.0).prop_map(|(pick, a, b, score)| {
+        // 0..6 map onto AddEvent (2) / UpdateCapacity (3, event-target
+        // biased via even b); 6..10 onto the user-side kinds.
+        let (kind, b) = match pick {
+            0..=2 => (2, b),
+            3..=5 => (3, b & !1),
+            6 => (0, b),
+            7 => (4, b),
+            8 => (5, b),
+            _ => (1, b),
+        };
+        RawDelta { kind, a, b, score }
+    })
+}
+
 /// Resolves a raw delta against current instance dimensions.
 fn resolve(raw: &RawDelta, instance: &Instance) -> InstanceDelta {
     let num_events = instance.num_events();
@@ -274,6 +293,81 @@ proptest! {
                     request
                 );
             }
+        }
+        prop_assert_eq!(mono.utility().to_bits(), sharded.utility().to_bits());
+        prop_assert_eq!(mono.arrangement().len(), sharded.num_pairs());
+    }
+
+    /// The tentpole memory invariant under the workload it exists for:
+    /// arbitrary churn-heavy delta sequences (announcement/capacity
+    /// dominated) never split the shared conflict matrix — mirror,
+    /// catalogue and every shard keep `Arc::ptr_eq` handles — while the
+    /// catalogue's true capacities track the mirror, quotas keep summing
+    /// to true capacity, and the merged arrangement stays feasible.
+    #[test]
+    fn churn_heavy_sequences_keep_one_shared_conflict_matrix(
+        shards in 1usize..5,
+        raws in proptest::collection::vec(churn_heavy_strategy(), 1..40),
+        seed in 0u64..50,
+    ) {
+        use std::sync::Arc;
+        let instance = seeded_instance(3, 5, true);
+        let mut engine = sharded_over(instance, seed, shards, 4);
+        for raw in &raws {
+            let delta = resolve(raw, engine.instance());
+            let outcome = engine.apply(&delta);
+            prop_assert!(outcome.is_ok(), "resolved delta rejected: {:?}", outcome.err());
+            let mirror = engine.instance().conflicts_handle();
+            prop_assert!(
+                Arc::ptr_eq(mirror, engine.catalog().snapshot().conflicts_handle()),
+                "catalogue forked its matrix after {:?}", delta.kind()
+            );
+            for k in 0..engine.num_shards() {
+                prop_assert!(
+                    Arc::ptr_eq(mirror, engine.shard(k).instance().conflicts_handle()),
+                    "shard {} forked its matrix after {:?}", k, delta.kind()
+                );
+            }
+            for event in engine.instance().events() {
+                prop_assert_eq!(engine.catalog().true_capacity(event.id), event.capacity);
+            }
+            assert_quota_invariant(&engine);
+            prop_assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+        }
+    }
+
+    /// Heavy event churn through the catalogue publish path must not
+    /// perturb the one-shard ≡ monolithic equivalence: applies and
+    /// batches answer bit-for-bit identically.
+    #[test]
+    fn one_shard_stays_bit_for_bit_under_heavy_event_churn(
+        raws in proptest::collection::vec(churn_heavy_strategy(), 1..40),
+        batch_every in 2usize..4,
+        seed in 0u64..50,
+    ) {
+        let instance = seeded_instance(2, 3, true);
+        let mut mono = monolithic_over(instance.clone(), seed);
+        let mut sharded = sharded_over(instance, seed, 1, 4);
+        let mut pending: Vec<InstanceDelta> = Vec::new();
+        for (i, raw) in raws.iter().enumerate() {
+            let delta = resolve(raw, mono.instance());
+            let request = if i % batch_every == 0 {
+                pending.push(delta);
+                if pending.len() < 2 {
+                    continue;
+                }
+                EngineRequest::ApplyBatch { deltas: std::mem::take(&mut pending) }
+            } else {
+                EngineRequest::Apply { delta }
+            };
+            let mono_response = mono.handle(&request);
+            let sharded_response = sharded.handle(&request);
+            prop_assert_eq!(
+                encode_response(&mono_response),
+                encode_response(&sharded_response),
+                "diverged on request {:?}",
+                request
+            );
         }
         prop_assert_eq!(mono.utility().to_bits(), sharded.utility().to_bits());
         prop_assert_eq!(mono.arrangement().len(), sharded.num_pairs());

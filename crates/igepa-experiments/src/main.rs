@@ -98,13 +98,14 @@ fn main() {
             if let Some(addr) = &options.connect {
                 // Drive a server started elsewhere with `--listen`.
                 let deltas = options.deltas.unwrap_or(500);
-                let report = run_connect_study(&settings, addr, deltas, shards);
+                let report = run_connect_study(&settings, addr, deltas, shards, options.churn);
                 println!("{}", report.to_markdown());
             } else if let Some(addr) = &options.listen {
                 if let Some(deltas) = options.deltas {
                     // Loopback smoke: server + client in this process,
                     // with a server-side feasibility check on shutdown.
-                    let report = run_loopback_study(&settings, addr, deltas, shards.max(1));
+                    let report =
+                        run_loopback_study(&settings, addr, deltas, shards.max(1), options.churn);
                     println!("{}", report.to_markdown());
                     if report.merged_feasible != Some(true) {
                         eprintln!("merged arrangement is INFEASIBLE after the TCP smoke");
@@ -123,7 +124,7 @@ fn main() {
             } else {
                 let deltas = options.deltas.unwrap_or(10_000);
                 if shards > 1 {
-                    let report = run_sharded_serve_study(&settings, deltas, shards);
+                    let report = run_sharded_serve_study(&settings, deltas, shards, options.churn);
                     println!("{}", report.to_markdown());
                     if !report.merged_feasible {
                         eprintln!("merged arrangement is INFEASIBLE");
@@ -201,6 +202,7 @@ struct Options {
     shards: Option<usize>,
     listen: Option<String>,
     connect: Option<String>,
+    churn: bool,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -243,6 +245,7 @@ fn parse_options(args: &[String]) -> Options {
                 options.listen = args.get(i + 1).cloned();
                 i += 1;
             }
+            "--churn" => options.churn = true,
             "--connect" => {
                 options.connect = args.get(i + 1).cloned();
                 i += 1;
@@ -297,6 +300,7 @@ fn print_usage() {
            --csv-dir <dir>  also write CSV files into <dir>\n\
            --deltas <n>     trace length for `serve` (default 10000)\n\
            --shards <n>     shard count for `serve` (default 1 = monolithic)\n\
+           --churn          announcement-heavy trace for `serve` (event churn)\n\
            --listen <addr>  serve over TCP (with --deltas: in-process loopback\n\
                             smoke incl. feasibility check; without: serve forever)\n\
            --connect <addr> drive a --listen server from this process"

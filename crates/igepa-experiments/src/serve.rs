@@ -301,13 +301,14 @@ pub fn run_sharded_serve_study(
     settings: &ExperimentSettings,
     num_deltas: usize,
     shards: usize,
+    churn: bool,
 ) -> ShardedServeReport {
     let dataset = generate_clustered_dataset(&scaled_clustered(settings), settings.base_seed);
     let base = dataset.instance.clone();
     let trace = generate_community_trace(
         &base,
         &dataset.event_communities,
-        &CommunityTraceConfig::partition_friendly(num_deltas, shards.max(1)),
+        &trace_mix(num_deltas, shards.max(1), churn),
         settings.base_seed + 1,
     );
     let requests: Vec<EngineRequest> = trace
@@ -427,16 +428,30 @@ impl LoopbackReport {
 
 /// The community trace both TCP entry points drive, derived from the same
 /// settings on the server and client side so remote runs replay cleanly.
+/// The delta mix driven through the serving studies: the
+/// partition-friendly workload where sharding shines, or — with `churn`
+/// — the announcement-heavy mix that historically diluted it (every
+/// event-scoped delta broadcasts; the shared catalogue absorbs them with
+/// one publish).
+fn trace_mix(num_deltas: usize, num_communities: usize, churn: bool) -> CommunityTraceConfig {
+    if churn {
+        CommunityTraceConfig::announcement_heavy(num_deltas, num_communities)
+    } else {
+        CommunityTraceConfig::partition_friendly(num_deltas, num_communities)
+    }
+}
+
 fn tcp_trace(
     settings: &ExperimentSettings,
     num_deltas: usize,
     shards: usize,
+    churn: bool,
 ) -> Vec<EngineRequest> {
     let dataset = generate_clustered_dataset(&scaled_clustered(settings), settings.base_seed);
     let trace = generate_community_trace(
         &dataset.instance,
         &dataset.event_communities,
-        &CommunityTraceConfig::partition_friendly(num_deltas, shards.max(1)),
+        &trace_mix(num_deltas, shards.max(1), churn),
         settings.base_seed + 1,
     );
     trace
@@ -501,8 +516,9 @@ pub fn run_loopback_study(
     listen_addr: &str,
     num_deltas: usize,
     shards: usize,
+    churn: bool,
 ) -> LoopbackReport {
-    let requests = tcp_trace(settings, num_deltas, shards);
+    let requests = tcp_trace(settings, num_deltas, shards, churn);
     let listener = TcpListener::bind(listen_addr).expect("listen address binds");
     let handle = EngineServer::serve_sharded(
         listener,
@@ -539,8 +555,9 @@ pub fn run_connect_study(
     connect_addr: &str,
     num_deltas: usize,
     shards: usize,
+    churn: bool,
 ) -> LoopbackReport {
-    let requests = tcp_trace(settings, num_deltas, shards);
+    let requests = tcp_trace(settings, num_deltas, shards, churn);
     let mut client = EngineClient::connect(connect_addr, Framing::Lines).expect("server reachable");
     let (applied, rejected, rtt, final_utility, final_pairs) =
         drive_client(&mut client, &requests).expect("transport stays up");
@@ -620,7 +637,7 @@ mod tests {
             scale: 0.25,
             ..ExperimentSettings::quick()
         };
-        let report = run_sharded_serve_study(&settings, 400, 4);
+        let report = run_sharded_serve_study(&settings, 400, 4, false);
         assert_eq!(report.shards, 4);
         assert!(report.merged_feasible, "merged arrangement infeasible");
         assert!(
@@ -641,7 +658,7 @@ mod tests {
             scale: 0.2,
             ..ExperimentSettings::quick()
         };
-        let report = run_loopback_study(&settings, "127.0.0.1:0", 120, 2);
+        let report = run_loopback_study(&settings, "127.0.0.1:0", 120, 2, false);
         assert_eq!(report.num_deltas, 120);
         assert_eq!(report.rejected, 0, "community trace must replay cleanly");
         assert_eq!(report.applied, 120);
@@ -662,7 +679,7 @@ mod tests {
             scale: 0.2,
             ..ExperimentSettings::quick()
         };
-        let report = run_sharded_serve_study(&settings, 200, 1);
+        let report = run_sharded_serve_study(&settings, 200, 1, false);
         assert_eq!(report.shards, 1);
         assert!(report.merged_feasible);
         assert_eq!(
