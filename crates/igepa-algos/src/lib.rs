@@ -59,4 +59,6 @@ pub use randomized::{RandomU, RandomV};
 pub use runner::{run_and_record, run_repeated, ArrangementAlgorithm, RunRecord};
 pub use simulated_annealing::SimulatedAnnealing;
 pub use tabu_search::TabuSearch;
-pub use warm_start::{admit_greedily, can_assign, carry_over_feasible, WarmStart};
+pub use warm_start::{
+    admit_greedily, admit_greedily_with, can_assign, carry_over_feasible, WarmStart,
+};

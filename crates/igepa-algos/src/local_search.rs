@@ -52,7 +52,9 @@ impl LocalSearch {
 
         for user in instance.users() {
             let u = user.id;
-            let current = arrangement.events_of(u).to_vec();
+            // A direct slice borrow: the move is only applied after the
+            // scan, so no allocation per user is needed.
+            let current = arrangement.events_of(u);
             // Add moves.
             if current.len() < user.capacity {
                 for &v in &user.bids {
@@ -78,7 +80,7 @@ impl LocalSearch {
                 }
             }
             // Swap moves: replace `out` with `v`.
-            for &out in &current {
+            for &out in current {
                 for &v in &user.bids {
                     if v == out || arrangement.contains(v, u) {
                         continue;

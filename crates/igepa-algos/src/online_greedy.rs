@@ -47,17 +47,21 @@ impl ArrangementAlgorithm for OnlineGreedy {
         if self.shuffle_arrivals {
             arrival.shuffle(rng);
         }
-        let mut remaining: Vec<usize> = instance.events().iter().map(|e| e.capacity).collect();
         let mut arrangement = Arrangement::empty_for(instance);
 
         for user_index in arrival {
             let user_id = UserId::new(user_index);
             let sets = enumerate_for_user(instance, user_id, self.admissible_set_limit)
                 .expect("admissible-set enumeration within limit");
-            // Best admissible set that fits the remaining capacities.
+            // Best admissible set that fits the remaining capacities; the
+            // arrangement's O(1) per-event loads are the remaining-capacity
+            // bookkeeping (no parallel vector to keep in sync).
             let mut best: Option<(f64, &Vec<igepa_core::EventId>)> = None;
             for set in &sets {
-                if set.iter().any(|&v| remaining[v.index()] == 0) {
+                if set
+                    .iter()
+                    .any(|&v| arrangement.load_of(v) >= instance.event(v).capacity)
+                {
                     continue;
                 }
                 let weight = instance.set_weight(user_id, set);
@@ -68,7 +72,6 @@ impl ArrangementAlgorithm for OnlineGreedy {
             }
             if let Some((_, set)) = best {
                 for &v in set {
-                    remaining[v.index()] -= 1;
                     arrangement.assign(v, user_id);
                 }
             }

@@ -64,9 +64,11 @@ impl TabuSearch {
         let mut moves = Vec::new();
         for user in instance.users() {
             let u = user.id;
-            let current = arrangement.events_of(u).to_vec();
+            // Slice borrow — the chosen move is applied after enumeration,
+            // so no per-user copy is required.
+            let current = arrangement.events_of(u);
             // Removals.
-            for &v in &current {
+            for &v in current {
                 moves.push((Move::Remove { v, u }, -instance.weight(v, u)));
             }
             // Additions.
@@ -84,7 +86,7 @@ impl TabuSearch {
                 }
             }
             // Swaps.
-            for &out in &current {
+            for &out in current {
                 for &v in &user.bids {
                     if v == out
                         || arrangement.contains(v, u)

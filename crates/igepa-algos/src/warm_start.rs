@@ -67,6 +67,19 @@ pub fn admit_greedily(
     arrangement: &mut Arrangement,
     candidates: impl IntoIterator<Item = (EventId, UserId)>,
 ) -> usize {
+    admit_greedily_with(instance, arrangement, candidates, |_, _| {})
+}
+
+/// [`admit_greedily`] with an observer invoked for every pair actually
+/// admitted, in admission order. The serving engine threads its
+/// incremental utility tracker through here so repair-path admissions
+/// update the running sums without a post-hoc re-scan.
+pub fn admit_greedily_with(
+    instance: &Instance,
+    arrangement: &mut Arrangement,
+    candidates: impl IntoIterator<Item = (EventId, UserId)>,
+    mut on_admit: impl FnMut(EventId, UserId),
+) -> usize {
     let mut pairs: Vec<(f64, EventId, UserId)> = candidates
         .into_iter()
         .map(|(v, u)| (instance.weight(v, u), v, u))
@@ -80,6 +93,7 @@ pub fn admit_greedily(
     for (_, v, u) in pairs {
         if can_assign(instance, arrangement, v, u) {
             arrangement.assign(v, u);
+            on_admit(v, u);
             added += 1;
         }
     }

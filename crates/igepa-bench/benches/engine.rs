@@ -645,6 +645,100 @@ fn churn_scenarios(report: &mut BenchReport) {
     }
 }
 
+/// O(1)-utility-tracking scenarios (PR 5): what the tracker removed from
+/// the apply hot path, at serving scale.
+///
+/// * `apply_tracked/{users}` — per-delta apply latency of the current
+///   engine: scoring is the tracker's O(changed pairs) updates and the
+///   outcome utility is an O(1) read.
+/// * `apply_recompute_baseline/{users}` — the same applies plus one
+///   from-scratch `Arrangement::utility` fold per apply, reconstructing
+///   what every apply paid before the tracker (the engine recomputed the
+///   full O(|M|) breakdown for each outcome and shard view).
+/// * `users_of_index/{users}` vs `users_of_scan/{users}` — listing an
+///   event's attendees via the reverse attendee index (O(1) slice
+///   borrow) vs the reconstructed pre-index full-user membership scan
+///   that `greedy_patch` used to pay per dirty event.
+fn utility_tracking_scenarios(report: &mut BenchReport) {
+    for &num_users in &[10_000usize, 100_000] {
+        let base = generate_synthetic(
+            &SyntheticConfig {
+                num_events: 50,
+                num_users,
+                bids_per_user: 4,
+                ..SyntheticConfig::default()
+            },
+            7,
+        );
+        let trace = trace_for(&base, 256);
+
+        let mut engine = fresh_engine(base.clone());
+        let mut tracked_us = Vec::with_capacity(trace.deltas.len());
+        for timed in &trace.deltas {
+            let start = Instant::now();
+            engine.apply(&timed.delta).expect("trace deltas are valid");
+            tracked_us.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+        }
+        black_box(engine.utility());
+        report.record(
+            format!("utility_tracking/apply_tracked/{num_users}"),
+            tracked_us,
+        );
+
+        let mut engine = fresh_engine(base.clone());
+        let mut recompute_us = Vec::with_capacity(trace.deltas.len());
+        for timed in &trace.deltas {
+            let start = Instant::now();
+            engine.apply(&timed.delta).expect("trace deltas are valid");
+            // The pre-tracker engine folded the full breakdown inside
+            // every apply; reconstruct that cost explicitly.
+            black_box(engine.arrangement().utility(engine.instance()));
+            recompute_us.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+        }
+        report.record(
+            format!("utility_tracking/apply_recompute_baseline/{num_users}"),
+            recompute_us,
+        );
+
+        // Attendee listing: reverse index vs reconstructed full scan. A
+        // single indexed call is a ~ns slice borrow — far below
+        // `Instant::now()` overhead — so each recorded sample times a
+        // batch of `REPS` calls and divides, keeping the published
+        // numbers an honest per-call cost rather than a timer floor.
+        const REPS: usize = 1_000;
+        let arrangement = engine.arrangement();
+        let mut index_us = Vec::new();
+        let mut scan_us = Vec::new();
+        for v in 0..base.num_events() {
+            let v = igepa_core::EventId::new(v);
+            let start = Instant::now();
+            let mut indexed = 0usize;
+            for _ in 0..REPS {
+                indexed = black_box(black_box(&arrangement).users_of(v).len());
+            }
+            index_us.push(start.elapsed().as_nanos() as f64 / 1_000.0 / REPS as f64);
+
+            let start = Instant::now();
+            let mut scanned = 0usize;
+            for u in 0..arrangement.num_users() {
+                if arrangement.contains(v, UserId::new(u)) {
+                    scanned += 1;
+                }
+            }
+            scan_us.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+            assert_eq!(indexed, scanned, "index diverged from scan");
+        }
+        report.record(
+            format!("utility_tracking/users_of_index/{num_users}"),
+            index_us,
+        );
+        report.record(
+            format!("utility_tracking/users_of_scan/{num_users}"),
+            scan_us,
+        );
+    }
+}
+
 /// Measures the cost-model unit constants with the engine's own online
 /// calibration: drive a churny trace through a calibrating engine and
 /// report the converged EWMA estimates. NOTE: for these two scenarios the
@@ -836,6 +930,7 @@ fn main() {
     }
     let mut report = BenchReport::new();
     churn_scenarios(&mut report);
+    utility_tracking_scenarios(&mut report);
     cost_model_scenarios(&mut report);
     pipeline_scenarios(&mut report);
     concurrent_reader_scenarios(&mut report);

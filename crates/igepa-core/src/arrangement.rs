@@ -1,6 +1,36 @@
 //! Event-participant arrangements, feasibility checking and utility
 //! (Definitions 4 and 7 of the paper).
+//!
+//! ## Indexing and complexity
+//!
+//! The arrangement is stored **twice**, as mirrored sorted adjacency
+//! lists — per user (the events assigned to each user) and per event (the
+//! users attending each event) — plus a per-event load vector and a
+//! cached pair count. Every operation the serving hot path needs is
+//! therefore index-backed; `d` below is the degree of the touched entity:
+//!
+//! | operation                          | complexity        |
+//! |------------------------------------|-------------------|
+//! | [`Arrangement::assign`] / [`Arrangement::unassign`] | O(d) insert/remove in two sorted lists |
+//! | [`Arrangement::contains`]          | O(log d)          |
+//! | [`Arrangement::len`] / [`Arrangement::is_empty`]    | O(1) (cached count) |
+//! | [`Arrangement::events_of`]         | O(1) slice borrow |
+//! | [`Arrangement::users_of`]          | O(1) slice borrow (was an O(\|U\|) scan) |
+//! | [`Arrangement::load_of`]           | O(1)              |
+//! | [`Arrangement::remove_user_assignments`] | O(Σ d) over the removed pairs |
+//! | [`Arrangement::utility`]           | O(\|M\|) exact fold |
+//!
+//! ## Utility determinism
+//!
+//! [`Arrangement::utility`] sums the Definition-7 components with
+//! [`ExactSum`], so the reported breakdown is the **correctly rounded
+//! exact sum** of the pair contributions — independent of pair order and
+//! of whether the sum was produced by this from-scratch fold or by the
+//! incremental [`UtilityTracker`] the serving engine maintains. The two
+//! are bit-for-bit interchangeable by construction; the engine
+//! `debug_assert`s that equivalence on its repair paths.
 
+use crate::exact::ExactSum;
 use crate::ids::{EventId, UserId};
 use crate::instance::Instance;
 use serde::{Deserialize, Serialize};
@@ -8,16 +38,24 @@ use std::fmt;
 
 /// An event-participant arrangement `M ⊆ V × U`.
 ///
-/// Internally the arrangement is stored per user (the set of events assigned
-/// to each user) together with the per-event load, so that both directions of
-/// the capacity constraint can be checked in O(1) per pair.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Internally the arrangement is stored per user **and** per event (two
+/// mirrored sorted adjacency lists) together with the per-event load and
+/// a cached pair count, so membership, both capacity directions, attendee
+/// listing and pair counting are all index lookups — see the module docs
+/// for the complexity table.
+#[derive(Debug, PartialEq, Eq)]
 pub struct Arrangement {
     num_events: usize,
     /// Events assigned to each user, kept sorted.
     per_user: Vec<Vec<EventId>>,
     /// Number of users assigned to each event.
     event_load: Vec<usize>,
+    /// Reverse attendee index: users assigned to each event, kept sorted
+    /// in lockstep with `per_user` (`per_event[v]` and `event_load[v]`
+    /// always agree).
+    per_event: Vec<Vec<UserId>>,
+    /// Cached `|M|`, maintained on every mutation.
+    num_pairs: usize,
 }
 
 impl Arrangement {
@@ -27,6 +65,8 @@ impl Arrangement {
             num_events,
             per_user: vec![Vec::new(); num_users],
             event_load: vec![0; num_events],
+            per_event: vec![Vec::new(); num_events],
+            num_pairs: 0,
         }
     }
 
@@ -56,7 +96,11 @@ impl Arrangement {
             Ok(_) => false,
             Err(pos) => {
                 events.insert(pos, event);
+                let users = &mut self.per_event[event.index()];
+                let upos = users.binary_search(&user).expect_err("indices in lockstep");
+                users.insert(upos, user);
                 self.event_load[event.index()] += 1;
+                self.num_pairs += 1;
                 true
             }
         }
@@ -68,7 +112,11 @@ impl Arrangement {
         match events.binary_search(&event) {
             Ok(pos) => {
                 events.remove(pos);
+                let users = &mut self.per_event[event.index()];
+                let upos = users.binary_search(&user).expect("indices in lockstep");
+                users.remove(upos);
                 self.event_load[event.index()] -= 1;
+                self.num_pairs -= 1;
                 true
             }
             Err(_) => false,
@@ -80,14 +128,14 @@ impl Arrangement {
         self.per_user[user.index()].binary_search(&event).is_ok()
     }
 
-    /// Number of pairs `|M|`.
+    /// Number of pairs `|M|` — O(1), from the cached count.
     pub fn len(&self) -> usize {
-        self.per_user.iter().map(Vec::len).sum()
+        self.num_pairs
     }
 
-    /// Whether the arrangement is empty.
+    /// Whether the arrangement is empty — O(1).
     pub fn is_empty(&self) -> bool {
-        self.per_user.iter().all(Vec::is_empty)
+        self.num_pairs == 0
     }
 
     /// Events assigned to `user`, sorted by id.
@@ -127,6 +175,7 @@ impl Arrangement {
     pub fn grow(&mut self, num_events: usize, num_users: usize) {
         if num_events > self.num_events {
             self.event_load.resize(num_events, 0);
+            self.per_event.resize(num_events, Vec::new());
             self.num_events = num_events;
         }
         if num_users > self.per_user.len() {
@@ -139,22 +188,20 @@ impl Arrangement {
     pub fn remove_user_assignments(&mut self, user: UserId) -> Vec<EventId> {
         let events = std::mem::take(&mut self.per_user[user.index()]);
         for &v in &events {
+            let users = &mut self.per_event[v.index()];
+            let pos = users.binary_search(&user).expect("indices in lockstep");
+            users.remove(pos);
             self.event_load[v.index()] -= 1;
         }
+        self.num_pairs -= events.len();
         events
     }
 
-    /// Users currently assigned to `event`, in increasing id order.
-    ///
-    /// This scans all users (the arrangement is stored per user); it is a
-    /// repair-path helper, not an inner-loop primitive.
-    pub fn users_of(&self, event: EventId) -> Vec<UserId> {
-        self.per_user
-            .iter()
-            .enumerate()
-            .filter(|(_, events)| events.binary_search(&event).is_ok())
-            .map(|(u, _)| UserId::new(u))
-            .collect()
+    /// Users currently assigned to `event`, in increasing id order — an
+    /// O(1) borrow of the reverse attendee index (this used to be an
+    /// O(|U|) scan over all users).
+    pub fn users_of(&self, event: EventId) -> &[UserId] {
+        &self.per_event[event.index()]
     }
 
     /// Checks the arrangement against the bid, capacity and conflict
@@ -217,25 +264,195 @@ impl Arrangement {
 
     /// Utility of the arrangement per Definition 7, broken down into the
     /// interest and interaction components.
+    ///
+    /// The component sums are computed with [`ExactSum`], so the result
+    /// is the correctly rounded exact sum of the pair contributions —
+    /// bit-identical to the incrementally maintained [`UtilityTracker`]
+    /// over the same pairs, regardless of mutation history (see the
+    /// module docs).
     pub fn utility(&self, instance: &Instance) -> UtilityBreakdown {
-        let beta = instance.beta();
-        let mut interest = 0.0;
-        let mut interaction = 0.0;
-        for (v, u) in self.pairs() {
-            interest += instance.interest(v, u);
-            interaction += instance.interaction(u);
+        UtilityTracker::rebuild(instance, self).breakdown(instance.beta())
+    }
+
+    /// Shortcut for `self.utility(instance).total`.
+    pub fn utility_value(&self, instance: &Instance) -> f64 {
+        self.utility(instance).total
+    }
+}
+
+/// Hand-written so that [`Clone::clone_from`] reuses every existing
+/// allocation (outer and inner vectors alike): the serving transport
+/// snapshots a shard's arrangement after each apply, and with
+/// double-buffered snapshots the steady-state cost is pure memcpy —
+/// no allocator traffic.
+impl Clone for Arrangement {
+    fn clone(&self) -> Self {
+        Arrangement {
+            num_events: self.num_events,
+            per_user: self.per_user.clone(),
+            event_load: self.event_load.clone(),
+            per_event: self.per_event.clone(),
+            num_pairs: self.num_pairs,
         }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.num_events = source.num_events;
+        self.num_pairs = source.num_pairs;
+        self.event_load.clone_from(&source.event_load);
+        clone_nested_from(&mut self.per_user, &source.per_user);
+        clone_nested_from(&mut self.per_event, &source.per_event);
+    }
+}
+
+/// `Vec<Vec<T>>::clone_from` that reuses the inner vectors' buffers
+/// (plain `clone_from` on the outer vector would drop surplus inner
+/// vectors and allocate fresh ones for growth).
+fn clone_nested_from<T: Copy>(dst: &mut Vec<Vec<T>>, src: &[Vec<T>]) {
+    dst.truncate(src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.clear();
+        d.extend_from_slice(s);
+    }
+    for s in &src[dst.len()..] {
+        dst.push(s.clone());
+    }
+}
+
+/// Serialization keeps the pre-index wire format (the derived fields are
+/// redundant): only `num_events`, `per_user` and `event_load` are
+/// emitted, and deserialization rebuilds the reverse index and the pair
+/// count, so logs and snapshots written before the index existed keep
+/// round-tripping unchanged.
+impl Serialize for Arrangement {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (String::from("num_events"), self.num_events.to_value()),
+            (String::from("per_user"), self.per_user.to_value()),
+            (String::from("event_load"), self.event_load.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Arrangement {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = serde::expect_object(v, "Arrangement")?;
+        let num_events: usize =
+            Deserialize::from_value(serde::object_field(entries, "num_events", "Arrangement")?)?;
+        let per_user: Vec<Vec<EventId>> =
+            Deserialize::from_value(serde::object_field(entries, "per_user", "Arrangement")?)?;
+        // `event_load` is accepted for format compatibility but re-derived
+        // (together with the reverse index) from `per_user`, the single
+        // source of truth.
+        let _: Vec<usize> =
+            Deserialize::from_value(serde::object_field(entries, "event_load", "Arrangement")?)?;
+        let mut arrangement = Arrangement::new(num_events, per_user.len());
+        for (u, events) in per_user.into_iter().enumerate() {
+            for v in events {
+                if v.index() >= num_events {
+                    return Err(serde::DeError::msg(format!(
+                        "arrangement pair references {v} beyond num_events {num_events}"
+                    )));
+                }
+                arrangement.assign(v, UserId::new(u));
+            }
+        }
+        Ok(arrangement)
+    }
+}
+
+/// Incremental Definition-7 utility bookkeeping: the running
+/// `interest_sum` / `interaction_sum` of an arrangement, maintained
+/// exactly as pairs are assigned and unassigned.
+///
+/// Both sums live in [`ExactSum`] accumulators, so reads are the
+/// correctly rounded exact sums — **bit-identical** to a from-scratch
+/// [`Arrangement::utility`] over the same pairs, no matter in which order
+/// pairs were added, removed or re-added. This is what lets the serving
+/// engine answer utility queries in O(1) without giving up its
+/// bit-for-bit determinism pins.
+///
+/// ## Invariants (maintained by the caller, checked by the engine)
+///
+/// * Every `assign`/`unassign` of the tracked arrangement is mirrored by
+///   [`UtilityTracker::on_assign`] / [`UtilityTracker::on_unassign`]
+///   *while the instance still holds the pair's current score* — the
+///   subtraction must see the same value the addition saw.
+/// * Instance-side score changes that touch pairs currently in the
+///   arrangement are reported via
+///   [`UtilityTracker::on_interaction_change`] (an interaction score
+///   changed for a user with `assigned` pairs) and
+///   [`UtilityTracker::on_interest_change`] (a cached interest value of
+///   an assigned pair was overwritten). [`crate::DeltaEffect`] carries
+///   exactly these notifications out of [`Instance::apply_delta`].
+/// * After a wholesale arrangement replacement (a cold or warm solve),
+///   re-sync with [`UtilityTracker::rebuild`].
+#[derive(Debug, Clone, Default)]
+pub struct UtilityTracker {
+    interest: ExactSum,
+    interaction: ExactSum,
+}
+
+impl UtilityTracker {
+    /// A tracker for an empty arrangement.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the tracker from scratch for `arrangement` — the exact fold
+    /// behind [`Arrangement::utility`], O(|M|).
+    pub fn rebuild(instance: &Instance, arrangement: &Arrangement) -> Self {
+        let mut tracker = Self::new();
+        for (v, u) in arrangement.pairs() {
+            tracker.on_assign(instance, v, u);
+        }
+        tracker
+    }
+
+    /// Records the assignment of `(event, user)` at the instance's
+    /// current scores. O(1).
+    #[inline]
+    pub fn on_assign(&mut self, instance: &Instance, event: EventId, user: UserId) {
+        self.interest.add(instance.interest(event, user));
+        self.interaction.add(instance.interaction(user));
+    }
+
+    /// Records the removal of `(event, user)` at the instance's current
+    /// scores (which must still equal the scores seen at assignment
+    /// time). O(1).
+    #[inline]
+    pub fn on_unassign(&mut self, instance: &Instance, event: EventId, user: UserId) {
+        self.interest.sub(instance.interest(event, user));
+        self.interaction.sub(instance.interaction(user));
+    }
+
+    /// Records an interaction-score change `old → new` for a user who
+    /// currently holds `assigned` pairs. O(assigned) exact updates.
+    pub fn on_interaction_change(&mut self, old: f64, new: f64, assigned: usize) {
+        for _ in 0..assigned {
+            self.interaction.sub(old);
+            self.interaction.add(new);
+        }
+    }
+
+    /// Records an interest-value overwrite `old → new` of a pair
+    /// currently in the arrangement. O(1).
+    pub fn on_interest_change(&mut self, old: f64, new: f64) {
+        self.interest.sub(old);
+        self.interest.add(new);
+    }
+
+    /// The tracked utility breakdown under balance parameter `beta`.
+    /// O(1): two accumulator roundings and the Definition-7 combination.
+    pub fn breakdown(&self, beta: f64) -> UtilityBreakdown {
+        let interest = self.interest.value();
+        let interaction = self.interaction.value();
         UtilityBreakdown {
             total: beta * interest + (1.0 - beta) * interaction,
             interest_sum: interest,
             interaction_sum: interaction,
             beta,
         }
-    }
-
-    /// Shortcut for `self.utility(instance).total`.
-    pub fn utility_value(&self, instance: &Instance) -> f64 {
-        self.utility(instance).total
     }
 }
 
@@ -458,6 +675,135 @@ mod tests {
         let pairs: Vec<_> = m.pairs().collect();
         let rebuilt = Arrangement::from_pairs(inst.num_events(), inst.num_users(), pairs);
         assert_eq!(m, rebuilt);
+    }
+
+    /// Brute-force reference for the reverse attendee index: scan every
+    /// user's event list.
+    fn users_of_by_scan(m: &Arrangement, event: EventId) -> Vec<UserId> {
+        (0..m.num_users())
+            .map(UserId::new)
+            .filter(|&u| m.contains(event, u))
+            .collect()
+    }
+
+    #[test]
+    fn users_of_matches_brute_force_scan_under_churn() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        let script = [
+            (true, 1, 0),
+            (true, 1, 1),
+            (true, 0, 0),
+            (false, 1, 0),
+            (true, 2, 0),
+            (true, 1, 0),
+            (false, 1, 1),
+            (false, 0, 0),
+        ];
+        for (i, &(add, v, u)) in script.iter().enumerate() {
+            let (v, u) = (EventId::new(v), UserId::new(u));
+            if add {
+                m.assign(v, u);
+            } else {
+                m.unassign(v, u);
+            }
+            for e in 0..m.num_events() {
+                let e = EventId::new(e);
+                assert_eq!(
+                    m.users_of(e),
+                    users_of_by_scan(&m, e).as_slice(),
+                    "index diverged from scan at step {i} on {e}"
+                );
+                assert_eq!(m.load_of(e), m.users_of(e).len());
+            }
+            let expected_pairs: usize = (0..m.num_users())
+                .map(|u| m.events_of(UserId::new(u)).len())
+                .sum();
+            assert_eq!(m.len(), expected_pairs, "cached pair count at step {i}");
+        }
+    }
+
+    #[test]
+    fn remove_user_assignments_updates_the_reverse_index() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        m.assign(EventId::new(0), UserId::new(0));
+        m.assign(EventId::new(1), UserId::new(0));
+        m.assign(EventId::new(1), UserId::new(1));
+        let removed = m.remove_user_assignments(UserId::new(0));
+        assert_eq!(removed, vec![EventId::new(0), EventId::new(1)]);
+        assert_eq!(m.users_of(EventId::new(0)), &[]);
+        assert_eq!(m.users_of(EventId::new(1)), &[UserId::new(1)]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grow_extends_the_reverse_index() {
+        let mut m = Arrangement::new(1, 1);
+        m.assign(EventId::new(0), UserId::new(0));
+        m.grow(3, 2);
+        m.assign(EventId::new(2), UserId::new(1));
+        assert_eq!(m.users_of(EventId::new(2)), &[UserId::new(1)]);
+        assert_eq!(m.users_of(EventId::new(1)), &[]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn serde_keeps_the_legacy_format_and_rebuilds_the_index() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        m.assign(EventId::new(1), UserId::new(0));
+        m.assign(EventId::new(2), UserId::new(0));
+        m.assign(EventId::new(0), UserId::new(1));
+        let json = serde_json::to_string(&m).unwrap();
+        // The wire format predates the reverse index: exactly the three
+        // legacy fields, nothing derived.
+        assert!(json.contains("\"num_events\""));
+        assert!(json.contains("\"per_user\""));
+        assert!(json.contains("\"event_load\""));
+        assert!(!json.contains("per_event"));
+        assert!(!json.contains("num_pairs"));
+        let back: Arrangement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.users_of(EventId::new(1)), &[UserId::new(0)]);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn tracker_matches_from_scratch_utility_bit_for_bit() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        let mut tracker = UtilityTracker::new();
+        let script = [
+            (true, 1, 0),
+            (true, 1, 1),
+            (false, 1, 0),
+            (true, 2, 0),
+            (true, 0, 1),
+            (false, 1, 1),
+            (true, 1, 0),
+        ];
+        for &(add, v, u) in &script {
+            let (v, u) = (EventId::new(v), UserId::new(u));
+            if add {
+                if m.assign(v, u) {
+                    tracker.on_assign(&inst, v, u);
+                }
+            } else if m.unassign(v, u) {
+                tracker.on_unassign(&inst, v, u);
+            }
+            let from_scratch = m.utility(&inst);
+            let tracked = tracker.breakdown(inst.beta());
+            assert_eq!(tracked.total.to_bits(), from_scratch.total.to_bits());
+            assert_eq!(
+                tracked.interest_sum.to_bits(),
+                from_scratch.interest_sum.to_bits()
+            );
+            assert_eq!(
+                tracked.interaction_sum.to_bits(),
+                from_scratch.interaction_sum.to_bits()
+            );
+        }
     }
 
     #[test]

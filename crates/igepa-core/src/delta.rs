@@ -116,6 +116,17 @@ pub struct DeltaEffect {
     pub created_user: Option<UserId>,
     /// Id of the event created by an `AddEvent` delta.
     pub created_event: Option<EventId>,
+    /// An interaction-score change `(user, old, new)` applied to an
+    /// existing user (`UpdateInteractionScore`, or `RemoveUser` zeroing
+    /// the score). Pairs of that user currently held by an arrangement
+    /// change utility contribution; the engine folds this into its
+    /// [`crate::UtilityTracker`] before anything else reads the score.
+    pub interaction_change: Option<(UserId, f64, f64)>,
+    /// Cached interest values overwritten in place, as `(event, user,
+    /// old, new)`. Only `UpdateBids` can do this (re-introducing a bid
+    /// re-evaluates its interest); the engine adjusts its tracker for any
+    /// such pair still sitting in the arrangement.
+    pub interest_changes: Vec<(EventId, UserId, f64, f64)>,
 }
 
 /// Accumulated dirty users/events between repairs; the unit of work of the
@@ -282,7 +293,7 @@ impl Instance {
             dirty_users: vec![id],
             dirty_events,
             created_user: Some(id),
-            created_event: None,
+            ..DeltaEffect::default()
         })
     }
 
@@ -296,12 +307,13 @@ impl Instance {
             }
         }
         self.users[user.index()].capacity = 0;
+        let old_interaction = self.interaction[user.index()];
         self.interaction[user.index()] = 0.0;
         Ok(DeltaEffect {
             dirty_users: vec![user],
             dirty_events: old_bids,
-            created_user: None,
-            created_event: None,
+            interaction_change: Some((user, old_interaction, 0.0)),
+            ..DeltaEffect::default()
         })
     }
 
@@ -321,10 +333,9 @@ impl Instance {
         self.interest.push_event();
         self.events.push(event);
         Ok(DeltaEffect {
-            dirty_users: Vec::new(),
             dirty_events: vec![id],
-            created_user: None,
             created_event: Some(id),
+            ..DeltaEffect::default()
         })
     }
 
@@ -353,10 +364,9 @@ impl Instance {
         self.interest.push_event();
         self.events.push(Event::new(id, capacity, attrs));
         Ok(DeltaEffect {
-            dirty_users: Vec::new(),
             dirty_events: vec![id],
-            created_user: None,
             created_event: Some(id),
+            ..DeltaEffect::default()
         })
     }
 
@@ -370,10 +380,8 @@ impl Instance {
                 self.check_event(event)?;
                 self.events[event.index()].capacity = capacity;
                 Ok(DeltaEffect {
-                    dirty_users: Vec::new(),
                     dirty_events: vec![event],
-                    created_user: None,
-                    created_event: None,
+                    ..DeltaEffect::default()
                 })
             }
             CapacityTarget::User(user) => {
@@ -381,9 +389,7 @@ impl Instance {
                 self.users[user.index()].capacity = capacity;
                 Ok(DeltaEffect {
                     dirty_users: vec![user],
-                    dirty_events: Vec::new(),
-                    created_user: None,
-                    created_event: None,
+                    ..DeltaEffect::default()
                 })
             }
         }
@@ -444,7 +450,15 @@ impl Instance {
                 bidders.insert(pos, user);
             }
         }
+        // Record overwritten cached values: a re-introduced bid replaces
+        // whatever interest the table last held for the pair, and an
+        // arrangement may still contain that pair until the next repair.
+        let mut interest_changes = Vec::new();
         for (v, value) in new_values {
+            let old = self.interest.get(v, user);
+            if old.to_bits() != value.to_bits() {
+                interest_changes.push((v, user, old, value));
+            }
             self.interest.set(v, user, value);
         }
         self.users[user.index()] = candidate;
@@ -452,8 +466,8 @@ impl Instance {
         Ok(DeltaEffect {
             dirty_users: vec![user],
             dirty_events,
-            created_user: None,
-            created_event: None,
+            interest_changes,
+            ..DeltaEffect::default()
         })
     }
 
@@ -464,12 +478,12 @@ impl Instance {
     ) -> Result<DeltaEffect, CoreError> {
         self.check_user(user)?;
         Self::check_interaction(user, score)?;
+        let old = self.interaction[user.index()];
         self.interaction[user.index()] = score;
         Ok(DeltaEffect {
             dirty_users: vec![user],
-            dirty_events: Vec::new(),
-            created_user: None,
-            created_event: None,
+            interaction_change: Some((user, old, score)),
+            ..DeltaEffect::default()
         })
     }
 }
@@ -682,8 +696,7 @@ mod tests {
         dirty.absorb(&DeltaEffect {
             dirty_users: vec![UserId::new(1), UserId::new(1)],
             dirty_events: vec![EventId::new(0)],
-            created_user: None,
-            created_event: None,
+            ..DeltaEffect::default()
         });
         dirty.mark_user(UserId::new(2));
         dirty.mark_event(EventId::new(0));

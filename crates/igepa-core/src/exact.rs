@@ -1,0 +1,454 @@
+//! Exact, order-independent summation of `f64` values.
+//!
+//! The serving engine maintains the Definition-7 utility *incrementally*:
+//! pairs are added and removed from the running interest/interaction sums
+//! as the arrangement mutates. Plain `f64 += x` / `-= x` cannot support
+//! that — floating-point addition is neither associative nor invertible
+//! (`(a + b) - b != a` in general), so an incrementally maintained sum
+//! would drift away from a from-scratch recomputation and make results
+//! depend on mutation *history*. That breaks the bit-for-bit determinism
+//! the engine pins (monolithic ≡ one-shard sharded, golden-log replay,
+//! tracker ≡ recompute).
+//!
+//! [`ExactSum`] solves this with a fixed-point *superaccumulator* in the
+//! spirit of Kulisch's long accumulator: every `f64` is split into its
+//! integral mantissa and exponent and added exactly into an array of
+//! 32-bit-windowed limbs covering the entire double exponent range.
+//! Addition and subtraction are exact (no rounding ever happens inside
+//! the accumulator), so:
+//!
+//! * the represented value is the **mathematically exact** sum of every
+//!   value added minus every value subtracted;
+//! * [`ExactSum::value`] rounds that exact sum to the nearest `f64`
+//!   (round-to-nearest, ties-to-even) — the *correctly rounded* sum;
+//! * the result is therefore **independent of insertion/removal order**
+//!   and of whether the sum was built incrementally or from scratch:
+//!   the same multiset of values always yields bit-identical output.
+//!
+//! Complexity: `add`/`sub` touch at most three limbs (O(1)); `value`
+//! scans the fixed-size limb array (O(1), ~68 limbs). The accumulator
+//! occupies ~0.5 KiB.
+
+/// Bits per limb window.
+const LIMB_BITS: u32 = 32;
+
+/// The absolute exponent of accumulator bit 0: the least significant bit
+/// of the smallest subnormal double (`2^-1074`).
+const MIN_EXP: i32 = -1074;
+
+/// Number of limbs: enough for the MSB of `f64::MAX` (absolute bit
+/// position `1023 + 1074 = 2097` → limb 65) plus 64 bits of carry
+/// headroom for sums of up to `2^63` terms.
+const NUM_LIMBS: usize = 68;
+
+/// Limb adds between forced carry normalizations. Each `add`/`sub`
+/// changes a limb by less than `2^33`, so `i64` limbs are safe for well
+/// over `2^30` operations between normalizations.
+const NORMALIZE_EVERY: u32 = 1 << 30;
+
+/// An exact `f64` accumulator: add and subtract are exact, and
+/// [`ExactSum::value`] returns the correctly rounded sum. See the module
+/// docs for why this (and not plain `f64` arithmetic) backs the engine's
+/// incremental utility tracking.
+#[derive(Clone)]
+pub struct ExactSum {
+    /// Signed carry-save limbs: limb `i` holds a signed multiple of
+    /// `2^(32·i + MIN_EXP)`. Between normalizations limbs may exceed
+    /// 32 bits; the represented value is always `Σ limbs[i] · 2^(32i) ·
+    /// 2^MIN_EXP`, exactly.
+    limbs: [i64; NUM_LIMBS],
+    /// Operations since the last normalization (overflow guard).
+    pending: u32,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ExactSum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExactSum")
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+impl ExactSum {
+    /// An empty (zero) accumulator.
+    pub fn new() -> Self {
+        ExactSum {
+            limbs: [0; NUM_LIMBS],
+            pending: 0,
+        }
+    }
+
+    /// Adds `x` exactly. `x` must be finite (the engine only ever sums
+    /// validated `[0, 1]` scores); non-finite values panic in debug
+    /// builds and are ignored in release builds.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.accumulate(x, false);
+    }
+
+    /// Subtracts `x` exactly. Subtracting a value that was previously
+    /// added restores the accumulator to its exact prior state — the
+    /// property plain `f64` arithmetic lacks.
+    #[inline]
+    pub fn sub(&mut self, x: f64) {
+        self.accumulate(x, true);
+    }
+
+    fn accumulate(&mut self, x: f64, negate: bool) {
+        debug_assert!(x.is_finite(), "ExactSum only sums finite values");
+        if x == 0.0 || !x.is_finite() {
+            return;
+        }
+        let bits = x.to_bits();
+        let negative = ((bits >> 63) != 0) != negate;
+        let biased = ((bits >> 52) & 0x7FF) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        // x = mantissa · 2^exp with an integral mantissa of ≤ 53 bits.
+        let (mantissa, exp) = if biased == 0 {
+            (frac, MIN_EXP)
+        } else {
+            (frac | (1u64 << 52), biased - 1075)
+        };
+        let pos = (exp - MIN_EXP) as u32;
+        let limb = (pos / LIMB_BITS) as usize;
+        let shift = pos % LIMB_BITS;
+        // The shifted mantissa spans at most 85 bits → three 32-bit parts.
+        let wide = (mantissa as u128) << shift;
+        let parts = [
+            (wide & 0xFFFF_FFFF) as i64,
+            ((wide >> 32) & 0xFFFF_FFFF) as i64,
+            ((wide >> 64) & 0xFFFF_FFFF) as i64,
+        ];
+        for (i, &part) in parts.iter().enumerate() {
+            if negative {
+                self.limbs[limb + i] -= part;
+            } else {
+                self.limbs[limb + i] += part;
+            }
+        }
+        self.pending += 1;
+        if self.pending >= NORMALIZE_EVERY {
+            self.normalize();
+        }
+    }
+
+    /// Propagates carries so every limb but the top one lies in
+    /// `[0, 2^32)`; the top limb absorbs the residual signed carry.
+    fn normalize(&mut self) {
+        let mut carry: i64 = 0;
+        for limb in self.limbs.iter_mut().take(NUM_LIMBS - 1) {
+            let t = *limb + carry;
+            // Euclidean split: remainder in [0, 2^32), floor-div carry.
+            let q = t >> LIMB_BITS;
+            *limb = t - (q << LIMB_BITS);
+            carry = q;
+        }
+        self.limbs[NUM_LIMBS - 1] += carry;
+        self.pending = 0;
+    }
+
+    /// Whether the exact sum is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        let (_, magnitude) = self.canonical();
+        magnitude.iter().all(|&l| l == 0)
+    }
+
+    /// Sign and magnitude of the exact sum, with every magnitude limb in
+    /// `[0, 2^32)`. Non-mutating (works on a copy of the limbs).
+    fn canonical(&self) -> (bool, [u64; NUM_LIMBS]) {
+        // Carry-propagate a copy: afterwards the value is
+        // `carry · 2^(32·N) + Σ magnitude[i] · 2^(32·i)` (times 2^MIN_EXP)
+        // with every limb in [0, 2^32) — i.e. a two's-complement form
+        // whose sign lives entirely in the final carry.
+        let mut magnitude = [0u64; NUM_LIMBS];
+        let mut carry: i64 = 0;
+        for (dst, &src) in magnitude.iter_mut().zip(self.limbs.iter()) {
+            let t = src + carry;
+            let q = t >> LIMB_BITS; // arithmetic shift = floor division
+            *dst = (t - (q << LIMB_BITS)) as u64;
+            carry = q;
+        }
+        debug_assert!(
+            (-1..=0).contains(&carry),
+            "accumulator magnitude exceeded its headroom"
+        );
+        let negative = carry == -1;
+        if negative {
+            // Two's-complement negate into sign-magnitude form.
+            let mut borrow = 1u64;
+            for dst in magnitude.iter_mut() {
+                let v = (!*dst & 0xFFFF_FFFF) + borrow;
+                *dst = v & 0xFFFF_FFFF;
+                borrow = v >> LIMB_BITS;
+            }
+        }
+        (negative, magnitude)
+    }
+
+    /// The exact sum, rounded to the nearest `f64` (ties to even). For
+    /// the same multiset of added-minus-subtracted values this is
+    /// bit-identical regardless of operation order.
+    pub fn value(&self) -> f64 {
+        let (negative, limbs) = self.canonical();
+        let Some(top) = limbs.iter().rposition(|&l| l != 0) else {
+            return 0.0;
+        };
+        let top_width = 64 - limbs[top].leading_zeros(); // 1..=32
+        let msb = top as i64 * LIMB_BITS as i64 + top_width as i64 - 1;
+        let msb_exp = msb as i32 + MIN_EXP;
+        if msb_exp > 1023 {
+            return if negative {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            };
+        }
+        // Result precision: 53 bits for normal results, fewer when the
+        // exact value lands in the subnormal range.
+        let prec = if msb_exp >= -1022 {
+            53
+        } else {
+            (msb_exp - MIN_EXP + 1) as i64
+        };
+        let lsb = msb - prec + 1; // absolute bit index of the result LSB
+        debug_assert!(lsb >= 0);
+        let mut mantissa = extract_bits(&limbs, lsb as u64, prec as u32);
+        if lsb > 0 {
+            let round = get_bit(&limbs, (lsb - 1) as u64);
+            let sticky = any_bits_below(&limbs, (lsb - 1) as u64);
+            if round && (sticky || (mantissa & 1) == 1) {
+                // A carry to 2^prec stays exactly representable (prec ≤
+                // 53), so no renormalization is needed.
+                mantissa += 1;
+            }
+        }
+        let value = (mantissa as f64) * pow2(lsb as i32 + MIN_EXP);
+        if negative {
+            -value
+        } else {
+            value
+        }
+    }
+}
+
+/// `2^e` for `e` in `[-1074, 1023]`, exactly.
+fn pow2(e: i32) -> f64 {
+    if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (e + 1074))
+    }
+}
+
+/// Bits `[start, start + count)` of the magnitude, as an integer
+/// (`count ≤ 53`).
+fn extract_bits(limbs: &[u64; NUM_LIMBS], start: u64, count: u32) -> u64 {
+    let limb = (start / LIMB_BITS as u64) as usize;
+    let shift = (start % LIMB_BITS as u64) as u32;
+    let mut window: u128 = 0;
+    for i in (0..3).rev() {
+        window <<= LIMB_BITS;
+        if limb + i < NUM_LIMBS {
+            window |= limbs[limb + i] as u128;
+        }
+    }
+    ((window >> shift) as u64) & (u64::MAX >> (64 - count))
+}
+
+/// Bit `pos` of the magnitude.
+fn get_bit(limbs: &[u64; NUM_LIMBS], pos: u64) -> bool {
+    let limb = (pos / LIMB_BITS as u64) as usize;
+    let shift = pos % LIMB_BITS as u64;
+    limb < NUM_LIMBS && (limbs[limb] >> shift) & 1 == 1
+}
+
+/// Whether any bit strictly below `pos` is set.
+fn any_bits_below(limbs: &[u64; NUM_LIMBS], pos: u64) -> bool {
+    let limb = (pos / LIMB_BITS as u64) as usize;
+    let shift = pos % LIMB_BITS as u64;
+    if limbs.iter().take(limb).any(|&l| l != 0) {
+        return true;
+    }
+    limb < NUM_LIMBS && limbs[limb] & ((1u64 << shift) - 1) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_of(values: &[f64]) -> ExactSum {
+        let mut acc = ExactSum::new();
+        for &v in values {
+            acc.add(v);
+        }
+        acc
+    }
+
+    #[test]
+    fn empty_and_zero_sums_are_zero() {
+        assert_eq!(ExactSum::new().value().to_bits(), 0.0f64.to_bits());
+        assert!(ExactSum::new().is_zero());
+        let mut acc = ExactSum::new();
+        acc.add(0.0);
+        acc.add(-0.0);
+        assert_eq!(acc.value().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn single_values_round_trip_exactly() {
+        for &v in &[
+            1.0,
+            0.1,
+            0.5,
+            1e-300,
+            123456.789,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 8.0, // subnormal
+            -0.9,
+            (2u64.pow(53) - 1) as f64,
+        ] {
+            let acc = sum_of(&[v]);
+            assert_eq!(acc.value().to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn exact_sums_match_float_arithmetic_when_representable() {
+        // Sums of small dyadic rationals are exact in f64 too.
+        let acc = sum_of(&[0.5, 0.25, 0.125, 4.0, 1024.0]);
+        assert_eq!(
+            acc.value().to_bits(),
+            (0.5f64 + 0.25 + 0.125 + 4.0 + 1024.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn subtraction_inverts_addition_exactly() {
+        // The property float arithmetic lacks: (a + b) - b == a.
+        let a: f64 = 0.3;
+        let b: f64 = 0.7;
+        assert_ne!(((a + b) - b).to_bits(), a.to_bits(), "f64 would drift");
+        let mut acc = ExactSum::new();
+        acc.add(a);
+        acc.add(b);
+        acc.sub(b);
+        assert_eq!(acc.value().to_bits(), a.to_bits());
+    }
+
+    #[test]
+    fn order_independence_on_adversarial_magnitudes() {
+        // 1 + 2^-60 + ... + 2^-60 (2^20 copies summing to 2^-40): naive
+        // left-to-right f64 addition loses every tiny term; the exact
+        // accumulator keeps them all.
+        let mut acc = ExactSum::new();
+        acc.add(1.0);
+        let tiny = (2.0f64).powi(-60);
+        for _ in 0..(1 << 20) {
+            acc.add(tiny);
+        }
+        let expected = 1.0 + (2.0f64).powi(-40);
+        assert_eq!(acc.value().to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn negative_totals_round_correctly() {
+        let mut acc = ExactSum::new();
+        acc.add(0.25);
+        acc.sub(1.0);
+        assert_eq!(acc.value().to_bits(), (-0.75f64).to_bits());
+        acc.add(0.75);
+        assert!(acc.is_zero());
+        assert_eq!(acc.value().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn correctly_rounds_against_integer_reference() {
+        // Values on the 2^-80 grid: their exact sum fits an i128, and
+        // i128 → f64 conversion is itself round-to-nearest-even, giving
+        // an independent correctly-rounded reference.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..50 {
+            let n = 1 + (round % 17);
+            let grid: Vec<i128> = (0..n).map(|_| (next() >> 24) as i128).collect();
+            let mut acc = ExactSum::new();
+            let mut exact: i128 = 0;
+            for &g in &grid {
+                acc.add(g as f64 * pow2(-80));
+                exact += g;
+            }
+            // Remove a few again, exactly.
+            for &g in grid.iter().step_by(3) {
+                acc.sub(g as f64 * pow2(-80));
+                exact -= g;
+            }
+            let expected = (exact as f64) * pow2(-80);
+            assert_eq!(
+                acc.value().to_bits(),
+                expected.to_bits(),
+                "round {round}: {} vs {}",
+                acc.value(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn shuffled_insertion_orders_agree_bitwise() {
+        // Pseudo-random [0, 1] doubles, summed in two different orders
+        // with interleaved removals: bitwise-equal results.
+        let mut state = 99u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let values: Vec<f64> = (0..200).map(|_| next()).collect();
+        let forward = sum_of(&values);
+        let mut backward = ExactSum::new();
+        for &v in values.iter().rev() {
+            backward.add(v);
+        }
+        assert_eq!(forward.value().to_bits(), backward.value().to_bits());
+
+        // Add everything twice, remove one copy in a third order.
+        let mut churned = ExactSum::new();
+        for &v in &values {
+            churned.add(v);
+            churned.add(v);
+        }
+        for &v in values.iter().rev() {
+            churned.sub(v);
+        }
+        assert_eq!(churned.value().to_bits(), forward.value().to_bits());
+    }
+
+    #[test]
+    fn forced_normalization_preserves_the_value() {
+        let mut acc = ExactSum::new();
+        acc.add(0.3);
+        acc.add(0.6);
+        let before = acc.value();
+        acc.normalize();
+        assert_eq!(acc.value().to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn subnormal_results_round_at_reduced_precision() {
+        let tiny = f64::MIN_POSITIVE / 4.0; // subnormal
+        let acc = sum_of(&[tiny, tiny, tiny]);
+        assert_eq!(acc.value().to_bits(), (tiny * 3.0).to_bits());
+    }
+}

@@ -55,6 +55,7 @@ pub mod csv_io;
 pub mod delta;
 pub mod error;
 pub mod event;
+pub mod exact;
 pub mod ids;
 pub mod instance;
 pub mod interest;
@@ -67,7 +68,7 @@ pub mod user;
 pub use admissible::{
     count_for_user, enumerate_for_user, AdmissibleSetIndex, UserAdmissibleSets, DEFAULT_SET_LIMIT,
 };
-pub use arrangement::{Arrangement, UtilityBreakdown, Violation};
+pub use arrangement::{Arrangement, UtilityBreakdown, UtilityTracker, Violation};
 pub use attrs::{AttributeVector, Location, TimeWindow};
 pub use conflict::{
     AlwaysConflict, ConflictFn, ConflictMatrix, NeverConflict, PairSetConflict, TimeOverlapConflict,
@@ -79,6 +80,7 @@ pub use csv_io::{
 pub use delta::{CapacityTarget, DeltaEffect, DirtySet, InstanceDelta};
 pub use error::CoreError;
 pub use event::Event;
+pub use exact::ExactSum;
 pub use ids::{EventId, UserId};
 pub use instance::{Instance, InstanceBuilder};
 pub use interest::{ConstantInterest, CosineInterest, InterestFn, JaccardInterest, TableInterest};

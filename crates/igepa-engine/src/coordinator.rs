@@ -353,15 +353,15 @@ impl ShardedEngine {
     }
 
     /// Utility breakdown of the merged arrangement, computed as the sum
-    /// of per-shard breakdowns — O(pairs) with no intermediate merged
-    /// [`Arrangement`], and for one shard exactly the monolithic
-    /// computation (bit for bit).
+    /// of per-shard tracker reads — O(num_shards), no pair iteration at
+    /// all — and for one shard exactly the monolithic value (bit for
+    /// bit: both are the same tracker read).
     pub fn merged_utility(&self) -> UtilityBreakdown {
         let mut total = 0.0;
         let mut interest_sum = 0.0;
         let mut interaction_sum = 0.0;
         for shard in &self.shards {
-            let breakdown = shard.arrangement().utility(shard.instance());
+            let breakdown = shard.utility_breakdown();
             total += breakdown.total;
             interest_sum += breakdown.interest_sum;
             interaction_sum += breakdown.interaction_sum;
@@ -815,6 +815,14 @@ impl ShardedEngine {
     /// as [`ShardedEngine::stats`] and the shard-stats entries do.
     pub(crate) fn rejected_count(&self) -> u64 {
         self.rejected
+    }
+
+    /// The global-user → `(shard, shard-local id)` table. The transport's
+    /// query cache mirrors it (append-only between barriers) so
+    /// connection threads can route per-entity reads without entering the
+    /// dispatch queue.
+    pub(crate) fn owners(&self) -> &[(usize, UserId)] {
+        &self.owners
     }
 
     /// Moves the shards out of the coordinator so per-shard worker

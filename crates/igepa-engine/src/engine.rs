@@ -52,9 +52,16 @@ impl Engine {
         self.shard.arrangement()
     }
 
-    /// Utility of the served arrangement.
+    /// Utility of the served arrangement — O(1), from the shard's
+    /// incremental tracker.
     pub fn utility(&self) -> f64 {
         self.shard.utility()
+    }
+
+    /// Utility breakdown of the served arrangement — O(1), bit-identical
+    /// to `self.arrangement().utility(self.instance())`.
+    pub fn utility_breakdown(&self) -> igepa_core::UtilityBreakdown {
+        self.shard.utility_breakdown()
     }
 
     /// Activity counters.

@@ -37,6 +37,27 @@
 //! counter, so replaying the same request log from the same initial state
 //! reproduces every intermediate arrangement bit-for-bit.
 //!
+//! ## O(1) utility tracking
+//!
+//! Scoring never touches the apply hot path. Each shard maintains a
+//! [`igepa_core::UtilityTracker`]: every assign/unassign of the served
+//! arrangement (greedy patch, eviction, quota repair) updates the
+//! Definition-7 `interest_sum`/`interaction_sum` incrementally, instance-
+//! side score changes are folded in via the
+//! [`DeltaEffect`](igepa_core::DeltaEffect) notifications, and wholesale
+//! arrangement replacements (cold/warm solves) rebuild the tracker inside
+//! the already-O(instance) solve. [`Shard::utility`], apply outcomes and
+//! the transport's query cache therefore read the breakdown in O(1).
+//! Determinism survives because both the tracker and the from-scratch
+//! [`Arrangement::utility`](igepa_core::Arrangement::utility) sum through
+//! [`igepa_core::ExactSum`] — the correctly rounded *exact* sum, which is
+//! order- and history-independent — so the incremental value is
+//! bit-identical to a recompute (the shard `debug_assert`s exactly that
+//! after every repair). The arrangement's reverse attendee index makes
+//! `users_of` an O(1) slice borrow, which also removed the
+//! `dirty.events × |U|` term from the greedy patch and from
+//! [`BatchPolicy::cost_model`]'s unit basis.
+//!
 //! ## Sharded serving
 //!
 //! One repair loop caps how many users a process can serve. The crate

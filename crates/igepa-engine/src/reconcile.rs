@@ -77,6 +77,15 @@ pub(crate) fn run(
         for &event in events {
             let quota: Vec<usize> = shards.iter().map(|s| s.quota_of(event)).collect();
             let load: Vec<usize> = shards.iter().map(|s| s.load_of(event)).collect();
+            // Quota and load are O(1) reads; the demand signal is the
+            // expensive part (a per-bidder feasibility scan). When no
+            // shard holds free quota there is nothing any demand could
+            // receive — `surplus[k] ≤ quota[k] − load[k]` makes
+            // `to_move` zero regardless — so fully packed events skip
+            // the scan entirely.
+            if quota.iter().zip(&load).all(|(&q, &l)| q <= l) {
+                continue;
+            }
             let demand: Vec<usize> = shards.iter().map(|s| s.unmet_demand(event)).collect();
             // Free quota beyond the shard's own demand donates; demand
             // beyond the shard's free quota receives.

@@ -334,7 +334,9 @@ impl EngineBackend for Engine {
     }
 
     fn utility_breakdown(&self) -> UtilityBreakdown {
-        self.arrangement().utility(self.instance())
+        // O(1): the engine's incrementally tracked breakdown (bit-identical
+        // to a from-scratch recompute over the served arrangement).
+        Engine::utility_breakdown(self)
     }
 
     fn num_users(&self) -> usize {

@@ -12,10 +12,10 @@
 //! between shards (see [`crate::reconcile`]).
 
 use crate::catalog::CatalogSnapshot;
-use igepa_algos::{admit_greedily, WarmStart};
+use igepa_algos::{admit_greedily_with, WarmStart};
 use igepa_core::{
-    Arrangement, CapacityTarget, ConflictFn, CoreError, DirtySet, EventId, Instance, InstanceDelta,
-    InterestFn, UserId,
+    Arrangement, CapacityTarget, ConflictFn, CoreError, DeltaEffect, DirtySet, EventId, Instance,
+    InstanceDelta, InterestFn, UserId, UtilityBreakdown, UtilityTracker,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -60,18 +60,24 @@ impl BatchPolicy {
     /// A cost model with calibrated constants: the per-unit costs were
     /// measured by `benches/engine.rs` (the `cost_model/*` scenarios of
     /// `BENCH_engine.json`, via the engine's own online calibration) on
-    /// the bench workload — ~7 ns per candidate pair examined by the
-    /// greedy patch (weight lookup, conflict scan, admission
-    /// bookkeeping) vs ~95 ns per bid pair of a cold greedy solve (sort
-    /// share plus admission). Only the *ratio* steers the patch-vs-solve
-    /// decision, so these defaults transfer across machines far better
-    /// than absolute timings; enable
-    /// [`EngineConfig::online_cost_calibration`] to track a specific
-    /// deployment's observed ratio with a per-shard EWMA.
+    /// the bench workload — ~175 ns per candidate pair examined by the
+    /// greedy patch (candidate-set assembly, weight lookup, conflict
+    /// scan, admission bookkeeping) vs ~115 ns per bid pair of a cold
+    /// greedy solve (sort share plus admission). The constants were
+    /// re-derived when the reverse attendee index removed the
+    /// `dirty.events × |U|` attendee-scan term from the patch basis
+    /// (`Shard::patch_units` now counts candidate pairs only, so the
+    /// per-unit cost absorbs the patch's fixed per-repair overhead
+    /// honestly instead of amortising it over a fictitious full-user
+    /// scan). Only the *ratio* steers the patch-vs-solve decision, so
+    /// these defaults transfer across machines far better than absolute
+    /// timings; enable [`EngineConfig::online_cost_calibration`] to
+    /// track a specific deployment's observed ratio with a per-shard
+    /// EWMA.
     pub fn cost_model() -> Self {
         BatchPolicy::CostModel {
-            patch_cost_per_candidate: 7.0,
-            solve_cost_per_bid: 95.0,
+            patch_cost_per_candidate: 175.0,
+            solve_cost_per_bid: 115.0,
         }
     }
 }
@@ -277,6 +283,14 @@ pub struct ApplyOutcome {
 pub struct Shard {
     instance: Instance,
     arrangement: Arrangement,
+    /// Incrementally maintained Definition-7 sums of `arrangement`. Every
+    /// mutation path — delta absorption, greedy patching, evictions,
+    /// quota repairs — updates it in O(changed pairs), and wholesale
+    /// arrangement replacements (cold/warm solves) rebuild it, so
+    /// [`Shard::utility`] and [`Shard::utility_breakdown`] are O(1) reads
+    /// that stay bit-for-bit equal to a from-scratch
+    /// [`Arrangement::utility`] (periodically `debug_assert`ed).
+    tracker: UtilityTracker,
     dirty: DirtySet,
     sigma: SharedConflict,
     interest: SharedInterest,
@@ -316,6 +330,7 @@ impl Shard {
         let mut shard = Shard {
             arrangement: Arrangement::empty_for(&instance),
             instance,
+            tracker: UtilityTracker::new(),
             dirty: DirtySet::new(),
             sigma,
             interest,
@@ -329,6 +344,7 @@ impl Shard {
             ewma_solve_ns: None,
         };
         shard.arrangement = shard.next_solve(None);
+        shard.tracker = UtilityTracker::rebuild(&shard.instance, &shard.arrangement);
         shard
     }
 
@@ -343,9 +359,17 @@ impl Shard {
         &self.arrangement
     }
 
-    /// Utility of the served arrangement.
+    /// Utility of the served arrangement — an O(1) read of the
+    /// incrementally maintained tracker (no pair iteration).
     pub fn utility(&self) -> f64 {
-        self.arrangement.utility_value(&self.instance)
+        self.utility_breakdown().total
+    }
+
+    /// Utility breakdown of the served arrangement — O(1), from the
+    /// tracker; bit-identical to
+    /// `self.arrangement().utility(self.instance())`.
+    pub fn utility_breakdown(&self) -> UtilityBreakdown {
+        self.tracker.breakdown(self.instance.beta())
     }
 
     /// Activity counters.
@@ -407,7 +431,9 @@ impl Shard {
             self.dirty.mark_event(event);
             self.stats.quota_updates += 1;
         }
-        self.repair()
+        let repair = self.repair();
+        self.debug_check_tracker();
+        repair
     }
 
     /// Applies one delta and repairs the served arrangement.
@@ -419,21 +445,22 @@ impl Shard {
     }
 
     /// Like [`Shard::apply`], but also returns the utility breakdown of
-    /// the post-repair arrangement, computed in the same O(pairs) pass
-    /// that produces the outcome's utility (`total` is bit-identical to
-    /// [`Shard::utility`]). The transport's per-shard workers use this to
-    /// refresh the coordinator's query cache without a second scan.
+    /// the post-repair arrangement — an O(1) tracker read (`total` is
+    /// bit-identical to [`Shard::utility`]). The transport's per-shard
+    /// workers use this to refresh the coordinator's query cache; no pair
+    /// iteration happens anywhere on this path.
     pub fn apply_measured(
         &mut self,
         delta: &InstanceDelta,
-    ) -> Result<(ApplyOutcome, igepa_core::UtilityBreakdown), CoreError> {
+    ) -> Result<(ApplyOutcome, UtilityBreakdown), CoreError> {
         self.absorb_delta(delta)?;
         let mut repair = self.repair();
         if self.maybe_check_staleness() {
             repair = RepairKind::StalenessResolve;
         }
+        self.debug_check_tracker();
 
-        let breakdown = self.arrangement.utility(&self.instance);
+        let breakdown = self.utility_breakdown();
         Ok((
             ApplyOutcome {
                 kind: delta.kind().to_string(),
@@ -463,6 +490,7 @@ impl Shard {
         if self.maybe_check_staleness() {
             repair = RepairKind::StalenessResolve;
         }
+        self.debug_check_tracker();
         ApplyOutcome {
             kind: "add_event".to_string(),
             repair,
@@ -509,7 +537,7 @@ impl Shard {
     }
 
     /// Applies one delta to the instance and folds its effect into the
-    /// dirty set, without repairing.
+    /// dirty set and the utility tracker, without repairing.
     fn absorb_delta(&mut self, delta: &InstanceDelta) -> Result<(), CoreError> {
         match self
             .instance
@@ -518,6 +546,7 @@ impl Shard {
             Ok(effect) => {
                 self.arrangement
                     .grow(self.instance.num_events(), self.instance.num_users());
+                self.absorb_score_changes(&effect);
                 self.dirty.absorb(&effect);
                 self.stats.deltas_applied += 1;
                 Ok(())
@@ -526,6 +555,51 @@ impl Shard {
                 self.stats.deltas_rejected += 1;
                 Err(e)
             }
+        }
+    }
+
+    /// Folds instance-side score changes into the utility tracker for the
+    /// pairs the served arrangement currently holds. This keeps the
+    /// tracker exact *between* absorption and repair, so the invariant
+    /// "subtraction sees the value addition saw" holds on every
+    /// subsequent unassign.
+    fn absorb_score_changes(&mut self, effect: &DeltaEffect) {
+        if let Some((user, old, new)) = effect.interaction_change {
+            let assigned = self.arrangement.events_of(user).len();
+            if assigned > 0 && old.to_bits() != new.to_bits() {
+                self.tracker.on_interaction_change(old, new, assigned);
+            }
+        }
+        for &(event, user, old, new) in &effect.interest_changes {
+            if self.arrangement.contains(event, user) {
+                self.tracker.on_interest_change(old, new);
+            }
+        }
+    }
+
+    /// Debug-build checkpoint: the incrementally maintained tracker must
+    /// equal a from-scratch exact recompute, bit for bit. Compiled out of
+    /// release builds.
+    #[inline]
+    fn debug_check_tracker(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let tracked = self.utility_breakdown();
+            let fresh = self.arrangement.utility(&self.instance);
+            debug_assert_eq!(
+                tracked.interest_sum.to_bits(),
+                fresh.interest_sum.to_bits(),
+                "tracker interest_sum drifted: {} vs {}",
+                tracked.interest_sum,
+                fresh.interest_sum
+            );
+            debug_assert_eq!(
+                tracked.interaction_sum.to_bits(),
+                fresh.interaction_sum.to_bits(),
+                "tracker interaction_sum drifted: {} vs {}",
+                tracked.interaction_sum,
+                fresh.interaction_sum
+            );
         }
     }
 
@@ -553,6 +627,7 @@ impl Shard {
         if self.maybe_check_staleness() {
             repair = RepairKind::StalenessResolve;
         }
+        self.debug_check_tracker();
         if let Some(e) = first_error {
             return Err(e);
         }
@@ -643,6 +718,7 @@ impl Shard {
                     .online_cost_calibration
                     .then(std::time::Instant::now);
                 self.arrangement = self.next_solve(None);
+                self.tracker = UtilityTracker::rebuild(&self.instance, &self.arrangement);
                 if let Some(started) = started {
                     observe_cost(&mut self.ewma_solve_ns, started.elapsed(), solve_units);
                 }
@@ -655,10 +731,17 @@ impl Shard {
     }
 
     /// The cost model's unit count for a greedy patch over the current
-    /// dirty set: candidate pairs around the dirty set plus the full-user
-    /// attendee scan per dirty event. Shared by the predictor and the
-    /// online calibration so observed timings normalise against the same
-    /// basis the decision multiplies.
+    /// dirty set: the candidate pairs around the dirty set. Shared by the
+    /// predictor and the online calibration so observed timings normalise
+    /// against the same basis the decision multiplies.
+    ///
+    /// Historically this carried an extra `dirty.events × |U|` term for
+    /// the per-dirty-event attendee scan; the arrangement's reverse
+    /// attendee index made that listing an O(load) slice borrow (bounded
+    /// by the event's bidder count, already counted below), so the term —
+    /// and its distortion of the patch-vs-solve decision on large user
+    /// populations — is gone. The per-unit constants in
+    /// [`BatchPolicy::cost_model`] are calibrated against this basis.
     fn patch_units(&self) -> usize {
         let mut candidates = 0usize;
         for &u in &self.dirty.users {
@@ -667,7 +750,7 @@ impl Shard {
         for &v in &self.dirty.events {
             candidates += self.instance.event(v).num_bidders();
         }
-        candidates + self.dirty.events.len() * self.instance.num_users()
+        candidates
     }
 
     fn repair(&mut self) -> RepairKind {
@@ -682,6 +765,7 @@ impl Shard {
                 Arrangement::empty_for(&self.instance),
             );
             self.arrangement = self.next_solve(Some(&previous));
+            self.tracker = UtilityTracker::rebuild(&self.instance, &self.arrangement);
             self.stats.full_resolves += 1;
             RepairKind::FullResolve
         } else if self.config.online_cost_calibration {
@@ -699,7 +783,9 @@ impl Shard {
 
     /// Local repair: prune dirty users' assignments, evict overflow at
     /// dirty events, then greedily re-admit the heaviest feasible
-    /// candidate pairs around the dirty set.
+    /// candidate pairs around the dirty set. Every mutation flows through
+    /// the utility tracker, so scoring stays O(changed pairs) and no
+    /// post-repair re-scan is ever needed.
     fn greedy_patch(&mut self) -> RepairKind {
         let mut pruned = 0usize;
 
@@ -708,11 +794,17 @@ impl Shard {
         // user capacities and conflict structure around new assignments.
         let dirty_users: Vec<UserId> = self.dirty.users.iter().copied().collect();
         for &u in &dirty_users {
-            pruned += self.arrangement.remove_user_assignments(u).len();
+            let removed = self.arrangement.remove_user_assignments(u);
+            for &v in &removed {
+                self.tracker.on_unassign(&self.instance, v, u);
+            }
+            pruned += removed.len();
         }
 
         // Evict overflow at dirty events (capacity may have shrunk),
-        // dropping the lightest attendees first.
+        // dropping the lightest attendees first. Attendee listing is an
+        // O(load) borrow of the reverse index (it used to scan every
+        // user of the sub-instance per dirty event).
         let dirty_events: Vec<EventId> = self.dirty.events.iter().copied().collect();
         let mut evicted_users: BTreeSet<UserId> = BTreeSet::new();
         for &v in &dirty_events {
@@ -723,8 +815,8 @@ impl Shard {
             let mut attendees: Vec<(f64, UserId)> = self
                 .arrangement
                 .users_of(v)
-                .into_iter()
-                .map(|u| (self.instance.weight(v, u), u))
+                .iter()
+                .map(|&u| (self.instance.weight(v, u), u))
                 .collect();
             attendees.sort_by(|a, b| {
                 a.0.partial_cmp(&b.0)
@@ -734,6 +826,7 @@ impl Shard {
             let overflow = self.arrangement.load_of(v) - capacity;
             for &(_, u) in attendees.iter().take(overflow) {
                 self.arrangement.unassign(v, u);
+                self.tracker.on_unassign(&self.instance, v, u);
                 evicted_users.insert(u);
                 pruned += 1;
             }
@@ -754,7 +847,11 @@ impl Shard {
             }
         }
 
-        let added = admit_greedily(&self.instance, &mut self.arrangement, candidates);
+        let (instance, arrangement, tracker) =
+            (&self.instance, &mut self.arrangement, &mut self.tracker);
+        let added = admit_greedily_with(instance, arrangement, candidates, |v, u| {
+            tracker.on_assign(instance, v, u)
+        });
 
         if pruned == 0 && added == 0 {
             RepairKind::Untouched
@@ -803,6 +900,7 @@ impl Shard {
         };
         if served_utility < (1.0 - self.config.max_staleness) * cold_utility {
             self.arrangement = cold;
+            self.tracker = UtilityTracker::rebuild(&self.instance, &self.arrangement);
             self.stats.staleness_resolves += 1;
             true
         } else {

@@ -22,18 +22,22 @@
 //!   are independent between reconcile passes, so user-scoped `Apply`
 //!   requests are validated on the coordinator and executed concurrently
 //!   on the owning shard's worker, while event broadcasts, batches,
-//!   per-entity reads and `Rebalance` run a barrier (drain in-flight
+//!   `MergedSnapshot` and `Rebalance` run a barrier (drain in-flight
 //!   applies, collect the shards, execute on the attached engine,
 //!   redistribute).
 //!
-//! **Barrier-free reads**: the aggregate queries — `Utility`, `Stats`,
-//! `ShardStats` — never barrier and never even enter the dispatch queue.
-//! Every worker ships an epoch-tagged read-state view with each apply
-//! completion; the dispatcher installs it in a shared `QueryCache`
-//! *before* acking the apply, and connection threads answer aggregate
-//! queries straight from that cache. A reader therefore cannot stall the
-//! repair path, and a client that has seen an apply ack can never be
-//! served the pre-apply epoch.
+//! **Barrier-free reads**: every read query except `MergedSnapshot` —
+//! the aggregates `Utility` / `Stats` / `ShardStats` *and* the
+//! per-entity reads `AssignmentsOf` / `EventLoad` — never barriers and
+//! never even enters the dispatch queue. Every worker ships an
+//! epoch-tagged read-state view (utility breakdown, counters, and a
+//! snapshot of its assignment slices) with each apply completion; the
+//! dispatcher installs it in a shared `QueryCache` — together with the
+//! coordinator's user→shard owner table — *before* acking the apply, and
+//! connection threads answer straight from that cache (`EventLoad`
+//! merges the per-shard loads right there). A reader therefore cannot
+//! stall the repair path, and a client that has seen an apply ack can
+//! never be served the pre-apply epoch.
 //!
 //! A client driving requests synchronously observes exactly the serial
 //! [`EngineService`](crate::EngineService) responses — the worker pool
@@ -52,7 +56,7 @@ use crate::protocol::{
 };
 use crate::service::{applied_response, dispatch_envelope, EngineBackend, EngineService};
 use crate::shard::{ApplyOutcome, EngineStats, Shard};
-use igepa_core::{CapacityTarget, InstanceDelta, UtilityBreakdown};
+use igepa_core::{CapacityTarget, InstanceDelta, UserId, UtilityBreakdown};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -344,10 +348,11 @@ impl EngineClient {
 /// One shard's read-side state, computed by its worker after every apply
 /// and cached coordinator-side, tagged with the count of applies the
 /// shard has absorbed (its *repair epoch*). The dispatcher answers
-/// `Utility` / `Stats` / `ShardStats` queries from these views without
-/// barriering the worker pool; the view is installed **before** the
-/// corresponding apply is acked, so a reader that has seen an ack can
-/// never be served the pre-apply epoch.
+/// `Utility` / `Stats` / `ShardStats` **and the per-entity reads**
+/// (`AssignmentsOf`, `EventLoad`) from these views without barriering
+/// the worker pool; the view is installed **before** the corresponding
+/// apply is acked, so a reader that has seen an ack can never be served
+/// the pre-apply epoch.
 #[derive(Debug, Clone)]
 struct ShardView {
     /// Applies absorbed by the shard when this view was taken.
@@ -360,6 +365,13 @@ struct ShardView {
     breakdown: UtilityBreakdown,
     /// The shard's repair-loop counters.
     stats: EngineStats,
+    /// Snapshot of the shard's arrangement (shard-local user ids), taken
+    /// on the worker after the repair. Backs the cached per-entity reads:
+    /// `AssignmentsOf` borrows the owning shard's `events_of` slice and
+    /// `EventLoad` merges `load_of` across shards — both in the
+    /// connection thread. The snapshot is an O(shard pairs) clone per
+    /// apply, taken off the dispatch thread.
+    assignments: Arc<igepa_core::Arrangement>,
 }
 
 impl ShardView {
@@ -369,8 +381,9 @@ impl ShardView {
             epoch: stats.deltas_applied,
             users: shard.instance().num_users(),
             pairs: shard.arrangement().len(),
-            breakdown: shard.arrangement().utility(shard.instance()),
+            breakdown: shard.utility_breakdown(),
             stats,
+            assignments: Arc::new(shard.arrangement().clone()),
         }
     }
 }
@@ -390,6 +403,14 @@ struct CacheInner {
     /// Mirror-validation rejections, attributed exactly as the serial
     /// backend attributes them (aggregate stats and shard 0's entry).
     rejected: u64,
+    /// Global-user → `(shard, shard-local id)`, mirroring the
+    /// coordinator's table. Append-only between barriers (`AddUser`
+    /// completions extend it); routes cached `AssignmentsOf` reads.
+    owners: Vec<(usize, UserId)>,
+    /// True event capacities from the mirror. Event-side state only
+    /// changes on barrier-executed broadcasts, which refresh the whole
+    /// cache, so fast-path installs never need to touch this.
+    capacities: Vec<usize>,
 }
 
 impl QueryCache {
@@ -400,12 +421,21 @@ impl QueryCache {
                     .map(|k| ShardView::of(engine.shard(k)))
                     .collect(),
                 rejected: engine.rejected_count(),
+                owners: engine.owners().to_vec(),
+                capacities: engine
+                    .instance()
+                    .events()
+                    .iter()
+                    .map(|e| e.capacity)
+                    .collect(),
             }),
         })
     }
 
-    /// Installs one shard's post-apply view (the per-completion hot path).
-    fn install(&self, shard: usize, view: ShardView, rejected: u64) {
+    /// Installs one shard's post-apply view (the per-completion hot
+    /// path), extending the owner table by any users registered since
+    /// the last install (`owners` is the coordinator's current table).
+    fn install(&self, shard: usize, view: ShardView, rejected: u64, owners: &[(usize, UserId)]) {
         let mut inner = self.inner.write().expect("query cache poisoned");
         debug_assert!(
             view.epoch >= inner.views[shard].epoch,
@@ -413,15 +443,27 @@ impl QueryCache {
         );
         inner.views[shard] = view;
         inner.rejected = rejected;
+        if owners.len() > inner.owners.len() {
+            let from = inner.owners.len();
+            inner.owners.extend_from_slice(&owners[from..]);
+        }
     }
 
-    /// Re-reads every shard (after barrier-executed operations).
+    /// Re-reads every shard plus the entity tables (after
+    /// barrier-executed operations — the only place event-side state can
+    /// change).
     fn refresh_all(&self, engine: &ShardedEngine) {
         let mut inner = self.inner.write().expect("query cache poisoned");
         for (k, view) in inner.views.iter_mut().enumerate() {
             *view = ShardView::of(engine.shard(k));
         }
         inner.rejected = engine.rejected_count();
+        inner.owners.clear();
+        inner.owners.extend_from_slice(engine.owners());
+        inner.capacities.clear();
+        inner
+            .capacities
+            .extend(engine.instance().events().iter().map(|e| e.capacity));
     }
 
     /// Records a mirror-validation rejection (fast-path apply refused).
@@ -430,11 +472,11 @@ impl QueryCache {
     }
 
     /// Answers one cacheable query, reproducing the serial service's
-    /// aggregation (same shard order, same float summation, same
-    /// rejected-delta attribution) bit for bit. Both dialects agree on
-    /// these queries: they carry no user-supplied ids, so there is no
-    /// `NotFound` case to diverge on.
-    fn answer(&self, query: EngineQuery) -> EngineResponse {
+    /// semantics bit for bit: same shard order, same float summation,
+    /// same rejected-delta attribution for the aggregates, and the same
+    /// dialect split for the per-entity reads (`strict` selects typed
+    /// `NotFound` over the legacy silent `[]` / `(0, 0)` answers).
+    fn answer(&self, query: EngineQuery, strict: bool) -> Result<EngineResponse, EngineError> {
         let inner = self.inner.read().expect("query cache poisoned");
         match query {
             EngineQuery::Utility => {
@@ -446,11 +488,11 @@ impl QueryCache {
                     interest_sum += view.breakdown.interest_sum;
                     interaction_sum += view.breakdown.interaction_sum;
                 }
-                EngineResponse::Utility {
+                Ok(EngineResponse::Utility {
                     total,
                     interest_sum,
                     interaction_sum,
-                }
+                })
             }
             EngineQuery::Stats => {
                 let mut views = inner.views.iter();
@@ -459,7 +501,7 @@ impl QueryCache {
                     total = total.merged(&view.stats);
                 }
                 total.deltas_rejected += inner.rejected;
-                EngineResponse::Stats { stats: total }
+                Ok(EngineResponse::Stats { stats: total })
             }
             EngineQuery::ShardStats => {
                 let shards = inner
@@ -480,9 +522,70 @@ impl QueryCache {
                         }
                     })
                     .collect();
-                EngineResponse::ShardStats { shards }
+                Ok(EngineResponse::ShardStats { shards })
             }
-            _ => unreachable!("only cacheable queries reach the view cache"),
+            EngineQuery::AssignmentsOf { user } => {
+                let Some(&(shard, local)) = inner.owners.get(user.index()) else {
+                    if strict {
+                        return Err(EngineError::NotFound {
+                            entity: crate::error::EntityRef::User { user },
+                        });
+                    }
+                    return Ok(EngineResponse::Assignments {
+                        user,
+                        events: Vec::new(),
+                    });
+                };
+                // A just-registered user whose creating apply has not yet
+                // installed its shard view (only possible concurrently
+                // with that apply, never after its ack) reads as having
+                // no assignments yet.
+                let view = &inner.views[shard].assignments;
+                let events = if local.index() < view.num_users() {
+                    view.events_of(local).to_vec()
+                } else {
+                    Vec::new()
+                };
+                Ok(EngineResponse::Assignments { user, events })
+            }
+            EngineQuery::EventLoad { event } => {
+                let Some(&capacity) = inner.capacities.get(event.index()) else {
+                    if strict {
+                        return Err(EngineError::NotFound {
+                            entity: crate::error::EntityRef::Event { event },
+                        });
+                    }
+                    return Ok(EngineResponse::EventLoad {
+                        event,
+                        load: 0,
+                        capacity: 0,
+                    });
+                };
+                // Merge the per-shard loads in the connection thread —
+                // the read never touches the dispatch queue, exactly
+                // like the aggregate queries. (Event-side growth always
+                // barriers and refreshes every view, so the bound check
+                // only matters mid-barrier.)
+                let load = inner
+                    .views
+                    .iter()
+                    .map(|view| {
+                        if event.index() < view.assignments.num_events() {
+                            view.assignments.load_of(event)
+                        } else {
+                            0
+                        }
+                    })
+                    .sum();
+                Ok(EngineResponse::EventLoad {
+                    event,
+                    load,
+                    capacity,
+                })
+            }
+            EngineQuery::MergedSnapshot => {
+                unreachable!("only cacheable queries reach the view cache")
+            }
         }
     }
 }
@@ -692,9 +795,13 @@ fn connection_loop(
                     envelope.version == PROTOCOL_VERSION || envelope.version == LEGACY_VERSION;
                 if let (true, EngineRequest::Query { query }) = (supported, &envelope.body) {
                     if cached_query(query) {
+                        // `strict` selects the dialect for per-entity
+                        // reads: typed NotFound vs the legacy silent
+                        // answers (`strict == false` never errors).
+                        let strict = envelope.version == PROTOCOL_VERSION;
                         let response = ResponseEnvelope {
                             id: envelope.id,
-                            result: Ok(cache.answer(*query)),
+                            result: cache.answer(*query, strict),
                         };
                         if write_frame(&mut writer, framing, &encode_response_envelope(&response))
                             .is_err()
@@ -745,13 +852,19 @@ fn serial_dispatch<B: EngineBackend>(
 }
 
 /// Whether a query is served from the coordinator-side view cache
-/// without barriering the workers. Aggregate reads qualify; per-entity
-/// reads (`AssignmentsOf`, `EventLoad`) and the full `MergedSnapshot`
-/// need arrangement detail only the shards hold.
+/// without barriering the workers. Aggregate reads and the per-entity
+/// reads (`AssignmentsOf` via the owner table + the owning shard's
+/// assignment snapshot, `EventLoad` via cross-shard load merging in the
+/// connection thread) all qualify; only the full `MergedSnapshot` still
+/// needs a barrier.
 fn cached_query(query: &EngineQuery) -> bool {
     matches!(
         query,
-        EngineQuery::Utility | EngineQuery::Stats | EngineQuery::ShardStats
+        EngineQuery::Utility
+            | EngineQuery::Stats
+            | EngineQuery::ShardStats
+            | EngineQuery::AssignmentsOf { .. }
+            | EngineQuery::EventLoad { .. }
     )
 }
 
@@ -948,8 +1061,14 @@ impl ShardDispatcher {
         self.engine.note_outcome(shard, &outcome);
         // Install the post-apply view BEFORE the ack can go out: once a
         // client sees the ack, every cached read reflects this apply.
-        self.cache
-            .install(shard, view, self.engine.rejected_count());
+        // The owner table rides along so cached `AssignmentsOf` reads can
+        // route users registered by this (or any earlier) apply.
+        self.cache.install(
+            shard,
+            view,
+            self.engine.rejected_count(),
+            self.engine.owners(),
+        );
         let merged = ApplyOutcome {
             kind: outcome.kind,
             repair: outcome.repair,
@@ -1083,6 +1202,14 @@ fn spawn_worker(
     let (tx, rx) = mpsc::channel::<WorkerMsg>();
     let join = thread::spawn(move || {
         let mut slot = Some(shard);
+        // Double-buffered assignment snapshots for the query cache: the
+        // buffer NOT currently installed in the cache is uniquely owned
+        // again by the time the next apply completes, so its allocations
+        // are reused via `clone_from` — steady-state snapshotting is pure
+        // memcpy, no allocator traffic. A reader still holding the old
+        // buffer (mid-answer) just forces one fresh clone.
+        let mut snapshots: [Option<Arc<igepa_core::Arrangement>>; 2] = [None, None];
+        let mut flip = 0usize;
         while let Ok(msg) = rx.recv() {
             match msg {
                 WorkerMsg::Apply {
@@ -1099,8 +1226,20 @@ fn spawn_worker(
                         )
                     });
                     // Read-state for the coordinator's query cache,
-                    // computed here (reusing the apply's own utility
-                    // scan) so readers never have to barrier.
+                    // computed here (the breakdown is the apply's own O(1)
+                    // tracker read; the assignment snapshot reuses the
+                    // off-cache buffer) so readers never barrier.
+                    flip ^= 1;
+                    let reused = snapshots[flip].as_mut().and_then(|buffer| {
+                        let unique = Arc::get_mut(buffer)?;
+                        unique.clone_from(shard.arrangement());
+                        Some(Arc::clone(buffer))
+                    });
+                    let assignments = reused.unwrap_or_else(|| {
+                        let fresh = Arc::new(shard.arrangement().clone());
+                        snapshots[flip] = Some(Arc::clone(&fresh));
+                        fresh
+                    });
                     let stats = *shard.stats();
                     let view = Box::new(ShardView {
                         epoch: stats.deltas_applied,
@@ -1108,6 +1247,7 @@ fn spawn_worker(
                         pairs: shard.arrangement().len(),
                         breakdown,
                         stats,
+                        assignments,
                     });
                     if completion_tx
                         .send(ServerMsg::Completion {
@@ -1344,9 +1484,28 @@ mod tests {
                 EngineQuery::Utility,
                 EngineQuery::Stats,
                 EngineQuery::ShardStats,
+                // The per-entity reads are cached too (PR 5): a user
+                // created by the apply acked just above must already be
+                // visible, with exactly the serial assignments/loads.
+                EngineQuery::AssignmentsOf {
+                    user: UserId::new(i % 8),
+                },
+                EngineQuery::AssignmentsOf {
+                    user: UserId::new(5 + i),
+                },
+                EngineQuery::EventLoad {
+                    event: EventId::new(i % 4),
+                },
+                EngineQuery::EventLoad {
+                    event: EventId::new(999),
+                },
             ] {
-                let expected = serial.try_handle(&EngineRequest::Query { query }).unwrap();
-                let got = client.query(query).unwrap();
+                let expected = serial.try_handle(&EngineRequest::Query { query });
+                let got = match client.query(query) {
+                    Ok(response) => Ok(response),
+                    Err(ClientError::Engine(e)) => Err(e),
+                    Err(other) => panic!("transport failure: {other}"),
+                };
                 assert_eq!(got, expected, "stale cached read after ack {i}");
             }
         }

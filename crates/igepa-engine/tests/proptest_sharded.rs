@@ -373,6 +373,68 @@ proptest! {
         prop_assert_eq!(mono.arrangement().len(), sharded.num_pairs());
     }
 
+    /// The tracker pin of the O(1)-utility redesign: after *any* valid
+    /// delta sequence, on both backends, the incrementally maintained
+    /// utility breakdown (what `Utility` queries and apply outcomes now
+    /// read in O(1)) equals a from-scratch exact recompute over the
+    /// served arrangement — bit for bit, component by component. The
+    /// reverse attendee index is cross-checked against a brute-force
+    /// per-user scan at the same time.
+    #[test]
+    fn tracked_breakdown_equals_from_scratch_recompute_bit_for_bit(
+        num_events in 1usize..5,
+        num_users in 1usize..6,
+        shards in 1usize..4,
+        raws in proptest::collection::vec(raw_delta_strategy(), 1..40),
+        seed in 0u64..50,
+    ) {
+        let instance = seeded_instance(num_events, num_users, true);
+        let mut mono = monolithic_over(instance.clone(), seed);
+        let mut sharded = sharded_over(instance, seed, shards, 4);
+        for raw in &raws {
+            let delta = resolve(raw, mono.instance());
+            mono.apply(&delta).unwrap();
+            sharded.apply(&delta).unwrap();
+
+            // Monolithic backend.
+            let tracked = mono.utility_breakdown();
+            let fresh = mono.arrangement().utility(mono.instance());
+            prop_assert_eq!(tracked.total.to_bits(), fresh.total.to_bits());
+            prop_assert_eq!(tracked.interest_sum.to_bits(), fresh.interest_sum.to_bits());
+            prop_assert_eq!(
+                tracked.interaction_sum.to_bits(),
+                fresh.interaction_sum.to_bits()
+            );
+
+            // Every shard of the sharded backend, plus its reverse index.
+            for k in 0..sharded.num_shards() {
+                let shard = sharded.shard(k);
+                let tracked = shard.utility_breakdown();
+                let fresh = shard.arrangement().utility(shard.instance());
+                prop_assert_eq!(tracked.total.to_bits(), fresh.total.to_bits());
+                prop_assert_eq!(
+                    tracked.interest_sum.to_bits(),
+                    fresh.interest_sum.to_bits()
+                );
+                prop_assert_eq!(
+                    tracked.interaction_sum.to_bits(),
+                    fresh.interaction_sum.to_bits()
+                );
+
+                let m = shard.arrangement();
+                for v in 0..m.num_events() {
+                    let v = EventId::new(v);
+                    let scan: Vec<UserId> = (0..m.num_users())
+                        .map(UserId::new)
+                        .filter(|&u| m.contains(v, u))
+                        .collect();
+                    prop_assert_eq!(m.users_of(v), scan.as_slice());
+                    prop_assert_eq!(m.load_of(v), m.users_of(v).len());
+                }
+            }
+        }
+    }
+
     #[test]
     fn stats_aggregate_matches_shard_totals(
         shards in 1usize..4,
