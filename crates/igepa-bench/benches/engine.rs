@@ -914,6 +914,124 @@ fn concurrent_reader_scenarios(report: &mut BenchReport) {
     }
 }
 
+/// Durability scenarios (PR 6): what write-ahead logging adds to the
+/// apply hot path under each fsync policy, and how recovery time scales
+/// with the length of the WAL tail that must replay.
+///
+/// * `durability/apply/no_wal` — the in-process apply baseline.
+/// * `durability/apply/fsync_{off,interval,always}` — the same applies
+///   with every request logged through a [`DurabilityController`] first
+///   (frame encode + append, plus whatever the fsync policy adds).
+/// * `durability/recover_tail/{n}` — wall time of `recover()` over a log
+///   of `n` records and no snapshot (the worst case: the whole tail
+///   replays through the standard handle path).
+fn durability_scenarios(report: &mut BenchReport) {
+    use igepa_engine::{recover, DurabilityController, DurabilityPolicy};
+
+    let dataset = generate_clustered_dataset(
+        &ClusteredConfig {
+            num_events: 40,
+            num_users: 600,
+            num_communities: 8,
+            ..ClusteredConfig::default()
+        },
+        17,
+    );
+    let base = dataset.instance.clone();
+    let trace = generate_community_trace(
+        &base,
+        &dataset.event_communities,
+        &CommunityTraceConfig::partition_friendly(1024, 4),
+        23,
+    );
+    let requests: Vec<igepa_engine::EngineRequest> = trace
+        .deltas
+        .iter()
+        .map(|t| igepa_engine::EngineRequest::Apply {
+            delta: t.delta.clone(),
+        })
+        .collect();
+    let scratch =
+        std::env::temp_dir().join(format!("igepa-bench-durability-{}", std::process::id()));
+
+    let policies: [(&str, Option<DurabilityPolicy>); 4] = [
+        ("no_wal", None),
+        ("fsync_off", Some(DurabilityPolicy::Off)),
+        (
+            "fsync_interval",
+            Some(DurabilityPolicy::Interval { millis: 5 }),
+        ),
+        ("fsync_always", Some(DurabilityPolicy::Always)),
+    ];
+    for (label, policy) in policies {
+        let dir = scratch.join(label);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = sharded_serving_engine(base.clone(), 5, 4);
+        let mut controller =
+            policy.map(|p| DurabilityController::create(&dir, p).expect("scratch dir is writable"));
+        let mut apply_us = Vec::with_capacity(requests.len());
+        for (i, request) in requests.iter().enumerate() {
+            let igepa_engine::EngineRequest::Apply { delta } = request else {
+                unreachable!("the trace maps onto single applies");
+            };
+            let start = Instant::now();
+            if let Some(controller) = &mut controller {
+                controller
+                    .log(i as u64 + 1, engine.catalog().epoch(), request)
+                    .expect("wal append succeeds");
+            }
+            engine.apply(delta).expect("trace deltas are valid");
+            apply_us.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+        }
+        black_box(engine.utility());
+        report.record(format!("durability/apply/{label}"), apply_us);
+    }
+
+    // Recovery time vs WAL-tail length: log the first `n` requests with
+    // no checkpoint, then time full recoveries (fresh engine + replay).
+    for &n in &[64usize, 256, 1024] {
+        let dir = scratch.join(format!("tail-{n}"));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = sharded_serving_engine(base.clone(), 5, 4);
+        let mut controller = DurabilityController::create(&dir, DurabilityPolicy::Off)
+            .expect("scratch dir is writable");
+        for (i, request) in requests.iter().take(n).enumerate() {
+            let igepa_engine::EngineRequest::Apply { delta } = request else {
+                unreachable!("the trace maps onto single applies");
+            };
+            controller
+                .log(i as u64 + 1, engine.catalog().epoch(), request)
+                .expect("wal append succeeds");
+            engine.apply(delta).expect("trace deltas are valid");
+        }
+        let expected = engine.utility();
+        let mut recover_us = Vec::new();
+        for _ in 0..3 {
+            let start = Instant::now();
+            let recovered = recover(
+                &dir,
+                || sharded_serving_engine(base.clone(), 5, 4),
+                |_| Err("no snapshot in this scenario".to_string()),
+            )
+            .expect("the log recovers");
+            recover_us.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+            assert_eq!(
+                recovered.engine.utility().to_bits(),
+                expected.to_bits(),
+                "recovery diverged from the logged run"
+            );
+        }
+        report.record(format!("durability/recover_tail/{n}"), recover_us);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 criterion_group!(
     engine,
     warm_engine_replay,
@@ -934,6 +1052,7 @@ fn main() {
     cost_model_scenarios(&mut report);
     pipeline_scenarios(&mut report);
     concurrent_reader_scenarios(&mut report);
+    durability_scenarios(&mut report);
     // Written to the workspace root so the perf trajectory is tracked
     // in one place across PRs (override with BENCH_JSON_PATH).
     report.write(concat!(

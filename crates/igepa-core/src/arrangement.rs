@@ -442,6 +442,19 @@ impl UtilityTracker {
         self.interest.add(new);
     }
 
+    /// Merges another tracker's partial sums into this one, exactly.
+    ///
+    /// Exact sums are order-independent, so absorbing per-shard trackers
+    /// produces a tracker whose [`UtilityTracker::breakdown`] is
+    /// bit-identical to one global tracker (or a from-scratch
+    /// [`UtilityTracker::rebuild`]) over the union of the shards' pairs —
+    /// the property that lets a merged arrangement's utility be served
+    /// from cached per-shard trackers without a global recompute.
+    pub fn absorb(&mut self, other: &UtilityTracker) {
+        self.interest.absorb(&other.interest);
+        self.interaction.absorb(&other.interaction);
+    }
+
     /// The tracked utility breakdown under balance parameter `beta`.
     /// O(1): two accumulator roundings and the Definition-7 combination.
     pub fn breakdown(&self, beta: f64) -> UtilityBreakdown {
@@ -804,6 +817,37 @@ mod tests {
                 from_scratch.interaction_sum.to_bits()
             );
         }
+    }
+
+    #[test]
+    fn absorbed_shard_trackers_match_a_global_rebuild_bit_for_bit() {
+        let inst = sample_instance();
+        let mut m = Arrangement::empty_for(&inst);
+        m.assign(EventId::new(1), UserId::new(0));
+        m.assign(EventId::new(2), UserId::new(0));
+        m.assign(EventId::new(1), UserId::new(1));
+        // Partition the pairs by user (as shards partition users), track
+        // each slice separately, merge, and compare against the global
+        // rebuild.
+        let mut per_user = [UtilityTracker::new(), UtilityTracker::new()];
+        for (v, u) in m.pairs() {
+            per_user[u.index()].on_assign(&inst, v, u);
+        }
+        let mut merged = UtilityTracker::new();
+        for part in &per_user {
+            merged.absorb(part);
+        }
+        let global = UtilityTracker::rebuild(&inst, &m).breakdown(inst.beta());
+        let combined = merged.breakdown(inst.beta());
+        assert_eq!(combined.total.to_bits(), global.total.to_bits());
+        assert_eq!(
+            combined.interest_sum.to_bits(),
+            global.interest_sum.to_bits()
+        );
+        assert_eq!(
+            combined.interaction_sum.to_bits(),
+            global.interaction_sum.to_bits()
+        );
     }
 
     #[test]

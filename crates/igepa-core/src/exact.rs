@@ -138,6 +138,28 @@ impl ExactSum {
         }
     }
 
+    /// Adds another accumulator's exact sum into this one, exactly.
+    ///
+    /// The represented value is a plain linear combination of the limbs,
+    /// so limb-wise addition of two accumulators represents the sum of
+    /// their exact sums — merging per-shard partial sums therefore yields
+    /// an accumulator whose [`ExactSum::value`] is the correctly rounded
+    /// sum of *every* value the parts ever absorbed, bit-identical to a
+    /// single global accumulator over the same multiset. Both sides are
+    /// carry-normalized around the merge so no limb can overflow.
+    pub fn absorb(&mut self, other: &ExactSum) {
+        self.normalize();
+        let mut other = other.clone();
+        other.normalize();
+        // Normalized limbs lie in [0, 2^32) (top limb: bounded signed
+        // carry), so each element-wise sum fits an i64 with room to
+        // spare; the trailing normalize restores the invariant.
+        for (dst, src) in self.limbs.iter_mut().zip(other.limbs.iter()) {
+            *dst += src;
+        }
+        self.normalize();
+    }
+
     /// Propagates carries so every limb but the top one lies in
     /// `[0, 2^32)`; the top limb absorbs the residual signed carry.
     fn normalize(&mut self) {
@@ -433,6 +455,57 @@ mod tests {
             churned.sub(v);
         }
         assert_eq!(churned.value().to_bits(), forward.value().to_bits());
+    }
+
+    #[test]
+    fn absorb_merges_partial_sums_bit_identically() {
+        // Split a value stream across several accumulators, merge them,
+        // and compare against one global accumulator: bit-equal, even on
+        // magnitudes where f64 addition of the partial values() drifts.
+        let mut state = 7u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let values: Vec<f64> = (0..300).map(|_| next() * next()).collect();
+        let global = sum_of(&values);
+        for parts in [2usize, 3, 7] {
+            let mut shards = vec![ExactSum::new(); parts];
+            for (i, &v) in values.iter().enumerate() {
+                shards[i % parts].add(v);
+            }
+            let mut merged = ExactSum::new();
+            for shard in &shards {
+                merged.absorb(shard);
+            }
+            assert_eq!(
+                merged.value().to_bits(),
+                global.value().to_bits(),
+                "{parts}-way merge"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_handles_signs_and_cancellation() {
+        let mut a = ExactSum::new();
+        a.add(0.3);
+        a.sub(1.0);
+        let mut b = ExactSum::new();
+        b.add(0.7);
+        b.add(1.0);
+        b.sub(0.3);
+        a.absorb(&b);
+        let mut reference = ExactSum::new();
+        reference.add(0.7);
+        assert_eq!(a.value().to_bits(), reference.value().to_bits());
+        // Absorbing the exact negative cancels to true zero.
+        let mut neg = ExactSum::new();
+        neg.sub(0.7);
+        a.absorb(&neg);
+        assert!(a.is_zero());
     }
 
     #[test]

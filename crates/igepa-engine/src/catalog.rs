@@ -132,6 +132,15 @@ impl EventCatalog {
     /// Builds a catalogue over an instance's current events, sharing the
     /// instance's conflict-matrix allocation (no copy).
     pub fn from_instance(instance: &Instance) -> Self {
+        EventCatalog::from_instance_at_epoch(instance, 0)
+    }
+
+    /// Like [`EventCatalog::from_instance`], but publishes the founding
+    /// snapshot at `epoch` instead of 0. Recovery uses this so a restored
+    /// engine resumes the epoch sequence exactly where the checkpointed
+    /// one left off (shards compare their adopted epoch against the
+    /// catalogue's when absorbing announcements).
+    pub fn from_instance_at_epoch(instance: &Instance, epoch: u64) -> Self {
         let events: Arc<Vec<Arc<Event>>> = Arc::new(
             instance
                 .events()
@@ -143,7 +152,7 @@ impl EventCatalog {
         let conflicts = Arc::clone(instance.conflicts_handle());
         EventCatalog {
             current: Arc::new(CatalogSnapshot {
-                epoch: 0,
+                epoch,
                 events: Arc::clone(&events),
                 capacities: Arc::new(capacities),
                 conflicts: Arc::clone(&conflicts),

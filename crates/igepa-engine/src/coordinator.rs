@@ -39,15 +39,17 @@
 //! [`Engine`](crate::Engine), reproducing its responses bit for bit.
 
 use crate::catalog::{CatalogSnapshot, EventCatalog};
+use crate::durability::snapshot::{EngineSnapshotState, ShardRecord, STATE_VERSION};
 use crate::reconcile::{self, ReconcileReport};
 use crate::shard::{
-    ApplyOutcome, EngineConfig, EngineStats, RepairKind, Shard, ShardOp, SharedConflict,
-    SharedInterest, SharedSolver,
+    ApplyOutcome, EngineConfig, EngineStats, RepairKind, Shard, ShardOp, ShardResume,
+    SharedConflict, SharedInterest, SharedSolver,
 };
 use igepa_algos::WarmStart;
 use igepa_core::{
     Arrangement, AttributeVector, CapacityTarget, ConflictFn, CoreError, DeltaEffect, Event,
-    EventId, Instance, InstanceDelta, InterestFn, Partitioner, User, UserId, UtilityBreakdown,
+    EventId, Instance, InstanceDelta, InstanceSnapshot, InterestFn, Partitioner, User, UserId,
+    UtilityBreakdown, UtilityTracker,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -352,26 +354,19 @@ impl ShardedEngine {
         merged
     }
 
-    /// Utility breakdown of the merged arrangement, computed as the sum
-    /// of per-shard tracker reads — O(num_shards), no pair iteration at
-    /// all — and for one shard exactly the monolithic value (bit for
-    /// bit: both are the same tracker read).
+    /// Utility breakdown of the merged arrangement, computed by absorbing
+    /// the per-shard exact accumulators into one tracker — O(num_shards),
+    /// no pair iteration — and then rounding once. Exact sums are
+    /// order-independent, so the result is bit-identical to a
+    /// from-scratch [`Arrangement::utility`] recompute over the merged
+    /// arrangement (summing the shards' already-rounded totals instead
+    /// can drift by an ulp per shard).
     pub fn merged_utility(&self) -> UtilityBreakdown {
-        let mut total = 0.0;
-        let mut interest_sum = 0.0;
-        let mut interaction_sum = 0.0;
+        let mut merged = UtilityTracker::new();
         for shard in &self.shards {
-            let breakdown = shard.utility_breakdown();
-            total += breakdown.total;
-            interest_sum += breakdown.interest_sum;
-            interaction_sum += breakdown.interaction_sum;
+            merged.absorb(shard.tracker());
         }
-        UtilityBreakdown {
-            total,
-            interest_sum,
-            interaction_sum,
-            beta: self.mirror.beta(),
-        }
+        merged.breakdown(self.mirror.beta())
     }
 
     /// Runs one cold solve of the full instance with the shared solver and
@@ -897,6 +892,179 @@ impl ShardedEngine {
             .unwrap_or_default()
     }
 
+    /// Captures the engine's complete logical state as a versioned,
+    /// serializable checkpoint covering WAL sequence `wal_seq`. Must be
+    /// called at a barrier (shards attached and quiescent); together with
+    /// [`ShardedEngine::restore_state`] it reproduces the engine **bit
+    /// for bit** — arrangement, utility sums, seed counters, routing
+    /// tables and rejection counters all round-trip exactly.
+    pub fn snapshot_state(&self, wal_seq: u64) -> EngineSnapshotState {
+        debug_assert_eq!(self.shards.len(), self.num_shards, "barrier first");
+        debug_assert!(
+            self.shards.iter().all(Shard::is_quiescent),
+            "checkpoints must observe a quiescent engine"
+        );
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let breakdown = shard.utility_breakdown();
+                ShardRecord {
+                    quotas: (0..self.mirror.num_events())
+                        .map(|v| shard.quota_of(EventId::new(v)))
+                        .collect(),
+                    arrangement: shard.arrangement().clone(),
+                    stats: *shard.stats(),
+                    solve_counter: shard.solve_counter(),
+                    last_staleness_check: shard.last_staleness_check(),
+                    catalog_epoch: shard.catalog_epoch(),
+                    interest_sum: breakdown.interest_sum,
+                    interaction_sum: breakdown.interaction_sum,
+                }
+            })
+            .collect();
+        EngineSnapshotState {
+            version: STATE_VERSION,
+            wal_seq,
+            catalog_epoch: self.catalog.epoch(),
+            config: self.config.clone(),
+            mirror: InstanceSnapshot::capture(&self.mirror),
+            owners: self
+                .owners
+                .iter()
+                .map(|&(k, local)| (k as u32, local.index() as u32))
+                .collect(),
+            rejected: self.rejected,
+            deltas_since_reconcile: self.deltas_since_reconcile,
+            reconcile_candidates: self.reconcile_candidates.iter().copied().collect(),
+            coordinator_stats: self.coordinator_stats,
+            probe_counter: self.probe_counter,
+            shards,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint. The caller supplies the same
+    /// σ / interest / solver / partitioner the original engine ran with
+    /// (they are code, not data — checkpoints carry only state). After
+    /// the structural rebuild every shard's utility tracker is verified
+    /// bit-for-bit against the sums the checkpoint recorded; any mismatch
+    /// (schema drift, an id-dependent interest function, a doctored
+    /// snapshot) fails the restore instead of silently serving a
+    /// different arrangement.
+    pub fn restore_state(
+        state: &EngineSnapshotState,
+        sigma: Box<dyn ConflictFn + Send + Sync>,
+        interest: Box<dyn InterestFn + Send + Sync>,
+        solver: Box<dyn WarmStart + Send + Sync>,
+        partitioner: Box<dyn Partitioner + Send>,
+    ) -> Result<ShardedEngine, String> {
+        let mirror = state
+            .mirror
+            .restore()
+            .map_err(|e| format!("mirror restore failed: {e}"))?;
+        let num_shards = state.config.num_shards.max(1);
+        if state.shards.len() != num_shards {
+            return Err(format!(
+                "snapshot carries {} shard records for a {num_shards}-shard config",
+                state.shards.len()
+            ));
+        }
+        if state.owners.len() != mirror.num_users() {
+            return Err(format!(
+                "owner table covers {} users but the mirror has {}",
+                state.owners.len(),
+                mirror.num_users()
+            ));
+        }
+        let mut locals: Vec<Vec<UserId>> = vec![Vec::new(); num_shards];
+        let mut owners = Vec::with_capacity(state.owners.len());
+        for (u, &(k, local)) in state.owners.iter().enumerate() {
+            let (k, local) = (k as usize, local as usize);
+            if k >= num_shards {
+                return Err(format!("user {u} owned by shard {k} of {num_shards}"));
+            }
+            if local != locals[k].len() {
+                return Err(format!(
+                    "user {u} has non-dense local id {local} on shard {k}"
+                ));
+            }
+            owners.push((k, UserId::new(local)));
+            locals[k].push(UserId::new(u));
+        }
+        let sigma: SharedConflict = Arc::from(sigma);
+        let interest: SharedInterest = Arc::from(interest);
+        let solver: SharedSolver = Arc::from(solver);
+        let catalog = EventCatalog::from_instance_at_epoch(&mirror, state.catalog_epoch);
+        let mut shards = Vec::with_capacity(num_shards);
+        for (k, record) in state.shards.iter().enumerate() {
+            if record.quotas.len() != mirror.num_events() {
+                return Err(format!(
+                    "shard {k} quota vector covers {} events but the mirror has {}",
+                    record.quotas.len(),
+                    mirror.num_events()
+                ));
+            }
+            let sub_instance = if num_shards == 1 {
+                mirror.clone()
+            } else {
+                build_sub_instance(&mirror, &locals[k], |v| record.quotas[v.index()])
+            };
+            let shard_config = EngineConfig {
+                seed: state.config.shard.seed.wrapping_add(k as u64),
+                ..state.config.shard.clone()
+            };
+            let shard = Shard::restore(
+                ShardResume {
+                    instance: sub_instance,
+                    arrangement: record.arrangement.clone(),
+                    stats: record.stats,
+                    solve_counter: record.solve_counter,
+                    last_staleness_check: record.last_staleness_check,
+                    catalog_epoch: record.catalog_epoch,
+                },
+                Arc::clone(&sigma),
+                Arc::clone(&interest),
+                Arc::clone(&solver),
+                shard_config,
+            );
+            let breakdown = shard.utility_breakdown();
+            if breakdown.interest_sum.to_bits() != record.interest_sum.to_bits()
+                || breakdown.interaction_sum.to_bits() != record.interaction_sum.to_bits()
+            {
+                return Err(format!(
+                    "shard {k} utility diverged after restore: checkpoint recorded ({}, {}), the rebuilt tracker reads ({}, {})",
+                    record.interest_sum,
+                    record.interaction_sum,
+                    breakdown.interest_sum,
+                    breakdown.interaction_sum
+                ));
+            }
+            shards.push(shard);
+        }
+        let shard_utility = shards.iter().map(Shard::utility).collect();
+        let shard_pairs = shards.iter().map(|s| s.arrangement().len()).collect();
+        Ok(ShardedEngine {
+            shards,
+            num_shards,
+            catalog,
+            mirror,
+            sigma,
+            interest,
+            solver,
+            partitioner,
+            owners,
+            locals,
+            config: state.config.clone(),
+            shard_utility,
+            shard_pairs,
+            rejected: state.rejected,
+            deltas_since_reconcile: state.deltas_since_reconcile,
+            reconcile_candidates: state.reconcile_candidates.iter().copied().collect(),
+            coordinator_stats: state.coordinator_stats,
+            probe_counter: state.probe_counter,
+        })
+    }
+
     /// Per-shard summaries for the `ShardStats` query. Mirror-level
     /// rejections never reach a shard, so they are attributed to shard 0
     /// — exactly where the monolithic engine counts them, keeping the
@@ -1374,6 +1542,130 @@ mod tests {
         assert!(engine.merged_arrangement().is_feasible(engine.instance()));
         let stats = engine.stats();
         assert_eq!(stats.deltas_applied, 8);
+    }
+
+    /// Deltas exercising every routing path, for checkpoint tests.
+    fn churn(engine: &mut ShardedEngine) {
+        let num_events = engine.instance().num_events();
+        for i in 0..6 {
+            engine
+                .apply(&InstanceDelta::AddUser {
+                    capacity: 2,
+                    attrs: AttributeVector::empty(),
+                    bids: vec![EventId::new(i % num_events)],
+                    interaction: 0.3 + 0.1 * i as f64,
+                })
+                .unwrap();
+        }
+        engine
+            .apply(&InstanceDelta::AddEvent {
+                capacity: 3,
+                attrs: AttributeVector::empty(),
+            })
+            .unwrap();
+        engine
+            .apply(&InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::Event(EventId::new(1)),
+                capacity: 1,
+            })
+            .unwrap();
+        engine
+            .apply(&InstanceDelta::RemoveUser {
+                user: UserId::new(2),
+            })
+            .unwrap();
+        // A rejection, so the rejected counter round-trips too.
+        let _ = engine.apply(&InstanceDelta::UpdateInteractionScore {
+            user: UserId::new(500),
+            score: 0.5,
+        });
+        engine.rebalance();
+    }
+
+    /// Checkpoint → serde → restore reproduces the engine bit for bit,
+    /// including its future: both copies must answer identical responses
+    /// to an identical request suffix (same solver seeds, same staleness
+    /// countdowns, same reconcile phase).
+    #[test]
+    fn snapshot_state_roundtrips_bit_for_bit() {
+        for num_shards in [1, 2, 3] {
+            let mut original = sharded_for(3, 9, num_shards);
+            churn(&mut original);
+
+            let state = original.snapshot_state(17);
+            let json = serde_json::to_string(&state).unwrap();
+            let decoded: EngineSnapshotState = serde_json::from_str(&json).unwrap();
+            assert_eq!(
+                decoded, state,
+                "checkpoint serde drift ({num_shards} shards)"
+            );
+
+            let mut restored = ShardedEngine::restore_state(
+                &decoded,
+                Box::new(NeverConflict),
+                Box::new(ConstantInterest(0.5)),
+                Box::new(GreedyArrangement),
+                Box::new(HashPartitioner),
+            )
+            .unwrap();
+
+            assert_eq!(
+                restored.merged_arrangement().pairs().collect::<Vec<_>>(),
+                original.merged_arrangement().pairs().collect::<Vec<_>>(),
+                "arrangement diverged ({num_shards} shards)"
+            );
+            assert_eq!(
+                restored.merged_utility().total.to_bits(),
+                original.merged_utility().total.to_bits(),
+                "utility diverged ({num_shards} shards)"
+            );
+            assert_eq!(restored.stats(), original.stats());
+            assert_eq!(restored.catalog().epoch(), original.catalog().epoch());
+
+            // The decisive check: identical futures. Any unsaved seed or
+            // counter would surface as a different repair below.
+            churn(&mut restored);
+            churn(&mut original);
+            assert_eq!(
+                restored.merged_arrangement().pairs().collect::<Vec<_>>(),
+                original.merged_arrangement().pairs().collect::<Vec<_>>(),
+                "post-restore future diverged ({num_shards} shards)"
+            );
+            assert_eq!(
+                restored.merged_utility().total.to_bits(),
+                original.merged_utility().total.to_bits()
+            );
+            assert_eq!(restored.stats(), original.stats());
+        }
+    }
+
+    #[test]
+    fn restore_state_rejects_structural_corruption() {
+        let mut engine = sharded_for(2, 6, 2);
+        churn(&mut engine);
+        let state = engine.snapshot_state(5);
+        let rebuild = |s: &EngineSnapshotState| {
+            ShardedEngine::restore_state(
+                s,
+                Box::new(NeverConflict),
+                Box::new(ConstantInterest(0.5)),
+                Box::new(GreedyArrangement),
+                Box::new(HashPartitioner),
+            )
+        };
+        let mut missing_shard = state.clone();
+        missing_shard.shards.pop();
+        assert!(rebuild(&missing_shard).is_err());
+        let mut bad_owner = state.clone();
+        bad_owner.owners[0].0 = 9;
+        assert!(rebuild(&bad_owner).is_err());
+        let mut bad_sums = state.clone();
+        bad_sums.shards[0].interest_sum += 1.0;
+        assert!(rebuild(&bad_sums)
+            .err()
+            .unwrap()
+            .contains("utility diverged"));
+        assert!(rebuild(&state).is_ok(), "pristine state must still load");
     }
 
     #[test]

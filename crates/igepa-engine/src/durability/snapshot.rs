@@ -1,0 +1,424 @@
+//! Versioned, checksummed engine checkpoints.
+//!
+//! A checkpoint serializes everything [`ShardedEngine::restore_state`]
+//! needs beyond the caller-supplied functions: the mirror instance, the
+//! catalogue epoch, the owner table, per-shard quota vectors, served
+//! arrangements and repair-loop counters, and the per-shard utility sums
+//! (stored so restore can *verify*, bit for bit, that the rebuilt
+//! trackers reproduce the checkpointed utility).
+//!
+//! ## File format
+//!
+//! ```text
+//! IGEPA-SNAP <version> <payload-bytes> <fnv1a64-hex>\n
+//! <payload JSON>
+//! ```
+//!
+//! Snapshot files are written **directly to their final name** — there is
+//! no tmp-file/rename dance — so a crash mid-write leaves exactly the
+//! partially written file the loader must already be able to reject (the
+//! length or the checksum fails) before falling back to the previous
+//! valid snapshot. The schema carries a `version` field with a
+//! decode-and-migrate path: version-1 payloads (which predate the
+//! coordinator's probe counter and stats) still load, with the missing
+//! fields defaulted.
+//!
+//! [`ShardedEngine::restore_state`]: crate::ShardedEngine::restore_state
+
+use crate::coordinator::{CoordinatorStats, ShardedConfig};
+use crate::durability::wal::fnv1a64;
+use crate::shard::EngineStats;
+use igepa_core::{Arrangement, EventId, InstanceSnapshot};
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Current checkpoint schema version.
+pub const STATE_VERSION: u32 = 2;
+
+/// Oldest schema version the migration path still loads.
+pub const OLDEST_STATE_VERSION: u32 = 1;
+
+/// The checkpoint-restorable state of one shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRecord {
+    /// The shard's capacity quota per event, in event-id order (these are
+    /// the capacities of its sub-instance; they sum to the true capacity
+    /// across shards).
+    pub quotas: Vec<usize>,
+    /// The served arrangement, over shard-local user ids.
+    pub arrangement: Arrangement,
+    /// Repair-loop counters.
+    pub stats: EngineStats,
+    /// Solver-seed counter.
+    pub solve_counter: u64,
+    /// Watermark of the last staleness check.
+    pub last_staleness_check: u64,
+    /// Catalogue epoch the shard had absorbed.
+    pub catalog_epoch: u64,
+    /// Tracker interest sum at checkpoint time, for restore verification.
+    pub interest_sum: f64,
+    /// Tracker interaction sum at checkpoint time, for restore
+    /// verification.
+    pub interaction_sum: f64,
+}
+
+/// The full checkpointed engine state (see the module docs).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EngineSnapshotState {
+    /// Schema version ([`STATE_VERSION`] when captured by this build).
+    pub version: u32,
+    /// WAL sequence number the checkpoint covers: every logged record
+    /// with `seq <= wal_seq` is reflected in this state.
+    pub wal_seq: u64,
+    /// Catalogue epoch at checkpoint time.
+    pub catalog_epoch: u64,
+    /// The engine's full configuration (restore rebuilds shards with it).
+    pub config: ShardedConfig,
+    /// The full-capacity mirror instance.
+    pub mirror: InstanceSnapshot,
+    /// Per global user: `(owning shard, shard-local id)`.
+    pub owners: Vec<(u32, u32)>,
+    /// Mirror-validation rejections so far.
+    pub rejected: u64,
+    /// Applied deltas since the last reconciliation pass.
+    pub deltas_since_reconcile: u64,
+    /// Events the next periodic reconciliation pass will examine.
+    pub reconcile_candidates: Vec<EventId>,
+    /// Coordinator counters (absent in version-1 payloads; defaulted).
+    pub coordinator_stats: CoordinatorStats,
+    /// Seed counter of the coordinator's ad-hoc cold-solve probes
+    /// (absent in version-1 payloads; defaulted to 0).
+    pub probe_counter: u64,
+    /// Per-shard state, in shard order.
+    pub shards: Vec<ShardRecord>,
+}
+
+/// Hand-written so the decode-and-migrate path can accept the version-1
+/// schema (no `probe_counter`, no `coordinator_stats`) alongside the
+/// current one — the vendored serde derive has no `#[serde(default)]`.
+impl serde::Deserialize for EngineSnapshotState {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = serde::expect_object(value, "EngineSnapshotState")?;
+        let version: u32 = serde::Deserialize::from_value(serde::object_field(
+            entries,
+            "version",
+            "EngineSnapshotState",
+        )?)?;
+        if !(OLDEST_STATE_VERSION..=STATE_VERSION).contains(&version) {
+            return Err(serde::DeError::msg(format!(
+                "unsupported snapshot state version {version} (this build reads {OLDEST_STATE_VERSION}..={STATE_VERSION})"
+            )));
+        }
+        let required = |name: &str| serde::object_field(entries, name, "EngineSnapshotState");
+        let optional = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        Ok(EngineSnapshotState {
+            version,
+            wal_seq: serde::Deserialize::from_value(required("wal_seq")?)?,
+            catalog_epoch: serde::Deserialize::from_value(required("catalog_epoch")?)?,
+            config: serde::Deserialize::from_value(required("config")?)?,
+            mirror: serde::Deserialize::from_value(required("mirror")?)?,
+            owners: serde::Deserialize::from_value(required("owners")?)?,
+            rejected: serde::Deserialize::from_value(required("rejected")?)?,
+            deltas_since_reconcile: serde::Deserialize::from_value(required(
+                "deltas_since_reconcile",
+            )?)?,
+            reconcile_candidates: serde::Deserialize::from_value(required(
+                "reconcile_candidates",
+            )?)?,
+            coordinator_stats: match optional("coordinator_stats") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => CoordinatorStats::default(),
+            },
+            probe_counter: match optional("probe_counter") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => 0,
+            },
+            shards: serde::Deserialize::from_value(required("shards")?)?,
+        })
+    }
+}
+
+/// Errors raised while loading one snapshot file.
+#[derive(Debug)]
+pub enum SnapshotReadError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The file is partial, corrupt, or an unsupported version.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SnapshotReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotReadError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotReadError::Invalid(detail) => write!(f, "invalid snapshot: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotReadError {}
+
+fn snapshot_path(dir: &Path, wal_seq: u64) -> PathBuf {
+    dir.join(format!("snap-{wal_seq:020}.snap"))
+}
+
+/// Lists snapshot files as `(wal_seq, path)`, ascending.
+pub fn list_snapshots(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut snapshots = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".snap"))
+        {
+            if let Ok(seq) = stem.parse::<u64>() {
+                snapshots.push((seq, entry.path()));
+            }
+        }
+    }
+    snapshots.sort();
+    Ok(snapshots)
+}
+
+/// Writes a checkpoint to `snap-<wal_seq>.snap` (directly — no rename)
+/// and fsyncs it. `fail_after_bytes` is the crash-injection hook: when
+/// set, only that prefix of the file is written before the call fails,
+/// leaving the partial file a loader must skip.
+pub fn write_snapshot(
+    dir: &Path,
+    state: &EngineSnapshotState,
+    fail_after_bytes: Option<u64>,
+) -> io::Result<(PathBuf, u64)> {
+    fs::create_dir_all(dir)?;
+    let payload = serde_json::to_string(state).expect("snapshot state always serializes");
+    let header = format!(
+        "IGEPA-SNAP {} {} {:016x}\n",
+        state.version,
+        payload.len(),
+        fnv1a64(payload.as_bytes())
+    );
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(payload.as_bytes());
+    let path = snapshot_path(dir, state.wal_seq);
+    let mut file = File::create(&path)?;
+    if let Some(limit) = fail_after_bytes {
+        let cut = (limit as usize).min(bytes.len());
+        file.write_all(&bytes[..cut])?;
+        file.sync_data()?;
+        return Err(io::Error::other("injected crash mid-snapshot"));
+    }
+    file.write_all(&bytes)?;
+    file.sync_data()?;
+    Ok((path, bytes.len() as u64))
+}
+
+/// Reads and fully validates one snapshot file: header, length, checksum,
+/// schema (with version migration).
+pub fn read_snapshot(path: &Path) -> Result<EngineSnapshotState, SnapshotReadError> {
+    let mut data = Vec::new();
+    OpenOptions::new()
+        .read(true)
+        .open(path)
+        .and_then(|mut f| f.read_to_end(&mut data))
+        .map_err(SnapshotReadError::Io)?;
+    let newline = data
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| SnapshotReadError::Invalid("no header line".to_string()))?;
+    let header = std::str::from_utf8(&data[..newline])
+        .map_err(|_| SnapshotReadError::Invalid("header is not UTF-8".to_string()))?;
+    let mut tokens = header.split_whitespace();
+    if tokens.next() != Some("IGEPA-SNAP") {
+        return Err(SnapshotReadError::Invalid("bad magic".to_string()));
+    }
+    let version: u32 = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| SnapshotReadError::Invalid("bad header version".to_string()))?;
+    let declared_len: usize = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| SnapshotReadError::Invalid("bad header length".to_string()))?;
+    let declared_sum = tokens
+        .next()
+        .and_then(|t| u64::from_str_radix(t, 16).ok())
+        .ok_or_else(|| SnapshotReadError::Invalid("bad header checksum".to_string()))?;
+    let payload = &data[newline + 1..];
+    if payload.len() != declared_len {
+        return Err(SnapshotReadError::Invalid(format!(
+            "payload is {} bytes, header declares {declared_len} (partial write?)",
+            payload.len()
+        )));
+    }
+    if fnv1a64(payload) != declared_sum {
+        return Err(SnapshotReadError::Invalid("checksum mismatch".to_string()));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| SnapshotReadError::Invalid("payload is not UTF-8".to_string()))?;
+    let state: EngineSnapshotState = serde_json::from_str(text)
+        .map_err(|e| SnapshotReadError::Invalid(format!("payload does not decode: {e}")))?;
+    if state.version != version {
+        return Err(SnapshotReadError::Invalid(format!(
+            "header version {version} disagrees with payload version {}",
+            state.version
+        )));
+    }
+    Ok(state)
+}
+
+/// Loads the newest snapshot that validates, skipping partial or corrupt
+/// files in favor of older ones. Returns the loaded state (if any) and
+/// the paths that were skipped.
+pub fn load_newest(
+    dir: &Path,
+) -> io::Result<(Option<(EngineSnapshotState, PathBuf)>, Vec<PathBuf>)> {
+    let mut skipped = Vec::new();
+    if !dir.exists() {
+        return Ok((None, skipped));
+    }
+    let mut snapshots = list_snapshots(dir)?;
+    snapshots.reverse();
+    for (_, path) in snapshots {
+        match read_snapshot(&path) {
+            Ok(state) => return Ok((Some((state, path)), skipped)),
+            Err(_) => skipped.push(path),
+        }
+    }
+    Ok((None, skipped))
+}
+
+/// Deletes all but the newest `keep` snapshot files. Returns how many
+/// were removed.
+pub fn prune_snapshots(dir: &Path, keep: usize) -> io::Result<usize> {
+    let snapshots = list_snapshots(dir)?;
+    let excess = snapshots.len().saturating_sub(keep.max(1));
+    for (_, path) in snapshots.into_iter().take(excess) {
+        fs::remove_file(path)?;
+    }
+    Ok(excess)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durability::test_dir;
+    use igepa_core::{AttributeVector, ConstantInterest, Instance, NeverConflict};
+
+    fn tiny_state(wal_seq: u64) -> EngineSnapshotState {
+        let mut b = Instance::builder();
+        let v = b.add_event(2, AttributeVector::empty());
+        b.add_user(1, AttributeVector::empty(), vec![v]);
+        b.interaction_scores(vec![0.5]);
+        let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        EngineSnapshotState {
+            version: STATE_VERSION,
+            wal_seq,
+            catalog_epoch: 3,
+            config: ShardedConfig::default(),
+            mirror: InstanceSnapshot::capture(&instance),
+            owners: vec![(0, 0)],
+            rejected: 2,
+            deltas_since_reconcile: 5,
+            reconcile_candidates: vec![EventId::new(0)],
+            coordinator_stats: CoordinatorStats {
+                reconcile_passes: 1,
+                quota_moved: 4,
+                last_boundary_events: 1,
+            },
+            probe_counter: 6,
+            shards: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_disk() {
+        let dir = test_dir("snap-roundtrip");
+        let state = tiny_state(17);
+        let (path, bytes) = write_snapshot(&dir, &state, None).unwrap();
+        assert!(bytes > 0);
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back, state);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_snapshots_are_skipped_for_the_previous_valid_one() {
+        let dir = test_dir("snap-partial");
+        let good = tiny_state(10);
+        write_snapshot(&dir, &good, None).unwrap();
+        // A later checkpoint dies mid-write; its partial file sits on disk
+        // under the newest name.
+        let bad = tiny_state(20);
+        assert!(write_snapshot(&dir, &bad, Some(40)).is_err());
+        let (loaded, skipped) = load_newest(&dir).unwrap();
+        let (state, _) = loaded.expect("the older snapshot is still valid");
+        assert_eq!(state.wal_seq, 10);
+        assert_eq!(skipped.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_payloads_fail_the_checksum() {
+        let dir = test_dir("snap-tamper");
+        let (path, _) = write_snapshot(&dir, &tiny_state(5), None).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 2;
+        data[last] ^= 0x01;
+        std::fs::write(&path, data).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(SnapshotReadError::Invalid(detail)) if detail.contains("checksum")
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_1_payloads_migrate_with_defaults() {
+        let state = tiny_state(8);
+        let json = serde_json::to_string(&state).unwrap();
+        // Rewrite the payload as the version-1 schema: bump the version
+        // down and drop the fields that did not exist yet.
+        let v1 = json
+            .replacen("\"version\":2", "\"version\":1", 1)
+            .replace("\"probe_counter\":6,", "")
+            .replace(
+                "\"coordinator_stats\":{\"reconcile_passes\":1,\"quota_moved\":4,\"last_boundary_events\":1},",
+                "",
+            );
+        assert!(v1.len() < json.len(), "fields were actually dropped");
+        let migrated: EngineSnapshotState = serde_json::from_str(&v1).unwrap();
+        assert_eq!(migrated.version, 1);
+        assert_eq!(migrated.probe_counter, 0);
+        assert_eq!(migrated.coordinator_stats, CoordinatorStats::default());
+        assert_eq!(migrated.wal_seq, state.wal_seq);
+        assert_eq!(migrated.mirror, state.mirror);
+    }
+
+    #[test]
+    fn unsupported_versions_are_rejected() {
+        let mut state = tiny_state(8);
+        state.version = 99;
+        let json = serde_json::to_string(&state).unwrap();
+        assert!(serde_json::from_str::<EngineSnapshotState>(&json).is_err());
+    }
+
+    #[test]
+    fn pruning_keeps_the_newest_files() {
+        let dir = test_dir("snap-prune");
+        for seq in [1, 2, 3, 4] {
+            write_snapshot(&dir, &tiny_state(seq), None).unwrap();
+        }
+        let removed = prune_snapshots(&dir, 2).unwrap();
+        assert_eq!(removed, 2);
+        let left = list_snapshots(&dir).unwrap();
+        assert_eq!(
+            left.iter().map(|&(seq, _)| seq).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -125,8 +125,55 @@
 //! stop the worker pool. The view for an apply is installed *before* its
 //! ack is sent, so a client that has seen an ack can never read the
 //! pre-apply epoch (and a synchronous client still observes exactly the
-//! serial service's responses, bit for bit). Only per-entity reads
-//! (`AssignmentsOf`, `EventLoad`) and `MergedSnapshot` still barrier.
+//! serial service's responses, bit for bit). Per-entity reads
+//! (`AssignmentsOf`, `EventLoad`) come from the same cache, and even
+//! `MergedSnapshot` is rebuilt connection-side — cached per-shard views
+//! give the pairs, absorbing the per-shard utility trackers gives the
+//! exact merged utility — whenever every owner-table row resolves
+//! against its shard's view; the dispatch-queue barrier remains only as
+//! the fallback for the brief window where a view lags the owner table.
+//!
+//! ## Durability and recovery
+//!
+//! The [`durability`] module family makes serving crash-safe without
+//! giving up bit-for-bit determinism:
+//!
+//! * **Write-ahead log** ([`durability::wal`]) — every admitted mutating
+//!   request (`Apply`, `ApplyBatch`, `Rebalance` — rejected ones
+//!   included, since rejections replay deterministically too) is
+//!   appended to a segmented, FNV-checksummed log *before* its
+//!   acknowledgement. [`EngineServer::serve_sharded_durable`] wires a
+//!   [`DurabilityController`] into the dispatcher; a failed append
+//!   refuses the request — what is not logged must not execute.
+//! * **Checkpoints** ([`durability::snapshot`]) — explicit `Checkpoint`
+//!   requests and automatic every-N-records checkpoints serialize the
+//!   full engine state ([`ShardedEngine::snapshot_state`]) at a dispatch
+//!   barrier into versioned, checksummed snapshot files, then compact
+//!   the WAL segments they cover. Version-1 payloads still load through
+//!   the decode-and-migrate path.
+//! * **Recovery** ([`recover`]) — newest valid snapshot
+//!   ([`ShardedEngine::restore_state`], which *verifies* the rebuilt
+//!   utility trackers bit for bit) plus WAL-tail replay reproduces the
+//!   pre-crash merged arrangement and utility breakdown exactly. Torn
+//!   WAL tails are truncated; partial snapshots are skipped for the
+//!   previous valid one. The `DurabilityStats` query reports the live
+//!   counters.
+//!
+//! The fsync policy ([`DurabilityPolicy`], `EngineConfig::durability`)
+//! trades apply latency against the window of acknowledged requests a
+//! host crash can lose (a *process* crash loses nothing — the OS page
+//! cache survives it):
+//!
+//! | Policy | fsync cadence | Lost on host crash | Apply overhead |
+//! |---|---|---|---|
+//! | `Off` | never (OS flushes) | up to the whole OS write-back window | cheapest — frame encode + buffered write |
+//! | `Interval { millis }` | at most once per interval | ≤ one interval of acks | near `Off` between syncs |
+//! | `EveryN { n }` | every `n` records | ≤ `n − 1` acked requests | amortised sync cost |
+//! | `Always` | every record | nothing | one fsync per mutating request |
+//!
+//! `BENCH_engine.json`'s `durability/apply/*` scenarios track the real
+//! cost of each policy, and `durability/recover_tail/*` the recovery
+//! time as the un-checkpointed tail grows.
 //!
 //! ### Client/server quickstart
 //!
@@ -209,6 +256,7 @@
 
 pub mod catalog;
 pub mod coordinator;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod protocol;
@@ -220,6 +268,10 @@ pub mod transport;
 
 pub use catalog::{CatalogSnapshot, EventCatalog};
 pub use coordinator::{CoordinatorStats, ShardStatsEntry, ShardedConfig, ShardedEngine};
+pub use durability::{
+    recover, DurabilityController, EngineSnapshotState, Recovered, RecoveryError, RecoveryReport,
+    WalRecord, STATE_VERSION,
+};
 pub use engine::{ApplyOutcome, Engine, EngineConfig, EngineStats, RepairKind};
 pub use error::{EngineError, EntityRef, RejectReason};
 pub use protocol::{
@@ -231,5 +283,5 @@ pub use protocol::{
 pub use reconcile::ReconcileReport;
 pub use replay::{replay, replay_jsonl, LatencySummary, ReplayOutcome, ReplayReport};
 pub use service::{EngineBackend, EngineService};
-pub use shard::{BatchPolicy, Shard, ShardOp};
+pub use shard::{BatchPolicy, DurabilityPolicy, Shard, ShardOp};
 pub use transport::{ClientError, EngineClient, EngineServer, Framing, ServerHandle};

@@ -58,6 +58,11 @@ pub enum EngineRequest {
     /// Run a cross-shard reconciliation pass now (no-op on a monolithic
     /// engine, which has no boundary to reconcile).
     Rebalance,
+    /// Write a durability checkpoint now: serialize the engine state,
+    /// compact the WAL segments it covers. Answered with
+    /// [`EngineResponse::CheckpointDone`] by a durable server and
+    /// rejected when durability is not enabled.
+    Checkpoint,
     /// Read-only query against the served state.
     Query {
         /// The query to answer.
@@ -86,6 +91,9 @@ pub enum EngineQuery {
     ShardStats,
     /// The full served arrangement, merged across shards.
     MergedSnapshot,
+    /// Write-ahead log and checkpoint counters of a durable server
+    /// (answered with `enabled: false` when durability is off).
+    DurabilityStats,
 }
 
 /// A response from the serving engine.
@@ -160,6 +168,32 @@ pub enum EngineResponse {
         report: ReconcileReport,
         /// Utility after the pass.
         utility: f64,
+    },
+    /// A [`EngineRequest::Checkpoint`] was written.
+    CheckpointDone {
+        /// WAL sequence the checkpoint covers.
+        wal_seq: u64,
+        /// Size of the snapshot file in bytes.
+        bytes: u64,
+    },
+    /// Answer to [`EngineQuery::DurabilityStats`].
+    DurabilityStats {
+        /// Whether the server runs with durability enabled.
+        enabled: bool,
+        /// Human-readable fsync policy (`"off"`, `"always"`, …).
+        policy: String,
+        /// Records appended to the WAL.
+        wal_records: u64,
+        /// Bytes appended to the WAL (frames, including headers).
+        wal_bytes: u64,
+        /// Fsyncs issued by the policy.
+        fsyncs: u64,
+        /// WAL segment files created.
+        segments: u64,
+        /// Checkpoints written.
+        checkpoints: u64,
+        /// WAL sequence covered by the last checkpoint (0: none yet).
+        last_checkpoint_seq: u64,
     },
 }
 
@@ -420,6 +454,10 @@ mod tests {
             EngineRequest::Query {
                 query: EngineQuery::MergedSnapshot,
             },
+            EngineRequest::Checkpoint,
+            EngineRequest::Query {
+                query: EngineQuery::DurabilityStats,
+            },
         ];
         let jsonl = requests_to_jsonl(&requests);
         assert_eq!(jsonl.lines().count(), requests.len());
@@ -561,6 +599,20 @@ mod tests {
                     shard_repairs: 1,
                 },
                 utility: 9.5,
+            },
+            EngineResponse::CheckpointDone {
+                wal_seq: 42,
+                bytes: 8192,
+            },
+            EngineResponse::DurabilityStats {
+                enabled: true,
+                policy: "every(32)".to_string(),
+                wal_records: 100,
+                wal_bytes: 20480,
+                fsyncs: 4,
+                segments: 2,
+                checkpoints: 1,
+                last_checkpoint_seq: 64,
             },
         ];
         for response in responses {

@@ -78,6 +78,13 @@ pub trait EngineBackend {
     /// Pairs currently served (merged across shards where applicable).
     fn served_pairs(&self) -> usize;
 
+    /// Current epoch of the shared event catalogue (0 on backends without
+    /// one). WAL records carry it so a replayed log can be audited against
+    /// the catalogue history it was recorded under.
+    fn catalog_epoch(&self) -> u64 {
+        0
+    }
+
     /// Handles one protocol request with legacy semantics. Defined once,
     /// here, for every backend.
     fn handle(&mut self, request: &EngineRequest) -> EngineResponse
@@ -120,6 +127,14 @@ fn try_dispatch<B: EngineBackend>(
             let (report, utility) = backend.rebalance();
             Ok(EngineResponse::Rebalanced { report, utility })
         }
+        // Checkpoints are an admin action on the durability layer; the
+        // durable TCP server intercepts them before dispatch. A backend
+        // reached directly has no WAL to checkpoint.
+        EngineRequest::Checkpoint => Err(EngineError::Rejected {
+            reason: crate::error::RejectReason::Invalid {
+                detail: "durability not enabled on this server".to_string(),
+            },
+        }),
         EngineRequest::Query { query } => answer(backend, *query, strict),
     }
 }
@@ -190,6 +205,18 @@ fn answer<B: EngineBackend>(
                 pairs,
             })
         }
+        // The durable TCP server answers this at its dispatcher with live
+        // counters; a backend reached directly reports durability off.
+        EngineQuery::DurabilityStats => Ok(EngineResponse::DurabilityStats {
+            enabled: false,
+            policy: "off".to_string(),
+            wal_records: 0,
+            wal_bytes: 0,
+            fsyncs: 0,
+            segments: 0,
+            checkpoints: 0,
+            last_checkpoint_seq: 0,
+        }),
     }
 }
 
@@ -454,6 +481,10 @@ impl EngineBackend for ShardedEngine {
 
     fn served_pairs(&self) -> usize {
         self.num_pairs()
+    }
+
+    fn catalog_epoch(&self) -> u64 {
+        self.catalog().epoch()
     }
 }
 

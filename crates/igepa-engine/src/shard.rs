@@ -82,6 +82,41 @@ impl BatchPolicy {
     }
 }
 
+/// When the write-ahead log is flushed to stable storage (fsync'd).
+///
+/// Every policy *writes* each record to the operating system before the
+/// request is acknowledged, so an engine crash never loses acknowledged
+/// work; the policies differ in when the data is forced past the OS page
+/// cache onto the device, i.e. what a whole-machine crash can lose:
+///
+/// | policy     | fsync cadence              | machine crash can lose    |
+/// |------------|----------------------------|---------------------------|
+/// | `Off`      | never                      | everything in page cache  |
+/// | `Interval` | at most every `millis` ms  | the last interval         |
+/// | `EveryN`   | every `n` appended records | the last `n − 1` records  |
+/// | `Always`   | every appended record      | nothing acknowledged      |
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum DurabilityPolicy {
+    /// Never fsync: records reach the OS on every append, stable storage
+    /// whenever the OS flushes. Survives engine crashes, not power loss.
+    /// The default (durability costs are strictly opt-in).
+    #[default]
+    Off,
+    /// Fsync when at least `millis` milliseconds passed since the last
+    /// one (checked on append).
+    Interval {
+        /// Minimum milliseconds between fsyncs.
+        millis: u64,
+    },
+    /// Fsync every `n` appended records.
+    EveryN {
+        /// Records between fsyncs (`0` behaves like `Always`).
+        n: u64,
+    },
+    /// Fsync after every appended record before acknowledging it.
+    Always,
+}
+
 /// Tuning knobs of the repair loop.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EngineConfig {
@@ -107,6 +142,10 @@ pub struct EngineConfig {
     /// machine-dependent, which bit-for-bit replay comparisons must
     /// opt into knowingly.
     pub online_cost_calibration: bool,
+    /// Fsync policy of the write-ahead log when the engine is served with
+    /// durability enabled (ignored otherwise). See [`DurabilityPolicy`]
+    /// for the loss window each point of the spectrum accepts.
+    pub durability: DurabilityPolicy,
 }
 
 impl Default for EngineConfig {
@@ -118,6 +157,7 @@ impl Default for EngineConfig {
             max_staleness: 0.05,
             batch_policy: BatchPolicy::Escalation,
             online_cost_calibration: false,
+            durability: DurabilityPolicy::Off,
         }
     }
 }
@@ -159,6 +199,10 @@ impl serde::Deserialize for EngineConfig {
             {
                 Some((_, flag)) => serde::Deserialize::from_value(flag)?,
                 None => false,
+            },
+            durability: match entries.iter().find(|(name, _)| name == "durability") {
+                Some((_, policy)) => serde::Deserialize::from_value(policy)?,
+                None => DurabilityPolicy::default(),
             },
         })
     }
@@ -278,6 +322,30 @@ pub struct ApplyOutcome {
     pub num_pairs: usize,
 }
 
+/// The checkpoint-restorable slice of a shard's state: everything
+/// [`Shard::restore`] needs beyond the caller-supplied functions and
+/// config. The utility tracker is deliberately absent — it is rebuilt
+/// from the arrangement (bit-identical by the exact-sum property) and
+/// verified against the checkpointed sums by the durability layer. The
+/// online-calibration EWMAs are not carried either: they are wall-clock
+/// observations, explicitly outside the determinism contract, and
+/// restart empty like any fresh shard.
+pub(crate) struct ShardResume {
+    /// The shard's sub-instance, rebuilt from the checkpointed mirror
+    /// and quota vector.
+    pub instance: Instance,
+    /// The served arrangement (shard-local user ids).
+    pub arrangement: Arrangement,
+    /// Repair-loop counters as of the checkpoint.
+    pub stats: EngineStats,
+    /// Solver-seed counter (`seed + solve_counter` is the next draw).
+    pub solve_counter: u64,
+    /// `stats.deltas_applied` watermark of the last staleness check.
+    pub last_staleness_check: u64,
+    /// Epoch of the last catalogue snapshot absorbed.
+    pub catalog_epoch: u64,
+}
+
 /// One long-lived solve/repair unit over a (sub-)instance. See the module
 /// docs; the public API mirrors the original monolithic engine.
 pub struct Shard {
@@ -346,6 +414,68 @@ impl Shard {
         shard.arrangement = shard.next_solve(None);
         shard.tracker = UtilityTracker::rebuild(&shard.instance, &shard.arrangement);
         shard
+    }
+
+    /// Reconstructs a shard from checkpointed state without running the
+    /// initial cold solve of [`Shard::new`]: the arrangement, counters
+    /// and solver-seed position come from `resume`, so the restored
+    /// shard's future behaviour — seed draws, staleness cadence, repair
+    /// decisions — is bit-identical to the shard that was checkpointed.
+    /// The utility tracker is rebuilt from the arrangement, which the
+    /// exact-sum property makes bit-identical to the tracker that was
+    /// live at checkpoint time.
+    pub(crate) fn restore(
+        resume: ShardResume,
+        sigma: SharedConflict,
+        interest: SharedInterest,
+        solver: SharedSolver,
+        config: EngineConfig,
+    ) -> Self {
+        let tracker = UtilityTracker::rebuild(&resume.instance, &resume.arrangement);
+        Shard {
+            instance: resume.instance,
+            arrangement: resume.arrangement,
+            tracker,
+            dirty: DirtySet::new(),
+            sigma,
+            interest,
+            solver,
+            config,
+            stats: resume.stats,
+            solve_counter: resume.solve_counter,
+            last_staleness_check: resume.last_staleness_check,
+            catalog_epoch: resume.catalog_epoch,
+            ewma_patch_ns: None,
+            ewma_solve_ns: None,
+        }
+    }
+
+    /// The incrementally maintained utility tracker. The transport's
+    /// query cache snapshots it per apply so merged utility reads can be
+    /// served exactly (tracker merges) without a barrier; the durability
+    /// layer checkpoints its sums for restore-time bit verification.
+    pub(crate) fn tracker(&self) -> &UtilityTracker {
+        &self.tracker
+    }
+
+    /// Solver-seed counter (checkpointed so restored shards keep drawing
+    /// the same seed sequence).
+    pub(crate) fn solve_counter(&self) -> u64 {
+        self.solve_counter
+    }
+
+    /// Watermark of the last staleness check (checkpointed so the
+    /// restored shard's check cadence stays aligned).
+    pub(crate) fn last_staleness_check(&self) -> u64 {
+        self.last_staleness_check
+    }
+
+    /// Whether the shard has no pending repair work. Checkpoints are
+    /// taken at barriers, where every apply has fully repaired, so this
+    /// must hold whenever state is captured (the dirty set is therefore
+    /// not part of the checkpoint schema).
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.dirty.is_empty()
     }
 
     /// The (sub-)instance currently served.
@@ -1043,9 +1173,11 @@ mod tests {
         assert_eq!(config.seed, 7);
         assert_eq!(config.batch_policy, BatchPolicy::Escalation);
         assert!(!config.online_cost_calibration);
+        assert_eq!(config.durability, DurabilityPolicy::Off);
         // And the current format round-trips.
         let current = EngineConfig {
             batch_policy: BatchPolicy::cost_model(),
+            durability: DurabilityPolicy::EveryN { n: 16 },
             ..EngineConfig::default()
         };
         let json = serde_json::to_string(&current).unwrap();

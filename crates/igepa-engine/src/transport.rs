@@ -22,22 +22,32 @@
 //!   are independent between reconcile passes, so user-scoped `Apply`
 //!   requests are validated on the coordinator and executed concurrently
 //!   on the owning shard's worker, while event broadcasts, batches,
-//!   `MergedSnapshot` and `Rebalance` run a barrier (drain in-flight
+//!   `Checkpoint` and `Rebalance` run a barrier (drain in-flight
 //!   applies, collect the shards, execute on the attached engine,
-//!   redistribute).
+//!   redistribute). [`EngineServer::serve_sharded_durable`] is the same
+//!   server with a [`DurabilityController`] in front of the dispatcher:
+//!   every admitted mutating request is appended to the write-ahead log
+//!   *before* it is dispatched (and so before its ack — a failed append
+//!   refuses the request), `Checkpoint` requests and automatic every-N
+//!   checkpoints serialize the engine at a barrier, and the
+//!   `DurabilityStats` query reads the live counters.
 //!
-//! **Barrier-free reads**: every read query except `MergedSnapshot` —
-//! the aggregates `Utility` / `Stats` / `ShardStats` *and* the
-//! per-entity reads `AssignmentsOf` / `EventLoad` — never barriers and
-//! never even enters the dispatch queue. Every worker ships an
-//! epoch-tagged read-state view (utility breakdown, counters, and a
-//! snapshot of its assignment slices) with each apply completion; the
-//! dispatcher installs it in a shared `QueryCache` — together with the
+//! **Barrier-free reads**: every read query — the aggregates `Utility` /
+//! `Stats` / `ShardStats`, the per-entity reads `AssignmentsOf` /
+//! `EventLoad`, *and* `MergedSnapshot` — is answered without stopping
+//! the worker pool. Every worker ships an epoch-tagged read-state view
+//! (utility breakdown, utility tracker, counters, and a snapshot of its
+//! assignment slices) with each apply completion; the dispatcher
+//! installs it in a shared `QueryCache` — together with the
 //! coordinator's user→shard owner table — *before* acking the apply, and
 //! connection threads answer straight from that cache (`EventLoad`
-//! merges the per-shard loads right there). A reader therefore cannot
-//! stall the repair path, and a client that has seen an apply ack can
-//! never be served the pre-apply epoch.
+//! merges the per-shard loads right there; `MergedSnapshot` rebuilds the
+//! global pair list through the owner table and absorbs the per-shard
+//! trackers for an *exact* merged utility, falling back to the
+//! dispatch-queue barrier only when an owner row is newer than its
+//! shard's view). A reader therefore cannot stall the repair path, and a
+//! client that has seen an apply ack can never be served the pre-apply
+//! epoch.
 //!
 //! A client driving requests synchronously observes exactly the serial
 //! [`EngineService`](crate::EngineService) responses — the worker pool
@@ -48,6 +58,7 @@
 //! accounting.
 
 use crate::coordinator::{ShardStatsEntry, ShardedEngine};
+use crate::durability::{is_mutating, DurabilityController};
 use crate::error::EngineError;
 use crate::protocol::{
     decode_request_envelope, decode_response_envelope, encode_request_envelope,
@@ -56,7 +67,7 @@ use crate::protocol::{
 };
 use crate::service::{applied_response, dispatch_envelope, EngineBackend, EngineService};
 use crate::shard::{ApplyOutcome, EngineStats, Shard};
-use igepa_core::{CapacityTarget, InstanceDelta, UserId, UtilityBreakdown};
+use igepa_core::{CapacityTarget, InstanceDelta, UserId, UtilityBreakdown, UtilityTracker};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -363,6 +374,12 @@ struct ShardView {
     pairs: usize,
     /// Utility breakdown of the shard's slice of the arrangement.
     breakdown: UtilityBreakdown,
+    /// The shard's exact-sum utility accumulators. Absorbing every view's
+    /// tracker into a fresh one reproduces the merged arrangement's
+    /// utility bit for bit ([`UtilityTracker::absorb`] is exact and
+    /// partition-independent), which lets `MergedSnapshot` be served
+    /// from the cache without a barrier.
+    tracker: UtilityTracker,
     /// The shard's repair-loop counters.
     stats: EngineStats,
     /// Snapshot of the shard's arrangement (shard-local user ids), taken
@@ -382,6 +399,7 @@ impl ShardView {
             users: shard.instance().num_users(),
             pairs: shard.arrangement().len(),
             breakdown: shard.utility_breakdown(),
+            tracker: shard.tracker().clone(),
             stats,
             assignments: Arc::new(shard.arrangement().clone()),
         }
@@ -583,10 +601,46 @@ impl QueryCache {
                     capacity,
                 })
             }
-            EngineQuery::MergedSnapshot => {
+            EngineQuery::MergedSnapshot | EngineQuery::DurabilityStats => {
                 unreachable!("only cacheable queries reach the view cache")
             }
         }
+    }
+
+    /// Serves `MergedSnapshot` from the cached per-shard views when they
+    /// form a *consistent checkpoint* — every user in the owner table
+    /// resolves inside its shard's assignment snapshot. Returns `None`
+    /// (→ barrier fallback) while a user-creating apply is still in
+    /// flight, i.e. its view has not been installed yet.
+    ///
+    /// Bit-exactness: pairs are re-emitted per global user in ascending
+    /// id order — exactly [`igepa_core::Arrangement::pairs`]'s order on
+    /// the merged arrangement — and the utility is read from a fresh
+    /// [`UtilityTracker`] absorbing every view's tracker, which by
+    /// exact-sum partition independence equals the serial backend's
+    /// from-scratch `merged.utility_value(instance)` bit for bit.
+    fn merged_snapshot(&self) -> Option<EngineResponse> {
+        let inner = self.inner.read().expect("query cache poisoned");
+        let mut pairs = Vec::new();
+        for (u, &(shard, local)) in inner.owners.iter().enumerate() {
+            let view = &inner.views[shard].assignments;
+            if local.index() >= view.num_users() {
+                return None;
+            }
+            let user = UserId::new(u);
+            pairs.extend(view.events_of(local).iter().map(|&v| (v, user)));
+        }
+        let mut tracker = UtilityTracker::new();
+        for view in &inner.views {
+            tracker.absorb(&view.tracker);
+        }
+        let beta = inner.views[0].breakdown.beta;
+        Some(EngineResponse::Snapshot {
+            num_events: inner.capacities.len(),
+            num_users: inner.owners.len(),
+            utility: tracker.breakdown(beta).total,
+            pairs,
+        })
     }
 }
 
@@ -695,7 +749,28 @@ impl EngineServer {
     ) -> io::Result<ServerHandle<ShardedEngine>> {
         let cache = QueryCache::from_engine(&engine);
         spawn_server(listener, framing, Some(cache.clone()), move |rx, tx| {
-            ShardDispatcher::new(engine, tx, cache).run(rx)
+            ShardDispatcher::new(engine, tx, cache, None).run(rx)
+        })
+    }
+
+    /// [`EngineServer::serve_sharded`] plus durability: every admitted
+    /// mutating request is appended to `durability`'s write-ahead log
+    /// **before** it executes (and before its ack goes out), `Checkpoint`
+    /// requests write a consistent snapshot at a barrier and compact
+    /// covered WAL segments, `DurabilityStats` reads live counters, and
+    /// automatic checkpoints run every
+    /// [`DurabilityController::set_snapshot_every`] logged requests.
+    /// After a crash, [`crate::durability::recover`] rebuilds the served
+    /// state bit for bit from the durability directory.
+    pub fn serve_sharded_durable(
+        listener: TcpListener,
+        engine: ShardedEngine,
+        framing: Framing,
+        durability: DurabilityController,
+    ) -> io::Result<ServerHandle<ShardedEngine>> {
+        let cache = QueryCache::from_engine(&engine);
+        spawn_server(listener, framing, Some(cache.clone()), move |rx, tx| {
+            ShardDispatcher::new(engine, tx, cache, Some(durability)).run(rx)
         })
     }
 }
@@ -810,6 +885,28 @@ fn connection_loop(
                         }
                         continue;
                     }
+                    if matches!(query, EngineQuery::MergedSnapshot) {
+                        // Served from the cache when the views form a
+                        // consistent checkpoint (both dialects answer
+                        // identically); falls through to the barrier
+                        // path while an owner row is still unresolved.
+                        if let Some(snapshot) = cache.merged_snapshot() {
+                            let response = ResponseEnvelope {
+                                id: envelope.id,
+                                result: Ok(snapshot),
+                            };
+                            if write_frame(
+                                &mut writer,
+                                framing,
+                                &encode_response_envelope(&response),
+                            )
+                            .is_err()
+                            {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
                 }
                 ServerMsg::Envelope {
                     envelope,
@@ -904,6 +1001,10 @@ struct ShardDispatcher {
     /// The query cache shared with every connection thread; this
     /// dispatcher is its only writer.
     cache: Arc<QueryCache>,
+    /// The write-ahead log + checkpoint controller of the durable server
+    /// flavour (`None` on [`EngineServer::serve_sharded`]). Mutating
+    /// requests are logged through it *before* they run.
+    durability: Option<DurabilityController>,
 }
 
 impl ShardDispatcher {
@@ -911,6 +1012,7 @@ impl ShardDispatcher {
         mut engine: ShardedEngine,
         completion_tx: Sender<ServerMsg>,
         cache: Arc<QueryCache>,
+        durability: Option<DurabilityController>,
     ) -> Self {
         let (shard_return_tx, shard_return_rx) = mpsc::channel();
         let shards = engine.detach_shards();
@@ -929,6 +1031,7 @@ impl ShardDispatcher {
             attached: false,
             backlog: VecDeque::new(),
             cache,
+            durability,
         }
     }
 
@@ -992,7 +1095,94 @@ impl ShardDispatcher {
             );
             return;
         }
+        // Write-ahead: an admitted mutating request hits the log before
+        // it executes and before any ack can go out. Rejections are
+        // logged too — replay reproduces them (and their absence from
+        // the state) deterministically. A failed append refuses the
+        // request: what is not logged must not execute.
+        if is_mutating(&envelope.body) {
+            if let Some(controller) = &mut self.durability {
+                let epoch = self.engine.catalog().epoch();
+                if let Err(e) = controller.log(envelope.id, epoch, &envelope.body) {
+                    respond(
+                        &reply,
+                        ResponseEnvelope {
+                            id: envelope.id,
+                            result: durability_error(
+                                strict,
+                                format!("write-ahead log append failed: {e}"),
+                            ),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
         match &envelope.body {
+            // A consistent checkpoint: drain to a barrier, serialize the
+            // quiescent engine at the WAL coverage point, compact. The
+            // non-durable server falls through to `dispatch_envelope`,
+            // which rejects the request.
+            EngineRequest::Checkpoint if self.durability.is_some() => {
+                self.barrier(queue);
+                let controller = self.durability.as_mut().expect("guarded by the arm");
+                let state = self.engine.snapshot_state(controller.last_seq());
+                let result = match controller.checkpoint(&state) {
+                    Ok(outcome) => Ok(EngineResponse::CheckpointDone {
+                        wal_seq: outcome.wal_seq,
+                        bytes: outcome.bytes,
+                    }),
+                    Err(e) => durability_error(strict, format!("checkpoint failed: {e}")),
+                };
+                self.cache.refresh_all(&self.engine);
+                respond(
+                    &reply,
+                    ResponseEnvelope {
+                        id: envelope.id,
+                        result,
+                    },
+                );
+                self.redistribute();
+            }
+            // Live durability counters, answered right here — no barrier,
+            // no backend dispatch. (The serial service answers the
+            // durability-off shape for backends reached directly.)
+            EngineRequest::Query {
+                query: EngineQuery::DurabilityStats,
+            } => {
+                let response = match &self.durability {
+                    Some(controller) => {
+                        let view = controller.stats();
+                        EngineResponse::DurabilityStats {
+                            enabled: true,
+                            policy: view.policy,
+                            wal_records: view.wal_records,
+                            wal_bytes: view.wal_bytes,
+                            fsyncs: view.fsyncs,
+                            segments: view.segments,
+                            checkpoints: view.checkpoints,
+                            last_checkpoint_seq: view.last_checkpoint_seq,
+                        }
+                    }
+                    None => EngineResponse::DurabilityStats {
+                        enabled: false,
+                        policy: "off".to_string(),
+                        wal_records: 0,
+                        wal_bytes: 0,
+                        fsyncs: 0,
+                        segments: 0,
+                        checkpoints: 0,
+                        last_checkpoint_seq: 0,
+                    },
+                };
+                respond(
+                    &reply,
+                    ResponseEnvelope {
+                        id: envelope.id,
+                        result: Ok(response),
+                    },
+                );
+            }
             // Fast path: a user-scoped delta validated on the mirror runs
             // on the owning shard's worker, concurrently with other
             // shards' applies.
@@ -1041,8 +1231,32 @@ impl ShardDispatcher {
                 self.cache.refresh_all(&self.engine);
                 respond(&reply, response);
                 self.redistribute();
+                self.maybe_auto_checkpoint(queue);
             }
         }
+    }
+
+    /// Runs an automatic checkpoint when enough requests were logged
+    /// since the last one (after the triggering ack — checkpointing is
+    /// amortized maintenance, never ack latency).
+    fn maybe_auto_checkpoint(&mut self, queue: &Receiver<ServerMsg>) {
+        let due = self
+            .durability
+            .as_ref()
+            .is_some_and(|c| c.auto_checkpoint_due());
+        if !due {
+            return;
+        }
+        self.barrier(queue);
+        let controller = self.durability.as_mut().expect("due implies durable");
+        let state = self.engine.snapshot_state(controller.last_seq());
+        if let Err(e) = controller.checkpoint(&state) {
+            // Serving continues on the WAL alone; the next checkpoint
+            // (automatic or explicit) retries.
+            eprintln!("igepa-engine: automatic checkpoint failed: {e}");
+        }
+        self.cache.refresh_all(&self.engine);
+        self.redistribute();
     }
 
     /// Completion bookkeeping: account the shard outcome, install the
@@ -1123,6 +1337,7 @@ impl ShardDispatcher {
         } else {
             respond(&reply, response);
         }
+        self.maybe_auto_checkpoint(queue);
     }
 
     /// Drains in-flight applies, collects every shard from its worker and
@@ -1193,6 +1408,20 @@ fn respond(reply: &Sender<String>, envelope: ResponseEnvelope) {
     let _ = reply.send(encode_response_envelope(&envelope));
 }
 
+/// A durability-layer failure (WAL append, checkpoint) as a response in
+/// the requested dialect: a typed rejection for envelope clients, the
+/// legacy `Rejected` string for bare ones.
+fn durability_error(strict: bool, detail: String) -> Result<EngineResponse, EngineError> {
+    let reason = crate::error::RejectReason::Invalid { detail };
+    if strict {
+        Err(EngineError::Rejected { reason })
+    } else {
+        Ok(EngineResponse::Rejected {
+            reason: reason.to_string(),
+        })
+    }
+}
+
 fn spawn_worker(
     k: usize,
     shard: Shard,
@@ -1246,6 +1475,7 @@ fn spawn_worker(
                         users: shard.instance().num_users(),
                         pairs: shard.arrangement().len(),
                         breakdown,
+                        tracker: shard.tracker().clone(),
                         stats,
                         assignments,
                     });
@@ -1499,6 +1729,14 @@ mod tests {
                 EngineQuery::EventLoad {
                     event: EventId::new(999),
                 },
+                // The full merged snapshot is served from the cached
+                // views when they form a consistent checkpoint (PR 6) —
+                // after an ack they always do, and the tracker-absorb
+                // utility must equal the serial recompute bit for bit.
+                EngineQuery::MergedSnapshot,
+                // Answered at the dispatcher; durability is off on both
+                // sides here.
+                EngineQuery::DurabilityStats,
             ] {
                 let expected = serial.try_handle(&EngineRequest::Query { query });
                 let got = match client.query(query) {
@@ -1723,5 +1961,141 @@ mod tests {
 
         drop(writer);
         handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn durable_server_logs_checkpoints_and_recovers_bit_for_bit() {
+        use crate::durability::{recover, test_dir, DurabilityController};
+        use crate::shard::DurabilityPolicy;
+        let dir = test_dir("transport-durable");
+
+        // Serve durable and drive a mix: fast-path applies, event
+        // broadcasts (barrier path), a rejected delta (logged too), one
+        // explicit checkpoint mid-stream.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let controller = DurabilityController::create(&dir, DurabilityPolicy::Always).unwrap();
+        let handle = EngineServer::serve_sharded_durable(
+            listener,
+            sharded_for(3, 6, 2),
+            Framing::Lines,
+            controller,
+        )
+        .unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+        for i in 0..25 {
+            let request = match i % 6 {
+                5 => EngineRequest::Apply {
+                    delta: InstanceDelta::AddEvent {
+                        capacity: 2,
+                        attrs: AttributeVector::empty(),
+                    },
+                },
+                4 => EngineRequest::Apply {
+                    delta: InstanceDelta::UpdateInteractionScore {
+                        user: UserId::new(9999),
+                        score: 0.5,
+                    },
+                },
+                _ => add_user_request(i % 3),
+            };
+            let _ = client.call(request);
+            if i == 11 {
+                match client.call(EngineRequest::Checkpoint).unwrap() {
+                    EngineResponse::CheckpointDone { wal_seq, bytes } => {
+                        assert_eq!(wal_seq, 12, "12 mutating requests logged so far");
+                        assert!(bytes > 0);
+                    }
+                    other => panic!("expected CheckpointDone, got {other:?}"),
+                }
+            }
+        }
+        match client.query(EngineQuery::DurabilityStats).unwrap() {
+            EngineResponse::DurabilityStats {
+                enabled,
+                policy,
+                wal_records,
+                fsyncs,
+                checkpoints,
+                last_checkpoint_seq,
+                ..
+            } => {
+                assert!(enabled);
+                assert_eq!(policy, "always");
+                assert_eq!(wal_records, 25, "every mutating request is logged");
+                assert_eq!(checkpoints, 1);
+                assert_eq!(last_checkpoint_seq, 12);
+                assert_eq!(fsyncs, 25, "policy `always` fsyncs per append");
+            }
+            other => panic!("expected DurabilityStats, got {other:?}"),
+        }
+        drop(client);
+        let engine = handle.shutdown().unwrap();
+
+        // Recover from the directory alone: newest snapshot + WAL tail
+        // must reproduce the served state bit for bit.
+        let recovered = recover(
+            &dir,
+            || sharded_for(3, 6, 2),
+            |state| {
+                ShardedEngine::restore_state(
+                    state,
+                    Box::new(NeverConflict),
+                    Box::new(ConstantInterest(0.5)),
+                    Box::new(GreedyArrangement),
+                    Box::new(HashPartitioner),
+                )
+            },
+        )
+        .unwrap();
+        assert_eq!(recovered.report.snapshot_seq, Some(12));
+        assert_eq!(recovered.report.replayed, 13, "the WAL tail past seq 12");
+        assert_eq!(recovered.next_seq, 26);
+        let restored = recovered.engine;
+        assert_eq!(
+            restored.merged_utility().total.to_bits(),
+            engine.merged_utility().total.to_bits()
+        );
+        assert_eq!(
+            restored.merged_arrangement().pairs().collect::<Vec<_>>(),
+            engine.merged_arrangement().pairs().collect::<Vec<_>>()
+        );
+        assert_eq!(restored.stats(), engine.stats());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_checkpoints_trigger_on_the_logged_request_interval() {
+        use crate::durability::{test_dir, DurabilityController};
+        use crate::shard::DurabilityPolicy;
+        let dir = test_dir("transport-autockpt");
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut controller = DurabilityController::create(&dir, DurabilityPolicy::Off).unwrap();
+        controller.set_snapshot_every(8);
+        let handle = EngineServer::serve_sharded_durable(
+            listener,
+            sharded_for(2, 4, 2),
+            Framing::Lines,
+            controller,
+        )
+        .unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+        for i in 0..20 {
+            client.call(add_user_request(i % 2)).unwrap();
+        }
+        match client.query(EngineQuery::DurabilityStats).unwrap() {
+            EngineResponse::DurabilityStats {
+                checkpoints,
+                last_checkpoint_seq,
+                ..
+            } => {
+                assert_eq!(checkpoints, 2, "20 logged requests, one checkpoint per 8");
+                assert_eq!(last_checkpoint_seq, 16);
+            }
+            other => panic!("expected DurabilityStats, got {other:?}"),
+        }
+        drop(client);
+        handle.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,436 @@
+//! Crash-injection tests for the durability subsystem.
+//!
+//! Each case drives a durable 4-shard engine over a randomized request
+//! trace — logging every mutating request through the
+//! [`DurabilityController`] before executing it, exactly as the durable
+//! server does — and then "crashes" it at a randomized kill point:
+//! cleanly between requests, mid-WAL-append (the frame tears on disk),
+//! or mid-snapshot (a partial checkpoint file is left behind). Recovery
+//! from the surviving directory must reproduce — bit for bit — the
+//! merged arrangement and utility breakdown of an engine that executed
+//! the surviving request prefix without ever crashing.
+
+use igepa_algos::GreedyArrangement;
+use igepa_core::{
+    AttributeVector, CapacityTarget, ConstantInterest, EventId, HashPartitioner, Instance,
+    InstanceDelta, NeverConflict, UserId,
+};
+use igepa_engine::{
+    recover, DurabilityController, DurabilityPolicy, EngineConfig, EngineSnapshotState, Recovered,
+    ShardedConfig, ShardedEngine,
+};
+use igepa_engine::{EngineRequest, RecoveryReport};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// Unique scratch directory per case (integration tests cannot reach the
+/// crate-private helper the unit tests share).
+fn unique_dir(label: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "igepa-crash-recovery-{label}-{}-{n}",
+        std::process::id()
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A request described by raw numbers; resolved against the engine's
+/// evolving population right before it is logged, so it is always
+/// well-formed (modulo the deliberately out-of-range rejection probes).
+#[derive(Debug, Clone)]
+struct RawRequest {
+    op: u8,
+    kind: u8,
+    a: usize,
+    b: usize,
+    score: f64,
+}
+
+fn raw_request_strategy() -> impl Strategy<Value = RawRequest> {
+    (0u8..10, 0u8..6, 0usize..64, 0usize..64, 0.0f64..=1.0).prop_map(|(op, kind, a, b, score)| {
+        RawRequest {
+            op,
+            kind,
+            a,
+            b,
+            score,
+        }
+    })
+}
+
+/// Resolves the delta payload against current instance dimensions.
+fn resolve(raw: &RawRequest, instance: &Instance) -> InstanceDelta {
+    let num_events = instance.num_events();
+    let num_users = instance.num_users();
+    match raw.kind {
+        0 => InstanceDelta::AddUser {
+            capacity: 1 + raw.a % 3,
+            attrs: AttributeVector::empty(),
+            bids: if num_events == 0 {
+                Vec::new()
+            } else {
+                vec![
+                    EventId::new(raw.a % num_events),
+                    EventId::new(raw.b % num_events),
+                ]
+            },
+            interaction: raw.score,
+        },
+        1 if num_users > 1 => InstanceDelta::RemoveUser {
+            user: UserId::new(raw.a % num_users),
+        },
+        2 => InstanceDelta::AddEvent {
+            capacity: 1 + raw.b % 4,
+            attrs: AttributeVector::empty(),
+        },
+        3 if num_events > 0 && raw.b.is_multiple_of(2) => InstanceDelta::UpdateCapacity {
+            target: CapacityTarget::Event(EventId::new(raw.a % num_events)),
+            capacity: raw.b % 5,
+        },
+        3 if num_users > 0 => InstanceDelta::UpdateCapacity {
+            target: CapacityTarget::User(UserId::new(raw.a % num_users)),
+            capacity: raw.b % 4,
+        },
+        4 if num_users > 0 && num_events > 0 => InstanceDelta::UpdateBids {
+            user: UserId::new(raw.a % num_users),
+            bids: vec![EventId::new(raw.b % num_events)],
+        },
+        5 if num_users > 0 => InstanceDelta::UpdateInteractionScore {
+            user: UserId::new(raw.a % num_users),
+            score: raw.score,
+        },
+        // Population too small for the drawn kind: fall back to growth.
+        _ => InstanceDelta::AddEvent {
+            capacity: 1 + raw.b % 4,
+            attrs: AttributeVector::empty(),
+        },
+    }
+}
+
+/// Maps a raw draw onto a protocol request: mostly single applies, with
+/// batches, explicit rebalances, and a deliberately out-of-range delta
+/// that the engine rejects (rejections are logged and replayed too — the
+/// WAL records admitted requests, not successful ones).
+fn request_for(raw: &RawRequest, engine: &ShardedEngine) -> EngineRequest {
+    match raw.op {
+        9 => EngineRequest::Rebalance,
+        8 => {
+            let first = resolve(raw, engine.instance());
+            let second = resolve(
+                &RawRequest {
+                    kind: 2,
+                    ..raw.clone()
+                },
+                engine.instance(),
+            );
+            EngineRequest::ApplyBatch {
+                deltas: vec![first, second],
+            }
+        }
+        7 if raw.b.is_multiple_of(2) => EngineRequest::Apply {
+            delta: InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(9999),
+                score: raw.score,
+            },
+        },
+        _ => EngineRequest::Apply {
+            delta: resolve(raw, engine.instance()),
+        },
+    }
+}
+
+fn seeded_instance(num_events: usize, num_users: usize) -> Instance {
+    let mut b = Instance::builder();
+    let events: Vec<EventId> = (0..num_events)
+        .map(|i| b.add_event(1 + i % 3, AttributeVector::empty()))
+        .collect();
+    for u in 0..num_users {
+        let bids: Vec<EventId> = events
+            .iter()
+            .copied()
+            .filter(|v| (v.index() + u) % 2 == 0)
+            .collect();
+        b.add_user(1 + u % 3, AttributeVector::empty(), bids);
+    }
+    b.interaction_scores((0..num_users).map(|u| (u as f64 * 0.13) % 1.0).collect());
+    b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap()
+}
+
+/// The engine as originally started: 4 shards over the seeded instance.
+/// `recover` rebuilds it through this exact constructor when no snapshot
+/// survives, and the oracle replays against it.
+fn fresh_engine(seed: u64) -> ShardedEngine {
+    ShardedEngine::new(
+        seeded_instance(4, 6),
+        Box::new(NeverConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        Box::new(HashPartitioner),
+        ShardedConfig {
+            num_shards: 4,
+            shard: EngineConfig {
+                seed,
+                staleness_check_interval: 8,
+                ..EngineConfig::default()
+            },
+            reconcile_interval: 4,
+            reconcile_rounds: 2,
+        },
+    )
+}
+
+fn restore_engine(state: &EngineSnapshotState) -> Result<ShardedEngine, String> {
+    ShardedEngine::restore_state(
+        state,
+        Box::new(NeverConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        Box::new(HashPartitioner),
+    )
+}
+
+/// How the run dies at the kill point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Crash {
+    /// Stop between requests (the kill arrives while the server is idle).
+    Clean,
+    /// The WAL append of the kill-point request tears mid-frame; the
+    /// request is refused and never executes.
+    TornWal,
+    /// A checkpoint right after the kill-point request tears mid-file,
+    /// leaving a partial snapshot recovery must skip.
+    TornSnapshot,
+}
+
+/// Drives a durable engine over `raws` — log, execute, periodically
+/// checkpoint — and crashes per `crash` at request index `kill_at`
+/// (indices past the trace mean the run completes). Returns the request
+/// prefix whose effects must survive.
+fn durable_run(
+    dir: &Path,
+    seed: u64,
+    raws: &[RawRequest],
+    checkpoint_every: usize,
+    kill_at: usize,
+    crash: Crash,
+) -> Vec<EngineRequest> {
+    let mut engine = fresh_engine(seed);
+    let mut controller = DurabilityController::create(dir, DurabilityPolicy::Always).unwrap();
+    // Small segments so traces span several files and compaction runs.
+    controller.set_segment_max_bytes(512);
+    let mut executed: Vec<EngineRequest> = Vec::new();
+    for (i, raw) in raws.iter().enumerate() {
+        let request = request_for(raw, &engine);
+        if i == kill_at {
+            match crash {
+                Crash::Clean => return executed,
+                Crash::TornWal => {
+                    controller.set_fail_wal_after_bytes(Some(6));
+                    let torn = controller.log(i as u64 + 1, engine.catalog().epoch(), &request);
+                    assert!(torn.is_err(), "injected wal failure must surface");
+                    return executed;
+                }
+                Crash::TornSnapshot => {
+                    controller
+                        .log(i as u64 + 1, engine.catalog().epoch(), &request)
+                        .unwrap();
+                    let _ = engine.handle(&request);
+                    executed.push(request);
+                    controller.set_fail_snapshot_after_bytes(Some(48));
+                    let state = engine.snapshot_state(controller.last_seq());
+                    assert!(
+                        controller.checkpoint(&state).is_err(),
+                        "injected snapshot failure must surface"
+                    );
+                    return executed;
+                }
+            }
+        }
+        controller
+            .log(i as u64 + 1, engine.catalog().epoch(), &request)
+            .unwrap();
+        let _ = engine.handle(&request);
+        executed.push(request);
+        if checkpoint_every > 0 && (i + 1) % checkpoint_every == 0 {
+            let state = engine.snapshot_state(controller.last_seq());
+            controller.checkpoint(&state).unwrap();
+        }
+    }
+    executed
+}
+
+/// Recovers from `dir` and asserts the result is bit-identical to an
+/// uninterrupted engine fed the surviving prefix.
+fn assert_recovery_exact(dir: &Path, seed: u64, executed: &[EngineRequest]) -> RecoveryReport {
+    let recovered = recover(dir, || fresh_engine(seed), restore_engine).unwrap();
+    assert_eq!(
+        recovered.next_seq,
+        executed.len() as u64 + 1,
+        "every logged request must survive, and nothing more"
+    );
+    let mut oracle = fresh_engine(seed);
+    for request in executed {
+        let _ = oracle.handle(request);
+    }
+    assert_engines_identical(&recovered.engine, &oracle);
+    recovered.report
+}
+
+fn assert_engines_identical(recovered: &ShardedEngine, oracle: &ShardedEngine) {
+    let (pairs, expected_pairs) = (
+        recovered.merged_arrangement().pairs().collect::<Vec<_>>(),
+        oracle.merged_arrangement().pairs().collect::<Vec<_>>(),
+    );
+    assert_eq!(pairs, expected_pairs, "merged arrangement diverged");
+    let (utility, expected) = (recovered.merged_utility(), oracle.merged_utility());
+    assert_eq!(utility.total.to_bits(), expected.total.to_bits());
+    assert_eq!(
+        utility.interest_sum.to_bits(),
+        expected.interest_sum.to_bits()
+    );
+    assert_eq!(
+        utility.interaction_sum.to_bits(),
+        expected.interaction_sum.to_bits()
+    );
+    assert_eq!(recovered.catalog().epoch(), oracle.catalog().epoch());
+    assert!(recovered
+        .merged_arrangement()
+        .is_feasible(recovered.instance()));
+}
+
+/// A fixed smoke trace for the deterministic cases.
+fn smoke_trace(len: usize) -> Vec<RawRequest> {
+    (0..len)
+        .map(|i| RawRequest {
+            op: (i % 11) as u8,
+            kind: (i % 6) as u8,
+            a: i * 7 % 64,
+            b: i * 13 % 64,
+            score: (i as f64 * 0.31) % 1.0,
+        })
+        .collect()
+}
+
+#[test]
+fn clean_kill_between_requests_recovers_bit_for_bit() {
+    let dir = unique_dir("clean");
+    let executed = durable_run(&dir, 11, &smoke_trace(24), 5, 17, Crash::Clean);
+    assert_eq!(executed.len(), 17);
+    let report = assert_recovery_exact(&dir, 11, &executed);
+    // Checkpoints at 5/10/15 ran; recovery starts from the one at 15.
+    assert_eq!(report.snapshot_seq, Some(15));
+    assert_eq!(report.skipped_snapshots, 0);
+    assert_eq!(report.replayed, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_append_is_truncated_and_the_request_refused() {
+    let dir = unique_dir("torn-wal");
+    let executed = durable_run(&dir, 7, &smoke_trace(24), 5, 13, Crash::TornWal);
+    assert_eq!(executed.len(), 13, "the torn request must not execute");
+    let report = assert_recovery_exact(&dir, 7, &executed);
+    assert_eq!(report.truncated_records, 1, "one torn frame discarded");
+    assert!(report.truncated_bytes > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_snapshot_is_skipped_for_the_previous_valid_checkpoint() {
+    let dir = unique_dir("torn-snap");
+    let executed = durable_run(&dir, 3, &smoke_trace(24), 4, 10, Crash::TornSnapshot);
+    assert_eq!(executed.len(), 11);
+    let report = assert_recovery_exact(&dir, 3, &executed);
+    assert_eq!(
+        report.skipped_snapshots, 1,
+        "the partial snapshot is skipped"
+    );
+    // The previous checkpoint (after request 8) takes over; the three
+    // requests it does not cover replay from the WAL.
+    assert_eq!(report.snapshot_seq, Some(8));
+    assert_eq!(report.replayed, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovered_engine_keeps_serving_identically_to_the_oracle() {
+    let dir = unique_dir("resume");
+    let trace = smoke_trace(30);
+    let executed = durable_run(&dir, 19, &trace[..20], 6, 14, Crash::Clean);
+    let Recovered {
+        engine: mut recovered,
+        next_seq,
+        last_checkpoint_seq,
+        ..
+    } = recover(&dir, || fresh_engine(19), restore_engine).unwrap();
+    let mut oracle = fresh_engine(19);
+    for request in &executed {
+        let _ = oracle.handle(request);
+    }
+    // Resume the durability layer and keep serving: futures stay equal.
+    let mut controller = DurabilityController::resume(
+        &dir,
+        DurabilityPolicy::Always,
+        next_seq,
+        last_checkpoint_seq,
+    )
+    .unwrap();
+    for (i, raw) in trace[20..].iter().enumerate() {
+        let request = request_for(raw, &recovered);
+        controller
+            .log(next_seq + i as u64, recovered.catalog().epoch(), &request)
+            .unwrap();
+        let _ = recovered.handle(&request);
+        let _ = oracle.handle(&request);
+    }
+    assert_engines_identical(&recovered, &oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance property: kill a durable 4-shard run anywhere —
+    /// cleanly, mid-WAL-append, or mid-snapshot — and recovery
+    /// reproduces the uninterrupted execution of the surviving prefix
+    /// bit for bit.
+    #[test]
+    fn recovery_is_bit_identical_at_any_kill_point(
+        raws in proptest::collection::vec(raw_request_strategy(), 6..40),
+        checkpoint_every in 0usize..6,
+        kill in 0usize..48,
+        mode in 0u8..3,
+        seed in 0u64..50,
+    ) {
+        let crash = match mode {
+            0 => Crash::Clean,
+            1 => Crash::TornWal,
+            _ => Crash::TornSnapshot,
+        };
+        let kill_at = kill % (raws.len() + 1);
+        let dir = unique_dir("prop");
+        let executed = durable_run(&dir, seed, &raws, checkpoint_every, kill_at, crash);
+        let recovered = recover(&dir, || fresh_engine(seed), restore_engine).unwrap();
+        prop_assert_eq!(recovered.next_seq, executed.len() as u64 + 1);
+        let mut oracle = fresh_engine(seed);
+        for request in &executed {
+            let _ = oracle.handle(request);
+        }
+        let pairs = recovered.engine.merged_arrangement().pairs().collect::<Vec<_>>();
+        let expected_pairs = oracle.merged_arrangement().pairs().collect::<Vec<_>>();
+        prop_assert_eq!(pairs, expected_pairs);
+        let (utility, expected) = (recovered.engine.merged_utility(), oracle.merged_utility());
+        prop_assert_eq!(utility.total.to_bits(), expected.total.to_bits());
+        prop_assert_eq!(utility.interest_sum.to_bits(), expected.interest_sum.to_bits());
+        prop_assert_eq!(utility.interaction_sum.to_bits(), expected.interaction_sum.to_bits());
+        prop_assert_eq!(recovered.engine.catalog().epoch(), oracle.catalog().epoch());
+        prop_assert!(recovered.engine.merged_arrangement().is_feasible(recovered.engine.instance()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

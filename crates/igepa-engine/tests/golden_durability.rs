@@ -1,0 +1,317 @@
+//! Golden durability fixtures.
+//!
+//! `tests/golden/durability/` is a checked-in durability directory — WAL
+//! segments plus a version-2 checkpoint — recorded by a scripted durable
+//! run. `tests/golden/durability_v1/` is the same directory with the
+//! checkpoint rewritten to the version-1 schema (no `probe_counter`, no
+//! `coordinator_stats`), exercising the decode-and-migrate path against
+//! a real on-disk artifact. The contract pinned here: both directories
+//! must keep recovering, and the recovered engine must be bit-identical
+//! to a fresh engine that executed the scripted requests uninterrupted.
+//!
+//! Regenerate both fixtures with `UPDATE_GOLDEN=1 cargo test -p
+//! igepa-engine --test golden_durability` after an *intentional* format
+//! change, and review the diff like any other API break.
+
+use igepa_algos::GreedyArrangement;
+use igepa_core::{
+    AttributeVector, CapacityTarget, ConstantInterest, EventId, HashPartitioner, Instance,
+    InstanceDelta, NeverConflict, UserId,
+};
+use igepa_engine::durability::snapshot::list_snapshots;
+use igepa_engine::durability::wal::fnv1a64;
+use igepa_engine::{
+    recover, DurabilityController, DurabilityPolicy, EngineConfig, EngineRequest,
+    EngineSnapshotState, ShardedConfig, ShardedEngine,
+};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/durability")
+}
+
+fn golden_v1_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/durability_v1")
+}
+
+/// The deterministic base instance the fixture was recorded against:
+/// three capacity-2 events, four capacity-2 users bidding on everything.
+fn base_instance() -> Instance {
+    let mut b = Instance::builder();
+    let events: Vec<EventId> = (0..3)
+        .map(|_| b.add_event(2, AttributeVector::empty()))
+        .collect();
+    for _ in 0..4 {
+        b.add_user(2, AttributeVector::empty(), events.clone());
+    }
+    b.interaction_scores(vec![0.5; 4]);
+    b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap()
+}
+
+/// The engine the fixture's recorder ran: 4 shards, seed 42.
+fn fresh_engine() -> ShardedEngine {
+    ShardedEngine::new(
+        base_instance(),
+        Box::new(NeverConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        Box::new(HashPartitioner),
+        ShardedConfig {
+            num_shards: 4,
+            shard: EngineConfig {
+                seed: 42,
+                staleness_check_interval: 8,
+                ..EngineConfig::default()
+            },
+            reconcile_interval: 4,
+            reconcile_rounds: 2,
+        },
+    )
+}
+
+fn restore_engine(state: &EngineSnapshotState) -> Result<ShardedEngine, String> {
+    ShardedEngine::restore_state(
+        state,
+        Box::new(NeverConflict),
+        Box::new(ConstantInterest(0.5)),
+        Box::new(GreedyArrangement),
+        Box::new(HashPartitioner),
+    )
+}
+
+/// The scripted mutating requests behind the fixture: every delta kind,
+/// a batch, a rebalance, and one rejected delta. The checkpoint was
+/// taken after request 8; requests 9..=14 live only in the WAL tail.
+fn scripted_requests() -> Vec<EngineRequest> {
+    vec![
+        EngineRequest::Apply {
+            delta: InstanceDelta::AddUser {
+                capacity: 1,
+                attrs: AttributeVector::empty(),
+                bids: vec![EventId::new(0)],
+                interaction: 0.8,
+            },
+        },
+        EngineRequest::Apply {
+            delta: InstanceDelta::AddEvent {
+                capacity: 3,
+                attrs: AttributeVector::from_time(10, 60),
+            },
+        },
+        EngineRequest::Apply {
+            delta: InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::Event(EventId::new(0)),
+                capacity: 1,
+            },
+        },
+        EngineRequest::Apply {
+            delta: InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::User(UserId::new(1)),
+                capacity: 1,
+            },
+        },
+        EngineRequest::Apply {
+            delta: InstanceDelta::UpdateBids {
+                user: UserId::new(2),
+                bids: vec![EventId::new(1), EventId::new(3)],
+            },
+        },
+        EngineRequest::Apply {
+            delta: InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(0),
+                score: 0.9,
+            },
+        },
+        EngineRequest::ApplyBatch {
+            deltas: vec![
+                InstanceDelta::AddUser {
+                    capacity: 2,
+                    attrs: AttributeVector::empty(),
+                    bids: vec![EventId::new(1), EventId::new(3)],
+                    interaction: 0.6,
+                },
+                InstanceDelta::UpdateInteractionScore {
+                    user: UserId::new(1),
+                    score: 0.7,
+                },
+            ],
+        },
+        EngineRequest::Rebalance,
+        // --- checkpoint taken here (wal_seq 8) ---
+        EngineRequest::Apply {
+            delta: InstanceDelta::RemoveUser {
+                user: UserId::new(3),
+            },
+        },
+        // Rejected: the user does not exist. Rejections are logged and
+        // replayed too.
+        EngineRequest::Apply {
+            delta: InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(99),
+                score: 0.5,
+            },
+        },
+        EngineRequest::Apply {
+            delta: InstanceDelta::AddEvent {
+                capacity: 2,
+                attrs: AttributeVector::empty(),
+            },
+        },
+        EngineRequest::Apply {
+            delta: InstanceDelta::AddUser {
+                capacity: 2,
+                attrs: AttributeVector::empty(),
+                bids: vec![EventId::new(2), EventId::new(4)],
+                interaction: 0.4,
+            },
+        },
+        EngineRequest::Apply {
+            delta: InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(2),
+                score: 0.25,
+            },
+        },
+        EngineRequest::Rebalance,
+    ]
+}
+
+/// Index (1-based WAL sequence) of the last request the checkpoint covers.
+const CHECKPOINT_AFTER: usize = 8;
+
+/// Re-records the fixture directory from scratch.
+fn record_fixture(dir: &Path) {
+    if dir.exists() {
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+    std::fs::create_dir_all(dir).unwrap();
+    let mut engine = fresh_engine();
+    let mut controller = DurabilityController::create(dir, DurabilityPolicy::Always).unwrap();
+    // Small segments so the fixture pins rotation and compaction too.
+    controller.set_segment_max_bytes(256);
+    for (i, request) in scripted_requests().iter().enumerate() {
+        controller
+            .log(i as u64 + 1, engine.catalog().epoch(), request)
+            .unwrap();
+        let _ = engine.handle(request);
+        if i + 1 == CHECKPOINT_AFTER {
+            let state = engine.snapshot_state(controller.last_seq());
+            controller.checkpoint(&state).unwrap();
+        }
+    }
+}
+
+/// Derives the version-1 fixture from the version-2 one: same WAL files,
+/// checkpoint rewritten to the old schema (fields dropped, header and
+/// checksum recomputed).
+fn derive_v1_fixture(from: &Path, to: &Path) {
+    if to.exists() {
+        std::fs::remove_dir_all(to).unwrap();
+    }
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name();
+        if name.to_string_lossy().ends_with(".log") {
+            std::fs::copy(entry.path(), to.join(&name)).unwrap();
+        }
+    }
+    let snapshots = list_snapshots(from).unwrap();
+    assert_eq!(snapshots.len(), 1, "the fixture holds exactly one snapshot");
+    let (_, snap_path) = &snapshots[0];
+    let data = std::fs::read_to_string(snap_path).unwrap();
+    let (_, payload) = data
+        .split_once('\n')
+        .expect("snapshot file has a header line");
+    let state = igepa_engine::durability::snapshot::read_snapshot(snap_path).unwrap();
+    let stats_json = serde_json::to_string(&state.coordinator_stats).unwrap();
+    let v1 = payload
+        .replacen("\"version\":2", "\"version\":1", 1)
+        .replace(&format!("\"probe_counter\":{},", state.probe_counter), "")
+        .replace(&format!("\"coordinator_stats\":{stats_json},"), "");
+    assert!(v1.len() < payload.len(), "fields were actually dropped");
+    let rewritten = format!(
+        "IGEPA-SNAP 1 {} {:016x}\n{v1}",
+        v1.len(),
+        fnv1a64(v1.as_bytes())
+    );
+    let file_name = snap_path.file_name().unwrap();
+    std::fs::write(to.join(file_name), rewritten).unwrap();
+}
+
+/// Copies a fixture into a scratch directory so the checked-in tree is
+/// never written to, whatever recovery does.
+fn staged_copy(fixture: &Path, label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("igepa-golden-{label}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    for entry in std::fs::read_dir(fixture).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+    }
+    dir
+}
+
+/// The oracle: a fresh engine that executed the whole script without
+/// ever crashing or checkpointing.
+fn oracle() -> ShardedEngine {
+    let mut engine = fresh_engine();
+    for request in &scripted_requests() {
+        let _ = engine.handle(request);
+    }
+    engine
+}
+
+fn assert_matches_oracle(recovered: &ShardedEngine) {
+    let expected = oracle();
+    assert_eq!(
+        recovered.merged_arrangement().pairs().collect::<Vec<_>>(),
+        expected.merged_arrangement().pairs().collect::<Vec<_>>(),
+        "merged arrangement diverged from the uninterrupted oracle"
+    );
+    let (utility, expect) = (recovered.merged_utility(), expected.merged_utility());
+    assert_eq!(utility.total.to_bits(), expect.total.to_bits());
+    assert_eq!(
+        utility.interest_sum.to_bits(),
+        expect.interest_sum.to_bits()
+    );
+    assert_eq!(
+        utility.interaction_sum.to_bits(),
+        expect.interaction_sum.to_bits()
+    );
+    assert_eq!(recovered.catalog().epoch(), expected.catalog().epoch());
+}
+
+#[test]
+fn golden_durability_dir_recovers_bit_identically() {
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        record_fixture(&golden_dir());
+        derive_v1_fixture(&golden_dir(), &golden_v1_dir());
+    }
+    let staged = staged_copy(&golden_dir(), "v2");
+    let recovered = recover(&staged, fresh_engine, restore_engine)
+        .expect("the checked-in durability directory must keep recovering");
+    assert_eq!(recovered.report.snapshot_seq, Some(CHECKPOINT_AFTER as u64));
+    assert_eq!(recovered.report.skipped_snapshots, 0);
+    assert_eq!(
+        recovered.report.replayed,
+        scripted_requests().len() - CHECKPOINT_AFTER,
+        "the WAL tail past the checkpoint replays"
+    );
+    assert_eq!(recovered.report.truncated_records, 0);
+    assert_eq!(recovered.next_seq, scripted_requests().len() as u64 + 1);
+    assert_matches_oracle(&recovered.engine);
+    let _ = std::fs::remove_dir_all(&staged);
+}
+
+#[test]
+fn version_1_snapshot_fixture_migrates_and_recovers() {
+    // (Regeneration happens in the v2 test; this one only reads.)
+    let staged = staged_copy(&golden_v1_dir(), "v1");
+    let recovered = recover(&staged, fresh_engine, restore_engine)
+        .expect("the version-1 snapshot must migrate and recover");
+    assert_eq!(recovered.report.snapshot_seq, Some(CHECKPOINT_AFTER as u64));
+    assert_matches_oracle(&recovered.engine);
+    let _ = std::fs::remove_dir_all(&staged);
+}

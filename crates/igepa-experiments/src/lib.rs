@@ -47,8 +47,9 @@ pub use ratio::{run_ratio_study, RatioReport, RatioResult};
 pub use report::{AlgorithmResult, SweepPoint, SweepReport, TableReport};
 pub use scalability::{run_scalability, DEFAULT_USER_COUNTS};
 pub use serve::{
-    run_connect_study, run_listen, run_loopback_study, run_serve_study, run_sharded_serve_study,
-    serving_engine, sharded_serving_engine, tcp_server_engine, LoopbackReport, ServeReport,
+    parse_fsync_policy, recover_served_engine, run_connect_study, run_listen, run_loopback_study,
+    run_recover_study, run_serve_study, run_sharded_serve_study, serving_engine,
+    sharded_serving_engine, tcp_server_engine, LoopbackReport, RecoverReport, ServeReport,
     ShardedServeReport,
 };
 pub use settings::ExperimentSettings;

@@ -14,6 +14,7 @@
 //!   scalability            Runtime vs |U| for LP-packing (both backends) and GG
 //!   online                 Online-arrival study (online greedy / ranking vs offline)
 //!   serve                  Serving study: warm-start engine vs cold re-solve on a delta trace
+//!   recover <dir>          Rebuild a `serve --wal <dir>` server's state after a crash
 //!   all                    Everything above, plus the qualitative shape checks
 //!
 //! Options:
@@ -28,12 +29,12 @@
 
 use igepa_algos::LpBackend;
 use igepa_experiments::{
-    check_sweep, check_table_ordering, check_users_sweep_convergence, run_all_figure1,
-    run_alpha_ablation, run_backend_ablation, run_beta_ablation, run_clustered_table,
-    run_connect_study, run_extension_ablation, run_figure1, run_interaction_ablation, run_listen,
-    run_loopback_study, run_online_study, run_ratio_study, run_scalability, run_serve_study,
-    run_sharded_serve_study, run_table1, run_table2, ExperimentSettings, Figure1Factor,
-    ShapeReport, SweepReport, TableReport,
+    check_sweep, check_table_ordering, check_users_sweep_convergence, parse_fsync_policy,
+    run_all_figure1, run_alpha_ablation, run_backend_ablation, run_beta_ablation,
+    run_clustered_table, run_connect_study, run_extension_ablation, run_figure1,
+    run_interaction_ablation, run_listen, run_loopback_study, run_online_study, run_ratio_study,
+    run_recover_study, run_scalability, run_serve_study, run_sharded_serve_study, run_table1,
+    run_table2, ExperimentSettings, Figure1Factor, ShapeReport, SweepReport, TableReport,
 };
 use std::path::PathBuf;
 
@@ -119,7 +120,18 @@ fn main() {
                         std::process::exit(1);
                     }
                 } else {
-                    run_listen(&settings, addr, shards.max(1));
+                    let policy = match options.fsync.as_deref() {
+                        None => igepa_engine::DurabilityPolicy::Always,
+                        Some(value) => parse_fsync_policy(value).unwrap_or_else(|| {
+                            eprintln!("--fsync must be off, always, every=N or interval=MS");
+                            std::process::exit(2);
+                        }),
+                    };
+                    let wal = options
+                        .wal
+                        .as_deref()
+                        .map(|dir| (std::path::Path::new(dir), policy));
+                    run_listen(&settings, addr, shards.max(1), wal);
                 }
             } else {
                 let deltas = options.deltas.unwrap_or(10_000);
@@ -133,6 +145,29 @@ fn main() {
                 } else {
                     let report = run_serve_study(&settings, deltas);
                     println!("{}", report.to_markdown());
+                }
+            }
+        }
+        "recover" => {
+            let dir = options.positional.clone().or(options.wal.clone());
+            let Some(dir) = dir else {
+                eprintln!(
+                    "usage: igepa-experiments recover <dir> [--shards n] [--seed n] [--scale x]"
+                );
+                std::process::exit(2);
+            };
+            let shards = options.shards.unwrap_or(1).max(1);
+            match run_recover_study(&settings, std::path::Path::new(&dir), shards) {
+                Ok(report) => {
+                    println!("{}", report.to_markdown());
+                    if !report.passed() {
+                        eprintln!("recovered state FAILED its integrity checks");
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("recovery from {dir} failed: {e}");
+                    std::process::exit(1);
                 }
             }
         }
@@ -203,6 +238,11 @@ struct Options {
     listen: Option<String>,
     connect: Option<String>,
     churn: bool,
+    wal: Option<String>,
+    fsync: Option<String>,
+    /// First bare (non-`--`) argument after the command, e.g. the
+    /// durability directory of `recover <dir>`.
+    positional: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -250,8 +290,20 @@ fn parse_options(args: &[String]) -> Options {
                 options.connect = args.get(i + 1).cloned();
                 i += 1;
             }
+            "--wal" => {
+                options.wal = args.get(i + 1).cloned();
+                i += 1;
+            }
+            "--fsync" => {
+                options.fsync = args.get(i + 1).cloned();
+                i += 1;
+            }
             other => {
-                eprintln!("ignoring unknown option: {other}");
+                if !other.starts_with("--") && options.positional.is_none() {
+                    options.positional = Some(other.to_string());
+                } else {
+                    eprintln!("ignoring unknown option: {other}");
+                }
             }
         }
         i += 1;
@@ -287,7 +339,7 @@ fn write_csv(id: &str, csv: &str, options: &Options) {
 fn print_usage() {
     println!(
         "igepa-experiments — reproduce the tables and figures of the IGEPA paper\n\n\
-         Usage: igepa-experiments <table1|table2|figure1|figure1-all|ratio|ablations|clustered|scalability|online|serve|all> [options]\n\n\
+         Usage: igepa-experiments <table1|table2|figure1|figure1-all|ratio|ablations|clustered|scalability|online|serve|recover|all> [options]\n\n\
          Options:\n\
            --reps <n>       repetitions per configuration (default 10)\n\
            --paper-reps     use the paper's 50 repetitions\n\
@@ -303,6 +355,11 @@ fn print_usage() {
            --churn          announcement-heavy trace for `serve` (event churn)\n\
            --listen <addr>  serve over TCP (with --deltas: in-process loopback\n\
                             smoke incl. feasibility check; without: serve forever)\n\
-           --connect <addr> drive a --listen server from this process"
+           --connect <addr> drive a --listen server from this process\n\
+           --wal <dir>      with `serve --listen`: durable serving — write-ahead\n\
+                            log + checkpoints in <dir>, auto-recovery on restart;\n\
+                            `recover <dir>` rebuilds and verifies after a crash\n\
+           --fsync <p>      WAL fsync policy: off, always (default), every=N,\n\
+                            interval=MS"
     );
 }

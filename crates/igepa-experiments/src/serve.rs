@@ -20,11 +20,13 @@ use igepa_datagen::{
     ClusteredConfig, CommunityTraceConfig, SyntheticConfig, TraceConfig,
 };
 use igepa_engine::{
-    replay, ClientError, Engine, EngineClient, EngineConfig, EngineQuery, EngineRequest,
-    EngineResponse, EngineServer, Framing, LatencySummary, ShardedConfig, ShardedEngine,
+    recover, replay, ClientError, DurabilityController, DurabilityPolicy, Engine, EngineClient,
+    EngineConfig, EngineQuery, EngineRequest, EngineResponse, EngineServer, Framing,
+    LatencySummary, Recovered, RecoveryError, ShardedConfig, ShardedEngine,
 };
 use serde::{Deserialize, Serialize};
 use std::net::TcpListener;
+use std::path::Path;
 use std::time::Instant;
 
 /// Result of the serving study.
@@ -573,20 +575,214 @@ pub fn run_connect_study(
     }
 }
 
+/// Parses a `--fsync` CLI value: `off`, `always`, `every=N`, or
+/// `interval=MS`.
+pub fn parse_fsync_policy(value: &str) -> Option<DurabilityPolicy> {
+    match value {
+        "off" => Some(DurabilityPolicy::Off),
+        "always" => Some(DurabilityPolicy::Always),
+        _ => {
+            if let Some(n) = value.strip_prefix("every=") {
+                n.parse().ok().map(|n| DurabilityPolicy::EveryN { n })
+            } else if let Some(ms) = value.strip_prefix("interval=") {
+                ms.parse()
+                    .ok()
+                    .map(|millis| DurabilityPolicy::Interval { millis })
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Recovers the TCP server's engine from a durability directory: newest
+/// valid snapshot plus WAL-tail replay. The engine is rebuilt through
+/// exactly the [`tcp_server_engine`] construction, so `settings` (seed,
+/// scale) and `shards` must match the original `serve --wal` run — the
+/// restored engine then continues bit-for-bit where the crashed one
+/// stopped.
+pub fn recover_served_engine(
+    settings: &ExperimentSettings,
+    dir: &Path,
+    shards: usize,
+) -> Result<Recovered, RecoveryError> {
+    recover(
+        dir,
+        || tcp_server_engine(settings, shards),
+        |state| {
+            // The partitioner only places users registered after the
+            // restore; rebuild it from the same deterministic dataset the
+            // original server derived it from.
+            let dataset =
+                generate_clustered_dataset(&scaled_clustered(settings), settings.base_seed);
+            let partitioner = LocalityPartitioner::from_instance(&dataset.instance, shards);
+            ShardedEngine::restore_state(
+                state,
+                Box::new(NeverConflict),
+                Box::new(ConstantInterest(0.5)),
+                Box::new(GreedyArrangement),
+                Box::new(partitioner),
+            )
+        },
+    )
+}
+
+/// Result of the `recover <dir>` command: what the durability directory
+/// contained and whether the rebuilt state passes its integrity checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverReport {
+    /// Shards the engine was rebuilt with.
+    pub shards: usize,
+    /// WAL sequence covered by the snapshot restored from (`None`: no
+    /// usable snapshot, full-log replay).
+    pub snapshot_seq: Option<u64>,
+    /// Invalid / partial snapshots skipped for an older valid one.
+    pub skipped_snapshots: usize,
+    /// WAL records found on disk.
+    pub wal_records: usize,
+    /// WAL records replayed past the snapshot.
+    pub replayed: usize,
+    /// Bytes of torn WAL tail truncated.
+    pub truncated_bytes: u64,
+    /// Torn trailing records dropped with them.
+    pub truncated_records: u64,
+    /// Sequence the next logged request would take on resume.
+    pub next_seq: u64,
+    /// Merged utility of the recovered arrangement.
+    pub final_utility: f64,
+    /// Pairs served by the recovered arrangement.
+    pub final_pairs: usize,
+    /// Whether the recovered merged arrangement is feasible.
+    pub feasible: bool,
+    /// Whether the recovered utility trackers match a from-scratch
+    /// recompute bit for bit.
+    pub utility_exact: bool,
+}
+
+impl RecoverReport {
+    /// Renders the report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("## Recovery: snapshot restore + WAL-tail replay\n\n");
+        out.push_str(&format!(
+            "Snapshot: {}; {} WAL record(s) on disk, {} replayed, {} byte(s) of torn tail truncated ({} record(s)); next seq {}.\n\n",
+            match self.snapshot_seq {
+                Some(seq) => format!("restored at WAL seq {seq}"),
+                None => "none (full-log replay)".to_string(),
+            },
+            self.wal_records,
+            self.replayed,
+            self.truncated_bytes,
+            self.truncated_records,
+            self.next_seq,
+        ));
+        out.push_str(&format!(
+            "Recovered state: utility {:.6} over {} pairs, {} shards; feasibility {}; utility recompute {}.\n",
+            self.final_utility,
+            self.final_pairs,
+            self.shards,
+            if self.feasible { "OK" } else { "FAILED" },
+            if self.utility_exact {
+                "bit-exact"
+            } else {
+                "MISMATCH"
+            }
+        ));
+        out
+    }
+
+    /// Whether every integrity check passed.
+    pub fn passed(&self) -> bool {
+        self.feasible && self.utility_exact
+    }
+}
+
+/// Runs the `recover <dir>` command: rebuild the engine from the
+/// durability directory and verify feasibility plus exact utility.
+pub fn run_recover_study(
+    settings: &ExperimentSettings,
+    dir: &Path,
+    shards: usize,
+) -> Result<RecoverReport, RecoveryError> {
+    let recovered = recover_served_engine(settings, dir, shards)?;
+    let engine = recovered.engine;
+    let report = recovered.report;
+    let merged = engine.merged_arrangement();
+    let feasible = merged.is_feasible(engine.instance());
+    let recomputed = merged.utility_value(engine.instance());
+    let tracked = engine.merged_utility().total;
+    Ok(RecoverReport {
+        shards: engine.num_shards(),
+        snapshot_seq: report.snapshot_seq,
+        skipped_snapshots: report.skipped_snapshots,
+        wal_records: report.wal_records,
+        replayed: report.replayed,
+        truncated_bytes: report.truncated_bytes,
+        truncated_records: report.truncated_records,
+        next_seq: recovered.next_seq,
+        final_utility: tracked,
+        final_pairs: merged.len(),
+        feasible,
+        utility_exact: tracked.to_bits() == recomputed.to_bits(),
+    })
+}
+
 /// Serves forever on `listen_addr` (for an external `--connect` client).
 /// Prints the bound address, then parks the main thread.
-pub fn run_listen(settings: &ExperimentSettings, listen_addr: &str, shards: usize) -> ! {
+///
+/// With `wal`, the server runs durably: any state already in the
+/// directory is recovered first (so a restart resumes where the crash
+/// left off), and every mutating request is write-ahead-logged under the
+/// given fsync policy before it is acknowledged.
+pub fn run_listen(
+    settings: &ExperimentSettings,
+    listen_addr: &str,
+    shards: usize,
+    wal: Option<(&Path, DurabilityPolicy)>,
+) -> ! {
     let listener = TcpListener::bind(listen_addr).expect("listen address binds");
     println!(
-        "igepa-engine: {} shards serving on {}",
+        "igepa-engine: {} shards serving on {}{}",
         shards,
-        listener.local_addr().expect("bound address")
+        listener.local_addr().expect("bound address"),
+        match wal {
+            Some((dir, policy)) => format!(" (durable: {} / fsync {policy:?})", dir.display()),
+            None => String::new(),
+        }
     );
-    let _handle = EngineServer::serve_sharded(
-        listener,
-        tcp_server_engine(settings, shards),
-        Framing::Lines,
-    )
+    let _handle = match wal {
+        None => EngineServer::serve_sharded(
+            listener,
+            tcp_server_engine(settings, shards),
+            Framing::Lines,
+        ),
+        Some((dir, policy)) => {
+            std::fs::create_dir_all(dir).expect("durability directory creatable");
+            let recovered = recover_served_engine(settings, dir, shards)
+                .unwrap_or_else(|e| panic!("cannot recover from {}: {e}", dir.display()));
+            if recovered.report.wal_records > 0 || recovered.report.snapshot_seq.is_some() {
+                eprintln!(
+                    "igepa-engine: resumed from {} (snapshot seq {:?}, {} replayed)",
+                    dir.display(),
+                    recovered.report.snapshot_seq,
+                    recovered.report.replayed
+                );
+            }
+            let controller = DurabilityController::resume(
+                dir,
+                policy,
+                recovered.next_seq,
+                recovered.last_checkpoint_seq,
+            )
+            .expect("durability controller opens");
+            EngineServer::serve_sharded_durable(
+                listener,
+                recovered.engine,
+                Framing::Lines,
+                controller,
+            )
+        }
+    }
     .expect("server spawns");
     loop {
         std::thread::park();
@@ -671,6 +867,84 @@ mod tests {
             serde_json::from_str::<LoopbackReport>(&json).unwrap(),
             report
         );
+    }
+
+    #[test]
+    fn fsync_policies_parse() {
+        assert_eq!(parse_fsync_policy("off"), Some(DurabilityPolicy::Off));
+        assert_eq!(parse_fsync_policy("always"), Some(DurabilityPolicy::Always));
+        assert_eq!(
+            parse_fsync_policy("every=32"),
+            Some(DurabilityPolicy::EveryN { n: 32 })
+        );
+        assert_eq!(
+            parse_fsync_policy("interval=5"),
+            Some(DurabilityPolicy::Interval { millis: 5 })
+        );
+        assert_eq!(parse_fsync_policy("sometimes"), None);
+        assert_eq!(parse_fsync_policy("every=x"), None);
+    }
+
+    #[test]
+    fn durable_serve_recovers_the_exact_served_state() {
+        // The CLI path end to end, minus the TCP listen loop: serve the
+        // community trace durably, shut down, then run the `recover`
+        // study against the directory and compare with the live engine.
+        let settings = ExperimentSettings {
+            scale: 0.2,
+            ..ExperimentSettings::quick()
+        };
+        let shards = 2;
+        let dir = std::env::temp_dir().join(format!(
+            "igepa-serve-recover-{}-{}",
+            std::process::id(),
+            settings.base_seed
+        ));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let requests = tcp_trace(&settings, 120, shards, false);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+        let controller =
+            DurabilityController::create(&dir, DurabilityPolicy::Off).expect("controller opens");
+        let handle = EngineServer::serve_sharded_durable(
+            listener,
+            tcp_server_engine(&settings, shards),
+            Framing::Lines,
+            controller,
+        )
+        .expect("server spawns");
+        let mut client =
+            EngineClient::connect(handle.local_addr(), Framing::Lines).expect("client connects");
+        drive_client(&mut client, &requests).expect("transport stays up");
+        drop(client);
+        let engine = handle.shutdown().expect("clean shutdown");
+
+        let report = run_recover_study(&settings, &dir, shards).expect("recovery succeeds");
+        assert!(report.passed(), "recovered state failed integrity checks");
+        // `drive_client` appends a Rebalance after the 120 deltas.
+        assert_eq!(report.wal_records, 121);
+        assert_eq!(report.replayed, 121);
+        assert_eq!(
+            report.final_utility.to_bits(),
+            engine.merged_utility().total.to_bits(),
+            "recovered utility must match the served engine bit for bit"
+        );
+        assert_eq!(report.final_pairs, engine.merged_arrangement().len());
+
+        let recovered = recover_served_engine(&settings, &dir, shards).expect("recovery succeeds");
+        assert_eq!(
+            recovered
+                .engine
+                .merged_arrangement()
+                .pairs()
+                .collect::<Vec<_>>(),
+            engine.merged_arrangement().pairs().collect::<Vec<_>>(),
+            "recovered arrangement must match pair for pair"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
