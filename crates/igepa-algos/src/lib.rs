@@ -40,6 +40,7 @@ pub mod online_greedy;
 pub mod online_ranking;
 pub mod portfolio;
 pub mod randomized;
+pub mod repair;
 pub mod runner;
 pub mod simulated_annealing;
 pub mod tabu_search;
@@ -56,6 +57,10 @@ pub use online_greedy::OnlineGreedy;
 pub use online_ranking::OnlineRanking;
 pub use portfolio::Portfolio;
 pub use randomized::{RandomU, RandomV};
+pub use repair::{
+    admit_greedily_in, can_assign_in, patch_region, AssignmentState, ComponentSlots,
+    ComponentState, PatchOps,
+};
 pub use runner::{run_and_record, run_repeated, ArrangementAlgorithm, RunRecord};
 pub use simulated_annealing::SimulatedAnnealing;
 pub use tabu_search::TabuSearch;

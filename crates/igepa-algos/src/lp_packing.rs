@@ -113,8 +113,12 @@ impl LpPacking {
     /// As [`LpPacking::solve_benchmark_lp`], optionally warm-started from
     /// a previous arrangement. On the dual-subgradient backend the
     /// previous arrangement seeds the row prices (see
-    /// [`LpPacking::event_prices_from`]) — the dual warm start; the exact
-    /// simplex backend has no incremental state and ignores it.
+    /// [`LpPacking::event_prices_from`]) — the dual warm start. The exact
+    /// simplex backend crashes a primal basis from it instead
+    /// ([`SimplexBasis`]): every admissible set a user held verbatim in
+    /// the previous arrangement starts at its upper bound, so the
+    /// re-solve pays only the pivots the instance change requires while
+    /// returning exactly the cold optimum.
     pub fn solve_benchmark_lp_warm(
         &self,
         instance: &Instance,
@@ -129,7 +133,7 @@ impl LpPacking {
             }
         };
         if use_simplex {
-            self.solve_with_simplex(instance, admissible)
+            self.solve_with_simplex(instance, admissible, previous)
         } else {
             let rounds = match self.backend {
                 LpBackend::DualSubgradient { rounds } => rounds,
@@ -181,16 +185,26 @@ impl LpPacking {
         &self,
         instance: &Instance,
         admissible: &AdmissibleSetIndex,
+        previous: Option<&Arrangement>,
     ) -> Vec<Vec<(Vec<EventId>, f64)>> {
         let mut lp = LinearProgram::new();
-        // One variable per (user, admissible set).
+        // One variable per (user, admissible set). A set the user held
+        // verbatim in the previous arrangement flags its variable for the
+        // warm-start crash basis: the previous (integral) solution is a
+        // vertex of the new LP whenever it is still feasible, so starting
+        // there leaves only the pivots the change requires.
+        let mut at_upper: Vec<bool> = Vec::new();
         let mut var_of: Vec<Vec<usize>> = Vec::with_capacity(instance.num_users());
         let mut event_terms: Vec<Vec<(usize, f64)>> = vec![Vec::new(); instance.num_events()];
         for user_sets in admissible.iter() {
+            let held = previous
+                .filter(|prev| user_sets.user.index() < prev.num_users())
+                .map(|prev| prev.events_of(user_sets.user));
             let mut ids = Vec::with_capacity(user_sets.sets.len());
             for set in &user_sets.sets {
                 let weight = instance.set_weight(user_sets.user, set);
                 let var = lp.add_var(weight, 1.0);
+                at_upper.push(held.is_some_and(|h| !h.is_empty() && h == set.as_slice()));
                 ids.push(var);
                 for &v in set {
                     event_terms[v.index()].push((var, 1.0));
@@ -213,9 +227,14 @@ impl LpPacking {
                     .unwrap_or_else(|e| panic!("event {event_index} capacity row: {e}"));
             }
         }
-        let solution = SimplexSolver::default()
-            .solve(&lp)
-            .expect("benchmark LP is always feasible (x = 0)");
+        let solver = SimplexSolver::default();
+        let basis = igepa_lp::SimplexBasis::from_upper_flags(at_upper);
+        let solution = if basis.is_empty() {
+            solver.solve(&lp)
+        } else {
+            solver.solve_warm(&lp, &basis)
+        }
+        .expect("benchmark LP is always feasible (x = 0)");
         admissible
             .iter()
             .zip(var_of)
@@ -316,9 +335,9 @@ impl ArrangementAlgorithm for LpPacking {
 }
 
 impl LpPacking {
-    /// Warm-start re-solve used by the `WarmStart` impl: solve the LP with
-    /// dual prices seeded from `previous`, then round. Falls back to a
-    /// cold solve on the exact simplex backend.
+    /// Warm-start re-solve used by the `WarmStart` impl: solve the LP
+    /// seeded from `previous` — dual prices on the subgradient backend, a
+    /// primal crash basis on the exact simplex backend — then round.
     pub(crate) fn resolve_from_previous(
         &self,
         instance: &Instance,

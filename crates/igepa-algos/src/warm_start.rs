@@ -78,26 +78,9 @@ pub fn admit_greedily_with(
     instance: &Instance,
     arrangement: &mut Arrangement,
     candidates: impl IntoIterator<Item = (EventId, UserId)>,
-    mut on_admit: impl FnMut(EventId, UserId),
+    on_admit: impl FnMut(EventId, UserId),
 ) -> usize {
-    let mut pairs: Vec<(f64, EventId, UserId)> = candidates
-        .into_iter()
-        .map(|(v, u)| (instance.weight(v, u), v, u))
-        .collect();
-    pairs.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
-    });
-    let mut added = 0;
-    for (_, v, u) in pairs {
-        if can_assign(instance, arrangement, v, u) {
-            arrangement.assign(v, u);
-            on_admit(v, u);
-            added += 1;
-        }
-    }
-    added
+    crate::repair::admit_greedily_in(instance, arrangement, candidates, on_admit)
 }
 
 /// Extracts the pairs of `previous` that remain feasible for `instance`,
@@ -124,22 +107,7 @@ pub fn can_assign(
     event: EventId,
     user: UserId,
 ) -> bool {
-    if !instance.user(user).has_bid(event) {
-        return false;
-    }
-    if arrangement.load_of(event) >= instance.event(event).capacity {
-        return false;
-    }
-    let current = arrangement.events_of(user);
-    if current.len() >= instance.user(user).capacity {
-        return false;
-    }
-    if arrangement.contains(event, user) {
-        return false;
-    }
-    !current
-        .iter()
-        .any(|&w| instance.conflicts().conflicts(w, event))
+    crate::repair::can_assign_in(instance, arrangement, event, user)
 }
 
 impl WarmStart for GreedyArrangement {
@@ -345,13 +313,45 @@ mod tests {
     }
 
     #[test]
-    fn lp_packing_simplex_backend_falls_back_to_cold() {
+    fn lp_packing_simplex_warm_start_is_feasible_and_deterministic() {
         use crate::lp_packing::{LpBackend, LpPacking};
         let inst = contended_instance(4);
         let algo = LpPacking::with_backend(LpBackend::Simplex);
         let previous = algo.run_seeded(&inst, 1);
-        let warm = algo.resolve_seeded(&inst, &previous, 2);
-        let cold = algo.run_seeded(&inst, 2);
-        assert_eq!(warm, cold, "simplex has no incremental state");
+        let warm_a = algo.resolve_seeded(&inst, &previous, 2);
+        let warm_b = algo.resolve_seeded(&inst, &previous, 2);
+        assert!(warm_a.is_feasible(&inst));
+        assert_eq!(warm_a, warm_b, "warm resolve must be deterministic");
+    }
+
+    #[test]
+    fn lp_packing_simplex_warm_start_matches_the_cold_lp_value() {
+        use crate::lp_packing::{LpBackend, LpPacking};
+        use igepa_core::AdmissibleSetIndex;
+        let inst = contended_instance(10);
+        let algo = LpPacking::with_backend(LpBackend::Simplex);
+        let admissible = AdmissibleSetIndex::build(&inst).unwrap();
+        let cold = algo.solve_benchmark_lp(&inst, &admissible);
+        let previous = algo.run_seeded(&inst, 5);
+        let warm = algo.solve_benchmark_lp_warm(&inst, &admissible, Some(&previous));
+        // The warm start changes where the simplex begins, never where it
+        // ends: the fractional optima carry the same objective value.
+        let value = |fractional: &Vec<Vec<(Vec<EventId>, f64)>>| -> f64 {
+            fractional
+                .iter()
+                .enumerate()
+                .map(|(u, sets)| {
+                    sets.iter()
+                        .map(|(s, x)| x * inst.set_weight(UserId::new(u), s))
+                        .sum::<f64>()
+                })
+                .sum()
+        };
+        let cold_value = value(&cold);
+        let warm_value = value(&warm);
+        assert!(
+            (warm_value - cold_value).abs() < 1e-7,
+            "warm {warm_value} vs cold {cold_value}"
+        );
     }
 }

@@ -361,6 +361,126 @@ impl Deserialize for Arrangement {
     }
 }
 
+/// A compact edit script between two arrangements: target dimensions
+/// plus the **net** set of removed and added pairs.
+///
+/// The recorder cancels opposites as they arrive — a pair that is
+/// unassigned and later re-assigned (or vice versa) while the diff is
+/// being recorded contributes nothing — so [`Arrangement::apply_diff`]
+/// can apply all removals before all additions and still land exactly
+/// on the recorded final state. Both sets iterate in `(event, user)`
+/// order, making replay deterministic.
+///
+/// This is what lets the serving transport ship O(changed) view updates
+/// instead of O(|M|) snapshots: a repair records its pair churn here,
+/// and the query cache replays it onto its cached copy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArrangementDiff {
+    num_events: usize,
+    num_users: usize,
+    removed: std::collections::BTreeSet<(EventId, UserId)>,
+    added: std::collections::BTreeSet<(EventId, UserId)>,
+}
+
+impl ArrangementDiff {
+    /// An empty diff targeting the given dimensions.
+    pub fn new(num_events: usize, num_users: usize) -> Self {
+        ArrangementDiff {
+            num_events,
+            num_users,
+            removed: Default::default(),
+            added: Default::default(),
+        }
+    }
+
+    /// Raises the target dimensions (never shrinks, mirroring
+    /// [`Arrangement::grow`]).
+    pub fn grow(&mut self, num_events: usize, num_users: usize) {
+        self.num_events = self.num_events.max(num_events);
+        self.num_users = self.num_users.max(num_users);
+    }
+
+    /// Records that `(event, user)` was assigned. Cancels a pending
+    /// removal of the same pair if one was recorded earlier.
+    pub fn record_assign(&mut self, event: EventId, user: UserId) {
+        if !self.removed.remove(&(event, user)) {
+            self.added.insert((event, user));
+        }
+    }
+
+    /// Records that `(event, user)` was unassigned. Cancels a pending
+    /// addition of the same pair if one was recorded earlier.
+    pub fn record_unassign(&mut self, event: EventId, user: UserId) {
+        if !self.added.remove(&(event, user)) {
+            self.removed.insert((event, user));
+        }
+    }
+
+    /// Net pairs removed, in `(event, user)` order.
+    pub fn removed(&self) -> impl Iterator<Item = (EventId, UserId)> + '_ {
+        self.removed.iter().copied()
+    }
+
+    /// Net pairs added, in `(event, user)` order.
+    pub fn added(&self) -> impl Iterator<Item = (EventId, UserId)> + '_ {
+        self.added.iter().copied()
+    }
+
+    /// Number of net pair edits (removals plus additions).
+    pub fn len(&self) -> usize {
+        self.removed.len() + self.added.len()
+    }
+
+    /// Whether the diff carries no pair edits (it may still grow the
+    /// target's dimensions).
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+
+    /// The event dimension the target arrangement must reach.
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// The user dimension the target arrangement must reach.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Folds another diff recorded *after* this one into this one, so
+    /// the combined diff replays both in sequence.
+    pub fn merge(&mut self, later: &ArrangementDiff) {
+        self.grow(later.num_events, later.num_users);
+        for (v, u) in later.removed() {
+            self.record_unassign(v, u);
+        }
+        for (v, u) in later.added() {
+            self.record_assign(v, u);
+        }
+    }
+}
+
+impl Arrangement {
+    /// Replays `diff` onto this arrangement: grows to the diff's
+    /// dimensions, then applies all removals followed by all additions.
+    ///
+    /// O(changed) — the cost scales with the diff, not with `|M|`. Every
+    /// edit must be consistent with the current state (removals present,
+    /// additions absent), which holds whenever the diff was recorded
+    /// against exactly this state; violations are `debug_assert`ed.
+    pub fn apply_diff(&mut self, diff: &ArrangementDiff) {
+        self.grow(diff.num_events, diff.num_users);
+        for (v, u) in diff.removed() {
+            let was_present = self.unassign(v, u);
+            debug_assert!(was_present, "diff removes absent pair ({v}, {u})");
+        }
+        for (v, u) in diff.added() {
+            let was_absent = self.assign(v, u);
+            debug_assert!(was_absent, "diff adds duplicate pair ({v}, {u})");
+        }
+    }
+}
+
 /// Incremental Definition-7 utility bookkeeping: the running
 /// `interest_sum` / `interaction_sum` of an arrangement, maintained
 /// exactly as pairs are assigned and unassigned.
@@ -848,6 +968,77 @@ mod tests {
             combined.interaction_sum.to_bits(),
             global.interaction_sum.to_bits()
         );
+    }
+
+    #[test]
+    fn diff_replays_to_the_recorded_final_state() {
+        let mut live = Arrangement::new(3, 3);
+        live.assign(EventId::new(0), UserId::new(0));
+        live.assign(EventId::new(1), UserId::new(1));
+        let mut stale = live.clone();
+        let mut diff = ArrangementDiff::new(live.num_events(), live.num_users());
+        // Churn on the live copy, mirrored into the recorder.
+        live.unassign(EventId::new(0), UserId::new(0));
+        diff.record_unassign(EventId::new(0), UserId::new(0));
+        live.assign(EventId::new(2), UserId::new(0));
+        diff.record_assign(EventId::new(2), UserId::new(0));
+        live.assign(EventId::new(2), UserId::new(2));
+        diff.record_assign(EventId::new(2), UserId::new(2));
+        stale.apply_diff(&diff);
+        assert_eq!(stale, live);
+    }
+
+    #[test]
+    fn diff_cancels_opposing_edits() {
+        let mut diff = ArrangementDiff::new(2, 2);
+        // Prune then readmit the same pair: net nothing.
+        diff.record_unassign(EventId::new(0), UserId::new(0));
+        diff.record_assign(EventId::new(0), UserId::new(0));
+        // Assign then undo: net nothing.
+        diff.record_assign(EventId::new(1), UserId::new(1));
+        diff.record_unassign(EventId::new(1), UserId::new(1));
+        assert!(diff.is_empty());
+        assert_eq!(diff.len(), 0);
+        let mut m = Arrangement::new(2, 2);
+        m.assign(EventId::new(0), UserId::new(0));
+        let before = m.clone();
+        m.apply_diff(&diff);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn diff_grows_the_target() {
+        let mut m = Arrangement::new(1, 1);
+        let mut diff = ArrangementDiff::new(1, 1);
+        diff.grow(3, 2);
+        diff.record_assign(EventId::new(2), UserId::new(1));
+        m.apply_diff(&diff);
+        assert_eq!(m.num_events(), 3);
+        assert_eq!(m.num_users(), 2);
+        assert!(m.contains(EventId::new(2), UserId::new(1)));
+    }
+
+    #[test]
+    fn merged_diffs_replay_like_sequential_application() {
+        let mut base = Arrangement::new(2, 2);
+        base.assign(EventId::new(0), UserId::new(0));
+        let mut first = ArrangementDiff::new(2, 2);
+        first.record_unassign(EventId::new(0), UserId::new(0));
+        first.record_assign(EventId::new(1), UserId::new(0));
+        let mut second = ArrangementDiff::new(2, 2);
+        second.grow(2, 3);
+        second.record_assign(EventId::new(0), UserId::new(0));
+        second.record_assign(EventId::new(1), UserId::new(2));
+
+        let mut sequential = base.clone();
+        sequential.apply_diff(&first);
+        sequential.apply_diff(&second);
+
+        let mut merged = first.clone();
+        merged.merge(&second);
+        let mut combined = base.clone();
+        combined.apply_diff(&merged);
+        assert_eq!(combined, sequential);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod user;
 pub use admissible::{
     count_for_user, enumerate_for_user, AdmissibleSetIndex, UserAdmissibleSets, DEFAULT_SET_LIMIT,
 };
-pub use arrangement::{Arrangement, UtilityBreakdown, UtilityTracker, Violation};
+pub use arrangement::{Arrangement, ArrangementDiff, UtilityBreakdown, UtilityTracker, Violation};
 pub use attrs::{AttributeVector, Location, TimeWindow};
 pub use conflict::{
     AlwaysConflict, ConflictFn, ConflictMatrix, NeverConflict, PairSetConflict, TimeOverlapConflict,

@@ -58,6 +58,56 @@
 //! `dirty.events × |U|` term from the greedy patch and from
 //! [`BatchPolicy::cost_model`]'s unit basis.
 //!
+//! ## The O(changed) apply path
+//!
+//! Two mechanisms keep per-apply work proportional to what the apply
+//! *changed*, not to the size of the shard:
+//!
+//! * **Diff-shipped cache views.** The transport's query cache used to
+//!   be refreshed by an O(shard pairs) `clone_from` of the arrangement
+//!   on every apply completion. Repair already knows exactly which
+//!   pairs it touched, so each worker now records them in an
+//!   [`ArrangementDiff`](igepa_core::ArrangementDiff) and ships a
+//!   compact *view delta* — the net pair edits plus O(1) replacement
+//!   metadata — that the cache replays onto its installed snapshot in
+//!   place. Deltas are chained by epoch; whenever the worker cannot
+//!   vouch for the chain (first apply after a barrier resume, full
+//!   re-solves, batch solves) it falls back to shipping a full
+//!   snapshot, so the installed view is bit-identical to a fresh clone
+//!   either way. `BENCH_engine.json`'s `view_diff/*` rows pin the win:
+//!   diff installs are two orders of magnitude cheaper than
+//!   `clone_from` at 100k users.
+//!
+//! * **Component-parallel intra-shard repair.** A dirty set usually
+//!   decomposes: two dirty users whose bid sets share no event (and
+//!   collide with no common attendee) cannot influence each other's
+//!   repair. [`Shard`] builds the *repair-interference graph* over the
+//!   dirty entities (dirty user → its bids and current events; dirty
+//!   event → its bidders and attendees; attendees → their bids), splits
+//!   it into connected components with `igepa-graph`'s epoch-stamped
+//!   `DenseInterner` + `DenseDisjointSets` (O(changed) with no
+//!   per-repair allocation churn), and patches each component in its
+//!   own sandbox ([`igepa_algos::ComponentState`] over a shared
+//!   [`igepa_algos::ComponentSlots`] slot table) on the vendored
+//!   `scoped-pool` fork-join helper. Sandboxed ops replay onto the real
+//!   arrangement in component order, and because every utility read
+//!   sums through [`igepa_core::ExactSum`] — order-independent by
+//!   construction — the result is **bit-identical for any thread
+//!   count** (proptested at 1/2/4 threads in CI).
+//!
+//! The knob is [`EngineConfig::repair_threads`]. It defaults to `1`,
+//! which keeps the original serial `patch_region` path and lets legacy
+//! configs (which predate the field) deserialize into identical
+//! behaviour. Any value `> 1` enables the component split; actual
+//! spawns are clamped to the host's available parallelism, so
+//! oversubscribed settings cost nothing but still exercise the same
+//! deterministic code path.
+//!
+//! The last solver-side gap is closed in `igepa-lp`: the exact simplex
+//! backend accepts a crash *basis* from a previous solve
+//! (`SimplexSolver::solve_warm`), so escalated re-solves pay only the
+//! pivots the change requires — see that crate's docs.
+//!
 //! ## Sharded serving
 //!
 //! One repair loop caps how many users a process can serve. The crate
@@ -119,7 +169,10 @@
 //! batches and `Rebalance` barrier.
 //!
 //! The **read path is barrier-free**: each worker reports an epoch-tagged
-//! read-state view with every apply completion, and the aggregate queries
+//! read-state view with every apply completion (shipped as an
+//! O(changed) diff against the previous view whenever the epoch chain
+//! is unbroken — see *The O(changed) apply path* above), and the
+//! aggregate queries
 //! (`Utility`, `Stats`, `ShardStats`) are answered from that cache in the
 //! connection threads — they never enter the dispatch queue, let alone
 //! stop the worker pool. The view for an apply is installed *before* its

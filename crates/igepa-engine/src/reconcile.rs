@@ -28,6 +28,7 @@
 use crate::shard::Shard;
 use igepa_core::{EventId, Instance, UserId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// What one reconciliation pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -69,12 +70,25 @@ pub(crate) fn run(
         .filter(|&&event| igepa_core::spans_shards(mirror.event(event), |u| owners[u.index()].0))
         .count();
 
+    // Round 0 scans every candidate event; each later round scans only
+    // the events the previous round could have changed. Quota and load
+    // move only at events whose quota the round touched, and the demand
+    // signal changes only through new seatings — a freshly admitted user
+    // spends capacity (and arms conflicts) that shrink their demand at
+    // every other event they bid on. Everything else re-reads exactly as
+    // before, so the restriction is behaviour-preserving: it skips only
+    // events whose previous scan already said "nothing to move".
+    let candidates: BTreeSet<EventId> = events.iter().copied().collect();
+    let mut active: Vec<EventId> = events.to_vec();
     for round in 0..max_rounds {
-        // Plan this round's moves over every candidate event.
+        if active.is_empty() {
+            break;
+        }
+        // Plan this round's moves over the active candidate events.
         let mut changes: Vec<Vec<(EventId, usize)>> = vec![Vec::new(); num_shards];
         let mut moved = 0usize;
         let mut contended = 0usize;
-        for &event in events {
+        for &event in &active {
             let quota: Vec<usize> = shards.iter().map(|s| s.quota_of(event)).collect();
             let load: Vec<usize> = shards.iter().map(|s| s.load_of(event)).collect();
             // Quota and load are O(1) reads; the demand signal is the
@@ -142,12 +156,34 @@ pub(crate) fn run(
         }
         report.quota_moved += moved;
         report.rounds_run += 1;
+        let mut next: BTreeSet<EventId> = BTreeSet::new();
+        let mut rescan_everything = false;
         for (k, shard_changes) in changes.iter().enumerate() {
             if !shard_changes.is_empty() {
-                shards[k].apply_quotas(shard_changes);
+                let (_repair, admitted) = shards[k].apply_quotas(shard_changes);
                 report.shard_repairs += 1;
+                for &(event, _) in shard_changes.iter() {
+                    next.insert(event);
+                }
+                match admitted {
+                    // Sub-instances carry the full event catalogue, so a
+                    // user's bid list already holds global event ids.
+                    Some(users) => {
+                        for u in users {
+                            next.extend(shards[k].instance().user(u).bids.iter().copied());
+                        }
+                    }
+                    // The repair escalated to a full re-solve and cannot
+                    // say who moved; fall back to the full rescan.
+                    None => rescan_everything = true,
+                }
             }
         }
+        active = if rescan_everything {
+            events.to_vec()
+        } else {
+            next.intersection(&candidates).copied().collect()
+        };
     }
     report
 }
@@ -232,6 +268,63 @@ mod tests {
         // A second pass finds nothing left to move.
         let again = run(&mut shards, &mirror, &owners, &[EventId::new(0)], 3);
         assert_eq!(again.quota_moved, 0);
+    }
+
+    /// Two shards over two global events of capacity 2 each: shard 0
+    /// holds all the quota and no users; shard 1 hosts two bidders (user
+    /// capacity 2, bidding both events) and no quota.
+    fn two_event_setup() -> (Vec<Shard>, Instance, Vec<(usize, UserId)>) {
+        let make = |quota_a: usize, quota_b: usize, users: usize| {
+            let mut b = Instance::builder();
+            let a = b.add_event(quota_a, AttributeVector::empty());
+            let v = b.add_event(quota_b, AttributeVector::empty());
+            for _ in 0..users {
+                b.add_user(2, AttributeVector::empty(), vec![a, v]);
+            }
+            b.interaction_scores(vec![0.5; users]);
+            let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+            Shard::new(
+                instance,
+                Arc::new(NeverConflict),
+                Arc::new(ConstantInterest(0.5)),
+                Arc::new(GreedyArrangement),
+                EngineConfig::default(),
+            )
+        };
+        let shards = vec![make(2, 2, 0), make(0, 0, 2)];
+        let mut b = Instance::builder();
+        let a = b.add_event(2, AttributeVector::empty());
+        let v = b.add_event(2, AttributeVector::empty());
+        for _ in 0..2 {
+            b.add_user(2, AttributeVector::empty(), vec![a, v]);
+        }
+        b.interaction_scores(vec![0.5; 2]);
+        let mirror = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        let owners = vec![(1, UserId::new(0)), (1, UserId::new(1))];
+        (shards, mirror, owners)
+    }
+
+    #[test]
+    fn multi_event_exchange_settles_in_one_round_regardless_of_budget() {
+        // Round 1 moves quota at both events and seats both bidders at
+        // both; the restricted second round re-reads only the touched
+        // events (plus the admitted bidders' bid lists — the same two
+        // events here), finds them fully packed, and stops.
+        let (mut shards, mirror, owners) = two_event_setup();
+        let events = [EventId::new(0), EventId::new(1)];
+        let report = run(&mut shards, &mirror, &owners, &events, 5);
+        assert_eq!(report.rounds_run, 1);
+        assert_eq!(report.contended_events, 2);
+        assert_eq!(report.quota_moved, 4);
+        assert_eq!(report.shard_repairs, 2);
+        assert_eq!(shards[1].load_of(EventId::new(0)), 2);
+        assert_eq!(shards[1].load_of(EventId::new(1)), 2);
+        // Pin that the extra round budget changes nothing: a one-round
+        // budget produces the identical report, so rounds past the first
+        // only pay for the narrowed rescan and never move quota here.
+        let (mut shards1, mirror1, owners1) = two_event_setup();
+        let single = run(&mut shards1, &mirror1, &owners1, &events, 1);
+        assert_eq!(single, report);
     }
 
     #[test]

@@ -12,11 +12,12 @@
 //! between shards (see [`crate::reconcile`]).
 
 use crate::catalog::CatalogSnapshot;
-use igepa_algos::{admit_greedily_with, WarmStart};
+use igepa_algos::{patch_region, ComponentSlots, ComponentState, PatchOps, WarmStart};
 use igepa_core::{
-    Arrangement, CapacityTarget, ConflictFn, CoreError, DeltaEffect, DirtySet, EventId, Instance,
-    InstanceDelta, InterestFn, UserId, UtilityBreakdown, UtilityTracker,
+    Arrangement, ArrangementDiff, CapacityTarget, ConflictFn, CoreError, DeltaEffect, DirtySet,
+    EventId, Instance, InstanceDelta, InterestFn, UserId, UtilityBreakdown, UtilityTracker,
 };
+use igepa_graph::{DenseDisjointSets, DenseInterner};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -146,6 +147,17 @@ pub struct EngineConfig {
     /// durability enabled (ignored otherwise). See [`DurabilityPolicy`]
     /// for the loss window each point of the spectrum accepts.
     pub durability: DurabilityPolicy,
+    /// Worker threads for intra-shard repair: when greater than 1 and the
+    /// dirty set splits into several independent components of the
+    /// repair-interference graph, components are repaired concurrently on
+    /// a scoped pool of up to this many threads (spawns are further
+    /// clamped to the host's available parallelism; on a single-core
+    /// host the split still runs but components repair inline, so set 1
+    /// to skip the split entirely). Exact summation makes the result
+    /// bit-identical to the serial pass regardless of thread count.
+    /// Default 1 (serial), so configs serialized before the knob existed
+    /// deserialize and behave identically.
+    pub repair_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -158,6 +170,7 @@ impl Default for EngineConfig {
             batch_policy: BatchPolicy::Escalation,
             online_cost_calibration: false,
             durability: DurabilityPolicy::Off,
+            repair_threads: 1,
         }
     }
 }
@@ -203,6 +216,10 @@ impl serde::Deserialize for EngineConfig {
             durability: match entries.iter().find(|(name, _)| name == "durability") {
                 Some((_, policy)) => serde::Deserialize::from_value(policy)?,
                 None => DurabilityPolicy::default(),
+            },
+            repair_threads: match entries.iter().find(|(name, _)| name == "repair_threads") {
+                Some((_, threads)) => serde::Deserialize::from_value(threads)?,
+                None => 1,
             },
         })
     }
@@ -375,6 +392,27 @@ pub struct Shard {
     ewma_patch_ns: Option<f64>,
     /// EWMA of measured cold-solve cost per bid unit (ns).
     ewma_solve_ns: Option<f64>,
+    /// Net arrangement edits since the last [`Shard::take_view_diff`]:
+    /// `Some` while every mutation since then was recorded pair by pair
+    /// (so a consumer's stale copy can be patched in O(changed)), `None`
+    /// after a wholesale replacement (full re-solve, batch solve,
+    /// staleness adoption) forced a full resync — or when no consumer
+    /// ever armed the recorder (the monolithic engine), which keeps the
+    /// recording free off the serving path.
+    view_ops: Option<ArrangementDiff>,
+    /// Users admitted by the most recent greedy patch (`None` after a
+    /// full re-solve, where the admitted set is unknown). Consumed by
+    /// [`Shard::apply_quotas`] so the reconciler can restrict its next
+    /// round to events those users bid on.
+    last_repair_admitted: Option<Vec<UserId>>,
+    /// Reusable scratch of the component-parallel repair path: interns
+    /// interference-graph node keys to dense union-find ids. Epoch-reset
+    /// per repair, so the split stays O(changed) per round.
+    node_interner: DenseInterner,
+    /// Reusable scratch of the component-parallel repair path: dense
+    /// slot tables giving every [`ComponentState`] sandbox O(1) global
+    /// id → local row lookups on the repair hot path.
+    component_slots: ComponentSlots,
 }
 
 /// EWMA smoothing factor of the online cost estimates: heavy enough to
@@ -410,6 +448,10 @@ impl Shard {
             catalog_epoch: 0,
             ewma_patch_ns: None,
             ewma_solve_ns: None,
+            view_ops: None,
+            last_repair_admitted: None,
+            node_interner: DenseInterner::default(),
+            component_slots: ComponentSlots::default(),
         };
         shard.arrangement = shard.next_solve(None);
         shard.tracker = UtilityTracker::rebuild(&shard.instance, &shard.arrangement);
@@ -447,7 +489,31 @@ impl Shard {
             catalog_epoch: resume.catalog_epoch,
             ewma_patch_ns: None,
             ewma_solve_ns: None,
+            view_ops: None,
+            last_repair_admitted: None,
+            node_interner: DenseInterner::default(),
+            component_slots: ComponentSlots::default(),
         }
+    }
+
+    /// Hands out the net arrangement edits recorded since the previous
+    /// call and re-arms the recorder at the current state.
+    ///
+    /// `None` means a wholesale arrangement replacement happened (or the
+    /// recorder was never armed): the caller must resync with a full
+    /// snapshot — which, combined with the re-arming here, makes the next
+    /// call's diff valid against that snapshot. This is the hook the
+    /// transport's per-shard workers use to ship O(changed) view diffs to
+    /// the coordinator's query cache instead of O(pairs) snapshots; it is
+    /// public so external read-view maintainers (and the benchmarks) can
+    /// drive the same protocol.
+    pub fn take_view_diff(&mut self) -> Option<ArrangementDiff> {
+        let taken = self.view_ops.take();
+        self.view_ops = Some(ArrangementDiff::new(
+            self.instance.num_events(),
+            self.instance.num_users(),
+        ));
+        taken
     }
 
     /// The incrementally maintained utility tracker. The transport's
@@ -546,7 +612,16 @@ impl Shard {
     /// then runs one repair pass over the dirtied events. Unlike
     /// [`Shard::apply`] this does not count as external deltas — quota
     /// movement is internal bookkeeping of the sharded engine.
-    pub fn apply_quotas(&mut self, changes: &[(EventId, usize)]) -> RepairKind {
+    ///
+    /// Besides the repair kind, reports the users the repair admitted —
+    /// `Some(users)` (possibly empty) after an incremental patch, `None`
+    /// after a full re-solve where the admitted set is unknown. The
+    /// reconciler uses this to rescan only the events whose demand could
+    /// have changed.
+    pub fn apply_quotas(
+        &mut self,
+        changes: &[(EventId, usize)],
+    ) -> (RepairKind, Option<Vec<UserId>>) {
         for &(event, quota) in changes {
             self.instance
                 .apply_delta(
@@ -563,7 +638,8 @@ impl Shard {
         }
         let repair = self.repair();
         self.debug_check_tracker();
-        repair
+        let admitted = self.last_repair_admitted.take();
+        (repair, admitted)
     }
 
     /// Applies one delta and repairs the served arrangement.
@@ -676,6 +752,9 @@ impl Shard {
             Ok(effect) => {
                 self.arrangement
                     .grow(self.instance.num_events(), self.instance.num_users());
+                if let Some(diff) = self.view_ops.as_mut() {
+                    diff.grow(self.instance.num_events(), self.instance.num_users());
+                }
                 self.absorb_score_changes(&effect);
                 self.dirty.absorb(&effect);
                 self.stats.deltas_applied += 1;
@@ -745,6 +824,9 @@ impl Shard {
             .expect("catalogue snapshots cover the announced event");
         self.arrangement
             .grow(self.instance.num_events(), self.instance.num_users());
+        if let Some(diff) = self.view_ops.as_mut() {
+            diff.grow(self.instance.num_events(), self.instance.num_users());
+        }
         self.dirty.absorb(&effect);
         self.stats.deltas_applied += 1;
         self.catalog_epoch = snapshot.epoch();
@@ -849,6 +931,8 @@ impl Shard {
                     .then(std::time::Instant::now);
                 self.arrangement = self.next_solve(None);
                 self.tracker = UtilityTracker::rebuild(&self.instance, &self.arrangement);
+                self.view_ops = None;
+                self.last_repair_admitted = None;
                 if let Some(started) = started {
                     observe_cost(&mut self.ewma_solve_ns, started.elapsed(), solve_units);
                 }
@@ -885,6 +969,7 @@ impl Shard {
 
     fn repair(&mut self) -> RepairKind {
         if self.dirty.is_empty() {
+            self.last_repair_admitted = Some(Vec::new());
             return RepairKind::Untouched;
         }
         let threshold =
@@ -897,6 +982,8 @@ impl Shard {
             self.arrangement = self.next_solve(Some(&previous));
             self.tracker = UtilityTracker::rebuild(&self.instance, &self.arrangement);
             self.stats.full_resolves += 1;
+            self.view_ops = None;
+            self.last_repair_admitted = None;
             RepairKind::FullResolve
         } else if self.config.online_cost_calibration {
             let units = self.patch_units();
@@ -913,82 +1000,217 @@ impl Shard {
 
     /// Local repair: prune dirty users' assignments, evict overflow at
     /// dirty events, then greedily re-admit the heaviest feasible
-    /// candidate pairs around the dirty set. Every mutation flows through
-    /// the utility tracker, so scoring stays O(changed pairs) and no
-    /// post-repair re-scan is ever needed.
+    /// candidate pairs around the dirty set — the shared
+    /// [`patch_region`] kernel, run serially on the arrangement or
+    /// split into independent components repaired concurrently (see
+    /// [`Shard::patch_components`]). The recorded ops then drive the
+    /// utility tracker and the view-diff recorder; exact summation makes
+    /// the post-hoc tracker replay bit-identical to inline tracking, so
+    /// scoring stays O(changed pairs) and no post-repair re-scan is ever
+    /// needed.
     fn greedy_patch(&mut self) -> RepairKind {
-        let mut pruned = 0usize;
-
-        // Re-seat every dirty user from scratch: removing all their pairs
-        // and re-adding greedily uniformly handles revoked bids, shrunk
-        // user capacities and conflict structure around new assignments.
         let dirty_users: Vec<UserId> = self.dirty.users.iter().copied().collect();
-        for &u in &dirty_users {
-            let removed = self.arrangement.remove_user_assignments(u);
-            for &v in &removed {
-                self.tracker.on_unassign(&self.instance, v, u);
-            }
-            pruned += removed.len();
-        }
-
-        // Evict overflow at dirty events (capacity may have shrunk),
-        // dropping the lightest attendees first. Attendee listing is an
-        // O(load) borrow of the reverse index (it used to scan every
-        // user of the sub-instance per dirty event).
         let dirty_events: Vec<EventId> = self.dirty.events.iter().copied().collect();
-        let mut evicted_users: BTreeSet<UserId> = BTreeSet::new();
-        for &v in &dirty_events {
-            let capacity = self.instance.event(v).capacity;
-            if self.arrangement.load_of(v) <= capacity {
-                continue;
+        let ops = if self.config.repair_threads > 1 {
+            self.patch_components(&dirty_users, &dirty_events)
+        } else {
+            patch_region(
+                &self.instance,
+                &mut self.arrangement,
+                &dirty_users,
+                &dirty_events,
+            )
+        };
+
+        for &(v, u) in &ops.removed {
+            self.tracker.on_unassign(&self.instance, v, u);
+        }
+        for &(v, u) in &ops.added {
+            self.tracker.on_assign(&self.instance, v, u);
+        }
+        if let Some(diff) = self.view_ops.as_mut() {
+            for &(v, u) in &ops.removed {
+                diff.record_unassign(v, u);
             }
-            let mut attendees: Vec<(f64, UserId)> = self
-                .arrangement
-                .users_of(v)
-                .iter()
-                .map(|&u| (self.instance.weight(v, u), u))
-                .collect();
-            attendees.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.1.cmp(&b.1))
-            });
-            let overflow = self.arrangement.load_of(v) - capacity;
-            for &(_, u) in attendees.iter().take(overflow) {
-                self.arrangement.unassign(v, u);
-                self.tracker.on_unassign(&self.instance, v, u);
-                evicted_users.insert(u);
-                pruned += 1;
+            for &(v, u) in &ops.added {
+                diff.record_assign(v, u);
             }
         }
+        let mut admitted: Vec<UserId> = ops.added.iter().map(|&(_, u)| u).collect();
+        admitted.sort_unstable();
+        admitted.dedup();
+        self.last_repair_admitted = Some(admitted);
 
-        // Candidate pairs: dirty users × their bids, dirty events × their
-        // bidders, and every bid of a user evicted above (they may fit
-        // elsewhere).
-        let mut candidates: BTreeSet<(EventId, UserId)> = BTreeSet::new();
-        for &u in dirty_users.iter().chain(evicted_users.iter()) {
-            for &v in &self.instance.user(u).bids {
-                candidates.insert((v, u));
-            }
-        }
-        for &v in &dirty_events {
-            for &u in &self.instance.event(v).bidders {
-                candidates.insert((v, u));
-            }
-        }
-
-        let (instance, arrangement, tracker) =
-            (&self.instance, &mut self.arrangement, &mut self.tracker);
-        let added = admit_greedily_with(instance, arrangement, candidates, |v, u| {
-            tracker.on_assign(instance, v, u)
-        });
-
-        if pruned == 0 && added == 0 {
+        if ops.is_empty() {
             RepairKind::Untouched
         } else {
             self.stats.greedy_patches += 1;
-            RepairKind::GreedyPatch { pruned, added }
+            RepairKind::GreedyPatch {
+                pruned: ops.removed.len(),
+                added: ops.added.len(),
+            }
         }
+    }
+
+    /// Splits the dirty set into independent connected components of the
+    /// repair-interference graph and repairs them concurrently, each in
+    /// an extracted [`ComponentState`] sandbox, replaying the merged ops
+    /// onto the real arrangement.
+    ///
+    /// Two entities interfere when one repair step can touch both: a
+    /// dirty user with their bids and current events, a dirty event with
+    /// its bidders and attendees, and each attendee of a dirty event
+    /// with their own bids (eviction may re-seat them anywhere they
+    /// bid). Components of this graph read and write disjoint rows, so
+    /// per-component repair reproduces the serial pass exactly — the
+    /// serial candidate ordering restricted to a component preserves
+    /// relative order, and cross-component candidates share no
+    /// feasibility state. Components are merged in ascending order of
+    /// their smallest member, keeping the recorded op list deterministic.
+    fn patch_components(&mut self, dirty_users: &[UserId], dirty_events: &[EventId]) -> PatchOps {
+        // Node keys: users as 2k, events as 2k + 1. Keys are interned to
+        // dense union-find ids as the graph is traversed, so the split
+        // never pays a per-edge key lookup.
+        fn user_key(u: UserId) -> usize {
+            u.index() << 1
+        }
+        fn event_key(v: EventId) -> usize {
+            (v.index() << 1) | 1
+        }
+        fn intern(interner: &mut DenseInterner, keys: &mut Vec<usize>, key: usize) -> u32 {
+            let before = interner.len();
+            let id = interner.intern(key);
+            if interner.len() != before {
+                keys.push(key);
+            }
+            id
+        }
+
+        let instance = &self.instance;
+        let arrangement = &self.arrangement;
+        let interner = &mut self.node_interner;
+        interner.begin(2 * instance.num_users().max(instance.num_events()));
+        // Original key per dense id, in discovery order.
+        let mut keys: Vec<usize> = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for &u in dirty_users {
+            let a = intern(interner, &mut keys, user_key(u));
+            for &v in &instance.user(u).bids {
+                edges.push((a, intern(interner, &mut keys, event_key(v))));
+            }
+            for &v in arrangement.events_of(u) {
+                edges.push((a, intern(interner, &mut keys, event_key(v))));
+            }
+        }
+        for &v in dirty_events {
+            let a = intern(interner, &mut keys, event_key(v));
+            for &u in &instance.event(v).bidders {
+                edges.push((a, intern(interner, &mut keys, user_key(u))));
+            }
+            for &u in arrangement.users_of(v) {
+                let b = intern(interner, &mut keys, user_key(u));
+                edges.push((a, b));
+                for &w in &instance.user(u).bids {
+                    edges.push((b, intern(interner, &mut keys, event_key(w))));
+                }
+            }
+        }
+        let mut sets = DenseDisjointSets::new(keys.len());
+        for &(a, b) in &edges {
+            sets.union(a, b);
+        }
+        let dense_components = sets.components();
+        if dense_components.len() < 2 {
+            return patch_region(
+                &self.instance,
+                &mut self.arrangement,
+                dirty_users,
+                dirty_events,
+            );
+        }
+
+        // Map dense ids back to keys and restore the deterministic
+        // ordering contract: members ascending, components by smallest
+        // member.
+        let mut components: Vec<Vec<usize>> = dense_components
+            .into_iter()
+            .map(|c| {
+                let mut members: Vec<usize> = c.into_iter().map(|i| keys[i as usize]).collect();
+                members.sort_unstable();
+                members
+            })
+            .collect();
+        components.sort_unstable_by_key(|c| c[0]);
+
+        let dirty_user_set: BTreeSet<UserId> = dirty_users.iter().copied().collect();
+        let dirty_event_set: BTreeSet<EventId> = dirty_events.iter().copied().collect();
+        let slots = &mut self.component_slots;
+        slots.begin(instance.num_events(), instance.num_users());
+        // (users, events, dirty users, dirty events) per component; row
+        // extraction happens inside the parallel jobs, which only borrow
+        // the arrangement and the slot tables.
+        let mut regions: Vec<(Vec<UserId>, Vec<EventId>, Vec<UserId>, Vec<EventId>)> =
+            Vec::with_capacity(components.len());
+        for component in &components {
+            let mut users: Vec<UserId> = Vec::new();
+            let mut events: Vec<EventId> = Vec::new();
+            for &key in component {
+                if key & 1 == 0 {
+                    users.push(UserId::new(key >> 1));
+                } else {
+                    events.push(EventId::new(key >> 1));
+                }
+            }
+            let component_users: Vec<UserId> = users
+                .iter()
+                .copied()
+                .filter(|u| dirty_user_set.contains(u))
+                .collect();
+            let component_events: Vec<EventId> = events
+                .iter()
+                .copied()
+                .filter(|v| dirty_event_set.contains(v))
+                .collect();
+            if component_users.is_empty() && component_events.is_empty() {
+                continue;
+            }
+            for &u in &users {
+                slots.push_user(u);
+            }
+            for &v in &events {
+                slots.push_event(v);
+            }
+            regions.push((users, events, component_users, component_events));
+        }
+        let slots = &self.component_slots;
+        let jobs: Vec<_> = regions
+            .into_iter()
+            .map(|(users, events, component_users, component_events)| {
+                move || {
+                    let mut state = ComponentState::extract(
+                        arrangement,
+                        slots,
+                        &users,
+                        &events,
+                        &component_events,
+                    );
+                    patch_region(instance, &mut state, &component_users, &component_events)
+                }
+            })
+            .collect();
+        let mut ops = PatchOps::default();
+        for component_ops in scoped_pool::run_scoped(self.config.repair_threads, jobs) {
+            ops.extend(component_ops);
+        }
+        for &(v, u) in &ops.removed {
+            let was_present = self.arrangement.unassign(v, u);
+            debug_assert!(was_present, "component removed a pair the shard lacks");
+        }
+        for &(v, u) in &ops.added {
+            let was_absent = self.arrangement.assign(v, u);
+            debug_assert!(was_absent, "component added a pair the shard already holds");
+        }
+        ops
     }
 
     /// Runs the staleness check when at least
@@ -1031,6 +1253,7 @@ impl Shard {
         if served_utility < (1.0 - self.config.max_staleness) * cold_utility {
             self.arrangement = cold;
             self.tracker = UtilityTracker::rebuild(&self.instance, &self.arrangement);
+            self.view_ops = None;
             self.stats.staleness_resolves += 1;
             true
         } else {
@@ -1096,8 +1319,9 @@ mod tests {
         assert_eq!(shard.load_of(EventId::new(0)), 2);
         assert_eq!(shard.unmet_demand(EventId::new(0)), 1);
         // Raising the quota seats the remaining bidder.
-        let repair = shard.apply_quotas(&[(EventId::new(0), 3)]);
+        let (repair, admitted) = shard.apply_quotas(&[(EventId::new(0), 3)]);
         assert!(matches!(repair, RepairKind::GreedyPatch { added: 1, .. }));
+        assert_eq!(admitted.as_deref().map(<[UserId]>::len), Some(1));
         assert_eq!(shard.load_of(EventId::new(0)), 3);
         assert_eq!(shard.unmet_demand(EventId::new(0)), 0);
         assert_eq!(shard.stats().quota_updates, 1);
@@ -1174,10 +1398,13 @@ mod tests {
         assert_eq!(config.batch_policy, BatchPolicy::Escalation);
         assert!(!config.online_cost_calibration);
         assert_eq!(config.durability, DurabilityPolicy::Off);
+        // Configs from before the repair-threads knob behave serially.
+        assert_eq!(config.repair_threads, 1);
         // And the current format round-trips.
         let current = EngineConfig {
             batch_policy: BatchPolicy::cost_model(),
             durability: DurabilityPolicy::EveryN { n: 16 },
+            repair_threads: 4,
             ..EngineConfig::default()
         };
         let json = serde_json::to_string(&current).unwrap();

@@ -67,7 +67,9 @@ use crate::protocol::{
 };
 use crate::service::{applied_response, dispatch_envelope, EngineBackend, EngineService};
 use crate::shard::{ApplyOutcome, EngineStats, Shard};
-use igepa_core::{CapacityTarget, InstanceDelta, UserId, UtilityBreakdown, UtilityTracker};
+use igepa_core::{
+    ArrangementDiff, CapacityTarget, InstanceDelta, UserId, UtilityBreakdown, UtilityTracker,
+};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -406,6 +408,45 @@ impl ShardView {
     }
 }
 
+/// A [`ShardView`] shipped as a **diff** against the view the cache
+/// already holds: full replacement metadata (all O(1) to produce) plus
+/// the net pair edits of the repair ([`ArrangementDiff`]), instead of an
+/// O(shard pairs) arrangement clone. The worker records the edits as the
+/// repair makes them, so producing the delta is O(changed); the cache
+/// replays them onto its installed snapshot in place. `parent_epoch`
+/// names the view the diff applies on top of — the chain is unbroken by
+/// construction (single dispatcher writer, worker resync on every
+/// barrier resume), and a full [`ShardView`] remains the fallback
+/// whenever the worker cannot vouch for the chain (first apply after a
+/// resume with a discarded recorder, full re-solves, batch solves).
+struct ViewDelta {
+    /// Epoch of the installed view this diff extends.
+    parent_epoch: u64,
+    /// Epoch of the view after applying this diff.
+    epoch: u64,
+    /// Users owned by the shard (replacement value).
+    users: usize,
+    /// Pairs the shard serves after the apply (replacement value).
+    pairs: usize,
+    /// Post-apply utility breakdown (replacement value).
+    breakdown: UtilityBreakdown,
+    /// Post-apply exact-sum accumulators (replacement value).
+    tracker: UtilityTracker,
+    /// Post-apply repair-loop counters (replacement value).
+    stats: EngineStats,
+    /// Net pair edits since the parent view.
+    diff: ArrangementDiff,
+}
+
+/// How a worker ships its post-apply read-state to the query cache:
+/// a full snapshot or a diff against the previously shipped view.
+enum ViewUpdate {
+    /// Replace the installed view wholesale (resync fallback).
+    Full(Box<ShardView>),
+    /// Patch the installed view in place (the O(changed) hot path).
+    Diff(Box<ViewDelta>),
+}
+
 /// The coordinator-side query cache: per-shard views plus the mirror's
 /// rejection count, shared between the dispatcher (sole writer) and
 /// every connection thread (readers). Aggregate queries are answered
@@ -453,13 +494,41 @@ impl QueryCache {
     /// Installs one shard's post-apply view (the per-completion hot
     /// path), extending the owner table by any users registered since
     /// the last install (`owners` is the coordinator's current table).
-    fn install(&self, shard: usize, view: ShardView, rejected: u64, owners: &[(usize, UserId)]) {
+    ///
+    /// A [`ViewUpdate::Diff`] patches the installed view in place —
+    /// replacement metadata plus an [`ArrangementDiff`] replay onto the
+    /// cached snapshot — so the write-lock hold is O(changed), not
+    /// O(shard pairs). The snapshot `Arc` is mutated through
+    /// [`Arc::make_mut`]: unique in steady state (in-place patch), and a
+    /// reader still holding the old buffer mid-answer just forces one
+    /// fresh clone, exactly like the old double-buffer scheme.
+    fn install(&self, shard: usize, update: ViewUpdate, rejected: u64, owners: &[(usize, UserId)]) {
         let mut inner = self.inner.write().expect("query cache poisoned");
-        debug_assert!(
-            view.epoch >= inner.views[shard].epoch,
-            "views are monotonic"
-        );
-        inner.views[shard] = view;
+        match update {
+            ViewUpdate::Full(view) => {
+                debug_assert!(
+                    view.epoch >= inner.views[shard].epoch,
+                    "views are monotonic"
+                );
+                inner.views[shard] = *view;
+            }
+            ViewUpdate::Diff(delta) => {
+                let view = &mut inner.views[shard];
+                debug_assert_eq!(
+                    view.epoch, delta.parent_epoch,
+                    "a view diff must extend the installed view (shard {shard})"
+                );
+                if view.epoch == delta.parent_epoch {
+                    Arc::make_mut(&mut view.assignments).apply_diff(&delta.diff);
+                }
+                view.epoch = delta.epoch;
+                view.users = delta.users;
+                view.pairs = delta.pairs;
+                view.breakdown = delta.breakdown;
+                view.tracker = delta.tracker;
+                view.stats = delta.stats;
+            }
+        }
         inner.rejected = rejected;
         if owners.len() > inner.owners.len() {
             let from = inner.owners.len();
@@ -660,8 +729,9 @@ enum ServerMsg {
     Completion {
         shard: usize,
         outcome: ApplyOutcome,
-        /// The shard's post-apply read-state, for the query cache.
-        view: Box<ShardView>,
+        /// The shard's post-apply read-state, for the query cache —
+        /// usually a diff against the previously shipped view.
+        view: ViewUpdate,
         envelope_id: u64,
         reply: Sender<String>,
     },
@@ -1057,7 +1127,7 @@ impl ShardDispatcher {
                     view,
                     envelope_id,
                     reply,
-                } => self.on_completion(shard, outcome, *view, envelope_id, reply, &queue),
+                } => self.on_completion(shard, outcome, view, envelope_id, reply, &queue),
                 ServerMsg::Shutdown => break,
             }
         }
@@ -1268,7 +1338,7 @@ impl ShardDispatcher {
         &mut self,
         shard: usize,
         outcome: ApplyOutcome,
-        view: ShardView,
+        view: ViewUpdate,
         envelope_id: u64,
     ) -> ResponseEnvelope {
         self.pending -= 1;
@@ -1304,7 +1374,7 @@ impl ShardDispatcher {
         &mut self,
         shard: usize,
         outcome: ApplyOutcome,
-        view: ShardView,
+        view: ViewUpdate,
         envelope_id: u64,
         reply: &Sender<String>,
     ) {
@@ -1316,7 +1386,7 @@ impl ShardDispatcher {
         &mut self,
         shard: usize,
         outcome: ApplyOutcome,
-        view: ShardView,
+        view: ViewUpdate,
         envelope_id: u64,
         reply: Sender<String>,
         queue: &Receiver<ServerMsg>,
@@ -1355,7 +1425,7 @@ impl ShardDispatcher {
                     view,
                     envelope_id,
                     reply,
-                } => self.complete_apply(shard, outcome, *view, envelope_id, &reply),
+                } => self.complete_apply(shard, outcome, view, envelope_id, &reply),
                 msg => self.backlog.push_back(msg),
             }
         }
@@ -1431,14 +1501,16 @@ fn spawn_worker(
     let (tx, rx) = mpsc::channel::<WorkerMsg>();
     let join = thread::spawn(move || {
         let mut slot = Some(shard);
-        // Double-buffered assignment snapshots for the query cache: the
-        // buffer NOT currently installed in the cache is uniquely owned
-        // again by the time the next apply completes, so its allocations
-        // are reused via `clone_from` — steady-state snapshotting is pure
-        // memcpy, no allocator traffic. A reader still holding the old
-        // buffer (mid-answer) just forces one fresh clone.
-        let mut snapshots: [Option<Arc<igepa_core::Arrangement>>; 2] = [None, None];
-        let mut flip = 0usize;
+        // Arm the shard's pair-edit recorder so the next apply can ship
+        // its view as a diff, and remember which view epoch the cache
+        // holds for this shard: the coordinator installed a full view of
+        // exactly this state (`QueryCache::from_engine`) before the shard
+        // was detached. Every shipped update extends that chain.
+        let mut last_view_epoch = {
+            let shard = slot.as_mut().expect("spawned with a shard");
+            let _ = shard.take_view_diff();
+            shard.stats().deltas_applied
+        };
         while let Ok(msg) = rx.recv() {
             match msg {
                 WorkerMsg::Apply {
@@ -1455,30 +1527,36 @@ fn spawn_worker(
                         )
                     });
                     // Read-state for the coordinator's query cache,
-                    // computed here (the breakdown is the apply's own O(1)
-                    // tracker read; the assignment snapshot reuses the
-                    // off-cache buffer) so readers never barrier.
-                    flip ^= 1;
-                    let reused = snapshots[flip].as_mut().and_then(|buffer| {
-                        let unique = Arc::get_mut(buffer)?;
-                        unique.clone_from(shard.arrangement());
-                        Some(Arc::clone(buffer))
-                    });
-                    let assignments = reused.unwrap_or_else(|| {
-                        let fresh = Arc::new(shard.arrangement().clone());
-                        snapshots[flip] = Some(Arc::clone(&fresh));
-                        fresh
-                    });
+                    // computed here so readers never barrier. The repair
+                    // recorded its net pair edits, so the common case
+                    // ships an O(changed) diff; a repair that rebuilt the
+                    // arrangement wholesale (full re-solve, batch solve)
+                    // disarmed the recorder and ships a full snapshot,
+                    // re-syncing the chain.
                     let stats = *shard.stats();
-                    let view = Box::new(ShardView {
-                        epoch: stats.deltas_applied,
-                        users: shard.instance().num_users(),
-                        pairs: shard.arrangement().len(),
-                        breakdown,
-                        tracker: shard.tracker().clone(),
-                        stats,
-                        assignments,
-                    });
+                    let epoch = stats.deltas_applied;
+                    let view = match shard.take_view_diff() {
+                        Some(diff) => ViewUpdate::Diff(Box::new(ViewDelta {
+                            parent_epoch: last_view_epoch,
+                            epoch,
+                            users: shard.instance().num_users(),
+                            pairs: shard.arrangement().len(),
+                            breakdown,
+                            tracker: shard.tracker().clone(),
+                            stats,
+                            diff,
+                        })),
+                        None => ViewUpdate::Full(Box::new(ShardView {
+                            epoch,
+                            users: shard.instance().num_users(),
+                            pairs: shard.arrangement().len(),
+                            breakdown,
+                            tracker: shard.tracker().clone(),
+                            stats,
+                            assignments: Arc::new(shard.arrangement().clone()),
+                        })),
+                    };
+                    last_view_epoch = epoch;
                     if completion_tx
                         .send(ServerMsg::Completion {
                             shard: k,
@@ -1498,7 +1576,18 @@ fn spawn_worker(
                         break;
                     }
                 }
-                WorkerMsg::Resume(shard) => slot = Some(*shard),
+                WorkerMsg::Resume(shard) => {
+                    slot = Some(*shard);
+                    // The coordinator may have mutated the shard at the
+                    // barrier (reconcile, broadcasts, batches) and always
+                    // refreshes the cache with full views before handing
+                    // shards back: discard whatever the recorder caught
+                    // coordinator-side (re-arming it) and restart the
+                    // diff chain from the freshly installed epoch.
+                    let shard = slot.as_mut().expect("just resumed");
+                    let _ = shard.take_view_diff();
+                    last_view_epoch = shard.stats().deltas_applied;
+                }
                 WorkerMsg::Shutdown => break,
             }
         }
@@ -2061,6 +2150,200 @@ mod tests {
         );
         assert_eq!(restored.stats(), engine.stats());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Builds a single-view cache seeded from the shard's current state,
+    /// the way `spawn_worker`'s dispatcher-side counterpart starts out.
+    fn cache_over(shard: &Shard) -> QueryCache {
+        QueryCache {
+            inner: RwLock::new(CacheInner {
+                views: vec![ShardView::of(shard)],
+                rejected: 0,
+                owners: Vec::new(),
+                capacities: Vec::new(),
+            }),
+        }
+    }
+
+    /// Ships the shard's post-apply read state exactly like the worker
+    /// loop does: a [`ViewUpdate::Diff`] whenever the recorder is armed,
+    /// a full [`ShardView`] otherwise. Returns the update plus whether it
+    /// took the diff path.
+    fn ship_update(shard: &mut Shard, parent_epoch: u64) -> (ViewUpdate, bool) {
+        let stats = *shard.stats();
+        let epoch = stats.deltas_applied;
+        match shard.take_view_diff() {
+            Some(diff) => (
+                ViewUpdate::Diff(Box::new(ViewDelta {
+                    parent_epoch,
+                    epoch,
+                    users: shard.instance().num_users(),
+                    pairs: shard.arrangement().len(),
+                    breakdown: shard.utility_breakdown(),
+                    tracker: shard.tracker().clone(),
+                    stats,
+                    diff,
+                })),
+                true,
+            ),
+            None => (ViewUpdate::Full(Box::new(ShardView::of(shard))), false),
+        }
+    }
+
+    fn assert_views_bit_identical(diffed: &ShardView, full: &ShardView) {
+        assert_eq!(diffed.epoch, full.epoch);
+        assert_eq!(diffed.users, full.users);
+        assert_eq!(diffed.pairs, full.pairs);
+        assert_eq!(
+            diffed.breakdown.total.to_bits(),
+            full.breakdown.total.to_bits()
+        );
+        assert_eq!(
+            diffed.breakdown.interest_sum.to_bits(),
+            full.breakdown.interest_sum.to_bits()
+        );
+        assert_eq!(
+            diffed.breakdown.interaction_sum.to_bits(),
+            full.breakdown.interaction_sum.to_bits()
+        );
+        assert_eq!(diffed.stats, full.stats);
+        assert_eq!(*diffed.assignments, *full.assignments);
+    }
+
+    #[test]
+    fn greedy_patch_applies_ship_diffs_and_patch_the_cached_view() {
+        // AddUser applies take the greedy-patch path, so after the worker
+        // arms the recorder every one of them must ship a diff — and the
+        // diff-patched cache view must equal a fresh full snapshot.
+        let mut shard = Shard::new(
+            base_instance(3, 4),
+            Arc::new(NeverConflict),
+            Arc::new(ConstantInterest(0.5)),
+            Arc::new(GreedyArrangement),
+            EngineConfig::default(),
+        );
+        let cache = cache_over(&shard);
+        let _ = shard.take_view_diff();
+        let mut parent_epoch = shard.stats().deltas_applied;
+        for i in 0..10 {
+            shard
+                .apply(&InstanceDelta::AddUser {
+                    capacity: 1,
+                    attrs: AttributeVector::empty(),
+                    bids: vec![EventId::new(i % 3)],
+                    interaction: 0.5,
+                })
+                .unwrap();
+            let (update, was_diff) = ship_update(&mut shard, parent_epoch);
+            assert!(was_diff, "greedy-patch apply {i} shipped a full snapshot");
+            parent_epoch = shard.stats().deltas_applied;
+            cache.install(0, update, 0, &[]);
+            let installed = cache.inner.read().unwrap().views[0].clone();
+            assert_views_bit_identical(&installed, &ShardView::of(&shard));
+        }
+    }
+
+    /// Resolves raw numbers into an always-valid delta against the
+    /// shard's evolving population (the `proptest_engine` idiom).
+    fn resolve_raw(kind: u8, a: usize, b: usize, score: f64, instance: &Instance) -> InstanceDelta {
+        let num_events = instance.num_events();
+        let num_users = instance.num_users();
+        match kind {
+            0 => InstanceDelta::AddUser {
+                capacity: 1 + a % 3,
+                attrs: AttributeVector::empty(),
+                bids: if num_events == 0 {
+                    Vec::new()
+                } else {
+                    vec![EventId::new(a % num_events), EventId::new(b % num_events)]
+                },
+                interaction: score,
+            },
+            1 if num_users > 0 => InstanceDelta::RemoveUser {
+                user: UserId::new(a % num_users),
+            },
+            2 => InstanceDelta::AddEvent {
+                capacity: 1 + b % 4,
+                attrs: AttributeVector::empty(),
+            },
+            3 if num_events > 0 && b.is_multiple_of(2) => InstanceDelta::UpdateCapacity {
+                target: CapacityTarget::Event(EventId::new(a % num_events)),
+                capacity: b % 5,
+            },
+            3 | 4 if num_users > 0 => {
+                if kind == 3 {
+                    InstanceDelta::UpdateCapacity {
+                        target: CapacityTarget::User(UserId::new(a % num_users)),
+                        capacity: b % 4,
+                    }
+                } else {
+                    InstanceDelta::UpdateBids {
+                        user: UserId::new(a % num_users),
+                        bids: if num_events == 0 {
+                            Vec::new()
+                        } else {
+                            vec![EventId::new(b % num_events)]
+                        },
+                    }
+                }
+            }
+            5 if num_users > 0 => InstanceDelta::UpdateInteractionScore {
+                user: UserId::new(a % num_users),
+                score,
+            },
+            _ => InstanceDelta::AddEvent {
+                capacity: 1 + b % 4,
+                attrs: AttributeVector::empty(),
+            },
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// The tentpole cache pin: under arbitrary valid delta sequences
+        /// — greedy patches (diff path), full re-solves and wholesale
+        /// rebuilds (snapshot fallback), user churn, capacity and bid
+        /// edits — a cache fed the worker's real mix of diffs and
+        /// snapshots holds, after every single install, exactly the view
+        /// a clone_from-style full snapshot would have installed: same
+        /// epoch, same counters, utility breakdown bit for bit, and the
+        /// patched assignment snapshot equal to the shard's arrangement.
+        #[test]
+        fn diff_applied_views_equal_full_snapshots_bit_for_bit(
+            raws in proptest::collection::vec(
+                (0u8..6, 0usize..64, 0usize..64, 0.0f64..=1.0),
+                1..40,
+            ),
+            seed in 0u64..50,
+        ) {
+            let mut shard = Shard::new(
+                base_instance(3, 4),
+                Arc::new(NeverConflict),
+                Arc::new(ConstantInterest(0.5)),
+                Arc::new(GreedyArrangement),
+                EngineConfig {
+                    seed,
+                    staleness_check_interval: 8,
+                    ..EngineConfig::default()
+                },
+            );
+            let diff_fed = cache_over(&shard);
+            let snapshot_fed = cache_over(&shard);
+            let _ = shard.take_view_diff();
+            let mut parent_epoch = shard.stats().deltas_applied;
+            for &(kind, a, b, score) in &raws {
+                let delta = resolve_raw(kind, a, b, score, shard.instance());
+                proptest::prop_assert!(shard.apply(&delta).is_ok());
+                let (update, _) = ship_update(&mut shard, parent_epoch);
+                parent_epoch = shard.stats().deltas_applied;
+                diff_fed.install(0, update, 0, &[]);
+                snapshot_fed.install(0, ViewUpdate::Full(Box::new(ShardView::of(&shard))), 0, &[]);
+                let diffed = diff_fed.inner.read().unwrap().views[0].clone();
+                let full = snapshot_fed.inner.read().unwrap().views[0].clone();
+                assert_views_bit_identical(&diffed, &full);
+            }
+        }
     }
 
     #[test]

@@ -274,7 +274,12 @@ fn scaled_clustered(settings: &ExperimentSettings) -> ClusteredConfig {
 /// Builds the sharded engine used by the study and the benches: locality
 /// partitioning over the conflict graph, periodic reconciliation, and the
 /// same repair knobs as [`serving_engine`].
-pub fn sharded_serving_engine(instance: Instance, seed: u64, shards: usize) -> ShardedEngine {
+pub fn sharded_serving_engine(
+    instance: Instance,
+    seed: u64,
+    shards: usize,
+    repair_threads: usize,
+) -> ShardedEngine {
     let partitioner = LocalityPartitioner::from_instance(&instance, shards);
     ShardedEngine::new(
         instance,
@@ -288,6 +293,7 @@ pub fn sharded_serving_engine(instance: Instance, seed: u64, shards: usize) -> S
                 seed,
                 staleness_check_interval: 128,
                 max_staleness: 0.05,
+                repair_threads: repair_threads.max(1),
                 ..EngineConfig::default()
             },
             reconcile_interval: 64,
@@ -303,6 +309,7 @@ pub fn run_sharded_serve_study(
     settings: &ExperimentSettings,
     num_deltas: usize,
     shards: usize,
+    repair_threads: usize,
     churn: bool,
 ) -> ShardedServeReport {
     let dataset = generate_clustered_dataset(&scaled_clustered(settings), settings.base_seed);
@@ -331,7 +338,7 @@ pub fn run_sharded_serve_study(
     let mono_utility = mono.utility();
 
     // Sharded path.
-    let mut sharded = sharded_serving_engine(base, settings.base_seed, shards);
+    let mut sharded = sharded_serving_engine(base, settings.base_seed, shards, repair_threads);
     let sharded_outcome = replay(&mut sharded, &requests);
     assert_eq!(sharded_outcome.report.rejected, 0);
     // One final reconciliation so stranded quota does not linger past the
@@ -504,9 +511,13 @@ fn drive_client(
 
 /// Builds the sharded engine a TCP server fronts, from the same settings
 /// the client derives its trace from.
-pub fn tcp_server_engine(settings: &ExperimentSettings, shards: usize) -> ShardedEngine {
+pub fn tcp_server_engine(
+    settings: &ExperimentSettings,
+    shards: usize,
+    repair_threads: usize,
+) -> ShardedEngine {
     let dataset = generate_clustered_dataset(&scaled_clustered(settings), settings.base_seed);
-    sharded_serving_engine(dataset.instance, settings.base_seed, shards)
+    sharded_serving_engine(dataset.instance, settings.base_seed, shards, repair_threads)
 }
 
 /// Loopback smoke: start a per-shard-worker TCP server on `listen_addr`
@@ -518,13 +529,14 @@ pub fn run_loopback_study(
     listen_addr: &str,
     num_deltas: usize,
     shards: usize,
+    repair_threads: usize,
     churn: bool,
 ) -> LoopbackReport {
     let requests = tcp_trace(settings, num_deltas, shards, churn);
     let listener = TcpListener::bind(listen_addr).expect("listen address binds");
     let handle = EngineServer::serve_sharded(
         listener,
-        tcp_server_engine(settings, shards),
+        tcp_server_engine(settings, shards, repair_threads),
         Framing::Lines,
     )
     .expect("server spawns");
@@ -608,7 +620,10 @@ pub fn recover_served_engine(
 ) -> Result<Recovered, RecoveryError> {
     recover(
         dir,
-        || tcp_server_engine(settings, shards),
+        // The no-snapshot fallback replays from a fresh engine; the
+        // snapshot path restores `repair_threads` from the checkpointed
+        // ShardedConfig (and thread count never changes results anyway).
+        || tcp_server_engine(settings, shards, 1),
         |state| {
             // The partitioner only places users registered after the
             // restore; rebuild it from the same deterministic dataset the
@@ -738,6 +753,7 @@ pub fn run_listen(
     settings: &ExperimentSettings,
     listen_addr: &str,
     shards: usize,
+    repair_threads: usize,
     wal: Option<(&Path, DurabilityPolicy)>,
 ) -> ! {
     let listener = TcpListener::bind(listen_addr).expect("listen address binds");
@@ -753,7 +769,7 @@ pub fn run_listen(
     let _handle = match wal {
         None => EngineServer::serve_sharded(
             listener,
-            tcp_server_engine(settings, shards),
+            tcp_server_engine(settings, shards, repair_threads),
             Framing::Lines,
         ),
         Some((dir, policy)) => {
@@ -833,7 +849,7 @@ mod tests {
             scale: 0.25,
             ..ExperimentSettings::quick()
         };
-        let report = run_sharded_serve_study(&settings, 400, 4, false);
+        let report = run_sharded_serve_study(&settings, 400, 4, 2, false);
         assert_eq!(report.shards, 4);
         assert!(report.merged_feasible, "merged arrangement infeasible");
         assert!(
@@ -854,7 +870,7 @@ mod tests {
             scale: 0.2,
             ..ExperimentSettings::quick()
         };
-        let report = run_loopback_study(&settings, "127.0.0.1:0", 120, 2, false);
+        let report = run_loopback_study(&settings, "127.0.0.1:0", 120, 2, 2, false);
         assert_eq!(report.num_deltas, 120);
         assert_eq!(report.rejected, 0, "community trace must replay cleanly");
         assert_eq!(report.applied, 120);
@@ -911,7 +927,7 @@ mod tests {
             DurabilityController::create(&dir, DurabilityPolicy::Off).expect("controller opens");
         let handle = EngineServer::serve_sharded_durable(
             listener,
-            tcp_server_engine(&settings, shards),
+            tcp_server_engine(&settings, shards, 1),
             Framing::Lines,
             controller,
         )
@@ -953,7 +969,7 @@ mod tests {
             scale: 0.2,
             ..ExperimentSettings::quick()
         };
-        let report = run_sharded_serve_study(&settings, 200, 1, false);
+        let report = run_sharded_serve_study(&settings, 200, 1, 1, false);
         assert_eq!(report.shards, 1);
         assert!(report.merged_feasible);
         assert_eq!(

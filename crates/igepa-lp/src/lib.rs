@@ -7,7 +7,12 @@
 //!   0 ≤ x ≤ u`;
 //! * [`SimplexSolver`] — an exact bounded-variable revised simplex with
 //!   Phase I, used wherever exactness matters (validation, small/medium
-//!   instances, the approximation-ratio study);
+//!   instances, the approximation-ratio study). Re-solves of a nearby LP
+//!   can carry a [`SimplexBasis`] crash basis into
+//!   [`SimplexSolver::solve_warm`]: the hinted variables start at their
+//!   upper bound (primal feasibility checked up front, cold fallback
+//!   otherwise), so an incremental re-solve pays only the pivots the
+//!   change requires while returning exactly the cold optimum;
 //! * [`BlockPackingSolver`] — a structure-aware approximate solver for the
 //!   block packing shape of the benchmark LP (per-user convexity blocks plus
 //!   per-event capacity rows), which scales to the paper's largest sweeps;
@@ -50,5 +55,5 @@ pub use packing::{
 pub use presolve::{presolve, presolve_and_solve, PresolveStats, PresolvedLp};
 pub use problem::{Constraint, LinearProgram, VarId};
 pub use scaling::{equilibrate, matrix_spread, ScaledLp};
-pub use simplex::SimplexSolver;
+pub use simplex::{SimplexBasis, SimplexSolver};
 pub use solution::{IlpSolution, LpSolution, SolveStatus};

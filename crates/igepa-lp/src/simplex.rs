@@ -32,6 +32,52 @@ enum VarStatus {
     AtUpper,
 }
 
+/// A warm-start hint for [`SimplexSolver::solve_warm`]: which structural
+/// variables should *start* at their upper bound instead of at zero.
+///
+/// This is a **crash basis**: the slack basis is kept (`B = I`, no
+/// refactorisation needed), and the hinted variables enter the first
+/// iteration as non-basic-at-upper. When the hint comes from a previous
+/// solve of a nearby LP — e.g. the admissible sets a user held in the
+/// previous arrangement — the starting point is already primal-feasible
+/// and near-optimal, so Phase II has only the pivots and bound flips
+/// that the *change* requires, instead of rebuilding the whole solution
+/// from `x = 0`. A hint that is primal-infeasible for the new LP (a
+/// capacity shrank, a set disappeared) is detected up front and the
+/// solve silently falls back to the cold start, so `solve_warm` is
+/// always exact: it returns the same optima `solve` does.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimplexBasis {
+    /// `at_upper[j]` starts structural variable `j` at its upper bound.
+    pub at_upper: Vec<bool>,
+}
+
+impl SimplexBasis {
+    /// A hint starting the flagged variables at their upper bound.
+    pub fn from_upper_flags(at_upper: Vec<bool>) -> Self {
+        SimplexBasis { at_upper }
+    }
+
+    /// Derives a hint from a previous solution vector: every variable
+    /// within `tolerance` of its (finite, positive) upper bound is
+    /// flagged. `values` and `upper_bounds` index the structural
+    /// variables of the *new* LP, which must correspond positionally to
+    /// the old one for the hint to be meaningful.
+    pub fn from_solution(values: &[f64], upper_bounds: &[f64], tolerance: f64) -> Self {
+        let at_upper = values
+            .iter()
+            .zip(upper_bounds)
+            .map(|(&x, &u)| u.is_finite() && u > 0.0 && (u - x) <= tolerance)
+            .collect();
+        SimplexBasis { at_upper }
+    }
+
+    /// Whether the hint flags any variable at all.
+    pub fn is_empty(&self) -> bool {
+        !self.at_upper.iter().any(|&b| b)
+    }
+}
+
 /// Configuration for the revised simplex solver.
 #[derive(Debug, Clone)]
 pub struct SimplexSolver {
@@ -153,6 +199,44 @@ impl Tableau {
 
     fn has_artificials(&self) -> bool {
         self.total_vars > self.artificial_start
+    }
+
+    /// Tries to install a warm-start hint: the flagged structural
+    /// variables move to their upper bound while the slack basis stays
+    /// (`B = I`), so the basic values are just the residual right-hand
+    /// sides. Returns `false` — leaving the tableau at the cold start —
+    /// when the hint does not fit this LP (wrong length, Phase I rows
+    /// present) or when the hinted point is primal-infeasible (some
+    /// residual turns negative): warm starting must never cost
+    /// exactness, only iterations.
+    fn apply_warm_hint(&mut self, hint: &SimplexBasis) -> bool {
+        if self.has_artificials() || hint.at_upper.len() != self.n_structural {
+            return false;
+        }
+        let flagged =
+            |j: usize| hint.at_upper[j] && self.upper[j].is_finite() && self.upper[j] > 0.0;
+        let mut xb = self.xb.clone(); // == rhs at the cold start
+        let mut any = false;
+        for j in 0..self.n_structural {
+            if !flagged(j) {
+                continue;
+            }
+            any = true;
+            for &(row, coeff) in &self.columns[j] {
+                xb[row] -= coeff * self.upper[j];
+            }
+        }
+        if !any || xb.iter().any(|&v| v < -self.tolerance) {
+            return false;
+        }
+        for j in 0..self.n_structural {
+            if flagged(j) {
+                self.status[j] = VarStatus::AtUpper;
+            }
+        }
+        // Snap tolerance-level negatives onto the bound they sit on.
+        self.xb = xb.into_iter().map(|v| v.max(0.0)).collect();
+        true
     }
 
     /// Objective coefficient of variable `j` in the given phase.
@@ -432,6 +516,28 @@ impl SimplexSolver {
 
     /// Solves the linear program to optimality.
     pub fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError> {
+        self.solve_inner(lp, None)
+    }
+
+    /// Solves the linear program to optimality, starting from a warm
+    /// crash basis ([`SimplexBasis`]). The hint changes only where the
+    /// simplex *starts* — a hint that does not fit the LP (or is primal
+    /// infeasible for it) is discarded and the solve proceeds cold — so
+    /// the returned optimum is exactly [`SimplexSolver::solve`]'s; a good
+    /// hint is visible purely as a lower [`LpSolution::iterations`].
+    pub fn solve_warm(
+        &self,
+        lp: &LinearProgram,
+        basis: &SimplexBasis,
+    ) -> Result<LpSolution, LpError> {
+        self.solve_inner(lp, Some(basis))
+    }
+
+    fn solve_inner(
+        &self,
+        lp: &LinearProgram,
+        basis: Option<&SimplexBasis>,
+    ) -> Result<LpSolution, LpError> {
         if lp.num_vars() == 0 {
             return Ok(LpSolution {
                 values: Vec::new(),
@@ -441,6 +547,9 @@ impl SimplexSolver {
             });
         }
         let mut tableau = Tableau::new(lp, self.tolerance);
+        if let Some(hint) = basis {
+            tableau.apply_warm_hint(hint);
+        }
         let obj: Vec<f64> = lp.objective_vector().to_vec();
         let m = tableau.m;
         let n = lp.num_vars();
@@ -669,6 +778,93 @@ mod tests {
         let s = solve(&lp);
         assert_eq!(s.values[0], 0.0);
         assert!((s.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_from_the_optimal_bounds_solves_in_zero_iterations() {
+        // max x + y with x <= 1.5, y <= 1.0, x + y <= 3: the optimum has
+        // both variables at their upper bound. Hinting exactly that makes
+        // the crash basis already optimal.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 1.5);
+        let y = lp.add_var(1.0, 1.0);
+        lp.add_le_constraint(vec![(x, 1.0), (y, 1.0)], 3.0).unwrap();
+        let cold = SimplexSolver::default().solve(&lp).unwrap();
+        let basis = SimplexBasis::from_solution(&cold.values, lp.upper_bounds(), 1e-9);
+        let warm = SimplexSolver::default().solve_warm(&lp, &basis).unwrap();
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(warm.iterations, 0);
+        assert!(warm.iterations <= cold.iterations);
+        assert!(cold.iterations > 0);
+    }
+
+    #[test]
+    fn infeasible_warm_hint_falls_back_to_the_cold_start() {
+        // The hint saturates both variables, violating x + y <= 1: the
+        // solver must discard it and still reach the cold optimum.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(2.0, 1.0);
+        let y = lp.add_var(1.0, 1.0);
+        lp.add_le_constraint(vec![(x, 1.0), (y, 1.0)], 1.0).unwrap();
+        let cold = SimplexSolver::default().solve(&lp).unwrap();
+        let basis = SimplexBasis::from_upper_flags(vec![true, true]);
+        let warm = SimplexSolver::default().solve_warm(&lp, &basis).unwrap();
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(warm.iterations, cold.iterations);
+        assert!(lp.is_feasible(&warm.values, 1e-9));
+    }
+
+    #[test]
+    fn warm_hint_is_ignored_when_phase_one_is_needed() {
+        // A sign-flipped row forces Phase I; the hint must not disturb
+        // the artificial-variable start.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 3.0);
+        let y = lp.add_var(1.0, 3.0);
+        lp.add_le_constraint(vec![(x, 1.0), (y, 1.0)], 4.0).unwrap();
+        lp.add_le_constraint(vec![(x, -1.0), (y, -1.0)], -2.0)
+            .unwrap();
+        let basis = SimplexBasis::from_upper_flags(vec![true, false]);
+        let warm = SimplexSolver::default().solve_warm(&lp, &basis).unwrap();
+        assert!((warm.objective - 4.0).abs() < 1e-6);
+        assert!(lp.is_feasible(&warm.values, 1e-6));
+    }
+
+    #[test]
+    fn random_lps_solve_identically_warm_and_cold() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..7);
+            let m = rng.gen_range(1..5);
+            let mut lp = LinearProgram::new();
+            for _ in 0..n {
+                lp.add_var(rng.gen_range(-1.0..3.0), rng.gen_range(0.5..2.0));
+            }
+            for _ in 0..m {
+                let coeffs: Vec<(usize, f64)> =
+                    (0..n).map(|j| (j, rng.gen_range(0.0..2.0))).collect();
+                lp.add_le_constraint(coeffs, rng.gen_range(1.0..6.0))
+                    .unwrap();
+            }
+            let cold = SimplexSolver::default().solve(&lp).unwrap();
+            // Hint from the optimum itself and from a random (possibly
+            // infeasible) guess: both must land on the cold objective.
+            let from_opt = SimplexBasis::from_solution(&cold.values, lp.upper_bounds(), 1e-9);
+            let random =
+                SimplexBasis::from_upper_flags((0..n).map(|_| rng.gen_range(0..2) == 1).collect());
+            for basis in [from_opt, random] {
+                let warm = SimplexSolver::default().solve_warm(&lp, &basis).unwrap();
+                assert!(
+                    (warm.objective - cold.objective).abs() < 1e-7,
+                    "trial {trial}: warm {} vs cold {}",
+                    warm.objective,
+                    cold.objective
+                );
+                assert!(lp.is_feasible(&warm.values, 1e-6), "trial {trial}");
+            }
+        }
     }
 
     #[test]
