@@ -374,6 +374,7 @@ impl LpPacking {
                     chosen = set.clone();
                     break;
                 }
+                // lint:allow(no-raw-float-accum): seeded rounding walk over a fixed candidate order — deterministic for a given seed, and never part of served or replayed state
                 threshold -= p;
             }
             sampled.push(chosen);

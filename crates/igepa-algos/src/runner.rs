@@ -72,6 +72,7 @@ pub fn run_repeated(
     let records: Vec<RunRecord> = (0..repetitions.max(1))
         .map(|i| run_and_record(algorithm, instance, base_seed + i as u64))
         .collect();
+    // lint:allow(no-raw-float-accum): experiment-harness mean over per-run records in repetition order; reporting only, not served state
     let mean = records.iter().map(|r| r.utility).sum::<f64>() / records.len() as f64;
     (mean, records)
 }

@@ -181,6 +181,7 @@ impl SimulatedAnnealing {
                 };
                 if accept {
                     self.apply(&mut current, &mv);
+                    // lint:allow(no-raw-float-accum): solver-internal incremental objective, deterministic for a given seed; the final arrangement is re-scored exactly before serving
                     current_utility += gain;
                     if current_utility > best_utility {
                         best = current.clone();

@@ -152,6 +152,7 @@ impl TabuSearch {
                 break;
             };
             Self::apply(&mut current, &mv);
+            // lint:allow(no-raw-float-accum): solver-internal incremental objective with a deterministic move order; the final arrangement is re-scored exactly before serving
             current_utility += gain;
             for pair in mv.touched() {
                 tabu.push_back(pair);

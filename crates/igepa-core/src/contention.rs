@@ -57,6 +57,7 @@ impl ContentionStats {
             contested_events += 1;
             if event.capacity > 0 {
                 let ratio = bidders as f64 / event.capacity as f64;
+                // lint:allow(no-raw-float-accum): dataset-profiling mean in fixed event order; diagnostics only, never served or replayed state
                 contention_sum += ratio;
                 contention_count += 1;
                 max_contention = max_contention.max(ratio);
@@ -75,6 +76,7 @@ impl ContentionStats {
                 continue;
             }
             let compatible = largest_compatible_subset(instance, user.id);
+            // lint:allow(no-raw-float-accum): dataset-profiling mean in fixed user order; diagnostics only, never served or replayed state
             compatible_sum += compatible as f64 / user.bids.len() as f64;
             compatible_count += 1;
         }
@@ -131,6 +133,7 @@ fn gini(values: &[f64]) -> f64 {
     if n == 0 {
         return 0.0;
     }
+    // lint:allow(no-raw-float-accum): Gini coefficient over a profiling sample; reporting only, not served state
     let total: f64 = values.iter().sum();
     if total <= 0.0 {
         return 0.0;
@@ -142,6 +145,7 @@ fn gini(values: &[f64]) -> f64 {
         .iter()
         .enumerate()
         .map(|(i, &x)| (i + 1) as f64 * x)
+        // lint:allow(no-raw-float-accum): rank-weighted Gini numerator over the sorted profiling sample; reporting only, not served state
         .sum();
     (2.0 * weighted / (n as f64 * total) - (n as f64 + 1.0) / n as f64).max(0.0)
 }

@@ -124,6 +124,7 @@ impl Instance {
     /// Total weight of an admissible event set `S` for `user`:
     /// `w(u, S) = Σ_{v ∈ S} w(u, v)`.
     pub fn set_weight(&self, user: UserId, events: &[EventId]) -> f64 {
+        // lint:allow(no-raw-float-accum): w(u,S) folds the caller's fixed event-set order, the order the paper's formulas and the proptests pin; ExactSum applies to cross-request running totals, not this per-call k-term dot product
         events.iter().map(|&v| self.weight(v, user)).sum()
     }
 

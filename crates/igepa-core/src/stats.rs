@@ -81,6 +81,7 @@ impl InstanceStats {
         } else {
             (0..num_users)
                 .map(|i| instance.interaction(crate::UserId::new(i)))
+                // lint:allow(no-raw-float-accum): instance-profiling mean in user-id order; diagnostics only, never served or replayed state
                 .sum::<f64>()
                 / num_users as f64
         };
@@ -138,6 +139,7 @@ impl ArrangementStats {
                 events_used += 1;
             }
             if e.capacity > 0 {
+                // lint:allow(no-raw-float-accum): arrangement-profiling fill ratio in fixed event order; diagnostics only, never served or replayed state
                 fill_sum += load as f64 / e.capacity as f64;
                 fill_count += 1;
             }

@@ -319,18 +319,21 @@ impl ShardedEngine {
         // Seed the fold from the first shard (not `default()`) so a
         // single shard's counters — including a *negative* observed
         // drift, which `merged`'s max would clobber with 0.0 — pass
-        // through unchanged.
-        let mut shards = self.shards.iter();
-        let mut total = *shards.next().expect("at least one shard").stats();
-        for shard in shards {
-            total = total.merged(shard.stats());
-        }
+        // through unchanged. A shardless engine cannot be constructed,
+        // but `unwrap_or_default` keeps this read path panic-free.
+        let mut total = self
+            .shards
+            .iter()
+            .map(|shard| *shard.stats())
+            .reduce(|a, b| a.merged(&b))
+            .unwrap_or_default();
         total.deltas_rejected += self.rejected;
         total
     }
 
     /// Total utility currently served (sum of shard utilities).
     pub fn utility(&self) -> f64 {
+        // lint:allow(no-raw-float-accum): shard-order-fixed fold of per-shard exact totals; shard count and order are deterministic, so replay and recovery reproduce this sum bit for bit
         self.shard_utility.iter().sum()
     }
 
@@ -450,6 +453,7 @@ impl ShardedEngine {
         let effect = self
             .mirror
             .apply_add_event_shared(capacity, attrs.clone(), snapshot.conflicts_handle())
+            // lint:allow(no-panic-in-server-paths): the mirror is rebuilt from the same catalogue this publish just extended; a disagreement means mirror/catalogue desync, which no response could paper over
             .expect("mirror tracks the catalogue");
         (snapshot, effect)
     }
@@ -506,6 +510,7 @@ impl ShardedEngine {
                 continue;
             }
             let outcome = self.shards[k].apply_ops(&per_shard[k]).unwrap_or_else(|e| {
+                // lint:allow(no-panic-in-server-paths): documented contract — the mirror validated this batch, so a shard rejection means the caller's conflict/interest functions are id-dependent; continuing would silently desync mirror and shards
                 panic!(
                     "shard {k} rejected a mirror-validated batch ({e});                      ShardedEngine requires attribute-based (id-independent)                      conflict and interest functions"
                 )
@@ -540,6 +545,7 @@ impl ShardedEngine {
     /// continuing would silently desync the mirror from the shards.
     fn shard_apply(&mut self, k: usize, delta: &InstanceDelta) -> ApplyOutcome {
         let outcome = self.shards[k].apply(delta).unwrap_or_else(|e| {
+            // lint:allow(no-panic-in-server-paths): documented contract (see the doc comment above) — a mirror-validated delta failing on its shard means id-dependent σ/interest functions; continuing would silently desync the mirror
             panic!(
                 "shard {k} rejected a mirror-validated delta ({e});                  ShardedEngine requires attribute-based (id-independent)                  conflict and interest functions"
             )
@@ -560,6 +566,7 @@ impl ShardedEngine {
     ) -> (usize, InstanceDelta) {
         match delta {
             InstanceDelta::AddUser { .. } => {
+                // lint:allow(no-panic-in-server-paths): the mirror's DeltaEffect always carries the created id for AddUser; its absence is a dispatch bug in this file, not a client-recoverable state
                 let k = self.register_new_user(created_user.expect("AddUser creates a user"));
                 (k, delta.clone())
             }
@@ -611,6 +618,7 @@ impl ShardedEngine {
                 self.shard_apply(k, &local).repair
             }
             InstanceDelta::AddEvent { .. } => {
+                // lint:allow(no-panic-in-server-paths): ShardedEngine::apply intercepts AddEvent before routing; reaching this arm is a dispatch bug in this file, with no request-scoped recovery
                 unreachable!("AddEvent publishes through the catalogue")
             }
             InstanceDelta::UpdateCapacity {
@@ -656,6 +664,7 @@ impl ShardedEngine {
                 per_shard[k].push(ShardOp::Delta(local));
             }
             InstanceDelta::AddEvent { .. } => {
+                // lint:allow(no-panic-in-server-paths): apply_batch publishes AddEvent through the catalogue before planning; reaching this arm is a dispatch bug in this file, with no request-scoped recovery
                 unreachable!("AddEvent publishes through the catalogue")
             }
             InstanceDelta::UpdateCapacity {
@@ -701,6 +710,7 @@ impl ShardedEngine {
                 target: CapacityTarget::User(user),
                 ..
             } => *user,
+            // lint:allow(no-panic-in-server-paths): route/plan only call rewrite_owner for the four user-scoped kinds matched above; any other kind here is a dispatch bug in this file
             _ => unreachable!("route/plan dispatch covers the other kinds"),
         };
         let (k, local) = self.owners[global.index()];
@@ -720,6 +730,7 @@ impl ShardedEngine {
                 target: CapacityTarget::User(local),
                 capacity: *capacity,
             },
+            // lint:allow(no-panic-in-server-paths): the match above already proved this delta is one of the four user-scoped kinds; this arm only exists to satisfy exhaustiveness
             _ => unreachable!(),
         };
         (k, rewritten)
@@ -1128,6 +1139,7 @@ fn build_sub_instance(
             Arc::clone(global.conflicts_handle()),
             &CopiedInterest { global, to_global },
         )
+        // lint:allow(no-panic-in-server-paths): every user/event/bid here was copied from an instance that already validated them; a build failure means the copy above is wrong, not that the request is bad
         .expect("sub-instance of a valid instance is valid")
 }
 

@@ -194,7 +194,10 @@ pub fn write_snapshot(
     fail_after_bytes: Option<u64>,
 ) -> io::Result<(PathBuf, u64)> {
     fs::create_dir_all(dir)?;
-    let payload = serde_json::to_string(state).expect("snapshot state always serializes");
+    // Serialization cannot fail for well-formed states; if it ever does,
+    // the checkpoint reports an I/O-shaped error (serving continues on
+    // the WAL alone) instead of killing the server.
+    let payload = serde_json::to_string(state).map_err(io::Error::other)?;
     let header = format!(
         "IGEPA-SNAP {} {} {:016x}\n",
         state.version,

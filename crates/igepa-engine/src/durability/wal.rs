@@ -135,14 +135,17 @@ pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     Ok(segments)
 }
 
-fn encode_frame(record: &WalRecord) -> Vec<u8> {
-    let payload = serde_json::to_string(record).expect("wal records always serialize");
+fn encode_frame(record: &WalRecord) -> io::Result<Vec<u8>> {
+    // Serialization cannot fail for well-formed records, but an append
+    // that cannot build its frame must refuse the request (the caller
+    // answers a typed durability error), never kill the server.
+    let payload = serde_json::to_string(record).map_err(io::Error::other)?;
     let payload = payload.as_bytes();
     let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     frame.extend_from_slice(&fnv1a64(payload).to_be_bytes());
     frame.extend_from_slice(payload);
-    frame
+    Ok(frame)
 }
 
 /// The appending side of the log. Every append reaches the operating
@@ -237,7 +240,7 @@ impl WalWriter {
             epoch,
             request: request.clone(),
         };
-        let frame = encode_frame(&record);
+        let frame = encode_frame(&record)?;
         if self.segment_bytes > 0
             && self.segment_bytes + frame.len() as u64 > self.segment_max_bytes
         {
@@ -361,12 +364,25 @@ pub fn read_wal(
                 torn = Some(format!("{}-byte partial frame header", remaining.len()));
                 break;
             }
-            let len = u32::from_be_bytes(remaining[..4].try_into().expect("4 bytes"));
+            // The length guard above proved 12 header bytes exist, so the
+            // conversions cannot fail; treat a failure like a torn frame
+            // anyway rather than panicking the recovery path.
+            let (len_bytes, sum_bytes) = match (
+                <[u8; 4]>::try_from(&remaining[..4]),
+                <[u8; 8]>::try_from(&remaining[4..FRAME_HEADER]),
+            ) {
+                (Ok(len_bytes), Ok(sum_bytes)) => (len_bytes, sum_bytes),
+                _ => {
+                    torn = Some("frame header bytes unavailable".to_string());
+                    break;
+                }
+            };
+            let len = u32::from_be_bytes(len_bytes);
             if len > MAX_PAYLOAD {
                 torn = Some(format!("implausible payload length {len}"));
                 break;
             }
-            let expect = u64::from_be_bytes(remaining[4..12].try_into().expect("8 bytes"));
+            let expect = u64::from_be_bytes(sum_bytes);
             let Some(payload) = remaining.get(FRAME_HEADER..FRAME_HEADER + len as usize) else {
                 torn = Some(format!(
                     "payload cut short ({} of {len} bytes)",

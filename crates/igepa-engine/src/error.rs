@@ -134,6 +134,14 @@ pub enum EngineError {
         /// Decoder message.
         detail: String,
     },
+    /// The serving infrastructure failed — a worker thread died, a
+    /// dispatch invariant broke — before the request could execute.
+    /// The request was not applied; the client may retry against a
+    /// recovered server.
+    Internal {
+        /// What failed, for the operator.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -147,6 +155,7 @@ impl fmt::Display for EngineError {
                 write!(f, "unsupported protocol version {version}")
             }
             EngineError::Malformed { detail } => write!(f, "malformed request: {detail}"),
+            EngineError::Internal { detail } => write!(f, "internal error: {detail}"),
         }
     }
 }
@@ -214,6 +223,9 @@ mod tests {
             EngineError::Unsupported { version: 9 },
             EngineError::Malformed {
                 detail: "not json".to_string(),
+            },
+            EngineError::Internal {
+                detail: "shard 2 worker is gone".to_string(),
             },
         ];
         for e in errors {

@@ -34,6 +34,7 @@ impl LatencySummary {
         let n = latencies.len();
         let pct = |p: f64| latencies[(((n - 1) as f64) * p).round() as usize];
         LatencySummary {
+            // lint:allow(no-raw-float-accum): latency reporting over one replay run; measurement output, not replayed engine state
             mean_us: latencies.iter().sum::<f64>() / n as f64,
             p50_us: pct(0.50),
             p95_us: pct(0.95),

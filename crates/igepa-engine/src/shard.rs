@@ -632,6 +632,7 @@ impl Shard {
                     self.sigma.as_ref(),
                     self.interest.as_ref(),
                 )
+                // lint:allow(no-panic-in-server-paths): quota changes come from the coordinator's reconciler, which only names catalogued events; a failure means the shard's event set diverged from the catalogue — unrecoverable state, no request to refuse
                 .expect("reconciler only names events that exist");
             self.dirty.mark_event(event);
             self.stats.quota_updates += 1;
@@ -817,10 +818,12 @@ impl Shard {
     fn absorb_announcement(&mut self, snapshot: &Arc<CatalogSnapshot>, quota: usize) {
         let newest = snapshot
             .newest()
+            // lint:allow(no-panic-in-server-paths): absorb_announcement only runs for a snapshot the catalogue just published, which by construction contains the announced event
             .expect("published snapshots are non-empty");
         let effect = self
             .instance
             .apply_add_event_shared(quota, newest.attrs.clone(), snapshot.conflicts_handle())
+            // lint:allow(no-panic-in-server-paths): the snapshot's shared matrix covers its own newest event; a failure means shard/catalogue desync, which no per-request refusal can repair
             .expect("catalogue snapshots cover the announced event");
         self.arrangement
             .grow(self.instance.num_events(), self.instance.num_users());

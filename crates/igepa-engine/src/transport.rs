@@ -76,7 +76,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::{self, JoinHandle};
 
 /// How JSON documents are delimited on the stream.
@@ -473,6 +473,23 @@ struct CacheInner {
 }
 
 impl QueryCache {
+    /// Read-locks the cache, recovering a poisoned guard. A poisoned
+    /// cache means some thread panicked while holding the lock — the
+    /// server is already failing loudly elsewhere; the last installed
+    /// views are still structurally valid (every writer below keeps
+    /// `CacheInner` consistent between lock acquisitions), so draining
+    /// readers keep serving them instead of cascading the panic into
+    /// every connection thread.
+    fn read_inner(&self) -> RwLockReadGuard<'_, CacheInner> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write-locks the cache, recovering a poisoned guard (see
+    /// [`QueryCache::read_inner`] for why recovery beats cascading).
+    fn write_inner(&self) -> RwLockWriteGuard<'_, CacheInner> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn from_engine(engine: &ShardedEngine) -> Arc<Self> {
         Arc::new(QueryCache {
             inner: RwLock::new(CacheInner {
@@ -503,7 +520,7 @@ impl QueryCache {
     /// reader still holding the old buffer mid-answer just forces one
     /// fresh clone, exactly like the old double-buffer scheme.
     fn install(&self, shard: usize, update: ViewUpdate, rejected: u64, owners: &[(usize, UserId)]) {
-        let mut inner = self.inner.write().expect("query cache poisoned");
+        let mut inner = self.write_inner();
         match update {
             ViewUpdate::Full(view) => {
                 debug_assert!(
@@ -540,7 +557,7 @@ impl QueryCache {
     /// barrier-executed operations — the only place event-side state can
     /// change).
     fn refresh_all(&self, engine: &ShardedEngine) {
-        let mut inner = self.inner.write().expect("query cache poisoned");
+        let mut inner = self.write_inner();
         for (k, view) in inner.views.iter_mut().enumerate() {
             *view = ShardView::of(engine.shard(k));
         }
@@ -555,7 +572,7 @@ impl QueryCache {
 
     /// Records a mirror-validation rejection (fast-path apply refused).
     fn note_rejected(&self, rejected: u64) {
-        self.inner.write().expect("query cache poisoned").rejected = rejected;
+        self.write_inner().rejected = rejected;
     }
 
     /// Answers one cacheable query, reproducing the serial service's
@@ -563,32 +580,52 @@ impl QueryCache {
     /// same rejected-delta attribution for the aggregates, and the same
     /// dialect split for the per-entity reads (`strict` selects typed
     /// `NotFound` over the legacy silent `[]` / `(0, 0)` answers).
-    fn answer(&self, query: EngineQuery, strict: bool) -> Result<EngineResponse, EngineError> {
-        let inner = self.inner.read().expect("query cache poisoned");
+    ///
+    /// Returns `None` for the queries the cache cannot serve
+    /// (`MergedSnapshot` consistency is checked separately by
+    /// [`QueryCache::merged_snapshot`]; `DurabilityStats` lives with
+    /// the dispatcher) — the caller falls through to the dispatch
+    /// queue.
+    fn answer(
+        &self,
+        query: EngineQuery,
+        strict: bool,
+    ) -> Option<Result<EngineResponse, EngineError>> {
+        let inner = self.read_inner();
         match query {
             EngineQuery::Utility => {
                 let mut total = 0.0;
                 let mut interest_sum = 0.0;
                 let mut interaction_sum = 0.0;
                 for view in &inner.views {
+                    // lint:allow(no-raw-float-accum): reproduces the serial backend's shard-order plain summation bit for bit
                     total += view.breakdown.total;
+                    // lint:allow(no-raw-float-accum): same serial-semantics pin as the total above
                     interest_sum += view.breakdown.interest_sum;
+                    // lint:allow(no-raw-float-accum): same serial-semantics pin as the total above
                     interaction_sum += view.breakdown.interaction_sum;
                 }
-                Ok(EngineResponse::Utility {
+                Some(Ok(EngineResponse::Utility {
                     total,
                     interest_sum,
                     interaction_sum,
-                })
+                }))
             }
             EngineQuery::Stats => {
-                let mut views = inner.views.iter();
-                let mut total = views.next().expect("at least one shard").stats;
-                for view in views {
-                    total = total.merged(&view.stats);
-                }
-                total.deltas_rejected += inner.rejected;
-                Ok(EngineResponse::Stats { stats: total })
+                // `reduce` seeds the fold from the first shard — not
+                // `Default` — so a single shard's counters (including a
+                // *negative* observed drift, which `merged`'s max would
+                // clobber with 0.0) pass through unchanged. An engine
+                // always has at least one shard; the empty-cache default
+                // is unreachable but panic-free.
+                let mut merged = inner
+                    .views
+                    .iter()
+                    .map(|view| view.stats)
+                    .reduce(|a, b| a.merged(&b))
+                    .unwrap_or_default();
+                merged.deltas_rejected += inner.rejected;
+                Some(Ok(EngineResponse::Stats { stats: merged }))
             }
             EngineQuery::ShardStats => {
                 let shards = inner
@@ -609,19 +646,19 @@ impl QueryCache {
                         }
                     })
                     .collect();
-                Ok(EngineResponse::ShardStats { shards })
+                Some(Ok(EngineResponse::ShardStats { shards }))
             }
             EngineQuery::AssignmentsOf { user } => {
                 let Some(&(shard, local)) = inner.owners.get(user.index()) else {
                     if strict {
-                        return Err(EngineError::NotFound {
+                        return Some(Err(EngineError::NotFound {
                             entity: crate::error::EntityRef::User { user },
-                        });
+                        }));
                     }
-                    return Ok(EngineResponse::Assignments {
+                    return Some(Ok(EngineResponse::Assignments {
                         user,
                         events: Vec::new(),
-                    });
+                    }));
                 };
                 // A just-registered user whose creating apply has not yet
                 // installed its shard view (only possible concurrently
@@ -633,20 +670,20 @@ impl QueryCache {
                 } else {
                     Vec::new()
                 };
-                Ok(EngineResponse::Assignments { user, events })
+                Some(Ok(EngineResponse::Assignments { user, events }))
             }
             EngineQuery::EventLoad { event } => {
                 let Some(&capacity) = inner.capacities.get(event.index()) else {
                     if strict {
-                        return Err(EngineError::NotFound {
+                        return Some(Err(EngineError::NotFound {
                             entity: crate::error::EntityRef::Event { event },
-                        });
+                        }));
                     }
-                    return Ok(EngineResponse::EventLoad {
+                    return Some(Ok(EngineResponse::EventLoad {
                         event,
                         load: 0,
                         capacity: 0,
-                    });
+                    }));
                 };
                 // Merge the per-shard loads in the connection thread —
                 // the read never touches the dispatch queue, exactly
@@ -664,15 +701,13 @@ impl QueryCache {
                         }
                     })
                     .sum();
-                Ok(EngineResponse::EventLoad {
+                Some(Ok(EngineResponse::EventLoad {
                     event,
                     load,
                     capacity,
-                })
+                }))
             }
-            EngineQuery::MergedSnapshot | EngineQuery::DurabilityStats => {
-                unreachable!("only cacheable queries reach the view cache")
-            }
+            EngineQuery::MergedSnapshot | EngineQuery::DurabilityStats => None,
         }
     }
 
@@ -689,7 +724,7 @@ impl QueryCache {
     /// exact-sum partition independence equals the serial backend's
     /// from-scratch `merged.utility_value(instance)` bit for bit.
     fn merged_snapshot(&self) -> Option<EngineResponse> {
-        let inner = self.inner.read().expect("query cache poisoned");
+        let inner = self.read_inner();
         let mut pairs = Vec::new();
         for (u, &(shard, local)) in inner.owners.iter().enumerate() {
             let view = &inner.views[shard].assignments;
@@ -939,14 +974,14 @@ fn connection_loop(
                 let supported =
                     envelope.version == PROTOCOL_VERSION || envelope.version == LEGACY_VERSION;
                 if let (true, EngineRequest::Query { query }) = (supported, &envelope.body) {
-                    if cached_query(query) {
-                        // `strict` selects the dialect for per-entity
-                        // reads: typed NotFound vs the legacy silent
-                        // answers (`strict == false` never errors).
-                        let strict = envelope.version == PROTOCOL_VERSION;
+                    // `strict` selects the dialect for per-entity
+                    // reads: typed NotFound vs the legacy silent
+                    // answers (`strict == false` never errors).
+                    let strict = envelope.version == PROTOCOL_VERSION;
+                    if let Some(result) = cache.answer(*query, strict) {
                         let response = ResponseEnvelope {
                             id: envelope.id,
-                            result: cache.answer(*query, strict),
+                            result,
                         };
                         if write_frame(&mut writer, framing, &encode_response_envelope(&response))
                             .is_err()
@@ -1009,30 +1044,38 @@ fn serial_dispatch<B: EngineBackend>(
                 let envelope = service.handle_line(&line, fallback_seq);
                 let _ = reply.send(encode_response_envelope(&envelope));
             }
-            ServerMsg::Envelope { .. } | ServerMsg::Completion { .. } => {
-                unreachable!("the serial server decodes in the dispatcher and spawns no workers")
+            // The serial accept loop never produces these — decoded
+            // envelopes and worker completions belong to the sharded
+            // server. Refuse them with a typed error instead of
+            // killing the dispatch thread over a wiring bug.
+            ServerMsg::Envelope { envelope, reply } => {
+                respond(
+                    &reply,
+                    ResponseEnvelope {
+                        id: envelope.id,
+                        result: Err(EngineError::Internal {
+                            detail: "serial dispatcher received a pre-decoded envelope".to_string(),
+                        }),
+                    },
+                );
+            }
+            ServerMsg::Completion {
+                envelope_id, reply, ..
+            } => {
+                respond(
+                    &reply,
+                    ResponseEnvelope {
+                        id: envelope_id,
+                        result: Err(EngineError::Internal {
+                            detail: "serial dispatcher received a worker completion".to_string(),
+                        }),
+                    },
+                );
             }
             ServerMsg::Shutdown => break,
         }
     }
     service.into_backend()
-}
-
-/// Whether a query is served from the coordinator-side view cache
-/// without barriering the workers. Aggregate reads and the per-entity
-/// reads (`AssignmentsOf` via the owner table + the owning shard's
-/// assignment snapshot, `EventLoad` via cross-shard load merging in the
-/// connection thread) all qualify; only the full `MergedSnapshot` still
-/// needs a barrier.
-fn cached_query(query: &EngineQuery) -> bool {
-    matches!(
-        query,
-        EngineQuery::Utility
-            | EngineQuery::Stats
-            | EngineQuery::ShardStats
-            | EngineQuery::AssignmentsOf { .. }
-            | EngineQuery::EventLoad { .. }
-    )
 }
 
 /// Whether a delta routes to a single owning shard (the worker fast
@@ -1117,8 +1160,20 @@ impl ShardDispatcher {
                 },
             };
             match msg {
-                ServerMsg::Request { .. } => {
-                    unreachable!("sharded connections decode envelopes themselves")
+                // Sharded connections decode envelopes themselves; a
+                // raw line here is a wiring bug. Refuse it (id 0: the
+                // line was never decoded, so no correlation id exists)
+                // without killing the dispatcher.
+                ServerMsg::Request { reply, .. } => {
+                    respond(
+                        &reply,
+                        ResponseEnvelope {
+                            id: 0,
+                            result: Err(EngineError::Internal {
+                                detail: "sharded dispatcher received an undecoded line".to_string(),
+                            }),
+                        },
+                    );
                 }
                 ServerMsg::Envelope { envelope, reply } => self.on_request(envelope, reply, &queue),
                 ServerMsg::Completion {
@@ -1195,14 +1250,20 @@ impl ShardDispatcher {
             // which rejects the request.
             EngineRequest::Checkpoint if self.durability.is_some() => {
                 self.barrier(queue);
-                let controller = self.durability.as_mut().expect("guarded by the arm");
-                let state = self.engine.snapshot_state(controller.last_seq());
-                let result = match controller.checkpoint(&state) {
-                    Ok(outcome) => Ok(EngineResponse::CheckpointDone {
-                        wal_seq: outcome.wal_seq,
-                        bytes: outcome.bytes,
-                    }),
-                    Err(e) => durability_error(strict, format!("checkpoint failed: {e}")),
+                let result = match self.durability.as_mut() {
+                    Some(controller) => {
+                        let state = self.engine.snapshot_state(controller.last_seq());
+                        match controller.checkpoint(&state) {
+                            Ok(outcome) => Ok(EngineResponse::CheckpointDone {
+                                wal_seq: outcome.wal_seq,
+                                bytes: outcome.bytes,
+                            }),
+                            Err(e) => durability_error(strict, format!("checkpoint failed: {e}")),
+                        }
+                    }
+                    // Unreachable (the arm guard checked `is_some`),
+                    // but refusing beats panicking the dispatcher.
+                    None => durability_error(strict, "durability is not enabled".to_string()),
                 };
                 self.cache.refresh_all(&self.engine);
                 respond(
@@ -1259,15 +1320,31 @@ impl ShardDispatcher {
             EngineRequest::Apply { delta } if !self.attached && is_user_scoped(delta) => {
                 match self.engine.plan_user_delta(delta) {
                     Ok((k, local)) => {
-                        self.pending += 1;
-                        self.workers[k]
-                            .tx
-                            .send(WorkerMsg::Apply {
-                                delta: local,
-                                envelope_id: envelope.id,
-                                reply,
-                            })
-                            .expect("worker alive until shutdown");
+                        // Count the apply as pending only once the worker
+                        // has it; a dead worker (its thread panicked and
+                        // dropped the receiver) turns into a typed refusal
+                        // instead of poisoning the barrier accounting.
+                        match self.workers[k].tx.send(WorkerMsg::Apply {
+                            delta: local,
+                            envelope_id: envelope.id,
+                            reply,
+                        }) {
+                            Ok(()) => self.pending += 1,
+                            Err(mpsc::SendError(msg)) => {
+                                if let WorkerMsg::Apply { reply, .. } = msg {
+                                    respond(
+                                        &reply,
+                                        ResponseEnvelope {
+                                            id: envelope.id,
+                                            result: internal_error(
+                                                strict,
+                                                format!("shard {k} worker is gone"),
+                                            ),
+                                        },
+                                    );
+                                }
+                            }
+                        }
                     }
                     Err(e) => {
                         self.cache.note_rejected(self.engine.rejected_count());
@@ -1318,7 +1395,9 @@ impl ShardDispatcher {
             return;
         }
         self.barrier(queue);
-        let controller = self.durability.as_mut().expect("due implies durable");
+        let Some(controller) = self.durability.as_mut() else {
+            return; // unreachable: `due` implies durable
+        };
         let state = self.engine.snapshot_state(controller.last_seq());
         if let Err(e) = controller.checkpoint(&state) {
             // Serving continues on the WAL alone; the next checkpoint
@@ -1418,7 +1497,10 @@ impl ShardDispatcher {
             return;
         }
         while self.pending > 0 {
-            match queue.recv().expect("workers hold a queue sender") {
+            // The queue can only close if every sender (workers included)
+            // is gone; the surrender below then fails loudly instead.
+            let Ok(msg) = queue.recv() else { break };
+            match msg {
                 ServerMsg::Completion {
                     shard,
                     outcome,
@@ -1429,10 +1511,16 @@ impl ShardDispatcher {
                 msg => self.backlog.push_back(msg),
             }
         }
+        // From here the panics are deliberate: a worker can only die by
+        // panicking while it holds its shard, and a shard lost to a dead
+        // thread is unrecoverable in-process — no response the dispatcher
+        // could synthesize would be correct. Failing loudly here is the
+        // robustness contract (durable deployments recover from the WAL).
         for worker in &self.workers {
             worker
                 .tx
                 .send(WorkerMsg::Surrender)
+                // lint:allow(no-panic-in-server-paths): a dead worker took its shard with it; the engine cannot be reassembled, so fail loudly (see the barrier comment)
                 .expect("worker alive until shutdown");
         }
         let mut collected: Vec<Option<Shard>> = (0..self.workers.len()).map(|_| None).collect();
@@ -1440,12 +1528,14 @@ impl ShardDispatcher {
             let (k, shard) = self
                 .shard_return_rx
                 .recv()
+                // lint:allow(no-panic-in-server-paths): a dead worker took its shard with it; the engine cannot be reassembled, so fail loudly (see the barrier comment)
                 .expect("every worker surrenders its shard");
             collected[k] = Some(shard);
         }
         self.engine.attach_shards(
             collected
                 .into_iter()
+                // lint:allow(no-panic-in-server-paths): a missing shard here means a worker returned another worker's slot — state corruption, not a recoverable request failure
                 .map(|s| s.expect("each worker returned one shard"))
                 .collect(),
         );
@@ -1467,6 +1557,7 @@ impl ShardDispatcher {
             self.workers[k]
                 .tx
                 .send(WorkerMsg::Resume(Box::new(shard)))
+                // lint:allow(no-panic-in-server-paths): a send failure drops the shard on the floor (the worker thread panicked); serving without it would silently corrupt every merged answer
                 .expect("worker alive until shutdown");
         }
         self.attached = false;
@@ -1492,6 +1583,19 @@ fn durability_error(strict: bool, detail: String) -> Result<EngineResponse, Engi
     }
 }
 
+/// An infrastructure failure (a dead worker, a dispatch invariant that
+/// broke) as a response in the requested dialect: [`EngineError::Internal`]
+/// for envelope clients, the legacy `Rejected` string for bare ones.
+fn internal_error(strict: bool, detail: String) -> Result<EngineResponse, EngineError> {
+    if strict {
+        Err(EngineError::Internal { detail })
+    } else {
+        Ok(EngineResponse::Rejected {
+            reason: format!("internal error: {detail}"),
+        })
+    }
+}
+
 fn spawn_worker(
     k: usize,
     shard: Shard,
@@ -1500,17 +1604,15 @@ fn spawn_worker(
 ) -> WorkerHandle {
     let (tx, rx) = mpsc::channel::<WorkerMsg>();
     let join = thread::spawn(move || {
-        let mut slot = Some(shard);
         // Arm the shard's pair-edit recorder so the next apply can ship
         // its view as a diff, and remember which view epoch the cache
         // holds for this shard: the coordinator installed a full view of
         // exactly this state (`QueryCache::from_engine`) before the shard
         // was detached. Every shipped update extends that chain.
-        let mut last_view_epoch = {
-            let shard = slot.as_mut().expect("spawned with a shard");
-            let _ = shard.take_view_diff();
-            shard.stats().deltas_applied
-        };
+        let mut shard = shard;
+        let _ = shard.take_view_diff();
+        let mut last_view_epoch = shard.stats().deltas_applied;
+        let mut slot = Some(shard);
         while let Ok(msg) = rx.recv() {
             match msg {
                 WorkerMsg::Apply {
@@ -1518,8 +1620,10 @@ fn spawn_worker(
                     envelope_id,
                     reply,
                 } => {
+                    // lint:allow(no-panic-in-server-paths): the dispatcher only fast-paths while detached; an Apply without a shard is a protocol bug, and replying here instead would leak the dispatcher's pending count and hang the next barrier
                     let shard = slot.as_mut().expect("apply while surrendered");
                     let (outcome, breakdown) = shard.apply_measured(&delta).unwrap_or_else(|e| {
+                        // lint:allow(no-panic-in-server-paths): documented contract — sharded serving requires id-independent conflict/interest functions, and a mirror-validated delta failing on its shard means that contract is broken, not that this request is bad
                         panic!(
                             "shard {k} rejected a mirror-validated delta ({e}); \
                              ShardedEngine requires attribute-based (id-independent) \
@@ -1571,22 +1675,23 @@ fn spawn_worker(
                     }
                 }
                 WorkerMsg::Surrender => {
+                    // lint:allow(no-panic-in-server-paths): a double surrender means the dispatcher's attached-state tracking broke; returning nothing would deadlock the barrier waiting for this shard
                     let shard = slot.take().expect("surrender while surrendered");
                     if shard_return_tx.send((k, shard)).is_err() {
                         break;
                     }
                 }
                 WorkerMsg::Resume(shard) => {
-                    slot = Some(*shard);
                     // The coordinator may have mutated the shard at the
                     // barrier (reconcile, broadcasts, batches) and always
                     // refreshes the cache with full views before handing
                     // shards back: discard whatever the recorder caught
                     // coordinator-side (re-arming it) and restart the
                     // diff chain from the freshly installed epoch.
-                    let shard = slot.as_mut().expect("just resumed");
+                    let mut shard = *shard;
                     let _ = shard.take_view_diff();
                     last_view_epoch = shard.stats().deltas_applied;
+                    slot = Some(shard);
                 }
                 WorkerMsg::Shutdown => break,
             }

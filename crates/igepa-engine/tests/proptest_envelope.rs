@@ -68,7 +68,7 @@ fn request_strategy() -> impl Strategy<Value = EngineRequest> {
 
 /// Exercises every variant of the typed error taxonomy.
 fn error_strategy() -> impl Strategy<Value = EngineError> {
-    (0u8..7, 0usize..64, 0u32..64).prop_map(|(kind, a, v)| match kind {
+    (0u8..8, 0usize..64, 0u32..64).prop_map(|(kind, a, v)| match kind {
         0 => EngineError::Rejected {
             reason: RejectReason::UnknownUser {
                 user: UserId::new(a),
@@ -99,6 +99,9 @@ fn error_strategy() -> impl Strategy<Value = EngineError> {
             entity: EntityRef::Event {
                 event: EventId::new(a),
             },
+        },
+        6 => EngineError::Internal {
+            detail: format!("shard {a} worker is gone"),
         },
         _ => {
             if v % 2 == 0 {

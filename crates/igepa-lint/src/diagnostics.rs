@@ -1,0 +1,98 @@
+//! Diagnostic model and the two output formats (human and JSON).
+
+use serde::Value;
+
+/// One finding produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `no-raw-float-accum`.
+    pub rule: String,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// Set when an inline `lint:allow` suppression covered this
+    /// finding; carries the suppression's justification text.
+    pub suppressed_by: Option<String>,
+}
+
+impl Diagnostic {
+    /// True if the finding is still active (not suppressed inline).
+    pub fn is_active(&self) -> bool {
+        self.suppressed_by.is_none()
+    }
+}
+
+/// Renders diagnostics in the human `file:line: [rule] message` shape.
+pub fn render_human(diags: &[Diagnostic], show_suppressed: bool) -> String {
+    let mut out = String::new();
+    for d in diags {
+        if d.suppressed_by.is_some() && !show_suppressed {
+            continue;
+        }
+        let tag = if d.suppressed_by.is_some() {
+            "allowed"
+        } else {
+            "deny"
+        };
+        out.push_str(&format!(
+            "{}:{}: [{}] {} ({})\n    {}\n",
+            d.file, d.line, d.rule, d.message, tag, d.excerpt
+        ));
+        if let Some(why) = &d.suppressed_by {
+            out.push_str(&format!("    suppressed: {why}\n"));
+        }
+    }
+    let active = diags.iter().filter(|d| d.is_active()).count();
+    let suppressed = diags.len() - active;
+    out.push_str(&format!(
+        "{active} unsuppressed diagnostic(s), {suppressed} suppressed\n"
+    ));
+    out
+}
+
+/// Renders the full report (active and suppressed findings) as JSON,
+/// the format the CI job uploads as an artifact.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let to_value = |d: &Diagnostic| {
+        let mut fields = vec![
+            ("rule".to_string(), Value::String(d.rule.clone())),
+            ("file".to_string(), Value::String(d.file.clone())),
+            ("line".to_string(), Value::Int(i128::from(d.line))),
+            ("message".to_string(), Value::String(d.message.clone())),
+            ("excerpt".to_string(), Value::String(d.excerpt.clone())),
+        ];
+        if let Some(why) = &d.suppressed_by {
+            fields.push(("suppressed_by".to_string(), Value::String(why.clone())));
+        }
+        Value::Object(fields)
+    };
+    let active: Vec<Value> = diags
+        .iter()
+        .filter(|d| d.is_active())
+        .map(to_value)
+        .collect();
+    let suppressed: Vec<Value> = diags
+        .iter()
+        .filter(|d| !d.is_active())
+        .map(to_value)
+        .collect();
+    let report = Value::Object(vec![
+        ("unsuppressed".to_string(), Value::Int(active.len() as i128)),
+        (
+            "suppressed_count".to_string(),
+            Value::Int(suppressed.len() as i128),
+        ),
+        ("diagnostics".to_string(), Value::Array(active)),
+        ("suppressed".to_string(), Value::Array(suppressed)),
+    ]);
+    serde_json::to_string_pretty(&report).unwrap_or_else(|e| {
+        // A Value tree always serializes; keep the linter panic-free
+        // on principle regardless.
+        format!("{{\"error\":\"report serialization failed: {e:?}\"}}")
+    })
+}

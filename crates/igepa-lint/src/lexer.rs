@@ -1,0 +1,508 @@
+//! A small hand-rolled Rust lexer, in the same vendoring spirit as
+//! `vendor/serde`: just enough of the language to drive token-stream
+//! analyses, with line numbers on every token and comments captured
+//! separately so suppression markers can be recovered.
+//!
+//! The lexer understands the parts of Rust surface syntax that would
+//! otherwise derail a naive scanner: nested block comments, string and
+//! byte-string literals with escapes, raw strings with arbitrary `#`
+//! fences, character literals vs. lifetimes, and numeric literals with
+//! type suffixes. It does not build an AST; the rules work directly on
+//! the token stream.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `f64`, ...).
+    Ident,
+    /// Punctuation, longest-match (`+=`, `::`, `->`, single chars, ...).
+    Punct,
+    /// String, byte-string, or raw-string literal (quotes stripped not).
+    Str,
+    /// Character literal, e.g. `'x'`.
+    Char,
+    /// Lifetime, e.g. `'a` (text includes the quote).
+    Lifetime,
+    /// Numeric literal, integer or float, with any suffix attached.
+    Num,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Raw token text as it appears in the source.
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True if this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// A comment (line or block) with the line it starts on. Block comment
+/// text keeps its interior verbatim; line comments drop the `//`.
+#[derive(Debug, Clone)]
+pub struct CommentTok {
+    /// 1-based line number where the comment starts.
+    pub line: u32,
+    /// Comment body without the leading `//` / `/*` marker.
+    pub text: String,
+}
+
+/// Output of [`lex`]: the token stream plus the captured comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<CommentTok>,
+}
+
+/// Multi-character punctuation, longest first so matching is greedy.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "<<", ">>", "::", "->", "=>", "..",
+];
+
+/// Lexes Rust source into tokens and comments. Unknown bytes are
+/// skipped rather than rejected: the linter must never panic on the
+/// tree it is checking.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                out.comments.push(CommentTok {
+                    line,
+                    text: src[start..end].to_string(),
+                });
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut end = start;
+                while end < bytes.len() && depth > 0 {
+                    if bytes[end] == b'\n' {
+                        line += 1;
+                        end += 1;
+                    } else if bytes[end] == b'/' && bytes.get(end + 1) == Some(&b'*') {
+                        depth += 1;
+                        end += 2;
+                    } else if bytes[end] == b'*' && bytes.get(end + 1) == Some(&b'/') {
+                        depth -= 1;
+                        end += 2;
+                    } else {
+                        end += 1;
+                    }
+                }
+                let body_end = end.saturating_sub(2).max(start);
+                out.comments.push(CommentTok {
+                    line: start_line,
+                    text: src[start..body_end].to_string(),
+                });
+                i = end;
+            }
+            b'"' => {
+                let (tok, next, lines) = lex_string(src, i, line);
+                out.tokens.push(tok);
+                line += lines;
+                i = next;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let (tok, next, lines) = lex_prefixed_string(src, i, line);
+                out.tokens.push(tok);
+                line += lines;
+                i = next;
+            }
+            b'\'' => {
+                let (tok, next) = lex_quote(src, i, line);
+                out.tokens.push(tok);
+                i = next;
+            }
+            _ if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(src, i, line);
+                out.tokens.push(tok);
+                i = next;
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut end = i + 1;
+                while end < bytes.len()
+                    && (bytes[end] == b'_' || bytes[end].is_ascii_alphanumeric())
+                {
+                    end += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            _ => {
+                let rest = &src[i..];
+                let mut matched = 1usize;
+                for p in PUNCTS {
+                    if rest.starts_with(p) {
+                        matched = p.len();
+                        break;
+                    }
+                }
+                if c.is_ascii() {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Punct,
+                        text: src[i..i + matched].to_string(),
+                        line,
+                    });
+                    i += matched;
+                } else {
+                    // Skip a non-ASCII scalar without splitting it.
+                    let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                    i += ch_len;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True if position `i` begins `r"`, `r#`, `b"`, `br"`, or `br#`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        matches!(bytes.get(j), Some(b'"') | Some(b'#'))
+    } else {
+        // Plain byte string `b"..."`.
+        j == i + 1 && bytes.get(j) == Some(&b'"')
+    }
+}
+
+/// Lexes a plain `"..."` string starting at `i` (which is the quote).
+/// Returns the token, the index after the closing quote, and how many
+/// newlines the literal spanned.
+fn lex_string(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut end = i + 1;
+    let mut lines = 0u32;
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'\n' => {
+                lines += 1;
+                end += 1;
+            }
+            b'"' => {
+                end += 1;
+                break;
+            }
+            _ => end += 1,
+        }
+    }
+    let end = end.min(bytes.len());
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: src[i..end].to_string(),
+            line,
+        },
+        end,
+        lines,
+    )
+}
+
+/// Lexes `b"..."`, `r"..."`, `r#"..."#`, `br#"..."#` starting at `i`.
+fn lex_prefixed_string(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if !raw {
+        // Plain byte string: same escape rules as a normal string.
+        let (mut tok, end, lines) = lex_string(src, j, line);
+        tok.text = src[i..end].to_string();
+        return (tok, end, lines);
+    }
+    // Raw string: scan for `"` followed by `hashes` `#` characters.
+    let mut end = j + 1; // past the opening quote
+    let mut lines = 0u32;
+    while end < bytes.len() {
+        if bytes[end] == b'\n' {
+            lines += 1;
+            end += 1;
+            continue;
+        }
+        if bytes[end] == b'"' {
+            let mut k = end + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                end = k;
+                break;
+            }
+        }
+        end += 1;
+    }
+    let end = end.min(bytes.len());
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: src[i..end].to_string(),
+            line,
+        },
+        end,
+        lines,
+    )
+}
+
+/// Disambiguates a `'` at position `i`: either a char literal or a
+/// lifetime. `'a'` is a char; `'a` followed by anything but `'` is a
+/// lifetime; `'\n'` and friends are chars.
+fn lex_quote(src: &str, i: usize, line: u32) -> (Tok, usize) {
+    let bytes = src.as_bytes();
+    match bytes.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char literal: consume escape then closing quote.
+            let mut end = i + 2;
+            // Escapes like \u{1F600} contain braces; scan to the quote.
+            while end < bytes.len() && bytes[end] != b'\'' {
+                end += 1;
+            }
+            let end = (end + 1).min(bytes.len());
+            (
+                Tok {
+                    kind: TokKind::Char,
+                    text: src[i..end].to_string(),
+                    line,
+                },
+                end,
+            )
+        }
+        Some(&c) if c == b'_' || c.is_ascii_alphanumeric() => {
+            if bytes.get(i + 2) == Some(&b'\'') && !c.is_ascii_digit() {
+                // 'x' — a one-character literal.
+                (
+                    Tok {
+                        kind: TokKind::Char,
+                        text: src[i..i + 3].to_string(),
+                        line,
+                    },
+                    i + 3,
+                )
+            } else {
+                // 'lifetime — consume identifier characters.
+                let mut end = i + 1;
+                while end < bytes.len()
+                    && (bytes[end] == b'_' || bytes[end].is_ascii_alphanumeric())
+                {
+                    end += 1;
+                }
+                (
+                    Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[i..end].to_string(),
+                        line,
+                    },
+                    end,
+                )
+            }
+        }
+        Some(_) if bytes.get(i + 2) == Some(&b'\'') => {
+            // Non-alphanumeric char literal like '('.
+            (
+                Tok {
+                    kind: TokKind::Char,
+                    text: src[i..i + 3].to_string(),
+                    line,
+                },
+                i + 3,
+            )
+        }
+        _ => (
+            Tok {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line,
+            },
+            i + 1,
+        ),
+    }
+}
+
+/// Lexes a numeric literal starting at a digit, including `0x`/`0b`/
+/// `0o` prefixes, decimal points, exponents, and type suffixes.
+fn lex_number(src: &str, i: usize, line: u32) -> (Tok, usize) {
+    let bytes = src.as_bytes();
+    let mut end = i;
+    let radix_prefixed =
+        bytes[i] == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'b') | Some(b'o'));
+    if radix_prefixed {
+        end = i + 2;
+        while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+    } else {
+        while end < bytes.len() && (bytes[end].is_ascii_digit() || bytes[end] == b'_') {
+            end += 1;
+        }
+        // A decimal point only if followed by a digit: `1.5` yes,
+        // `1..5` and `1.max(2)` no.
+        if bytes.get(end) == Some(&b'.') && bytes.get(end + 1).is_some_and(u8::is_ascii_digit) {
+            end += 1;
+            while end < bytes.len() && (bytes[end].is_ascii_digit() || bytes[end] == b'_') {
+                end += 1;
+            }
+        }
+        // Exponent: e[+-]?digits.
+        if matches!(bytes.get(end), Some(b'e') | Some(b'E')) {
+            let mut k = end + 1;
+            if matches!(bytes.get(k), Some(b'+') | Some(b'-')) {
+                k += 1;
+            }
+            if bytes.get(k).is_some_and(u8::is_ascii_digit) {
+                end = k;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+            }
+        }
+        // Type suffix: f64, u32, usize, ...
+        while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Num,
+            text: src[i..end].to_string(),
+            line,
+        },
+        end,
+    )
+}
+
+/// True if a numeric literal's text denotes a floating-point value:
+/// it has a decimal point, an exponent, or an `f32`/`f64` suffix.
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.bytes().zip(text.bytes().skip(1)).any(|(c, d)| {
+            (c == b'e' || c == b'E') && (d.is_ascii_digit() || d == b'+' || d == b'-')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_lines() {
+        let l = lex("let x = 1;\nx += 2.5;");
+        let plus_eq = l.tokens.iter().find(|t| t.text == "+=").unwrap();
+        assert_eq!(plus_eq.kind, TokKind::Punct);
+        assert_eq!(plus_eq.line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".to_string())));
+        assert!(toks.contains(&(TokKind::Char, "'x'".to_string())));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r####"let s = r#"he said "hi""#;"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("he said")));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("// first\nfn main() {}\n/* block\nspans */ let x = 0;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].text, " first");
+        assert_eq!(l.comments[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let l = lex("/* outer /* inner */ still */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn float_literal_classification() {
+        assert!(is_float_literal("0.5"));
+        assert!(is_float_literal("1e3"));
+        assert!(is_float_literal("2f64"));
+        assert!(!is_float_literal("10"));
+        assert!(!is_float_literal("0xff"));
+        assert!(!is_float_literal("1usize"));
+    }
+
+    #[test]
+    fn method_calls_on_numbers_do_not_eat_the_dot() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Num, "1".to_string()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".to_string()));
+        assert_eq!(toks[2], (TokKind::Ident, "max".to_string()));
+    }
+}

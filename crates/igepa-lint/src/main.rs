@@ -1,0 +1,109 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p igepa-lint -- --deny-all --format json
+//! ```
+//!
+//! Flags:
+//!
+//! * `--root <dir>` — workspace root (default: current directory).
+//! * `--deny-all` — every rule fails the run (the CI mode; also the
+//!   default).
+//! * `--allow <rule>` — report `<rule>` findings without failing.
+//! * `--deny <rule>` — re-promote a rule after `--allow`.
+//! * `--format human|json` — output format (default human).
+//! * `--show-suppressed` — include suppressed findings in human
+//!   output (JSON always carries them).
+//! * `--list-rules` — print the rule inventory and exit.
+//!
+//! Exit code is 1 when any unsuppressed finding of a denied rule
+//! remains, 2 on usage or I/O errors, 0 otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use igepa_lint::config::{Config, Level};
+use igepa_lint::{diagnostics, rules};
+
+fn main() -> ExitCode {
+    let mut cfg = Config::default();
+    let mut root = PathBuf::from(".");
+    let mut format_json = false;
+    let mut show_suppressed = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--deny-all" => {
+                cfg.levels.clear();
+            }
+            "--allow" => {
+                let Some(rule) = args.next() else {
+                    eprintln!("--allow needs a rule id");
+                    return ExitCode::from(2);
+                };
+                cfg.levels.insert(rule, Level::Allow);
+            }
+            "--deny" => {
+                let Some(rule) = args.next() else {
+                    eprintln!("--deny needs a rule id");
+                    return ExitCode::from(2);
+                };
+                cfg.levels.insert(rule, Level::Deny);
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("human") => format_json = false,
+                other => {
+                    eprintln!("--format expects `human` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--show-suppressed" => show_suppressed = true,
+            "--list-rules" => {
+                for rule in rules::all_rules() {
+                    println!("{:<26} {}", rule.id(), rule.summary());
+                }
+                println!(
+                    "{:<26} suppression markers must be well-formed, justified, and live",
+                    igepa_lint::SUPPRESSION_HYGIENE
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`; see crate docs for usage");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match igepa_lint::run(&root, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!(
+                "igepa-lint: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if format_json {
+        println!("{}", diagnostics::render_json(&report.diagnostics));
+    } else {
+        print!(
+            "{}",
+            diagnostics::render_human(&report.diagnostics, show_suppressed)
+        );
+    }
+    if report.failures(&cfg).next().is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,215 @@
+//! Rule `bench-schema`: CI perf gates may only reference scenario ids
+//! that actually exist.
+//!
+//! The CI workflow greps `BENCH_engine.json` for specific scenario
+//! rows and fails the build on regressions. A renamed scenario in
+//! `benches/engine.rs` silently turns that gate into a no-op: the grep
+//! finds nothing and the threshold never fires. This rule closes the
+//! loop in both directions:
+//!
+//! * every scenario id referenced by the CI workflow must exist in
+//!   `BENCH_engine.json` (ids with `{var}` placeholders are checked as
+//!   prefixes);
+//! * every scenario family in `BENCH_engine.json` must appear as a
+//!   string literal in the bench source, so a family rename cannot
+//!   orphan the whole baseline.
+
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{self, TokKind};
+use crate::rules::Rule;
+use crate::workspace::Workspace;
+
+/// Rule 5: bench baseline, bench source, and CI gates must agree.
+pub struct BenchSchema;
+
+impl Rule for BenchSchema {
+    fn id(&self) -> &'static str {
+        "bench-schema"
+    }
+
+    fn summary(&self) -> &'static str {
+        "scenario ids referenced by CI perf gates must exist in BENCH_engine.json and the bench source"
+    }
+
+    fn check_workspace(&self, cfg: &Config, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let Ok(baseline_text) = ws.read_artifact(cfg.bench_baseline) else {
+            out.push(missing_artifact(self, cfg.bench_baseline));
+            return;
+        };
+        let Ok(ci_text) = ws.read_artifact(cfg.ci_workflow) else {
+            out.push(missing_artifact(self, cfg.ci_workflow));
+            return;
+        };
+        let Ok(bench_src) = ws.read_artifact(cfg.bench_source) else {
+            out.push(missing_artifact(self, cfg.bench_source));
+            return;
+        };
+
+        let scenario_names = baseline_scenarios(&baseline_text);
+        if scenario_names.is_empty() {
+            out.push(Diagnostic {
+                rule: self.id().to_string(),
+                file: cfg.bench_baseline.to_string(),
+                line: 1,
+                message: "bench baseline has no scenarios; the CI perf gates cannot check anything"
+                    .to_string(),
+                excerpt: String::new(),
+                suppressed_by: None,
+            });
+            return;
+        }
+
+        // String literals in the bench source, for family checks.
+        let bench_literals: Vec<String> = lexer::lex(&bench_src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text)
+            .collect();
+
+        // CI → baseline / bench source.
+        for (line_no, id) in ci_scenario_refs(&ci_text) {
+            let excerpt = ci_text
+                .lines()
+                .nth(line_no.saturating_sub(1) as usize)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default();
+            let matches_baseline =
+                if let Some(prefix) = id.split('{').next().filter(|_| id.contains('{')) {
+                    scenario_names.iter().any(|n| n.starts_with(prefix))
+                } else {
+                    scenario_names.contains(&id)
+                };
+            if !matches_baseline {
+                out.push(Diagnostic {
+                    rule: self.id().to_string(),
+                    file: cfg.ci_workflow.to_string(),
+                    line: line_no,
+                    message: format!(
+                        "CI gate references scenario `{id}` which does not exist in {}; the gate is a silent no-op",
+                        cfg.bench_baseline
+                    ),
+                    excerpt: excerpt.clone(),
+                    suppressed_by: None,
+                });
+            }
+            let family = id.split('/').next().unwrap_or(&id);
+            if !bench_literals.iter().any(|l| l.contains(family)) {
+                out.push(Diagnostic {
+                    rule: self.id().to_string(),
+                    file: cfg.ci_workflow.to_string(),
+                    line: line_no,
+                    message: format!(
+                        "CI gate references scenario family `{family}` which no longer appears in {}; the bench cannot regenerate this row",
+                        cfg.bench_source
+                    ),
+                    excerpt,
+                    suppressed_by: None,
+                });
+            }
+        }
+
+        // Baseline families → bench source.
+        let families: BTreeSet<&str> = scenario_names
+            .iter()
+            .filter_map(|n| n.split('/').next())
+            .collect();
+        for family in families {
+            if !bench_literals.iter().any(|l| l.contains(family)) {
+                let line = find_line(&baseline_text, family);
+                out.push(Diagnostic {
+                    rule: self.id().to_string(),
+                    file: cfg.bench_baseline.to_string(),
+                    line,
+                    message: format!(
+                        "baseline scenario family `{family}` no longer appears in {}; the rows are orphaned and will never be refreshed",
+                        cfg.bench_source
+                    ),
+                    excerpt: format!("scenarios of family {family}/..."),
+                    suppressed_by: None,
+                });
+            }
+        }
+    }
+}
+
+/// Diagnostic for a missing cross-checked artifact.
+fn missing_artifact(rule: &BenchSchema, path: &str) -> Diagnostic {
+    Diagnostic {
+        rule: rule.id().to_string(),
+        file: path.to_string(),
+        line: 1,
+        message: format!("expected workspace artifact `{path}` is missing or unreadable"),
+        excerpt: String::new(),
+        suppressed_by: None,
+    }
+}
+
+/// Scenario names from the bench baseline JSON.
+fn baseline_scenarios(text: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let Ok(value) = serde_json::from_str::<serde::Value>(text) else {
+        return names;
+    };
+    let serde::Value::Object(fields) = &value else {
+        return names;
+    };
+    let Some((_, serde::Value::Array(scenarios))) = fields.iter().find(|(k, _)| k == "scenarios")
+    else {
+        return names;
+    };
+    for s in scenarios {
+        if let serde::Value::Object(entry) = s {
+            if let Some((_, serde::Value::String(name))) = entry.iter().find(|(k, _)| k == "name") {
+                names.insert(name.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Extracts scenario-id-shaped quoted strings from the CI workflow:
+/// quoted tokens whose characters are all `[a-z0-9_/{}]` with at
+/// least two `/` separators (`family/case/param`). Returns
+/// `(line, id)` pairs.
+fn ci_scenario_refs(text: &str) -> Vec<(u32, String)> {
+    let mut refs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        for quote in ['"', '\''] {
+            let mut rest = line;
+            while let Some(start) = rest.find(quote) {
+                let after = &rest[start + 1..];
+                let Some(end) = after.find(quote) else {
+                    break;
+                };
+                let candidate = &after[..end];
+                if candidate.matches('/').count() >= 2
+                    && !candidate.is_empty()
+                    && candidate
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_/{}".contains(c))
+                {
+                    refs.push((line_no, candidate.to_string()));
+                }
+                rest = &after[end + 1..];
+            }
+        }
+    }
+    refs.sort();
+    refs.dedup();
+    refs
+}
+
+/// 1-based line of the first occurrence of `needle` in `text`.
+fn find_line(text: &str, needle: &str) -> u32 {
+    for (idx, line) in text.lines().enumerate() {
+        if line.contains(needle) {
+            return (idx + 1) as u32;
+        }
+    }
+    1
+}

@@ -1,0 +1,198 @@
+//! Rule `no-raw-float-accum`: raw `+=`/`-=`/`.sum()` on floating-point
+//! values in `igepa-core`, `igepa-algos`, and `igepa-engine`.
+//!
+//! The determinism pins (bit-for-bit replay, crash recovery, one-shard
+//! ≡ monolithic) hold because all *served* utility accumulation flows
+//! through the exact superaccumulator in `igepa_core::exact`. A plain
+//! `f64 +=` introduced anywhere on those paths silently re-orders
+//! rounding and breaks the pins, so the rule flags every raw float
+//! accumulation outside the approved kernels and forces the author to
+//! either route through `ExactSum` or justify on the spot why the sum
+//! is not replayed state.
+//!
+//! Detection is lexical: per function, a small fixpoint pass infers
+//! which locals are floats (float literals, `f64`/`f32` annotations,
+//! known float fields/methods of core types), then `+=`/`-=` sites
+//! with float evidence on either side and `.sum()` calls with an
+//! `f64` turbofish or an `f64` in the statement/signature are flagged.
+
+use std::collections::HashSet;
+
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{is_float_literal, Tok, TokKind};
+use crate::rules::{function_bodies, segments, FuncSpan, Rule};
+use crate::workspace::SourceFile;
+
+/// Rule 1: no raw float accumulation outside approved kernels.
+pub struct FloatAccum;
+
+impl Rule for FloatAccum {
+    fn id(&self) -> &'static str {
+        "no-raw-float-accum"
+    }
+
+    fn summary(&self) -> &'static str {
+        "raw `+=`/`-=`/`.sum()` on f64 outside the exact-summation kernels breaks the bit-for-bit determinism pins"
+    }
+
+    fn check_file(&self, cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let in_scope = cfg.float_scope.iter().any(|p| file.rel_path.starts_with(p));
+        if !in_scope || cfg.float_approved.contains(&file.rel_path.as_str()) {
+            return;
+        }
+        for func in function_bodies(&file.tokens, &file.in_test) {
+            check_function(self, cfg, file, &func, out);
+        }
+    }
+}
+
+/// True if the token slice carries float evidence: a float literal, an
+/// `f64`/`f32` type token, a known float field/method access, or an
+/// identifier already inferred to be a float local.
+fn has_float_evidence(
+    tokens: &[Tok],
+    range: (usize, usize),
+    floats: &HashSet<String>,
+    cfg: &Config,
+) -> bool {
+    for i in range.0..range.1 {
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Num if is_float_literal(&t.text) => return true,
+            TokKind::Ident => {
+                if t.text == "f64" || t.text == "f32" || t.text.ends_with("_f64") {
+                    return true;
+                }
+                if floats.contains(&t.text) {
+                    return true;
+                }
+                if i > range.0 && tokens[i - 1].is_punct(".") {
+                    if cfg.float_fields.contains(&t.text.as_str()) {
+                        return true;
+                    }
+                    if cfg.float_methods.contains(&t.text.as_str())
+                        && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    {
+                        return true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Runs the float-local inference to fixpoint over a function, then
+/// reports raw accumulation sites.
+fn check_function(
+    rule: &FloatAccum,
+    cfg: &Config,
+    file: &SourceFile,
+    func: &FuncSpan,
+    out: &mut Vec<Diagnostic>,
+) {
+    let tokens = &file.tokens;
+    let segs = segments(tokens, func.body);
+    let mut floats: HashSet<String> = HashSet::new();
+
+    // Explicit `name: f64` annotations anywhere in the function
+    // (parameters and let bindings alike).
+    for i in func.sig.0..func.body.1 {
+        if tokens[i].kind == TokKind::Ident
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(":"))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| t.is_ident("f64") || t.is_ident("f32"))
+        {
+            floats.insert(tokens[i].text.clone());
+        }
+    }
+
+    // Fixpoint: `let x = <float evidence>` makes `x` float evidence.
+    for _ in 0..8 {
+        let mut changed = false;
+        for &(s, e) in &segs {
+            if !tokens[s].is_ident("let") {
+                continue;
+            }
+            let mut n = s + 1;
+            if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            let Some(name) = tokens.get(n).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            if floats.contains(&name.text) {
+                continue;
+            }
+            if has_float_evidence(tokens, (n + 1, e), &floats, cfg) {
+                floats.insert(name.text.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let sig_has_f64 =
+        (func.sig.0..func.sig.1).any(|i| tokens[i].is_ident("f64") || tokens[i].is_ident("f32"));
+
+    for &(s, e) in &segs {
+        // `+=` / `-=` with float evidence on either side.
+        for i in s..e {
+            if !(tokens[i].is_punct("+=") || tokens[i].is_punct("-=")) {
+                continue;
+            }
+            if file.in_test.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let lhs = has_float_evidence(tokens, (s, i), &floats, cfg);
+            let rhs = has_float_evidence(tokens, (i + 1, e), &floats, cfg);
+            if lhs || rhs {
+                out.push(Diagnostic {
+                    rule: rule.id().to_string(),
+                    file: file.rel_path.clone(),
+                    line: tokens[i].line,
+                    message: format!(
+                        "raw `{}` on floating-point state; served sums must flow through igepa_core::exact::ExactSum to keep replay and recovery bit-identical",
+                        tokens[i].text
+                    ),
+                    excerpt: file.excerpt(tokens[i].line),
+                    suppressed_by: None,
+                });
+            }
+        }
+        // `.sum()` with an f64 turbofish or f64 in statement/signature.
+        for i in s..e {
+            if !tokens[i].is_ident("sum") || i == 0 || !tokens[i - 1].is_punct(".") {
+                continue;
+            }
+            if file.in_test.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let turbofish_float = tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && tokens
+                    .get(i + 3)
+                    .is_some_and(|t| t.is_ident("f64") || t.is_ident("f32"));
+            let call_paren = if turbofish_float { i + 5 } else { i + 1 };
+            if !tokens.get(call_paren).is_some_and(|t| t.is_punct("(")) {
+                continue;
+            }
+            let stmt_float =
+                (s..e).any(|k| k != i && (tokens[k].is_ident("f64") || tokens[k].is_ident("f32")));
+            if turbofish_float || stmt_float || sig_has_f64 {
+                out.push(Diagnostic {
+                    rule: rule.id().to_string(),
+                    file: file.rel_path.clone(),
+                    line: tokens[i].line,
+                    message: "raw `.sum()` over floats folds in iterator order with plain rounding; route through ExactSum or justify why this sum is not replayed state".to_string(),
+                    excerpt: file.excerpt(tokens[i].line),
+                    suppressed_by: None,
+                });
+            }
+        }
+    }
+}

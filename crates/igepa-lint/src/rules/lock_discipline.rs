@@ -1,0 +1,114 @@
+//! Rule `lock-discipline`: poisoning unwraps and nested lock
+//! acquisitions in the transport/dispatch layer.
+//!
+//! Two failure shapes, both observed in the wild:
+//!
+//! * `lock().unwrap()` / `read().expect(...)` — one panicking thread
+//!   poisons the lock and every subsequent acquisition panics too,
+//!   cascading a single fault across all connection threads. Recover
+//!   the guard (`PoisonError::into_inner`) or surface a typed error.
+//! * Acquiring a second lock while a guard from a first is still in
+//!   scope — the classic AB/BA deadlock setup. The analysis is
+//!   per-function and lexical (it cannot see through calls), which is
+//!   exactly the granularity the transport layer is written to: each
+//!   cache method takes one guard, briefly.
+//!
+//! Acquisition sites are `.lock()`, `.read()`, `.write()` with empty
+//! argument lists — the empty parens distinguish `RwLock::read()` from
+//! `io::Read::read(buf)`.
+
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::rules::{function_bodies, Rule};
+use crate::workspace::SourceFile;
+
+/// Rule 4: lock discipline in the serving stack.
+pub struct LockDiscipline;
+
+impl Rule for LockDiscipline {
+    fn id(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn summary(&self) -> &'static str {
+        "lock().unwrap() poisoning cascades and nested guard scopes (deadlock shape) in the transport/dispatch layer"
+    }
+
+    fn check_file(&self, cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !file.rel_path.starts_with(cfg.lock_scope) {
+            return;
+        }
+        let tokens = &file.tokens;
+        for func in function_bodies(tokens, &file.in_test) {
+            // Active guards: (brace depth at acquisition, line,
+            // temporary). Temporaries die at the next `;`; let-bound
+            // guards die when their block closes.
+            let mut guards: Vec<(usize, u32, bool)> = Vec::new();
+            let mut depth = 0usize;
+            let mut stmt_start = func.body.0;
+            for i in func.body.0..func.body.1 {
+                let t = &tokens[i];
+                if t.is_punct("{") {
+                    depth += 1;
+                    stmt_start = i + 1;
+                    continue;
+                }
+                if t.is_punct("}") {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|&(d, _, _)| d <= depth);
+                    stmt_start = i + 1;
+                    continue;
+                }
+                if t.is_punct(";") {
+                    guards.retain(|&(_, _, temp)| !temp);
+                    stmt_start = i + 1;
+                    continue;
+                }
+                let is_acquire = (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+                    && i > func.body.0
+                    && tokens[i - 1].is_punct(".")
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    && tokens.get(i + 2).is_some_and(|n| n.is_punct(")"));
+                if !is_acquire {
+                    continue;
+                }
+                if file.in_test.get(i).copied().unwrap_or(false) {
+                    continue;
+                }
+                if let Some(&(_, held_line, _)) = guards.first() {
+                    out.push(Diagnostic {
+                        rule: self.id().to_string(),
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "lock acquired while the guard from line {held_line} is still in scope; nested acquisitions are the AB/BA deadlock shape — narrow the first guard's scope or merge the critical sections"
+                        ),
+                        excerpt: file.excerpt(t.line),
+                        suppressed_by: None,
+                    });
+                }
+                // `.lock().unwrap()` / `.read().expect(...)`.
+                if tokens.get(i + 3).is_some_and(|n| n.is_punct("."))
+                    && tokens
+                        .get(i + 4)
+                        .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+                {
+                    out.push(Diagnostic {
+                        rule: self.id().to_string(),
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`.{}().{}()` panics on a poisoned lock and cascades the poison to every other thread; recover the guard with `unwrap_or_else(PoisonError::into_inner)` or surface a typed error",
+                            t.text,
+                            tokens[i + 4].text
+                        ),
+                        excerpt: file.excerpt(t.line),
+                        suppressed_by: None,
+                    });
+                }
+                let is_let_bound = tokens.get(stmt_start).is_some_and(|s| s.is_ident("let"));
+                guards.push((depth, t.line, !is_let_bound));
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The rule registry. Each rule checks files (or the workspace as a
+//! whole) and emits [`Diagnostic`]s; the engine in `lib.rs` applies
+//! inline suppressions afterwards.
+
+pub mod bench_schema;
+pub mod float_accum;
+pub mod lock_discipline;
+pub mod panic_paths;
+pub mod serde_compat;
+
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::workspace::{SourceFile, Workspace};
+
+/// One invariant check.
+pub trait Rule {
+    /// Stable rule id used in output and `lint:allow(...)` markers.
+    fn id(&self) -> &'static str;
+    /// One-line description shown by `--list-rules`.
+    fn summary(&self) -> &'static str;
+    /// Per-file check. Default: nothing.
+    fn check_file(&self, _cfg: &Config, _file: &SourceFile, _out: &mut Vec<Diagnostic>) {}
+    /// Workspace-level check (cross-artifact rules). Default: nothing.
+    fn check_workspace(&self, _cfg: &Config, _ws: &Workspace, _out: &mut Vec<Diagnostic>) {}
+}
+
+/// All shipped rules, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(float_accum::FloatAccum),
+        Box::new(panic_paths::PanicPaths),
+        Box::new(serde_compat::SerdeCompat),
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(bench_schema::BenchSchema),
+    ]
+}
+
+use crate::lexer::{Tok, TokKind};
+
+/// A function's token extent: signature plus body. Shared by the
+/// rules that reason per-function (float accumulation, lock
+/// discipline).
+pub struct FuncSpan {
+    /// Indices of the signature tokens (`fn` through the body `{`).
+    pub sig: (usize, usize),
+    /// Indices of the body tokens (inside the braces).
+    pub body: (usize, usize),
+}
+
+/// Finds every non-test function body in the token stream. Nested
+/// functions are covered by their enclosing function's span.
+pub fn function_bodies(tokens: &[Tok], in_test: &[bool]) -> Vec<FuncSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_fn_item =
+            tokens[i].is_ident("fn") && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident);
+        if !is_fn_item || in_test.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        // Scan the signature for the body `{` (or a `;` for bodyless
+        // trait declarations).
+        let mut j = i + 1;
+        let mut body_open = None;
+        while j < tokens.len() {
+            if tokens[j].is_punct("{") {
+                body_open = Some(j);
+                break;
+            }
+            if tokens[j].is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < tokens.len() {
+            if tokens[k].is_punct("{") {
+                depth += 1;
+            } else if tokens[k].is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        spans.push(FuncSpan {
+            sig: (i, open),
+            body: (open + 1, k.min(tokens.len())),
+        });
+        i = k + 1;
+    }
+    spans
+}
+
+/// Splits a token range into flat statement-ish segments at `;`, `{`,
+/// and `}` boundaries — an approximation of statements that is good
+/// enough for local evidence scanning.
+pub fn segments(tokens: &[Tok], range: (usize, usize)) -> Vec<(usize, usize)> {
+    let mut segs = Vec::new();
+    let mut start = range.0;
+    for i in range.0..range.1 {
+        let t = &tokens[i];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            if i > start {
+                segs.push((start, i));
+            }
+            start = i + 1;
+        }
+    }
+    if range.1 > start {
+        segs.push((start, range.1));
+    }
+    segs
+}

@@ -1,0 +1,282 @@
+//! Rule `serde-compat`: every wire-compatible config/snapshot type in
+//! `igepa-engine` must match the pinned field baseline.
+//!
+//! Legacy configs and v1/v2 snapshots must keep decoding forever: the
+//! crash-recovery pin replays old WAL segments and snapshot payloads
+//! byte-for-byte. The vendored serde derive has **no**
+//! `#[serde(default)]`, so a field added to a `Deserialize` type is
+//! only safe when its decode path is hand-written with a
+//! `None => default` arm (see `EngineConfig::deserialize` and
+//! `EngineSnapshotState::deserialize`). This rule pins the exact
+//! field/variant lists of every such type; any drift — a new field, a
+//! removed field, a new type matching the wire-compat naming patterns
+//! — is a diagnostic until the author consciously updates the baseline
+//! in `config.rs`, which is the reviewable act of saying "I checked
+//! the legacy decode path".
+
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::rules::Rule;
+use crate::workspace::SourceFile;
+
+/// Rule 3: wire-compat types must match the pinned baseline.
+pub struct SerdeCompat;
+
+/// Name fragments that mark a type as wire-compatible state.
+const WIRE_PATTERNS: &[&str] = &["Config", "Snapshot", "State", "Record", "Stats", "Policy"];
+
+impl Rule for SerdeCompat {
+    fn id(&self) -> &'static str {
+        "serde-compat"
+    }
+
+    fn summary(&self) -> &'static str {
+        "fields of Deserialize config/snapshot types must stay decodable from legacy payloads; drift from the pinned baseline is flagged"
+    }
+
+    fn check_file(&self, cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !file.rel_path.starts_with(cfg.serde_scope) {
+            return;
+        }
+        let defs = collect_type_defs(&file.tokens, &file.in_test);
+        let handwritten = collect_handwritten_impls(&file.tokens);
+        for def in &defs {
+            let wire_named = WIRE_PATTERNS.iter().any(|p| def.name.contains(p));
+            let deserializable =
+                def.derives.iter().any(|d| d == "Deserialize") || handwritten.contains(&def.name);
+            if !wire_named || !deserializable {
+                continue;
+            }
+            let Some(baseline) = cfg.serde_baseline.get(def.name.as_str()) else {
+                out.push(Diagnostic {
+                    rule: self.id().to_string(),
+                    file: file.rel_path.clone(),
+                    line: def.line,
+                    message: format!(
+                        "`{}` is a wire-compatible Deserialize type but has no pinned field baseline; add it to the serde-compat baseline after confirming its decode path defaults every optional field",
+                        def.name
+                    ),
+                    excerpt: file.excerpt(def.line),
+                    suppressed_by: None,
+                });
+                continue;
+            };
+            for (field, line) in &def.fields {
+                if !baseline.contains(&field.as_str()) {
+                    out.push(Diagnostic {
+                        rule: self.id().to_string(),
+                        file: file.rel_path.clone(),
+                        line: *line,
+                        message: format!(
+                            "field `{field}` of `{}` is not in the pinned wire-compat baseline; legacy payloads will not carry it — give the decode path a `None => default` arm (the vendored derive has no #[serde(default)]), then extend the baseline",
+                            def.name
+                        ),
+                        excerpt: file.excerpt(*line),
+                        suppressed_by: None,
+                    });
+                }
+            }
+            for expected in baseline {
+                if !def.fields.iter().any(|(f, _)| f == expected) {
+                    out.push(Diagnostic {
+                        rule: self.id().to_string(),
+                        file: file.rel_path.clone(),
+                        line: def.line,
+                        message: format!(
+                            "field `{expected}` of `{}` is in the pinned wire-compat baseline but missing from the type; removing a field breaks decoding of payloads that still carry it — keep it, or migrate the baseline deliberately",
+                            def.name
+                        ),
+                        excerpt: file.excerpt(def.line),
+                        suppressed_by: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A parsed struct/enum definition.
+struct TypeDef {
+    /// Type name.
+    name: String,
+    /// Line of the `struct`/`enum` keyword.
+    line: u32,
+    /// Derive idents attached to the definition.
+    derives: Vec<String>,
+    /// Field names (structs) or variant names (enums) with lines.
+    fields: Vec<(String, u32)>,
+}
+
+/// Collects non-test struct/enum definitions with their derives.
+fn collect_type_defs(tokens: &[Tok], in_test: &[bool]) -> Vec<TypeDef> {
+    let mut defs = Vec::new();
+    let mut pending_derives: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("#") && tokens.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+            let (end, derives) = scan_derive_attr(tokens, i + 1);
+            if let Some(d) = derives {
+                pending_derives.extend(d);
+            }
+            i = end;
+            continue;
+        }
+        if (t.is_ident("struct") || t.is_ident("enum")) && !in_test.get(i).copied().unwrap_or(false)
+        {
+            let is_enum = t.is_ident("enum");
+            if let Some(name_tok) = tokens.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                let (fields, end) = parse_body(tokens, i + 2, is_enum);
+                defs.push(TypeDef {
+                    name: name_tok.text.clone(),
+                    line: t.line,
+                    derives: std::mem::take(&mut pending_derives),
+                    fields,
+                });
+                i = end;
+                continue;
+            }
+        }
+        // Any other token breaks the attribute→item adjacency.
+        if !(t.is_ident("pub") || t.is_punct("(") || t.is_punct(")")) {
+            pending_derives.clear();
+        }
+        i += 1;
+    }
+    defs
+}
+
+/// If the attribute starting at `[` is `derive(...)`, returns its
+/// idents; always returns the index past the closing `]`.
+fn scan_derive_attr(tokens: &[Tok], open: usize) -> (usize, Option<Vec<String>>) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let is_derive = tokens.get(open + 1).is_some_and(|t| t.is_ident("derive"));
+    let mut idents = Vec::new();
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return (j + 1, is_derive.then_some(idents));
+            }
+        } else if is_derive && t.kind == TokKind::Ident && !t.is_ident("derive") {
+            idents.push(t.text.clone());
+        }
+        j += 1;
+    }
+    (tokens.len(), None)
+}
+
+/// Parses a struct's named fields or an enum's variants starting just
+/// after the type name (generics are skipped). Returns the entries and
+/// the index past the definition. Tuple and unit bodies yield no
+/// entries.
+fn parse_body(tokens: &[Tok], mut i: usize, is_enum: bool) -> (Vec<(String, u32)>, usize) {
+    // Skip generics `<...>`.
+    if tokens.get(i).is_some_and(|t| t.is_punct("<")) {
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if tokens[i].is_punct("<") {
+                angle += 1;
+            } else if tokens[i].is_punct(">") {
+                angle -= 1;
+                if angle == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    let Some(open) = tokens.get(i) else {
+        return (Vec::new(), i);
+    };
+    if open.is_punct(";") || open.is_punct("(") {
+        // Unit or tuple body: scan to the terminating `;`.
+        while i < tokens.len() && !tokens[i].is_punct(";") {
+            i += 1;
+        }
+        return (Vec::new(), i + 1);
+    }
+    if !open.is_punct("{") {
+        return (Vec::new(), i);
+    }
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    // Variants are named at an element boundary; struct fields are
+    // `name:` pairs. Both live at depth 1.
+    let mut at_boundary = true;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+            at_boundary = depth == 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return (fields, i + 1);
+            }
+            i += 1;
+            continue;
+        }
+        if depth == 1 {
+            if t.is_punct("#") && tokens.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+                let (end, _) = scan_derive_attr(tokens, i + 1);
+                i = end;
+                continue;
+            }
+            if t.is_punct(",") {
+                at_boundary = true;
+                i += 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident && !t.is_ident("pub") {
+                let named_field = tokens.get(i + 1).is_some_and(|n| n.is_punct(":"));
+                if is_enum && at_boundary {
+                    fields.push((t.text.clone(), t.line));
+                    at_boundary = false;
+                } else if !is_enum && named_field {
+                    fields.push((t.text.clone(), t.line));
+                }
+            }
+            if !t.is_punct(",") {
+                at_boundary = false;
+            }
+        }
+        i += 1;
+    }
+    (fields, i)
+}
+
+/// Finds `impl serde::Deserialize for Name` / `impl Deserialize for
+/// Name` blocks and returns the implemented type names.
+fn collect_handwritten_impls(tokens: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            continue;
+        }
+        // impl [serde ::] Deserialize for Name
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_ident("serde"))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct("::"))
+        {
+            j += 2;
+        }
+        if tokens.get(j).is_some_and(|t| t.is_ident("Deserialize"))
+            && tokens.get(j + 1).is_some_and(|t| t.is_ident("for"))
+        {
+            if let Some(name) = tokens.get(j + 2).filter(|t| t.kind == TokKind::Ident) {
+                names.push(name.text.clone());
+            }
+        }
+    }
+    names
+}

@@ -1,0 +1,171 @@
+//! Inline suppression markers.
+//!
+//! Syntax: `// lint:allow(rule-id): justification text`, with a
+//! comma-separated rule list allowed inside the parentheses. The
+//! justification is mandatory — a suppression that does not say *why*
+//! the invariant is safe to waive is itself a diagnostic
+//! (`suppression-hygiene`). A marker covers findings on its own line
+//! and on the line directly below, so both trailing and standalone
+//! placements work:
+//!
+//! ```text
+//! total += x; // lint:allow(no-raw-float-accum): summary stat only
+//!
+//! // lint:allow(no-panic-in-server-paths): divergence is unrecoverable
+//! let v = mirror.get(k).expect("mirror tracks the catalogue");
+//! ```
+
+use crate::lexer::CommentTok;
+
+/// A parsed `lint:allow` marker.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the marker appears on; it covers `line` and `line + 1`.
+    pub line: u32,
+    /// Rule ids listed in the parentheses.
+    pub rules: Vec<String>,
+    /// Mandatory free-text justification after the closing `):`.
+    pub justification: String,
+}
+
+impl Suppression {
+    /// True if this marker covers `rule` findings on `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        (self.line == line || self.line + 1 == line) && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// A malformed marker, reported by the `suppression-hygiene` rule.
+#[derive(Debug, Clone)]
+pub struct SuppressionError {
+    /// Line of the malformed marker.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Extracts `lint:allow` markers from a file's comments. Markers with
+/// bad syntax or an empty justification are returned as errors.
+pub fn parse_suppressions(comments: &[CommentTok]) -> (Vec<Suppression>, Vec<SuppressionError>) {
+    let mut found = Vec::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        let text = c.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = text.strip_prefix("lint:allow") else {
+            if text.starts_with("lint:") {
+                errors.push(SuppressionError {
+                    line: c.line,
+                    message: format!(
+                        "unrecognized lint marker `{}`; only `lint:allow(<rules>): <why>` is understood",
+                        text.trim_end()
+                    ),
+                });
+            }
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            errors.push(SuppressionError {
+                line: c.line,
+                message: "malformed suppression: expected `(` after `lint:allow`".to_string(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            errors.push(SuppressionError {
+                line: c.line,
+                message: "malformed suppression: missing `)` in `lint:allow(...)`".to_string(),
+            });
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            errors.push(SuppressionError {
+                line: c.line,
+                message: "malformed suppression: empty rule list".to_string(),
+            });
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let Some(justification) = after.strip_prefix(':').map(str::trim) else {
+            errors.push(SuppressionError {
+                line: c.line,
+                message:
+                    "suppression is missing a justification: write `lint:allow(<rules>): <why>`"
+                        .to_string(),
+            });
+            continue;
+        };
+        if justification.len() < 10 {
+            errors.push(SuppressionError {
+                line: c.line,
+                message:
+                    "suppression justification is empty or too short to explain anything; say why the invariant is safe to waive here"
+                        .to_string(),
+            });
+            continue;
+        }
+        found.push(Suppression {
+            line: c.line,
+            rules,
+            justification: justification.to_string(),
+        });
+    }
+    (found, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Suppression>, Vec<SuppressionError>) {
+        parse_suppressions(&lex(src).comments)
+    }
+
+    #[test]
+    fn well_formed_marker_parses() {
+        let (ok, err) = parse("x += 1.0; // lint:allow(no-raw-float-accum): summary stat only\n");
+        assert_eq!(err.len(), 0);
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].rules, vec!["no-raw-float-accum"]);
+        assert!(ok[0].covers("no-raw-float-accum", 1));
+        assert!(ok[0].covers("no-raw-float-accum", 2));
+        assert!(!ok[0].covers("no-raw-float-accum", 3));
+        assert!(!ok[0].covers("other-rule", 1));
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let (ok, err) = parse("// lint:allow(no-raw-float-accum)\n");
+        assert!(ok.is_empty());
+        assert_eq!(err.len(), 1);
+        assert!(err[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn short_justification_is_an_error() {
+        let (ok, err) = parse("// lint:allow(lock-discipline): ok\n");
+        assert!(ok.is_empty());
+        assert_eq!(err.len(), 1);
+    }
+
+    #[test]
+    fn multiple_rules_in_one_marker() {
+        let (ok, err) =
+            parse("// lint:allow(rule-a, rule-b): both waived because this is a fixture\n");
+        assert!(err.is_empty());
+        assert_eq!(ok[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let (ok, err) = parse("// just a note about lint behaviour\n");
+        assert!(ok.is_empty());
+        assert!(err.is_empty());
+    }
+}

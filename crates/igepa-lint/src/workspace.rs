@@ -1,0 +1,263 @@
+//! Workspace discovery and the per-file analysis model.
+//!
+//! The linter walks `crates/*/src` (plus each crate's `benches/`),
+//! skipping `vendor/`, `target/`, and the lint fixtures themselves.
+//! Each file is lexed once; `#[cfg(test)]` / `#[test]` regions are
+//! annotated on the token stream so rules can skip test code.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Lexed, Tok};
+use crate::suppress::{self, Suppression, SuppressionError};
+
+/// One lexed source file ready for rule checks.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Token stream, in source order.
+    pub tokens: Vec<Tok>,
+    /// Parallel to `tokens`: true when the token sits inside a
+    /// `#[cfg(test)]` item or a `#[test]` function.
+    pub in_test: Vec<bool>,
+    /// Inline suppression markers.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed suppression markers.
+    pub suppression_errors: Vec<SuppressionError>,
+    /// Raw source lines, for excerpts.
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes and annotates `src`, attributing it to `rel_path`.
+    pub fn parse(rel_path: String, src: &str) -> Self {
+        let Lexed { tokens, comments } = lexer::lex(src);
+        let in_test = annotate_test_regions(&tokens);
+        let (suppressions, suppression_errors) = suppress::parse_suppressions(&comments);
+        SourceFile {
+            rel_path,
+            tokens,
+            in_test,
+            suppressions,
+            suppression_errors,
+            lines: src.lines().map(str::to_string).collect(),
+        }
+    }
+
+    /// The trimmed source line at 1-based `line`, for excerpts.
+    pub fn excerpt(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// The whole workspace: every discovered source file plus the root,
+/// so workspace-level rules can read non-Rust artifacts (CI config,
+/// bench baselines).
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All lexed source files, sorted by path for stable output.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Discovers and lexes the workspace rooted at `root`.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let mut paths = Vec::new();
+        let crates_dir = root.join("crates");
+        for crate_entry in read_dir_sorted(&crates_dir)? {
+            if !crate_entry.is_dir() {
+                continue;
+            }
+            for sub in ["src", "benches"] {
+                let dir = crate_entry.join(sub);
+                if dir.is_dir() {
+                    collect_rs_files(&dir, &mut paths)?;
+                }
+            }
+        }
+        let mut files = Vec::new();
+        for path in paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if rel.contains("/tests/fixtures/") {
+                continue;
+            }
+            let src = fs::read_to_string(&path)?;
+            files.push(SourceFile::parse(rel, &src));
+        }
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// Reads a workspace-relative non-Rust artifact (CI config, bench
+    /// baseline) for workspace-level rules.
+    pub fn read_artifact(&self, rel: &str) -> io::Result<String> {
+        fs::read_to_string(self.root.join(rel))
+    }
+}
+
+/// Directory entries sorted by name so runs are deterministic.
+fn read_dir_sorted(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Marks tokens that belong to test-only code: items annotated with
+/// `#[cfg(test)]` (including `cfg(all(test, ...))`) or `#[test]`-family
+/// attributes. The marked span runs from the attribute through the end
+/// of the following item (its matching `}` or terminating `;`).
+pub fn annotate_test_regions(tokens: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let (attr_end, is_test_attr) = scan_attribute(tokens, i + 1);
+            if is_test_attr {
+                let item_end = skip_item(tokens, attr_end);
+                for flag in in_test.iter_mut().take(item_end).skip(i) {
+                    *flag = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Scans an attribute starting at its `[`; returns the index just past
+/// the matching `]` and whether the attribute marks test-only code.
+fn scan_attribute(tokens: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut negated = false;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return (j + 1, is_test && !negated);
+            }
+        } else if t.is_ident("not") {
+            // `#[cfg(not(test))]` gates *non*-test code.
+            negated = true;
+        } else if t.is_ident("test") {
+            // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`.
+            is_test = true;
+        }
+        j += 1;
+    }
+    (tokens.len(), is_test && !negated)
+}
+
+/// Skips the item that follows an attribute: further attributes, then
+/// tokens until a `{...}` block closes at depth zero or a `;` ends a
+/// declaration.
+fn skip_item(tokens: &[Tok], mut i: usize) -> usize {
+    // Chained attributes on the same item.
+    while i < tokens.len()
+        && tokens[i].is_punct("#")
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+    {
+        let (next, _) = scan_attribute(tokens, i + 1);
+        i = next;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(";") && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn test_flags(src: &str) -> Vec<(String, bool)> {
+        let toks = lex(src).tokens;
+        let flags = annotate_test_regions(&toks);
+        toks.into_iter()
+            .zip(flags)
+            .map(|(t, f)| (t.text, f))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn also_live() {}";
+        let flags = test_flags(src);
+        let unwrap_flag = flags.iter().find(|(t, _)| t == "unwrap").unwrap();
+        assert!(unwrap_flag.1);
+        let live = flags.iter().find(|(t, _)| t == "live").unwrap();
+        assert!(!live.1);
+        let also = flags.iter().find(|(t, _)| t == "also_live").unwrap();
+        assert!(!also.1);
+    }
+
+    #[test]
+    fn test_fn_attribute_is_marked() {
+        let src = "#[test]\nfn checks() { assert!(true); }\nfn live() {}";
+        let flags = test_flags(src);
+        assert!(flags.iter().find(|(t, _)| t == "checks").unwrap().1);
+        assert!(!flags.iter().find(|(t, _)| t == "live").unwrap().1);
+    }
+
+    #[test]
+    fn cfg_all_test_is_marked() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() {} }\nfn live() {}";
+        let flags = test_flags(src);
+        assert!(flags.iter().find(|(t, _)| t == "f").unwrap().1);
+        assert!(!flags.iter().find(|(t, _)| t == "live").unwrap().1);
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_mark() {
+        let src = "#[derive(Debug, Clone)]\nstruct S { x: u32 }";
+        let flags = test_flags(src);
+        assert!(flags.iter().all(|(_, f)| !f));
+    }
+}

@@ -1,0 +1,224 @@
+//! Golden-diagnostic fixture tests: every rule must fire on its `bad`
+//! fixture and stay quiet on its `good` fixture, with the exact JSON
+//! diagnostics pinned as golden artifacts under `tests/golden/`.
+//!
+//! Regenerate the goldens after an intentional rule change with
+//! `UPDATE_GOLDEN=1 cargo test -p igepa-lint --test fixtures` (the same
+//! idiom as the durability golden logs) and review the diff.
+
+use igepa_lint::config::Config;
+use igepa_lint::diagnostics::{render_json, Diagnostic};
+use igepa_lint::run_on;
+use igepa_lint::workspace::{SourceFile, Workspace};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn tests_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests")
+}
+
+/// Compares `rendered` against the checked-in golden, or rewrites the
+/// golden when `UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, rendered: &str) {
+    let path = tests_dir().join("golden").join(format!("{name}.json"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_GOLDEN=1 cargo test -p igepa-lint --test fixtures",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "golden mismatch for `{name}`; if the rule change is intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// Lints one fixture file as if it lived at `scoped_path` in the real
+/// workspace, keeping only `rule`'s diagnostics (the fixture root has
+/// no bench artifacts, so other workspace-level rules would add noise).
+fn lint_fixture(fixture: &str, scoped_path: &str, rule: &str) -> Vec<Diagnostic> {
+    let src = fs::read_to_string(tests_dir().join("fixtures").join(fixture)).unwrap();
+    let ws = Workspace {
+        root: tests_dir().join("fixtures"),
+        files: vec![SourceFile::parse(scoped_path.to_string(), &src)],
+    };
+    run_on(&ws, &Config::default())
+        .diagnostics
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .collect()
+}
+
+/// Lints a whole fixture mini-root (for workspace-level rules that
+/// cross-check non-Rust artifacts).
+fn lint_fixture_root(root_rel: &str, rule: &str) -> Vec<Diagnostic> {
+    let root = tests_dir().join("fixtures").join(root_rel);
+    igepa_lint::run(&root, &Config::default())
+        .unwrap()
+        .diagnostics
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .collect()
+}
+
+fn assert_fires(diags: &[Diagnostic], rule: &str) {
+    assert!(
+        diags.iter().any(|d| d.is_active()),
+        "`{rule}` produced no active diagnostics on its bad fixture"
+    );
+}
+
+fn assert_quiet(diags: &[Diagnostic], rule: &str) {
+    let active: Vec<String> = diags
+        .iter()
+        .filter(|d| d.is_active())
+        .map(|d| format!("{}:{} {}", d.file, d.line, d.message))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "`{rule}` flagged its good fixture:\n{}",
+        active.join("\n")
+    );
+}
+
+#[test]
+fn float_accum_fires_on_bad_fixture() {
+    let rule = "no-raw-float-accum";
+    let diags = lint_fixture(
+        "float_accum/bad.rs",
+        "crates/igepa-engine/src/fixture.rs",
+        rule,
+    );
+    assert_fires(&diags, rule);
+    check_golden("float_accum_bad", &render_json(&diags));
+}
+
+#[test]
+fn float_accum_quiet_on_good_fixture() {
+    let rule = "no-raw-float-accum";
+    let diags = lint_fixture(
+        "float_accum/good.rs",
+        "crates/igepa-engine/src/fixture.rs",
+        rule,
+    );
+    assert_quiet(&diags, rule);
+    check_golden("float_accum_good", &render_json(&diags));
+}
+
+#[test]
+fn panic_paths_fires_on_bad_fixture() {
+    let rule = "no-panic-in-server-paths";
+    let diags = lint_fixture(
+        "panic_paths/bad.rs",
+        "crates/igepa-engine/src/transport.rs",
+        rule,
+    );
+    assert_fires(&diags, rule);
+    check_golden("panic_paths_bad", &render_json(&diags));
+}
+
+#[test]
+fn panic_paths_quiet_on_good_fixture() {
+    let rule = "no-panic-in-server-paths";
+    let diags = lint_fixture(
+        "panic_paths/good.rs",
+        "crates/igepa-engine/src/transport.rs",
+        rule,
+    );
+    assert_quiet(&diags, rule);
+    check_golden("panic_paths_good", &render_json(&diags));
+}
+
+#[test]
+fn serde_compat_fires_on_bad_fixture() {
+    let rule = "serde-compat";
+    let diags = lint_fixture(
+        "serde_compat/bad.rs",
+        "crates/igepa-engine/src/fixture.rs",
+        rule,
+    );
+    assert_fires(&diags, rule);
+    check_golden("serde_compat_bad", &render_json(&diags));
+}
+
+#[test]
+fn serde_compat_quiet_on_good_fixture() {
+    let rule = "serde-compat";
+    let diags = lint_fixture(
+        "serde_compat/good.rs",
+        "crates/igepa-engine/src/fixture.rs",
+        rule,
+    );
+    assert_quiet(&diags, rule);
+    check_golden("serde_compat_good", &render_json(&diags));
+}
+
+#[test]
+fn lock_discipline_fires_on_bad_fixture() {
+    let rule = "lock-discipline";
+    let diags = lint_fixture(
+        "lock_discipline/bad.rs",
+        "crates/igepa-engine/src/fixture.rs",
+        rule,
+    );
+    assert_fires(&diags, rule);
+    check_golden("lock_discipline_bad", &render_json(&diags));
+}
+
+#[test]
+fn lock_discipline_quiet_on_good_fixture() {
+    let rule = "lock-discipline";
+    let diags = lint_fixture(
+        "lock_discipline/good.rs",
+        "crates/igepa-engine/src/fixture.rs",
+        rule,
+    );
+    assert_quiet(&diags, rule);
+    check_golden("lock_discipline_good", &render_json(&diags));
+}
+
+#[test]
+fn suppression_hygiene_fires_on_bad_fixture() {
+    let rule = igepa_lint::SUPPRESSION_HYGIENE;
+    let diags = lint_fixture(
+        "suppression_hygiene/bad.rs",
+        "crates/igepa-engine/src/fixture.rs",
+        rule,
+    );
+    assert_fires(&diags, rule);
+    check_golden("suppression_hygiene_bad", &render_json(&diags));
+}
+
+#[test]
+fn suppression_hygiene_quiet_on_good_fixture() {
+    let rule = igepa_lint::SUPPRESSION_HYGIENE;
+    let diags = lint_fixture(
+        "suppression_hygiene/good.rs",
+        "crates/igepa-engine/src/fixture.rs",
+        rule,
+    );
+    assert_quiet(&diags, rule);
+    check_golden("suppression_hygiene_good", &render_json(&diags));
+}
+
+#[test]
+fn bench_schema_fires_on_bad_root() {
+    let rule = "bench-schema";
+    let diags = lint_fixture_root("bench_schema/bad_root", rule);
+    assert_fires(&diags, rule);
+    check_golden("bench_schema_bad", &render_json(&diags));
+}
+
+#[test]
+fn bench_schema_quiet_on_good_root() {
+    let rule = "bench-schema";
+    let diags = lint_fixture_root("bench_schema/good_root", rule);
+    assert_quiet(&diags, rule);
+    check_golden("bench_schema_good", &render_json(&diags));
+}

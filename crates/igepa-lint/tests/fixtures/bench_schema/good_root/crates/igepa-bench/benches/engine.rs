@@ -1,0 +1,4 @@
+fn main() {
+    let families = ["apply/user_scoped"];
+    let _ = families;
+}

@@ -1,0 +1,32 @@
+//! Fixture: raw float accumulation the `no-raw-float-accum` rule must
+//! flag. Linted as if it lived at `crates/igepa-engine/src/fixture.rs`.
+
+pub struct Totals {
+    pub utility: f64,
+}
+
+pub fn accumulate(samples: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for s in samples {
+        acc += s;
+    }
+    acc
+}
+
+pub fn fold(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>()
+}
+
+pub fn drain(t: &mut Totals, amount: f64) {
+    t.utility -= amount;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn accumulation_in_tests_is_fine() {
+        let mut acc = 0.0;
+        acc += 1.5;
+        assert!(acc > 1.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: accumulation patterns the `no-raw-float-accum` rule must
+//! accept — integer folds, and a float fold waived with a justified
+//! inline suppression.
+
+pub fn count(samples: &[u64]) -> u64 {
+    let mut events = 0;
+    for s in samples {
+        events += s;
+    }
+    events
+}
+
+pub fn replayed(samples: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for s in samples {
+        // lint:allow(no-raw-float-accum): fixture waiver — reproduces the serial fold in caller order bit for bit
+        acc += s;
+    }
+    acc
+}

@@ -1,0 +1,23 @@
+//! Fixture: lock misuse the `lock-discipline` rule must flag —
+//! poisoning unwraps and a nested acquisition while a guard is held.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct State {
+    counter: Mutex<u64>,
+    table: RwLock<Vec<u64>>,
+}
+
+impl State {
+    pub fn bump(&self) -> u64 {
+        let mut guard = self.counter.lock().unwrap();
+        *guard += 1;
+        *guard
+    }
+
+    pub fn nested(&self) -> u64 {
+        let table = self.table.read().expect("poisoned");
+        let extra = self.counter.lock().unwrap();
+        table.len() as u64 + *extra
+    }
+}

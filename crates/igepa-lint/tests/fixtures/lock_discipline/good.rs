@@ -1,0 +1,28 @@
+//! Fixture: lock usage the `lock-discipline` rule must accept —
+//! poison-recovering helpers and strictly sequential guard scopes.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub struct State {
+    counter: Mutex<u64>,
+}
+
+impl State {
+    fn counter_guard(&self) -> MutexGuard<'_, u64> {
+        // A poisoned mutex still holds coherent data here; recover the
+        // guard instead of cascading the panic.
+        self.counter.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn bump(&self) -> u64 {
+        let mut guard = self.counter_guard();
+        *guard += 1;
+        *guard
+    }
+
+    pub fn read_twice(&self) -> u64 {
+        let first = *self.counter_guard();
+        let second = *self.counter_guard();
+        first + second
+    }
+}

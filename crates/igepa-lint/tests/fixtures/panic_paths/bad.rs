@@ -1,0 +1,29 @@
+//! Fixture: panics the `no-panic-in-server-paths` rule must flag.
+//! Linted as if it lived at `crates/igepa-engine/src/transport.rs`.
+
+pub fn serve(input: Option<u32>) -> u32 {
+    let value = input.unwrap();
+    if value > 10 {
+        panic!("too big");
+    }
+    value
+}
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>, key: u32) -> u32 {
+    *map.get(&key).expect("key must exist")
+}
+
+pub fn unfinished() {
+    todo!("never ship this");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(serve(Some(1)), 1);
+        assert!(Some(2).unwrap() == 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: failure handling the `no-panic-in-server-paths` rule must
+//! accept — typed propagation, compiled-out debug assertions, and one
+//! justified fail-fast waiver.
+
+use std::io;
+
+pub fn serve(input: Option<u32>) -> Result<u32, io::Error> {
+    match input {
+        Some(v) => Ok(v),
+        None => Err(io::Error::other("no input on the wire")),
+    }
+}
+
+pub fn guarded(v: u32) -> u32 {
+    debug_assert!(v < 100, "compiled out in release builds");
+    v
+}
+
+pub fn justified(slot: Option<u32>) -> u32 {
+    // lint:allow(no-panic-in-server-paths): fixture waiver — documented fail-fast invariant with no request-scoped recovery
+    slot.expect("fixture invariant")
+}

@@ -1,0 +1,17 @@
+//! Fixture: baseline drift the `serde-compat` rule must flag — a new
+//! field on a pinned type, a pinned field gone missing, and a brand-new
+//! wire-named Deserialize type with no baseline entry.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoordinatorStats {
+    pub reconcile_passes: u64,
+    pub quota_moved: u64,
+    pub shiny_new_counter: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    pub max_attempts: u64,
+}

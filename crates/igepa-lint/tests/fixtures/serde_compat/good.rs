@@ -1,0 +1,17 @@
+//! Fixture: wire types the `serde-compat` rule must accept — a pinned
+//! type matching its baseline exactly, and a Serialize-only type the
+//! rule must ignore.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoordinatorStats {
+    pub reconcile_passes: u64,
+    pub quota_moved: u64,
+    pub last_boundary_events: usize,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct DebugStats {
+    pub samples: u64,
+}

@@ -1,0 +1,16 @@
+//! Fixture: suppression misuse the `suppression-hygiene` meta-rule
+//! must flag — a marker with no justification, one naming an unknown
+//! rule, one whose justification is too short, and a stale marker that
+//! suppresses nothing.
+
+// lint:allow(no-raw-float-accum)
+pub fn missing_justification() {}
+
+// lint:allow(no-such-rule): this rule id does not exist anywhere
+pub fn unknown_rule() {}
+
+// lint:allow(no-panic-in-server-paths): short
+pub fn justification_too_short() {}
+
+// lint:allow(no-raw-float-accum): nothing on the next line accumulates floats
+pub fn stale_marker() {}

@@ -1,0 +1,11 @@
+//! Fixture: a well-formed suppression that actually suppresses a
+//! finding — the `suppression-hygiene` meta-rule must stay quiet.
+
+pub fn accumulate(samples: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for s in samples {
+        // lint:allow(no-raw-float-accum): fixture waiver — deterministic fold in caller order, never replayed state
+        acc += s;
+    }
+    acc
+}

@@ -1,0 +1,23 @@
+//! The real workspace must lint clean: zero unsuppressed diagnostics
+//! across every rule. This is the same gate CI's `static-analysis` job
+//! enforces with `cargo run -p igepa-lint -- --deny-all`, run here as a
+//! plain test so `cargo test` alone catches regressions.
+
+use igepa_lint::config::Config;
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unsuppressed_diagnostics() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = Config::default();
+    let report = igepa_lint::run(&root, &cfg).unwrap();
+    let failures: Vec<String> = report
+        .failures(&cfg)
+        .map(|d| format!("{}:{} [{}] {}", d.file, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "the workspace no longer lints clean — fix the finding or add a justified `// lint:allow(...)` marker:\n{}",
+        failures.join("\n")
+    );
+}
