@@ -1227,6 +1227,106 @@ criterion_group!(
     service_dispatch
 );
 
+/// Overload scenarios (PR 9): what degradation costs.
+///
+/// * `overload/shed_latency/cap0` — RTT of a typed `Overloaded` refusal
+///   at a saturated admission gate. A shed never reaches the
+///   dispatcher, the WAL or a repair worker: it is decided and answered
+///   on the connection thread, so this is the floor of the engine's
+///   pushback latency.
+/// * `overload/degraded_reads/cap0` — RTT of cached `Utility` reads on
+///   a separate connection while a flooder hammers mutations into the
+///   shedding gate: the "reads keep flowing" half of the degradation
+///   contract, priced.
+fn overload_scenarios(report: &mut BenchReport) {
+    use igepa_engine::{AdmissionPolicy, ClientError, EngineError};
+    use igepa_experiments::sharded_serving_engine_with_admission;
+
+    let dataset = generate_clustered_dataset(
+        &ClusteredConfig {
+            num_events: 40,
+            num_users: 600,
+            num_communities: 8,
+            ..ClusteredConfig::default()
+        },
+        17,
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    // Cap 0: the gate is saturated by construction, every mutation
+    // sheds, and the measurements are deterministic in what they hit.
+    let handle = EngineServer::serve_sharded(
+        listener,
+        sharded_serving_engine_with_admission(
+            dataset.instance,
+            5,
+            4,
+            1,
+            AdmissionPolicy::bounded(0),
+        ),
+        Framing::Lines,
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let shed_delta = InstanceDelta::UpdateInteractionScore {
+        user: UserId::new(0),
+        score: 0.5,
+    };
+    let mut client = EngineClient::connect(addr, Framing::Lines).unwrap();
+    let mut rtts = Vec::with_capacity(512);
+    for _ in 0..512 {
+        let start = Instant::now();
+        let refusal = client.apply(shed_delta.clone());
+        rtts.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+        assert!(
+            matches!(
+                refusal,
+                Err(ClientError::Engine(EngineError::Overloaded { .. }))
+            ),
+            "cap-0 server must shed every mutation"
+        );
+    }
+    report.record("overload/shed_latency/cap0".to_string(), rtts);
+
+    // Degraded reads: a flooder sheds continuously on one connection
+    // while the measured connection reads from the barrier-free cache.
+    let stop = Arc::new(AtomicBool::new(false));
+    let flooder = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = EngineClient::connect(addr, Framing::Lines).unwrap();
+            let mut sheds = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if client
+                    .apply(InstanceDelta::UpdateInteractionScore {
+                        user: UserId::new(0),
+                        score: 0.5,
+                    })
+                    .is_err()
+                {
+                    sheds += 1;
+                }
+            }
+            sheds
+        })
+    };
+    let mut reader = EngineClient::connect(addr, Framing::Lines).unwrap();
+    let mut rtts = Vec::with_capacity(512);
+    for _ in 0..512 {
+        let start = Instant::now();
+        reader.query(EngineQuery::Utility).unwrap();
+        rtts.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let sheds = flooder.join().unwrap();
+    println!("overload/degraded_reads: flooder shed {sheds} mutations during the read run");
+    report.record("overload/degraded_reads/cap0".to_string(), rtts);
+
+    drop(client);
+    drop(reader);
+    handle.shutdown().unwrap();
+}
+
 fn main() {
     // BENCH_JSON_ONLY=1 skips the interactive criterion groups and runs
     // just the machine-readable scenarios (the CI artifact path).
@@ -1242,6 +1342,7 @@ fn main() {
     pipeline_scenarios(&mut report);
     concurrent_reader_scenarios(&mut report);
     durability_scenarios(&mut report);
+    overload_scenarios(&mut report);
     // Written to the workspace root so the perf trajectory is tracked
     // in one place across PRs (override with BENCH_JSON_PATH).
     report.write(concat!(

@@ -142,6 +142,24 @@ pub enum EngineError {
         /// What failed, for the operator.
         detail: String,
     },
+    /// The server refused to admit the request: the dispatch queue is
+    /// at its admission cap, or the server is in read-only degraded
+    /// mode (e.g. after a WAL-append failure) and sheds mutations.
+    /// Nothing was enqueued or applied; cached reads keep answering.
+    Overloaded {
+        /// Dispatch queue depth observed at refusal time.
+        queue_depth: usize,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline had already expired when the dispatcher
+    /// dequeued it; the request was dropped without doing dead work
+    /// and the engine state is unchanged.
+    DeadlineExceeded {
+        /// The per-request budget the envelope carried, in
+        /// milliseconds from arrival at the server.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -156,6 +174,19 @@ impl fmt::Display for EngineError {
             }
             EngineError::Malformed { detail } => write!(f, "malformed request: {detail}"),
             EngineError::Internal { detail } => write!(f, "internal error: {detail}"),
+            EngineError::Overloaded {
+                queue_depth,
+                retry_after_ms,
+            } => write!(
+                f,
+                "overloaded: {queue_depth} requests queued, retry after {retry_after_ms} ms"
+            ),
+            EngineError::DeadlineExceeded { deadline_ms } => {
+                write!(
+                    f,
+                    "deadline exceeded: {deadline_ms} ms budget expired before dispatch"
+                )
+            }
         }
     }
 }
@@ -227,6 +258,11 @@ mod tests {
             EngineError::Internal {
                 detail: "shard 2 worker is gone".to_string(),
             },
+            EngineError::Overloaded {
+                queue_depth: 64,
+                retry_after_ms: 25,
+            },
+            EngineError::DeadlineExceeded { deadline_ms: 150 },
         ];
         for e in errors {
             let json = serde_json::to_string(&e).unwrap();
@@ -245,5 +281,14 @@ mod tests {
         assert!(EngineError::Unsupported { version: 3 }
             .to_string()
             .contains('3'));
+        let overloaded = EngineError::Overloaded {
+            queue_depth: 12,
+            retry_after_ms: 40,
+        };
+        assert!(overloaded.to_string().contains("12"));
+        assert!(overloaded.to_string().contains("40 ms"));
+        assert!(EngineError::DeadlineExceeded { deadline_ms: 9 }
+            .to_string()
+            .contains("9 ms"));
     }
 }

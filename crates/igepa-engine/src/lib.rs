@@ -228,6 +228,68 @@
 //! cost of each policy, and `durability/recover_tail/*` the recovery
 //! time as the un-checkpointed tail grows.
 //!
+//! ## Overload and degradation
+//!
+//! Overload is a scenario, not an accident: the engine must *degrade*,
+//! never collapse. Three mechanisms, all opt-in through configuration
+//! and all preserving the pre-overload behaviour when unset:
+//!
+//! * **Bounded admission** ([`AdmissionPolicy`],
+//!   `EngineConfig::admission`) — with a `Bounded { max_queue, .. }`
+//!   policy, connection threads check-and-increment the shared queue
+//!   depth *before* enqueueing a mutation; at the cap (or in read-only
+//!   degraded mode) the mutation is refused immediately with
+//!   [`EngineError::Overloaded`] — typed, instant, nothing enqueued.
+//!   Cache-answered reads never touch admission, so reads keep flowing
+//!   at full speed while mutations shed. The default
+//!   [`AdmissionPolicy::Unbounded`] reproduces the pre-admission
+//!   server exactly, and legacy configs without the field deserialize
+//!   to it bit-identically.
+//! * **Per-request deadlines** (`RequestEnvelope::deadline_ms`) — an
+//!   optional millisecond budget counted from arrival at the server; a
+//!   request whose budget expired while it queued is dropped at
+//!   dequeue with [`EngineError::DeadlineExceeded`], before the WAL or
+//!   any shard sees it. Envelopes without the field are byte-identical
+//!   to the pre-deadline wire format.
+//! * **Read-only degraded mode** — a WAL append failure refuses the
+//!   failing request *and latches the server read-only*: every
+//!   subsequent mutation sheds with `Overloaded` while cached reads
+//!   keep answering. A log that failed once cannot vouch for the next
+//!   append; only a restart over a repaired durability directory
+//!   clears the latch.
+//!
+//! The [`OverloadStats`] query reports the live counters (depth,
+//! high-water, shed, deadline-expired, read-only) straight from the
+//! connection thread — observing overload neither queues nor barriers.
+//! Client-side, [`EngineClient::call_with_retry`] and
+//! [`EngineClient::query_resilient`] honor `retry_after_ms` with
+//! deterministic seeded backoff ([`RetryPolicy`]), and resilient reads
+//! reconnect-and-replay (reads are idempotent; mutations never replay).
+//!
+//! The full refusal taxonomy, by where it is decided:
+//!
+//! | Error | Decided | Meaning | State changed? | Retry? |
+//! |---|---|---|---|---|
+//! | [`EngineError::Overloaded`] | connection thread (admission) / dispatcher (read-only re-check) | queue at cap, or read-only degraded mode | no | yes, after `retry_after_ms` |
+//! | [`EngineError::DeadlineExceeded`] | dispatcher, at dequeue | budget expired while queued | no | caller's choice (budget semantics) |
+//! | [`EngineError::Rejected`] | validation / durability | invalid delta, or WAL/checkpoint failure | no | not without changing the request |
+//! | [`EngineError::NotFound`] | query execution | unknown user/event | no | no |
+//! | [`EngineError::Unsupported`] | version gate | unknown protocol dialect | no | no |
+//! | [`EngineError::Malformed`] | decode | undecodable line | no | no |
+//! | [`EngineError::Internal`] | dispatch | infrastructure failure | no | against a recovered server |
+//!
+//! Legacy (bare-line) clients receive the same refusals as
+//! `Rejected { reason }` strings carrying the typed error's Display
+//! text — a shed is *always* a response, never a silent drop.
+//!
+//! The [`faults`] module closes the loop: a seeded
+//! [`FaultPlan`](faults::FaultPlan) injects slow shards, dropped worker
+//! view shipments and WAL stalls/failures into
+//! [`EngineServer::serve_sharded_faulted`], and the `overload` proptest
+//! suite proves the invariants under any plan — every accepted request
+//! gets exactly one typed response, the server neither panics nor
+//! deadlocks, and the merged arrangement stays feasible.
+//!
 //! ### Client/server quickstart
 //!
 //! ```
@@ -312,6 +374,7 @@ pub mod coordinator;
 pub mod durability;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod protocol;
 pub mod reconcile;
 pub mod replay;
@@ -327,14 +390,16 @@ pub use durability::{
 };
 pub use engine::{ApplyOutcome, Engine, EngineConfig, EngineStats, RepairKind};
 pub use error::{EngineError, EntityRef, RejectReason};
+pub use faults::{FaultCounts, FaultInjector, FaultPlan};
 pub use protocol::{
     decode_request, decode_request_envelope, decode_response, decode_response_envelope,
     encode_request, encode_request_envelope, encode_response, encode_response_envelope,
     requests_from_jsonl, requests_to_jsonl, EngineQuery, EngineRequest, EngineResponse,
-    ProtocolError, RequestEnvelope, ResponseEnvelope, LEGACY_VERSION, PROTOCOL_VERSION,
+    OverloadStats, ProtocolError, RequestEnvelope, ResponseEnvelope, LEGACY_VERSION,
+    PROTOCOL_VERSION,
 };
 pub use reconcile::ReconcileReport;
 pub use replay::{replay, replay_jsonl, LatencySummary, ReplayOutcome, ReplayReport};
 pub use service::{EngineBackend, EngineService};
-pub use shard::{BatchPolicy, DurabilityPolicy, Shard, ShardOp};
-pub use transport::{ClientError, EngineClient, EngineServer, Framing, ServerHandle};
+pub use shard::{AdmissionPolicy, BatchPolicy, DurabilityPolicy, Shard, ShardOp};
+pub use transport::{ClientError, EngineClient, EngineServer, Framing, RetryPolicy, ServerHandle};

@@ -94,6 +94,37 @@ pub enum EngineQuery {
     /// Write-ahead log and checkpoint counters of a durable server
     /// (answered with `enabled: false` when durability is off).
     DurabilityStats,
+    /// Overload counters of the serving endpoint: queue depth, shed
+    /// and deadline-expired counts. A TCP server answers this from the
+    /// connection thread without barriering the dispatcher; in-process
+    /// engines have no dispatch queue and answer all-zero counters.
+    OverloadStats,
+}
+
+/// Overload counters of a serving endpoint (the payload of
+/// [`EngineResponse::OverloadStats`]).
+///
+/// All counters are cumulative since the server started. The TCP
+/// transport maintains them on the connection threads' shared overload
+/// state, so answering this query never barriers the dispatcher.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadStats {
+    /// Admission policy in force (`"unbounded"`, `"bounded(64)"`, …).
+    pub policy: String,
+    /// Requests currently admitted but not yet dispatched.
+    pub queue_depth: u64,
+    /// High-water mark of the dispatch queue depth.
+    pub high_water: u64,
+    /// Mutations refused with
+    /// [`EngineError::Overloaded`](crate::EngineError::Overloaded).
+    pub shed: u64,
+    /// Requests dropped with
+    /// [`EngineError::DeadlineExceeded`](crate::EngineError::DeadlineExceeded)
+    /// because their budget expired before dispatch.
+    pub deadline_expired: u64,
+    /// Whether the server is in read-only degraded mode (mutations
+    /// shed, cached reads keep answering).
+    pub read_only: bool,
 }
 
 /// A response from the serving engine.
@@ -195,6 +226,11 @@ pub enum EngineResponse {
         /// WAL sequence covered by the last checkpoint (0: none yet).
         last_checkpoint_seq: u64,
     },
+    /// Answer to [`EngineQuery::OverloadStats`].
+    OverloadStats {
+        /// Overload counters of the answering endpoint.
+        stats: OverloadStats,
+    },
 }
 
 /// Error raised when decoding protocol lines.
@@ -274,7 +310,7 @@ pub fn requests_from_jsonl(text: &str) -> Result<Vec<EngineRequest>, ProtocolErr
 // ------------------------------------------------------------ envelopes
 
 /// A versioned, correlated request: what actually travels on a wire.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestEnvelope {
     /// Client-chosen correlation id, echoed in the response envelope.
     pub id: u64,
@@ -282,12 +318,56 @@ pub struct RequestEnvelope {
     pub version: u32,
     /// The request itself.
     pub body: EngineRequest,
+    /// Optional per-request budget in milliseconds from arrival at the
+    /// server. A request whose budget has already expired when the
+    /// dispatcher dequeues it is dropped with
+    /// [`EngineError::DeadlineExceeded`](crate::EngineError::DeadlineExceeded)
+    /// instead of doing dead work. `None` (the legacy wire shape) means
+    /// no deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+impl RequestEnvelope {
+    /// An envelope without a deadline — the shape every pre-deadline
+    /// client sent.
+    pub fn new(id: u64, version: u32, body: EngineRequest) -> Self {
+        RequestEnvelope {
+            id,
+            version,
+            body,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Hand-written so an envelope without a deadline serializes exactly as
+/// it did before the field existed: `deadline_ms` is emitted only when
+/// set, keeping recorded legacy envelope logs byte-identical.
+impl serde::Serialize for RequestEnvelope {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("id".to_string(), serde::Serialize::to_value(&self.id)),
+            (
+                "version".to_string(),
+                serde::Serialize::to_value(&self.version),
+            ),
+            ("body".to_string(), serde::Serialize::to_value(&self.body)),
+        ];
+        if let Some(deadline) = self.deadline_ms {
+            entries.push((
+                "deadline_ms".to_string(),
+                serde::Serialize::to_value(&deadline),
+            ));
+        }
+        serde::Value::Object(entries)
+    }
 }
 
 /// Hand-written so the decoder accepts field aliases (`seq` for `id`, `v`
-/// for `version`, `request` / `req` for `body`) and defaults a missing
-/// `version` to [`PROTOCOL_VERSION`] — the vendored serde derive has no
-/// `#[serde(alias)]` / `#[serde(default)]`.
+/// for `version`, `request` / `req` for `body`), defaults a missing
+/// `version` to [`PROTOCOL_VERSION`] and a missing `deadline_ms` to
+/// `None` (legacy payloads keep parsing) — the vendored serde derive has
+/// no `#[serde(alias)]` / `#[serde(default)]`.
 impl serde::Deserialize for RequestEnvelope {
     fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
         let entries = serde::expect_object(value, "RequestEnvelope")?;
@@ -313,7 +393,16 @@ impl serde::Deserialize for RequestEnvelope {
                 ))
             }
         };
-        Ok(RequestEnvelope { id, version, body })
+        let deadline_ms = match field(&["deadline_ms", "deadline"]) {
+            Some(v) => serde::Deserialize::from_value(v)?,
+            None => None,
+        };
+        Ok(RequestEnvelope {
+            id,
+            version,
+            body,
+            deadline_ms,
+        })
     }
 }
 
@@ -364,11 +453,7 @@ pub fn decode_request_envelope(
                 line: None,
                 message: e.to_string(),
             })?;
-        Ok(RequestEnvelope {
-            id: fallback_id,
-            version: LEGACY_VERSION,
-            body,
-        })
+        Ok(RequestEnvelope::new(fallback_id, LEGACY_VERSION, body))
     }
 }
 
@@ -458,6 +543,9 @@ mod tests {
             EngineRequest::Query {
                 query: EngineQuery::DurabilityStats,
             },
+            EngineRequest::Query {
+                query: EngineQuery::OverloadStats,
+            },
         ];
         let jsonl = requests_to_jsonl(&requests);
         assert_eq!(jsonl.lines().count(), requests.len());
@@ -492,15 +580,28 @@ mod tests {
 
     #[test]
     fn envelopes_roundtrip() {
-        let envelope = RequestEnvelope {
-            id: 17,
-            version: PROTOCOL_VERSION,
-            body: EngineRequest::Query {
+        let envelope = RequestEnvelope::new(
+            17,
+            PROTOCOL_VERSION,
+            EngineRequest::Query {
                 query: EngineQuery::Utility,
             },
-        };
+        );
         let line = encode_request_envelope(&envelope);
         assert_eq!(decode_request_envelope(&line, 0).unwrap(), envelope);
+        // No deadline → the pre-deadline wire bytes, exactly.
+        assert_eq!(
+            line,
+            "{\"id\":17,\"version\":1,\"body\":{\"Query\":{\"query\":\"Utility\"}}}"
+        );
+
+        let with_deadline = RequestEnvelope {
+            deadline_ms: Some(250),
+            ..envelope
+        };
+        let line = encode_request_envelope(&with_deadline);
+        assert!(line.contains("\"deadline_ms\":250"));
+        assert_eq!(decode_request_envelope(&line, 0).unwrap(), with_deadline);
 
         let response = ResponseEnvelope {
             id: 17,
@@ -531,6 +632,16 @@ mod tests {
         let envelope = decode_request_envelope(no_version, 0).unwrap();
         assert_eq!(envelope.version, PROTOCOL_VERSION);
         assert_eq!(envelope.body, EngineRequest::Rebalance);
+        // Legacy payloads carry no deadline; the decode arm defaults it.
+        assert_eq!(envelope.deadline_ms, None);
+        // The `deadline` alias and an explicit null both decode.
+        let aliased = "{\"id\":6,\"body\":\"Rebalance\",\"deadline\":75}";
+        assert_eq!(
+            decode_request_envelope(aliased, 0).unwrap().deadline_ms,
+            Some(75)
+        );
+        let null = "{\"id\":7,\"body\":\"Rebalance\",\"deadline_ms\":null}";
+        assert_eq!(decode_request_envelope(null, 0).unwrap().deadline_ms, None);
     }
 
     #[test]
@@ -613,6 +724,16 @@ mod tests {
                 segments: 2,
                 checkpoints: 1,
                 last_checkpoint_seq: 64,
+            },
+            EngineResponse::OverloadStats {
+                stats: OverloadStats {
+                    policy: "bounded(8)".to_string(),
+                    queue_depth: 3,
+                    high_water: 8,
+                    shed: 17,
+                    deadline_expired: 2,
+                    read_only: false,
+                },
             },
         ];
         for response in responses {

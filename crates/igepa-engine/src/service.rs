@@ -217,6 +217,18 @@ fn answer<B: EngineBackend>(
             checkpoints: 0,
             last_checkpoint_seq: 0,
         }),
+        // The TCP server answers this at its connection threads with live
+        // counters; a backend reached directly has no dispatch queue.
+        EngineQuery::OverloadStats => Ok(EngineResponse::OverloadStats {
+            stats: crate::protocol::OverloadStats {
+                policy: "unbounded".to_string(),
+                queue_depth: 0,
+                high_water: 0,
+                shed: 0,
+                deadline_expired: 0,
+                read_only: false,
+            },
+        }),
     }
 }
 
@@ -610,29 +622,19 @@ mod tests {
             },
         };
         // Strict version: NotFound.
-        let strict = service.handle_envelope(&RequestEnvelope {
-            id: 1,
-            version: PROTOCOL_VERSION,
-            body: query.clone(),
-        });
+        let strict =
+            service.handle_envelope(&RequestEnvelope::new(1, PROTOCOL_VERSION, query.clone()));
         assert_eq!(strict.id, 1);
         assert!(matches!(strict.result, Err(EngineError::NotFound { .. })));
         // Legacy version: silent empty answer.
-        let legacy = service.handle_envelope(&RequestEnvelope {
-            id: 2,
-            version: LEGACY_VERSION,
-            body: query.clone(),
-        });
+        let legacy =
+            service.handle_envelope(&RequestEnvelope::new(2, LEGACY_VERSION, query.clone()));
         assert!(matches!(
             legacy.result,
             Ok(EngineResponse::Assignments { ref events, .. }) if events.is_empty()
         ));
         // Future version: unsupported.
-        let future = service.handle_envelope(&RequestEnvelope {
-            id: 3,
-            version: 42,
-            body: query,
-        });
+        let future = service.handle_envelope(&RequestEnvelope::new(3, 42, query));
         assert_eq!(future.result, Err(EngineError::Unsupported { version: 42 }));
     }
 

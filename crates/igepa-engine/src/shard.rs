@@ -118,6 +118,71 @@ pub enum DurabilityPolicy {
     Always,
 }
 
+/// Admission control for the serving dispatch queue.
+///
+/// The TCP transport's dispatch channel is unbounded; without a cap a
+/// traffic burst queues without limit instead of shedding. A bounded
+/// policy makes overload a *scenario*: at the cap the connection thread
+/// refuses new work immediately with a typed
+/// [`EngineError::Overloaded`](crate::EngineError::Overloaded) instead
+/// of enqueueing, while reads keep answering from the barrier-free
+/// query cache. The default is [`AdmissionPolicy::Unbounded`] — the
+/// pre-admission behaviour — so configs serialized before the knob
+/// existed deserialize and behave identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// No cap: every decoded request is enqueued (the legacy
+    /// behaviour, and the default).
+    #[default]
+    Unbounded,
+    /// At most `max_queue` admitted-but-undispatched requests; beyond
+    /// it mutations shed with `Overloaded { retry_after_ms }` while
+    /// cached reads keep flowing.
+    Bounded {
+        /// Maximum queued (admitted but not yet dispatched) requests.
+        max_queue: usize,
+        /// Back-off hint handed to shedding clients, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+impl AdmissionPolicy {
+    /// The queue cap, or `None` when unbounded.
+    pub fn max_queue(&self) -> Option<usize> {
+        match self {
+            AdmissionPolicy::Unbounded => None,
+            AdmissionPolicy::Bounded { max_queue, .. } => Some(*max_queue),
+        }
+    }
+
+    /// The back-off hint for shed requests, in milliseconds.
+    /// Unbounded servers only shed in read-only degraded mode; they
+    /// hint a fixed small back-off.
+    pub fn retry_after_ms(&self) -> u64 {
+        match self {
+            AdmissionPolicy::Unbounded => 50,
+            AdmissionPolicy::Bounded { retry_after_ms, .. } => *retry_after_ms,
+        }
+    }
+
+    /// A bounded policy with the default back-off hint.
+    pub fn bounded(max_queue: usize) -> Self {
+        AdmissionPolicy::Bounded {
+            max_queue,
+            retry_after_ms: 50,
+        }
+    }
+
+    /// Human-readable rendering for stats surfaces (`"unbounded"`,
+    /// `"bounded(64)"`).
+    pub fn describe(&self) -> String {
+        match self {
+            AdmissionPolicy::Unbounded => "unbounded".to_string(),
+            AdmissionPolicy::Bounded { max_queue, .. } => format!("bounded({max_queue})"),
+        }
+    }
+}
+
 /// Tuning knobs of the repair loop.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EngineConfig {
@@ -158,6 +223,12 @@ pub struct EngineConfig {
     /// Default 1 (serial), so configs serialized before the knob existed
     /// deserialize and behave identically.
     pub repair_threads: usize,
+    /// Admission control of the serving dispatch queue (see
+    /// [`AdmissionPolicy`]). Ignored by in-process engines; the TCP
+    /// transport enforces it at the connection threads. Default
+    /// unbounded, so configs serialized before the knob existed
+    /// deserialize and behave identically.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for EngineConfig {
@@ -171,6 +242,7 @@ impl Default for EngineConfig {
             online_cost_calibration: false,
             durability: DurabilityPolicy::Off,
             repair_threads: 1,
+            admission: AdmissionPolicy::Unbounded,
         }
     }
 }
@@ -220,6 +292,10 @@ impl serde::Deserialize for EngineConfig {
             repair_threads: match entries.iter().find(|(name, _)| name == "repair_threads") {
                 Some((_, threads)) => serde::Deserialize::from_value(threads)?,
                 None => 1,
+            },
+            admission: match entries.iter().find(|(name, _)| name == "admission") {
+                Some((_, policy)) => serde::Deserialize::from_value(policy)?,
+                None => AdmissionPolicy::default(),
             },
         })
     }
@@ -1403,16 +1479,45 @@ mod tests {
         assert_eq!(config.durability, DurabilityPolicy::Off);
         // Configs from before the repair-threads knob behave serially.
         assert_eq!(config.repair_threads, 1);
+        // Configs from before admission control behave unbounded.
+        assert_eq!(config.admission, AdmissionPolicy::Unbounded);
         // And the current format round-trips.
         let current = EngineConfig {
             batch_policy: BatchPolicy::cost_model(),
             durability: DurabilityPolicy::EveryN { n: 16 },
             repair_threads: 4,
+            admission: AdmissionPolicy::bounded(128),
             ..EngineConfig::default()
         };
         let json = serde_json::to_string(&current).unwrap();
         let back: EngineConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, current);
+    }
+
+    #[test]
+    fn legacy_config_without_admission_is_bit_identical_to_default() {
+        // Regression pin for the admission rollout: a config serialized
+        // by a pre-admission build (every field up to `repair_threads`,
+        // no `admission` key) must decode to a config whose behaviour —
+        // and whose re-serialization — is bit-identical to constructing
+        // the same config today with the default (unbounded) admission.
+        let pre_admission = "{\"seed\":3,\"escalation_fraction\":0.25,\
+                             \"staleness_check_interval\":256,\"max_staleness\":0.05,\
+                             \"batch_policy\":\"Escalation\",\
+                             \"online_cost_calibration\":false,\
+                             \"durability\":\"Off\",\"repair_threads\":2}";
+        let decoded: EngineConfig = serde_json::from_str(pre_admission).unwrap();
+        let expected = EngineConfig {
+            seed: 3,
+            repair_threads: 2,
+            ..EngineConfig::default()
+        };
+        assert_eq!(decoded, expected);
+        assert_eq!(decoded.admission, AdmissionPolicy::Unbounded);
+        assert_eq!(
+            serde_json::to_string(&decoded).unwrap(),
+            serde_json::to_string(&expected).unwrap()
+        );
     }
 
     #[test]

@@ -60,13 +60,14 @@
 use crate::coordinator::{ShardStatsEntry, ShardedEngine};
 use crate::durability::{is_mutating, DurabilityController};
 use crate::error::EngineError;
+use crate::faults::{splitmix64, FaultInjector};
 use crate::protocol::{
     decode_request_envelope, decode_response_envelope, encode_request_envelope,
-    encode_response_envelope, EngineQuery, EngineRequest, EngineResponse, ProtocolError,
-    RequestEnvelope, ResponseEnvelope, LEGACY_VERSION, PROTOCOL_VERSION,
+    encode_response_envelope, EngineQuery, EngineRequest, EngineResponse, OverloadStats,
+    ProtocolError, RequestEnvelope, ResponseEnvelope, LEGACY_VERSION, PROTOCOL_VERSION,
 };
 use crate::service::{applied_response, dispatch_envelope, EngineBackend, EngineService};
-use crate::shard::{ApplyOutcome, EngineStats, Shard};
+use crate::shard::{AdmissionPolicy, ApplyOutcome, EngineStats, Shard};
 use igepa_core::{
     ArrangementDiff, CapacityTarget, InstanceDelta, UserId, UtilityBreakdown, UtilityTracker,
 };
@@ -74,10 +75,11 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 /// How JSON documents are delimited on the stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -223,6 +225,12 @@ pub struct EngineClient {
     writer: TcpStream,
     framing: Framing,
     next_id: u64,
+    /// The peer actually connected to, kept for
+    /// [`EngineClient::reconnect`].
+    addr: SocketAddr,
+    /// Send-ahead bound for [`EngineClient::pipeline`]; defaults to
+    /// [`EngineClient::PIPELINE_WINDOW`].
+    pipeline_window: usize,
     /// Ids sent but not yet handed to the caller.
     outstanding: std::collections::BTreeSet<u64>,
     /// Responses that arrived while waiting for a different id.
@@ -236,25 +244,55 @@ impl EngineClient {
         stream.set_nodelay(true).ok();
         Ok(EngineClient {
             reader: BufReader::new(stream.try_clone()?),
+            addr: stream.peer_addr()?,
             writer: stream,
             framing,
             next_id: 1,
+            pipeline_window: Self::PIPELINE_WINDOW,
             outstanding: std::collections::BTreeSet::new(),
             received: std::collections::BTreeMap::new(),
         })
+    }
+
+    /// Tears the socket down and dials the same server again. All
+    /// outstanding pipelined ids are forgotten — their responses died
+    /// with the old connection — which is exactly why only idempotent
+    /// reads ([`EngineClient::query_resilient`]) replay across a
+    /// reconnect: a mutation whose ack was lost may or may not have
+    /// applied.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        self.outstanding.clear();
+        self.received.clear();
+        Ok(())
     }
 
     /// Sends one request without waiting for its response; returns the
     /// correlation id to later [`EngineClient::recv`] with. The send-side
     /// half of pipelining.
     pub fn send(&mut self, body: EngineRequest) -> Result<u64, ClientError> {
+        self.send_with_deadline(body, None)
+    }
+
+    /// [`EngineClient::send`] with a per-request budget: the server
+    /// drops the request with [`EngineError::DeadlineExceeded`] if
+    /// `deadline_ms` milliseconds (counted from arrival at the server)
+    /// have already elapsed when the dispatcher dequeues it. The check
+    /// uses `elapsed >= deadline`, so `deadline_ms = 0` expires
+    /// deterministically — a zero-budget probe that measures queue
+    /// pressure without ever doing work.
+    pub fn send_with_deadline(
+        &mut self,
+        body: EngineRequest,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let envelope = RequestEnvelope {
-            id,
-            version: PROTOCOL_VERSION,
-            body,
-        };
+        let mut envelope = RequestEnvelope::new(id, PROTOCOL_VERSION, body);
+        envelope.deadline_ms = deadline_ms;
         write_frame(
             &mut self.writer,
             self.framing,
@@ -306,12 +344,12 @@ impl EngineClient {
     /// Engine-level failures come back per request; only transport
     /// failures abort the whole burst.
     ///
-    /// In-flight requests are capped at [`EngineClient::PIPELINE_WINDOW`]
-    /// — a fully unbounded send-ahead would deadlock once a burst
-    /// outgrows the TCP socket buffers (the server stops reading while
-    /// its response writes block, the client stops reading while its
-    /// sends block). The window keeps the RTT floor amortised away while
-    /// bounding buffered bytes.
+    /// In-flight requests are capped at the configured
+    /// [`EngineClient::pipeline_window`] — a fully unbounded send-ahead
+    /// would deadlock once a burst outgrows the TCP socket buffers (the
+    /// server stops reading while its response writes block, the client
+    /// stops reading while its sends block). The window keeps the RTT
+    /// floor amortised away while bounding buffered bytes.
     pub fn pipeline(
         &mut self,
         bodies: Vec<EngineRequest>,
@@ -320,7 +358,7 @@ impl EngineClient {
         let mut in_flight: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
         let mut bodies = bodies.into_iter();
         loop {
-            while in_flight.len() < Self::PIPELINE_WINDOW {
+            while in_flight.len() < self.pipeline_window {
                 match bodies.next() {
                     Some(body) => in_flight.push_back(self.send(body)?),
                     None => break,
@@ -338,12 +376,27 @@ impl EngineClient {
         Ok(results)
     }
 
-    /// Maximum requests [`EngineClient::pipeline`] keeps in flight. At
-    /// typical envelope sizes this stays far below loopback socket
-    /// buffers; bursts of larger responses (e.g. `MergedSnapshot` of a
-    /// big instance) should be driven with `send`/`recv` directly at a
-    /// window sized to the expected response volume.
+    /// Default for [`EngineClient::pipeline_window`]. At typical
+    /// envelope sizes this stays far below loopback socket buffers;
+    /// bursts of larger responses (e.g. `MergedSnapshot` of a big
+    /// instance) should be driven at a window sized to the expected
+    /// response volume ([`EngineClient::set_pipeline_window`], or
+    /// `send`/`recv` directly).
     pub const PIPELINE_WINDOW: usize = 32;
+
+    /// The current pipelining send-ahead window.
+    pub fn pipeline_window(&self) -> usize {
+        self.pipeline_window
+    }
+
+    /// Reconfigures the pipelining send-ahead window, clamped to at
+    /// least 1 (a window of 1 degenerates to the serial call pattern —
+    /// same responses, RTT floor back in force). Large windows trade
+    /// buffered bytes for throughput; see the deadlock note on
+    /// [`EngineClient::pipeline`] before exceeding socket-buffer scale.
+    pub fn set_pipeline_window(&mut self, window: usize) {
+        self.pipeline_window = window.max(1);
+    }
 
     /// Applies one delta.
     pub fn apply(&mut self, delta: InstanceDelta) -> Result<EngineResponse, ClientError> {
@@ -353,6 +406,115 @@ impl EngineClient {
     /// Answers one read-only query.
     pub fn query(&mut self, query: EngineQuery) -> Result<EngineResponse, ClientError> {
         self.call(EngineRequest::Query { query })
+    }
+
+    /// [`EngineClient::call`] with deterministic seeded backoff:
+    /// an [`EngineError::Overloaded`] refusal sleeps (honouring the
+    /// server's `retry_after_ms` hint as a floor) and resends, up to
+    /// `policy.max_retries` times. `Overloaded` guarantees nothing was
+    /// enqueued or applied, so resending is safe for mutations too.
+    /// Every other outcome — success, other typed errors, transport
+    /// failures — returns immediately.
+    pub fn call_with_retry(
+        &mut self,
+        body: EngineRequest,
+        policy: &RetryPolicy,
+    ) -> Result<EngineResponse, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.call(body.clone()) {
+                Err(ClientError::Engine(EngineError::Overloaded { retry_after_ms, .. }))
+                    if attempt < policy.max_retries =>
+                {
+                    thread::sleep(Duration::from_millis(
+                        policy.backoff_ms(attempt, retry_after_ms),
+                    ));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// A read-only query that additionally survives transport
+    /// failures: reads are idempotent, so a broken connection
+    /// reconnects to the same server and replays the query (mutations
+    /// must never do this — see [`EngineClient::reconnect`]).
+    /// `Overloaded` refusals back off exactly like
+    /// [`EngineClient::call_with_retry`]; both recovery kinds share
+    /// the `policy.max_retries` budget.
+    pub fn query_resilient(
+        &mut self,
+        query: EngineQuery,
+        policy: &RetryPolicy,
+    ) -> Result<EngineResponse, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.call(EngineRequest::Query { query }) {
+                Err(ClientError::Engine(EngineError::Overloaded { retry_after_ms, .. }))
+                    if attempt < policy.max_retries =>
+                {
+                    thread::sleep(Duration::from_millis(
+                        policy.backoff_ms(attempt, retry_after_ms),
+                    ));
+                    attempt += 1;
+                }
+                Err(ClientError::Io(_)) | Err(ClientError::Disconnected)
+                    if attempt < policy.max_retries =>
+                {
+                    thread::sleep(Duration::from_millis(policy.backoff_ms(attempt, 0)));
+                    attempt += 1;
+                    // A failed redial leaves the old (dead) socket in
+                    // place; the next iteration's call fails fast and
+                    // spends another retry redialing.
+                    let _ = self.reconnect();
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Deterministic retry schedule for [`EngineClient::call_with_retry`]
+/// and [`EngineClient::query_resilient`]: exponential backoff whose
+/// jitter comes from a seeded hash, so a given `(seed, attempt)` always
+/// sleeps the same amount — reproducible in tests, yet two clients
+/// seeded differently fan out instead of retrying in lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff scale before the first retry; doubles per attempt.
+    pub base_ms: u64,
+    /// Cap on any single backoff.
+    pub cap_ms: u64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_ms: 10,
+            cap_ms: 1_000,
+            seed: 0x1ce_b00da,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (0-based): half the capped
+    /// exponential step is kept, half is jittered by the seeded hash,
+    /// and the server's `retry_after_ms` hint acts as a floor. A pure
+    /// function of `(self, attempt, retry_after_ms)`.
+    pub fn backoff_ms(&self, attempt: u32, retry_after_ms: u64) -> u64 {
+        let step = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.cap_ms);
+        let jitter = splitmix64(self.seed ^ u64::from(attempt)) % (step / 2 + 1);
+        (step - step / 2 + jitter).max(retry_after_ms)
     }
 }
 
@@ -445,6 +607,12 @@ enum ViewUpdate {
     Full(Box<ShardView>),
     /// Patch the installed view in place (the O(changed) hot path).
     Diff(Box<ViewDelta>),
+    /// The shipment was lost (fault injection: a dropped worker
+    /// reply). The apply itself executed; the dispatcher recovers the
+    /// never-stale-after-ack guarantee by refreshing the cache from
+    /// the authoritative shards at a barrier *before* releasing the
+    /// ack.
+    Lost,
 }
 
 /// The coordinator-side query cache: per-shard views plus the mirror's
@@ -545,6 +713,10 @@ impl QueryCache {
                 view.tracker = delta.tracker;
                 view.stats = delta.stats;
             }
+            // Never installed: the dispatcher treats a lost shipment
+            // as a cache-dirty event and refreshes wholesale at the
+            // recovery barrier instead.
+            ViewUpdate::Lost => return,
         }
         inner.rejected = rejected;
         if owners.len() > inner.owners.len() {
@@ -707,7 +879,13 @@ impl QueryCache {
                     capacity,
                 }))
             }
-            EngineQuery::MergedSnapshot | EngineQuery::DurabilityStats => None,
+            // `MergedSnapshot` consistency is checked separately by
+            // `merged_snapshot`; `DurabilityStats` lives with the
+            // dispatcher; `OverloadStats` is answered even earlier, in
+            // the connection loop, straight from the shared counters.
+            EngineQuery::MergedSnapshot
+            | EngineQuery::DurabilityStats
+            | EngineQuery::OverloadStats => None,
         }
     }
 
@@ -748,6 +926,139 @@ impl QueryCache {
     }
 }
 
+/// Shared overload-control state: the admission policy plus the live
+/// counters behind the `OverloadStats` query. Connection threads are
+/// the admission side (check-and-increment before enqueueing, shed
+/// accounting); the dispatcher is the drain side (decrement at
+/// dequeue, deadline-expiry accounting, the read-only latch). Worker
+/// completions never touch the depth — admission bounds *requests*,
+/// not internal bookkeeping traffic.
+struct OverloadState {
+    policy: AdmissionPolicy,
+    /// Requests admitted to the dispatch queue (or a barrier backlog)
+    /// and not yet picked up for execution.
+    queue_depth: AtomicUsize,
+    /// High-water mark of `queue_depth` since the server started.
+    high_water: AtomicUsize,
+    /// Mutations refused with [`EngineError::Overloaded`].
+    shed: AtomicU64,
+    /// Requests dropped with [`EngineError::DeadlineExceeded`].
+    deadline_expired: AtomicU64,
+    /// Read-only degraded mode: latched when the write-ahead log
+    /// reports an append failure. Mutations shed from then on; cached
+    /// reads keep answering. Only a restart (with a repaired WAL)
+    /// clears it — a log that failed once cannot be trusted to have
+    /// appended the next record either.
+    read_only: AtomicBool,
+}
+
+impl OverloadState {
+    fn shared(policy: AdmissionPolicy) -> Arc<Self> {
+        Arc::new(OverloadState {
+            policy,
+            queue_depth: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            read_only: AtomicBool::new(false),
+        })
+    }
+
+    /// Admission check-and-enqueue for one mutating request, called
+    /// from a connection thread. On refusal nothing was enqueued and
+    /// the caller answers immediately — refusal is *typed and
+    /// instant*, never a silent drop or an unbounded wait.
+    fn try_enqueue_mutation(&self) -> Result<(), EngineError> {
+        let refuse = |depth: usize| {
+            self.shed.fetch_add(1, Ordering::SeqCst);
+            EngineError::Overloaded {
+                queue_depth: depth,
+                retry_after_ms: self.policy.retry_after_ms(),
+            }
+        };
+        if self.read_only.load(Ordering::SeqCst) {
+            return Err(refuse(self.queue_depth.load(Ordering::SeqCst)));
+        }
+        match self.policy.max_queue() {
+            None => {
+                self.note_enqueued();
+                Ok(())
+            }
+            Some(cap) => {
+                // One CAS covers check + increment, so concurrent
+                // connections cannot stampede past the cap.
+                let admitted =
+                    self.queue_depth
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |depth| {
+                            if depth < cap {
+                                Some(depth + 1)
+                            } else {
+                                None
+                            }
+                        });
+                match admitted {
+                    Ok(prev) => {
+                        self.high_water.fetch_max(prev + 1, Ordering::SeqCst);
+                        Ok(())
+                    }
+                    Err(depth) => Err(refuse(depth)),
+                }
+            }
+        }
+    }
+
+    /// One non-mutating (or serial-path) message entered the queue.
+    /// Reads are always admitted: each connection keeps at most one
+    /// request in the queue, so read depth is bounded by the
+    /// connection count, and shedding them would defeat the "reads
+    /// keep flowing" degradation contract.
+    fn note_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.high_water.fetch_max(depth, Ordering::SeqCst);
+    }
+
+    /// One counted message was picked up for execution. Saturating:
+    /// wiring-bug messages were never counted in.
+    fn note_dequeued(&self) {
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| d.checked_sub(1));
+    }
+
+    fn note_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Builds (and accounts) a shed refusal outside the enqueue CAS —
+    /// the dispatcher's re-check of the read-only latch.
+    fn shed_now(&self) -> EngineError {
+        self.shed.fetch_add(1, Ordering::SeqCst);
+        EngineError::Overloaded {
+            queue_depth: self.queue_depth.load(Ordering::SeqCst),
+            retry_after_ms: self.policy.retry_after_ms(),
+        }
+    }
+
+    fn enter_read_only(&self) {
+        self.read_only.store(true, Ordering::SeqCst);
+    }
+
+    fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
+    }
+
+    fn stats(&self) -> OverloadStats {
+        OverloadStats {
+            policy: self.policy.describe(),
+            queue_depth: self.queue_depth.load(Ordering::SeqCst) as u64,
+            high_water: self.high_water.load(Ordering::SeqCst) as u64,
+            shed: self.shed.load(Ordering::SeqCst),
+            deadline_expired: self.deadline_expired.load(Ordering::SeqCst),
+            read_only: self.read_only.load(Ordering::SeqCst),
+        }
+    }
+}
+
 /// Messages flowing into a server's dispatch thread.
 enum ServerMsg {
     /// One decoded-later wire line plus the channel its response goes to
@@ -758,6 +1069,10 @@ enum ServerMsg {
     /// ever reaching this queue).
     Envelope {
         envelope: RequestEnvelope,
+        /// When the connection thread admitted the envelope; the
+        /// dispatcher checks the envelope's `deadline_ms` budget
+        /// against this at dequeue.
+        received_at: Instant,
         reply: Sender<String>,
     },
     /// A per-shard worker finished an apply.
@@ -837,9 +1152,18 @@ impl EngineServer {
         service: EngineService<B>,
         framing: Framing,
     ) -> io::Result<ServerHandle<B>> {
-        spawn_server(listener, framing, None, move |queue_rx, _queue_tx| {
-            serial_dispatch(service, queue_rx)
-        })
+        // The serial server carries no EngineConfig (its backend is
+        // generic), so it serves unbounded — exactly the pre-admission
+        // behaviour.
+        let overload = OverloadState::shared(AdmissionPolicy::Unbounded);
+        let dispatch_overload = Arc::clone(&overload);
+        spawn_server(
+            listener,
+            framing,
+            None,
+            overload,
+            move |queue_rx, _queue_tx| serial_dispatch(service, queue_rx, dispatch_overload),
+        )
     }
 
     /// Serves a [`ShardedEngine`] with one worker thread per shard:
@@ -852,10 +1176,7 @@ impl EngineServer {
         engine: ShardedEngine,
         framing: Framing,
     ) -> io::Result<ServerHandle<ShardedEngine>> {
-        let cache = QueryCache::from_engine(&engine);
-        spawn_server(listener, framing, Some(cache.clone()), move |rx, tx| {
-            ShardDispatcher::new(engine, tx, cache, None).run(rx)
-        })
+        Self::serve_sharded_inner(listener, engine, framing, None, None)
     }
 
     /// [`EngineServer::serve_sharded`] plus durability: every admitted
@@ -873,10 +1194,50 @@ impl EngineServer {
         framing: Framing,
         durability: DurabilityController,
     ) -> io::Result<ServerHandle<ShardedEngine>> {
+        Self::serve_sharded_inner(listener, engine, framing, Some(durability), None)
+    }
+
+    /// [`EngineServer::serve_sharded`] (or the durable flavour, when
+    /// `durability` is `Some`) with a deterministic [`FaultInjector`]
+    /// wired into the worker pool and the WAL path — the entry point
+    /// of the fault-injection harness ([`crate::faults`]). Keep a
+    /// clone of the `Arc` to read [`FaultInjector::counts`] after
+    /// shutdown. A [`FaultPlan::quiet`](crate::faults::FaultPlan::quiet)
+    /// injector serves identically to the plain flavours.
+    pub fn serve_sharded_faulted(
+        listener: TcpListener,
+        engine: ShardedEngine,
+        framing: Framing,
+        durability: Option<DurabilityController>,
+        faults: Arc<FaultInjector>,
+    ) -> io::Result<ServerHandle<ShardedEngine>> {
+        Self::serve_sharded_inner(listener, engine, framing, durability, Some(faults))
+    }
+
+    fn serve_sharded_inner(
+        listener: TcpListener,
+        engine: ShardedEngine,
+        framing: Framing,
+        durability: Option<DurabilityController>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> io::Result<ServerHandle<ShardedEngine>> {
         let cache = QueryCache::from_engine(&engine);
-        spawn_server(listener, framing, Some(cache.clone()), move |rx, tx| {
-            ShardDispatcher::new(engine, tx, cache, Some(durability)).run(rx)
-        })
+        // Admission comes from the engine's own config: the default
+        // `AdmissionPolicy::Unbounded` reproduces the pre-admission
+        // server exactly; a bounded policy makes overload a typed,
+        // immediate refusal instead of unbounded queue growth.
+        let overload = OverloadState::shared(engine.config().shard.admission);
+        let dispatch_overload = Arc::clone(&overload);
+        spawn_server(
+            listener,
+            framing,
+            Some(cache.clone()),
+            overload,
+            move |rx, tx| {
+                ShardDispatcher::new(engine, tx, cache, durability, dispatch_overload, faults)
+                    .run(rx)
+            },
+        )
     }
 }
 
@@ -889,6 +1250,7 @@ fn spawn_server<B, F>(
     listener: TcpListener,
     framing: Framing,
     cache: Option<Arc<QueryCache>>,
+    overload: Arc<OverloadState>,
     dispatch: F,
 ) -> io::Result<ServerHandle<B>>
 where
@@ -912,7 +1274,8 @@ where
             let Ok(stream) = stream else { continue };
             let queue = accept_queue.clone();
             let cache = cache.clone();
-            thread::spawn(move || connection_loop(stream, queue, framing, cache));
+            let overload = Arc::clone(&overload);
+            thread::spawn(move || connection_loop(stream, queue, framing, cache, overload));
         }
     });
 
@@ -934,11 +1297,21 @@ where
 /// cache — the read path shares nothing with the dispatch queue — and
 /// everything else is forwarded pre-decoded. Malformed lines answer
 /// locally under a per-connection fallback id.
+///
+/// The connection thread is also the **admission side** of overload
+/// control: a mutation is checked against the [`OverloadState`] *before*
+/// it is enqueued, and at saturation (or in read-only degraded mode) it
+/// is refused right here with a typed [`EngineError::Overloaded`] —
+/// nothing enters the queue, so queue depth is bounded by the policy cap
+/// no matter how hard clients push. Cache-answered reads never touch
+/// admission at all, which is what keeps them flowing while mutations
+/// shed.
 fn connection_loop(
     stream: TcpStream,
     queue: Sender<ServerMsg>,
     framing: Framing,
     cache: Option<Arc<QueryCache>>,
+    overload: Arc<OverloadState>,
 ) {
     stream.set_nodelay(true).ok();
     let Ok(read_half) = stream.try_clone() else {
@@ -950,10 +1323,15 @@ fn connection_loop(
     while let Ok(Some(line)) = read_frame(&mut reader, framing) {
         let (reply_tx, reply_rx) = mpsc::channel();
         let msg = match &cache {
-            None => ServerMsg::Request {
-                line,
-                reply: reply_tx,
-            },
+            None => {
+                // Serial path: lines are opaque here, so every one is
+                // counted through the (always unbounded) depth gauge.
+                overload.note_enqueued();
+                ServerMsg::Request {
+                    line,
+                    reply: reply_tx,
+                }
+            }
             Some(cache) => {
                 fallback_seq += 1;
                 let envelope = match decode_request_envelope(&line, fallback_seq) {
@@ -978,6 +1356,23 @@ fn connection_loop(
                     // reads: typed NotFound vs the legacy silent
                     // answers (`strict == false` never errors).
                     let strict = envelope.version == PROTOCOL_VERSION;
+                    if matches!(query, EngineQuery::OverloadStats) {
+                        // Answered right here from the shared atomics:
+                        // observing overload must neither queue behind
+                        // it nor barrier anything.
+                        let response = ResponseEnvelope {
+                            id: envelope.id,
+                            result: Ok(EngineResponse::OverloadStats {
+                                stats: overload.stats(),
+                            }),
+                        };
+                        if write_frame(&mut writer, framing, &encode_response_envelope(&response))
+                            .is_err()
+                        {
+                            break;
+                        }
+                        continue;
+                    }
                     if let Some(result) = cache.answer(*query, strict) {
                         let response = ResponseEnvelope {
                             id: envelope.id,
@@ -1013,8 +1408,33 @@ fn connection_loop(
                         }
                     }
                 }
+                // Admission: mutations pass the cap-and-degraded-mode
+                // gate (refusals are typed and immediate); everything
+                // else heading for the queue — the non-cacheable reads
+                // and barrier fallbacks — is always admitted, each
+                // connection contributing at most one queued request.
+                // Unsupported versions skip the gate so the dispatcher
+                // can answer `Unsupported` (the more specific error).
+                if supported && is_mutating(&envelope.body) {
+                    if let Err(refusal) = overload.try_enqueue_mutation() {
+                        let strict = envelope.version == PROTOCOL_VERSION;
+                        let response = ResponseEnvelope {
+                            id: envelope.id,
+                            result: shed_error(strict, refusal),
+                        };
+                        if write_frame(&mut writer, framing, &encode_response_envelope(&response))
+                            .is_err()
+                        {
+                            break;
+                        }
+                        continue;
+                    }
+                } else {
+                    overload.note_enqueued();
+                }
                 ServerMsg::Envelope {
                     envelope,
+                    received_at: Instant::now(),
                     reply: reply_tx,
                 }
             }
@@ -1035,11 +1455,13 @@ fn connection_loop(
 fn serial_dispatch<B: EngineBackend>(
     mut service: EngineService<B>,
     queue: Receiver<ServerMsg>,
+    overload: Arc<OverloadState>,
 ) -> B {
     let mut fallback_seq = 0u64;
     while let Ok(msg) = queue.recv() {
         match msg {
             ServerMsg::Request { line, reply } => {
+                overload.note_dequeued();
                 fallback_seq += 1;
                 let envelope = service.handle_line(&line, fallback_seq);
                 let _ = reply.send(encode_response_envelope(&envelope));
@@ -1048,7 +1470,9 @@ fn serial_dispatch<B: EngineBackend>(
             // envelopes and worker completions belong to the sharded
             // server. Refuse them with a typed error instead of
             // killing the dispatch thread over a wiring bug.
-            ServerMsg::Envelope { envelope, reply } => {
+            ServerMsg::Envelope {
+                envelope, reply, ..
+            } => {
                 respond(
                     &reply,
                     ResponseEnvelope {
@@ -1118,6 +1542,21 @@ struct ShardDispatcher {
     /// flavour (`None` on [`EngineServer::serve_sharded`]). Mutating
     /// requests are logged through it *before* they run.
     durability: Option<DurabilityController>,
+    /// The shared overload counters: this dispatcher is the drain side
+    /// (dequeue accounting, deadline expiry, the read-only latch).
+    overload: Arc<OverloadState>,
+    /// The fault-injection harness, when serving through
+    /// [`EngineServer::serve_sharded_faulted`].
+    faults: Option<Arc<FaultInjector>>,
+    /// True after a lost view shipment (fault injection) until the
+    /// recovery barrier refreshes the cache: installs are suppressed
+    /// (the chain is broken) and apply acks are parked in
+    /// `deferred_acks` so no client sees an ack before the cache
+    /// reflects its apply.
+    cache_dirty: bool,
+    /// Acks parked while `cache_dirty`; released by `barrier` right
+    /// after the wholesale cache refresh.
+    deferred_acks: Vec<(Sender<String>, ResponseEnvelope)>,
 }
 
 impl ShardDispatcher {
@@ -1126,6 +1565,8 @@ impl ShardDispatcher {
         completion_tx: Sender<ServerMsg>,
         cache: Arc<QueryCache>,
         durability: Option<DurabilityController>,
+        overload: Arc<OverloadState>,
+        faults: Option<Arc<FaultInjector>>,
     ) -> Self {
         let (shard_return_tx, shard_return_rx) = mpsc::channel();
         let shards = engine.detach_shards();
@@ -1133,7 +1574,13 @@ impl ShardDispatcher {
             .into_iter()
             .enumerate()
             .map(|(k, shard)| {
-                spawn_worker(k, shard, completion_tx.clone(), shard_return_tx.clone())
+                spawn_worker(
+                    k,
+                    shard,
+                    completion_tx.clone(),
+                    shard_return_tx.clone(),
+                    faults.clone(),
+                )
             })
             .collect();
         ShardDispatcher {
@@ -1145,6 +1592,10 @@ impl ShardDispatcher {
             backlog: VecDeque::new(),
             cache,
             durability,
+            overload,
+            faults,
+            cache_dirty: false,
+            deferred_acks: Vec::new(),
         }
     }
 
@@ -1175,7 +1626,17 @@ impl ShardDispatcher {
                         },
                     );
                 }
-                ServerMsg::Envelope { envelope, reply } => self.on_request(envelope, reply, &queue),
+                ServerMsg::Envelope {
+                    envelope,
+                    received_at,
+                    reply,
+                } => {
+                    // Dequeued for execution (backlogged envelopes stay
+                    // counted while they wait out a barrier and land
+                    // here exactly once afterwards).
+                    self.overload.note_dequeued();
+                    self.on_request(envelope, received_at, reply, &queue)
+                }
                 ServerMsg::Completion {
                     shard,
                     outcome,
@@ -1201,6 +1662,7 @@ impl ShardDispatcher {
     fn on_request(
         &mut self,
         envelope: RequestEnvelope,
+        received_at: Instant,
         reply: Sender<String>,
         queue: &Receiver<ServerMsg>,
     ) {
@@ -1220,22 +1682,73 @@ impl ShardDispatcher {
             );
             return;
         }
+        // Deadline gate: a budget that expired while the request sat in
+        // the queue drops it before any dead work — before the WAL sees
+        // it, before any shard executes it. (`elapsed >= deadline`, so
+        // a zero budget expires deterministically.)
+        if let Some(deadline_ms) = envelope.deadline_ms {
+            let waited_ms = u64::try_from(received_at.elapsed().as_millis()).unwrap_or(u64::MAX);
+            if waited_ms >= deadline_ms {
+                self.overload.note_deadline_expired();
+                respond(
+                    &reply,
+                    ResponseEnvelope {
+                        id: envelope.id,
+                        result: shed_error(strict, EngineError::DeadlineExceeded { deadline_ms }),
+                    },
+                );
+                return;
+            }
+        }
+        // A mutation that slipped past the connection-side gate before
+        // the read-only latch flipped still must not execute: the gate
+        // is re-checked at the authoritative single-threaded point.
+        if is_mutating(&envelope.body) && self.overload.is_read_only() {
+            respond(
+                &reply,
+                ResponseEnvelope {
+                    id: envelope.id,
+                    result: shed_error(strict, self.overload.shed_now()),
+                },
+            );
+            return;
+        }
         // Write-ahead: an admitted mutating request hits the log before
         // it executes and before any ack can go out. Rejections are
         // logged too — replay reproduces them (and their absence from
         // the state) deterministically. A failed append refuses the
-        // request: what is not logged must not execute.
+        // request (what is not logged must not execute) AND latches
+        // read-only degraded mode: a WAL that failed once cannot vouch
+        // for the next append either, so every subsequent mutation is
+        // shed while cached reads keep answering.
         if is_mutating(&envelope.body) {
+            // Fault injection: a planned stall sleeps here (ack latency
+            // absorbs it, exactly like a congested disk); a planned
+            // append failure takes the same degraded path as a real one.
+            let forced_fail = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| self.durability.is_some() && f.wal_append_fault());
             if let Some(controller) = &mut self.durability {
                 let epoch = self.engine.catalog().epoch();
-                if let Err(e) = controller.log(envelope.id, epoch, &envelope.body) {
+                let logged = if forced_fail {
+                    Err(io::Error::other("fault injection"))
+                } else {
+                    controller
+                        .log(envelope.id, epoch, &envelope.body)
+                        .map(|_| ())
+                };
+                if let Err(e) = logged {
+                    self.overload.enter_read_only();
                     respond(
                         &reply,
                         ResponseEnvelope {
                             id: envelope.id,
                             result: durability_error(
                                 strict,
-                                format!("write-ahead log append failed: {e}"),
+                                format!(
+                                    "write-ahead log append failed: {e}; serving is now read-only"
+                                ),
                             ),
                         },
                     );
@@ -1422,16 +1935,26 @@ impl ShardDispatcher {
     ) -> ResponseEnvelope {
         self.pending -= 1;
         self.engine.note_outcome(shard, &outcome);
+        // A lost view shipment (fault injection) breaks the diff chain:
+        // stop installing — for this completion and every later one —
+        // until the recovery barrier refreshes the cache wholesale.
+        // Acks are parked by the callers while `cache_dirty` holds, so
+        // the never-stale-after-ack guarantee survives the fault.
+        if matches!(view, ViewUpdate::Lost) {
+            self.cache_dirty = true;
+        }
         // Install the post-apply view BEFORE the ack can go out: once a
         // client sees the ack, every cached read reflects this apply.
         // The owner table rides along so cached `AssignmentsOf` reads can
         // route users registered by this (or any earlier) apply.
-        self.cache.install(
-            shard,
-            view,
-            self.engine.rejected_count(),
-            self.engine.owners(),
-        );
+        if !self.cache_dirty {
+            self.cache.install(
+                shard,
+                view,
+                self.engine.rejected_count(),
+                self.engine.owners(),
+            );
+        }
         let merged = ApplyOutcome {
             kind: outcome.kind,
             repair: outcome.repair,
@@ -1458,7 +1981,14 @@ impl ShardDispatcher {
         reply: &Sender<String>,
     ) {
         let response = self.account_apply(shard, outcome, view, envelope_id);
-        respond(reply, response);
+        if self.cache_dirty {
+            // Mid-barrier with a broken view chain: park the ack until
+            // the barrier's wholesale refresh, instead of acking
+            // against a cache that does not reflect this apply yet.
+            self.deferred_acks.push((reply.clone(), response));
+        } else {
+            respond(reply, response);
+        }
     }
 
     fn on_completion(
@@ -1471,6 +2001,17 @@ impl ShardDispatcher {
         queue: &Receiver<ServerMsg>,
     ) {
         let response = self.account_apply(shard, outcome, view, envelope_id);
+        if self.cache_dirty {
+            // Recover from the lost shipment now: park this ack, then
+            // barrier — which drains the remaining in-flight applies
+            // (their acks park too), refreshes the cache from the
+            // attached shards, and only then releases every parked ack.
+            self.deferred_acks.push((reply, response));
+            self.barrier(queue);
+            self.redistribute();
+            self.maybe_auto_checkpoint(queue);
+            return;
+        }
         if self.engine.periodic_reconcile_pending() {
             // This apply crossed the reconcile interval. The serial
             // coordinator reconciles before returning from apply, so the
@@ -1543,6 +2084,17 @@ impl ShardDispatcher {
         if self.engine.periodic_reconcile_pending() {
             self.engine.run_pending_reconcile();
         }
+        if self.cache_dirty || !self.deferred_acks.is_empty() {
+            // A lost view shipment parked acks on the way here: the
+            // shards are home and authoritative, so refresh the cache
+            // wholesale and only then release the parked responses —
+            // every ack a client sees is again backed by the cache.
+            self.cache.refresh_all(&self.engine);
+            self.cache_dirty = false;
+            for (reply, response) in std::mem::take(&mut self.deferred_acks) {
+                respond(&reply, response);
+            }
+        }
     }
 
     /// Sends the shards back to their workers after a barrier. Callers
@@ -1596,11 +2148,27 @@ fn internal_error(strict: bool, detail: String) -> Result<EngineResponse, Engine
     }
 }
 
+/// An overload-control refusal ([`EngineError::Overloaded`] /
+/// [`EngineError::DeadlineExceeded`]) in the requested dialect: the
+/// typed error for envelope clients, the legacy `Rejected` string —
+/// carrying the same Display text — for bare ones. Either way the
+/// refusal is a *response*, never a silent drop.
+fn shed_error(strict: bool, err: EngineError) -> Result<EngineResponse, EngineError> {
+    if strict {
+        Err(err)
+    } else {
+        Ok(EngineResponse::Rejected {
+            reason: err.to_string(),
+        })
+    }
+}
+
 fn spawn_worker(
     k: usize,
     shard: Shard,
     completion_tx: Sender<ServerMsg>,
     shard_return_tx: Sender<(usize, Shard)>,
+    faults: Option<Arc<FaultInjector>>,
 ) -> WorkerHandle {
     let (tx, rx) = mpsc::channel::<WorkerMsg>();
     let join = thread::spawn(move || {
@@ -1620,6 +2188,12 @@ fn spawn_worker(
                     envelope_id,
                     reply,
                 } => {
+                    // Fault injection: a planned slow apply sleeps
+                    // before executing — the shard is "contended", the
+                    // dispatch queue backs up, bounded admission sheds.
+                    if let Some(faults) = &faults {
+                        faults.before_apply();
+                    }
                     // lint:allow(no-panic-in-server-paths): the dispatcher only fast-paths while detached; an Apply without a shard is a protocol bug, and replying here instead would leak the dispatcher's pending count and hang the next barrier
                     let shard = slot.as_mut().expect("apply while surrendered");
                     let (outcome, breakdown) = shard.apply_measured(&delta).unwrap_or_else(|e| {
@@ -1659,6 +2233,14 @@ fn spawn_worker(
                             stats,
                             assignments: Arc::new(shard.arrangement().clone()),
                         })),
+                    };
+                    // Fault injection: a planned dropped reply loses the
+                    // view shipment (the apply itself succeeded). The
+                    // dispatcher barriers and refreshes before acking;
+                    // the Resume below restarts this worker's chain.
+                    let view = match &faults {
+                        Some(f) if f.drop_view() => ViewUpdate::Lost,
+                        _ => view,
                     };
                     last_view_epoch = epoch;
                     if completion_tx
@@ -2098,11 +2680,7 @@ mod tests {
         let stream = TcpStream::connect(handle.local_addr()).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut writer = stream;
-        let envelope = RequestEnvelope {
-            id: 7,
-            version: 42,
-            body: add_user_request(0),
-        };
+        let envelope = RequestEnvelope::new(7, 42, add_user_request(0));
         write_frame(
             &mut writer,
             Framing::Lines,
@@ -2485,5 +3063,397 @@ mod tests {
         drop(client);
         handle.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sharded_with_admission(
+        num_events: usize,
+        num_users: usize,
+        num_shards: usize,
+        admission: AdmissionPolicy,
+    ) -> ShardedEngine {
+        let mut config = ShardedConfig::with_shards(num_shards);
+        config.shard.admission = admission;
+        ShardedEngine::new(
+            base_instance(num_events, num_users),
+            Box::new(NeverConflict),
+            Box::new(ConstantInterest(0.5)),
+            Box::new(GreedyArrangement),
+            Box::new(HashPartitioner),
+            config,
+        )
+    }
+
+    fn overload_stats(client: &mut EngineClient) -> OverloadStats {
+        match client.query(EngineQuery::OverloadStats).unwrap() {
+            EngineResponse::OverloadStats { stats } => stats,
+            other => panic!("expected OverloadStats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_admission_sheds_mutations_and_keeps_reads_flowing() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let engine = sharded_with_admission(2, 4, 2, AdmissionPolicy::bounded(0));
+        let handle = EngineServer::serve_sharded(listener, engine, Framing::Lines).unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+
+        // Every mutation is refused immediately with the typed error —
+        // never a silent drop, never an unbounded wait.
+        for i in 0..3 {
+            match client.call(add_user_request(i % 2)) {
+                Err(ClientError::Engine(EngineError::Overloaded {
+                    queue_depth,
+                    retry_after_ms,
+                })) => {
+                    assert_eq!(queue_depth, 0);
+                    assert_eq!(retry_after_ms, 50);
+                }
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+
+        // Reads keep answering from the barrier-free cache throughout.
+        let utility = client.query(EngineQuery::Utility).unwrap();
+        assert!(matches!(utility, EngineResponse::Utility { total, .. } if total > 0.0));
+
+        let stats = overload_stats(&mut client);
+        assert_eq!(stats.policy, "bounded(0)");
+        assert_eq!(stats.shed, 3);
+        assert_eq!(stats.queue_depth, 0);
+        assert!(!stats.read_only);
+
+        drop(client);
+        let engine = handle.shutdown().unwrap();
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+    }
+
+    #[test]
+    fn legacy_clients_get_sheds_as_rejected_strings() {
+        // The legacy dialect predates the typed overload errors; a shed
+        // must still be a *response* there — the `Rejected` string — not
+        // a silent drop.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let engine = sharded_with_admission(2, 4, 2, AdmissionPolicy::bounded(0));
+        let handle = EngineServer::serve_sharded(listener, engine, Framing::Lines).unwrap();
+
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write_frame(
+            &mut writer,
+            Framing::Lines,
+            &crate::protocol::encode_request(&add_user_request(0)),
+        )
+        .unwrap();
+        let line = read_frame(&mut reader, Framing::Lines).unwrap().unwrap();
+        let envelope = decode_response_envelope(&line).unwrap();
+        match envelope.result {
+            Ok(EngineResponse::Rejected { reason }) => {
+                assert!(reason.starts_with("overloaded:"), "got: {reason}")
+            }
+            other => panic!("expected legacy Rejected, got {other:?}"),
+        }
+
+        drop(writer);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_expires_before_dispatch() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            EngineServer::serve_sharded(listener, sharded_for(2, 4, 2), Framing::Lines).unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+
+        // A zero budget has always expired by dequeue time — the
+        // deterministic probe for the deadline gate.
+        let id = client
+            .send_with_deadline(add_user_request(0), Some(0))
+            .unwrap();
+        match client.recv(id) {
+            Err(ClientError::Engine(EngineError::DeadlineExceeded { deadline_ms })) => {
+                assert_eq!(deadline_ms, 0)
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+
+        // A generous budget does not interfere: the same request applies.
+        let id = client
+            .send_with_deadline(add_user_request(0), Some(60_000))
+            .unwrap();
+        assert!(matches!(
+            client.recv(id),
+            Ok(EngineResponse::Applied { .. })
+        ));
+
+        let stats = overload_stats(&mut client);
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.shed, 0);
+
+        drop(client);
+        let engine = handle.shutdown().unwrap();
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+    }
+
+    #[test]
+    fn pipeline_window_edges_match_serial_responses() {
+        // The send-ahead window is a throughput knob, not a semantics
+        // knob: window=1 (degenerate serial) and a window far larger
+        // than the burst must produce byte-identical response streams.
+        let requests: Vec<EngineRequest> = (0..24)
+            .map(|i| match i % 5 {
+                0 => EngineRequest::Query {
+                    query: EngineQuery::Utility,
+                },
+                3 => EngineRequest::Query {
+                    query: EngineQuery::EventLoad {
+                        event: EventId::new(i % 3),
+                    },
+                },
+                _ => add_user_request(i % 3),
+            })
+            .collect();
+
+        let mut runs: Vec<Vec<Result<EngineResponse, EngineError>>> = Vec::new();
+        for window in [1usize, 4096] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let handle =
+                EngineServer::serve_sharded(listener, sharded_for(3, 6, 2), Framing::Lines)
+                    .unwrap();
+            let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+            client.set_pipeline_window(0);
+            assert_eq!(client.pipeline_window(), 1, "window clamps to at least 1");
+            client.set_pipeline_window(window);
+            assert_eq!(client.pipeline_window(), window);
+            runs.push(client.pipeline(requests.clone()).unwrap());
+            drop(client);
+            handle.shutdown().unwrap();
+        }
+        assert_eq!(runs[0], runs[1]);
+
+        // And both match the strictly serial request-response pattern.
+        let mut serial = EngineService::new(sharded_for(3, 6, 2));
+        let expected: Vec<Result<EngineResponse, EngineError>> =
+            requests.iter().map(|r| serial.try_handle(r)).collect();
+        assert_eq!(runs[0], expected);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_honours_server_hint() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_ms: 10,
+            cap_ms: 1000,
+            seed: 0xfeed,
+        };
+        let schedule: Vec<u64> = (0..8).map(|a| policy.backoff_ms(a, 0)).collect();
+        let again: Vec<u64> = (0..8).map(|a| policy.backoff_ms(a, 0)).collect();
+        assert_eq!(schedule, again, "same (seed, attempt) → same sleep");
+
+        let reseeded = RetryPolicy {
+            seed: 0xbeef,
+            ..policy
+        };
+        let other: Vec<u64> = (0..8).map(|a| reseeded.backoff_ms(a, 0)).collect();
+        assert_ne!(schedule, other, "different seed → different jitter");
+
+        for (attempt, &ms) in schedule.iter().enumerate() {
+            let step = (policy.base_ms << attempt).min(policy.cap_ms);
+            assert!(
+                ms >= step - step / 2 && ms <= step,
+                "attempt {attempt}: {ms} ms outside [{}, {step}]",
+                step - step / 2
+            );
+        }
+
+        // The server's retry_after_ms hint is a floor on every sleep.
+        assert_eq!(policy.backoff_ms(0, 5000), 5000);
+    }
+
+    #[test]
+    fn call_with_retry_retries_overloaded_then_gives_up() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let engine = sharded_with_admission(2, 4, 2, AdmissionPolicy::bounded(0));
+        let handle = EngineServer::serve_sharded(listener, engine, Framing::Lines).unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_ms: 1,
+            cap_ms: 2,
+            seed: 7,
+        };
+        match client.call_with_retry(add_user_request(0), &policy) {
+            Err(ClientError::Engine(EngineError::Overloaded { .. })) => {}
+            other => panic!("expected Overloaded after retries, got {other:?}"),
+        }
+        // The initial attempt plus max_retries resends, each shed at
+        // admission.
+        assert_eq!(overload_stats(&mut client).shed, 3);
+
+        drop(client);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn query_resilient_reconnects_and_replays_after_connection_loss() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            EngineServer::serve_sharded(listener, sharded_for(2, 4, 2), Framing::Lines).unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+        let expected = client.query(EngineQuery::Utility).unwrap();
+
+        // Kill the socket under the client: a plain query now fails...
+        client.writer.shutdown(std::net::Shutdown::Both).unwrap();
+        assert!(client.query(EngineQuery::Utility).is_err());
+
+        // ...but the resilient read redials the same server and replays.
+        let policy = RetryPolicy {
+            base_ms: 1,
+            cap_ms: 2,
+            ..RetryPolicy::default()
+        };
+        let got = client
+            .query_resilient(EngineQuery::Utility, &policy)
+            .unwrap();
+        assert_eq!(got, expected);
+
+        drop(client);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn wal_append_failure_latches_read_only_degraded_mode() {
+        use crate::durability::{test_dir, DurabilityController};
+        use crate::faults::{FaultInjector, FaultPlan};
+        use crate::shard::DurabilityPolicy;
+        let dir = test_dir("transport-walfail");
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let controller = DurabilityController::create(&dir, DurabilityPolicy::Always).unwrap();
+        let faults = Arc::new(FaultInjector::new(FaultPlan {
+            wal_fail_at: Some(3),
+            ..FaultPlan::quiet()
+        }));
+        let handle = EngineServer::serve_sharded_faulted(
+            listener,
+            sharded_for(2, 4, 2),
+            Framing::Lines,
+            Some(controller),
+            Arc::clone(&faults),
+        )
+        .unwrap();
+        let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+
+        // Appends 1 and 2 succeed.
+        for i in 0..2 {
+            assert!(matches!(
+                client.call(add_user_request(i % 2)),
+                Ok(EngineResponse::Applied { .. })
+            ));
+        }
+        // Append 3 is forced to fail: the request is refused with the
+        // durability rejection and the server latches read-only.
+        match client.call(add_user_request(0)) {
+            Err(ClientError::Engine(EngineError::Rejected { reason })) => {
+                let text = reason.to_string();
+                assert!(text.contains("read-only"), "got: {text}");
+            }
+            other => panic!("expected durability rejection, got {other:?}"),
+        }
+        // Later mutations are shed at admission without touching the WAL.
+        assert!(matches!(
+            client.call(add_user_request(1)),
+            Err(ClientError::Engine(EngineError::Overloaded { .. }))
+        ));
+        // Reads keep answering, and the degraded mode is observable.
+        assert!(matches!(
+            client.query(EngineQuery::Utility),
+            Ok(EngineResponse::Utility { .. })
+        ));
+        let stats = overload_stats(&mut client);
+        assert!(stats.read_only);
+        assert_eq!(stats.shed, 1);
+
+        drop(client);
+        let engine = handle.shutdown().unwrap();
+        // Only the two WAL-logged applies ever executed.
+        assert_eq!(engine.instance().num_users(), 6);
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+        assert_eq!(faults.counts().wal_failures, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_injected_servers_preserve_request_response_semantics() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        // The harness contract: injected slowness and lost view
+        // shipments change timing and recovery paths, never responses.
+        // Three servers — quiet, every-apply-slow, every-view-lost —
+        // must each be bit-identical to the serial service.
+        let requests: Vec<EngineRequest> = (0..18)
+            .map(|i| match i % 4 {
+                0 => EngineRequest::Query {
+                    query: EngineQuery::Utility,
+                },
+                2 => EngineRequest::Query {
+                    query: EngineQuery::EventLoad {
+                        event: EventId::new(i % 3),
+                    },
+                },
+                _ => add_user_request(i % 3),
+            })
+            .collect();
+        let mut serial = EngineService::new(sharded_for(3, 6, 2));
+        let expected: Vec<Result<EngineResponse, EngineError>> =
+            requests.iter().map(|r| serial.try_handle(r)).collect();
+
+        let plans = [
+            FaultPlan::quiet(),
+            FaultPlan {
+                slow_apply_permille: 1000,
+                slow_apply_ms: 1,
+                ..FaultPlan::quiet()
+            },
+            FaultPlan {
+                drop_view_permille: 1000,
+                ..FaultPlan::quiet()
+            },
+        ];
+        for (p, plan) in plans.into_iter().enumerate() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let faults = Arc::new(FaultInjector::new(plan));
+            let handle = EngineServer::serve_sharded_faulted(
+                listener,
+                sharded_for(3, 6, 2),
+                Framing::Lines,
+                None,
+                Arc::clone(&faults),
+            )
+            .unwrap();
+            let mut client = EngineClient::connect(handle.local_addr(), Framing::Lines).unwrap();
+            let got: Vec<Result<EngineResponse, EngineError>> = requests
+                .iter()
+                .map(|r| match client.call(r.clone()) {
+                    Ok(response) => Ok(response),
+                    Err(ClientError::Engine(e)) => Err(e),
+                    Err(other) => panic!("transport failure under plan {p}: {other}"),
+                })
+                .collect();
+            assert_eq!(got, expected, "plan {p} diverged from serial responses");
+
+            drop(client);
+            let engine = handle.shutdown().unwrap();
+            assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+            let counts = faults.counts();
+            match p {
+                0 => {
+                    assert_eq!(counts.slow_applies, 0);
+                    assert_eq!(counts.dropped_views, 0);
+                }
+                1 => assert!(counts.slow_applies > 0),
+                _ => assert!(counts.dropped_views > 0),
+            }
+        }
     }
 }

@@ -174,6 +174,7 @@ proptest! {
         id in any::<u64>(),
         version in 0u32..4,
         body in request_strategy(),
+        deadline in any::<u64>().prop_map(|v| (v % 2 == 0).then_some(v >> 1)),
         length_framed in any::<bool>(),
     ) {
         let framing = if length_framed {
@@ -181,7 +182,7 @@ proptest! {
         } else {
             Framing::Lines
         };
-        let envelope = RequestEnvelope { id, version, body };
+        let envelope = RequestEnvelope { id, version, deadline_ms: deadline, body };
         let wire = roundtrip_through_frame(&encode_request_envelope(&envelope), framing);
         let back = decode_request_envelope(&wire, 999_999).unwrap();
         prop_assert_eq!(back, envelope);

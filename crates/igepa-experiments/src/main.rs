@@ -14,6 +14,7 @@
 //!   scalability            Runtime vs |U| for LP-packing (both backends) and GG
 //!   online                 Online-arrival study (online greedy / ranking vs offline)
 //!   serve                  Serving study: warm-start engine vs cold re-solve on a delta trace
+//!   overload               Loopback flood vs a bounded-admission, fault-injected server
 //!   recover <dir>          Rebuild a `serve --wal <dir>` server's state after a crash
 //!   all                    Everything above, plus the qualitative shape checks
 //!
@@ -28,13 +29,15 @@
 //! ```
 
 use igepa_algos::LpBackend;
+use igepa_engine::FaultPlan;
 use igepa_experiments::{
     check_sweep, check_table_ordering, check_users_sweep_convergence, parse_fsync_policy,
     run_all_figure1, run_alpha_ablation, run_backend_ablation, run_beta_ablation,
     run_clustered_table, run_connect_study, run_extension_ablation, run_figure1,
-    run_interaction_ablation, run_listen, run_loopback_study, run_online_study, run_ratio_study,
-    run_recover_study, run_scalability, run_serve_study, run_sharded_serve_study, run_table1,
-    run_table2, ExperimentSettings, Figure1Factor, ShapeReport, SweepReport, TableReport,
+    run_interaction_ablation, run_listen, run_loopback_study, run_online_study, run_overload_study,
+    run_ratio_study, run_recover_study, run_scalability, run_serve_study, run_sharded_serve_study,
+    run_table1, run_table2, ExperimentSettings, Figure1Factor, ShapeReport, SweepReport,
+    TableReport,
 };
 use std::path::PathBuf;
 
@@ -161,6 +164,34 @@ fn main() {
                 }
             }
         }
+        "overload" => {
+            let shards = options.shards.unwrap_or(4).max(1);
+            let deltas = options.deltas.unwrap_or(2_000);
+            // Cap 2 stays far below the flood's burst rate on any
+            // machine; a generous cap makes shedding a timing accident
+            // (slow applies throttle the pipelined flooders, so the
+            // dispatch queue only backs up during bursts).
+            let cap = options.admission_cap.unwrap_or(2);
+            let plan = match options.fault_plan.as_deref() {
+                // Default: slow every apply by 1ms so a tiny cap
+                // actually backs up — sheds are the point of the
+                // study, not a lucky race.
+                None => FaultPlan::parse("slow=1000,slow_ms=1").expect("default plan parses"),
+                Some(spec) => FaultPlan::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("--fault-plan: {e}");
+                    std::process::exit(2);
+                }),
+            };
+            let report = run_overload_study(&settings, deltas, shards, cap, plan);
+            println!("{}", report.to_markdown());
+            if !report.passed() {
+                eprintln!(
+                    "overload study FAILED: expected typed sheds, zero reader errors, \
+                     one response per request and a feasible exit"
+                );
+                std::process::exit(1);
+            }
+        }
         "recover" => {
             let dir = options.positional.clone().or(options.wal.clone());
             let Some(dir) = dir else {
@@ -254,6 +285,8 @@ struct Options {
     churn: bool,
     wal: Option<String>,
     fsync: Option<String>,
+    admission_cap: Option<usize>,
+    fault_plan: Option<String>,
     /// First bare (non-`--`) argument after the command, e.g. the
     /// durability directory of `recover <dir>`.
     positional: Option<String>,
@@ -316,6 +349,14 @@ fn parse_options(args: &[String]) -> Options {
                 options.fsync = args.get(i + 1).cloned();
                 i += 1;
             }
+            "--admission-cap" => {
+                options.admission_cap = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--fault-plan" => {
+                options.fault_plan = args.get(i + 1).cloned();
+                i += 1;
+            }
             other => {
                 if !other.starts_with("--") && options.positional.is_none() {
                     options.positional = Some(other.to_string());
@@ -357,7 +398,7 @@ fn write_csv(id: &str, csv: &str, options: &Options) {
 fn print_usage() {
     println!(
         "igepa-experiments — reproduce the tables and figures of the IGEPA paper\n\n\
-         Usage: igepa-experiments <table1|table2|figure1|figure1-all|ratio|ablations|clustered|scalability|online|serve|recover|all> [options]\n\n\
+         Usage: igepa-experiments <table1|table2|figure1|figure1-all|ratio|ablations|clustered|scalability|online|serve|overload|recover|all> [options]\n\n\
          Options:\n\
            --reps <n>       repetitions per configuration (default 10)\n\
            --paper-reps     use the paper's 50 repetitions\n\
@@ -380,6 +421,12 @@ fn print_usage() {
                             log + checkpoints in <dir>, auto-recovery on restart;\n\
                             `recover <dir>` rebuilds and verifies after a crash\n\
            --fsync <p>      WAL fsync policy: off, always (default), every=N,\n\
-                            interval=MS"
+                            interval=MS\n\
+           --admission-cap <n>  for `overload`: dispatch-queue cap; mutations\n\
+                            beyond it are refused with a typed Overloaded error\n\
+                            (default 2)\n\
+           --fault-plan <s> for `overload`: deterministic fault spec, e.g.\n\
+                            seed=7,slow=250,slow_ms=2,drop=50,walfail=40\n\
+                            (default slow=1000,slow_ms=1)"
     );
 }

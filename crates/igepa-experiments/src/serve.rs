@@ -20,13 +20,16 @@ use igepa_datagen::{
     ClusteredConfig, CommunityTraceConfig, SyntheticConfig, TraceConfig,
 };
 use igepa_engine::{
-    recover, replay, ClientError, DurabilityController, DurabilityPolicy, Engine, EngineClient,
-    EngineConfig, EngineQuery, EngineRequest, EngineResponse, EngineServer, Framing,
-    LatencySummary, Recovered, RecoveryError, ShardedConfig, ShardedEngine,
+    recover, replay, AdmissionPolicy, ClientError, DurabilityController, DurabilityPolicy, Engine,
+    EngineClient, EngineConfig, EngineError, EngineQuery, EngineRequest, EngineResponse,
+    EngineServer, FaultInjector, FaultPlan, Framing, LatencySummary, Recovered, RecoveryError,
+    ShardedConfig, ShardedEngine,
 };
 use serde::{Deserialize, Serialize};
 use std::net::TcpListener;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Result of the serving study.
@@ -280,6 +283,25 @@ pub fn sharded_serving_engine(
     shards: usize,
     repair_threads: usize,
 ) -> ShardedEngine {
+    sharded_serving_engine_with_admission(
+        instance,
+        seed,
+        shards,
+        repair_threads,
+        AdmissionPolicy::Unbounded,
+    )
+}
+
+/// [`sharded_serving_engine`] with an explicit admission policy — the
+/// overload-study and benchmark entry point for a server that sheds
+/// instead of queueing without bound.
+pub fn sharded_serving_engine_with_admission(
+    instance: Instance,
+    seed: u64,
+    shards: usize,
+    repair_threads: usize,
+    admission: AdmissionPolicy,
+) -> ShardedEngine {
     let partitioner = LocalityPartitioner::from_instance(&instance, shards);
     ShardedEngine::new(
         instance,
@@ -294,6 +316,7 @@ pub fn sharded_serving_engine(
                 staleness_check_interval: 128,
                 max_staleness: 0.05,
                 repair_threads: repair_threads.max(1),
+                admission,
                 ..EngineConfig::default()
             },
             reconcile_interval: 64,
@@ -584,6 +607,183 @@ pub fn run_connect_study(
         final_utility,
         final_pairs,
         merged_feasible: None,
+    }
+}
+
+/// Result of the overload study: a multi-client loopback flood against
+/// a bounded-admission, fault-injected server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadReport {
+    /// Shards the server ran.
+    pub shards: usize,
+    /// Admission cap in force (`AdmissionPolicy::bounded(cap)`).
+    pub admission_cap: usize,
+    /// The fault plan driven during the flood.
+    pub fault_plan: String,
+    /// Mutations the flooders put on the wire.
+    pub num_requests: usize,
+    /// Mutations acknowledged as applied.
+    pub applied: usize,
+    /// Typed `Overloaded` refusals observed client-side.
+    pub shed: usize,
+    /// Other typed engine rejections (out-of-range probes etc.).
+    pub rejected: usize,
+    /// Cached reads a concurrent connection got answered mid-flood.
+    pub reads_answered: usize,
+    /// Reader failures — must stay zero: reads keep flowing under shed.
+    pub reader_errors: usize,
+    /// Applies the injector slowed down.
+    pub slow_applies: u64,
+    /// View shipments the injector dropped (recovered via barrier).
+    pub dropped_views: u64,
+    /// Whether the final merged arrangement is feasible.
+    pub merged_feasible: bool,
+}
+
+impl OverloadReport {
+    /// The degradation contract, checked: the server shed (the study is
+    /// vacuous otherwise), every request got exactly one typed
+    /// response, reads never failed, and the exit state is feasible.
+    pub fn passed(&self) -> bool {
+        self.merged_feasible
+            && self.shed > 0
+            && self.reader_errors == 0
+            && self.applied + self.shed + self.rejected == self.num_requests
+    }
+
+    /// Renders the report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## Overload study: {} mutations vs cap {} on {} shards\n\n",
+            self.num_requests, self.admission_cap, self.shards
+        ));
+        out.push_str(&format!("Fault plan: `{}`\n\n", self.fault_plan));
+        out.push_str(&format!(
+            "Applied {} / shed {} / rejected {}; reader answered {} cached reads \
+             ({} errors); injector slowed {} applies, dropped {} views; \
+             merged arrangement: {}.\n",
+            self.applied,
+            self.shed,
+            self.rejected,
+            self.reads_answered,
+            self.reader_errors,
+            self.slow_applies,
+            self.dropped_views,
+            if self.merged_feasible {
+                "feasible"
+            } else {
+                "INFEASIBLE"
+            }
+        ));
+        out
+    }
+}
+
+/// Overload study: flood a `bounded(cap)` 4-flooder loopback server —
+/// each flooder pipelining its slice of a community trace at a deep
+/// window — while a dedicated connection reads `Utility` from the
+/// barrier-free cache the whole time. The fault plan (typically slowed
+/// applies) keeps the dispatch queue backed up so the admission gate
+/// actually sheds; every refusal must be typed, the reader must never
+/// starve, and the server must exit feasible.
+pub fn run_overload_study(
+    settings: &ExperimentSettings,
+    num_requests: usize,
+    shards: usize,
+    admission_cap: usize,
+    fault_plan: FaultPlan,
+) -> OverloadReport {
+    let dataset = generate_clustered_dataset(&scaled_clustered(settings), settings.base_seed);
+    let engine = sharded_serving_engine_with_admission(
+        dataset.instance,
+        settings.base_seed,
+        shards,
+        1,
+        AdmissionPolicy::bounded(admission_cap),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback listener binds");
+    let faults = Arc::new(FaultInjector::new(fault_plan));
+    let handle = EngineServer::serve_sharded_faulted(
+        listener,
+        engine,
+        Framing::Lines,
+        None,
+        Arc::clone(&faults),
+    )
+    .expect("server spawns");
+    let addr = handle.local_addr();
+
+    let requests = tcp_trace(settings, num_requests, shards, false);
+    let num_requests = requests.len();
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = EngineClient::connect(addr, Framing::Lines).expect("reader connects");
+            let mut answered = 0usize;
+            let mut errors = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                match client.query(EngineQuery::Utility) {
+                    Ok(EngineResponse::Utility { .. }) => answered += 1,
+                    _ => errors += 1,
+                }
+            }
+            (answered, errors)
+        })
+    };
+
+    const FLOODERS: usize = 4;
+    let chunk = num_requests.div_ceil(FLOODERS).max(1);
+    let flooders: Vec<_> = requests
+        .chunks(chunk)
+        .map(|slice| {
+            let slice = slice.to_vec();
+            std::thread::spawn(move || {
+                let mut client =
+                    EngineClient::connect(addr, Framing::Lines).expect("flooder connects");
+                client.set_pipeline_window(64);
+                let mut applied = 0usize;
+                let mut shed = 0usize;
+                let mut rejected = 0usize;
+                for result in client.pipeline(slice).expect("transport stays up") {
+                    match result {
+                        Ok(_) => applied += 1,
+                        Err(EngineError::Overloaded { .. }) => shed += 1,
+                        Err(_) => rejected += 1,
+                    }
+                }
+                (applied, shed, rejected)
+            })
+        })
+        .collect();
+
+    let (mut applied, mut shed, mut rejected) = (0usize, 0usize, 0usize);
+    for flooder in flooders {
+        let (a, s, r) = flooder.join().expect("flooder thread completes");
+        applied += a;
+        shed += s;
+        rejected += r;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (reads_answered, reader_errors) = reader.join().expect("reader thread completes");
+
+    let counts = faults.counts();
+    let engine = handle.shutdown().expect("clean server shutdown");
+    let merged_feasible = engine.merged_arrangement().is_feasible(engine.instance());
+    OverloadReport {
+        shards,
+        admission_cap,
+        fault_plan: format!("{:?}", faults.plan()),
+        num_requests,
+        applied,
+        shed,
+        rejected,
+        reads_answered,
+        reader_errors,
+        slow_applies: counts.slow_applies,
+        dropped_views: counts.dropped_views,
+        merged_feasible,
     }
 }
 

@@ -69,6 +69,7 @@ impl Default for Config {
             server_paths: vec![
                 "crates/igepa-engine/src/transport.rs",
                 "crates/igepa-engine/src/coordinator.rs",
+                "crates/igepa-engine/src/faults.rs",
                 "crates/igepa-engine/src/shard.rs",
                 "crates/igepa-engine/src/durability/mod.rs",
                 "crates/igepa-engine/src/durability/wal.rs",
@@ -116,9 +117,34 @@ fn default_serde_baseline() -> BTreeMap<&'static str, Vec<&'static str>> {
             "online_cost_calibration",
             "durability",
             "repair_threads",
+            "admission",
         ],
     );
     m.insert("BatchPolicy", vec!["Escalation", "CostModel"]);
+    m.insert("AdmissionPolicy", vec!["Unbounded", "Bounded"]);
+    m.insert(
+        "OverloadStats",
+        vec![
+            "policy",
+            "queue_depth",
+            "high_water",
+            "shed",
+            "deadline_expired",
+            "read_only",
+        ],
+    );
+    m.insert(
+        "EngineError",
+        vec![
+            "Rejected",
+            "NotFound",
+            "Unsupported",
+            "Malformed",
+            "Internal",
+            "Overloaded",
+            "DeadlineExceeded",
+        ],
+    );
     m.insert(
         "DurabilityPolicy",
         vec!["Off", "Interval", "EveryN", "Always"],

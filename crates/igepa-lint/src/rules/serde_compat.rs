@@ -23,8 +23,13 @@ use crate::workspace::SourceFile;
 /// Rule 3: wire-compat types must match the pinned baseline.
 pub struct SerdeCompat;
 
-/// Name fragments that mark a type as wire-compatible state.
-const WIRE_PATTERNS: &[&str] = &["Config", "Snapshot", "State", "Record", "Stats", "Policy"];
+/// Name fragments that mark a type as wire-compatible state. `Error`
+/// is wire state too: the typed error taxonomy rides enveloped
+/// responses, so adding a variant (e.g. the overload refusals) is a
+/// protocol change old clients must be able to survive.
+const WIRE_PATTERNS: &[&str] = &[
+    "Config", "Snapshot", "State", "Record", "Stats", "Policy", "Error",
+];
 
 impl Rule for SerdeCompat {
     fn id(&self) -> &'static str {
