@@ -1327,6 +1327,70 @@ fn overload_scenarios(report: &mut BenchReport) {
     handle.shutdown().unwrap();
 }
 
+/// Elastic resharding scenarios (this PR): what a live migration costs.
+///
+/// * `reshard/migration_pause/4to6` — latency of one full 4 -> 6 grow
+///   on a loaded sharded engine: the pause mutations see while users,
+///   quota shares and tracker contributions move to their new owners.
+/// * `reshard/per_user_move/4to6` — the same pause divided by users
+///   moved: the marginal cost of migrating one user's sub-state.
+///
+/// Each iteration grows 4 -> 6 (measured) and shrinks back 6 -> 4
+/// (unmeasured), so every sample migrates the same deterministic user
+/// set from the same starting shape.
+fn reshard_scenarios(report: &mut BenchReport) {
+    use igepa_engine::{EngineRequest, EngineResponse};
+    use igepa_experiments::sharded_serving_engine;
+
+    let dataset = generate_clustered_dataset(
+        &ClusteredConfig {
+            num_events: 40,
+            num_users: 600,
+            num_communities: 8,
+            ..ClusteredConfig::default()
+        },
+        17,
+    );
+    let trace = generate_community_trace(
+        &dataset.instance,
+        &dataset.event_communities,
+        &CommunityTraceConfig::partition_friendly(400, 4),
+        29,
+    );
+    let mut engine = sharded_serving_engine(dataset.instance, 5, 4, 1);
+    for timed in &trace.deltas {
+        let response = engine.handle(&EngineRequest::Apply {
+            delta: timed.delta.clone(),
+        });
+        assert!(
+            matches!(response, EngineResponse::Applied { .. }),
+            "generated trace applies cleanly"
+        );
+    }
+
+    let mut pauses = Vec::with_capacity(64);
+    let mut per_user = Vec::with_capacity(64);
+    for _ in 0..64 {
+        let start = Instant::now();
+        let response = engine.handle(&EngineRequest::Reshard { num_shards: 6 });
+        let pause = start.elapsed().as_nanos() as f64 / 1_000.0;
+        let moved = match response {
+            EngineResponse::Resharded { record, .. } => record.moved_users,
+            other => panic!("Reshard answered {other:?}"),
+        };
+        assert!(moved > 0, "a loaded 4 -> 6 grow must move users");
+        pauses.push(pause);
+        per_user.push(pause / moved as f64);
+        let shrunk = engine.handle(&EngineRequest::Reshard { num_shards: 4 });
+        assert!(
+            matches!(shrunk, EngineResponse::Resharded { .. }),
+            "shrink back to the starting shape"
+        );
+    }
+    report.record("reshard/migration_pause/4to6".to_string(), pauses);
+    report.record("reshard/per_user_move/4to6".to_string(), per_user);
+}
+
 fn main() {
     // BENCH_JSON_ONLY=1 skips the interactive criterion groups and runs
     // just the machine-readable scenarios (the CI artifact path).
@@ -1343,6 +1407,7 @@ fn main() {
     concurrent_reader_scenarios(&mut report);
     durability_scenarios(&mut report);
     overload_scenarios(&mut report);
+    reshard_scenarios(&mut report);
     // Written to the workspace root so the perf trajectory is tracked
     // in one place across PRs (override with BENCH_JSON_PATH).
     report.write(concat!(

@@ -3,8 +3,10 @@
 //! ## Partitioned state
 //!
 //! Users are placed onto shards by a pluggable
-//! [`Partitioner`](igepa_core::Partitioner) (sticky: a user never
-//! migrates). Every shard serves a **sub-instance** holding *all* events
+//! [`Partitioner`](igepa_core::Partitioner) when they first appear, and
+//! stay put until a live resharding pass
+//! ([`ShardedEngine::reshard`]) re-places them. Every shard serves a
+//! **sub-instance** holding *all* events
 //! but only the shard's users; event capacities in a sub-instance are
 //! per-shard **quotas** that always sum to the true capacity. Because bid,
 //! user-capacity and conflict constraints are per user, each shard's
@@ -32,7 +34,29 @@
 //! Every [`ShardedConfig::reconcile_interval`] applied deltas (and on
 //! explicit [`ShardedEngine::rebalance`]) the coordinator runs the bounded
 //! exchange protocol of [`crate::reconcile`], moving slack quota toward
-//! unmet demand and re-repairing the shards it touched.
+//! unmet demand and re-repairing the shards it touched. When the pass
+//! observes persistent load skew it raises a **migration proposal**
+//! (counted in [`CoordinatorStats::migration_proposals`], concretised by
+//! [`ShardedEngine::migration_proposal`]) — quota exchange fixes
+//! stranded capacity, but only moving *users* fixes structural skew.
+//!
+//! ## Elastic resharding
+//!
+//! [`ShardedEngine::reshard`] changes the shard count (or re-places
+//! users at a constant count, e.g. under an
+//! [`OverridePartitioner`](igepa_core::OverridePartitioner)) **live**:
+//! every user's sub-state — interest columns, arrangement slice,
+//! per-event quota share, and exact-sum `UtilityTracker` contribution —
+//! moves with it. The pass is a pure re-partitioning: each new shard's
+//! quota for an event starts at exactly the load its users bring (so no
+//! pair is ever evicted) before slack is dealt by bidder counts, and
+//! exact-sum absorption makes the merged utility bit-identical before
+//! and after. The serving transport runs the pass at a worker barrier,
+//! with the durability layer as the transaction seam: WAL-log the
+//! `Reshard` request (catalogue-epoch-tagged, so it orders against
+//! event broadcasts), checkpoint the pre-migration state, migrate, then
+//! checkpoint the post-migration state — a crash on either side of the
+//! cut recovers bit-exactly, replaying the logged reshard when needed.
 //!
 //! With `num_shards == 1` the single shard serves a clone of the full
 //! instance and every request takes the exact code path of the monolithic
@@ -40,6 +64,7 @@
 
 use crate::catalog::{CatalogSnapshot, EventCatalog};
 use crate::durability::snapshot::{EngineSnapshotState, ShardRecord, STATE_VERSION};
+use crate::protocol::MigrationRecord;
 use crate::reconcile::{self, ReconcileReport};
 use crate::shard::{
     ApplyOutcome, EngineConfig, EngineStats, RepairKind, Shard, ShardOp, ShardResume,
@@ -93,7 +118,7 @@ impl ShardedConfig {
 
 /// Aggregate counters of the coordinator itself (shard counters live in
 /// each shard's [`EngineStats`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CoordinatorStats {
     /// Reconciliation passes run (periodic and explicit).
     pub reconcile_passes: u64,
@@ -101,10 +126,85 @@ pub struct CoordinatorStats {
     pub quota_moved: u64,
     /// Boundary events seen by the most recent pass.
     pub last_boundary_events: usize,
+    /// Live resharding passes completed ([`ShardedEngine::reshard`]).
+    pub reshards: u64,
+    /// Users whose owning shard changed, summed across all reshards.
+    pub users_migrated: u64,
+    /// Skew-triggered migration proposals raised by the reconcile loop
+    /// (proposals are surfaced, never auto-executed).
+    pub migration_proposals: u64,
+}
+
+/// Hand-written so stats from an engine that never resharded serialize
+/// exactly as they did before the migration counters existed — the
+/// version-1/2 checkpoint payloads stay byte-identical. The migration
+/// counters are emitted only when nonzero.
+impl serde::Serialize for CoordinatorStats {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            (
+                "reconcile_passes".to_string(),
+                serde::Serialize::to_value(&self.reconcile_passes),
+            ),
+            (
+                "quota_moved".to_string(),
+                serde::Serialize::to_value(&self.quota_moved),
+            ),
+            (
+                "last_boundary_events".to_string(),
+                serde::Serialize::to_value(&self.last_boundary_events),
+            ),
+        ];
+        if self.reshards != 0 {
+            entries.push((
+                "reshards".to_string(),
+                serde::Serialize::to_value(&self.reshards),
+            ));
+        }
+        if self.users_migrated != 0 {
+            entries.push((
+                "users_migrated".to_string(),
+                serde::Serialize::to_value(&self.users_migrated),
+            ));
+        }
+        if self.migration_proposals != 0 {
+            entries.push((
+                "migration_proposals".to_string(),
+                serde::Serialize::to_value(&self.migration_proposals),
+            ));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+/// Hand-written because pre-resharding checkpoints carry no migration
+/// counters and the vendored serde derive has no `#[serde(default)]`:
+/// missing counters decode as 0.
+impl serde::Deserialize for CoordinatorStats {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = serde::expect_object(value, "CoordinatorStats")?;
+        let required = |name: &str| serde::object_field(entries, name, "CoordinatorStats");
+        let counter = |name: &str| -> Result<u64, serde::DeError> {
+            match entries.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => serde::Deserialize::from_value(v),
+                None => Ok(0),
+            }
+        };
+        Ok(CoordinatorStats {
+            reconcile_passes: serde::Deserialize::from_value(required("reconcile_passes")?)?,
+            quota_moved: serde::Deserialize::from_value(required("quota_moved")?)?,
+            last_boundary_events: serde::Deserialize::from_value(required(
+                "last_boundary_events",
+            )?)?,
+            reshards: counter("reshards")?,
+            users_migrated: counter("users_migrated")?,
+            migration_proposals: counter("migration_proposals")?,
+        })
+    }
 }
 
 /// Per-shard summary answered to the `ShardStats` query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardStatsEntry {
     /// Shard index.
     pub shard: usize,
@@ -116,6 +216,68 @@ pub struct ShardStatsEntry {
     pub utility: f64,
     /// The shard's repair-loop counters.
     pub stats: EngineStats,
+    /// Users migrated *into* this shard by live resharding (0 until a
+    /// [`ShardedEngine::reshard`] runs).
+    pub moved_in: u64,
+    /// Users migrated *out of* this shard by live resharding.
+    pub moved_out: u64,
+}
+
+/// Hand-written so entries from an engine that never resharded serialize
+/// exactly as before the migration counters existed — the golden
+/// response logs stay byte-identical. `moved_in` / `moved_out` are
+/// emitted only when nonzero.
+impl serde::Serialize for ShardStatsEntry {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("shard".to_string(), serde::Serialize::to_value(&self.shard)),
+            ("users".to_string(), serde::Serialize::to_value(&self.users)),
+            ("pairs".to_string(), serde::Serialize::to_value(&self.pairs)),
+            (
+                "utility".to_string(),
+                serde::Serialize::to_value(&self.utility),
+            ),
+            ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
+        ];
+        if self.moved_in != 0 {
+            entries.push((
+                "moved_in".to_string(),
+                serde::Serialize::to_value(&self.moved_in),
+            ));
+        }
+        if self.moved_out != 0 {
+            entries.push((
+                "moved_out".to_string(),
+                serde::Serialize::to_value(&self.moved_out),
+            ));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+/// Hand-written because pre-resharding response logs carry no migration
+/// counters (the vendored serde derive has no `#[serde(default)]`):
+/// missing counters decode as 0.
+impl serde::Deserialize for ShardStatsEntry {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = serde::expect_object(value, "ShardStatsEntry")?;
+        let required = |name: &str| serde::object_field(entries, name, "ShardStatsEntry");
+        let counter = |name: &str| -> Result<u64, serde::DeError> {
+            match entries.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => serde::Deserialize::from_value(v),
+                None => Ok(0),
+            }
+        };
+        Ok(ShardStatsEntry {
+            shard: serde::Deserialize::from_value(required("shard")?)?,
+            users: serde::Deserialize::from_value(required("users")?)?,
+            pairs: serde::Deserialize::from_value(required("pairs")?)?,
+            utility: serde::Deserialize::from_value(required("utility")?)?,
+            stats: serde::Deserialize::from_value(required("stats")?)?,
+            moved_in: counter("moved_in")?,
+            moved_out: counter("moved_out")?,
+        })
+    }
 }
 
 /// Interest adapter that copies cached values out of the global instance
@@ -169,6 +331,10 @@ pub struct ShardedEngine {
     /// scans just these instead of the whole catalogue.
     reconcile_candidates: BTreeSet<EventId>,
     coordinator_stats: CoordinatorStats,
+    /// Per shard: users migrated `(in, out)` by live resharding. Feeds
+    /// the `ShardStats` migration counters; checkpointed so recovered
+    /// engines answer identical stats.
+    migrations: Vec<(u64, u64)>,
     /// Seed counter of the ad-hoc cold solves run by
     /// [`ShardedEngine::cold_solve_ratio`].
     probe_counter: u64,
@@ -272,6 +438,7 @@ impl ShardedEngine {
             deltas_since_reconcile: 0,
             reconcile_candidates: BTreeSet::new(),
             coordinator_stats: CoordinatorStats::default(),
+            migrations: vec![(0, 0); num_shards],
             probe_counter: 0,
         }
     }
@@ -536,6 +703,276 @@ impl ShardedEngine {
     /// and reports what moved.
     pub fn rebalance(&mut self) -> ReconcileReport {
         self.reconcile_now(true)
+    }
+
+    /// Live resharding: re-places every user with the partitioner at
+    /// `new_shards` shards and rebuilds the engine around the new
+    /// layout, moving each migrating user's complete sub-state —
+    /// interest columns, arrangement slice, per-event quota share, and
+    /// exact-sum tracker contribution — to its new owner.
+    ///
+    /// The pass is a pure re-partitioning of served state, never a
+    /// re-solve: every `(event, user)` pair is preserved (each new
+    /// shard's quota for an event starts at exactly the load its users
+    /// bring before slack is dealt by bidder counts), so the merged
+    /// arrangement is identical pair for pair, stays feasible by the
+    /// quota invariant, and the merged utility is bit-identical by
+    /// exact-sum partition independence. Deterministic for a
+    /// deterministic partitioner, which is what makes a WAL-logged
+    /// `Reshard` replay to the identical engine during recovery.
+    ///
+    /// Must run at a barrier (shards attached and quiescent). Shard
+    /// counts may grow or shrink; `new_shards == num_shards` re-places
+    /// users without changing the count (useful with an
+    /// [`OverridePartitioner`](igepa_core::OverridePartitioner) honoring
+    /// a migration proposal). Errors only on a zero target; the engine
+    /// is untouched on error.
+    pub fn reshard(&mut self, new_shards: usize) -> Result<MigrationRecord, String> {
+        debug_assert_eq!(self.shards.len(), self.num_shards, "barrier first");
+        debug_assert!(
+            self.shards.iter().all(Shard::is_quiescent),
+            "reshard must observe a quiescent engine"
+        );
+        if new_shards == 0 {
+            return Err("cannot reshard to zero shards".to_string());
+        }
+        let old_shards = self.num_shards;
+        let num_events = self.mirror.num_events();
+
+        // New placement for every user, visited in global id order —
+        // exactly how registration consults the partitioner. Retired
+        // users move with their slot (they carry no pairs or bids).
+        let mut new_locals: Vec<Vec<UserId>> = vec![Vec::new(); new_shards];
+        let mut new_owners = Vec::with_capacity(self.owners.len());
+        let mut moved_users = 0u64;
+        let mut moved_in = vec![0u64; new_shards];
+        let mut moved_out = vec![0u64; old_shards];
+        for u in 0..self.owners.len() {
+            let global = UserId::new(u);
+            let bids = &self.mirror.user(global).bids;
+            let k = self
+                .partitioner
+                .shard_for(global, bids, new_shards)
+                .min(new_shards - 1);
+            if k != self.owners[u].0 {
+                moved_users += 1;
+                moved_in[k] += 1;
+                moved_out[self.owners[u].0] += 1;
+            }
+            new_owners.push((k, UserId::new(new_locals[k].len())));
+            new_locals[k].push(global);
+        }
+
+        // Per-event per-new-shard loads under the new placement: the
+        // floor of each new quota, so no shard ever needs to evict.
+        let mut new_loads: Vec<Vec<usize>> = vec![vec![0; new_shards]; num_events];
+        for (k, shard) in self.shards.iter().enumerate() {
+            for (local, &global) in self.locals[k].iter().enumerate() {
+                let j = new_owners[global.index()].0;
+                for &v in shard.arrangement().events_of(UserId::new(local)) {
+                    new_loads[v.index()][j] += 1;
+                }
+            }
+        }
+        let new_quotas: Vec<Vec<usize>> = (0..num_events)
+            .map(|v| {
+                let event = EventId::new(v);
+                let capacity = self.mirror.event(event).capacity;
+                let loads = &new_loads[v];
+                let total_load: usize = loads.iter().sum();
+                debug_assert!(capacity >= total_load, "merged arrangement was feasible");
+                let mut bidders = vec![0usize; new_shards];
+                for &u in &self.mirror.event(event).bidders {
+                    bidders[new_owners[u.index()].0] += 1;
+                }
+                let slack = proportional_split(capacity - total_load, &bidders);
+                loads.iter().zip(slack).map(|(&l, s)| l + s).collect()
+            })
+            .collect();
+
+        // Quota units leaving their old shard (the migration's quota
+        // movement, mirroring ReconcileReport::quota_moved).
+        let mut quota_moved = 0u64;
+        for v in 0..num_events {
+            let event = EventId::new(v);
+            for k in 0..old_shards {
+                let old_q = self.shards[k].quota_of(event);
+                let new_q = if k < new_shards { new_quotas[v][k] } else { 0 };
+                quota_moved += old_q.saturating_sub(new_q) as u64;
+            }
+        }
+
+        // Re-index every shard-local arrangement slice to the new
+        // owners: pair-for-pair transfer, per-user event order kept.
+        let mut new_arrangements: Vec<Arrangement> = new_locals
+            .iter()
+            .map(|locals| Arrangement::new(num_events, locals.len()))
+            .collect();
+        for (j, locals) in new_locals.iter().enumerate() {
+            for (new_local, &global) in locals.iter().enumerate() {
+                let (k, old_local) = self.owners[global.index()];
+                for &v in self.shards[k].arrangement().events_of(old_local) {
+                    new_arrangements[j].assign(v, UserId::new(new_local));
+                }
+            }
+        }
+
+        // Counters transfer by shard slot: surviving slots keep their
+        // history, retired slots fold into slot 0 (exactly how the
+        // engine-level aggregate folds), grown slots start fresh.
+        let mut new_stats: Vec<EngineStats> = (0..new_shards)
+            .map(|j| {
+                if j < old_shards {
+                    *self.shards[j].stats()
+                } else {
+                    EngineStats::default()
+                }
+            })
+            .collect();
+        for k in new_shards..old_shards {
+            new_stats[0] = new_stats[0].merged(self.shards[k].stats());
+        }
+        let mut new_migrations: Vec<(u64, u64)> = (0..new_shards)
+            .map(|j| {
+                if j < old_shards {
+                    self.migrations[j]
+                } else {
+                    (0, 0)
+                }
+            })
+            .collect();
+        for k in new_shards..old_shards {
+            new_migrations[0].0 += self.migrations[k].0;
+            new_migrations[0].1 += self.migrations[k].1;
+        }
+        for (j, &m) in moved_in.iter().enumerate() {
+            new_migrations[j].0 += m;
+        }
+        for (k, &m) in moved_out.iter().enumerate() {
+            let slot = if k < new_shards { k } else { 0 };
+            new_migrations[slot].1 += m;
+        }
+
+        let catalog_epoch = self.catalog.epoch();
+        let mut rebuilt = Vec::with_capacity(new_shards);
+        for (j, arrangement) in new_arrangements.into_iter().enumerate() {
+            let sub_instance = if new_shards == 1 {
+                // The monolithic bit-for-bit path of `new` / `restore`.
+                self.mirror.clone()
+            } else {
+                build_sub_instance(&self.mirror, &new_locals[j], |v| new_quotas[v.index()][j])
+            };
+            let shard_config = EngineConfig {
+                seed: self.config.shard.seed.wrapping_add(j as u64),
+                ..self.config.shard.clone()
+            };
+            let (solve_counter, last_staleness_check) = if j < old_shards {
+                (
+                    self.shards[j].solve_counter(),
+                    self.shards[j].last_staleness_check(),
+                )
+            } else {
+                (0, 0)
+            };
+            rebuilt.push(Shard::restore(
+                ShardResume {
+                    instance: sub_instance,
+                    arrangement,
+                    stats: new_stats[j],
+                    solve_counter,
+                    last_staleness_check,
+                    catalog_epoch,
+                },
+                Arc::clone(&self.sigma),
+                Arc::clone(&self.interest),
+                Arc::clone(&self.solver),
+                shard_config,
+            ));
+        }
+
+        self.shards = rebuilt;
+        self.num_shards = new_shards;
+        self.config.num_shards = new_shards;
+        self.owners = new_owners;
+        self.locals = new_locals;
+        self.migrations = new_migrations;
+        self.shard_utility = self.shards.iter().map(Shard::utility).collect();
+        self.shard_pairs = self.shards.iter().map(|s| s.arrangement().len()).collect();
+        self.coordinator_stats.reshards += 1;
+        self.coordinator_stats.users_migrated += moved_users;
+        Ok(MigrationRecord {
+            from_shards: old_shards,
+            to_shards: new_shards,
+            moved_users,
+            quota_moved,
+            catalog_epoch,
+        })
+    }
+
+    /// Swaps the placement policy. Existing placements are untouched
+    /// until the next [`ShardedEngine::reshard`] pass re-consults the
+    /// policy (newly registered users consult it immediately). This is
+    /// how a [`ShardedEngine::migration_proposal`] is executed: wrap the
+    /// current policy in an
+    /// [`OverridePartitioner`](igepa_core::OverridePartitioner) seeded
+    /// with the proposed moves, install it here, and reshard at the
+    /// current shard count.
+    pub fn set_partitioner(&mut self, partitioner: Box<dyn Partitioner + Send>) {
+        self.partitioner = partitioner;
+    }
+
+    /// Concretises the reconcile loop's skew signal into a migration
+    /// plan: when the busiest shard serves at least twice the pairs of
+    /// the least busy one (plus a small hysteresis floor), proposes
+    /// moving that donor's heaviest users to the receiver until roughly
+    /// half the gap would close. Returns `(global user, target shard)`
+    /// moves, ready to seed an
+    /// [`OverridePartitioner`](igepa_core::OverridePartitioner) for a
+    /// same-count [`ShardedEngine::reshard`]; `None` while load is
+    /// balanced. Read-only and deterministic — proposals are surfaced,
+    /// never auto-executed.
+    pub fn migration_proposal(&self) -> Option<Vec<(UserId, usize)>> {
+        if self.num_shards <= 1 || self.shards.len() != self.num_shards {
+            return None;
+        }
+        let donor = (0..self.num_shards).max_by_key(|&k| (self.shard_pairs[k], usize::MAX - k))?;
+        let receiver = (0..self.num_shards).min_by_key(|&k| (self.shard_pairs[k], k))?;
+        let (heavy, light) = (self.shard_pairs[donor], self.shard_pairs[receiver]);
+        if donor == receiver || heavy < 2 * light + 8 {
+            return None;
+        }
+        // Donor users by (most pairs, lowest global id), moved until
+        // half the gap closes.
+        let mut candidates: Vec<(usize, UserId)> = self.locals[donor]
+            .iter()
+            .enumerate()
+            .map(|(local, &global)| {
+                (
+                    self.shards[donor]
+                        .arrangement()
+                        .events_of(UserId::new(local))
+                        .len(),
+                    global,
+                )
+            })
+            .filter(|&(pairs, _)| pairs > 0)
+            .collect();
+        candidates.sort_by_key(|&(pairs, global)| (std::cmp::Reverse(pairs), global));
+        let target = (heavy - light) / 2;
+        let mut moved = 0usize;
+        let mut plan = Vec::new();
+        for (pairs, global) in candidates {
+            if moved >= target {
+                break;
+            }
+            plan.push((global, receiver));
+            moved += pairs;
+        }
+        if plan.is_empty() {
+            None
+        } else {
+            Some(plan)
+        }
     }
 
     /// Applies a shard-local delta, turning a rejection into a loud
@@ -831,6 +1268,15 @@ impl ShardedEngine {
         &self.owners
     }
 
+    /// Per-shard `(moved in, moved out)` live-migration counters, in
+    /// shard order. The transport's query cache mirrors them (they only
+    /// change at barrier-executed reshards, which refresh the whole
+    /// cache) so cached `ShardStats` answers stay bit-identical to the
+    /// serial backend's.
+    pub(crate) fn shard_migrations(&self) -> &[(u64, u64)] {
+        &self.migrations
+    }
+
     /// Moves the shards out of the coordinator so per-shard worker
     /// threads can own them. While detached, only mirror-side routing
     /// ([`ShardedEngine::plan_user_delta`]) and the cached aggregates
@@ -891,6 +1337,14 @@ impl ShardedEngine {
                 self.shard_pairs[k] = shard.arrangement().len();
             }
         }
+        // Quota exchange cannot fix structural skew — only moving users
+        // can. When the post-pass load remains skewed, raise a migration
+        // proposal (a counter plus the concrete plan from
+        // [`ShardedEngine::migration_proposal`]); executing it is the
+        // operator's (or the serving layer's) call.
+        if self.migration_proposal().is_some() {
+            self.coordinator_stats.migration_proposals += 1;
+        }
         report
     }
 
@@ -950,6 +1404,7 @@ impl ShardedEngine {
             reconcile_candidates: self.reconcile_candidates.iter().copied().collect(),
             coordinator_stats: self.coordinator_stats,
             probe_counter: self.probe_counter,
+            shard_migrations: self.migrations.clone(),
             shards,
         }
     }
@@ -1052,6 +1507,17 @@ impl ShardedEngine {
             }
             shards.push(shard);
         }
+        let migrations = if state.shard_migrations.is_empty() {
+            // Pre-resharding checkpoints carry no migration counters.
+            vec![(0, 0); num_shards]
+        } else if state.shard_migrations.len() == num_shards {
+            state.shard_migrations.clone()
+        } else {
+            return Err(format!(
+                "snapshot carries {} migration counter entries for {num_shards} shards",
+                state.shard_migrations.len()
+            ));
+        };
         let shard_utility = shards.iter().map(Shard::utility).collect();
         let shard_pairs = shards.iter().map(|s| s.arrangement().len()).collect();
         Ok(ShardedEngine {
@@ -1072,6 +1538,7 @@ impl ShardedEngine {
             deltas_since_reconcile: state.deltas_since_reconcile,
             reconcile_candidates: state.reconcile_candidates.iter().copied().collect(),
             coordinator_stats: state.coordinator_stats,
+            migrations,
             probe_counter: state.probe_counter,
         })
     }
@@ -1095,6 +1562,8 @@ impl ShardedEngine {
                     pairs: shard.arrangement().len(),
                     utility: shard.utility(),
                     stats,
+                    moved_in: self.migrations[k].0,
+                    moved_out: self.migrations[k].1,
                 }
             })
             .collect()
@@ -1678,6 +2147,226 @@ mod tests {
             .unwrap()
             .contains("utility diverged"));
         assert!(rebuild(&state).is_ok(), "pristine state must still load");
+    }
+
+    #[test]
+    fn reshard_grow_preserves_pairs_utility_and_quotas() {
+        let mut engine = sharded_for(4, 12, 4);
+        churn(&mut engine);
+        let before_pairs: Vec<_> = engine.merged_arrangement().pairs().collect();
+        let before_utility = engine.merged_utility().total;
+        let before_stats = engine.stats();
+
+        let record = engine.reshard(6).unwrap();
+        assert_eq!(record.from_shards, 4);
+        assert_eq!(record.to_shards, 6);
+        assert!(record.moved_users > 0, "hash mod 6 re-places some users");
+        assert_eq!(record.catalog_epoch, engine.catalog().epoch());
+        assert_eq!(engine.num_shards(), 6);
+
+        // A pure re-partitioning: pair-for-pair and bit-for-bit.
+        assert_eq!(
+            engine.merged_arrangement().pairs().collect::<Vec<_>>(),
+            before_pairs
+        );
+        assert_eq!(
+            engine.merged_utility().total.to_bits(),
+            before_utility.to_bits()
+        );
+        assert_eq!(engine.stats(), before_stats, "counters transfer exactly");
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+        for event in engine.instance().events() {
+            let total: usize = (0..engine.num_shards())
+                .map(|k| engine.shard(k).quota_of(event.id))
+                .sum();
+            assert_eq!(total, event.capacity, "quota invariant on {}", event.id);
+        }
+        // Migration counters balance: every departure has an arrival.
+        let entries = engine.shard_stats_entries();
+        let moved_in: u64 = entries.iter().map(|e| e.moved_in).sum();
+        let moved_out: u64 = entries.iter().map(|e| e.moved_out).sum();
+        assert_eq!(moved_in, record.moved_users);
+        assert_eq!(moved_out, record.moved_users);
+
+        // The resharded engine keeps serving correctly.
+        churn(&mut engine);
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+    }
+
+    #[test]
+    fn reshard_shrink_to_one_matches_the_merged_arrangement() {
+        let mut engine = sharded_for(3, 10, 3);
+        churn(&mut engine);
+        let before_pairs: Vec<_> = engine.merged_arrangement().pairs().collect();
+        let before_utility = engine.merged_utility().total;
+        let before_stats = engine.stats();
+
+        let record = engine.reshard(1).unwrap();
+        assert_eq!((record.from_shards, record.to_shards), (3, 1));
+        assert_eq!(engine.num_shards(), 1);
+        // One shard serves the old merged arrangement verbatim.
+        assert_eq!(
+            engine.shard(0).arrangement().pairs().collect::<Vec<_>>(),
+            before_pairs
+        );
+        assert_eq!(
+            engine.merged_utility().total.to_bits(),
+            before_utility.to_bits()
+        );
+        // Retired slots folded into slot 0, so the aggregate is intact.
+        assert_eq!(engine.stats(), before_stats);
+        churn(&mut engine);
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
+    }
+
+    /// The property WAL replay rests on: two engines with identical
+    /// histories reshard identically, down to their futures.
+    #[test]
+    fn reshard_is_deterministic_including_the_future() {
+        let mut a = sharded_for(3, 9, 2);
+        let mut b = sharded_for(3, 9, 2);
+        churn(&mut a);
+        churn(&mut b);
+        a.reshard(5).unwrap();
+        b.reshard(5).unwrap();
+        churn(&mut a);
+        churn(&mut b);
+        assert_eq!(
+            a.merged_arrangement().pairs().collect::<Vec<_>>(),
+            b.merged_arrangement().pairs().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.merged_utility().total.to_bits(),
+            b.merged_utility().total.to_bits()
+        );
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn reshard_state_roundtrips_through_a_checkpoint() {
+        let mut original = sharded_for(3, 9, 4);
+        churn(&mut original);
+        original.reshard(6).unwrap();
+        churn(&mut original);
+
+        let state = original.snapshot_state(23);
+        let json = serde_json::to_string(&state).unwrap();
+        let decoded: EngineSnapshotState = serde_json::from_str(&json).unwrap();
+        assert_eq!(decoded, state);
+        let mut restored = ShardedEngine::restore_state(
+            &decoded,
+            Box::new(NeverConflict),
+            Box::new(ConstantInterest(0.5)),
+            Box::new(GreedyArrangement),
+            Box::new(HashPartitioner),
+        )
+        .unwrap();
+
+        // Migration counters survive the round trip.
+        let restored_entries = restored.shard_stats_entries();
+        let original_entries = original.shard_stats_entries();
+        assert_eq!(restored_entries, original_entries);
+        assert!(restored_entries.iter().any(|e| e.moved_in > 0));
+
+        churn(&mut restored);
+        churn(&mut original);
+        assert_eq!(
+            restored.merged_arrangement().pairs().collect::<Vec<_>>(),
+            original.merged_arrangement().pairs().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            restored.merged_utility().total.to_bits(),
+            original.merged_utility().total.to_bits()
+        );
+        assert_eq!(restored.stats(), original.stats());
+    }
+
+    #[test]
+    fn reshard_to_zero_is_refused_and_harmless() {
+        let mut engine = sharded_for(2, 6, 2);
+        churn(&mut engine);
+        let before: Vec<_> = engine.merged_arrangement().pairs().collect();
+        assert!(engine.reshard(0).is_err());
+        assert_eq!(engine.num_shards(), 2);
+        assert_eq!(
+            engine.merged_arrangement().pairs().collect::<Vec<_>>(),
+            before
+        );
+    }
+
+    /// Every user on shard 0: the degenerate skew the reconcile loop's
+    /// proposal machinery exists to detect and undo.
+    struct AllToZero;
+    impl Partitioner for AllToZero {
+        fn shard_for(&self, _user: UserId, _bids: &[EventId], _num_shards: usize) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "all-to-zero"
+        }
+    }
+
+    #[test]
+    fn migration_proposal_feeds_an_override_reshard_that_rebalances() {
+        let mut b = Instance::builder();
+        let events: Vec<EventId> = (0..6)
+            .map(|_| b.add_event(2, AttributeVector::empty()))
+            .collect();
+        for _ in 0..8 {
+            b.add_user(2, AttributeVector::empty(), events.clone());
+        }
+        b.interaction_scores(vec![0.5; 8]);
+        let instance = b.build(&NeverConflict, &ConstantInterest(0.5)).unwrap();
+        let mut engine = ShardedEngine::new(
+            instance,
+            Box::new(NeverConflict),
+            Box::new(ConstantInterest(0.5)),
+            Box::new(GreedyArrangement),
+            Box::new(AllToZero),
+            ShardedConfig::with_shards(2),
+        );
+        assert!(engine.shard(0).arrangement().len() >= 8);
+        assert_eq!(engine.shard(1).arrangement().len(), 0);
+
+        let plan = engine
+            .migration_proposal()
+            .expect("total skew must trigger a proposal");
+        assert!(plan.iter().all(|&(_, target)| target == 1));
+        // The reconcile loop surfaces the same signal as a counter.
+        engine.rebalance();
+        assert!(
+            engine
+                .snapshot_state(0)
+                .coordinator_stats
+                .migration_proposals
+                >= 1
+        );
+
+        let before_pairs: Vec<_> = engine.merged_arrangement().pairs().collect();
+        let before_utility = engine.merged_utility().total;
+        let mut overrides = igepa_core::OverridePartitioner::new(Box::new(AllToZero));
+        for &(user, target) in &plan {
+            overrides.pin(user, target);
+        }
+        engine.set_partitioner(Box::new(overrides));
+        let record = engine.reshard(2).unwrap();
+        assert_eq!(record.moved_users, plan.len() as u64);
+
+        // Targeted moves landed, the served state did not change.
+        assert!(!engine.shard(1).arrangement().is_empty());
+        assert!(
+            engine.shard(0).arrangement().len() < before_pairs.len(),
+            "the donor actually shed load"
+        );
+        assert_eq!(
+            engine.merged_arrangement().pairs().collect::<Vec<_>>(),
+            before_pairs
+        );
+        assert_eq!(
+            engine.merged_utility().total.to_bits(),
+            before_utility.to_bits()
+        );
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub const DEFAULT_SNAPSHOT_EVERY: u64 = 512;
 pub fn is_mutating(request: &EngineRequest) -> bool {
     matches!(
         request,
-        EngineRequest::Apply { .. } | EngineRequest::ApplyBatch { .. } | EngineRequest::Rebalance
+        EngineRequest::Apply { .. }
+            | EngineRequest::ApplyBatch { .. }
+            | EngineRequest::Rebalance
+            | EngineRequest::Reshard { .. }
     )
 }
 
@@ -171,6 +174,14 @@ impl DurabilityController {
     /// Sequence number of the last logged request (0: none).
     pub fn last_seq(&self) -> u64 {
         self.writer.last_seq()
+    }
+
+    /// WAL sequence covered by the newest checkpoint (0: none yet).
+    /// Snapshots are written in place under their coverage sequence, so
+    /// callers cutting a checkpoint at an already-covered sequence must
+    /// skip it — a torn rewrite would destroy the existing valid file.
+    pub fn last_checkpoint_seq(&self) -> u64 {
+        self.last_checkpoint_seq
     }
 
     /// Logs one admitted mutating request ahead of its execution and

@@ -91,6 +91,9 @@ pub struct EngineSnapshotState {
     /// Seed counter of the coordinator's ad-hoc cold-solve probes
     /// (absent in version-1 payloads; defaulted to 0).
     pub probe_counter: u64,
+    /// Per-shard `(moved in, moved out)` live-migration counters
+    /// (absent in pre-resharding payloads; defaulted to all-zero).
+    pub shard_migrations: Vec<(u64, u64)>,
     /// Per-shard state, in shard order.
     pub shards: Vec<ShardRecord>,
 }
@@ -134,6 +137,10 @@ impl serde::Deserialize for EngineSnapshotState {
             probe_counter: match optional("probe_counter") {
                 Some(v) => serde::Deserialize::from_value(v)?,
                 None => 0,
+            },
+            shard_migrations: match optional("shard_migrations") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => Vec::new(),
             },
             shards: serde::Deserialize::from_value(required("shards")?)?,
         })
@@ -331,8 +338,10 @@ mod tests {
                 reconcile_passes: 1,
                 quota_moved: 4,
                 last_boundary_events: 1,
+                ..CoordinatorStats::default()
             },
             probe_counter: 6,
+            shard_migrations: Vec::new(),
             shards: Vec::new(),
         }
     }

@@ -290,6 +290,54 @@
 //! gets exactly one typed response, the server neither panics nor
 //! deadlocks, and the merged arrangement stays feasible.
 //!
+//! ## Elastic resharding
+//!
+//! [`EngineRequest::Reshard`]` { num_shards }` grows or shrinks the
+//! shard set of a live server. Migration is **pure re-partitioning**:
+//! every user is re-placed through the engine's
+//! [`Partitioner`](igepa_core::Partitioner) at the new shard count and
+//! moved — bid sub-state, interest columns, per-event quota share and
+//! [`UtilityTracker`](igepa_core::UtilityTracker) contributions
+//! together, pair for pair with exact-sum bits preserved — so served
+//! utility is bit-identical across the move and the merged arrangement
+//! stays feasible throughout (the new quota split floors at per-shard
+//! load: zero evictions by construction). The answer is
+//! [`EngineResponse::Resharded`] carrying a [`MigrationRecord`].
+//!
+//! On a durable server the migration is a transaction on the
+//! durability seam, ordered against catalogue broadcasts by the WAL's
+//! epoch tagging:
+//!
+//! 1. the dispatcher barriers (in-flight work drains; incoming
+//!    requests *park* in the backlog rather than being refused);
+//! 2. a pre-migration checkpoint is cut at S-1 — skipped when S-1 is
+//!    already covered, because snapshots rewrite in place and tearing
+//!    a redundant rewrite would clobber the valid file;
+//! 3. the `Reshard` was already WAL-logged at S (before the ack, like
+//!    every mutation), tagged with the catalogue epoch it executed
+//!    under — so replay re-runs the migration at exactly the same
+//!    point in the broadcast order;
+//! 4. the owner table and quota vectors are rewritten, shard
+//!    sub-instances extracted/absorbed, per-slot stats and migration
+//!    counters carried over;
+//! 5. a post-migration checkpoint is cut at S, the query cache's view
+//!    vector is rebuilt and swapped in one write-lock hold (readers
+//!    never observe a torn owner table), parked requests replay
+//!    against the new owners, and the worker pool is resized.
+//!
+//! Crash recovery replays `Reshard` records like any other mutation,
+//! so a kill on *either* side of the owner rewrite recovers bit-exact
+//! (`tests/crash_recovery.rs` drives torn-record, torn-checkpoint and
+//! both owner-rewrite kill points). The reconcile loop surfaces
+//! skew-triggered migration proposals
+//! ([`ShardedEngine::migration_proposal`]) which an operator executes
+//! by pinning the moves in an
+//! [`OverridePartitioner`](igepa_core::OverridePartitioner) and
+//! resharding at the current count; proposals are never auto-executed.
+//! `ShardStats` reports per-shard `moved_in`/`moved_out` counters, and
+//! `BENCH_engine.json`'s `reshard/*` rows price the migration pause
+//! and the per-user move cost.
+//!
 //! ### Client/server quickstart
 //!
 //! ```
@@ -395,8 +443,8 @@ pub use protocol::{
     decode_request, decode_request_envelope, decode_response, decode_response_envelope,
     encode_request, encode_request_envelope, encode_response, encode_response_envelope,
     requests_from_jsonl, requests_to_jsonl, EngineQuery, EngineRequest, EngineResponse,
-    OverloadStats, ProtocolError, RequestEnvelope, ResponseEnvelope, LEGACY_VERSION,
-    PROTOCOL_VERSION,
+    MigrationRecord, OverloadStats, ProtocolError, RequestEnvelope, ResponseEnvelope,
+    LEGACY_VERSION, PROTOCOL_VERSION,
 };
 pub use reconcile::ReconcileReport;
 pub use replay::{replay, replay_jsonl, LatencySummary, ReplayOutcome, ReplayReport};

@@ -63,11 +63,49 @@ pub enum EngineRequest {
     /// [`EngineResponse::CheckpointDone`] by a durable server and
     /// rejected when durability is not enabled.
     Checkpoint,
+    /// Re-shard the serving engine to `num_shards` live: recompute user
+    /// placement, move every migrating user's sub-state (interest
+    /// columns, arrangement slice, exact-sum tracker contributions) and
+    /// per-event quota share to its new owner, and rewrite the owner
+    /// table — all without dropping a request. Answered with
+    /// [`EngineResponse::Resharded`]. A monolithic engine has one
+    /// logical shard and rejects any other target. On a durable server
+    /// the request is WAL-logged (catalogue-epoch-tagged, so it orders
+    /// against event broadcasts) before execution; replaying the log
+    /// re-performs the identical migration, so recovery across a
+    /// reshard stays bit-exact.
+    Reshard {
+        /// The new shard count (≥ 1).
+        num_shards: usize,
+    },
     /// Read-only query against the served state.
     Query {
         /// The query to answer.
         query: EngineQuery,
     },
+}
+
+/// Summary of one completed live migration (the payload of
+/// [`EngineResponse::Resharded`], and the shape recovery sees when it
+/// replays a WAL-logged [`EngineRequest::Reshard`]).
+///
+/// The record is *catalogue-epoch-tagged*: `catalog_epoch` names the
+/// event-catalogue version the migration executed under, which totally
+/// orders it against `AddEvent` broadcasts in the WAL — a replayed log
+/// re-runs the reshard against the identical catalogue and therefore
+/// reproduces the identical placement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// Shard count before the migration.
+    pub from_shards: usize,
+    /// Shard count after the migration.
+    pub to_shards: usize,
+    /// Users whose owning shard changed.
+    pub moved_users: u64,
+    /// Per-event quota units re-assigned between shards.
+    pub quota_moved: u64,
+    /// Event-catalogue epoch the migration executed under.
+    pub catalog_epoch: u64,
 }
 
 /// Read-only queries.
@@ -198,6 +236,16 @@ pub enum EngineResponse {
         /// What the reconciliation pass did.
         report: ReconcileReport,
         /// Utility after the pass.
+        utility: f64,
+    },
+    /// A [`EngineRequest::Reshard`] completed: the engine now serves
+    /// from the new shard layout, with every in-flight request for a
+    /// moved user parked and replayed on its new owner.
+    Resharded {
+        /// What the migration did.
+        record: MigrationRecord,
+        /// Utility after the migration (bit-identical to the utility
+        /// before it — migration re-partitions state, never re-solves).
         utility: f64,
     },
     /// A [`EngineRequest::Checkpoint`] was written.
@@ -540,6 +588,7 @@ mod tests {
                 query: EngineQuery::MergedSnapshot,
             },
             EngineRequest::Checkpoint,
+            EngineRequest::Reshard { num_shards: 6 },
             EngineRequest::Query {
                 query: EngineQuery::DurabilityStats,
             },
@@ -693,6 +742,8 @@ mod tests {
                     pairs: 3,
                     utility: 1.5,
                     stats: EngineStats::default(),
+                    moved_in: 2,
+                    moved_out: 1,
                 }],
             },
             EngineResponse::Snapshot {
@@ -710,6 +761,16 @@ mod tests {
                     shard_repairs: 1,
                 },
                 utility: 9.5,
+            },
+            EngineResponse::Resharded {
+                record: MigrationRecord {
+                    from_shards: 4,
+                    to_shards: 6,
+                    moved_users: 11,
+                    quota_moved: 5,
+                    catalog_epoch: 3,
+                },
+                utility: 2.5,
             },
             EngineResponse::CheckpointDone {
                 wal_seq: 42,

@@ -25,8 +25,8 @@ use crate::coordinator::{ShardStatsEntry, ShardedEngine};
 use crate::engine::Engine;
 use crate::error::{EngineError, EntityRef};
 use crate::protocol::{
-    decode_request_envelope, EngineQuery, EngineRequest, EngineResponse, RequestEnvelope,
-    ResponseEnvelope, LEGACY_VERSION, PROTOCOL_VERSION,
+    decode_request_envelope, EngineQuery, EngineRequest, EngineResponse, MigrationRecord,
+    RequestEnvelope, ResponseEnvelope, LEGACY_VERSION, PROTOCOL_VERSION,
 };
 use crate::reconcile::ReconcileReport;
 use crate::shard::{ApplyOutcome, EngineStats};
@@ -45,6 +45,12 @@ pub trait EngineBackend {
     /// Runs a reconciliation pass and reports it plus the utility after
     /// the pass (a no-op report on a monolithic engine).
     fn rebalance(&mut self) -> (ReconcileReport, f64);
+
+    /// Re-places every user across `num_shards` shards (see
+    /// [`ShardedEngine::reshard`]). A monolithic engine serves exactly one
+    /// logical shard: resharding *to* one is a no-op, any other target is
+    /// rejected. Errors are human-readable rejection details.
+    fn reshard(&mut self, num_shards: usize) -> Result<MigrationRecord, String>;
 
     /// Utility breakdown of the served (merged) arrangement.
     fn utility_breakdown(&self) -> UtilityBreakdown;
@@ -135,6 +141,19 @@ fn try_dispatch<B: EngineBackend>(
                 detail: "durability not enabled on this server".to_string(),
             },
         }),
+        // The TCP server wraps this arm in its migration seam (barrier,
+        // pre/post checkpoints, worker-pool resize); dispatched directly it
+        // is the bare engine-side migration, which is what WAL replay needs
+        // to re-perform the identical re-placement.
+        EngineRequest::Reshard { num_shards } => backend
+            .reshard(*num_shards)
+            .map(|record| {
+                let utility = backend.served_utility();
+                EngineResponse::Resharded { record, utility }
+            })
+            .map_err(|detail| EngineError::Rejected {
+                reason: crate::error::RejectReason::Invalid { detail },
+            }),
         EngineRequest::Query { query } => answer(backend, *query, strict),
     }
 }
@@ -372,6 +391,22 @@ impl EngineBackend for Engine {
         (ReconcileReport::default(), self.utility())
     }
 
+    fn reshard(&mut self, num_shards: usize) -> Result<MigrationRecord, String> {
+        if num_shards == 1 {
+            // Already the requested shape: a vacuous migration.
+            return Ok(MigrationRecord {
+                from_shards: 1,
+                to_shards: 1,
+                moved_users: 0,
+                quota_moved: 0,
+                catalog_epoch: 0,
+            });
+        }
+        Err(format!(
+            "a monolithic engine serves one logical shard; cannot reshard to {num_shards}"
+        ))
+    }
+
     fn utility_breakdown(&self) -> UtilityBreakdown {
         // O(1): the engine's incrementally tracked breakdown (bit-identical
         // to a from-scratch recompute over the served arrangement).
@@ -408,6 +443,8 @@ impl EngineBackend for Engine {
             pairs: self.arrangement().len(),
             utility: self.utility(),
             stats: *self.stats(),
+            moved_in: 0,
+            moved_out: 0,
         }]
     }
 
@@ -442,6 +479,10 @@ impl EngineBackend for ShardedEngine {
         let report = ShardedEngine::rebalance(self);
         let utility = self.merged_utility().total;
         (report, utility)
+    }
+
+    fn reshard(&mut self, num_shards: usize) -> Result<MigrationRecord, String> {
+        ShardedEngine::reshard(self, num_shards)
     }
 
     fn utility_breakdown(&self) -> UtilityBreakdown {

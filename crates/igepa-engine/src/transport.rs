@@ -638,6 +638,11 @@ struct CacheInner {
     /// changes on barrier-executed broadcasts, which refresh the whole
     /// cache, so fast-path installs never need to touch this.
     capacities: Vec<usize>,
+    /// Per-shard `(moved_in, moved_out)` migration counters, mirroring
+    /// the coordinator's. They only change at barrier-executed reshards,
+    /// which refresh the whole cache, so fast-path installs never need
+    /// to touch this.
+    migrations: Vec<(u64, u64)>,
 }
 
 impl QueryCache {
@@ -672,6 +677,7 @@ impl QueryCache {
                     .iter()
                     .map(|e| e.capacity)
                     .collect(),
+                migrations: engine.shard_migrations().to_vec(),
             }),
         })
     }
@@ -727,12 +733,17 @@ impl QueryCache {
 
     /// Re-reads every shard plus the entity tables (after
     /// barrier-executed operations — the only place event-side state can
-    /// change).
+    /// change). Rebuilds the view vector from scratch rather than
+    /// patching it in place so a reshard that changed the shard count
+    /// installs a complete, torn-free replacement in one write-lock
+    /// hold: readers see either the old owner table with the old views
+    /// or the new with the new, never a mix.
     fn refresh_all(&self, engine: &ShardedEngine) {
+        let views = (0..engine.num_shards())
+            .map(|k| ShardView::of(engine.shard(k)))
+            .collect();
         let mut inner = self.write_inner();
-        for (k, view) in inner.views.iter_mut().enumerate() {
-            *view = ShardView::of(engine.shard(k));
-        }
+        inner.views = views;
         inner.rejected = engine.rejected_count();
         inner.owners.clear();
         inner.owners.extend_from_slice(engine.owners());
@@ -740,6 +751,10 @@ impl QueryCache {
         inner
             .capacities
             .extend(engine.instance().events().iter().map(|e| e.capacity));
+        inner.migrations.clear();
+        inner
+            .migrations
+            .extend_from_slice(engine.shard_migrations());
     }
 
     /// Records a mirror-validation rejection (fast-path apply refused).
@@ -809,12 +824,15 @@ impl QueryCache {
                         if k == 0 {
                             stats.deltas_rejected += inner.rejected;
                         }
+                        let moved = inner.migrations.get(k).copied().unwrap_or((0, 0));
                         ShardStatsEntry {
                             shard: k,
                             users: view.users,
                             pairs: view.pairs,
                             utility: view.breakdown.total,
                             stats,
+                            moved_in: moved.0,
+                            moved_out: moved.1,
                         }
                     })
                     .collect();
@@ -1528,6 +1546,11 @@ struct ShardDispatcher {
     workers: Vec<WorkerHandle>,
     /// Shards handed back by workers during a barrier.
     shard_return_rx: Receiver<(usize, Shard)>,
+    /// Sender side of the completion queue, kept so a reshard can spawn
+    /// replacement workers wired exactly like the initial pool.
+    completion_tx: Sender<ServerMsg>,
+    /// Sender side of the shard-return channel (same purpose).
+    shard_return_tx: Sender<(usize, Shard)>,
     /// Worker applies in flight (fast-path requests not yet completed).
     pending: usize,
     /// Whether the shards currently live in `engine` (true) or on the
@@ -1587,6 +1610,8 @@ impl ShardDispatcher {
             engine,
             workers,
             shard_return_rx,
+            completion_tx,
+            shard_return_tx,
             pending: 0,
             attached: false,
             backlog: VecDeque::new(),
@@ -1787,6 +1812,47 @@ impl ShardDispatcher {
                     },
                 );
                 self.redistribute();
+            }
+            // Live resharding: the durability layer is the transaction
+            // seam. The `Reshard` record is already in the WAL (logged
+            // above, say at sequence S), so the pre-migration checkpoint
+            // is cut at S-1: a crash *before* the migration lands recovers
+            // the old shape and replays the record — re-performing the
+            // identical migration — while a crash *after* the
+            // post-migration checkpoint at S restores the new shape
+            // directly. Requests that arrived while the barrier drained
+            // are parked in the backlog and replayed afterwards against
+            // the rewritten owner table — moved users are re-routed to
+            // their new owner, never refused. Checkpoint failures are
+            // non-fatal (the WAL record alone makes replay exact); they
+            // only widen the replay window.
+            EngineRequest::Reshard { .. } => {
+                self.barrier(queue);
+                if let Some(controller) = self.durability.as_mut() {
+                    // Skip the pre-cut when S-1 is already covered:
+                    // snapshots write in place under their coverage
+                    // sequence, and a torn rewrite of an existing valid
+                    // file would destroy it.
+                    let pre_seq = controller.last_seq().saturating_sub(1);
+                    if controller.last_checkpoint_seq() < pre_seq {
+                        let state = self.engine.snapshot_state(pre_seq);
+                        if let Err(e) = controller.checkpoint(&state) {
+                            eprintln!("igepa-engine: pre-migration checkpoint failed: {e}");
+                        }
+                    }
+                }
+                let response = dispatch_envelope(&mut self.engine, &envelope);
+                if matches!(&response.result, Ok(EngineResponse::Resharded { .. })) {
+                    if let Some(controller) = self.durability.as_mut() {
+                        let state = self.engine.snapshot_state(controller.last_seq());
+                        if let Err(e) = controller.checkpoint(&state) {
+                            eprintln!("igepa-engine: post-migration checkpoint failed: {e}");
+                        }
+                    }
+                }
+                self.cache.refresh_all(&self.engine);
+                respond(&reply, response);
+                self.resize_workers();
             }
             // Live durability counters, answered right here — no barrier,
             // no backend dispatch. (The serial service answers the
@@ -2112,6 +2178,44 @@ impl ShardDispatcher {
                 // lint:allow(no-panic-in-server-paths): a send failure drops the shard on the floor (the worker thread panicked); serving without it would silently corrupt every merged answer
                 .expect("worker alive until shutdown");
         }
+        self.attached = false;
+    }
+
+    /// Hands the shards back to the workers after a reshard. When the
+    /// shard count changed, the old pool (every worker idle: barriered,
+    /// shard surrendered) is shut down and a fresh pool is spawned with
+    /// the rebuilt shards — wired exactly like initial construction, so
+    /// each worker's view-diff chain restarts from the full views the
+    /// caller just installed. With an unchanged count this is the
+    /// ordinary [`ShardDispatcher::redistribute`].
+    fn resize_workers(&mut self) {
+        if !self.attached {
+            return;
+        }
+        if self.workers.len() == self.engine.num_shards() {
+            self.redistribute();
+            return;
+        }
+        for worker in &self.workers {
+            let _ = worker.tx.send(WorkerMsg::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join.join();
+        }
+        let shards = self.engine.detach_shards();
+        self.workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                spawn_worker(
+                    k,
+                    shard,
+                    self.completion_tx.clone(),
+                    self.shard_return_tx.clone(),
+                    self.faults.clone(),
+                )
+            })
+            .collect();
         self.attached = false;
     }
 }
@@ -2450,6 +2554,88 @@ mod tests {
             engine.merged_utility().total.to_bits(),
             serial_engine.merged_utility().total.to_bits()
         );
+    }
+
+    /// The headline robustness property: the worker pool grows and
+    /// shrinks mid-trace while concurrent clients stream mutations, and
+    /// not one request is refused — requests racing the migration are
+    /// parked in the dispatcher's backlog and replayed against the
+    /// rewritten owner table.
+    #[test]
+    fn live_reshard_grows_and_shrinks_with_zero_rejections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle =
+            EngineServer::serve_sharded(listener, sharded_for(3, 8, 4), Framing::Lines).unwrap();
+        let addr = handle.local_addr();
+
+        // Two background clients hammer applies across both reshards.
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                thread::spawn(move || {
+                    let mut client = EngineClient::connect(addr, Framing::Lines).unwrap();
+                    for i in 0..30 {
+                        let response = client.call(add_user_request((w + i) % 3)).unwrap();
+                        assert!(
+                            matches!(response, EngineResponse::Applied { .. }),
+                            "writer {w} request {i} refused mid-migration: {response:?}"
+                        );
+                    }
+                })
+            })
+            .collect();
+
+        let mut client = EngineClient::connect(addr, Framing::Lines).unwrap();
+        let grown = client
+            .call(EngineRequest::Reshard { num_shards: 6 })
+            .unwrap();
+        let EngineResponse::Resharded { record, .. } = grown else {
+            panic!("grow refused: {grown:?}");
+        };
+        assert_eq!((record.from_shards, record.to_shards), (4, 6));
+        assert!(record.moved_users > 0);
+
+        // The cache now answers six per-shard entries whose migration
+        // counters balance against the record.
+        let EngineResponse::ShardStats { shards } = client.query(EngineQuery::ShardStats).unwrap()
+        else {
+            panic!("ShardStats answered wrong variant");
+        };
+        assert_eq!(shards.len(), 6);
+        assert_eq!(
+            shards.iter().map(|e| e.moved_in).sum::<u64>(),
+            record.moved_users
+        );
+        assert_eq!(
+            shards.iter().map(|e| e.moved_out).sum::<u64>(),
+            record.moved_users
+        );
+
+        let shrunk = client
+            .call(EngineRequest::Reshard { num_shards: 3 })
+            .unwrap();
+        assert!(
+            matches!(shrunk, EngineResponse::Resharded { .. }),
+            "shrink refused: {shrunk:?}"
+        );
+
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        // Post-migration reads still serve every user through the cache.
+        let EngineResponse::Snapshot {
+            num_users, pairs, ..
+        } = client.query(EngineQuery::MergedSnapshot).unwrap()
+        else {
+            panic!("MergedSnapshot answered wrong variant");
+        };
+        assert_eq!(num_users, 8 + 60);
+        assert!(!pairs.is_empty());
+
+        drop(client);
+        let engine = handle.shutdown().unwrap();
+        assert_eq!(engine.num_shards(), 3);
+        assert_eq!(engine.rejected_count(), 0, "zero rejected requests");
+        assert!(engine.merged_arrangement().is_feasible(engine.instance()));
     }
 
     #[test]
@@ -2844,6 +3030,7 @@ mod tests {
                 rejected: 0,
                 owners: Vec::new(),
                 capacities: Vec::new(),
+                migrations: vec![(0, 0)],
             }),
         }
     }

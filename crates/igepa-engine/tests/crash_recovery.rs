@@ -1,14 +1,17 @@
 //! Crash-injection tests for the durability subsystem.
 //!
 //! Each case drives a durable 4-shard engine over a randomized request
-//! trace — logging every mutating request through the
+//! trace (applies, batches, rebalances, and live `Reshard` migrations)
+//! — logging every mutating request through the
 //! [`DurabilityController`] before executing it, exactly as the durable
 //! server does — and then "crashes" it at a randomized kill point:
 //! cleanly between requests, mid-WAL-append (the frame tears on disk),
-//! or mid-snapshot (a partial checkpoint file is left behind). Recovery
-//! from the surviving directory must reproduce — bit for bit — the
-//! merged arrangement and utility breakdown of an engine that executed
-//! the surviving request prefix without ever crashing.
+//! or mid-snapshot (a partial checkpoint file is left behind). The
+//! migration transaction seam gets dedicated kill points on either side
+//! of the owner rewrite. Recovery from the surviving directory must
+//! reproduce — bit for bit — the merged arrangement and utility
+//! breakdown of an engine that executed the surviving request prefix
+//! without ever crashing.
 
 use igepa_algos::GreedyArrangement;
 use igepa_core::{
@@ -53,7 +56,7 @@ struct RawRequest {
 }
 
 fn raw_request_strategy() -> impl Strategy<Value = RawRequest> {
-    (0u8..10, 0u8..6, 0usize..64, 0usize..64, 0.0f64..=1.0).prop_map(|(op, kind, a, b, score)| {
+    (0u8..11, 0u8..6, 0usize..64, 0usize..64, 0.0f64..=1.0).prop_map(|(op, kind, a, b, score)| {
         RawRequest {
             op,
             kind,
@@ -119,6 +122,9 @@ fn resolve(raw: &RawRequest, instance: &Instance) -> InstanceDelta {
 /// WAL records admitted requests, not successful ones).
 fn request_for(raw: &RawRequest, engine: &ShardedEngine) -> EngineRequest {
     match raw.op {
+        10 => EngineRequest::Reshard {
+            num_shards: 2 + raw.a % 5,
+        },
         9 => EngineRequest::Rebalance,
         8 => {
             let first = resolve(raw, engine.instance());
@@ -356,6 +362,142 @@ fn torn_snapshot_is_skipped_for_the_previous_valid_checkpoint() {
     assert_eq!(report.snapshot_seq, Some(8));
     assert_eq!(report.replayed, 3);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Where the run dies inside a migration's transaction seam. The seam
+/// is exactly the durable server's: WAL-log the `Reshard` record at
+/// sequence S, cut a pre-migration checkpoint at S-1, rewrite the owner
+/// table (execute the migration), cut a post-migration checkpoint at S.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReshardKill {
+    /// The migration's WAL record tears mid-frame: the request is
+    /// refused; recovery must restore the pre-migration world.
+    TornMigrationRecord,
+    /// The pre-migration checkpoint tears mid-file; the WAL record
+    /// survives, so recovery must still re-perform the migration.
+    TornPreCheckpoint,
+    /// Killed after the pre-migration checkpoint, before the owner
+    /// rewrite: recovery replays the record and re-migrates.
+    BeforeOwnerRewrite,
+    /// Killed after the owner rewrite and the post-migration
+    /// checkpoint: recovery restores the new shape directly.
+    AfterOwnerRewrite,
+}
+
+/// Drives a 12-request prefix, then performs the migration seam and
+/// crashes at `kill`. Returns the prefix recovery must reproduce (the
+/// oracle replays it uninterrupted, re-performing any surviving
+/// migration record).
+fn durable_reshard_run(dir: &Path, seed: u64, kill: ReshardKill) -> Vec<EngineRequest> {
+    let mut engine = fresh_engine(seed);
+    let mut controller = DurabilityController::create(dir, DurabilityPolicy::Always).unwrap();
+    controller.set_segment_max_bytes(512);
+    let mut executed: Vec<EngineRequest> = Vec::new();
+    for (i, raw) in smoke_trace(12).iter().enumerate() {
+        let request = request_for(raw, &engine);
+        controller
+            .log(i as u64 + 1, engine.catalog().epoch(), &request)
+            .unwrap();
+        let _ = engine.handle(&request);
+        executed.push(request);
+        if i == 7 {
+            // Mid-prefix checkpoint: requests 9..=12 stay in the WAL
+            // tail, so the seam's pre-migration cut at S-1 = 12 lands
+            // on a fresh sequence. (The live server skips the pre-cut
+            // when S-1 is already covered: snapshots rewrite in place
+            // under their coverage sequence, and a torn rewrite of an
+            // existing valid file would destroy it.)
+            let state = engine.snapshot_state(controller.last_seq());
+            controller.checkpoint(&state).unwrap();
+        }
+    }
+
+    let request = EngineRequest::Reshard { num_shards: 6 };
+    if kill == ReshardKill::TornMigrationRecord {
+        controller.set_fail_wal_after_bytes(Some(6));
+        let torn = controller.log(13, engine.catalog().epoch(), &request);
+        assert!(torn.is_err(), "injected wal failure must surface");
+        return executed;
+    }
+    let seq = controller
+        .log(13, engine.catalog().epoch(), &request)
+        .unwrap();
+    // The record is on disk: from here, the migration WILL happen —
+    // either live or by replay. Every remaining kill point includes it
+    // in the prefix recovery must reproduce.
+    executed.push(request.clone());
+    if kill == ReshardKill::TornPreCheckpoint {
+        controller.set_fail_snapshot_after_bytes(Some(48));
+        let state = engine.snapshot_state(seq - 1);
+        assert!(
+            controller.checkpoint(&state).is_err(),
+            "injected snapshot failure must surface"
+        );
+        return executed;
+    }
+    let state = engine.snapshot_state(seq - 1);
+    controller.checkpoint(&state).unwrap();
+    if kill == ReshardKill::BeforeOwnerRewrite {
+        return executed;
+    }
+    let _ = engine.handle(&request);
+    let state = engine.snapshot_state(seq);
+    controller.checkpoint(&state).unwrap();
+    executed
+}
+
+#[test]
+fn kill_points_inside_the_migration_seam_recover_bit_exact() {
+    for (label, kill) in [
+        ("torn-record", ReshardKill::TornMigrationRecord),
+        ("torn-pre-ckpt", ReshardKill::TornPreCheckpoint),
+        ("pre-rewrite", ReshardKill::BeforeOwnerRewrite),
+        ("post-rewrite", ReshardKill::AfterOwnerRewrite),
+    ] {
+        let dir = unique_dir(&format!("reshard-{label}"));
+        let executed = durable_reshard_run(&dir, 29, kill);
+        let report = assert_recovery_exact(&dir, 29, &executed);
+        let recovered = recover(&dir, || fresh_engine(29), restore_engine)
+            .unwrap()
+            .engine;
+        let mut oracle = fresh_engine(29);
+        for request in &executed {
+            let _ = oracle.handle(request);
+        }
+        assert_eq!(
+            recovered.num_shards(),
+            oracle.num_shards(),
+            "{label}: recovered shard count must match the oracle"
+        );
+        match kill {
+            ReshardKill::TornMigrationRecord => {
+                assert_eq!(executed.len(), 12, "the torn record must not execute");
+                assert_ne!(recovered.num_shards(), 6, "{label}: old shape restored");
+                assert_eq!(report.truncated_records, 1);
+                assert_eq!(report.snapshot_seq, Some(8), "mid-prefix checkpoint");
+                assert_eq!(report.replayed, 4, "requests 9..=12 replay");
+            }
+            ReshardKill::TornPreCheckpoint => {
+                assert_eq!(recovered.num_shards(), 6, "{label}: record replayed");
+                assert_eq!(report.skipped_snapshots, 1, "partial checkpoint skipped");
+                // Falls back to the mid-prefix checkpoint (seq 8) and
+                // replays the tail including the migration record.
+                assert_eq!(report.snapshot_seq, Some(8));
+                assert_eq!(report.replayed, 5);
+            }
+            ReshardKill::BeforeOwnerRewrite => {
+                assert_eq!(recovered.num_shards(), 6, "{label}: record replayed");
+                assert_eq!(report.snapshot_seq, Some(12), "pre-migration cut at S-1");
+                assert_eq!(report.replayed, 1, "exactly the migration record");
+            }
+            ReshardKill::AfterOwnerRewrite => {
+                assert_eq!(recovered.num_shards(), 6, "{label}: new shape restored");
+                assert_eq!(report.snapshot_seq, Some(13), "post-migration cut at S");
+                assert_eq!(report.replayed, 0, "nothing left to replay");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]

@@ -47,11 +47,11 @@ pub use ratio::{run_ratio_study, RatioReport, RatioResult};
 pub use report::{AlgorithmResult, SweepPoint, SweepReport, TableReport};
 pub use scalability::{run_scalability, DEFAULT_USER_COUNTS};
 pub use serve::{
-    parse_fsync_policy, recover_served_engine, run_connect_study, run_listen, run_loopback_study,
-    run_overload_study, run_recover_study, run_serve_study, run_sharded_serve_study,
-    serving_engine, sharded_serving_engine, sharded_serving_engine_with_admission,
-    tcp_server_engine, LoopbackReport, OverloadReport, RecoverReport, ServeReport,
-    ShardedServeReport,
+    parse_fsync_policy, recover_served_engine, run_connect_study, run_grow_study, run_listen,
+    run_loopback_study, run_overload_study, run_recover_study, run_reshard_command,
+    run_serve_study, run_sharded_serve_study, serving_engine, sharded_serving_engine,
+    sharded_serving_engine_with_admission, tcp_server_engine, GrowReport, LoopbackReport,
+    OverloadReport, RecoverReport, ServeReport, ShardedServeReport,
 };
 pub use settings::ExperimentSettings;
 pub use shape::{

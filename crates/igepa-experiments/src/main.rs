@@ -15,6 +15,7 @@
 //!   online                 Online-arrival study (online greedy / ranking vs offline)
 //!   serve                  Serving study: warm-start engine vs cold re-solve on a delta trace
 //!   overload               Loopback flood vs a bounded-admission, fault-injected server
+//!   reshard                Live-reshard a running `serve --listen` server (--connect, --shards)
 //!   recover <dir>          Rebuild a `serve --wal <dir>` server's state after a crash
 //!   all                    Everything above, plus the qualitative shape checks
 //!
@@ -33,11 +34,11 @@ use igepa_engine::FaultPlan;
 use igepa_experiments::{
     check_sweep, check_table_ordering, check_users_sweep_convergence, parse_fsync_policy,
     run_all_figure1, run_alpha_ablation, run_backend_ablation, run_beta_ablation,
-    run_clustered_table, run_connect_study, run_extension_ablation, run_figure1,
+    run_clustered_table, run_connect_study, run_extension_ablation, run_figure1, run_grow_study,
     run_interaction_ablation, run_listen, run_loopback_study, run_online_study, run_overload_study,
-    run_ratio_study, run_recover_study, run_scalability, run_serve_study, run_sharded_serve_study,
-    run_table1, run_table2, ExperimentSettings, Figure1Factor, ShapeReport, SweepReport,
-    TableReport,
+    run_ratio_study, run_recover_study, run_reshard_command, run_scalability, run_serve_study,
+    run_sharded_serve_study, run_table1, run_table2, ExperimentSettings, Figure1Factor,
+    ShapeReport, SweepReport, TableReport,
 };
 use std::path::PathBuf;
 
@@ -106,7 +107,32 @@ fn main() {
                 let report = run_connect_study(&settings, addr, deltas, shards, options.churn);
                 println!("{}", report.to_markdown());
             } else if let Some(addr) = &options.listen {
-                if let Some(deltas) = options.deltas {
+                if let Some(grow_to) = options.grow_to {
+                    // Elastic smoke: loopback server + client with a live
+                    // Reshard issued mid-trace; the server must not reject
+                    // a single request and must exit feasible.
+                    let deltas = options.deltas.unwrap_or(400);
+                    let report = run_grow_study(
+                        &settings,
+                        addr,
+                        deltas,
+                        shards.max(1),
+                        grow_to,
+                        options.grow_at.unwrap_or(deltas / 2),
+                        repair_threads,
+                        options.churn,
+                    );
+                    println!("{}", report.to_markdown());
+                    if !report.passed() {
+                        eprintln!(
+                            "elastic smoke FAILED: expected zero rejections, a {} -> {} \
+                             migration with balanced counters and a feasible exit",
+                            shards.max(1),
+                            grow_to
+                        );
+                        std::process::exit(1);
+                    }
+                } else if let Some(deltas) = options.deltas {
                     // Loopback smoke: server + client in this process,
                     // with a server-side feasibility check on shutdown.
                     let report = run_loopback_study(
@@ -191,6 +217,17 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+        }
+        "reshard" => {
+            let Some(addr) = options.connect.as_deref() else {
+                eprintln!("usage: igepa-experiments reshard --connect <addr> --shards <n>");
+                std::process::exit(2);
+            };
+            let Some(shards) = options.shards.filter(|&n| n > 0) else {
+                eprintln!("reshard needs --shards <n> (the target shard count, > 0)");
+                std::process::exit(2);
+            };
+            run_reshard_command(addr, shards);
         }
         "recover" => {
             let dir = options.positional.clone().or(options.wal.clone());
@@ -287,6 +324,8 @@ struct Options {
     fsync: Option<String>,
     admission_cap: Option<usize>,
     fault_plan: Option<String>,
+    grow_to: Option<usize>,
+    grow_at: Option<usize>,
     /// First bare (non-`--`) argument after the command, e.g. the
     /// durability directory of `recover <dir>`.
     positional: Option<String>,
@@ -357,6 +396,14 @@ fn parse_options(args: &[String]) -> Options {
                 options.fault_plan = args.get(i + 1).cloned();
                 i += 1;
             }
+            "--grow-to" => {
+                options.grow_to = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            "--grow-at" => {
+                options.grow_at = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
             other => {
                 if !other.starts_with("--") && options.positional.is_none() {
                     options.positional = Some(other.to_string());
@@ -398,7 +445,7 @@ fn write_csv(id: &str, csv: &str, options: &Options) {
 fn print_usage() {
     println!(
         "igepa-experiments — reproduce the tables and figures of the IGEPA paper\n\n\
-         Usage: igepa-experiments <table1|table2|figure1|figure1-all|ratio|ablations|clustered|scalability|online|serve|overload|recover|all> [options]\n\n\
+         Usage: igepa-experiments <table1|table2|figure1|figure1-all|ratio|ablations|clustered|scalability|online|serve|overload|reshard|recover|all> [options]\n\n\
          Options:\n\
            --reps <n>       repetitions per configuration (default 10)\n\
            --paper-reps     use the paper's 50 repetitions\n\
@@ -427,6 +474,12 @@ fn print_usage() {
                             (default 2)\n\
            --fault-plan <s> for `overload`: deterministic fault spec, e.g.\n\
                             seed=7,slow=250,slow_ms=2,drop=50,walfail=40\n\
-                            (default slow=1000,slow_ms=1)"
+                            (default slow=1000,slow_ms=1)\n\
+           --grow-to <n>    with `serve --listen`: elastic smoke — issue a live\n\
+                            Reshard to <n> shards mid-trace; fails on any\n\
+                            rejection or an infeasible exit\n\
+           --grow-at <i>    delta index the mid-trace Reshard is issued at\n\
+                            (default half the trace); `reshard --connect <addr>\n\
+                            --shards <n>` live-reshards a running server"
     );
 }

@@ -22,8 +22,8 @@ use igepa_datagen::{
 use igepa_engine::{
     recover, replay, AdmissionPolicy, ClientError, DurabilityController, DurabilityPolicy, Engine,
     EngineClient, EngineConfig, EngineError, EngineQuery, EngineRequest, EngineResponse,
-    EngineServer, FaultInjector, FaultPlan, Framing, LatencySummary, Recovered, RecoveryError,
-    ShardedConfig, ShardedEngine,
+    EngineServer, FaultInjector, FaultPlan, Framing, LatencySummary, MigrationRecord, Recovered,
+    RecoveryError, ShardedConfig, ShardedEngine,
 };
 use serde::{Deserialize, Serialize};
 use std::net::TcpListener;
@@ -610,6 +610,230 @@ pub fn run_connect_study(
     }
 }
 
+/// Result of the elastic-serving smoke: the community trace driven over
+/// loopback with a live `Reshard` issued mid-trace while the server
+/// keeps answering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowReport {
+    /// Shards the server started with.
+    pub start_shards: usize,
+    /// Shard count requested mid-trace.
+    pub grow_to: usize,
+    /// Delta index the reshard was issued at.
+    pub grow_at: usize,
+    /// Deltas driven through the client.
+    pub num_deltas: usize,
+    /// Deltas the server applied.
+    pub applied: usize,
+    /// Deltas the server rejected — the headline number; must be zero.
+    pub rejected: usize,
+    /// Client-observed round-trip latency per delta (µs).
+    pub rtt: LatencySummary,
+    /// What the migration did, from the server's `Resharded` answer.
+    pub migration: MigrationRecord,
+    /// Client-observed round trip of the `Reshard` request itself (µs)
+    /// — the serving pause the migration cost.
+    pub migration_pause_us: f64,
+    /// Sum of per-shard `moved_in` counters after the grow.
+    pub moved_in_total: u64,
+    /// Sum of per-shard `moved_out` counters after the grow.
+    pub moved_out_total: u64,
+    /// Utility after the final request.
+    pub final_utility: f64,
+    /// Pairs served at the end.
+    pub final_pairs: usize,
+    /// Shards answering at the end (from the closing `ShardStats`).
+    pub final_shards: usize,
+    /// Whether the recovered server engine's merged arrangement is
+    /// feasible (checked server-side after shutdown).
+    pub merged_feasible: bool,
+}
+
+impl GrowReport {
+    /// The elastic-serving contract, checked: zero rejections across
+    /// the whole trace, the grow took effect, the per-shard migration
+    /// counters balance the migration record, and the exit state is
+    /// feasible.
+    pub fn passed(&self) -> bool {
+        self.rejected == 0
+            && self.merged_feasible
+            && self.final_shards == self.grow_to
+            && self.migration.from_shards == self.start_shards
+            && self.migration.to_shards == self.grow_to
+            && self.moved_in_total == self.migration.moved_users
+            && self.moved_in_total == self.moved_out_total
+    }
+
+    /// Renders the report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## Elastic serving smoke: {} -> {} shards at delta {} of {}\n\n",
+            self.start_shards, self.grow_to, self.grow_at, self.num_deltas
+        ));
+        out.push_str(&format!(
+            "Applied {} / rejected {}; migration moved {} user(s) and {} capacity unit(s) \
+             in {:.1} µs (catalogue epoch {}); per-shard counters: {} in / {} out.\n\n",
+            self.applied,
+            self.rejected,
+            self.migration.moved_users,
+            self.migration.quota_moved,
+            self.migration_pause_us,
+            self.migration.catalog_epoch,
+            self.moved_in_total,
+            self.moved_out_total,
+        ));
+        out.push_str(&format!(
+            "Final state: utility {:.3} over {} pairs on {} shards; merged arrangement: {}.\n\n",
+            self.final_utility,
+            self.final_pairs,
+            self.final_shards,
+            if self.merged_feasible {
+                "feasible"
+            } else {
+                "INFEASIBLE"
+            }
+        ));
+        out.push_str("| RTT | mean (µs) | p50 (µs) | p95 (µs) | p99 (µs) | max (µs) |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        out.push_str(&format!(
+            "| per delta | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |\n",
+            self.rtt.mean_us, self.rtt.p50_us, self.rtt.p95_us, self.rtt.p99_us, self.rtt.max_us
+        ));
+        out
+    }
+}
+
+/// Sends one `Reshard` through a connected client and returns the
+/// migration record plus the client-observed pause in microseconds.
+fn reshard_over(
+    client: &mut EngineClient,
+    num_shards: usize,
+) -> Result<(MigrationRecord, f64), ClientError> {
+    let start = Instant::now();
+    match client.call(EngineRequest::Reshard { num_shards })? {
+        EngineResponse::Resharded { record, .. } => {
+            Ok((record, start.elapsed().as_secs_f64() * 1e6))
+        }
+        other => panic!("Reshard answered {other:?}"),
+    }
+}
+
+/// Elastic-serving smoke: start a loopback server on `shards` shards,
+/// drive the community trace, and at delta `grow_at` issue a live
+/// `Reshard { grow_to }` — the migration must not reject a single
+/// request, the per-shard migration counters must balance, and the
+/// server must exit feasible on the new shard count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_grow_study(
+    settings: &ExperimentSettings,
+    listen_addr: &str,
+    num_deltas: usize,
+    shards: usize,
+    grow_to: usize,
+    grow_at: usize,
+    repair_threads: usize,
+    churn: bool,
+) -> GrowReport {
+    let requests = tcp_trace(settings, num_deltas, shards, churn);
+    let grow_at = grow_at.min(requests.len().saturating_sub(1));
+    let listener = TcpListener::bind(listen_addr).expect("listen address binds");
+    let handle = EngineServer::serve_sharded(
+        listener,
+        tcp_server_engine(settings, shards, repair_threads),
+        Framing::Lines,
+    )
+    .expect("server spawns");
+    eprintln!("elastic smoke server listening on {}", handle.local_addr());
+    let mut client =
+        EngineClient::connect(handle.local_addr(), Framing::Lines).expect("client connects");
+
+    let mut applied = 0usize;
+    let mut rejected = 0usize;
+    let mut rtts = Vec::with_capacity(requests.len());
+    let mut migration = None;
+    let mut migration_pause_us = 0.0;
+    for (i, request) in requests.iter().enumerate() {
+        if i == grow_at {
+            let (record, pause) = reshard_over(&mut client, grow_to).expect("transport stays up");
+            migration = Some(record);
+            migration_pause_us = pause;
+        }
+        let start = Instant::now();
+        match client.call(request.clone()) {
+            Ok(EngineResponse::Applied { .. }) => applied += 1,
+            Ok(_) => {}
+            Err(ClientError::Engine(_)) => rejected += 1,
+            Err(e) => panic!("transport failed mid-trace: {e}"),
+        }
+        rtts.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    let migration = migration.expect("grow_at is clamped inside the trace");
+
+    client
+        .call(EngineRequest::Rebalance)
+        .expect("transport stays up");
+    let (moved_in_total, moved_out_total, final_shards) =
+        match client.query(EngineQuery::ShardStats).expect("stats answer") {
+            EngineResponse::ShardStats { shards } => (
+                shards.iter().map(|s| s.moved_in).sum::<u64>(),
+                shards.iter().map(|s| s.moved_out).sum::<u64>(),
+                shards.len(),
+            ),
+            other => panic!("ShardStats query answered {other:?}"),
+        };
+    let final_utility = match client.query(EngineQuery::Utility).expect("utility answer") {
+        EngineResponse::Utility { total, .. } => total,
+        other => panic!("Utility query answered {other:?}"),
+    };
+    let final_pairs = match client
+        .query(EngineQuery::MergedSnapshot)
+        .expect("snapshot answer")
+    {
+        EngineResponse::Snapshot { pairs, .. } => pairs.len(),
+        other => panic!("MergedSnapshot query answered {other:?}"),
+    };
+    drop(client);
+
+    let engine = handle.shutdown().expect("clean server shutdown");
+    let merged_feasible = engine.merged_arrangement().is_feasible(engine.instance());
+    GrowReport {
+        start_shards: shards,
+        grow_to,
+        grow_at,
+        num_deltas: requests.len(),
+        applied,
+        rejected,
+        rtt: LatencySummary::from_latencies(rtts),
+        migration,
+        migration_pause_us,
+        moved_in_total,
+        moved_out_total,
+        final_utility,
+        final_pairs,
+        final_shards,
+        merged_feasible,
+    }
+}
+
+/// The `reshard` command: connect to a running `serve --listen` server
+/// and issue one live `Reshard { num_shards }`, printing what moved.
+pub fn run_reshard_command(connect_addr: &str, num_shards: usize) -> MigrationRecord {
+    let mut client = EngineClient::connect(connect_addr, Framing::Lines).expect("server reachable");
+    let (record, pause) = reshard_over(&mut client, num_shards).expect("transport stays up");
+    println!(
+        "resharded {} -> {} shards: {} user(s) and {} capacity unit(s) moved \
+         in {:.1} µs at catalogue epoch {}",
+        record.from_shards,
+        record.to_shards,
+        record.moved_users,
+        record.quota_moved,
+        pause,
+        record.catalog_epoch
+    );
+    record
+}
+
 /// Result of the overload study: a multi-client loopback flood against
 /// a bounded-admission, fault-injected server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -1083,6 +1307,28 @@ mod tests {
             serde_json::from_str::<LoopbackReport>(&json).unwrap(),
             report
         );
+    }
+
+    #[test]
+    fn grow_study_reshards_live_with_zero_rejections() {
+        let settings = ExperimentSettings {
+            scale: 0.2,
+            ..ExperimentSettings::quick()
+        };
+        let report = run_grow_study(&settings, "127.0.0.1:0", 120, 2, 3, 60, 1, false);
+        assert!(report.passed(), "elastic contract violated: {report:?}");
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.migration.from_shards, 2);
+        assert_eq!(report.migration.to_shards, 3);
+        assert_eq!(report.final_shards, 3);
+        assert!(
+            report.migration.moved_users > 0,
+            "a 2 -> 3 grow moves users"
+        );
+        let md = report.to_markdown();
+        assert!(md.contains("Elastic serving smoke"));
+        let json = serde_json::to_string(&report).unwrap();
+        assert_eq!(serde_json::from_str::<GrowReport>(&json).unwrap(), report);
     }
 
     #[test]

@@ -174,11 +174,36 @@ fn default_serde_baseline() -> BTreeMap<&'static str, Vec<&'static str>> {
     );
     m.insert(
         "CoordinatorStats",
-        vec!["reconcile_passes", "quota_moved", "last_boundary_events"],
+        vec![
+            "reconcile_passes",
+            "quota_moved",
+            "last_boundary_events",
+            "reshards",
+            "users_migrated",
+            "migration_proposals",
+        ],
     );
     m.insert(
         "ShardStatsEntry",
-        vec!["shard", "users", "pairs", "utility", "stats"],
+        vec![
+            "shard",
+            "users",
+            "pairs",
+            "utility",
+            "stats",
+            "moved_in",
+            "moved_out",
+        ],
+    );
+    m.insert(
+        "MigrationRecord",
+        vec![
+            "from_shards",
+            "to_shards",
+            "moved_users",
+            "quota_moved",
+            "catalog_epoch",
+        ],
     );
     m.insert("WalRecord", vec!["seq", "envelope_id", "epoch", "request"]);
     m.insert(
@@ -209,6 +234,7 @@ fn default_serde_baseline() -> BTreeMap<&'static str, Vec<&'static str>> {
             "coordinator_stats",
             "probe_counter",
             "shards",
+            "shard_migrations",
         ],
     );
     m

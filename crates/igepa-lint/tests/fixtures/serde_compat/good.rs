@@ -9,6 +9,9 @@ pub struct CoordinatorStats {
     pub reconcile_passes: u64,
     pub quota_moved: u64,
     pub last_boundary_events: usize,
+    pub reshards: u64,
+    pub users_migrated: u64,
+    pub migration_proposals: u64,
 }
 
 #[derive(Debug, Clone, Serialize)]
